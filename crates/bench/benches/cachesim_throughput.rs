@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks: cache-simulator access throughput — the
+//! quantity that bounds how fast the 10,000-algorithm trace sweeps run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wht_cachesim::{Cache, CacheConfig, Hierarchy};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    let accesses: u64 = 1 << 16;
+    group.throughput(Throughput::Elements(accesses));
+
+    group.bench_function(BenchmarkId::new("single_level", "l1_2way"), |b| {
+        let mut cache = Cache::new(CacheConfig::opteron_l1());
+        b.iter(|| {
+            // Strided sweep alternating two strides: hits and misses mixed.
+            for i in 0..accesses {
+                cache.access((i * 8) & 0xF_FFFF);
+                cache.access((i * 512) & 0xF_FFFF);
+            }
+            std::hint::black_box(cache.stats().misses)
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("hierarchy", "opteron"), |b| {
+        let mut h = Hierarchy::opteron();
+        b.iter(|| {
+            for i in 0..accesses {
+                h.access_element((i as usize * 7) & 0x3_FFFF);
+            }
+            std::hint::black_box(h.l1_misses())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_access);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: engine throughput for the canonical
+//! algorithms and a blocked plan across sizes (the Figure 1 regime on the
+//! host machine, at criterion precision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wht_core::{apply_plan, Plan};
+
+fn bench_canonicals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_plans");
+    group.sample_size(20);
+    for n in [8u32, 12, 16, 18] {
+        let size = 1usize << n;
+        group.throughput(Throughput::Elements(size as u64));
+        let plans = [
+            ("iterative", Plan::iterative(n).expect("valid")),
+            ("right", Plan::right_recursive(n).expect("valid")),
+            ("left", Plan::left_recursive(n).expect("valid")),
+            ("blocked8", Plan::binary_iterative(n, 8).expect("valid")),
+        ];
+        for (name, plan) in plans {
+            group.bench_with_input(BenchmarkId::new(name, n), &plan, |b, plan| {
+                let mut x: Vec<f64> = (0..size).map(|v| ((v * 31) % 11) as f64 * 1e-3).collect();
+                let pristine = x.clone();
+                let mut applications = 0u32;
+                b.iter(|| {
+                    apply_plan(plan, &mut x).expect("sized correctly");
+                    std::hint::black_box(x[0]);
+                    applications += 1;
+                    // Each application scales values by up to 2^n; refill
+                    // well before f64 overflow.
+                    if applications * n >= 900 {
+                        x.copy_from_slice(&pristine);
+                        applications = 0;
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonicals);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks: unrolled codelet throughput by leaf size.
+//!
+//! The paper's "best" algorithms use larger unrolled base cases; this bench
+//! quantifies why — elements/second for `small[k]` across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wht_core::{apply_plan, Plan};
+
+fn bench_codelets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codelet_throughput");
+    for k in 1..=8u32 {
+        let plan = Plan::leaf(k).expect("valid leaf");
+        let size = plan.size();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("small", k), &plan, |b, plan| {
+            let mut x: Vec<f64> = (0..size).map(|v| (v % 7) as f64 - 3.0).collect();
+            b.iter(|| {
+                apply_plan(plan, &mut x).expect("sized correctly");
+                std::hint::black_box(x[0]);
+                // Reset scale occasionally to avoid overflow to inf.
+                if x[0].abs() > 1e300 {
+                    for v in x.iter_mut() {
+                        *v = (*v / 1e300).clamp(-8.0, 8.0);
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codelets);
+criterion_main!(benches);

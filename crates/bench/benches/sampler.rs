@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks: plan sampling and model evaluation rates —
+//! the costs of the paper's "prune by model, then measure" loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wht_models::{analytic_misses, instruction_count, CostModel, ModelCache};
+use wht_space::Sampler;
+
+fn bench_sampler_and_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_and_models");
+    for n in [9u32, 18] {
+        group.bench_with_input(BenchmarkId::new("sample_plan", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let s = Sampler::default();
+            b.iter(|| std::hint::black_box(s.sample(n, &mut rng).expect("valid n")));
+        });
+        group.bench_with_input(BenchmarkId::new("instruction_model", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(43);
+            let plan = Sampler::default().sample(n, &mut rng).expect("valid n");
+            let cost = CostModel::default();
+            b.iter(|| std::hint::black_box(instruction_count(&plan, &cost)));
+        });
+        group.bench_with_input(BenchmarkId::new("cache_model", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(44);
+            let plan = Sampler::default().sample(n, &mut rng).expect("valid n");
+            let cache = ModelCache::opteron_l1_elems();
+            b.iter(|| std::hint::black_box(analytic_misses(&plan, cache)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler_and_models);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Minimal command-line parsing shared by the figure binaries.
+//!
+//! Every `figNN` binary accepts the same flags:
+//!
+//! ```text
+//! --samples N    random algorithms per study (default 10000, the paper's count)
+//! --threads N    worker threads for sweeps (default: all cores)
+//! --seed S       RNG seed (default 2007, the paper's year)
+//! --nmax N       largest transform exponent for the size sweeps (default 20)
+//! --quick        preset: samples=800, nmax=16 (for smoke runs / CI)
+//! --no-timing    skip wall-clock timing (deterministic backends only)
+//! ```
+
+/// Parsed common options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Random algorithms per study.
+    pub samples: usize,
+    /// Sweep worker threads.
+    pub threads: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Largest exponent for size sweeps (Figures 1–3).
+    pub nmax: u32,
+    /// Skip wall-clock timing.
+    pub no_timing: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            samples: 10_000,
+            threads: std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+            seed: 2007,
+            nmax: 20,
+            no_timing: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse from an iterator of argument strings (without the program
+    /// name). Unknown flags abort with a message listing valid flags.
+    ///
+    /// # Panics
+    /// Panics (with a usage message) on malformed input — appropriate for
+    /// a bench binary.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = CommonArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+            };
+            match arg.as_str() {
+                "--samples" => out.samples = grab("--samples").parse().expect("integer"),
+                "--threads" => out.threads = grab("--threads").parse().expect("integer"),
+                "--seed" => out.seed = grab("--seed").parse().expect("integer"),
+                "--nmax" => out.nmax = grab("--nmax").parse().expect("integer"),
+                "--quick" => {
+                    out.samples = 800;
+                    out.nmax = 16;
+                }
+                "--no-timing" => out.no_timing = true,
+                other => panic!(
+                    "unknown flag {other}; valid: --samples --threads --seed --nmax --quick --no-timing"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parse from the process environment.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> CommonArgs {
+        CommonArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.samples, 10_000);
+        assert_eq!(a.seed, 2007);
+        assert_eq!(a.nmax, 20);
+        assert!(!a.no_timing);
+    }
+
+    #[test]
+    fn explicit_flags() {
+        let a = parse(&["--samples", "123", "--seed", "9", "--threads", "4", "--nmax", "12", "--no-timing"]);
+        assert_eq!(a.samples, 123);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.nmax, 12);
+        assert!(a.no_timing);
+    }
+
+    #[test]
+    fn quick_preset() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.samples, 800);
+        assert_eq!(a.nmax, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--nonsense"]);
+    }
+}

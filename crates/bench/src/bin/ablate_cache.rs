@@ -1,0 +1,105 @@
+//! Ablation: how far is the paper's modelling cache (direct-mapped, no
+//! prefetch — the \[8\] assumptions) from the measured machine (2-way LRU
+//! with a stream prefetcher)?
+//!
+//! Prints, for each canonical algorithm and size: misses under the analytic
+//! model, under direct-mapped/unit-line simulation (the model's world),
+//! under the real Opteron L1 geometry with LRU / FIFO / random replacement,
+//! and with the stream prefetcher enabled.
+
+use wht_bench::{ascii_table, results_dir, write_csv, CommonArgs};
+use wht_cachesim::{CacheConfig, PolicyCache, Replacement};
+use wht_core::Plan;
+use wht_measure::{direct_mapped_unit_misses, policy_trace_misses};
+use wht_models::{analytic_misses, ModelCache};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let sizes: Vec<u32> = [12u32, 14, 16, 18]
+        .into_iter()
+        .filter(|&n| n <= args.nmax)
+        .collect();
+
+    let mut rows_csv: Vec<Vec<f64>> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &n in &sizes {
+        for (label, plan) in [
+            ("iterative", Plan::iterative(n).expect("valid")),
+            ("right", Plan::right_recursive(n).expect("valid")),
+            ("left", Plan::left_recursive(n).expect("valid")),
+        ] {
+            // The [8] model's world: unit lines, direct mapped, 2^13 elems.
+            let model = analytic_misses(&plan, ModelCache::opteron_l1_elems());
+            let dm_unit = direct_mapped_unit_misses(&plan, 13).expect("valid geometry");
+            // The measured machine's world: 64B lines, 64 KiB.
+            let l1 = CacheConfig::opteron_l1();
+            let dm_lines = {
+                let cfg = CacheConfig::new(l1.capacity, 1, l1.line_size).expect("valid");
+                let mut c = PolicyCache::new(cfg, Replacement::Lru, false);
+                policy_trace_misses(&plan, &mut c, 8).misses
+            };
+            let run = |policy: Replacement, prefetch: bool| {
+                let mut c = PolicyCache::new(l1, policy, prefetch);
+                policy_trace_misses(&plan, &mut c, 8).misses
+            };
+            let lru = run(Replacement::Lru, false);
+            let fifo = run(Replacement::Fifo, false);
+            let random = run(Replacement::Random { seed: 7 }, false);
+            let lru_pf = run(Replacement::Lru, true);
+            rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                model.to_string(),
+                dm_unit.to_string(),
+                dm_lines.to_string(),
+                lru.to_string(),
+                fifo.to_string(),
+                random.to_string(),
+                lru_pf.to_string(),
+            ]);
+            rows_csv.push(vec![
+                f64::from(n),
+                model as f64,
+                dm_unit as f64,
+                dm_lines as f64,
+                lru as f64,
+                fifo as f64,
+                random as f64,
+                lru_pf as f64,
+            ]);
+        }
+    }
+    write_csv(
+        &results_dir().join("ablate_cache.csv"),
+        "n,model,dm_unit,dm_lines,lru,fifo,random,lru_prefetch",
+        &rows_csv,
+    );
+
+    println!("Cache-machinery ablation (L1-sized caches, canonical algorithms)");
+    println!();
+    print!(
+        "{}",
+        ascii_table(
+            &[
+                "n",
+                "plan",
+                "model[8]",
+                "sim dm/unit",
+                "dm/64B",
+                "2wayLRU",
+                "FIFO",
+                "Random",
+                "LRU+prefetch"
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!("Reading guide:");
+    println!("* model[8] vs 'sim dm/unit' — the analytic model against exact");
+    println!("  simulation of its own assumptions (should nearly coincide);");
+    println!("* 'dm/64B' vs '2wayLRU' — what direct-mapping costs vs the real");
+    println!("  Opteron associativity at the same capacity and line size;");
+    println!("* 'LRU+prefetch' — what the K8's stream prefetcher hides, by shape:");
+    println!("  sequential (iterative) shapes benefit, strided (left) do not.");
+}

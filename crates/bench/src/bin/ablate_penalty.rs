@@ -1,0 +1,78 @@
+//! Ablation: where does the Figure 1 crossover (right recursive overtakes
+//! iterative) land as a function of the simulated machine's miss
+//! penalties?
+//!
+//! The paper observes the crossover at the L2 boundary (n = 18) on real
+//! hardware. Our deterministic backend reproduces that with *effective*
+//! penalties (L1 -> 4 cycles, memory -> 80); this ablation shows how the
+//! crossover moves across the penalty grid — i.e. how sensitive the
+//! paper's Figure 1 is to the machine's latency-hiding ability.
+
+use wht_bench::{ascii_table, results_dir, write_csv, CommonArgs};
+use wht_cachesim::Hierarchy;
+use wht_core::Plan;
+use wht_measure::{simulated_cycles, SimMachine};
+use wht_models::CostModel;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let nmax = args.nmax.max(19);
+    let cost = CostModel::default();
+
+    let l1_penalties = [2.0, 4.0, 8.0, 12.0];
+    let l2_penalties = [40.0, 80.0, 150.0];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut rows_csv: Vec<Vec<f64>> = Vec::new();
+    for &l1 in &l1_penalties {
+        for &l2 in &l2_penalties {
+            let machine = SimMachine {
+                cpi: 1.0,
+                l1_penalty: l1,
+                l2_penalty: l2,
+            };
+            let mut h = Hierarchy::opteron();
+            let crossover = (2..=nmax).find(|&n| {
+                let it = simulated_cycles(
+                    &Plan::iterative(n).expect("valid"),
+                    &cost,
+                    &machine,
+                    &mut h,
+                );
+                let rr = simulated_cycles(
+                    &Plan::right_recursive(n).expect("valid"),
+                    &cost,
+                    &machine,
+                    &mut h,
+                );
+                rr < it
+            });
+            let text = crossover
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!(">{nmax}"));
+            rows.push(vec![format!("{l1}"), format!("{l2}"), text]);
+            rows_csv.push(vec![
+                l1,
+                l2,
+                crossover.map(f64::from).unwrap_or(f64::NAN),
+            ]);
+        }
+    }
+    write_csv(
+        &results_dir().join("ablate_penalty.csv"),
+        "l1_penalty,l2_penalty,crossover_n",
+        &rows_csv,
+    );
+
+    println!("Crossover sensitivity: first n where right recursive beats iterative");
+    println!("(simulated Opteron; paper's measured crossover: n = 18)");
+    println!();
+    print!(
+        "{}",
+        ascii_table(&["L1 penalty", "mem penalty", "crossover n"], &rows)
+    );
+    println!();
+    println!("Large L1 penalties pull the crossover toward the L1 boundary (14);");
+    println!("small ones push it to the L2 boundary (18), matching the measured");
+    println!("machine, whose out-of-order core hides most L2-hit latency.");
+}

@@ -1,0 +1,119 @@
+//! Figure 1: ratio of performance (cycle counts) of the canonical
+//! algorithms to the best algorithm, for sizes 2^1 .. 2^nmax.
+//!
+//! The paper's findings to reproduce:
+//! * the iterative algorithm outperforms the recursive ones until a
+//!   critical size, after which recursive algorithms win — on the Opteron
+//!   the crossover is at the L2 boundary (n = 18);
+//! * right recursive outperforms left recursive;
+//! * the best algorithm (DP search, larger base cases) wins everywhere.
+//!
+//! Two backends are reported (DESIGN.md §3): wall-clock on the host (the
+//! honest hardware measurement, crossovers land at the *host's* cache
+//! boundaries) and deterministic simulated cycles on the Opteron-like
+//! hierarchy (crossovers land where the paper's did).
+
+use wht_bench::{ascii_table, canonical_vs_best, results_dir, write_csv, CommonArgs};
+use wht_search::{dp_search, DpOptions, SimCyclesCost, WallClockCost};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let nmax = args.nmax;
+
+    // --- deterministic backend: simulated cycles on the reference Opteron.
+    eprintln!("[fig01] DP search against simulated cycles up to n={nmax}");
+    let best_sim = wht_bench::best_plans_simcycles(nmax).expect("dp search");
+    let mut sim_cost = SimCyclesCost::opteron();
+    let mut sim_rows: Vec<Vec<f64>> = Vec::new();
+    for n in 1..=nmax {
+        let rows = canonical_vs_best(n, &best_sim[n as usize], &mut sim_cost).expect("cost");
+        let best = rows[3].1;
+        sim_rows.push(vec![
+            f64::from(n),
+            rows[0].1 / best, // iterative / best
+            rows[1].1 / best, // left / best
+            rows[2].1 / best, // right / best
+        ]);
+    }
+
+    // --- host backend: wall-clock timing with a wall-clock DP search.
+    let mut wall_rows: Vec<Vec<f64>> = Vec::new();
+    if !args.no_timing {
+        eprintln!("[fig01] DP search against wall clock up to n={nmax} (this times many plans)");
+        let mut wall_cost = WallClockCost::default();
+        let dp = dp_search(nmax, &DpOptions::default(), &mut wall_cost).expect("dp search");
+        for n in 1..=nmax {
+            let rows =
+                canonical_vs_best(n, &dp.best[n as usize], &mut wall_cost).expect("timing");
+            let best = rows[3].1;
+            wall_rows.push(vec![
+                f64::from(n),
+                rows[0].1 / best,
+                rows[1].1 / best,
+                rows[2].1 / best,
+            ]);
+        }
+    }
+
+    let dir = results_dir();
+    write_csv(
+        &dir.join("fig01_simcycles.csv"),
+        "n,iterative_over_best,left_over_best,right_over_best",
+        &sim_rows,
+    );
+    if !wall_rows.is_empty() {
+        write_csv(
+            &dir.join("fig01_wallclock.csv"),
+            "n,iterative_over_best,left_over_best,right_over_best",
+            &wall_rows,
+        );
+    }
+
+    println!("Figure 1: cycle-count ratio canonical/best (lower is better)");
+    println!();
+    println!("Simulated cycles (reference Opteron: 64KB 2-way L1, 1MB 16-way L2):");
+    print_ratio_table(&sim_rows);
+    if !wall_rows.is_empty() {
+        println!();
+        println!("Wall clock (host machine):");
+        print_ratio_table(&wall_rows);
+    }
+
+    // Paper-shape checks, printed for EXPERIMENTS.md.
+    let crossover = sim_rows
+        .iter()
+        .find(|r| r[3] < r[1])
+        .map(|r| r[0] as u32);
+    println!();
+    println!("Paper: iterative best among canonicals until the L2 boundary (n=18),");
+    println!("       right recursive < left recursive.");
+    match crossover {
+        Some(n) => println!(
+            "Ours (sim backend): right recursive overtakes iterative at n = {n}"
+        ),
+        None => println!("Ours (sim backend): no crossover up to n = {nmax}"),
+    }
+    let right_beats_left = sim_rows
+        .iter()
+        .filter(|r| r[0] >= 10.0)
+        .all(|r| r[3] <= r[2]);
+    println!("Ours: right <= left for all n >= 10: {right_beats_left}");
+}
+
+fn print_ratio_table(rows: &[Vec<f64>]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r[0] as u32),
+                format!("{:.3}", r[1]),
+                format!("{:.3}", r[2]),
+                format!("{:.3}", r[3]),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        ascii_table(&["n", "Iterative/Best", "Left/Best", "Right/Best"], &table)
+    );
+}

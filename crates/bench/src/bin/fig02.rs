@@ -1,0 +1,57 @@
+//! Figure 2: ratio of instruction counts of the canonical algorithms to
+//! the best algorithm, sizes 2^1 .. 2^nmax.
+//!
+//! Paper findings to reproduce: the iterative algorithm has the lowest
+//! instruction count at every size; left recursive the highest; the best
+//! algorithm (larger unrolled base cases) beats all three.
+
+use wht_bench::{ascii_table, canonical_vs_best, results_dir, write_csv, CommonArgs};
+use wht_search::InstructionCost;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let nmax = args.nmax;
+
+    let best = wht_bench::best_plans_simcycles(nmax).expect("dp search");
+    let mut cost = InstructionCost::default();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for n in 1..=nmax {
+        let r = canonical_vs_best(n, &best[n as usize], &mut cost).expect("model");
+        let b = r[3].1;
+        rows.push(vec![f64::from(n), r[0].1 / b, r[1].1 / b, r[2].1 / b]);
+    }
+
+    write_csv(
+        &results_dir().join("fig02.csv"),
+        "n,iterative_over_best,left_over_best,right_over_best",
+        &rows,
+    );
+
+    println!("Figure 2: instruction-count ratio canonical/best (lower is better)");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r[0] as u32),
+                format!("{:.3}", r[1]),
+                format!("{:.3}", r[2]),
+                format!("{:.3}", r[3]),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        ascii_table(&["n", "Iterative/Best", "Left/Best", "Right/Best"], &table)
+    );
+
+    println!();
+    println!("Paper: iterative has the lowest instruction count for all sizes;");
+    println!("       left recursive the highest (reaching ~4.5-5x best at n=20).");
+    let iter_lowest = rows.iter().all(|r| r[1] <= r[2] && r[1] <= r[3]);
+    let left_highest = rows
+        .iter()
+        .filter(|r| r[0] >= 4.0)
+        .all(|r| r[2] >= r[3]);
+    println!("Ours: iterative lowest at every size: {iter_lowest}");
+    println!("Ours: left >= right for n >= 4: {left_highest}");
+}

@@ -1,0 +1,50 @@
+//! Figure 7: instructions vs cycles scatter for WHT(2^18).
+//!
+//! Paper result to reproduce: rho drops to 0.77 out of cache — instruction
+//! count alone no longer explains performance (the left-recursive
+//! algorithm is off the plot's range entirely).
+
+use wht_bench::{ascii_scatter, load_or_run_study, results_dir, write_csv, CommonArgs};
+use wht_stats::{outer_fence_filter, pearson, select};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let study = load_or_run_study(18, &args).expect("study");
+
+    let cycles = study.cycles();
+    let instructions: Vec<f64> = study.instructions().iter().map(|&v| v as f64).collect();
+    let keep = outer_fence_filter(&cycles, 3.0);
+    let cycles_f = select(&cycles, &keep);
+    let instr_f = select(&instructions, &keep);
+
+    let rho = pearson(&instr_f, &cycles_f);
+
+    let rows: Vec<Vec<f64>> = instr_f
+        .iter()
+        .zip(cycles_f.iter())
+        .map(|(&i, &c)| vec![i, c])
+        .collect();
+    write_csv(
+        &results_dir().join("fig07_scatter.csv"),
+        "instructions,cycles",
+        &rows,
+    );
+
+    println!("Figure 7: Instructions vs Cycles, WHT(2^18)");
+    print!(
+        "{}",
+        ascii_scatter("sample (IQR-filtered)", &instr_f, &cycles_f, 64, 20)
+    );
+    println!();
+    println!("rho(instructions, cycles) = {rho:.4}   [paper: 0.77]");
+    if study.timed {
+        let med = select(&study.wall_ns(), &keep);
+        println!(
+            "  (median-of-blocks timing gives rho = {:.4}; Spearman = {:.4})",
+            pearson(&instr_f, &med),
+            wht_stats::spearman(&instr_f, &cycles_f)
+        );
+    }
+    println!("Paper: correlation degrades out of cache; compare Figure 6 (0.96)");
+    println!("       and Figure 9 (combined model recovers 0.92).");
+}

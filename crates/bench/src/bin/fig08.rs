@@ -1,0 +1,39 @@
+//! Figure 8: cache misses vs cycles scatter for WHT(2^18).
+//!
+//! Paper result to reproduce: rho = 0.66 — misses alone are also an
+//! incomplete model of out-of-cache performance.
+
+use wht_bench::{ascii_scatter, load_or_run_study, results_dir, write_csv, CommonArgs};
+use wht_stats::{outer_fence_filter, pearson, select};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let study = load_or_run_study(18, &args).expect("study");
+
+    let cycles = study.cycles();
+    let misses: Vec<f64> = study.l1_misses().iter().map(|&v| v as f64).collect();
+    let keep = outer_fence_filter(&cycles, 3.0);
+    let cycles_f = select(&cycles, &keep);
+    let miss_f = select(&misses, &keep);
+
+    let rho = pearson(&miss_f, &cycles_f);
+
+    let rows: Vec<Vec<f64>> = miss_f
+        .iter()
+        .zip(cycles_f.iter())
+        .map(|(&m, &c)| vec![m, c])
+        .collect();
+    write_csv(
+        &results_dir().join("fig08_scatter.csv"),
+        "l1_misses,cycles",
+        &rows,
+    );
+
+    println!("Figure 8: Cache Misses vs Cycles, WHT(2^18)");
+    print!(
+        "{}",
+        ascii_scatter("sample (IQR-filtered)", &miss_f, &cycles_f, 64, 20)
+    );
+    println!();
+    println!("rho(l1 misses, cycles) = {rho:.4}   [paper: 0.66]");
+}

@@ -1,0 +1,74 @@
+//! Figure 9: correlation of cycles with `alpha*Instructions + beta*Misses`
+//! over the (alpha, beta) grid 0..=1 step 0.05, WHT(2^18).
+//!
+//! Paper result to reproduce: maximum rho = 0.92 at alpha = 1.00,
+//! beta = 0.05 — the combined model restores most of the in-cache
+//! correlation (0.96). Also prints the summary rho table of Section 4/5
+//! ("table_rho").
+
+use wht_bench::{load_or_run_study, results_dir, write_csv, CommonArgs};
+use wht_stats::{grid_search_combined, outer_fence_filter, pearson, select};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let study = load_or_run_study(18, &args).expect("study");
+
+    let cycles = study.cycles();
+    let keep = outer_fence_filter(&cycles, 3.0);
+    let cycles_f = select(&cycles, &keep);
+    let instr_f: Vec<u64> = select(&study.instructions(), &keep);
+    let miss_f: Vec<u64> = select(&study.l1_misses(), &keep);
+
+    let res = grid_search_combined(&instr_f, &miss_f, &cycles_f, 0.05);
+
+    // Surface CSV: alpha,beta,rho rows.
+    let mut rows = Vec::new();
+    for (i, &a) in res.alphas.iter().enumerate() {
+        for (j, &b) in res.betas.iter().enumerate() {
+            rows.push(vec![a, b, res.rho[i][j]]);
+        }
+    }
+    write_csv(&results_dir().join("fig09_surface.csv"), "alpha,beta,rho", &rows);
+
+    println!("Figure 9: rho(cycles, alpha*I + beta*M) over the 0.05 grid, WHT(2^18)");
+    println!();
+    // Compact surface rendering: rows alpha (descending), cols beta.
+    println!("  rho surface (rows: alpha = 1.00 down to 0.00; cols: beta = 0.00 to 1.00):");
+    for (i, &_a) in res.alphas.iter().enumerate().rev() {
+        let line: String = res.rho[i]
+            .iter()
+            .map(|r| {
+                if r.is_nan() {
+                    " .. ".to_string()
+                } else {
+                    format!(" {:3.0}", r * 100.0)
+                }
+            })
+            .collect();
+        println!("  {line}");
+    }
+
+    let instr_fl: Vec<f64> = instr_f.iter().map(|&v| v as f64).collect();
+    let miss_fl: Vec<f64> = miss_f.iter().map(|&v| v as f64).collect();
+    let rho_i = pearson(&instr_fl, &cycles_f);
+    let rho_m = pearson(&miss_fl, &cycles_f);
+
+    println!();
+    println!(
+        "max rho = {:.4} at alpha = {:.2}, beta = {:.2}   [paper: 0.92 at 1.00, 0.05]",
+        res.best_rho, res.best_alpha, res.best_beta
+    );
+    println!();
+    println!("Summary (the paper's Section 4/5 rho table):");
+    println!("  quantity                        ours      paper");
+    println!("  rho(I, cycles)      n=18     {rho_i:8.4}     0.77");
+    println!("  rho(M, cycles)      n=18     {rho_m:8.4}     0.66");
+    println!(
+        "  rho(aI+bM, cycles)  n=18     {:8.4}     0.92",
+        res.best_rho
+    );
+    println!();
+    println!("(Pearson rho is scale-invariant, so the optimum is really the");
+    println!(" direction beta/alpha = {:.3}; the paper reports the grid cell.)",
+        res.best_beta / res.best_alpha.max(1e-12));
+}

@@ -1,0 +1,91 @@
+//! Figure 11: cumulative percentage of WHT(2^18) algorithms with cycle
+//! counts outside the pth percentile, as a function of the combined model
+//! `alpha*Instructions + beta*Misses` (p = 1, 5, 10), with (alpha, beta)
+//! chosen by the Figure 9 grid search.
+
+use wht_bench::{load_or_run_study, results_dir, write_csv, CommonArgs};
+use wht_models::CombinedModel;
+use wht_stats::{grid_search_combined, outer_fence_filter, select, PruneCurve};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let study = load_or_run_study(18, &args).expect("study");
+
+    let cycles = study.cycles();
+    let keep = outer_fence_filter(&cycles, 3.0);
+    let cycles_f = select(&cycles, &keep);
+    let instr_f: Vec<u64> = select(&study.instructions(), &keep);
+    let miss_f: Vec<u64> = select(&study.l1_misses(), &keep);
+
+    // Re-run the Figure 9 grid search to pick (alpha, beta).
+    let grid = grid_search_combined(&instr_f, &miss_f, &cycles_f, 0.05);
+    let model = CombinedModel {
+        alpha: grid.best_alpha,
+        beta: grid.best_beta,
+    };
+    let series = model.series(&instr_f, &miss_f);
+
+    println!(
+        "Figure 11: fraction outside top-p% vs {:.2}*I + {:.2}*M, WHT(2^18)   [paper: 1.00*I + 0.05*M]",
+        model.alpha, model.beta
+    );
+    println!();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for p in [0.01, 0.05, 0.10] {
+        let curve = PruneCurve::new(&series, &cycles_f, p);
+        let safe = PruneCurve::safe_prune_threshold(&series, &cycles_f, p);
+        let step = (curve.thresholds.len() / 200).max(1);
+        for (t, f) in curve
+            .thresholds
+            .iter()
+            .zip(curve.fraction.iter())
+            .step_by(step)
+        {
+            rows.push(vec![p, *t, *f]);
+        }
+        let survivors = series.iter().filter(|&&m| m <= safe).count();
+        println!(
+            "  p = {:>4.0}%:  limit {:.3} (expect ~{:.3});  safe threshold {:.4e} keeps {:.1}% of the sample",
+            p * 100.0,
+            curve.limit(),
+            1.0 - p,
+            safe,
+            100.0 * survivors as f64 / series.len() as f64
+        );
+    }
+    write_csv(
+        &results_dir().join("fig11_curves.csv"),
+        "p,combined_threshold,fraction_outside",
+        &rows,
+    );
+
+    println!();
+    println!("Pruning retention (keep the bottom q% by combined model):");
+    let p = 0.05;
+    let perf_cut = wht_stats::quantile(&cycles_f, p);
+    let top_total = cycles_f.iter().filter(|&&y| y <= perf_cut).count();
+    for q in [0.05, 0.10, 0.25, 0.50] {
+        let model_cut = wht_stats::quantile(&series, q);
+        let kept: Vec<usize> = (0..series.len())
+            .filter(|&i| series[i] <= model_cut)
+            .collect();
+        let top_kept = kept.iter().filter(|&&i| cycles_f[i] <= perf_cut).count();
+        let best_kept = kept
+            .iter()
+            .map(|&i| cycles_f[i])
+            .fold(f64::INFINITY, f64::min);
+        let best_all = cycles_f.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  q = {:>2.0}%: keeps {:>5} plans, {:>4}/{} top-5% performers, best kept within {:.1}% of global best",
+            q * 100.0,
+            kept.len(),
+            top_kept,
+            top_total,
+            100.0 * (best_kept / best_all - 1.0)
+        );
+    }
+    println!();
+    println!("Paper: with the combined model, large-size search can discard");
+    println!("       high-model algorithms as safely as instruction count allows at n=9.");
+}

@@ -1,0 +1,58 @@
+//! In-text result: "there are approximately O(7^n) different algorithms"
+//! (Section 2, citing \[5\]). Exact counts of the algorithm space.
+
+use wht_bench::{ascii_table, results_dir, write_csv, CommonArgs};
+use wht_space::{growth_rate, log_plan_count, plan_counts_up_to};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let nmax = args.nmax.clamp(1, 40);
+
+    let package = plan_counts_up_to(nmax, 8).expect("fits in u128 for n <= 40");
+    let unit_leaves = plan_counts_up_to(nmax, 1).expect("fits");
+
+    let mut rows_csv: Vec<Vec<f64>> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for n in 1..=nmax as usize {
+        let a = package[n];
+        let ratio = if n >= 2 && package[n - 1] > 0 {
+            a as f64 / package[n - 1] as f64
+        } else {
+            f64::NAN
+        };
+        rows.push(vec![
+            n.to_string(),
+            a.to_string(),
+            unit_leaves[n].to_string(),
+            if ratio.is_nan() {
+                "-".into()
+            } else {
+                format!("{ratio:.3}")
+            },
+        ]);
+        rows_csv.push(vec![n as f64, a as f64, unit_leaves[n] as f64, ratio]);
+    }
+    write_csv(
+        &results_dir().join("table_space.csv"),
+        "n,count_leaf8,count_leaf1,ratio_leaf8",
+        &rows_csv,
+    );
+
+    println!("Space of WHT algorithms (exact counts)");
+    print!(
+        "{}",
+        ascii_table(
+            &["n", "plans (leaves<=8)", "plans (leaves=1)", "A(n)/A(n-1)"],
+            &rows
+        )
+    );
+    println!();
+    let g8 = growth_rate(8);
+    let g1 = growth_rate(1);
+    println!("Asymptotic growth, leaves <= 8: {g8:.4}  [paper: \"approximately O(7^n)\"]");
+    println!("Asymptotic growth, leaves = 1:  {g1:.4}  [theory: 3 + 2*sqrt(2) = 5.8284]");
+    println!(
+        "log10 |space| at n = 100 (leaves <= 8): {:.1}",
+        log_plan_count(100, 8) / std::f64::consts::LN_10
+    );
+}

@@ -1,0 +1,82 @@
+//! In-text result: the theoretical analysis of the instruction-count model
+//! (\[5\]'s min/max/mean/variance and limiting normality), cross-checked
+//! against Monte-Carlo sampling.
+
+use wht_bench::{ascii_table, results_dir, write_csv, CommonArgs};
+use wht_models::{
+    exact_instruction_moments, instruction_count, instruction_extremes, CostModel,
+};
+use wht_space::sample_plans_seeded;
+use wht_stats::describe;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let cost = CostModel::default();
+    let nmax = args.nmax.min(20);
+    let mc_samples = args.samples.min(20_000);
+
+    let moments = exact_instruction_moments(nmax, &cost, 8).expect("theory DP");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut rows_csv: Vec<Vec<f64>> = Vec::new();
+    for n in (4..=nmax).step_by(2) {
+        eprintln!("[table_theory] n={n}: extremes + {mc_samples} Monte-Carlo samples");
+        let ex = instruction_extremes(n, &cost, 8).expect("theory DP");
+        let plans = sample_plans_seeded(n, mc_samples, args.seed).expect("sampler");
+        let counts: Vec<f64> = plans
+            .iter()
+            .map(|p| instruction_count(p, &cost) as f64)
+            .collect();
+        let d = describe(&counts);
+        let m = moments[n as usize];
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", ex.min),
+            format!("{:.0}", ex.max),
+            format!("{:.4e}", m.mean),
+            format!("{:.4e}", d.mean),
+            format!("{:.3e}", m.variance.sqrt()),
+            format!("{:.3e}", d.std_dev),
+            format!("{:+.3}", d.skewness),
+            format!("{:+.3}", d.excess_kurtosis),
+        ]);
+        rows_csv.push(vec![
+            f64::from(n),
+            ex.min as f64,
+            ex.max as f64,
+            m.mean,
+            d.mean,
+            m.variance.sqrt(),
+            d.std_dev,
+            d.skewness,
+            d.excess_kurtosis,
+        ]);
+    }
+    write_csv(
+        &results_dir().join("table_theory.csv"),
+        "n,min,max,mean_exact,mean_mc,sd_exact,sd_mc,skew_mc,exkurt_mc",
+        &rows_csv,
+    );
+
+    println!("Instruction-count model over the algorithm space ([5]'s program):");
+    print!(
+        "{}",
+        ascii_table(
+            &[
+                "n", "min", "max", "E[T] exact", "E[T] MC", "sd exact", "sd MC", "skew",
+                "exkurt"
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!("Checks: exact mean/sd from the DP should match Monte-Carlo closely;");
+    println!("skewness and excess kurtosis should shrink toward 0 as n grows");
+    println!("([5]: the limiting distribution of the instruction count is normal).");
+
+    let ex = instruction_extremes(nmax, &cost, 8).expect("theory DP");
+    println!();
+    println!("Witness plans at n = {nmax}:");
+    println!("  min ({} instructions): {}", ex.min, ex.min_plan);
+    println!("  max ({} instructions): {}", ex.max, ex.max_plan);
+}

@@ -1,0 +1,169 @@
+//! CSV output and ASCII rendering for the figure binaries.
+//!
+//! Every figure binary writes its series as CSV under `results/` (so the
+//! data can be re-plotted) and prints an ASCII rendering to stdout (so the
+//! paper-vs-reproduction comparison is visible in the bench log).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use wht_stats::Histogram;
+
+/// Directory the figure binaries write their CSVs into.
+pub fn results_dir() -> PathBuf {
+    let dir = match std::env::var_os("WHT_RESULTS_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from("results"),
+    };
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write rows as CSV with the given header. Values are written with enough
+/// precision to re-plot exactly.
+///
+/// # Panics
+/// Panics on I/O failure (bench binaries should fail loudly).
+pub fn write_csv(path: &Path, header: &str, rows: &[Vec<f64>]) {
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    f.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+}
+
+/// Render a histogram as an ASCII bar chart (one row per group of bins).
+pub fn ascii_histogram(title: &str, h: &Histogram, width: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  {title}  [{} obs, {} bins]", h.total(), h.bins());
+    let max = h.counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in h.counts.iter().enumerate() {
+        let bar = (c as usize * width) / max as usize;
+        let _ = writeln!(
+            s,
+            "  {:>12.4e} |{}{} {}",
+            h.center(i),
+            "#".repeat(bar),
+            " ".repeat(width - bar),
+            c
+        );
+    }
+    s
+}
+
+/// Render aligned columns: `header` names, then one row per entry.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    let _ = writeln!(s, "  {}", line.trim_end());
+    let _ = writeln!(s, "  {}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        let _ = writeln!(s, "  {}", line.trim_end());
+    }
+    s
+}
+
+/// A compact ASCII scatter plot (for the correlation figures).
+pub fn ascii_scatter(title: &str, xs: &[f64], ys: &[f64], cols: usize, rows: usize) -> String {
+    assert_eq!(xs.len(), ys.len());
+    let mut grid = vec![vec![b' '; cols]; rows];
+    let (xmin, xmax) = min_max(xs);
+    let (ymin, ymax) = min_max(ys);
+    let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
+    let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let c = (((x - xmin) / xspan) * (cols - 1) as f64) as usize;
+        let r = rows - 1 - (((y - ymin) / yspan) * (rows - 1) as f64) as usize;
+        let cell = &mut grid[r][c.min(cols - 1)];
+        *cell = match *cell {
+            b' ' => b'.',
+            b'.' => b':',
+            b':' => b'*',
+            _ => b'#',
+        };
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "  {title}");
+    let _ = writeln!(s, "  y: {ymin:.3e} .. {ymax:.3e}");
+    for row in grid {
+        let _ = writeln!(s, "  |{}", String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(s, "  +{}", "-".repeat(cols));
+    let _ = writeln!(s, "  x: {xmin:.3e} .. {xmax:.3e}");
+    s
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let dir = std::env::temp_dir().join("wht_bench_test_csv");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("t.csv");
+        write_csv(&path, "a,b", &[vec![1.0, 2.0], vec![3.5, -4.25]]);
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,b");
+        assert!(lines[2].starts_with("3.5"));
+    }
+
+    #[test]
+    fn ascii_histogram_renders_all_bins() {
+        let h = Histogram::new(&[1.0, 2.0, 2.5, 9.0], 4);
+        let s = ascii_histogram("demo", &h, 20);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn ascii_table_alignment() {
+        let s = ascii_table(
+            &["n", "value"],
+            &[
+                vec!["1".into(), "10.0".into()],
+                vec!["12".into(), "3.5".into()],
+            ],
+        );
+        assert!(s.contains("n"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn scatter_renders_points() {
+        let xs: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        let ys = xs.clone();
+        let s = ascii_scatter("diag", &xs, &ys, 40, 10);
+        assert!(s.contains('.') || s.contains(':'));
+    }
+}

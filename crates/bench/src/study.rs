@@ -1,0 +1,291 @@
+//! The shared experiment pipeline: sample → measure → (cache on disk).
+//!
+//! Figures 4, 6 and 10 share one study (n = 9); Figures 5, 7, 8, 9 and 11
+//! share another (n = 18). A study is sampled with the paper's recursive
+//! split uniform distribution, measured with every backend, and cached as
+//! JSON under `results/` keyed by its parameters, so the figure binaries
+//! can be run independently without recomputing the sweep.
+
+use crate::args::CommonArgs;
+use crate::output::results_dir;
+use serde::{Deserialize, Serialize};
+use wht_cachesim::Hierarchy;
+use wht_core::{Plan, WhtError};
+use wht_measure::{MeasureOptions, Measurement, SimMachine, TimingConfig};
+use wht_models::CostModel;
+use wht_parallel::measure_sweep;
+use wht_search::{dp_search, DpOptions, PlanCost, SimCyclesCost};
+use wht_space::sample_plans_seeded;
+
+/// A measured random sample of the algorithm space at one size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Study {
+    /// Transform exponent.
+    pub n: u32,
+    /// Sample count requested.
+    pub samples: usize,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Whether wall-clock timing was performed.
+    pub timed: bool,
+    /// Per-algorithm measurements, in sample order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Study {
+    /// Wall-clock nanoseconds series, median-of-blocks (panics if the study
+    /// was not timed).
+    pub fn wall_ns(&self) -> Vec<f64> {
+        self.measurements
+            .iter()
+            .map(|m| m.wall_ns.expect("study was timed"))
+            .collect()
+    }
+
+    /// Wall-clock nanoseconds series, fastest-block (noise-robust; the
+    /// primary performance series of the correlation figures).
+    pub fn wall_min_ns(&self) -> Vec<f64> {
+        self.measurements
+            .iter()
+            .map(|m| m.wall_min_ns.expect("study was timed"))
+            .collect()
+    }
+
+    /// Simulated-cycle series.
+    pub fn sim_cycles(&self) -> Vec<f64> {
+        self.measurements
+            .iter()
+            .map(|m| m.sim_cycles.expect("study was traced"))
+            .collect()
+    }
+
+    /// Instruction-count series.
+    pub fn instructions(&self) -> Vec<u64> {
+        self.measurements.iter().map(|m| m.instructions).collect()
+    }
+
+    /// L1 miss series.
+    pub fn l1_misses(&self) -> Vec<u64> {
+        self.measurements
+            .iter()
+            .map(|m| m.l1_misses.expect("study was traced"))
+            .collect()
+    }
+
+    /// The performance series the paper's figures use: fastest-block
+    /// wall-clock if timed (the noise-robust PAPI-cycle substitute),
+    /// otherwise simulated cycles.
+    pub fn cycles(&self) -> Vec<f64> {
+        if self.timed {
+            self.wall_min_ns()
+        } else {
+            self.sim_cycles()
+        }
+    }
+}
+
+/// Load the study from cache or run it.
+///
+/// # Errors
+/// Sampling and measurement errors propagate; cache I/O problems fall back
+/// to recomputation.
+pub fn load_or_run_study(n: u32, args: &CommonArgs) -> Result<Study, WhtError> {
+    let path = results_dir().join(format!(
+        "study_v2_n{n}_s{}_seed{}_t{}.json",
+        args.samples, args.seed, !args.no_timing as u8
+    ));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(study) = serde_json::from_str::<Study>(&text) {
+            let complete = !study.timed
+                || study
+                    .measurements
+                    .iter()
+                    .all(|m| m.wall_ns.is_some() && m.wall_min_ns.is_some());
+            if study.n == n && study.samples == args.samples && study.seed == args.seed && complete
+            {
+                eprintln!("[study] loaded cache {}", path.display());
+                return Ok(study);
+            }
+        }
+    }
+    let study = run_study(n, args)?;
+    if let Ok(text) = serde_json::to_string(&study) {
+        let _ = std::fs::write(&path, text);
+    }
+    Ok(study)
+}
+
+/// Run the sample-and-measure pipeline (no cache).
+///
+/// # Errors
+/// Sampling and measurement errors propagate.
+pub fn run_study(n: u32, args: &CommonArgs) -> Result<Study, WhtError> {
+    eprintln!(
+        "[study] sampling {} algorithms at n={n} (seed {})",
+        args.samples, args.seed
+    );
+    let plans = sample_plans_seeded(n, args.samples, args.seed)?;
+    let hierarchy = Hierarchy::opteron();
+
+    // Phase 1: deterministic backends (instructions, traces, sim cycles) at
+    // full parallelism — contention cannot distort them.
+    let trace_opts = MeasureOptions {
+        timing: None,
+        trace: true,
+        cost: CostModel::default(),
+        machine: SimMachine::default(),
+    };
+    eprintln!("[study] tracing with {} threads", args.threads);
+    let mut measurements = measure_sweep(&plans, &trace_opts, &hierarchy, args.threads)?;
+
+    // Phase 2: wall-clock timing at low parallelism (PAPI-substitute noise
+    // control: a few concurrent timers keep the sweep fast without the
+    // full-fan-out scheduler and bandwidth contention).
+    if !args.no_timing {
+        let timing_threads = args.threads.min(4);
+        eprintln!("[study] timing with {timing_threads} threads");
+        let time_opts = MeasureOptions {
+            timing: Some(TimingConfig::default()),
+            trace: false,
+            cost: CostModel::default(),
+            machine: SimMachine::default(),
+        };
+        let timed = measure_sweep(&plans, &time_opts, &hierarchy, timing_threads)?;
+        for (full, t) in measurements.iter_mut().zip(timed) {
+            full.wall_ns = t.wall_ns;
+            full.wall_min_ns = t.wall_min_ns;
+        }
+    }
+    Ok(Study {
+        n,
+        samples: args.samples,
+        seed: args.seed,
+        timed: !args.no_timing,
+        measurements,
+    })
+}
+
+/// The paper's canonical algorithms for one size.
+pub fn canonical_plans(n: u32) -> Vec<(&'static str, Plan)> {
+    vec![
+        ("iterative", Plan::iterative(n).expect("valid n")),
+        ("left", Plan::left_recursive(n).expect("valid n")),
+        ("right", Plan::right_recursive(n).expect("valid n")),
+    ]
+}
+
+/// Best plans per size `1..=nmax` from the package's DP search against the
+/// deterministic simulated-cycles backend, cached on disk (the wall-clock
+/// DP is run where a figure needs the host-native best).
+///
+/// # Errors
+/// DP search errors propagate.
+pub fn best_plans_simcycles(nmax: u32) -> Result<Vec<Plan>, WhtError> {
+    let path = results_dir().join(format!("best_plans_sim_n{nmax}.json"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(plans) = serde_json::from_str::<Vec<Plan>>(&text) {
+            if plans.len() == nmax as usize + 1 {
+                return Ok(plans);
+            }
+        }
+    }
+    eprintln!("[study] DP search (sim-cycles) up to n={nmax}");
+    let mut cost = SimCyclesCost::opteron();
+    let dp = dp_search(nmax, &DpOptions::default(), &mut cost)?;
+    let plans = dp.best;
+    if let Ok(text) = serde_json::to_string(&plans) {
+        let _ = std::fs::write(&path, text);
+    }
+    Ok(plans)
+}
+
+/// Evaluate a cost backend over the canonical plans and a best plan,
+/// returning `(label, cost)` rows — the building block of Figures 1–3.
+///
+/// # Errors
+/// Cost-backend errors propagate.
+pub fn canonical_vs_best<C: PlanCost>(
+    n: u32,
+    best: &Plan,
+    cost_fn: &mut C,
+) -> Result<Vec<(String, f64)>, WhtError> {
+    let mut rows = Vec::new();
+    for (label, plan) in canonical_plans(n) {
+        rows.push((label.to_string(), cost_fn.cost(&plan)?));
+    }
+    rows.push(("best".to_string(), cost_fn.cost(best)?));
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> CommonArgs {
+        CommonArgs {
+            samples: 40,
+            threads: 4,
+            seed: 1,
+            nmax: 8,
+            no_timing: true,
+        }
+    }
+
+    #[test]
+    fn study_pipeline_produces_complete_series() {
+        let study = run_study(8, &tiny_args()).unwrap();
+        assert_eq!(study.measurements.len(), 40);
+        assert_eq!(study.sim_cycles().len(), 40);
+        assert_eq!(study.instructions().len(), 40);
+        assert_eq!(study.l1_misses().len(), 40);
+        assert!(study.cycles().iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn timed_study_fills_both_wall_series() {
+        let args = CommonArgs {
+            samples: 6,
+            threads: 2,
+            seed: 3,
+            nmax: 8,
+            no_timing: false,
+        };
+        let study = run_study(6, &args).unwrap();
+        let med = study.wall_ns();
+        let min = study.wall_min_ns();
+        assert_eq!(med.len(), 6);
+        for (m, lo) in med.iter().zip(min.iter()) {
+            assert!(*lo > 0.0 && lo <= m, "min {lo} must be <= median {m}");
+        }
+        // cycles() uses the min series when timed.
+        assert_eq!(study.cycles(), min);
+    }
+
+    #[test]
+    fn canonical_trio() {
+        let c = canonical_plans(6);
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|(_, p)| p.n() == 6));
+    }
+
+    #[test]
+    fn canonical_vs_best_rows() {
+        let mut cost = wht_search::InstructionCost::default();
+        let best = Plan::binary_iterative(8, 4).unwrap();
+        let rows = canonical_vs_best(8, &best, &mut cost).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3].0, "best");
+    }
+
+    #[test]
+    fn study_cache_round_trips() {
+        let args = tiny_args();
+        std::env::set_var("WHT_RESULTS_DIR", std::env::temp_dir().join("wht_results_test"));
+        let a = load_or_run_study(7, &args).unwrap();
+        let b = load_or_run_study(7, &args).unwrap();
+        // Deterministic backends: cached result equals recomputed result.
+        assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.l1_misses(), b.l1_misses());
+        std::env::remove_var("WHT_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,181 @@
+//! Cache geometry configuration and the Opteron presets.
+//!
+//! The paper measured on an Opteron Model 224: "a 64 Kb 2-way set
+//! associative L1 cache and a 1 Mb 16-way set associative L2 cache". The
+//! presets here reproduce that hierarchy (64-byte lines, the K8 line size);
+//! the direct-mapped/line-1 configurations mirror the modelling assumptions
+//! of the cache-miss analysis in reference \[8\].
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level. All quantities are in **bytes** and must be
+/// powers of two; `capacity = num_sets * associativity * line_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Number of ways per set (1 = direct mapped).
+    pub associativity: usize,
+    /// Line (block) size in bytes.
+    pub line_size: usize,
+}
+
+/// Validation error text lives in `wht_core::WhtError::InvalidConfig`; the
+/// cachesim crate avoids a dependency on wht-core by using its own minimal
+/// error here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid cache config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl CacheConfig {
+    /// Create and validate a cache geometry.
+    ///
+    /// # Errors
+    /// [`ConfigError`] unless all three values are non-zero powers of two
+    /// with `line_size * associativity <= capacity`.
+    pub fn new(capacity: usize, associativity: usize, line_size: usize) -> Result<Self, ConfigError> {
+        let cfg = CacheConfig {
+            capacity,
+            associativity,
+            line_size,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Re-validate (used after deserialization).
+    ///
+    /// # Errors
+    /// See [`CacheConfig::new`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, v) in [
+            ("capacity", self.capacity),
+            ("associativity", self.associativity),
+            ("line_size", self.line_size),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError(format!("{name} = {v} must be a nonzero power of two")));
+            }
+        }
+        if self.line_size * self.associativity > self.capacity {
+            return Err(ConfigError(format!(
+                "line_size * associativity = {} exceeds capacity {}",
+                self.line_size * self.associativity,
+                self.capacity
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of sets: `capacity / (line_size * associativity)`.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.capacity / (self.line_size * self.associativity)
+    }
+
+    /// `log2(line_size)`: shift to convert an address to a line number.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_size.trailing_zeros()
+    }
+
+    /// Capacity in elements of `elem_size` bytes.
+    #[inline]
+    pub fn capacity_elems(&self, elem_size: usize) -> usize {
+        self.capacity / elem_size
+    }
+
+    /// The Opteron 224 L1 data cache: 64 KiB, 2-way, 64-byte lines
+    /// (8192 doubles — the `2^13`-element boundary the paper's Figure 3
+    /// places at transform size `2^14` for two passes).
+    pub fn opteron_l1() -> Self {
+        CacheConfig {
+            capacity: 64 * 1024,
+            associativity: 2,
+            line_size: 64,
+        }
+    }
+
+    /// The Opteron 224 L2 cache: 1 MiB, 16-way, 64-byte lines
+    /// (131072 doubles = `2^17` elements; the paper's Figure 1 sees the
+    /// runtime crossover at the `n = 18` boundary).
+    pub fn opteron_l2() -> Self {
+        CacheConfig {
+            capacity: 1024 * 1024,
+            associativity: 16,
+            line_size: 64,
+        }
+    }
+
+    /// Direct-mapped cache with single-**element** lines for `elem_size`-byte
+    /// elements — the geometry assumed by the analytic cache-miss model of
+    /// reference \[8\].
+    ///
+    /// # Errors
+    /// See [`CacheConfig::new`].
+    pub fn direct_mapped_unit_line(
+        capacity_elems: usize,
+        elem_size: usize,
+    ) -> Result<Self, ConfigError> {
+        CacheConfig::new(capacity_elems * elem_size, 1, elem_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometries() {
+        let c = CacheConfig::new(64 * 1024, 2, 64).unwrap();
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.line_shift(), 6);
+        assert_eq!(c.capacity_elems(8), 8192);
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        assert!(CacheConfig::new(0, 1, 64).is_err());
+        assert!(CacheConfig::new(1000, 1, 64).is_err()); // not a power of two
+        assert!(CacheConfig::new(1024, 3, 64).is_err());
+        assert!(CacheConfig::new(1024, 1, 0).is_err());
+        assert!(CacheConfig::new(64, 2, 64).is_err()); // line*assoc > capacity
+    }
+
+    #[test]
+    fn presets_match_the_paper() {
+        let l1 = CacheConfig::opteron_l1();
+        assert_eq!(l1.capacity, 65536);
+        assert_eq!(l1.associativity, 2);
+        assert_eq!(l1.num_sets(), 512);
+        assert_eq!(l1.capacity_elems(8), 1 << 13);
+
+        let l2 = CacheConfig::opteron_l2();
+        assert_eq!(l2.capacity, 1 << 20);
+        assert_eq!(l2.associativity, 16);
+        assert_eq!(l2.capacity_elems(8), 1 << 17);
+    }
+
+    #[test]
+    fn unit_line_direct_mapped() {
+        let c = CacheConfig::direct_mapped_unit_line(4096, 8).unwrap();
+        assert_eq!(c.associativity, 1);
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(c.capacity_elems(8), 4096);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = CacheConfig::opteron_l1();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: CacheConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-level cache hierarchies.
+//!
+//! An access probes L1; only L1 misses probe L2, and so on — the standard
+//! lookup-on-miss model. [`Hierarchy::opteron`] reproduces the paper's
+//! machine (64 KiB 2-way L1, 1 MiB 16-way L2, 64-byte lines).
+
+use crate::cache::{Access, Cache, CacheStats};
+use crate::config::{CacheConfig, ConfigError};
+
+/// A stack of cache levels, L1 first.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+    elem_size: usize,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy from geometries ordered L1 → LN. `elem_size` is the
+    /// byte width used by [`Hierarchy::access_element`] (8 for `f64`).
+    ///
+    /// # Errors
+    /// [`ConfigError`] if any geometry is invalid, the list is empty, or
+    /// `elem_size` is not a power of two.
+    pub fn new(configs: &[CacheConfig], elem_size: usize) -> Result<Self, ConfigError> {
+        if configs.is_empty() {
+            return Err(ConfigError("hierarchy needs at least one level".into()));
+        }
+        if elem_size == 0 || !elem_size.is_power_of_two() {
+            return Err(ConfigError(format!(
+                "elem_size {elem_size} must be a nonzero power of two"
+            )));
+        }
+        for c in configs {
+            c.validate()?;
+        }
+        Ok(Hierarchy {
+            levels: configs.iter().map(|&c| Cache::new(c)).collect(),
+            elem_size,
+        })
+    }
+
+    /// The paper's Opteron memory hierarchy over `f64` elements.
+    pub fn opteron() -> Self {
+        Hierarchy::new(&[CacheConfig::opteron_l1(), CacheConfig::opteron_l2()], 8)
+            .expect("preset geometry is valid")
+    }
+
+    /// Single-level hierarchy (useful for the direct-mapped model checks).
+    pub fn single(config: CacheConfig, elem_size: usize) -> Result<Self, ConfigError> {
+        Hierarchy::new(&[config], elem_size)
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Element size in bytes used by [`Hierarchy::access_element`].
+    pub fn elem_size(&self) -> usize {
+        self.elem_size
+    }
+
+    /// Access a byte address: probe levels in order until one hits.
+    /// Returns the number of levels that missed (0 = L1 hit,
+    /// `depth()` = missed everywhere, i.e. went to memory).
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> usize {
+        let mut missed = 0;
+        for level in &mut self.levels {
+            match level.access(addr) {
+                Access::Hit => break,
+                Access::Miss => missed += 1,
+            }
+        }
+        missed
+    }
+
+    /// Access the element with index `idx` (byte address `idx * elem_size`).
+    #[inline]
+    pub fn access_element(&mut self, idx: usize) -> usize {
+        self.access((idx * self.elem_size) as u64)
+    }
+
+    /// Stats for level `i` (0 = L1).
+    ///
+    /// # Panics
+    /// Panics if `i >= depth()`.
+    pub fn stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// Convenience: L1 miss count.
+    pub fn l1_misses(&self) -> u64 {
+        self.stats(0).misses
+    }
+
+    /// Convenience: miss count of the last level (memory traffic).
+    pub fn last_level_misses(&self) -> u64 {
+        self.levels.last().expect("non-empty").stats().misses
+    }
+
+    /// Cold-start everything and zero all counters.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Hierarchy {
+        // L1: 4 lines of 8B; L2: 16 lines of 8B.
+        Hierarchy::new(
+            &[
+                CacheConfig::new(32, 1, 8).unwrap(),
+                CacheConfig::new(128, 2, 8).unwrap(),
+            ],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = two_level();
+        h.access(0); // miss both
+        h.access(0); // L1 hit; L2 untouched
+        h.access(0);
+        assert_eq!(h.stats(0).accesses, 3);
+        assert_eq!(h.stats(0).misses, 1);
+        assert_eq!(h.stats(1).accesses, 1);
+        assert_eq!(h.stats(1).misses, 1);
+    }
+
+    #[test]
+    fn miss_depth_reporting() {
+        let mut h = two_level();
+        assert_eq!(h.access(0), 2); // cold: miss L1 + L2
+        assert_eq!(h.access(0), 0); // L1 hit
+        // Evict line 0 from tiny L1 (set 0 holds lines 0,4,8,... line = addr/8;
+        // L1 has 4 sets so lines 0 and 4 (addr 32) collide):
+        assert_eq!(h.access(32), 2);
+        // line 0 now misses L1 but still lives in L2:
+        assert_eq!(h.access(0), 1);
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut h = two_level();
+        h.access_element(0);
+        h.access_element(1); // same 8B line? line=8B, elem=8B -> different lines
+        assert_eq!(h.stats(0).misses, 2);
+        assert_eq!(h.elem_size(), 8);
+    }
+
+    #[test]
+    fn opteron_preset_shape() {
+        let h = Hierarchy::opteron();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.elem_size(), 8);
+    }
+
+    #[test]
+    fn invalid_hierarchies_rejected() {
+        assert!(Hierarchy::new(&[], 8).is_err());
+        assert!(Hierarchy::new(&[CacheConfig::opteron_l1()], 3).is_err());
+    }
+
+    #[test]
+    fn reset_cold_starts() {
+        let mut h = two_level();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.stats(0).accesses, 0);
+        assert_eq!(h.access(0), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wht-cachesim — trace-driven cache simulation
+//!
+//! The measurement substrate standing in for the paper's PAPI data-cache
+//! miss counters (see DESIGN.md §3): a set-associative LRU simulator with
+//! multi-level hierarchies and presets for the paper's Opteron Model 224
+//! (64 KiB 2-way L1 + 1 MiB 16-way L2, 64-byte lines).
+//!
+//! The WHT trace executor in `wht-measure` feeds the engine's exact
+//! load/store addresses through a [`Hierarchy`] and reads back per-level
+//! miss counts; `wht-models` validates its analytic direct-mapped miss
+//! model against [`Cache`] configured with unit lines.
+//!
+//! ```
+//! use wht_cachesim::{Cache, CacheConfig, Access};
+//!
+//! let mut l1 = Cache::new(CacheConfig::opteron_l1());
+//! assert_eq!(l1.access(0), Access::Miss);   // compulsory
+//! assert_eq!(l1.access(8), Access::Hit);    // same 64-byte line
+//! assert_eq!(l1.stats().misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod policy;
+
+pub use cache::{Access, Cache, CacheStats};
+pub use config::{CacheConfig, ConfigError};
+pub use hierarchy::Hierarchy;
+pub use policy::{PolicyCache, PolicyStats, Replacement};

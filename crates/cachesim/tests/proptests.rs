@@ -1,0 +1,149 @@
+//! Property tests for the cache simulator, checked against an oracle
+//! implementation (a naive map-based LRU) on random traces.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use wht_cachesim::{Access, Cache, CacheConfig, Hierarchy, PolicyCache, Replacement};
+
+/// Oracle: exact LRU set-associative cache built on simple data structures.
+struct OracleLru {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    line_shift: u32,
+    misses: u64,
+}
+
+impl OracleLru {
+    fn new(cfg: CacheConfig) -> Self {
+        OracleLru {
+            sets: vec![VecDeque::new(); cfg.num_sets()],
+            assoc: cfg.associativity,
+            line_shift: cfg.line_shift(),
+            misses: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets.len() as u64) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            ways.remove(pos);
+            ways.push_front(line);
+            false
+        } else {
+            self.misses += 1;
+            ways.push_front(line);
+            if ways.len() > self.assoc {
+                ways.pop_back();
+            }
+            true
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..=4, 0u32..=3, 2u32..=6).prop_map(|(sets_log, assoc_log, line_log)| {
+        let line = 1usize << line_log;
+        let assoc = 1usize << assoc_log;
+        let sets = 1usize << sets_log;
+        CacheConfig::new(sets * assoc * line, assoc, line).expect("constructed valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The production cache agrees with the oracle on every access of a
+    /// random trace.
+    #[test]
+    fn cache_matches_oracle(cfg in arb_config(), trace in proptest::collection::vec(0u64..4096, 1..400)) {
+        let mut cache = Cache::new(cfg);
+        let mut oracle = OracleLru::new(cfg);
+        for &addr in &trace {
+            let got = matches!(cache.access(addr), Access::Miss);
+            let want = oracle.access(addr);
+            prop_assert_eq!(got, want, "divergence at addr {}", addr);
+        }
+        prop_assert_eq!(cache.stats().misses, oracle.misses);
+        prop_assert_eq!(cache.stats().accesses, trace.len() as u64);
+    }
+
+    /// The policy cache in LRU mode is the same machine.
+    #[test]
+    fn policy_lru_matches_oracle(cfg in arb_config(), trace in proptest::collection::vec(0u64..4096, 1..300)) {
+        let mut cache = PolicyCache::new(cfg, Replacement::Lru, false);
+        let mut oracle = OracleLru::new(cfg);
+        for &addr in &trace {
+            prop_assert_eq!(cache.access(addr), oracle.access(addr));
+        }
+    }
+
+    /// Replaying a trace with a warm cache never misses if the distinct
+    /// working set fits in one set's capacity... in general LRU guarantees
+    /// this only for fully-associative caches; test exactly that case.
+    #[test]
+    fn fully_associative_fit_never_remisses(trace in proptest::collection::vec(0u64..512, 1..100)) {
+        // 64 lines of 8 bytes, fully associative: distinct lines <= 64 always.
+        let cfg = CacheConfig::new(512, 64, 8).unwrap();
+        let mut cache = Cache::new(cfg);
+        for &a in &trace {
+            cache.access(a);
+        }
+        let warm_misses = cache.stats().misses;
+        for &a in &trace {
+            prop_assert_eq!(cache.access(a), Access::Hit);
+        }
+        prop_assert_eq!(cache.stats().misses, warm_misses);
+    }
+
+    /// Misses are bounded below by distinct lines (compulsory) and above by
+    /// accesses.
+    #[test]
+    fn miss_bounds(cfg in arb_config(), trace in proptest::collection::vec(0u64..2048, 1..300)) {
+        let mut cache = Cache::new(cfg);
+        for &a in &trace {
+            cache.access(a);
+        }
+        let distinct: std::collections::HashSet<u64> =
+            trace.iter().map(|&a| a >> cfg.line_shift()).collect();
+        prop_assert!(cache.stats().misses >= distinct.len() as u64);
+        prop_assert!(cache.stats().misses <= trace.len() as u64);
+    }
+
+    /// A hierarchy's level-i+1 accesses equal level-i misses.
+    #[test]
+    fn hierarchy_traffic_invariant(trace in proptest::collection::vec(0usize..4096, 1..400)) {
+        let mut h = Hierarchy::new(
+            &[
+                CacheConfig::new(256, 2, 8).unwrap(),
+                CacheConfig::new(2048, 4, 8).unwrap(),
+            ],
+            8,
+        )
+        .unwrap();
+        for &idx in &trace {
+            h.access_element(idx);
+        }
+        prop_assert_eq!(h.stats(1).accesses, h.stats(0).misses);
+        prop_assert!(h.stats(1).misses <= h.stats(0).misses);
+    }
+
+    /// The stream prefetcher never increases demand misses.
+    #[test]
+    fn prefetch_never_hurts(trace in proptest::collection::vec(0u64..2048, 1..300)) {
+        let cfg = CacheConfig::new(1024, 2, 8).unwrap();
+        let mut plain = PolicyCache::new(cfg, Replacement::Lru, false);
+        let mut pf = PolicyCache::new(cfg, Replacement::Lru, true);
+        for &a in &trace {
+            plain.access(a);
+            pf.access(a);
+        }
+        // Prefetch can pollute a set and *occasionally* add a miss; but on
+        // traces of this size the net effect must stay within the fills it
+        // made.
+        prop_assert!(
+            pf.stats().misses <= plain.stats().misses + pf.stats().prefetch_fills
+        );
+    }
+}

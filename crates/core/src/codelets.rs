@@ -1,0 +1,217 @@
+//! Unrolled base-case codelets (`small[1]`..`small[8]`).
+//!
+//! The WHT package computes small transforms "using the same approach;
+//! however, the code is unrolled in order to avoid the overhead of loops or
+//! recursion" (paper, Section 2). We reproduce that with one fixed-size
+//! function per leaf exponent: the size is a compile-time constant, the
+//! working set lives in a stack array, and the butterfly loops have constant
+//! trip counts that the compiler unrolls/vectorizes — the Rust analogue of
+//! the package's generated straight-line C codelets.
+//!
+//! A codelet call on `(x, base, stride)` computes, in place,
+//! `x[base + j*stride] (j = 0..2^k)  <-  WHT(2^k) * that vector`.
+//!
+//! Memory behaviour (relied on by the trace executor in `wht-measure`): each
+//! call reads each of its `2^k` elements exactly once (load pass), computes
+//! in registers/stack, then writes each element exactly once (store pass).
+
+use crate::plan::MAX_LEAF_K;
+use crate::scalar::Scalar;
+
+/// In-place size-`SIZE` WHT on the strided vector starting at `base`.
+///
+/// # Safety
+/// Caller must guarantee `base + (SIZE - 1) * stride < x.len()`; the loads
+/// and stores are unchecked (this is the innermost measured loop, and the
+/// engine proves the bound by induction from a single top-level length
+/// check — see `engine::apply_rec`).
+#[inline(always)]
+unsafe fn codelet_fixed<T: Scalar, const SIZE: usize>(x: &mut [T], base: usize, stride: usize) {
+    debug_assert!(SIZE.is_power_of_two());
+    debug_assert!(base + (SIZE - 1) * stride < x.len());
+
+    let mut buf = [T::ZERO; SIZE];
+    // Load pass: one read per element.
+    for (j, slot) in buf.iter_mut().enumerate() {
+        // SAFETY: in-bounds per the function contract.
+        *slot = unsafe { *x.get_unchecked(base + j * stride) };
+    }
+    // log2(SIZE) butterfly passes entirely within the stack buffer. The
+    // tensor factors I (x) DFT2 (x) I commute, so any pass order computes
+    // the same (natural/Hadamard-ordered) transform.
+    let mut h = 1;
+    while h < SIZE {
+        let mut i = 0;
+        while i < SIZE {
+            for j in i..i + h {
+                let a = buf[j];
+                let b = buf[j + h];
+                buf[j] = a + b;
+                buf[j + h] = a - b;
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+    // Store pass: one write per element.
+    for (j, slot) in buf.iter().enumerate() {
+        // SAFETY: in-bounds per the function contract.
+        unsafe { *x.get_unchecked_mut(base + j * stride) = *slot };
+    }
+}
+
+/// Apply the unrolled leaf codelet `small[k]` at `(base, stride)`.
+///
+/// # Safety
+/// `k` must be in `1..=MAX_LEAF_K` (guaranteed for any [`crate::Plan`] built
+/// through its validating constructors) and
+/// `base + (2^k - 1) * stride < x.len()`.
+#[inline]
+pub unsafe fn apply_codelet<T: Scalar>(k: u32, x: &mut [T], base: usize, stride: usize) {
+    debug_assert!((1..=MAX_LEAF_K).contains(&k));
+    // SAFETY: forwarded contract.
+    unsafe {
+        match k {
+            1 => codelet_fixed::<T, 2>(x, base, stride),
+            2 => codelet_fixed::<T, 4>(x, base, stride),
+            3 => codelet_fixed::<T, 8>(x, base, stride),
+            4 => codelet_fixed::<T, 16>(x, base, stride),
+            5 => codelet_fixed::<T, 32>(x, base, stride),
+            6 => codelet_fixed::<T, 64>(x, base, stride),
+            7 => codelet_fixed::<T, 128>(x, base, stride),
+            8 => codelet_fixed::<T, 256>(x, base, stride),
+            _ => unreachable!("leaf exponent validated at plan construction"),
+        }
+    }
+}
+
+/// Safe, validating wrapper around [`apply_codelet`] for standalone use.
+///
+/// # Errors
+/// [`crate::WhtError::LeafSizeOutOfRange`] for a bad `k`;
+/// [`crate::WhtError::LengthMismatch`] if the strided span does not fit in
+/// `x`.
+pub fn apply_codelet_checked<T: Scalar>(
+    k: u32,
+    x: &mut [T],
+    base: usize,
+    stride: usize,
+) -> Result<(), crate::WhtError> {
+    if !(1..=MAX_LEAF_K).contains(&k) {
+        return Err(crate::WhtError::LeafSizeOutOfRange { k });
+    }
+    let size = 1usize << k;
+    let span_end = base.saturating_add((size - 1).saturating_mul(stride));
+    if stride == 0 || span_end >= x.len() {
+        return Err(crate::WhtError::LengthMismatch {
+            expected: span_end.saturating_add(1),
+            got: x.len(),
+        });
+    }
+    // SAFETY: bounds checked just above.
+    unsafe { apply_codelet(k, x, base, stride) };
+    Ok(())
+}
+
+/// Reference loop-based small WHT for arbitrary `k`, used by tests to
+/// cross-check the fixed-size codelets. Same in-place strided contract as
+/// [`apply_codelet_checked`], but the size is a runtime value and the
+/// working set is heap-allocated; never used on a measured path.
+///
+/// # Panics
+/// Panics on out-of-bounds access (safe indexing throughout).
+pub fn apply_codelet_generic<T: Scalar>(k: u32, x: &mut [T], base: usize, stride: usize) {
+    let size = 1usize << k;
+    let mut buf: Vec<T> = (0..size).map(|j| x[base + j * stride]).collect();
+    let mut h = 1;
+    while h < size {
+        let mut i = 0;
+        while i < size {
+            for j in i..i + h {
+                let a = buf[j];
+                let b = buf[j + h];
+                buf[j] = a + b;
+                buf[j + h] = a - b;
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+    for (j, v) in buf.into_iter().enumerate() {
+        x[base + j * stride] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_wht;
+
+    #[test]
+    fn codelet_matches_naive_for_all_k() {
+        for k in 1..=MAX_LEAF_K {
+            let size = 1usize << k;
+            let input: Vec<f64> = (0..size).map(|j| (j * j % 17) as f64 - 3.0).collect();
+            let mut got = input.clone();
+            apply_codelet_checked(k, &mut got, 0, 1).unwrap();
+            let want = naive_wht(&input);
+            assert_eq!(got, want, "codelet small[{k}] disagrees with naive WHT");
+        }
+    }
+
+    #[test]
+    fn generic_codelet_matches_fixed() {
+        for k in 1..=MAX_LEAF_K {
+            let size = 1usize << k;
+            let input: Vec<f64> = (0..size).map(|j| (3 * j + 1) as f64).collect();
+            let mut a = input.clone();
+            let mut b = input;
+            apply_codelet_checked(k, &mut a, 0, 1).unwrap();
+            apply_codelet_generic(k, &mut b, 0, 1);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn strided_access_only_touches_its_elements() {
+        // Apply small[2] at base 1, stride 3 inside a size-16 buffer and
+        // check untouched slots are preserved.
+        let mut x: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        let orig = x.clone();
+        apply_codelet_checked(2, &mut x, 1, 3).unwrap();
+        let touched: Vec<usize> = (0..4).map(|j| 1 + 3 * j).collect();
+        for (i, (now, before)) in x.iter().zip(orig.iter()).enumerate() {
+            if touched.contains(&i) {
+                continue;
+            }
+            assert_eq!(now, before, "slot {i} should be untouched");
+        }
+        // And the touched slots hold the size-4 WHT of [1, 4, 7, 10].
+        let want = naive_wht(&[1.0, 4.0, 7.0, 10.0]);
+        let got: Vec<f64> = touched.iter().map(|&i| x[i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn integer_codelets_are_exact() {
+        let input: Vec<i64> = vec![5, -3, 2, 7, 0, 1, -1, 4];
+        let mut got = input.clone();
+        apply_codelet_checked(3, &mut got, 0, 1).unwrap();
+        let want_f: Vec<f64> = naive_wht(&input.iter().map(|&v| v as f64).collect::<Vec<_>>());
+        let got_f: Vec<f64> = got.iter().map(|&v| v as f64).collect();
+        assert_eq!(got_f, want_f);
+    }
+
+    #[test]
+    fn checked_wrapper_rejects_bad_inputs() {
+        let mut x = vec![0.0f64; 8];
+        assert!(apply_codelet_checked(0, &mut x, 0, 1).is_err());
+        assert!(apply_codelet_checked(9, &mut x, 0, 1).is_err());
+        // span 0 + 7*2 = 14 >= len 8:
+        assert!(apply_codelet_checked(3, &mut x, 0, 2).is_err());
+        // zero stride is nonsense:
+        assert!(apply_codelet_checked(1, &mut x, 0, 0).is_err());
+        // exactly fits:
+        assert!(apply_codelet_checked(3, &mut x, 0, 1).is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! Dynamic data layout (DDL): the WHT package's large-stride remedy.
+//!
+//! Out-of-cache WHT passes at large stride waste an entire cache line per
+//! element. The package's `splitddl` variant fixes the layout dynamically:
+//! when a subtransform's stride crosses a threshold, its elements are
+//! **gathered** into a contiguous scratch buffer, transformed at stride 1,
+//! and **scattered** back. The gather/scatter passes are themselves
+//! strided, but they traverse addresses sequentially in the `k` direction,
+//! which line-based caches (and hardware prefetchers) handle far better
+//! than the interleaved in-place recursion.
+//!
+//! [`apply_plan_ddl`] mirrors [`crate::engine::apply_plan`] with that one
+//! change, and is exactly equivalent numerically (tested); the cache
+//! benefit is measured by `wht-measure`'s DDL trace and the
+//! `ablate_cache`/`cache_explorer` tooling.
+
+use crate::codelets::apply_codelet;
+use crate::error::WhtError;
+use crate::plan::Plan;
+use crate::scalar::Scalar;
+
+/// DDL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdlConfig {
+    /// Gather/scatter kicks in when a subtransform's stride reaches
+    /// `2^stride_threshold_log2` elements. 3 (= one 64-byte line of
+    /// doubles) mirrors the package's intent: relayout as soon as strides
+    /// stop sharing lines.
+    pub stride_threshold_log2: u32,
+}
+
+impl Default for DdlConfig {
+    fn default() -> Self {
+        DdlConfig {
+            stride_threshold_log2: 3,
+        }
+    }
+}
+
+/// Compute `x <- WHT(2^n) * x` in place like
+/// [`apply_plan`](crate::engine::apply_plan), but gather subtransforms whose
+/// stride crosses the DDL threshold into contiguous scratch first.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
+pub fn apply_plan_ddl<T: Scalar>(
+    plan: &Plan,
+    x: &mut [T],
+    cfg: DdlConfig,
+) -> Result<(), WhtError> {
+    if x.len() != plan.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: plan.size(),
+            got: x.len(),
+        });
+    }
+    let mut scratch: Vec<T> = vec![T::ZERO; plan.size().min(1 << 16)];
+    ddl_rec(plan, x, 0, 1, 1usize << cfg.stride_threshold_log2, &mut scratch);
+    Ok(())
+}
+
+fn ddl_rec<T: Scalar>(
+    plan: &Plan,
+    x: &mut [T],
+    base: usize,
+    stride: usize,
+    threshold: usize,
+    scratch: &mut Vec<T>,
+) {
+    let size = plan.size();
+    if stride >= threshold && size > 1 {
+        // Relayout: gather to contiguous, transform at stride 1, scatter.
+        if scratch.len() < size {
+            scratch.resize(size, T::ZERO);
+        }
+        for j in 0..size {
+            scratch[j] = x[base + j * stride];
+        }
+        // After a gather, the contiguous transform never relayouts again
+        // (threshold usize::MAX): one relayout per subtree, which both
+        // avoids pathological re-gathering at tiny thresholds and matches
+        // the DDL trace executor in wht-measure.
+        let mut inner_scratch: Vec<T> = Vec::new();
+        ddl_rec(plan, &mut scratch[..size], 0, 1, usize::MAX, &mut inner_scratch);
+        for j in 0..size {
+            x[base + j * stride] = scratch[j];
+        }
+        return;
+    }
+    match plan {
+        Plan::Leaf { k } => {
+            debug_assert!(base + (size - 1) * stride < x.len());
+            // SAFETY: same engine invariant as `engine::apply_rec` — the
+            // top-level length check plus the R*Ni*S = 2^n loop identity.
+            unsafe { apply_codelet(*k, x, base, stride) };
+        }
+        Plan::Split { n, children } => {
+            let mut r = 1usize << n;
+            let mut s = 1usize;
+            for child in children.iter().rev() {
+                let ni = 1usize << child.n();
+                r /= ni;
+                for j in 0..r {
+                    for k in 0..s {
+                        ddl_rec(
+                            child,
+                            x,
+                            base + (j * ni * s + k) * stride,
+                            s * stride,
+                            threshold,
+                            scratch,
+                        );
+                    }
+                }
+                s *= ni;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::apply_plan;
+    use crate::reference::{max_abs_diff, naive_wht};
+
+    fn signal(n: u32) -> Vec<f64> {
+        (0..1usize << n)
+            .map(|j| ((j.wrapping_mul(0x9E3779B9)) % 1024) as f64 / 128.0 - 4.0)
+            .collect()
+    }
+
+    #[test]
+    fn ddl_matches_plain_engine() {
+        for n in [4u32, 8, 12, 14] {
+            for plan in [
+                Plan::iterative(n).unwrap(),
+                Plan::right_recursive(n).unwrap(),
+                Plan::left_recursive(n).unwrap(),
+                Plan::balanced(n, 4).unwrap(),
+            ] {
+                let input = signal(n);
+                let mut plain = input.clone();
+                apply_plan(&plan, &mut plain).unwrap();
+                for threshold in [0u32, 3, 6, 30] {
+                    let mut ddl = input.clone();
+                    apply_plan_ddl(
+                        &plan,
+                        &mut ddl,
+                        DdlConfig {
+                            stride_threshold_log2: threshold,
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(ddl, plain, "plan {plan}, threshold 2^{threshold}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ddl_matches_naive() {
+        let n = 10;
+        let plan = Plan::left_recursive(n).unwrap(); // the large-stride shape
+        let input = signal(n);
+        let want = naive_wht(&input);
+        let mut got = input;
+        apply_plan_ddl(&plan, &mut got, DdlConfig::default()).unwrap();
+        assert!(max_abs_diff(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn threshold_zero_relayouts_everything_and_still_works() {
+        // threshold 2^0 = 1: even the top-level call is gathered (a full
+        // copy); the inner run then proceeds at stride 1.
+        let plan = Plan::balanced(9, 3).unwrap();
+        let input = signal(9);
+        let mut a = input.clone();
+        apply_plan_ddl(&plan, &mut a, DdlConfig { stride_threshold_log2: 0 }).unwrap();
+        let mut b = input;
+        apply_plan(&plan, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_checked() {
+        let plan = Plan::leaf(4).unwrap();
+        let mut x = vec![0.0f64; 15];
+        assert!(apply_plan_ddl(&plan, &mut x, DdlConfig::default()).is_err());
+    }
+
+    #[test]
+    fn integer_ddl_exact() {
+        let n = 9;
+        let plan = Plan::left_recursive(n).unwrap();
+        let ints: Vec<i64> = (0..1i64 << n).map(|j| (j * 11 % 37) - 18).collect();
+        let mut a = ints.clone();
+        apply_plan_ddl(&plan, &mut a, DdlConfig::default()).unwrap();
+        let mut b = ints;
+        apply_plan(&plan, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

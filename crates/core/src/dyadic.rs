@@ -1,0 +1,177 @@
+//! Dyadic (XOR) convolution — the WHT's convolution theorem.
+//!
+//! The WHT diagonalizes *dyadic* convolution the way the DFT diagonalizes
+//! cyclic convolution:
+//!
+//! ```text
+//! (x ⊛ y)[i] = sum_j x[j] * y[i XOR j]
+//! WHT(x ⊛ y) = WHT(x) .* WHT(y)        (pointwise)
+//! ```
+//!
+//! so a fast WHT plan gives an `O(N log N)` dyadic convolution — one of the
+//! classic applications (spectral methods over the Boolean cube, spreading
+//! codes, switching-function analysis) that motivates caring about fast WHT
+//! implementations in the first place.
+
+use crate::engine::apply_plan;
+use crate::error::WhtError;
+use crate::plan::Plan;
+
+/// Direct `O(N^2)` dyadic convolution, the test oracle.
+///
+/// # Panics
+/// Panics if the lengths differ or are not a power of two.
+pub fn dyadic_convolution_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len().is_power_of_two(), "length must be a power of two");
+    let n = x.len();
+    let mut out = vec![0.0f64; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        for (j, &xj) in x.iter().enumerate() {
+            *slot += xj * y[i ^ j];
+        }
+    }
+    out
+}
+
+/// Fast dyadic convolution through the WHT: transform both inputs with
+/// `plan`, multiply pointwise, transform back, scale by `1/N`.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless both inputs have length
+/// `plan.size()`.
+pub fn dyadic_convolution(plan: &Plan, x: &[f64], y: &[f64]) -> Result<Vec<f64>, WhtError> {
+    if x.len() != plan.size() || y.len() != plan.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: plan.size(),
+            got: if x.len() != plan.size() { x.len() } else { y.len() },
+        });
+    }
+    let mut fx = x.to_vec();
+    apply_plan(plan, &mut fx)?;
+    let mut fy = y.to_vec();
+    apply_plan(plan, &mut fy)?;
+    for (a, b) in fx.iter_mut().zip(fy.iter()) {
+        *a *= b;
+    }
+    apply_plan(plan, &mut fx)?;
+    let scale = 1.0 / plan.size() as f64;
+    for v in fx.iter_mut() {
+        *v *= scale;
+    }
+    Ok(fx)
+}
+
+/// Dyadic (XOR) autocorrelation: `dyadic_convolution(plan, x, x)` with the
+/// same transform trick, exposed separately because it needs only two
+/// transforms.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
+pub fn dyadic_autocorrelation(plan: &Plan, x: &[f64]) -> Result<Vec<f64>, WhtError> {
+    if x.len() != plan.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: plan.size(),
+            got: x.len(),
+        });
+    }
+    let mut fx = x.to_vec();
+    apply_plan(plan, &mut fx)?;
+    for v in fx.iter_mut() {
+        *v *= *v;
+    }
+    apply_plan(plan, &mut fx)?;
+    let scale = 1.0 / plan.size() as f64;
+    for v in fx.iter_mut() {
+        *v *= scale;
+    }
+    Ok(fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_abs_diff;
+
+    fn sig(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|j| {
+                let h = (j as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 33) % 64) as f64 / 8.0 - 4.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_convolution_matches_naive() {
+        for n in [1u32, 3, 6, 9] {
+            let size = 1usize << n;
+            let plan = Plan::balanced(n, 3).unwrap();
+            let x = sig(size, 1);
+            let y = sig(size, 2);
+            let fast = dyadic_convolution(&plan, &x, &y).unwrap();
+            let slow = dyadic_convolution_naive(&x, &y);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-7,
+                "n={n}: max err {}",
+                max_abs_diff(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let plan = Plan::right_recursive(7).unwrap();
+        let x = sig(128, 3);
+        let y = sig(128, 4);
+        let xy = dyadic_convolution(&plan, &x, &y).unwrap();
+        let yx = dyadic_convolution(&plan, &y, &x).unwrap();
+        assert!(max_abs_diff(&xy, &yx) < 1e-9);
+    }
+
+    #[test]
+    fn delta_is_the_identity() {
+        // Convolving with the delta at 0 returns the signal.
+        let plan = Plan::iterative(6).unwrap();
+        let x = sig(64, 5);
+        let mut delta = vec![0.0; 64];
+        delta[0] = 1.0;
+        let out = dyadic_convolution(&plan, &x, &delta).unwrap();
+        assert!(max_abs_diff(&out, &x) < 1e-9);
+    }
+
+    #[test]
+    fn delta_at_k_xors_indices() {
+        // Convolving with delta at k permutes indices by XOR k.
+        let plan = Plan::balanced(5, 2).unwrap();
+        let x = sig(32, 6);
+        let k = 13usize;
+        let mut delta = vec![0.0; 32];
+        delta[k] = 1.0;
+        let out = dyadic_convolution(&plan, &x, &delta).unwrap();
+        for i in 0..32 {
+            assert!((out[i] - x[i ^ k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_matches_self_convolution() {
+        let plan = Plan::balanced(7, 3).unwrap();
+        let x = sig(128, 7);
+        let auto = dyadic_autocorrelation(&plan, &x).unwrap();
+        let conv = dyadic_convolution(&plan, &x, &x).unwrap();
+        assert!(max_abs_diff(&auto, &conv) < 1e-9);
+        // Value at 0 is the energy.
+        let energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!((auto[0] - energy).abs() < 1e-7);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let plan = Plan::leaf(3).unwrap();
+        let x = vec![0.0; 8];
+        let y = vec![0.0; 4];
+        assert!(dyadic_convolution(&plan, &x, &y).is_err());
+        assert!(dyadic_autocorrelation(&plan, &y).is_err());
+    }
+}

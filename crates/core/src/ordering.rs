@@ -1,0 +1,163 @@
+//! Output orderings of the WHT.
+//!
+//! The split-tree algorithms compute the *natural* (Hadamard) ordering
+//! `WHT[i][j] = (-1)^popcount(i & j)`. Signal-processing applications
+//! usually want the *sequency* (Walsh) ordering, in which row `s` has
+//! exactly `s` sign changes. The two differ by the permutation
+//! `natural_index = bit_reverse(gray_code(sequency))`, implemented here.
+
+/// Gray code of `v`: `v ^ (v >> 1)`.
+#[inline]
+pub fn gray_code(v: usize) -> usize {
+    v ^ (v >> 1)
+}
+
+/// Inverse Gray code: the `v` with `gray_code(v) == g`.
+#[inline]
+pub fn gray_code_inverse(g: usize) -> usize {
+    let mut v = g;
+    let mut shift = 1;
+    while shift < usize::BITS as usize {
+        v ^= v >> shift;
+        shift <<= 1;
+    }
+    v
+}
+
+/// Reverse the low `n` bits of `v` (requires `v < 2^n`).
+#[inline]
+pub fn bit_reverse(v: usize, n: u32) -> usize {
+    debug_assert!(n == 0 || v < (1usize << n));
+    if n == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (usize::BITS - n)
+}
+
+/// The permutation taking sequency index `s` to natural (Hadamard) index:
+/// `perm[s] = bit_reverse(gray_code(s), n)`.
+///
+/// `sequency_output[s] = natural_output[perm[s]]`; row `s` of the permuted
+/// Hadamard matrix has exactly `s` sign changes (tested below).
+pub fn sequency_permutation(n: u32) -> Vec<usize> {
+    (0..1usize << n)
+        .map(|s| bit_reverse(gray_code(s), n))
+        .collect()
+}
+
+/// Reorder a natural-ordered WHT output into sequency (Walsh) order.
+///
+/// # Panics
+/// Panics if `x.len()` is not a power of two.
+pub fn to_sequency_order<T: Copy>(x: &[T]) -> Vec<T> {
+    assert!(x.len().is_power_of_two(), "length must be a power of two");
+    let n = x.len().trailing_zeros();
+    sequency_permutation(n).into_iter().map(|i| x[i]).collect()
+}
+
+/// Reorder a sequency-ordered vector back to natural (Hadamard) order.
+/// Inverse of [`to_sequency_order`].
+///
+/// # Panics
+/// Panics if `x.len()` is not a power of two.
+pub fn to_natural_order<T: Copy + Default>(x: &[T]) -> Vec<T> {
+    assert!(x.len().is_power_of_two(), "length must be a power of two");
+    let n = x.len().trailing_zeros();
+    let mut out = vec![T::default(); x.len()];
+    for (s, &nat) in sequency_permutation(n).iter().enumerate() {
+        out[nat] = x[s];
+    }
+    out
+}
+
+/// Number of sign changes in a ±-valued row (zeros not expected).
+/// Test helper for the sequency property; public because the examples also
+/// use it to label spectra.
+pub fn sign_changes(row: &[f64]) -> usize {
+    row.windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::hadamard_entry;
+
+    #[test]
+    fn gray_code_round_trip() {
+        for v in 0..4096usize {
+            assert_eq!(gray_code_inverse(gray_code(v)), v);
+        }
+    }
+
+    #[test]
+    fn gray_code_neighbours_differ_by_one_bit() {
+        for v in 0..1023usize {
+            let a = gray_code(v);
+            let b = gray_code(v + 1);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        for n in 1..=12u32 {
+            for v in [0usize, 1, 3, (1 << n) - 1, (1 << n) / 2] {
+                if v < (1 << n) {
+                    assert_eq!(bit_reverse(bit_reverse(v, n), n), v);
+                }
+            }
+        }
+        assert_eq!(bit_reverse(0b0011, 4), 0b1100);
+        assert_eq!(bit_reverse(0, 0), 0);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for n in 1..=10u32 {
+            let mut p = sequency_permutation(n);
+            p.sort_unstable();
+            assert!(p.into_iter().eq(0..1usize << n));
+        }
+    }
+
+    /// The defining property: row `s` of the sequency-ordered Walsh matrix
+    /// has exactly `s` sign changes.
+    #[test]
+    fn sequency_rows_have_s_sign_changes() {
+        for n in 1..=8u32 {
+            let size = 1usize << n;
+            let perm = sequency_permutation(n);
+            for (s, &nat) in perm.iter().enumerate() {
+                let row: Vec<f64> = (0..size).map(|j| hadamard_entry(nat, j) as f64).collect();
+                assert_eq!(
+                    sign_changes(&row),
+                    s,
+                    "n={n}: sequency row {s} (natural {nat}) has wrong sign-change count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_round_trip() {
+        let x: Vec<f64> = (0..64).map(|v| (v as f64).cos()).collect();
+        let seq = to_sequency_order(&x);
+        let back = to_natural_order(&seq);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn sign_changes_counts() {
+        assert_eq!(sign_changes(&[1.0, 1.0, 1.0]), 0);
+        assert_eq!(sign_changes(&[1.0, -1.0, 1.0]), 2);
+        assert_eq!(sign_changes(&[-1.0, -1.0, 1.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn to_sequency_rejects_bad_length() {
+        to_sequency_order(&[1.0, 2.0, 3.0]);
+    }
+}

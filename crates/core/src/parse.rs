@@ -1,0 +1,231 @@
+//! Parser and printer for the WHT package plan grammar.
+//!
+//! The Johnson–Püschel WHT package describes algorithms with strings such as
+//!
+//! ```text
+//! split[small[1],split[small[2],small[3]]]
+//! ```
+//!
+//! This module round-trips that grammar:
+//!
+//! ```
+//! use wht_core::{parse_plan, Plan};
+//! let p = parse_plan("split[small[1], small[2]]").unwrap();
+//! assert_eq!(p.n(), 3);
+//! assert_eq!(p.to_string(), "split[small[1],small[2]]");
+//! assert_eq!("split[small[1],small[2]]".parse::<Plan>().unwrap(), p);
+//! ```
+
+use crate::error::WhtError;
+use crate::plan::Plan;
+use core::fmt;
+use std::str::FromStr;
+
+/// Parse a plan string in the WHT package grammar.
+///
+/// Grammar (whitespace allowed between tokens):
+///
+/// ```text
+/// plan  := small | split
+/// small := "small" "[" uint "]"
+/// split := "split" "[" plan ("," plan)* "]"
+/// ```
+///
+/// # Errors
+/// [`WhtError::Parse`] with the byte position of the failure, or the
+/// constructor errors ([`WhtError::LeafSizeOutOfRange`] etc.) if the string
+/// is grammatical but describes an invalid plan.
+pub fn parse_plan(input: &str) -> Result<Plan, WhtError> {
+    let mut p = Parser { input, pos: 0 };
+    let plan = p.parse_plan()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(WhtError::Parse {
+            pos: p.pos,
+            msg: "trailing input after plan".into(),
+        });
+    }
+    Ok(plan)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), WhtError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(WhtError::Parse {
+                pos: self.pos,
+                msg: format!("expected '{token}'"),
+            })
+        }
+    }
+
+    fn parse_uint(&mut self) -> Result<u32, WhtError> {
+        self.skip_ws();
+        let digits: &str = self
+            .rest()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap_or("");
+        if digits.is_empty() {
+            return Err(WhtError::Parse {
+                pos: self.pos,
+                msg: "expected an unsigned integer".into(),
+            });
+        }
+        let value = digits.parse::<u32>().map_err(|_| WhtError::Parse {
+            pos: self.pos,
+            msg: "integer out of range".into(),
+        })?;
+        self.pos += digits.len();
+        Ok(value)
+    }
+
+    fn parse_plan(&mut self) -> Result<Plan, WhtError> {
+        self.skip_ws();
+        if self.rest().starts_with("small") {
+            self.eat("small")?;
+            self.eat("[")?;
+            let k = self.parse_uint()?;
+            self.eat("]")?;
+            Plan::leaf(k)
+        } else if self.rest().starts_with("split") {
+            self.eat("split")?;
+            self.eat("[")?;
+            let mut children = vec![self.parse_plan()?];
+            loop {
+                self.skip_ws();
+                if self.rest().starts_with(',') {
+                    self.eat(",")?;
+                    children.push(self.parse_plan()?);
+                } else {
+                    break;
+                }
+            }
+            self.eat("]")?;
+            Plan::split(children)
+        } else {
+            Err(WhtError::Parse {
+                pos: self.pos,
+                msg: "expected 'small[...]' or 'split[...]'".into(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    /// Prints the canonical WHT package form: no whitespace, e.g.
+    /// `split[small[1],small[2]]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Leaf { k } => write!(f, "small[{k}]"),
+            Plan::Split { children, .. } => {
+                write!(f, "split[")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl FromStr for Plan {
+    type Err = WhtError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_plan(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_leaf() {
+        assert_eq!(parse_plan("small[3]").unwrap(), Plan::Leaf { k: 3 });
+        assert_eq!(parse_plan("  small[ 3 ]  ").unwrap(), Plan::Leaf { k: 3 });
+    }
+
+    #[test]
+    fn parses_nested_split() {
+        let p = parse_plan("split[small[1],split[small[2],small[3]]]").unwrap();
+        assert_eq!(p.n(), 6);
+        assert_eq!(p.children().len(), 2);
+        assert_eq!(p.children()[1].children().len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for plan in [
+            Plan::iterative(7).unwrap(),
+            Plan::right_recursive(9).unwrap(),
+            Plan::left_recursive(9).unwrap(),
+            Plan::balanced(12, 3).unwrap(),
+        ] {
+            let s = plan.to_string();
+            let back: Plan = s.parse().unwrap();
+            assert_eq!(back, plan, "round trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "small",
+            "small[]",
+            "small[x]",
+            "split[]",
+            "split[small[1]]",
+            "split[small[1],]",
+            "split[small[1],small[2]",
+            "small[1] trailing",
+            "tiny[1]",
+            "small[999999999999999999999]",
+        ] {
+            assert!(parse_plan(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_semantically_invalid() {
+        assert_eq!(
+            parse_plan("small[0]"),
+            Err(WhtError::LeafSizeOutOfRange { k: 0 })
+        );
+        assert_eq!(
+            parse_plan("small[9]"),
+            Err(WhtError::LeafSizeOutOfRange { k: 9 })
+        );
+    }
+
+    #[test]
+    fn error_positions_point_into_input() {
+        let err = parse_plan("split[small[1],oops]").unwrap_err();
+        match err {
+            WhtError::Parse { pos, .. } => assert_eq!(pos, 15),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

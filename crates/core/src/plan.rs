@@ -1,0 +1,391 @@
+//! WHT algorithm plans (split trees).
+//!
+//! Every algorithm in the family studied by the paper is a *split tree*
+//! derived from its Equation 1:
+//!
+//! ```text
+//! WHT(2^n) = prod_{i=1..t} ( I(2^{n1+...+n(i-1)}) (x) WHT(2^{ni}) (x) I(2^{n(i+1)+...+nt}) )
+//! ```
+//!
+//! An internal node records the ordered composition `n = n1 + ... + nt`
+//! (order matters: `split[small[1],small[2]]` and `split[small[2],small[1]]`
+//! are *different algorithms* with different memory behaviour). Leaves are
+//! the unrolled codelets `small[1]`..`small[8]` the WHT package generates.
+
+use crate::error::WhtError;
+use serde::{Deserialize, Serialize};
+
+/// Largest unrolled leaf codelet exponent: leaves compute `WHT(2^k)` for
+/// `1 <= k <= MAX_LEAF_K`. The WHT package ships straight-line codelets up
+/// to size `2^8`, and the paper's "best" algorithms draw from exactly that
+/// set.
+pub const MAX_LEAF_K: u32 = 8;
+
+/// Largest supported total transform exponent. `2^40` doubles would be 8 TiB;
+/// this is a guard against shift overflow, not a practical target.
+pub const MAX_N: u32 = 40;
+
+/// A WHT algorithm: a split tree over the factorization of Equation 1.
+///
+/// Construct plans with [`Plan::leaf`], [`Plan::split`], the canonical
+/// constructors ([`Plan::iterative`], [`Plan::right_recursive`],
+/// [`Plan::left_recursive`], [`Plan::balanced`], [`Plan::binary_iterative`]),
+/// or by parsing the WHT package grammar with [`str::parse`] /
+/// [`crate::parse::parse_plan`].
+///
+/// The tree is immutable after construction and all constructors validate,
+/// so every reachable `Plan` satisfies the invariants:
+/// leaf exponents are in `1..=MAX_LEAF_K`, splits have >= 2 children, and
+/// every node's exponent is the sum of its children's exponents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Plan {
+    /// Unrolled straight-line codelet computing `WHT(2^k)` (the package's
+    /// `small[k]`).
+    Leaf {
+        /// Exponent: the leaf computes a transform of size `2^k`.
+        k: u32,
+    },
+    /// Recursive application of Equation 1 with the ordered composition
+    /// given by the children's sizes (the package's `split[...]`).
+    Split {
+        /// Total exponent, cached so the execution engine never re-walks the
+        /// subtree: equals the sum of `children[i].n()`.
+        n: u32,
+        /// The ordered factors; length >= 2.
+        children: Vec<Plan>,
+    },
+}
+
+impl Plan {
+    /// Build a leaf plan `small[k]` computing `WHT(2^k)`.
+    ///
+    /// # Errors
+    /// [`WhtError::LeafSizeOutOfRange`] unless `1 <= k <= MAX_LEAF_K`.
+    pub fn leaf(k: u32) -> Result<Self, WhtError> {
+        if (1..=MAX_LEAF_K).contains(&k) {
+            Ok(Plan::Leaf { k })
+        } else {
+            Err(WhtError::LeafSizeOutOfRange { k })
+        }
+    }
+
+    /// Build a split node from ordered children.
+    ///
+    /// # Errors
+    /// [`WhtError::EmptySplit`] / [`WhtError::SingleChildSplit`] for arities
+    /// 0 and 1, and [`WhtError::SizeTooLarge`] if the children's exponents
+    /// sum past [`MAX_N`].
+    pub fn split(children: Vec<Plan>) -> Result<Self, WhtError> {
+        match children.len() {
+            0 => return Err(WhtError::EmptySplit),
+            1 => return Err(WhtError::SingleChildSplit),
+            _ => {}
+        }
+        let n: u32 = children.iter().map(Plan::n).sum();
+        if n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        Ok(Plan::Split { n, children })
+    }
+
+    /// Exponent of the transform this plan computes (`log2` of its size).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        match self {
+            Plan::Leaf { k } => *k,
+            Plan::Split { n, .. } => *n,
+        }
+    }
+
+    /// Size `2^n` of the transform this plan computes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        1usize << self.n()
+    }
+
+    /// `true` if this node is an unrolled leaf codelet.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Plan::Leaf { .. })
+    }
+
+    /// The node's children (empty slice for a leaf).
+    #[inline]
+    pub fn children(&self) -> &[Plan] {
+        match self {
+            Plan::Leaf { .. } => &[],
+            Plan::Split { children, .. } => children,
+        }
+    }
+
+    /// Number of nodes in the tree (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(Plan::node_count).sum::<usize>()
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Plan::Leaf { .. } => 1,
+            Plan::Split { children, .. } => children.iter().map(Plan::leaf_count).sum(),
+        }
+    }
+
+    /// Height of the tree: a leaf has depth 1.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(Plan::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over the leaf exponents in left-to-right order.
+    pub fn leaf_exponents(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        fn walk(p: &Plan, out: &mut Vec<u32>) {
+            match p {
+                Plan::Leaf { k } => out.push(*k),
+                Plan::Split { children, .. } => {
+                    for c in children {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Re-check every invariant of the tree. Constructors enforce these, so
+    /// this only fails on hand-built (e.g. deserialized) values.
+    pub fn validate(&self) -> Result<(), WhtError> {
+        match self {
+            Plan::Leaf { k } => {
+                if !(1..=MAX_LEAF_K).contains(k) {
+                    return Err(WhtError::LeafSizeOutOfRange { k: *k });
+                }
+            }
+            Plan::Split { n, children } => {
+                match children.len() {
+                    0 => return Err(WhtError::EmptySplit),
+                    1 => return Err(WhtError::SingleChildSplit),
+                    _ => {}
+                }
+                let sum: u32 = children.iter().map(Plan::n).sum();
+                if sum != *n || *n > MAX_N {
+                    return Err(WhtError::SizeTooLarge { n: *n });
+                }
+                for c in children {
+                    c.validate()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- canonical algorithms (Section 2 of the paper) ----
+
+    /// The *iterative* algorithm: a single application of Equation 1 with
+    /// `n1 = ... = nt = 1`, i.e. `split[small[1], ..., small[1]]`. This is
+    /// the radix-2 iterative FFT analogue; it executes the fewest
+    /// instructions of the canonical algorithms at every size.
+    pub fn iterative(n: u32) -> Result<Self, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        if n == 1 {
+            return Plan::leaf(1);
+        }
+        Plan::split(vec![Plan::Leaf { k: 1 }; n as usize])
+    }
+
+    /// The *right recursive* algorithm: `t = 2`, `n1 = 1`, `n2 = n - 1`,
+    /// i.e. `split[small[1], right_recursive(n-1)]` — the standard recursive
+    /// FFT analogue. The paper's model analysis predicts (and its Figure 1
+    /// confirms) that it outperforms the left recursive variant.
+    pub fn right_recursive(n: u32) -> Result<Self, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        if n == 1 {
+            return Plan::leaf(1);
+        }
+        Plan::split(vec![Plan::Leaf { k: 1 }, Plan::right_recursive(n - 1)?])
+    }
+
+    /// The *left recursive* algorithm: `t = 2`, `n1 = n - 1`, `n2 = 1`,
+    /// i.e. `split[left_recursive(n-1), small[1]]`.
+    pub fn left_recursive(n: u32) -> Result<Self, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        if n == 1 {
+            return Plan::leaf(1);
+        }
+        Plan::split(vec![Plan::left_recursive(n - 1)?, Plan::Leaf { k: 1 }])
+    }
+
+    /// Balanced binary recursion down to leaves of at most `2^leaf_k`:
+    /// `split[balanced(ceil(n/2)), balanced(floor(n/2))]`. Not one of the
+    /// paper's canonical three, but a useful reference shape for tests and
+    /// ablations.
+    pub fn balanced(n: u32, leaf_k: u32) -> Result<Self, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        let leaf_k = leaf_k.clamp(1, MAX_LEAF_K);
+        if n <= leaf_k {
+            return Plan::leaf(n);
+        }
+        let hi = n.div_ceil(2);
+        let lo = n - hi;
+        Plan::split(vec![Plan::balanced(hi, leaf_k)?, Plan::balanced(lo, leaf_k)?])
+    }
+
+    /// Flat split into equal parts of size `2^part_k` (plus one remainder
+    /// part), each a leaf: a "blocked iterative" algorithm with larger base
+    /// cases, the shape dynamic-programming search tends to discover for
+    /// in-cache sizes.
+    pub fn binary_iterative(n: u32, part_k: u32) -> Result<Self, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        let part_k = part_k.clamp(1, MAX_LEAF_K);
+        if n <= part_k {
+            return Plan::leaf(n);
+        }
+        let mut children = Vec::new();
+        let mut rem = n;
+        while rem > 0 {
+            let k = rem.min(part_k);
+            children.push(Plan::Leaf { k });
+            rem -= k;
+        }
+        if children.len() == 1 {
+            return Ok(children.pop().expect("non-empty"));
+        }
+        Plan::split(children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_bounds() {
+        assert!(Plan::leaf(0).is_err());
+        assert!(Plan::leaf(1).is_ok());
+        assert!(Plan::leaf(MAX_LEAF_K).is_ok());
+        assert!(Plan::leaf(MAX_LEAF_K + 1).is_err());
+    }
+
+    #[test]
+    fn split_arity_checks() {
+        assert_eq!(Plan::split(vec![]), Err(WhtError::EmptySplit));
+        assert_eq!(
+            Plan::split(vec![Plan::Leaf { k: 1 }]),
+            Err(WhtError::SingleChildSplit)
+        );
+        let p = Plan::split(vec![Plan::Leaf { k: 1 }, Plan::Leaf { k: 2 }]).unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.size(), 8);
+    }
+
+    #[test]
+    fn size_guard() {
+        // 5 * 8 = 40 = MAX_N is the largest valid flat split of 8s.
+        let big = Plan::split(vec![Plan::Leaf { k: MAX_LEAF_K }; 5]).unwrap();
+        assert_eq!(big.n(), 40);
+        // 6 * 8 = 48 > MAX_N = 40 must fail.
+        let r = Plan::split(vec![Plan::Leaf { k: 8 }; 6]);
+        assert_eq!(r, Err(WhtError::SizeTooLarge { n: 48 }));
+    }
+
+    #[test]
+    fn canonical_shapes() {
+        let it = Plan::iterative(5).unwrap();
+        assert_eq!(it.n(), 5);
+        assert_eq!(it.children().len(), 5);
+        assert!(it.children().iter().all(|c| c.n() == 1));
+        assert_eq!(it.leaf_count(), 5);
+        assert_eq!(it.depth(), 2);
+
+        let rr = Plan::right_recursive(5).unwrap();
+        assert_eq!(rr.n(), 5);
+        assert_eq!(rr.children().len(), 2);
+        assert_eq!(rr.children()[0].n(), 1);
+        assert_eq!(rr.children()[1].n(), 4);
+        assert_eq!(rr.depth(), 5);
+
+        let lr = Plan::left_recursive(5).unwrap();
+        assert_eq!(lr.children()[0].n(), 4);
+        assert_eq!(lr.children()[1].n(), 1);
+
+        // size 1: all collapse to the single leaf
+        assert_eq!(Plan::iterative(1).unwrap(), Plan::Leaf { k: 1 });
+        assert_eq!(Plan::right_recursive(1).unwrap(), Plan::Leaf { k: 1 });
+        assert_eq!(Plan::left_recursive(1).unwrap(), Plan::Leaf { k: 1 });
+    }
+
+    #[test]
+    fn balanced_and_blocked() {
+        let b = Plan::balanced(10, 4).unwrap();
+        assert_eq!(b.n(), 10);
+        assert!(b.leaf_exponents().iter().all(|&k| k <= 4));
+
+        let bi = Plan::binary_iterative(10, 4).unwrap();
+        assert_eq!(bi.n(), 10);
+        assert_eq!(bi.leaf_exponents(), vec![4, 4, 2]);
+
+        let small = Plan::binary_iterative(3, 4).unwrap();
+        assert_eq!(small, Plan::Leaf { k: 3 });
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(Plan::iterative(0).is_err());
+        assert!(Plan::right_recursive(0).is_err());
+        assert!(Plan::left_recursive(0).is_err());
+        assert!(Plan::balanced(0, 2).is_err());
+        assert!(Plan::binary_iterative(0, 2).is_err());
+    }
+
+    #[test]
+    fn validate_catches_hand_built_invalid_trees() {
+        let bad = Plan::Split {
+            n: 7, // wrong: children sum to 3
+            children: vec![Plan::Leaf { k: 1 }, Plan::Leaf { k: 2 }],
+        };
+        assert!(bad.validate().is_err());
+        let bad_leaf = Plan::Leaf { k: 99 };
+        assert!(bad_leaf.validate().is_err());
+        let good = Plan::right_recursive(9).unwrap();
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn counts_and_leaves() {
+        let p = Plan::split(vec![
+            Plan::Leaf { k: 2 },
+            Plan::split(vec![Plan::Leaf { k: 1 }, Plan::Leaf { k: 3 }]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(p.n(), 6);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.leaf_exponents(), vec![2, 1, 3]);
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Plan::right_recursive(6).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Plan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+        assert!(q.validate().is_ok());
+    }
+}

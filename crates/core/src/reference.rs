@@ -1,0 +1,123 @@
+//! Reference transform and verification helpers.
+//!
+//! The `O(N^2)` definition-level WHT used as ground truth by every test in
+//! the workspace: `WHT[i][j] = (-1)^popcount(i & j)` (natural/Hadamard
+//! ordering, the ordering computed by the split-tree algorithms).
+
+use crate::scalar::Scalar;
+
+/// Compute the WHT by its definition: `y[i] = sum_j (-1)^popcount(i&j) x[j]`.
+///
+/// `O(N^2)` — use only for verification (N up to a few thousand).
+///
+/// # Panics
+/// Panics if `x.len()` is not a power of two.
+pub fn naive_wht<T: Scalar>(x: &[T]) -> Vec<T> {
+    assert!(
+        x.len().is_power_of_two(),
+        "naive_wht requires a power-of-two length, got {}",
+        x.len()
+    );
+    let n = x.len();
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = T::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            if (i & j).count_ones() % 2 == 0 {
+                acc = acc + v;
+            } else {
+                acc = acc - v;
+            }
+        }
+        y.push(acc);
+    }
+    y
+}
+
+/// One entry of the natural-order WHT matrix: `(-1)^popcount(i & j)`.
+#[inline]
+pub fn hadamard_entry(i: usize, j: usize) -> i64 {
+    if (i & j).count_ones().is_multiple_of(2) {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Maximum absolute componentwise difference between two vectors, as `f64`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn max_abs_diff<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch in max_abs_diff");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Squared Euclidean norm as `f64` (for Parseval-style checks:
+/// `||WHT x||^2 = N * ||x||^2`).
+pub fn norm_sq<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64() * v.to_f64()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wht2_matches_hand_computation() {
+        let y = naive_wht(&[3.0, 5.0]);
+        assert_eq!(y, vec![8.0, -2.0]);
+    }
+
+    #[test]
+    fn wht4_matches_hand_computation() {
+        // WHT4 * [1,0,0,0] = first column = all ones.
+        assert_eq!(naive_wht(&[1.0, 0.0, 0.0, 0.0]), vec![1.0; 4]);
+        // WHT4 * [0,1,0,0] = second column = [1,-1,1,-1].
+        assert_eq!(naive_wht(&[0.0, 1.0, 0.0, 0.0]), vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn self_inverse_up_to_n() {
+        let x: Vec<f64> = (0..16).map(|v| (v as f64).sin()).collect();
+        let y = naive_wht(&naive_wht(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a * 16.0 - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x: Vec<f64> = (0..32).map(|v| ((v * 7 % 13) as f64) - 6.0).collect();
+        let y = naive_wht(&x);
+        let lhs = norm_sq(&y);
+        let rhs = 32.0 * norm_sq(&x);
+        assert!((lhs - rhs).abs() / rhs < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        naive_wht(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn hadamard_entry_symmetry() {
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(hadamard_entry(i, j), hadamard_entry(j, i));
+            }
+        }
+        assert_eq!(hadamard_entry(0, 5), 1);
+        assert_eq!(hadamard_entry(3, 1), -1);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+}

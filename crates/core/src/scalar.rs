@@ -1,0 +1,122 @@
+//! Element types the WHT engine can transform.
+//!
+//! The WHT matrix has entries ±1, so the transform needs only addition and
+//! subtraction. The engine is generic over [`Scalar`] and is exact over the
+//! integers; `f64` is the measured default (matching the WHT package, which
+//! computes over doubles).
+
+/// Numeric element type usable by the WHT engine.
+///
+/// Implementations exist for `f64` (the measured default), `f32`, `i64`,
+/// and `i32`. The WHT of an integer vector is integer-valued, so the integer
+/// instantiations are exact (beware overflow: entries grow by a factor of up
+/// to `2^n`).
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + core::fmt::Debug
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity (used by test signal generators).
+    const ONE: Self;
+
+    /// Lossy conversion from `i64`, for building test inputs.
+    fn from_i64(v: i64) -> Self;
+
+    /// Lossy conversion to `f64`, for norms and comparisons in tests.
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Scalar for i64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Scalar for i32 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline]
+    fn from_i64(v: i64) -> Self {
+        v as i32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_sub_roundtrip<T: Scalar>() {
+        let a = T::from_i64(7);
+        let b = T::from_i64(3);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(T::ZERO + a, a);
+    }
+
+    #[test]
+    fn all_scalars_behave() {
+        add_sub_roundtrip::<f64>();
+        add_sub_roundtrip::<f32>();
+        add_sub_roundtrip::<i64>();
+        add_sub_roundtrip::<i32>();
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f64::from_i64(-5).to_f64(), -5.0);
+        assert_eq!(i64::from_i64(42), 42);
+        assert_eq!(i32::from_i64(42), 42);
+        assert_eq!(f32::from_i64(2).to_f64(), 2.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-algorithm measurement record used by every experiment.
+//!
+//! One record corresponds to one row of the paper's per-algorithm data:
+//! performance (cycles), instruction count, and cache misses, for one plan.
+
+use crate::instrumented::measured_instruction_count;
+#[cfg(debug_assertions)]
+use crate::simcycles::simulated_cycles;
+use crate::simcycles::SimMachine;
+use crate::timer::{time_plan, TimingConfig};
+use crate::trace::trace_misses;
+use serde::{Deserialize, Serialize};
+use wht_cachesim::Hierarchy;
+use wht_core::{Plan, WhtError};
+use wht_models::CostModel;
+
+/// Everything the paper measures about one algorithm, in one struct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The plan, in WHT-package syntax (`split[small[1],...]`).
+    pub plan: String,
+    /// Transform exponent.
+    pub n: u32,
+    /// Wall-clock nanoseconds per transform (median of the timed blocks),
+    /// the PAPI-cycle substitute on the host machine; `None` if timing was
+    /// skipped.
+    pub wall_ns: Option<f64>,
+    /// Fastest timed block, per transform — the standard noise-robust
+    /// microbenchmark statistic (scheduler interference only ever slows a
+    /// block down, so the minimum is the cleanest observation).
+    pub wall_min_ns: Option<f64>,
+    /// Simulated cycles on the reference Opteron (deterministic backend);
+    /// `None` if tracing was skipped.
+    pub sim_cycles: Option<f64>,
+    /// Instrumented instruction count (abstract machine).
+    pub instructions: u64,
+    /// L1 misses on the simulated Opteron hierarchy.
+    pub l1_misses: Option<u64>,
+    /// Last-level (L2) misses on the simulated Opteron hierarchy.
+    pub l2_misses: Option<u64>,
+}
+
+/// What to measure when building a [`Measurement`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureOptions {
+    /// Wall-clock timing configuration, or `None` to skip timing.
+    pub timing: Option<TimingConfig>,
+    /// Whether to run the cache trace (needed for misses and sim cycles).
+    pub trace: bool,
+    /// Cost weights for the instruction count.
+    pub cost: CostModel,
+    /// Simulated machine latencies.
+    pub machine: SimMachine,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            timing: Some(TimingConfig::default()),
+            trace: true,
+            cost: CostModel::default(),
+            machine: SimMachine::default(),
+        }
+    }
+}
+
+/// Measure one plan. `hierarchy` is reset per trace; pass the same instance
+/// across calls to avoid reallocation.
+///
+/// # Errors
+/// Propagates timing errors ([`WhtError::InvalidConfig`]).
+pub fn measure_plan(
+    plan: &Plan,
+    opts: &MeasureOptions,
+    hierarchy: &mut Hierarchy,
+) -> Result<Measurement, WhtError> {
+    let instructions = measured_instruction_count(plan, &opts.cost);
+    let (wall_ns, wall_min_ns) = match &opts.timing {
+        Some(cfg) => {
+            let t = time_plan(plan, cfg)?;
+            (Some(t.median_ns), Some(t.min_ns))
+        }
+        None => (None, None),
+    };
+    let (sim_cycles, l1, l2) = if opts.trace {
+        let stats = trace_misses(plan, hierarchy);
+        let l1 = stats[0].misses;
+        let llc = stats.last().expect("non-empty").misses;
+        let cycles = opts
+            .machine
+            .cycles(instructions, l1.saturating_sub(llc), llc);
+        (Some(cycles), Some(l1), Some(llc))
+    } else {
+        (None, None, None)
+    };
+    // `simulated_cycles` exists for standalone use; assert the two paths
+    // agree in debug builds.
+    #[cfg(debug_assertions)]
+    if opts.trace {
+        let direct = simulated_cycles(plan, &opts.cost, &opts.machine, hierarchy);
+        debug_assert!((direct - sim_cycles.unwrap()).abs() < 1e-6);
+    }
+    Ok(Measurement {
+        plan: plan.to_string(),
+        n: plan.n(),
+        wall_ns,
+        wall_min_ns,
+        sim_cycles,
+        instructions,
+        l1_misses: l1,
+        l2_misses: l2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_measurement_has_all_fields() {
+        let plan = Plan::right_recursive(9).unwrap();
+        let mut h = Hierarchy::opteron();
+        let opts = MeasureOptions {
+            timing: Some(TimingConfig::fast()),
+            ..MeasureOptions::default()
+        };
+        let m = measure_plan(&plan, &opts, &mut h).unwrap();
+        assert_eq!(m.n, 9);
+        assert!(m.wall_ns.unwrap() > 0.0);
+        assert!(m.sim_cycles.unwrap() > 0.0);
+        assert!(m.instructions > 0);
+        assert!(m.l1_misses.unwrap() >= 1 << (9 - 3)); // at least compulsory lines
+        assert!(m.plan.starts_with("split["));
+    }
+
+    #[test]
+    fn skipping_parts_yields_none() {
+        let plan = Plan::iterative(6).unwrap();
+        let mut h = Hierarchy::opteron();
+        let opts = MeasureOptions {
+            timing: None,
+            trace: false,
+            ..MeasureOptions::default()
+        };
+        let m = measure_plan(&plan, &opts, &mut h).unwrap();
+        assert!(m.wall_ns.is_none());
+        assert!(m.sim_cycles.is_none());
+        assert!(m.l1_misses.is_none());
+        assert!(m.instructions > 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = Plan::iterative(5).unwrap();
+        let mut h = Hierarchy::opteron();
+        let opts = MeasureOptions {
+            timing: None,
+            ..MeasureOptions::default()
+        };
+        let m = measure_plan(&plan, &opts, &mut h).unwrap();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Measurement = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

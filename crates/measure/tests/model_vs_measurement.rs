@@ -1,0 +1,62 @@
+//! Cross-crate property tests: the paper's "computable from the high-level
+//! description" property, checked against instrumented execution on random
+//! plans from the paper's own sampling distribution.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wht_measure::{direct_mapped_unit_misses, measured_op_counts};
+use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
+use wht_space::Sampler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The instruction-count model equals the instrumented measurement
+    /// EXACTLY for every plan (any n, any seed).
+    #[test]
+    fn model_equals_instrumented_execution(n in 1u32..=14, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        prop_assert_eq!(op_counts(&plan), measured_op_counts(&plan), "plan {}", plan);
+        let cost = CostModel::default();
+        prop_assert_eq!(
+            instruction_count(&plan, &cost),
+            wht_measure::measured_instruction_count(&plan, &cost)
+        );
+    }
+
+    /// The analytic direct-mapped miss model tracks the exact trace
+    /// simulation closely on random plans (cold-refill approximation; see
+    /// wht-models::cache docs). In-cache it must be exact.
+    #[test]
+    fn analytic_misses_track_simulation(n in 1u32..=11, c in 4u32..=9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let sim = direct_mapped_unit_misses(&plan, c).unwrap();
+        let model = analytic_misses(&plan, ModelCache { log2_capacity: c });
+        if n <= c {
+            prop_assert_eq!(sim, model, "in-cache must be exact for {}", plan);
+            prop_assert_eq!(sim, 1u64 << n);
+        } else {
+            let rel = (sim as f64 - model as f64).abs() / sim as f64;
+            prop_assert!(
+                rel < 0.08,
+                "plan {}: sim {} vs model {} (rel {:.4})",
+                plan, sim, model, rel
+            );
+        }
+    }
+
+    /// Miss counts can never be fewer than compulsory (= N for unit lines)
+    /// nor more than total accesses.
+    #[test]
+    fn simulated_misses_bounded(n in 1u32..=10, c in 3u32..=8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let sim = direct_mapped_unit_misses(&plan, c).unwrap();
+        let accesses = 2 * (1u64 << n) * plan.leaf_count() as u64;
+        prop_assert!(sim >= 1u64 << n);
+        prop_assert!(sim <= accesses);
+    }
+}

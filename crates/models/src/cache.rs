@@ -1,0 +1,208 @@
+//! The analytic cache-miss model (reference \[8\] of the paper).
+//!
+//! Furis–Hitczenko–Johnson analyzed WHT cache misses for a **direct-mapped
+//! cache with unit line size** — that choice makes the conflict structure
+//! exactly analyzable. We implement the model in the same regime, as a
+//! recursion over the split tree computable from the high-level plan alone
+//! (no execution), and validate it against the trace-driven simulator in
+//! `wht-measure` (see the cross-crate tests there and in `/tests`).
+//!
+//! ## Derivation (element addresses, cache of `C = 2^c` elements)
+//!
+//! A node of size `2^m` invoked at stride `2^s` touches the footprint
+//! `{ base + j * 2^s : j < 2^m }`. Two footprint elements collide in the
+//! direct-mapped cache iff their index difference satisfies
+//! `(j - j') * 2^s ≡ 0 (mod 2^c)`, i.e. iff `j ≡ j' (mod 2^(c-s))`
+//! (for `s >= c`, *all* elements share one set). Hence:
+//!
+//! * **fits** (`m + s <= c`): the footprint is conflict-free. A cold
+//!   invocation pays one compulsory miss per element and every further
+//!   access within the invocation hits: `2^m` misses, independent of the
+//!   subtree's internal structure.
+//! * **thrashes** (`m + s > c`): the footprint self-conflicts, and a
+//!   complete pass over it evicts every element before its next reuse, so
+//!   each child invocation starts cold (the *cold-refill* step \[8\] builds
+//!   on). For a **leaf** in this regime every load misses (cold) *and*
+//!   every store misses: after the load pass, only the last `2^(c-s)`
+//!   loaded elements survive, and the store pass (same index order) evicts
+//!   each survivor before re-reaching it — `2 * 2^k` misses per invocation.
+//!   For a **split**, recurse: child `i` of `split[c1..ct]` runs at stride
+//!   `2^(s + n(i+1) + ... + nt)` (children execute right-to-left, the last
+//!   child first at stride `2^s` — the engine convention) and is invoked
+//!   `2^(m - ni)` times, each cold.
+//!
+//! The model is exact under its assumptions except for rare boundary
+//! survivals across sibling passes (an element whose every colliding
+//! neighbour happens to be ordered before it in both passes); the
+//! validation tests quantify this (it is zero for a single split level and
+//! well under 1% of misses in the regimes the paper samples).
+
+use serde::{Deserialize, Serialize};
+use wht_core::Plan;
+
+/// Direct-mapped unit-line cache geometry for the analytic model:
+/// capacity `2^log2_capacity` **elements**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelCache {
+    /// `log2` of the capacity in elements.
+    pub log2_capacity: u32,
+}
+
+impl ModelCache {
+    /// The paper's Opteron L1 in model form: 64 KiB of doubles = `2^13`
+    /// elements.
+    pub fn opteron_l1_elems() -> Self {
+        ModelCache { log2_capacity: 13 }
+    }
+
+    /// The paper's Opteron L2 in model form: 1 MiB of doubles = `2^17`
+    /// elements.
+    pub fn opteron_l2_elems() -> Self {
+        ModelCache { log2_capacity: 17 }
+    }
+}
+
+/// Analytic miss count for one cold execution of `plan` on a direct-mapped
+/// unit-line cache of `2^cache.log2_capacity` elements.
+pub fn analytic_misses(plan: &Plan, cache: ModelCache) -> u64 {
+    misses_rec(plan, 0, cache.log2_capacity)
+}
+
+/// Misses of one cold invocation of `plan` at stride `2^s`.
+fn misses_rec(plan: &Plan, s: u32, c: u32) -> u64 {
+    let m = plan.n();
+    if m + s <= c {
+        // Fits: compulsory misses only.
+        return 1u64 << m;
+    }
+    match plan {
+        // Thrashing leaf: all loads and all stores miss.
+        Plan::Leaf { k } => 1u64 << (k + 1),
+        Plan::Split { n, children } => {
+            let mut total = 0u64;
+            let mut suffix = *n; // n(i) + n(i+1) + ... + nt before child i
+            for child in children {
+                let ni = child.n();
+                suffix -= ni; // now n(i+1) + ... + nt: child i's stride
+                let invocations = 1u64 << (n - ni);
+                total += invocations * misses_rec(child, s + suffix, c);
+            }
+            total
+        }
+    }
+}
+
+/// Minimum possible misses for any plan of size `2^n`: the compulsory
+/// misses `2^n` when the transform fits, and a useful lower reference
+/// otherwise.
+pub fn compulsory_misses(n: u32) -> u64 {
+    1u64 << n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wht_core::Plan;
+
+    const C: ModelCache = ModelCache { log2_capacity: 6 }; // 64 elements
+
+    #[test]
+    fn fitting_transform_pays_compulsory_only() {
+        for n in 1..=6u32 {
+            for plan in [
+                Plan::iterative(n).unwrap(),
+                Plan::right_recursive(n).unwrap(),
+                Plan::left_recursive(n).unwrap(),
+            ] {
+                assert_eq!(analytic_misses(&plan, C), 1 << n, "plan {plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_misses_closed_form() {
+        // Derived in DESIGN/module docs: the flat split into n ones at size
+        // 2^n > cache 2^c: pass i (stride 2^(i-1), i = 1..n) fits while
+        // i - 1 + 1 <= c and thrashes after:
+        // total = c * 2^n + (n - c) * 2^(n+1).
+        let c = C.log2_capacity;
+        for n in (c + 1)..=(c + 6) {
+            let plan = Plan::iterative(n).unwrap();
+            let want = u64::from(c) * (1 << n) + u64::from(n - c) * (1 << (n + 1));
+            assert_eq!(analytic_misses(&plan, C), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn right_recursive_beats_left_recursive_out_of_cache() {
+        // The paper's Figure 3 ordering: for large sizes the left-recursive
+        // algorithm has far more misses (its final pass strides the whole
+        // array at every level).
+        for n in (C.log2_capacity + 2)..=(C.log2_capacity + 8) {
+            let rr = analytic_misses(&Plan::right_recursive(n).unwrap(), C);
+            let lr = analytic_misses(&Plan::left_recursive(n).unwrap(), C);
+            assert!(rr < lr, "n={n}: right {rr} !< left {lr}");
+        }
+    }
+
+    #[test]
+    fn out_of_cache_iterative_has_more_misses_than_right_recursive() {
+        // The paper, Section 3: past the L1 boundary the iterative
+        // algorithm has *more* cache misses than the recursive one ("Despite
+        // more cache misses, the iterative algorithm has performance closest
+        // to the best"): right recursive recurses on contiguous halves until
+        // the subproblem fits, paying ~2^n + 2(n-c)2^n, while iterative
+        // reloads the whole array on each of its n passes.
+        let c = C.log2_capacity;
+        for n in (c + 1)..=(c + 10) {
+            let it = analytic_misses(&Plan::iterative(n).unwrap(), C);
+            let rr = analytic_misses(&Plan::right_recursive(n).unwrap(), C);
+            assert!(rr < it, "n={n}: right {rr} !< iterative {it}");
+        }
+        // Right recursive closed form: the subtree at size m runs at stride
+        // 1 (contiguous), so it fits once m <= c: misses = 2^n (compulsory
+        // via the fitting level) + 2^(n+1) per non-fitting combine pass.
+        for n in (c + 1)..=(c + 6) {
+            let rr = analytic_misses(&Plan::right_recursive(n).unwrap(), C);
+            let want = (1u64 << n) + u64::from(n - c) * (1 << (n + 1));
+            assert_eq!(rr, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn balanced_plan_localizes_well() {
+        // A balanced tree keeps one side at small strides; its misses stay
+        // within a small factor of compulsory for moderate overshoot.
+        let n = C.log2_capacity + 4;
+        let bal = analytic_misses(&Plan::balanced(n, 4).unwrap(), C);
+        let it = analytic_misses(&Plan::iterative(n).unwrap(), C);
+        assert!(bal < it);
+    }
+
+    #[test]
+    fn thrashing_leaf_doubles() {
+        // A lone leaf bigger than the cache: loads and stores all miss.
+        let plan = Plan::Leaf { k: 8 };
+        let tiny = ModelCache { log2_capacity: 4 };
+        assert_eq!(analytic_misses(&plan, tiny), 512);
+    }
+
+    #[test]
+    fn monotone_in_cache_size() {
+        let plan = Plan::right_recursive(14).unwrap();
+        let mut prev = u64::MAX;
+        for c in 4..=14u32 {
+            let m = analytic_misses(&plan, ModelCache { log2_capacity: c });
+            assert!(m <= prev, "misses should not increase with cache size");
+            prev = m;
+        }
+        assert_eq!(prev, 1 << 14); // fits entirely at c = 14
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(ModelCache::opteron_l1_elems().log2_capacity, 13);
+        assert_eq!(ModelCache::opteron_l2_elems().log2_capacity, 17);
+        assert_eq!(compulsory_misses(10), 1024);
+    }
+}

@@ -1,0 +1,191 @@
+//! Closed-form model values for the canonical algorithms.
+//!
+//! Reference \[5\]'s analysis gives exact expressions for the instruction
+//! count of the iterative, right-recursive and left-recursive algorithms;
+//! the paper uses them to *predict* that right recursive outperforms left
+//! recursive (Section 3). This module derives the same closed forms for our
+//! abstract machine and validates them against the general recursion
+//! (`instruction_count` / `analytic_misses`) — both as documentation of the
+//! model's structure and as a cross-check of the recursive evaluators.
+//!
+//! Derivations (children execute right-to-left; see `wht_core::engine`):
+//!
+//! * **iterative** `split[small[1]; n]`: one node, pass `i` (from the left,
+//!   `i = 1..n`) runs with `R_i = 2^(i-1)` and `S_i = 2^(n-i)`:
+//!   `sum R_i = 2^n - 1`, `sum R_i*S_i = n*2^(n-1)`.
+//! * **right recursive** `split[small[1], R(n-1)]`: node of size `m` is
+//!   invoked `2^(n-m)` times; per invocation: `R = 1, 2` for its two
+//!   children (j-iterations `3`), k-iterations `2^(m-1) + 2`.
+//! * **left recursive** `split[L(n-1), small[1]]`: per invocation
+//!   j-iterations `1 + 2^(m-1)`, k-iterations `2 + 2^(m-1)` — the
+//!   `j`-heavy loop structure that makes it the instruction-count maximum
+//!   of the three.
+//!
+//! Cache misses (direct-mapped unit-line model of \[8\], capacity `2^c`):
+//!
+//! * **iterative**: passes at strides `2^0..2^(n-1)`; out of cache each
+//!   fitting-stride pass reloads everything (`2^n`), each thrashing pass
+//!   doubles (`2^(n+1)`): `c*2^n + (n-c)*2^(n+1)`.
+//! * **right recursive**: localizes on contiguous halves:
+//!   `2^n + (n-c)*2^(n+1)`.
+//! * **left recursive**: same stride multiset as iterative under unit
+//!   lines, hence the *same* closed form — the catastrophic gap the paper
+//!   measures at n = 18 comes from spatial locality (line size > 1): the
+//!   left recursion's pairwise passes jump by `2^(n-m+1)` and waste every
+//!   line, which the trace simulator (line-aware) exposes while the
+//!   unit-line model cannot. EXPERIMENTS.md discusses this boundary of the
+//!   \[8\] model.
+
+use crate::instructions::CostModel;
+
+/// Cost of one `small[1]` codelet invocation under `cost`.
+fn leaf1(cost: &CostModel) -> u64 {
+    cost.leaf_cost(1)
+}
+
+/// Closed-form instruction count of the iterative algorithm (`n >= 2`).
+pub fn iterative_instructions(n: u32, cost: &CostModel) -> u64 {
+    assert!(n >= 2);
+    let pow = |e: u32| 1u64 << e;
+    cost.node_invocation
+        + cost.outer_iter * u64::from(n)
+        + cost.j_iter * (pow(n) - 1)
+        + cost.k_iter * u64::from(n) * pow(n - 1)
+        + u64::from(n) * pow(n - 1) * leaf1(cost)
+}
+
+/// Closed-form instruction count of the right-recursive algorithm
+/// (`n >= 2`).
+pub fn right_recursive_instructions(n: u32, cost: &CostModel) -> u64 {
+    assert!(n >= 2);
+    let pow = |e: u32| 1u64 << e;
+    let per_invocation =
+        cost.node_invocation + 2 * cost.outer_iter + 3 * cost.j_iter + 2 * cost.k_iter;
+    per_invocation * (pow(n - 1) - 1)
+        + cost.k_iter * u64::from(n - 1) * pow(n - 1)
+        + u64::from(n) * pow(n - 1) * leaf1(cost)
+}
+
+/// Closed-form instruction count of the left-recursive algorithm
+/// (`n >= 2`).
+pub fn left_recursive_instructions(n: u32, cost: &CostModel) -> u64 {
+    assert!(n >= 2);
+    let pow = |e: u32| 1u64 << e;
+    let per_invocation =
+        cost.node_invocation + 2 * cost.outer_iter + cost.j_iter + 2 * cost.k_iter;
+    per_invocation * (pow(n - 1) - 1)
+        + (cost.j_iter + cost.k_iter) * u64::from(n - 1) * pow(n - 1)
+        + u64::from(n) * pow(n - 1) * leaf1(cost)
+}
+
+/// Closed-form unit-line direct-mapped misses of the iterative algorithm.
+pub fn iterative_misses(n: u32, c: u32) -> u64 {
+    if n <= c {
+        return 1 << n;
+    }
+    u64::from(c) * (1 << n) + u64::from(n - c) * (1 << (n + 1))
+}
+
+/// Closed-form unit-line direct-mapped misses of the right-recursive
+/// algorithm.
+pub fn right_recursive_misses(n: u32, c: u32) -> u64 {
+    if n <= c {
+        return 1 << n;
+    }
+    (1 << n) + u64::from(n - c) * (1 << (n + 1))
+}
+
+/// Closed-form unit-line direct-mapped misses of the left-recursive
+/// algorithm (equal to [`iterative_misses`] under unit lines; see the
+/// module docs for why real line sizes break the tie).
+pub fn left_recursive_misses(n: u32, c: u32) -> u64 {
+    iterative_misses(n, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{analytic_misses, ModelCache};
+    use crate::instructions::instruction_count;
+    use wht_core::Plan;
+
+    #[test]
+    fn instruction_closed_forms_match_recursion() {
+        let custom = CostModel {
+            j_iter: 7,
+            k_iter: 3,
+            leaf_call: 11,
+            ..CostModel::default()
+        };
+        for cost in [CostModel::default(), CostModel::flops_only(), custom] {
+            for n in 2..=20u32 {
+                assert_eq!(
+                    iterative_instructions(n, &cost),
+                    instruction_count(&Plan::iterative(n).unwrap(), &cost),
+                    "iterative n={n}"
+                );
+                assert_eq!(
+                    right_recursive_instructions(n, &cost),
+                    instruction_count(&Plan::right_recursive(n).unwrap(), &cost),
+                    "right n={n}"
+                );
+                assert_eq!(
+                    left_recursive_instructions(n, &cost),
+                    instruction_count(&Plan::left_recursive(n).unwrap(), &cost),
+                    "left n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_closed_forms_match_recursion() {
+        for c in [4u32, 7, 13] {
+            for n in 2..=(c + 8) {
+                let cache = ModelCache { log2_capacity: c };
+                assert_eq!(
+                    iterative_misses(n, c),
+                    analytic_misses(&Plan::iterative(n).unwrap(), cache),
+                    "iterative n={n} c={c}"
+                );
+                assert_eq!(
+                    right_recursive_misses(n, c),
+                    analytic_misses(&Plan::right_recursive(n).unwrap(), cache),
+                    "right n={n} c={c}"
+                );
+                assert_eq!(
+                    left_recursive_misses(n, c),
+                    analytic_misses(&Plan::left_recursive(n).unwrap(), cache),
+                    "left n={n} c={c}"
+                );
+            }
+        }
+    }
+
+    /// The paper's Section 3 prediction, as a theorem of the closed forms:
+    /// iterative < right recursive < left recursive in instructions.
+    #[test]
+    fn five_predicts_the_canonical_instruction_ordering() {
+        let cost = CostModel::default();
+        for n in 3..=24u32 {
+            let it = iterative_instructions(n, &cost);
+            let rr = right_recursive_instructions(n, &cost);
+            let lr = left_recursive_instructions(n, &cost);
+            assert!(it < rr && rr < lr, "n={n}: {it} {rr} {lr}");
+        }
+    }
+
+    /// The difference left - right grows like j_iter * (n-3) * 2^(n-1):
+    /// check the exact algebra.
+    #[test]
+    fn left_right_gap_formula() {
+        let cost = CostModel::default();
+        for n in 3..=20u32 {
+            let gap = left_recursive_instructions(n, &cost)
+                - right_recursive_instructions(n, &cost);
+            let expect = cost.j_iter
+                * (u64::from(n - 1) * (1 << (n - 1)) - (1 << n) + 2);
+            assert_eq!(gap, expect, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The combined performance model `alpha * Instructions + beta * Misses`
+//! (Section 4 of the paper).
+//!
+//! "For the larger transform size a model including both instruction count
+//! and cache misses is needed in order to obtain stronger correlation. The
+//! model is of the form alpha*I + beta*M ... The coefficients alpha and beta
+//! were chosen in order to maximize the correlation." The grid search that
+//! chooses them lives in `wht-stats::gridsearch`; this type just evaluates
+//! the linear combination.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear combination of the two models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CombinedModel {
+    /// Weight on the instruction count (the paper's optimum: 1.00).
+    pub alpha: f64,
+    /// Weight on the cache-miss count (the paper's optimum: 0.05).
+    pub beta: f64,
+}
+
+impl CombinedModel {
+    /// The coefficients the paper reports as optimal on its grid for
+    /// WHT(2^18) on the Opteron: `alpha = 1.00`, `beta = 0.05`.
+    pub fn paper_optimum() -> Self {
+        CombinedModel {
+            alpha: 1.0,
+            beta: 0.05,
+        }
+    }
+
+    /// Evaluate `alpha * instructions + beta * misses`.
+    pub fn value(&self, instructions: u64, misses: u64) -> f64 {
+        self.alpha * instructions as f64 + self.beta * misses as f64
+    }
+
+    /// Evaluate over parallel slices, producing the model series for a whole
+    /// sample of algorithms.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn series(&self, instructions: &[u64], misses: &[u64]) -> Vec<f64> {
+        assert_eq!(instructions.len(), misses.len(), "length mismatch");
+        instructions
+            .iter()
+            .zip(misses.iter())
+            .map(|(&i, &m)| self.value(i, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_linear_combination() {
+        let m = CombinedModel { alpha: 1.0, beta: 0.05 };
+        assert_eq!(m.value(100, 40), 102.0);
+        assert_eq!(m.value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn instruction_only_and_miss_only_specialize() {
+        let i_only = CombinedModel { alpha: 1.0, beta: 0.0 };
+        assert_eq!(i_only.value(123, 456), 123.0);
+        let m_only = CombinedModel { alpha: 0.0, beta: 1.0 };
+        assert_eq!(m_only.value(123, 456), 456.0);
+    }
+
+    #[test]
+    fn series_matches_pointwise() {
+        let m = CombinedModel::paper_optimum();
+        let i = vec![10u64, 20, 30];
+        let mm = vec![100u64, 0, 60];
+        let s = m.series(&i, &mm);
+        assert_eq!(s, vec![15.0, 20.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_checked() {
+        CombinedModel::paper_optimum().series(&[1], &[1, 2]);
+    }
+}

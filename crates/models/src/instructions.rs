@@ -1,0 +1,382 @@
+//! The instruction-count model (reference \[5\] of the paper).
+//!
+//! The model assigns to every plan a cost computable *from the high-level
+//! description alone* — the property the paper exploits to prune search
+//! without running code. It has the divide-and-conquer form analyzed by
+//! Hitczenko–Johnson–Huang:
+//!
+//! ```text
+//! T(2^n) = sum_i 2^(n - ni) * T(2^ni) + overhead(n1, ..., nt)
+//! ```
+//!
+//! We split the model into two pieces so that calibration and combination
+//! stay clean:
+//!
+//! * [`op_counts`] — exact counts of each operation category a plan
+//!   executes (pure structural recursion over the split tree);
+//! * [`CostModel`] — per-category weights of the abstract RISC-like
+//!   machine; [`instruction_count`] is the dot product.
+//!
+//! The instrumented interpreter in `wht-measure` counts the same categories
+//! while actually executing the loop nest; `model == measurement` exactly is
+//! a tested invariant of the workspace.
+
+use serde::{Deserialize, Serialize};
+use wht_core::Plan;
+
+/// Exact operation counts for one execution of a plan.
+///
+/// Categories mirror the engine (`wht_core::engine`):
+/// leaf codelet `small[k]` per call — `k*2^k` arithmetic ops, `2^k` loads,
+/// `2^k` stores, `2*2^k` address computations; a split node per invocation —
+/// one node entry, `t` outer-loop iterations, `r_i` `j`-loop iterations and
+/// `r_i * s_i` `k`-loop iterations per child (the `k`-loop iteration count
+/// equals the number of child invocations, `2^(n - ni)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Butterfly additions/subtractions: always `n * 2^n` in total.
+    pub arith: u64,
+    /// Element loads (each codelet call loads its `2^k` inputs once).
+    pub loads: u64,
+    /// Element stores.
+    pub stores: u64,
+    /// Address computations (one per load and one per store).
+    pub addr: u64,
+    /// Leaf codelet invocations.
+    pub leaf_calls: u64,
+    /// Split-node invocations.
+    pub node_invocations: u64,
+    /// Outer (`i`) loop iterations, one per child per node invocation.
+    pub outer_iters: u64,
+    /// Middle (`j`) loop iterations.
+    pub j_iters: u64,
+    /// Inner (`k`) loop iterations == recursive-call count.
+    pub k_iters: u64,
+}
+
+impl OpCounts {
+    /// Component-wise sum.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // semantic sum of counters, not numeric Add
+    pub fn add(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            arith: self.arith + other.arith,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            addr: self.addr + other.addr,
+            leaf_calls: self.leaf_calls + other.leaf_calls,
+            node_invocations: self.node_invocations + other.node_invocations,
+            outer_iters: self.outer_iters + other.outer_iters,
+            j_iters: self.j_iters + other.j_iters,
+            k_iters: self.k_iters + other.k_iters,
+        }
+    }
+
+    /// Scale every category by `factor` (a subtree invoked `factor` times).
+    #[must_use]
+    pub fn scale(self, factor: u64) -> OpCounts {
+        OpCounts {
+            arith: self.arith * factor,
+            loads: self.loads * factor,
+            stores: self.stores * factor,
+            addr: self.addr * factor,
+            leaf_calls: self.leaf_calls * factor,
+            node_invocations: self.node_invocations * factor,
+            outer_iters: self.outer_iters * factor,
+            j_iters: self.j_iters * factor,
+            k_iters: self.k_iters * factor,
+        }
+    }
+
+    /// Total memory operations (loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// Per-category instruction weights of the abstract machine.
+///
+/// The defaults model a RISC-like ISA: one instruction per arithmetic op,
+/// load, store and address computation; small constants for call and loop
+/// bookkeeping. The absolute scale is irrelevant for the paper's questions
+/// (correlations and rankings); what matters is that the same weights are
+/// used for the model and the instrumented measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Weight of one butterfly add/sub.
+    pub arith: u64,
+    /// Weight of one element load.
+    pub load: u64,
+    /// Weight of one element store.
+    pub store: u64,
+    /// Weight of one address computation.
+    pub addr: u64,
+    /// Fixed cost per leaf codelet invocation (call, prologue, epilogue).
+    pub leaf_call: u64,
+    /// Fixed cost per split-node invocation.
+    pub node_invocation: u64,
+    /// Cost per outer (`i`) loop iteration.
+    pub outer_iter: u64,
+    /// Cost per middle (`j`) loop iteration.
+    pub j_iter: u64,
+    /// Cost per inner (`k`) loop iteration (includes the recursive call
+    /// dispatch).
+    pub k_iter: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            arith: 1,
+            load: 1,
+            store: 1,
+            addr: 1,
+            leaf_call: 4,
+            node_invocation: 6,
+            outer_iter: 3,
+            j_iter: 2,
+            k_iter: 5,
+        }
+    }
+}
+
+impl CostModel {
+    /// A pure-arithmetic model (only butterflies count): with it, every plan
+    /// of size `2^n` costs exactly `n * 2^n` — useful as a baseline and in
+    /// tests.
+    pub fn flops_only() -> Self {
+        CostModel {
+            arith: 1,
+            load: 0,
+            store: 0,
+            addr: 0,
+            leaf_call: 0,
+            node_invocation: 0,
+            outer_iter: 0,
+            j_iter: 0,
+            k_iter: 0,
+        }
+    }
+
+    /// Weighted total for a set of counts.
+    pub fn total(&self, c: &OpCounts) -> u64 {
+        self.arith * c.arith
+            + self.load * c.loads
+            + self.store * c.stores
+            + self.addr * c.addr
+            + self.leaf_call * c.leaf_calls
+            + self.node_invocation * c.node_invocations
+            + self.outer_iter * c.outer_iters
+            + self.j_iter * c.j_iters
+            + self.k_iter * c.k_iters
+    }
+
+    /// Cost of one invocation of the leaf codelet `small[k]`.
+    pub fn leaf_cost(&self, k: u32) -> u64 {
+        let size = 1u64 << k;
+        self.arith * u64::from(k) * size
+            + (self.load + self.store) * size
+            + self.addr * 2 * size
+            + self.leaf_call
+    }
+
+    /// The `overhead(n1..nt)` term of the recurrence for one invocation of a
+    /// split node of size `2^n` with the given child exponents.
+    ///
+    /// Children execute right-to-left (engine convention): child `i` runs
+    /// with `R_i = 2^(n1+...+n(i-1))` `j`-iterations and
+    /// `S_i = 2^(n(i+1)+...+nt)` `k`-iterations per `j`, for
+    /// `R_i * S_i = 2^(n - ni)` invocations.
+    pub fn split_overhead(&self, n: u32, parts: &[u32]) -> u64 {
+        let mut total = self.node_invocation + self.outer_iter * parts.len() as u64;
+        let mut prefix = 0u32; // n1 + ... + n(i-1)
+        for &ni in parts {
+            let r_log = prefix; // log2 of R_i
+            total += self.j_iter * (1u64 << r_log) + self.k_iter * (1u64 << (n - ni));
+            prefix += ni;
+        }
+        total
+    }
+}
+
+/// Exact operation counts for one execution of `plan` — the model side of
+/// the "computable from the high-level description" property.
+pub fn op_counts(plan: &Plan) -> OpCounts {
+    match plan {
+        Plan::Leaf { k } => {
+            let size = 1u64 << *k;
+            OpCounts {
+                arith: u64::from(*k) * size,
+                loads: size,
+                stores: size,
+                addr: 2 * size,
+                leaf_calls: 1,
+                ..OpCounts::default()
+            }
+        }
+        Plan::Split { n, children } => {
+            let mut total = OpCounts {
+                node_invocations: 1,
+                outer_iters: children.len() as u64,
+                ..OpCounts::default()
+            };
+            // Right-to-left execution: child i has R_i = 2^(prefix sum
+            // before i) j-iterations; k-iterations = invocations =
+            // 2^(n - ni) regardless of order.
+            let mut prefix = 0u32;
+            for child in children {
+                let ni = child.n();
+                total.j_iters += 1u64 << prefix;
+                total.k_iters += 1u64 << (n - ni);
+                total = total.add(op_counts(child).scale(1u64 << (n - ni)));
+                prefix += ni;
+            }
+            total
+        }
+    }
+}
+
+/// The instruction-count model: `cost.total(op_counts(plan))`.
+pub fn instruction_count(plan: &Plan, cost: &CostModel) -> u64 {
+    cost.total(&op_counts(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wht_core::Plan;
+
+    #[test]
+    fn arithmetic_is_always_n_times_2n() {
+        for n in 1..=12u32 {
+            for plan in [
+                Plan::iterative(n).unwrap(),
+                Plan::right_recursive(n).unwrap(),
+                Plan::left_recursive(n).unwrap(),
+                Plan::balanced(n, 3).unwrap(),
+            ] {
+                let c = op_counts(&plan);
+                assert_eq!(
+                    c.arith,
+                    u64::from(n) << n,
+                    "plan {plan} has wrong flop count"
+                );
+                assert_eq!(instruction_count(&plan, &CostModel::flops_only()), u64::from(n) << n);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_counts() {
+        let c = op_counts(&Plan::Leaf { k: 3 });
+        assert_eq!(c.arith, 24);
+        assert_eq!(c.loads, 8);
+        assert_eq!(c.stores, 8);
+        assert_eq!(c.addr, 16);
+        assert_eq!(c.leaf_calls, 1);
+        assert_eq!(c.node_invocations, 0);
+    }
+
+    #[test]
+    fn split_counts_by_hand() {
+        // split[small[1], small[2]], n = 3 (children run right-to-left):
+        //   child 2 (n2=2) runs first: R = 2, S = 1: 2 j-iters, 2 k-iters,
+        //     2 leaf calls at stride 1;
+        //   child 1 (n1=1) runs last: R = 1, S = 4: 1 j-iter, 4 k-iters,
+        //     4 leaf calls at stride 4.
+        let plan = Plan::split(vec![Plan::Leaf { k: 1 }, Plan::Leaf { k: 2 }]).unwrap();
+        let c = op_counts(&plan);
+        assert_eq!(c.node_invocations, 1);
+        assert_eq!(c.outer_iters, 2);
+        assert_eq!(c.j_iters, 1 + 2);
+        assert_eq!(c.k_iters, 4 + 2);
+        assert_eq!(c.leaf_calls, 4 + 2);
+        assert_eq!(c.loads, 4 * 2 + 2 * 4);
+        assert_eq!(c.arith, 4 * 2 + 2 * 8); // = 3 * 8 = n*2^n
+    }
+
+    #[test]
+    fn iterative_has_fewest_instructions_of_canonicals() {
+        // The paper (Fig. 2): iterative executes the fewest instructions of
+        // the canonical algorithms at every size.
+        let cost = CostModel::default();
+        for n in 2..=16u32 {
+            let it = instruction_count(&Plan::iterative(n).unwrap(), &cost);
+            let rr = instruction_count(&Plan::right_recursive(n).unwrap(), &cost);
+            let lr = instruction_count(&Plan::left_recursive(n).unwrap(), &cost);
+            assert!(it <= rr, "n={n}: iterative {it} > right {rr}");
+            assert!(it <= lr, "n={n}: iterative {it} > left {lr}");
+        }
+    }
+
+    #[test]
+    fn left_recursive_executes_more_instructions_than_right() {
+        // Figure 2's ordering (and [5]'s analysis): the left-recursive
+        // algorithm has the highest instruction count of the canonicals.
+        // Structurally: at a node of size 2^m, left recursive runs its
+        // small[1] child with R = 2^(m-1) j-iterations (plus the same
+        // k-iterations as right recursive), while right recursive only ever
+        // has R in {1, 2}; the leaf-call counts are identical.
+        let cost = CostModel::default();
+        for n in 3..=16u32 {
+            let rr_plan = Plan::right_recursive(n).unwrap();
+            let lr_plan = Plan::left_recursive(n).unwrap();
+            let rr = instruction_count(&rr_plan, &cost);
+            let lr = instruction_count(&lr_plan, &cost);
+            assert!(lr > rr, "n={n}: left {lr} should exceed right {rr}");
+            assert_eq!(
+                op_counts(&rr_plan).leaf_calls,
+                op_counts(&lr_plan).leaf_calls
+            );
+            assert!(op_counts(&lr_plan).j_iters > op_counts(&rr_plan).j_iters);
+            assert_eq!(op_counts(&lr_plan).k_iters, op_counts(&rr_plan).k_iters);
+        }
+    }
+
+    #[test]
+    fn larger_base_cases_reduce_overhead() {
+        // The "best" algorithms in the paper use larger unrolled base cases:
+        // with default weights, small[4]-blocked plans beat small[1] flat
+        // splits.
+        let cost = CostModel::default();
+        for n in 8..=16u32 {
+            let flat = instruction_count(&Plan::iterative(n).unwrap(), &cost);
+            let blocked = instruction_count(&Plan::binary_iterative(n, 4).unwrap(), &cost);
+            assert!(
+                blocked < flat,
+                "n={n}: blocked {blocked} should beat flat {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_overhead_matches_op_counts() {
+        let plan = Plan::split(vec![
+            Plan::Leaf { k: 2 },
+            Plan::Leaf { k: 1 },
+            Plan::Leaf { k: 3 },
+        ])
+        .unwrap();
+        let cost = CostModel::default();
+        // overhead(plan) = total - children contributions
+        let total = instruction_count(&plan, &cost);
+        let child_part: u64 = [(2u32, 16u64), (1, 32), (3, 8)]
+            .iter()
+            .map(|&(k, times)| cost.leaf_cost(k) * times)
+            .sum();
+        assert_eq!(
+            total - child_part,
+            cost.split_overhead(6, &[2, 1, 3])
+        );
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = op_counts(&Plan::Leaf { k: 1 });
+        let doubled = a.scale(2);
+        assert_eq!(doubled.arith, 2 * a.arith);
+        let sum = a.add(a);
+        assert_eq!(sum, doubled);
+        assert_eq!(a.mem_ops(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! # wht-models — performance models computable from the plan alone
+//!
+//! The paper's central objects: models that predict (imperfectly, but with
+//! strong *correlation*) the performance of a WHT algorithm **from its
+//! high-level description, without running it**, enabling search-space
+//! pruning.
+//!
+//! * [`instructions`] — the instruction-count model of reference \[5\]:
+//!   exact operation counts per category ([`op_counts`]) weighted by an
+//!   abstract machine ([`CostModel`]);
+//! * [`cache`] — the direct-mapped cache-miss model of reference \[8\]
+//!   ([`analytic_misses`]);
+//! * [`combined`] — the paper's `alpha*I + beta*M` linear model;
+//! * [`theory`] — exact mean/variance/min/max of the instruction count
+//!   over the algorithm space (the computable side of \[5\]'s theorems).
+//!
+//! ```
+//! use wht_core::Plan;
+//! use wht_models::{analytic_misses, instruction_count, CostModel, ModelCache};
+//!
+//! let it = Plan::iterative(18)?;
+//! let rr = Plan::right_recursive(18)?;
+//! let cost = CostModel::default();
+//! // Figure 2's ordering: iterative executes fewer instructions...
+//! assert!(instruction_count(&it, &cost) < instruction_count(&rr, &cost));
+//! // ...but Figure 3's ordering: far out of cache it misses more:
+//! let l1 = ModelCache::opteron_l1_elems();
+//! assert!(analytic_misses(&it, l1) > analytic_misses(&rr, l1));
+//! # Ok::<(), wht_core::WhtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod closed_forms;
+pub mod combined;
+pub mod instructions;
+pub mod theory;
+
+pub use cache::{analytic_misses, compulsory_misses, ModelCache};
+pub use combined::CombinedModel;
+pub use instructions::{instruction_count, op_counts, CostModel, OpCounts};
+pub use theory::{
+    exact_instruction_moments, instruction_extremes, Extremes, Moments, MAX_THEORY_N,
+};

@@ -1,0 +1,356 @@
+//! Theoretical analysis of the instruction-count model over the algorithm
+//! space (the role reference \[5\] plays for the paper).
+//!
+//! \[5\] proves, for recurrences of the model's form, results about the
+//! minimum and maximum, the mean and variance, and the limiting (normal)
+//! distribution over the space of split trees. We reproduce the computable
+//! side exactly:
+//!
+//! * [`exact_instruction_moments`] — the mean and variance of the
+//!   instruction count under the paper's *recursive split uniform*
+//!   distribution, by dynamic programming over sizes (children are
+//!   independent given the composition, so first and second moments
+//!   propagate exactly);
+//! * [`instruction_extremes`] — the exact min/max over the whole space,
+//!   with witness plans (also by DP: the cost is monotone in each child's
+//!   cost, so composing optimal children is optimal).
+//!
+//! Both enumerate the `2^(m-1)` compositions of every size `m <= n`, so they
+//! are exponential in `n`; `n <= 25` is enforced (the paper's sizes are 9
+//! and 18; n = 25 takes ~1 s in release builds). Monte-Carlo cross-checks
+//! live in the test suites and the `table_theory` bench binary.
+
+use crate::instructions::CostModel;
+use wht_core::{Plan, WhtError};
+
+/// Mean and variance of the instruction count at one size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Expected instruction count under recursive-split-uniform sampling.
+    pub mean: f64,
+    /// Variance of the instruction count.
+    pub variance: f64,
+}
+
+/// Largest `n` accepted by the exact enumerations.
+pub const MAX_THEORY_N: u32 = 25;
+
+/// Exact per-size moments of the instruction-count model for sizes
+/// `1..=n` under the recursive split uniform distribution (leaf choice
+/// allowed up to `2^max_leaf_k`, the convention of DESIGN.md §5.6).
+///
+/// Returns `moments[m]` for `m` in `1..=n` (index 0 is a placeholder).
+///
+/// # Errors
+/// [`WhtError::SizeTooLarge`] for `n` above [`MAX_THEORY_N`];
+/// [`WhtError::InvalidConfig`] for `n == 0` or `max_leaf_k == 0`.
+pub fn exact_instruction_moments(
+    n: u32,
+    cost: &CostModel,
+    max_leaf_k: u32,
+) -> Result<Vec<Moments>, WhtError> {
+    validate(n, max_leaf_k)?;
+    let n = n as usize;
+    let mut out = vec![
+        Moments {
+            mean: 0.0,
+            variance: 0.0
+        };
+        n + 1
+    ];
+    for m in 1..=n {
+        let mut sum_mean = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut choices = 0.0f64;
+        let leaf_allowed = m as u32 <= max_leaf_k;
+        if leaf_allowed {
+            let lc = cost.leaf_cost(m as u32) as f64;
+            sum_mean += lc;
+            sum_sq += lc * lc;
+            choices += 1.0;
+        }
+        if m >= 2 {
+            let mut parts: Vec<u32> = Vec::with_capacity(m);
+            for mask in 1u64..(1u64 << (m - 1)) {
+                decode_mask(m as u32, mask, &mut parts);
+                let ov = cost.split_overhead(m as u32, &parts) as f64;
+                let mut mu = ov;
+                let mut var = 0.0f64;
+                for &p in &parts {
+                    let a = (1u64 << (m as u32 - p)) as f64;
+                    mu += a * out[p as usize].mean;
+                    var += a * a * out[p as usize].variance;
+                }
+                sum_mean += mu;
+                sum_sq += mu * mu + var;
+                choices += 1.0;
+            }
+        }
+        let mean = sum_mean / choices;
+        let second = sum_sq / choices;
+        out[m] = Moments {
+            mean,
+            variance: (second - mean * mean).max(0.0),
+        };
+    }
+    Ok(out)
+}
+
+/// Exact extremes of the instruction-count model over the space at size
+/// `2^n`, with witness plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extremes {
+    /// Minimum instruction count over all plans.
+    pub min: u64,
+    /// A plan achieving the minimum.
+    pub min_plan: Plan,
+    /// Maximum instruction count over all plans.
+    pub max: u64,
+    /// A plan achieving the maximum.
+    pub max_plan: Plan,
+}
+
+/// Compute [`Extremes`] by dynamic programming over sizes.
+///
+/// # Errors
+/// Same conditions as [`exact_instruction_moments`].
+pub fn instruction_extremes(
+    n: u32,
+    cost: &CostModel,
+    max_leaf_k: u32,
+) -> Result<Extremes, WhtError> {
+    validate(n, max_leaf_k)?;
+    let n = n as usize;
+    // Per size: (min value, min plan, max value, max plan).
+    let mut table: Vec<Option<Extremes>> = vec![None; n + 1];
+    for m in 1..=n {
+        let mut best: Option<Extremes> = if m as u32 <= max_leaf_k {
+            let lc = cost.leaf_cost(m as u32);
+            let leaf = Plan::Leaf { k: m as u32 };
+            Some(Extremes {
+                min: lc,
+                min_plan: leaf.clone(),
+                max: lc,
+                max_plan: leaf,
+            })
+        } else {
+            None
+        };
+        if m >= 2 {
+            let mut parts: Vec<u32> = Vec::with_capacity(m);
+            for mask in 1u64..(1u64 << (m - 1)) {
+                decode_mask(m as u32, mask, &mut parts);
+                let ov = cost.split_overhead(m as u32, &parts);
+                let mut min_v = ov;
+                let mut max_v = ov;
+                for &p in &parts {
+                    let a = 1u64 << (m as u32 - p);
+                    let sub = table[p as usize].as_ref().expect("smaller sizes filled");
+                    min_v += a * sub.min;
+                    max_v += a * sub.max;
+                }
+                let improve_min = best.as_ref().is_none_or(|b| min_v < b.min);
+                let improve_max = best.as_ref().is_none_or(|b| max_v > b.max);
+                if improve_min || improve_max {
+                    let make_plan = |pick_min: bool| -> Plan {
+                        let children: Vec<Plan> = parts
+                            .iter()
+                            .map(|&p| {
+                                let sub = table[p as usize].as_ref().expect("filled");
+                                if pick_min {
+                                    sub.min_plan.clone()
+                                } else {
+                                    sub.max_plan.clone()
+                                }
+                            })
+                            .collect();
+                        Plan::split(children).expect("valid split")
+                    };
+                    match best.as_mut() {
+                        None => {
+                            best = Some(Extremes {
+                                min: min_v,
+                                min_plan: make_plan(true),
+                                max: max_v,
+                                max_plan: make_plan(false),
+                            });
+                        }
+                        Some(b) => {
+                            if improve_min {
+                                b.min = min_v;
+                                b.min_plan = make_plan(true);
+                            }
+                            if improve_max {
+                                b.max = max_v;
+                                b.max_plan = make_plan(false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        table[m] = best;
+    }
+    Ok(table[n].take().expect("n >= 1 always has a plan"))
+}
+
+fn validate(n: u32, max_leaf_k: u32) -> Result<(), WhtError> {
+    if n == 0 || max_leaf_k == 0 {
+        return Err(WhtError::InvalidConfig(
+            "n and max_leaf_k must be >= 1".into(),
+        ));
+    }
+    if n > MAX_THEORY_N {
+        return Err(WhtError::SizeTooLarge { n });
+    }
+    Ok(())
+}
+
+/// Decode compositions without allocating per mask.
+fn decode_mask(n: u32, mask: u64, parts: &mut Vec<u32>) {
+    parts.clear();
+    let mut current = 1u32;
+    for i in 0..n - 1 {
+        if mask & (1 << i) != 0 {
+            parts.push(current);
+            current = 1;
+        } else {
+            current += 1;
+        }
+    }
+    parts.push(current);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instructions::instruction_count;
+    use wht_space::enumerate_plans;
+
+    /// Brute force over the fully enumerated space.
+    fn brute(n: u32, cost: &CostModel, max_leaf_k: u32) -> (f64, f64, u64, u64) {
+        // NOTE: enumeration weights every *plan* equally, which is NOT the
+        // recursive-split-uniform distribution; used only for extremes.
+        let plans = enumerate_plans(n, max_leaf_k, 2_000_000).unwrap();
+        let counts: Vec<u64> = plans.iter().map(|p| instruction_count(p, cost)).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        (mean, 0.0, min, max)
+    }
+
+    #[test]
+    fn extremes_match_enumeration() {
+        let cost = CostModel::default();
+        for max_leaf in [2u32, 8] {
+            for n in 1..=7u32 {
+                let ex = instruction_extremes(n, &cost, max_leaf).unwrap();
+                let (_, _, min_b, max_b) = brute(n, &cost, max_leaf);
+                assert_eq!(ex.min, min_b, "min n={n} L={max_leaf}");
+                assert_eq!(ex.max, max_b, "max n={n} L={max_leaf}");
+                // Witnesses actually achieve the extremes:
+                assert_eq!(instruction_count(&ex.min_plan, &cost), ex.min);
+                assert_eq!(instruction_count(&ex.max_plan, &cost), ex.max);
+                assert_eq!(ex.min_plan.n(), n);
+                assert_eq!(ex.max_plan.n(), n);
+            }
+        }
+    }
+
+    /// Exact moments against direct probability-weighted enumeration for a
+    /// small size where the distribution is computable by hand-expansion.
+    #[test]
+    fn moments_match_direct_expectation() {
+        let cost = CostModel::default();
+        // Recursively expand the distribution: returns Vec of (probability,
+        // instruction count).
+        fn dist(n: u32, cost: &CostModel, max_leaf: u32) -> Vec<(f64, f64)> {
+            let leaf_allowed = n <= max_leaf;
+            let total_choices = if n == 1 {
+                1.0
+            } else if leaf_allowed {
+                (1u64 << (n - 1)) as f64
+            } else {
+                ((1u64 << (n - 1)) - 1) as f64
+            };
+            let mut out = Vec::new();
+            if leaf_allowed {
+                out.push((1.0 / total_choices, cost.leaf_cost(n) as f64));
+            }
+            if n >= 2 {
+                let mut parts = Vec::new();
+                for mask in 1u64..(1u64 << (n - 1)) {
+                    super::decode_mask(n, mask, &mut parts);
+                    let ov = cost.split_overhead(n, &parts) as f64;
+                    // Cartesian product over children's distributions.
+                    let mut partial: Vec<(f64, f64)> = vec![(1.0 / total_choices, ov)];
+                    for &p in &parts {
+                        let a = (1u64 << (n - p)) as f64;
+                        let child = dist(p, cost, max_leaf);
+                        let mut next = Vec::with_capacity(partial.len() * child.len());
+                        for &(pp, vv) in &partial {
+                            for &(cp, cv) in &child {
+                                next.push((pp * cp, vv + a * cv));
+                            }
+                        }
+                        partial = next;
+                    }
+                    out.extend(partial);
+                }
+            }
+            out
+        }
+
+        for n in 1..=6u32 {
+            let d = dist(n, &cost, 8);
+            let ptotal: f64 = d.iter().map(|&(p, _)| p).sum();
+            assert!((ptotal - 1.0).abs() < 1e-9, "probabilities sum to 1");
+            let mean: f64 = d.iter().map(|&(p, v)| p * v).sum();
+            let second: f64 = d.iter().map(|&(p, v)| p * v * v).sum();
+            let var = second - mean * mean;
+            let m = exact_instruction_moments(n, &cost, 8).unwrap();
+            assert!(
+                (m[n as usize].mean - mean).abs() < 1e-6 * mean.max(1.0),
+                "mean n={n}: {} vs {}",
+                m[n as usize].mean,
+                mean
+            );
+            assert!(
+                (m[n as usize].variance - var).abs() < 1e-6 * var.max(1.0),
+                "var n={n}: {} vs {}",
+                m[n as usize].variance,
+                var
+            );
+        }
+    }
+
+    #[test]
+    fn min_is_within_extremes_and_flat_split_is_minimal_for_flops() {
+        // With the flops-only cost every plan costs n*2^n: min == max.
+        let cost = CostModel::flops_only();
+        let ex = instruction_extremes(10, &cost, 8).unwrap();
+        assert_eq!(ex.min, ex.max);
+        assert_eq!(ex.min, 10 * 1024);
+    }
+
+    #[test]
+    fn mean_between_extremes() {
+        let cost = CostModel::default();
+        for n in 2..=10u32 {
+            let ex = instruction_extremes(n, &cost, 8).unwrap();
+            let m = exact_instruction_moments(n, &cost, 8).unwrap()[n as usize];
+            assert!(ex.min as f64 <= m.mean && m.mean <= ex.max as f64);
+            assert!(m.variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let cost = CostModel::default();
+        assert!(exact_instruction_moments(0, &cost, 8).is_err());
+        assert!(exact_instruction_moments(8, &cost, 0).is_err());
+        assert!(exact_instruction_moments(MAX_THEORY_N + 1, &cost, 8).is_err());
+        assert!(instruction_extremes(0, &cost, 8).is_err());
+        assert!(instruction_extremes(26, &cost, 8).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-threaded WHT execution.
+//!
+//! The WHT package shipped pthread/OpenMP variants that parallelize the
+//! loop nest of Equation 1; this module reproduces that scheme: at the
+//! top-level split node, the `(j, k)` iteration space of each child pass is
+//! distributed over worker threads (passes remain barriers, children of the
+//! recursion below the top level run sequentially inside each worker — the
+//! package's "parallel outer loop" strategy).
+//!
+//! ## Safety argument
+//!
+//! Within one child pass, invocation `(j, k)` touches exactly the elements
+//! `{ j*Ni*S + k + u*S : u < Ni }`. Two distinct invocations differ in `j`
+//! (disjoint `Ni*S`-aligned blocks) or in `k` (distinct residues mod `S`),
+//! so their element sets are disjoint. Distributing disjoint invocations
+//! over threads is race-free even though the *slices* overlap; a raw
+//! pointer wrapper carries the buffer across the scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wht_core::{Plan, Scalar, WhtError};
+
+/// Raw-pointer wrapper that lets scoped worker threads write disjoint
+/// element sets of one buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Number of worker threads to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads(pub usize);
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads(
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Parallel in-place WHT: `x <- WHT(2^n) * x` with the top-level passes
+/// distributed over `threads` workers.
+///
+/// Falls back to the sequential engine when the plan is a single leaf or
+/// `threads.0 <= 1`.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`;
+/// [`WhtError::InvalidConfig`] for zero threads.
+pub fn par_apply_plan<T: Scalar>(plan: &Plan, x: &mut [T], threads: Threads) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
+    }
+    if x.len() != plan.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: plan.size(),
+            got: x.len(),
+        });
+    }
+    let workers = threads.0;
+    match plan {
+        Plan::Leaf { .. } => wht_core::apply_plan(plan, x),
+        _ if workers == 1 => wht_core::apply_plan(plan, x),
+        Plan::Split { n, children } => {
+            let ptr = SendPtr(x.as_mut_ptr());
+            let len = x.len();
+            let mut r = 1usize << n;
+            let mut s = 1usize;
+            // One barrier per child pass, as in the package's parallel loop.
+            for child in children.iter().rev() {
+                let ni = 1usize << child.n();
+                r /= ni;
+                let invocations = r * s;
+                let next = AtomicUsize::new(0);
+                let chunk = invocations.div_ceil(workers * 4).max(1);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers.min(invocations) {
+                        let next = &next;
+                        let ptr = &ptr;
+                        scope.spawn(move || {
+                            // SAFETY: each linear index q = j*s + k is
+                            // claimed by exactly one worker; distinct
+                            // invocations touch disjoint elements (module
+                            // docs), all within `len` (engine invariant).
+                            let data =
+                                unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= invocations {
+                                    break;
+                                }
+                                let end = (start + chunk).min(invocations);
+                                for q in start..end {
+                                    let j = q / s;
+                                    let k = q % s;
+                                    apply_serial(child, data, j * ni * s + k, s);
+                                }
+                            }
+                        });
+                    }
+                });
+                s *= ni;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Serial recursion identical to the core engine's `apply_rec` (re-stated
+/// here because the core keeps its worker private; the loop nest must stay
+/// byte-for-byte equivalent).
+fn apply_serial<T: Scalar>(plan: &Plan, x: &mut [T], base: usize, stride: usize) {
+    match plan {
+        Plan::Leaf { k } => {
+            debug_assert!(base + ((1usize << k) - 1) * stride < x.len());
+            // SAFETY: engine invariant (see wht_core::engine::apply_rec).
+            unsafe { wht_core::codelets::apply_codelet(*k, x, base, stride) };
+        }
+        Plan::Split { n, children } => {
+            let mut r = 1usize << n;
+            let mut s = 1usize;
+            for child in children.iter().rev() {
+                let ni = 1usize << child.n();
+                r /= ni;
+                for j in 0..r {
+                    for k in 0..s {
+                        apply_serial(child, x, base + (j * ni * s + k) * stride, s * stride);
+                    }
+                }
+                s *= ni;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wht_core::{apply_plan, max_abs_diff, naive_wht};
+
+    fn signal(n: u32) -> Vec<f64> {
+        (0..1usize << n)
+            .map(|j| ((j.wrapping_mul(2654435761)) % 4096) as f64 / 512.0 - 4.0)
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for n in [4u32, 8, 12] {
+            for plan in [
+                Plan::iterative(n).unwrap(),
+                Plan::right_recursive(n).unwrap(),
+                Plan::left_recursive(n).unwrap(),
+                Plan::balanced(n, 3).unwrap(),
+            ] {
+                let input = signal(n);
+                let mut seq = input.clone();
+                apply_plan(&plan, &mut seq).unwrap();
+                for threads in [1usize, 2, 3, 8] {
+                    let mut par = input.clone();
+                    par_apply_plan(&plan, &mut par, Threads(threads)).unwrap();
+                    assert_eq!(par, seq, "plan {plan}, {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let n = 10;
+        let plan = Plan::balanced(n, 4).unwrap();
+        let input = signal(n);
+        let want = naive_wht(&input);
+        let mut got = input;
+        par_apply_plan(&plan, &mut got, Threads::default()).unwrap();
+        assert!(max_abs_diff(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn leaf_plan_falls_back() {
+        let plan = Plan::leaf(6).unwrap();
+        let input = signal(6);
+        let want = naive_wht(&input);
+        let mut got = input;
+        par_apply_plan(&plan, &mut got, Threads(4)).unwrap();
+        assert!(max_abs_diff(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn errors() {
+        let plan = Plan::iterative(4).unwrap();
+        let mut short = vec![0.0f64; 8];
+        assert!(par_apply_plan(&plan, &mut short, Threads(2)).is_err());
+        let mut ok = vec![0.0f64; 16];
+        assert!(par_apply_plan(&plan, &mut ok, Threads(0)).is_err());
+    }
+
+    #[test]
+    fn integer_parallel_is_exact() {
+        let n = 9;
+        let plan = Plan::right_recursive(n).unwrap();
+        let ints: Vec<i64> = (0..1i64 << n).map(|j| (j * 7 % 31) - 15).collect();
+        let mut par = ints.clone();
+        par_apply_plan(&plan, &mut par, Threads(6)).unwrap();
+        let mut seq = ints;
+        apply_plan(&plan, &mut seq).unwrap();
+        assert_eq!(par, seq);
+    }
+}

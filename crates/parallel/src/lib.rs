@@ -1,0 +1,31 @@
+//! # wht-parallel — parallel execution and parallel experiments
+//!
+//! Two uses of parallelism, mirroring the WHT package's own parallel
+//! variants and the scale of the paper's experiments:
+//!
+//! * [`engine`] — a multi-threaded WHT ([`par_apply_plan`]): the top-level
+//!   passes of Equation 1 distributed over scoped worker threads (the
+//!   invocation sets of a pass are pairwise disjoint, so the distribution
+//!   is race-free);
+//! * [`sweep`] — a parallel measurement driver ([`measure_sweep`]) so that
+//!   10,000-algorithm experiment batches finish in minutes.
+//!
+//! ```
+//! use wht_core::{naive_wht, Plan};
+//! use wht_parallel::{par_apply_plan, Threads};
+//!
+//! let plan = Plan::balanced(12, 4)?;
+//! let mut x: Vec<f64> = (0..4096).map(|v| (v % 17) as f64).collect();
+//! let want = naive_wht(&x);
+//! par_apply_plan(&plan, &mut x, Threads::default())?;
+//! assert_eq!(x, want);
+//! # Ok::<(), wht_core::WhtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod sweep;
+
+pub use engine::{par_apply_plan, Threads};
+pub use sweep::measure_sweep;

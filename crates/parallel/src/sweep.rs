@@ -1,0 +1,122 @@
+//! Parallel measurement sweeps over many algorithms.
+//!
+//! The paper's Figures 4–11 each need 10,000 random algorithms measured
+//! (timed, instruction-counted, cache-traced). Tracing 10,000 size-2^18
+//! algorithms is minutes of single-core work; this driver fans the batch
+//! out over a worker pool (crossbeam channels for work distribution and
+//! result collection; each worker owns its cache hierarchy so traces never
+//! contend).
+//!
+//! Wall-clock timing under parallelism carries scheduler noise; for the
+//! paper-faithful noise-free series use the simulated-cycle backend, or run
+//! the sweep with `threads = 1` (the figure binaries expose both choices).
+
+use crossbeam::channel;
+use wht_cachesim::Hierarchy;
+use wht_core::{Plan, WhtError};
+use wht_measure::{measure_plan, MeasureOptions, Measurement};
+
+/// Measure every plan, distributing work over `threads` workers.
+/// Results come back in input order.
+///
+/// `hierarchy` is the geometry template; each worker clones it cold.
+///
+/// # Errors
+/// Propagates the first measurement error encountered; zero `threads` is
+/// rejected.
+pub fn measure_sweep(
+    plans: &[Plan],
+    opts: &MeasureOptions,
+    hierarchy: &Hierarchy,
+    threads: usize,
+) -> Result<Vec<Measurement>, WhtError> {
+    if threads == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
+    }
+    if plans.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = threads.min(plans.len());
+
+    let (work_tx, work_rx) = channel::unbounded::<usize>();
+    for idx in 0..plans.len() {
+        work_tx.send(idx).expect("unbounded send");
+    }
+    drop(work_tx);
+
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<Measurement, WhtError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let mut h = hierarchy.clone();
+            scope.spawn(move || {
+                while let Ok(idx) = work_rx.recv() {
+                    let result = measure_plan(&plans[idx], opts, &mut h);
+                    if res_tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut out: Vec<Option<Measurement>> = vec![None; plans.len()];
+    for (idx, result) in res_rx.iter() {
+        out[idx] = Some(result?);
+    }
+    Ok(out
+        .into_iter()
+        .map(|m| m.expect("every index measured"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wht_core::Plan;
+    use wht_measure::MeasureOptions;
+
+    fn no_timing() -> MeasureOptions {
+        MeasureOptions {
+            timing: None,
+            ..MeasureOptions::default()
+        }
+    }
+
+    #[test]
+    fn sweep_results_in_input_order_and_deterministic() {
+        let plans: Vec<Plan> = (4..=10u32)
+            .flat_map(|n| {
+                [
+                    Plan::iterative(n).unwrap(),
+                    Plan::right_recursive(n).unwrap(),
+                    Plan::balanced(n, 3).unwrap(),
+                ]
+            })
+            .collect();
+        let h = Hierarchy::opteron();
+        let parallel = measure_sweep(&plans, &no_timing(), &h, 8).unwrap();
+        let serial = measure_sweep(&plans, &no_timing(), &h, 1).unwrap();
+        assert_eq!(parallel, serial);
+        for (plan, m) in plans.iter().zip(parallel.iter()) {
+            assert_eq!(m.n, plan.n());
+            assert_eq!(m.plan, plan.to_string());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let h = Hierarchy::opteron();
+        assert!(measure_sweep(&[], &no_timing(), &h, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let h = Hierarchy::opteron();
+        let plans = [Plan::leaf(3).unwrap()];
+        assert!(measure_sweep(&plans, &no_timing(), &h, 0).is_err());
+    }
+}

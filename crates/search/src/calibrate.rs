@@ -1,0 +1,201 @@
+//! Calibrate the instruction-count model against the host machine.
+//!
+//! The paper's models use abstract operation counts; their *weights* are
+//! architecture constants the paper never needs because Pearson correlation
+//! is scale-free. For prediction in absolute units (and for studying how
+//! weight choices shift the model), this module fits per-category
+//! nanosecond costs by least squares over a timed sample:
+//!
+//! ```text
+//! wall_ns(plan)  ~  sum_c  w_c * op_counts(plan).c
+//! ```
+//!
+//! The fitted weights make `predict` a nanosecond-scale cost model that is
+//! still computable from the high-level plan alone — the paper's property,
+//! now in host units.
+
+use crate::cost::PlanCost;
+use rand::Rng;
+use wht_core::{Plan, WhtError};
+use wht_measure::{time_plan, TimingConfig};
+use wht_models::{op_counts, OpCounts};
+use wht_space::Sampler;
+use wht_stats::{pearson, ridge_regression};
+
+/// A calibrated, real-valued cost model (nanoseconds per operation
+/// category).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedCost {
+    /// Weights for (arith, loads, stores, addr, leaf_calls,
+    /// node_invocations, outer_iters, j_iters, k_iters), in ns.
+    pub weights: [f64; 9],
+    /// Pearson correlation between predictions and the calibration timings.
+    pub fit_rho: f64,
+    /// Number of plans timed during calibration.
+    pub sample_size: usize,
+}
+
+/// Feature vector of a plan: the nine operation-count categories.
+pub fn features(counts: &OpCounts) -> [f64; 9] {
+    [
+        counts.arith as f64,
+        counts.loads as f64,
+        counts.stores as f64,
+        counts.addr as f64,
+        counts.leaf_calls as f64,
+        counts.node_invocations as f64,
+        counts.outer_iters as f64,
+        counts.j_iters as f64,
+        counts.k_iters as f64,
+    ]
+}
+
+impl CalibratedCost {
+    /// Predicted nanoseconds for a plan.
+    pub fn predict(&self, plan: &Plan) -> f64 {
+        let f = features(&op_counts(plan));
+        f.iter().zip(self.weights.iter()).map(|(a, w)| a * w).sum()
+    }
+}
+
+impl PlanCost for CalibratedCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        Ok(self.predict(plan))
+    }
+
+    fn name(&self) -> &'static str {
+        "calibrated-model"
+    }
+}
+
+/// Calibration options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrateOptions {
+    /// Plans to sample and time per size.
+    pub samples_per_size: usize,
+    /// Transform exponents to calibrate over (mixing sizes conditions the
+    /// fit; in-cache sizes keep memory effects out of the weights).
+    pub sizes: [u32; 3],
+    /// Timing methodology.
+    pub timing: TimingConfig,
+}
+
+impl Default for CalibrateOptions {
+    fn default() -> Self {
+        CalibrateOptions {
+            samples_per_size: 60,
+            sizes: [8, 10, 12],
+            timing: TimingConfig::default(),
+        }
+    }
+}
+
+/// Fit a [`CalibratedCost`] by timing random plans.
+///
+/// The operation categories are structurally collinear (every plan has
+/// `loads == stores` and `addr == 2 * loads`), so the fit uses ridge
+/// regression — attribution between collinear categories is arbitrary but
+/// predictions are well-defined. Columns that end up with (unphysical)
+/// negative weights are clamped to zero; the reported `fit_rho` is computed
+/// *after* clamping, so it reflects the model actually returned.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] for degenerate options; timing errors
+/// propagate.
+pub fn calibrate<R: Rng + ?Sized>(
+    opts: &CalibrateOptions,
+    rng: &mut R,
+) -> Result<CalibratedCost, WhtError> {
+    if opts.samples_per_size < 12 {
+        return Err(WhtError::InvalidConfig(
+            "need at least 12 samples per size to fit 9 weights".into(),
+        ));
+    }
+    let sampler = Sampler::default();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    for &n in &opts.sizes {
+        for _ in 0..opts.samples_per_size {
+            let plan = sampler.sample(n, rng)?;
+            rows.push(features(&op_counts(&plan)).to_vec());
+            times.push(time_plan(&plan, &opts.timing)?.median_ns);
+        }
+    }
+    let raw = ridge_regression(&rows, &times, 1e-8);
+    let mut weights = [0.0f64; 9];
+    for (w, r) in weights.iter_mut().zip(raw.iter()) {
+        *w = r.max(0.0);
+    }
+    let preds: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().zip(weights.iter()).map(|(a, w)| a * w).sum())
+        .collect();
+    let fit_rho = pearson(&preds, &times);
+    Ok(CalibratedCost {
+        weights,
+        fit_rho,
+        sample_size: times.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_opts() -> CalibrateOptions {
+        CalibrateOptions {
+            samples_per_size: 25,
+            sizes: [6, 8, 10],
+            timing: TimingConfig::fast(),
+        }
+    }
+
+    #[test]
+    fn calibration_produces_a_predictive_model() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let model = calibrate(&quick_opts(), &mut rng).unwrap();
+        assert_eq!(model.sample_size, 75);
+        assert!(model.weights.iter().all(|&w| w >= 0.0));
+        // On the machine running the tests the fit should explain most of
+        // the variance even with the fast timing config.
+        assert!(
+            model.fit_rho > 0.8,
+            "calibration rho too low: {}",
+            model.fit_rho
+        );
+        // Predictions scale with size.
+        let small = model.predict(&Plan::right_recursive(6).unwrap());
+        let large = model.predict(&Plan::right_recursive(12).unwrap());
+        assert!(large > small);
+    }
+
+    #[test]
+    fn calibrated_model_is_a_cost_backend() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = calibrate(&quick_opts(), &mut rng).unwrap();
+        let c = model.cost(&Plan::iterative(8).unwrap()).unwrap();
+        assert!(c > 0.0);
+        assert_eq!(model.name(), "calibrated-model");
+    }
+
+    #[test]
+    fn degenerate_options_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = CalibrateOptions {
+            samples_per_size: 3,
+            ..quick_opts()
+        };
+        assert!(calibrate(&bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn feature_vector_matches_op_counts() {
+        let plan = Plan::iterative(5).unwrap();
+        let c = op_counts(&plan);
+        let f = features(&c);
+        assert_eq!(f[0], c.arith as f64);
+        assert_eq!(f[8], c.k_iters as f64);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cost functions the searchers can optimize.
+//!
+//! The WHT package searches by *empirical runtime*; the paper's point is
+//! that *model* costs (computable without running) can stand in for much of
+//! that search. Both are [`PlanCost`] implementations here, so every search
+//! strategy works with either backend.
+
+use wht_cachesim::Hierarchy;
+use wht_core::{Plan, WhtError};
+use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
+use wht_models::{analytic_misses, instruction_count, CostModel, ModelCache};
+
+/// A (possibly stateful) cost function over plans; smaller is better.
+pub trait PlanCost {
+    /// Evaluate one plan.
+    ///
+    /// # Errors
+    /// Backend-specific failures (e.g. invalid timing configuration).
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError>;
+
+    /// Human-readable backend name, used in experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// The instruction-count model (context-free: the unique cost backend for
+/// which dynamic programming is *exact*).
+#[derive(Debug, Clone, Default)]
+pub struct InstructionCost {
+    /// Abstract machine weights.
+    pub cost_model: CostModel,
+}
+
+impl PlanCost for InstructionCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        Ok(instruction_count(plan, &self.cost_model) as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "instruction-model"
+    }
+}
+
+/// The paper's combined model `alpha*I + beta*M` with analytic misses.
+#[derive(Debug, Clone)]
+pub struct CombinedModelCost {
+    /// Abstract machine weights for `I`.
+    pub cost_model: CostModel,
+    /// Direct-mapped model cache for `M`.
+    pub cache: ModelCache,
+    /// Weight on instructions.
+    pub alpha: f64,
+    /// Weight on misses.
+    pub beta: f64,
+}
+
+impl CombinedModelCost {
+    /// The paper's optimum (`alpha = 1, beta = 0.05`) against the Opteron
+    /// L1-sized model cache.
+    pub fn paper_default() -> Self {
+        CombinedModelCost {
+            cost_model: CostModel::default(),
+            cache: ModelCache::opteron_l1_elems(),
+            alpha: 1.0,
+            beta: 0.05,
+        }
+    }
+}
+
+impl PlanCost for CombinedModelCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        let i = instruction_count(plan, &self.cost_model) as f64;
+        let m = analytic_misses(plan, self.cache) as f64;
+        Ok(self.alpha * i + self.beta * m)
+    }
+
+    fn name(&self) -> &'static str {
+        "combined-model"
+    }
+}
+
+/// Deterministic simulated cycles on the reference Opteron (trace-driven:
+/// much more expensive than the models, noise-free unlike the wall clock).
+#[derive(Debug)]
+pub struct SimCyclesCost {
+    /// Abstract machine weights.
+    pub cost_model: CostModel,
+    /// Latency parameters.
+    pub machine: SimMachine,
+    hierarchy: Hierarchy,
+}
+
+impl SimCyclesCost {
+    /// Simulated cycles on the paper's Opteron hierarchy.
+    pub fn opteron() -> Self {
+        SimCyclesCost {
+            cost_model: CostModel::default(),
+            machine: SimMachine::default(),
+            hierarchy: Hierarchy::opteron(),
+        }
+    }
+}
+
+impl PlanCost for SimCyclesCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        Ok(simulated_cycles(
+            plan,
+            &self.cost_model,
+            &self.machine,
+            &mut self.hierarchy,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "sim-cycles"
+    }
+}
+
+/// Median wall-clock nanoseconds (what the WHT package's own search uses).
+#[derive(Debug, Clone, Default)]
+pub struct WallClockCost {
+    /// Timing methodology.
+    pub timing: TimingConfig,
+}
+
+impl PlanCost for WallClockCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        Ok(time_plan(plan, &self.timing)?.median_ns)
+    }
+
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_backends_are_deterministic() {
+        let plan = Plan::right_recursive(10).unwrap();
+        let mut c1 = InstructionCost::default();
+        assert_eq!(c1.cost(&plan).unwrap(), c1.cost(&plan).unwrap());
+        let mut c2 = CombinedModelCost::paper_default();
+        assert_eq!(c2.cost(&plan).unwrap(), c2.cost(&plan).unwrap());
+        let mut c3 = SimCyclesCost::opteron();
+        assert_eq!(c3.cost(&plan).unwrap(), c3.cost(&plan).unwrap());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            InstructionCost::default().name(),
+            CombinedModelCost::paper_default().name(),
+            SimCyclesCost::opteron().name(),
+            WallClockCost::default().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn combined_cost_orders_cache_hostile_plans_last() {
+        let n = 16;
+        let mut c = CombinedModelCost::paper_default();
+        let rr = c.cost(&Plan::right_recursive(n).unwrap()).unwrap();
+        let lr = c.cost(&Plan::left_recursive(n).unwrap()).unwrap();
+        assert!(lr > rr);
+    }
+}

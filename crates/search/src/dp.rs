@@ -1,0 +1,264 @@
+//! The WHT package's dynamic-programming autotuner.
+//!
+//! "the best algorithm determined by the dynamic programming search
+//! performed by the WHT package in \[7\] (note that dynamic programming
+//! serves only as a heuristic since the optimal algorithm depends on the
+//! calling context)" — paper, Section 3.
+//!
+//! Bottom-up over sizes `1..=n`: the best plan of size `2^m` is the cheapest
+//! of the leaf codelet (if `m <= max_leaf_k`) and every split
+//! `split[best(n1), ..., best(nt)]` over compositions of `m` with at most
+//! `max_parts` parts. The context-independence assumption is exactly the
+//! package's (and is *exact* for the instruction-count model, which ignores
+//! strides — tested against `wht-models::theory`).
+
+use crate::cost::PlanCost;
+use wht_core::{Plan, WhtError, MAX_LEAF_K};
+
+/// Dynamic-programming search options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpOptions {
+    /// Largest leaf codelet considered.
+    pub max_leaf_k: u32,
+    /// Largest split arity considered (2 = binary splits only, the common
+    /// package configuration; larger values search more compositions).
+    pub max_parts: usize,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        DpOptions {
+            max_leaf_k: MAX_LEAF_K,
+            max_parts: 3,
+        }
+    }
+}
+
+impl DpOptions {
+    /// Exhaustive composition arity (every `t` up to `n`): with a
+    /// context-free cost this makes DP exact over the whole space.
+    pub fn unbounded_parts() -> Self {
+        DpOptions {
+            max_leaf_k: MAX_LEAF_K,
+            max_parts: usize::MAX,
+        }
+    }
+}
+
+/// Result of a DP search: the best plan per size, with costs.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// `best[m]` for `m` in `1..=n` (`best[0]` is unused filler).
+    pub best: Vec<Plan>,
+    /// Cost of `best[m]` under the search's cost function.
+    pub cost: Vec<f64>,
+    /// Number of cost evaluations performed (the search's price).
+    pub evaluations: usize,
+}
+
+impl DpResult {
+    /// The best plan for the full size `n` the search was run at.
+    pub fn best_plan(&self) -> &Plan {
+        self.best.last().expect("non-empty")
+    }
+
+    /// Cost of the best full-size plan.
+    pub fn best_cost(&self) -> f64 {
+        *self.cost.last().expect("non-empty")
+    }
+}
+
+/// Run the DP autotuner up to size `2^n` with the given cost backend.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] for `n == 0` or degenerate options;
+/// propagates cost-function errors.
+pub fn dp_search<C: PlanCost>(n: u32, opts: &DpOptions, cost_fn: &mut C) -> Result<DpResult, WhtError> {
+    if n == 0 {
+        return Err(WhtError::InvalidConfig("n must be >= 1".into()));
+    }
+    if opts.max_parts < 2 {
+        return Err(WhtError::InvalidConfig("max_parts must be >= 2".into()));
+    }
+    let max_leaf = opts.max_leaf_k.clamp(1, MAX_LEAF_K);
+    let mut best: Vec<Option<(Plan, f64)>> = vec![None; n as usize + 1];
+    let mut evaluations = 0usize;
+
+    for m in 1..=n {
+        let mut candidate: Option<(Plan, f64)> = None;
+        if m <= max_leaf {
+            let leaf = Plan::Leaf { k: m };
+            let c = cost_fn.cost(&leaf)?;
+            evaluations += 1;
+            candidate = Some((leaf, c));
+        }
+        if m >= 2 {
+            let mut parts = Vec::new();
+            let mut compositions = Vec::new();
+            gen_compositions(m, opts.max_parts, &mut parts, &mut compositions);
+            for comp in compositions {
+                let children: Vec<Plan> = comp
+                    .iter()
+                    .map(|&p| best[p as usize].as_ref().expect("filled").0.clone())
+                    .collect();
+                let plan = Plan::split(children)?;
+                let c = cost_fn.cost(&plan)?;
+                evaluations += 1;
+                if candidate.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                    candidate = Some((plan, c));
+                }
+            }
+        }
+        best[m as usize] = Some(candidate.ok_or_else(|| {
+            WhtError::InvalidConfig(format!("no candidate plan for size 2^{m}"))
+        })?);
+    }
+
+    let mut plans = Vec::with_capacity(n as usize + 1);
+    let mut costs = Vec::with_capacity(n as usize + 1);
+    plans.push(Plan::Leaf { k: 1 }); // index 0 filler
+    costs.push(f64::NAN);
+    for slot in best.iter_mut().skip(1) {
+        let (p, c) = slot.take().expect("filled");
+        plans.push(p);
+        costs.push(c);
+    }
+    Ok(DpResult {
+        best: plans,
+        cost: costs,
+        evaluations,
+    })
+}
+
+/// All compositions of `m` into `2..=max_parts` parts (order significant).
+fn gen_compositions(m: u32, max_parts: usize, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    if prefix.len() >= 2 && prefix.iter().sum::<u32>() == m {
+        out.push(prefix.clone());
+        // continue: longer compositions may still exist — handled below.
+    }
+    let used: u32 = prefix.iter().sum();
+    if prefix.len() >= max_parts || used >= m {
+        return;
+    }
+    // Add one more part of every feasible size.
+    for next in 1..=(m - used) {
+        // Make sure at least one more part can follow unless this completes.
+        let remaining = m - used - next;
+        if remaining == 0 && prefix.is_empty() {
+            continue; // single-part composition: not a split
+        }
+        prefix.push(next);
+        gen_compositions(m, max_parts, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CombinedModelCost, InstructionCost, SimCyclesCost};
+    use wht_models::{instruction_count, instruction_extremes, CostModel};
+
+    #[test]
+    fn composition_generator_counts() {
+        let mut prefix = Vec::new();
+        let mut out = Vec::new();
+        gen_compositions(4, usize::MAX, &mut prefix, &mut out);
+        // Compositions of 4 with >= 2 parts: 2^3 - 1 = 7.
+        assert_eq!(out.len(), 7);
+        for c in &out {
+            assert_eq!(c.iter().sum::<u32>(), 4);
+            assert!(c.len() >= 2);
+        }
+        out.clear();
+        gen_compositions(5, 2, &mut prefix, &mut out);
+        // Binary compositions of 5: 4.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dp_exact_for_instruction_model() {
+        // The instruction model is context-free, so unbounded DP must match
+        // the exact theory minimum.
+        let mut cost = InstructionCost::default();
+        for n in 1..=12u32 {
+            let dp = dp_search(n, &DpOptions::unbounded_parts(), &mut cost).unwrap();
+            let ex = instruction_extremes(n, &CostModel::default(), 8).unwrap();
+            assert_eq!(
+                dp.best_cost() as u64,
+                ex.min,
+                "n={n}: DP {} vs theory {}",
+                dp.best_cost(),
+                ex.min
+            );
+        }
+    }
+
+    #[test]
+    fn dp_beats_canonicals_under_its_own_cost() {
+        let mut cost = CombinedModelCost::paper_default();
+        let n = 16;
+        let dp = dp_search(n, &DpOptions::default(), &mut cost).unwrap();
+        for canonical in [
+            Plan::iterative(n).unwrap(),
+            Plan::right_recursive(n).unwrap(),
+            Plan::left_recursive(n).unwrap(),
+        ] {
+            let c = cost.cost(&canonical).unwrap();
+            assert!(
+                dp.best_cost() <= c,
+                "DP best {} should be <= {canonical} at {c}",
+                dp.best_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn dp_best_uses_larger_base_cases() {
+        // The paper: "The best algorithm utilizes larger base cases
+        // (unrolled code) than used by the canonical algorithms."
+        let mut cost = InstructionCost::default();
+        let dp = dp_search(12, &DpOptions::default(), &mut cost).unwrap();
+        let leaves = dp.best_plan().leaf_exponents();
+        assert!(
+            leaves.iter().all(|&k| k >= 2),
+            "best plan {} should avoid small[1] leaves",
+            dp.best_plan()
+        );
+    }
+
+    #[test]
+    fn per_size_table_is_usable() {
+        let mut cost = InstructionCost::default();
+        let dp = dp_search(8, &DpOptions::default(), &mut cost).unwrap();
+        for m in 1..=8u32 {
+            let plan = &dp.best[m as usize];
+            assert_eq!(plan.n(), m);
+            assert_eq!(
+                dp.cost[m as usize] as u64,
+                instruction_count(plan, &CostModel::default())
+            );
+        }
+        assert!(dp.evaluations > 8);
+    }
+
+    #[test]
+    fn sim_cycles_backend_works_end_to_end() {
+        let mut cost = SimCyclesCost::opteron();
+        let dp = dp_search(10, &DpOptions { max_parts: 2, ..DpOptions::default() }, &mut cost).unwrap();
+        assert_eq!(dp.best_plan().n(), 10);
+        assert!(dp.best_cost() > 0.0);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut cost = InstructionCost::default();
+        assert!(dp_search(0, &DpOptions::default(), &mut cost).is_err());
+        let bad = DpOptions {
+            max_parts: 1,
+            ..DpOptions::default()
+        };
+        assert!(dp_search(4, &bad, &mut cost).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # wht-search — search over the WHT algorithm space
+//!
+//! The WHT package's generate-and-test machinery and the paper's
+//! model-based pruning:
+//!
+//! * [`cost`] — pluggable cost backends: instruction model, combined
+//!   `alpha*I + beta*M` model, deterministic simulated cycles, wall clock;
+//! * [`dp`] — the package's dynamic-programming autotuner (the source of
+//!   the paper's "best" algorithms);
+//! * [`strategies`] — exhaustive search (small sizes), uniform random
+//!   search, and the paper's model-pruned search.
+//!
+//! ```
+//! use wht_search::{dp_search, DpOptions, InstructionCost};
+//!
+//! // Autotune size 2^10 against the instruction model:
+//! let mut cost = InstructionCost::default();
+//! let result = dp_search(10, &DpOptions::default(), &mut cost)?;
+//! println!("best plan: {}", result.best_plan());
+//! assert_eq!(result.best_plan().n(), 10);
+//! # Ok::<(), wht_core::WhtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod cost;
+pub mod dp;
+pub mod local;
+pub mod strategies;
+
+pub use calibrate::{calibrate, CalibrateOptions, CalibratedCost};
+pub use cost::{CombinedModelCost, InstructionCost, PlanCost, SimCyclesCost, WallClockCost};
+pub use dp::{dp_search, DpOptions, DpResult};
+pub use local::{local_search, mutate, LocalSearchOptions};
+pub use strategies::{exhaustive_search, pruned_search, random_search, PrunedSearchResult, Ranked};

@@ -1,0 +1,215 @@
+//! Local search over the plan space: random-restart hill climbing with
+//! tree mutations.
+//!
+//! The paper's introduction: "Intelligent search techniques are employed in
+//! order to avoid exhaustively generating all possibilities". Besides the
+//! package's DP, the classic alternative is stochastic local search over
+//! split trees (cf. the STEER/evolutionary search in SPIRAL). Mutations:
+//!
+//! * **resplit** — replace a random subtree by a freshly sampled one of the
+//!   same size;
+//! * **flatten** — replace a random subtree by its flat (iterative) split;
+//! * **collapse** — replace a small subtree (n <= 8) by the leaf codelet;
+//! * **block** — replace a subtree by the flat split into `2^k` leaves for
+//!   a random `k` (the larger-base-case shape the paper's "best" plans use);
+//! * **rebalance** — replace a subtree by the balanced binary recursion;
+//! * **swap** — swap two adjacent children of a split (changes strides,
+//!   keeps the composition multiset).
+
+use crate::cost::PlanCost;
+use crate::strategies::Ranked;
+use rand::Rng;
+use wht_core::{Plan, WhtError, MAX_LEAF_K};
+use wht_space::Sampler;
+
+/// Options for [`local_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSearchOptions {
+    /// Independent restarts (each from a fresh random plan).
+    pub restarts: usize,
+    /// Mutation attempts per restart without improvement before giving up.
+    pub patience: usize,
+}
+
+impl Default for LocalSearchOptions {
+    fn default() -> Self {
+        LocalSearchOptions {
+            restarts: 8,
+            patience: 300,
+        }
+    }
+}
+
+/// Hill-climb from random starting plans, keeping the best plan found.
+///
+/// # Errors
+/// Sampler errors for invalid `n`; cost-backend errors propagate.
+pub fn local_search<C: PlanCost, R: Rng + ?Sized>(
+    n: u32,
+    opts: &LocalSearchOptions,
+    cost_fn: &mut C,
+    rng: &mut R,
+) -> Result<Ranked, WhtError> {
+    if opts.restarts == 0 || opts.patience == 0 {
+        return Err(WhtError::InvalidConfig(
+            "restarts and patience must be >= 1".into(),
+        ));
+    }
+    let sampler = Sampler::default();
+    let mut best: Option<Ranked> = None;
+    for _ in 0..opts.restarts {
+        let mut current = sampler.sample(n, rng)?;
+        let mut current_cost = cost_fn.cost(&current)?;
+        let mut stale = 0usize;
+        while stale < opts.patience {
+            let candidate = mutate(&current, rng);
+            let cost = cost_fn.cost(&candidate)?;
+            if cost < current_cost {
+                current = candidate;
+                current_cost = cost;
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        if best.as_ref().is_none_or(|b| current_cost < b.cost) {
+            best = Some(Ranked {
+                plan: current,
+                cost: current_cost,
+            });
+        }
+    }
+    Ok(best.expect("restarts >= 1"))
+}
+
+/// Apply one random mutation, returning a valid plan of the same size.
+pub fn mutate<R: Rng + ?Sized>(plan: &Plan, rng: &mut R) -> Plan {
+    let nodes = plan.node_count();
+    let target = rng.gen_range(0..nodes);
+    let mut counter = 0usize;
+    rewrite(plan, target, &mut counter, rng)
+}
+
+/// Walk the tree in preorder; apply a mutation at node `target`.
+fn rewrite<R: Rng + ?Sized>(
+    plan: &Plan,
+    target: usize,
+    counter: &mut usize,
+    rng: &mut R,
+) -> Plan {
+    let here = *counter;
+    *counter += 1;
+    if here == target {
+        return mutate_node(plan, rng);
+    }
+    match plan {
+        Plan::Leaf { .. } => plan.clone(),
+        Plan::Split { children, .. } => {
+            let new_children: Vec<Plan> = children
+                .iter()
+                .map(|c| rewrite(c, target, counter, rng))
+                .collect();
+            Plan::split(new_children).expect("same sizes stay valid")
+        }
+    }
+}
+
+fn mutate_node<R: Rng + ?Sized>(node: &Plan, rng: &mut R) -> Plan {
+    let n = node.n();
+    let choice = rng.gen_range(0..6u32);
+    match choice {
+        // resplit: fresh random subtree of the same size.
+        0 => Sampler::default()
+            .sample(n, rng)
+            .expect("node sizes are valid"),
+        // flatten: the iterative split of this node.
+        1 => Plan::iterative(n).expect("valid"),
+        // collapse to a leaf when a codelet exists.
+        2 if n <= MAX_LEAF_K => Plan::Leaf { k: n },
+        // block: flat split into larger unrolled base cases.
+        3 => {
+            let k = rng.gen_range(2..=MAX_LEAF_K);
+            Plan::binary_iterative(n, k).expect("valid")
+        }
+        // rebalance: balanced binary recursion to a random leaf bound.
+        4 => {
+            let k = rng.gen_range(2..=MAX_LEAF_K);
+            Plan::balanced(n, k).expect("valid")
+        }
+        // swap two adjacent children if this is a split.
+        _ => match node {
+            Plan::Split { children, .. } if children.len() >= 2 => {
+                let i = rng.gen_range(0..children.len() - 1);
+                let mut cs = children.clone();
+                cs.swap(i, i + 1);
+                Plan::split(cs).expect("same sizes stay valid")
+            }
+            _ => Sampler::default().sample(n, rng).expect("valid size"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InstructionCost;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wht_core::naive_wht;
+
+    #[test]
+    fn mutations_preserve_size_and_validity() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let sampler = Sampler::default();
+        for n in [3u32, 8, 14] {
+            let mut plan = sampler.sample(n, &mut rng).unwrap();
+            for _ in 0..200 {
+                plan = mutate(&plan, &mut rng);
+                assert_eq!(plan.n(), n);
+                assert!(plan.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_plans_still_compute_the_wht() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut plan = Sampler::default().sample(7, &mut rng).unwrap();
+        let input: Vec<f64> = (0..128).map(|v| ((v * 5) % 13) as f64).collect();
+        let want = naive_wht(&input);
+        for _ in 0..25 {
+            plan = mutate(&plan, &mut rng);
+            let mut x = input.clone();
+            wht_core::apply_plan(&plan, &mut x).unwrap();
+            assert_eq!(x, want, "mutated plan {plan} is wrong");
+        }
+    }
+
+    #[test]
+    fn local_search_converges_to_good_plans() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cost = InstructionCost::default();
+        let found = local_search(10, &LocalSearchOptions::default(), &mut cost, &mut rng)
+            .unwrap();
+        // Compare against the exact optimum from the theory DP.
+        let opt = wht_models::instruction_extremes(10, &cost.cost_model, 8)
+            .unwrap()
+            .min as f64;
+        assert!(
+            found.cost <= 1.25 * opt,
+            "local search found {} vs optimum {opt}",
+            found.cost
+        );
+    }
+
+    #[test]
+    fn degenerate_options_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cost = InstructionCost::default();
+        let bad = LocalSearchOptions {
+            restarts: 0,
+            patience: 5,
+        };
+        assert!(local_search(8, &bad, &mut cost, &mut rng).is_err());
+    }
+}

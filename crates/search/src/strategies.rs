@@ -1,0 +1,210 @@
+//! Exhaustive, random, and model-pruned search strategies.
+//!
+//! [`pruned_search`] is the paper's proposed application (Section 4/5):
+//! sample algorithms, rank them by a cheap model computable from the plan
+//! alone, and spend expensive measurements only on the fraction with the
+//! smallest model values. "Thus for small transforms it is safe to ignore
+//! algorithms which have a high instruction count and for large transforms
+//! it is safe to ignore algorithms with a high value in the combined
+//! instruction count/cache miss model."
+
+use crate::cost::PlanCost;
+use rand::Rng;
+use wht_core::{Plan, WhtError};
+use wht_space::{enumerate_plans, Sampler};
+
+/// A plan with its evaluated cost.
+#[derive(Debug, Clone)]
+pub struct Ranked {
+    /// The plan.
+    pub plan: Plan,
+    /// Its cost under the strategy's expensive backend.
+    pub cost: f64,
+}
+
+/// Exhaustively evaluate every plan of size `2^n` (small `n` only; guarded
+/// by `budget` like [`enumerate_plans`]). Returns the best.
+///
+/// # Errors
+/// Budget/space errors from enumeration; cost-backend errors.
+pub fn exhaustive_search<C: PlanCost>(
+    n: u32,
+    max_leaf_k: u32,
+    budget: usize,
+    cost_fn: &mut C,
+) -> Result<Ranked, WhtError> {
+    let plans = enumerate_plans(n, max_leaf_k, budget)?;
+    let mut best: Option<Ranked> = None;
+    for plan in plans {
+        let cost = cost_fn.cost(&plan)?;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Ranked { plan, cost });
+        }
+    }
+    best.ok_or_else(|| WhtError::InvalidConfig("empty space".into()))
+}
+
+/// Evaluate `samples` random plans (recursive split uniform) and return the
+/// best.
+///
+/// # Errors
+/// Sampler errors for bad `n`; cost-backend errors.
+pub fn random_search<C: PlanCost, R: Rng + ?Sized>(
+    n: u32,
+    samples: usize,
+    cost_fn: &mut C,
+    rng: &mut R,
+) -> Result<Ranked, WhtError> {
+    if samples == 0 {
+        return Err(WhtError::InvalidConfig("samples must be >= 1".into()));
+    }
+    let sampler = Sampler::default();
+    let mut best: Option<Ranked> = None;
+    for _ in 0..samples {
+        let plan = sampler.sample(n, rng)?;
+        let cost = cost_fn.cost(&plan)?;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Ranked { plan, cost });
+        }
+    }
+    best.ok_or_else(|| WhtError::InvalidConfig("no samples".into()))
+}
+
+/// Outcome of a [`pruned_search`].
+#[derive(Debug, Clone)]
+pub struct PrunedSearchResult {
+    /// Best plan among the survivors, under the expensive cost.
+    pub best: Ranked,
+    /// How many plans were sampled in total.
+    pub sampled: usize,
+    /// How many survived the model filter and were measured expensively.
+    pub measured: usize,
+    /// The model-value threshold that survivors were required to be under.
+    pub model_threshold: f64,
+}
+
+/// The paper's pruning strategy: sample `samples` plans, score all with the
+/// cheap `model`, keep the `keep_fraction` with the smallest model values,
+/// and evaluate only those with the `expensive` backend.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] for a zero sample count or a fraction
+/// outside `(0, 1]`; backend errors propagate.
+pub fn pruned_search<M: PlanCost, E: PlanCost, R: Rng + ?Sized>(
+    n: u32,
+    samples: usize,
+    keep_fraction: f64,
+    model: &mut M,
+    expensive: &mut E,
+    rng: &mut R,
+) -> Result<PrunedSearchResult, WhtError> {
+    if samples == 0 {
+        return Err(WhtError::InvalidConfig("samples must be >= 1".into()));
+    }
+    if !(keep_fraction > 0.0 && keep_fraction <= 1.0) {
+        return Err(WhtError::InvalidConfig(
+            "keep_fraction must be in (0, 1]".into(),
+        ));
+    }
+    let sampler = Sampler::default();
+    let mut scored: Vec<(f64, Plan)> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let plan = sampler.sample(n, rng)?;
+        let score = model.cost(&plan)?;
+        scored.push((score, plan));
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite model values"));
+    let keep = ((samples as f64 * keep_fraction).ceil() as usize).clamp(1, samples);
+    let model_threshold = scored[keep - 1].0;
+
+    let mut best: Option<Ranked> = None;
+    for (_, plan) in scored.into_iter().take(keep) {
+        let cost = expensive.cost(&plan)?;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Ranked { plan, cost });
+        }
+    }
+    Ok(PrunedSearchResult {
+        best: best.expect("keep >= 1"),
+        sampled: samples,
+        measured: keep,
+        model_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CombinedModelCost, InstructionCost, SimCyclesCost};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exhaustive_matches_theory_minimum() {
+        let mut cost = InstructionCost::default();
+        let best = exhaustive_search(6, 8, 1_000_000, &mut cost).unwrap();
+        let ex = wht_models::instruction_extremes(6, &cost.cost_model, 8).unwrap();
+        assert_eq!(best.cost as u64, ex.min);
+    }
+
+    #[test]
+    fn random_search_finds_reasonable_plans() {
+        let mut cost = InstructionCost::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let best = random_search(9, 300, &mut cost, &mut rng).unwrap();
+        // Must at least beat the canonical iterative algorithm (which has
+        // minimal instructions among canonicals but not globally).
+        let mut c = InstructionCost::default();
+        let iterative = c.cost(&Plan::iterative(9).unwrap()).unwrap();
+        assert!(best.cost <= iterative * 1.05, "{} vs {iterative}", best.cost);
+        assert_eq!(best.plan.n(), 9);
+    }
+
+    #[test]
+    fn pruned_search_measures_only_a_fraction() {
+        let mut model = InstructionCost::default();
+        let mut expensive = SimCyclesCost::opteron();
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = pruned_search(10, 200, 0.10, &mut model, &mut expensive, &mut rng).unwrap();
+        assert_eq!(res.sampled, 200);
+        assert_eq!(res.measured, 20);
+        assert!(res.best.cost > 0.0);
+        assert!(res.model_threshold > 0.0);
+    }
+
+    /// The paper's claim, end to end on the deterministic backend: pruning
+    /// by the model retains a near-best algorithm. We compare the pruned
+    /// search's result against a full (unpruned) search over the same
+    /// sample size and require the pruned best to be within a few percent.
+    #[test]
+    fn pruning_retains_near_best() {
+        let n = 9;
+        let samples = 300;
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77); // identical sample stream
+        let mut model = InstructionCost::default();
+        let mut exp_a = SimCyclesCost::opteron();
+        let mut exp_b = SimCyclesCost::opteron();
+
+        let pruned =
+            pruned_search(n, samples, 0.10, &mut model, &mut exp_a, &mut rng_a).unwrap();
+        let full = random_search(n, samples, &mut exp_b, &mut rng_b).unwrap();
+        assert!(
+            pruned.best.cost <= full.cost * 1.05,
+            "pruned {} vs full {}",
+            pruned.best.cost,
+            full.cost
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut model = InstructionCost::default();
+        let mut expensive = CombinedModelCost::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(pruned_search(8, 0, 0.5, &mut model, &mut expensive, &mut rng).is_err());
+        assert!(pruned_search(8, 10, 0.0, &mut model, &mut expensive, &mut rng).is_err());
+        assert!(pruned_search(8, 10, 1.5, &mut model, &mut expensive, &mut rng).is_err());
+        assert!(random_search(8, 0, &mut model, &mut rng).is_err());
+    }
+}

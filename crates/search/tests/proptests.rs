@@ -1,0 +1,70 @@
+//! Property tests for the search strategies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wht_search::{
+    dp_search, local_search, mutate, pruned_search, random_search, DpOptions, InstructionCost,
+    LocalSearchOptions, PlanCost,
+};
+use wht_space::Sampler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutation preserves size and validity from any start.
+    #[test]
+    fn mutation_is_closed_over_the_space(n in 1u32..=18, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Sampler::default().sample(n, &mut rng).unwrap();
+        for _ in 0..30 {
+            plan = mutate(&plan, &mut rng);
+            prop_assert_eq!(plan.n(), n);
+            prop_assert!(plan.validate().is_ok());
+        }
+    }
+
+    /// DP's best-cost table is monotone in max_parts (more compositions can
+    /// only help) and never worse than the canonical plans.
+    #[test]
+    fn dp_improves_with_arity(n in 2u32..=10) {
+        let mut cost = InstructionCost::default();
+        let p2 = dp_search(n, &DpOptions { max_parts: 2, ..DpOptions::default() }, &mut cost).unwrap();
+        let p3 = dp_search(n, &DpOptions { max_parts: 3, ..DpOptions::default() }, &mut cost).unwrap();
+        prop_assert!(p3.best_cost() <= p2.best_cost());
+        let canon = cost.cost(&wht_core::Plan::iterative(n).unwrap()).unwrap();
+        prop_assert!(p2.best_cost() <= canon);
+    }
+
+    /// Pruned search never measures more than the keep fraction and its
+    /// result is at least as good as the model's own ranking guarantees.
+    #[test]
+    fn pruned_search_budget_respected(n in 4u32..=12, seed in any::<u64>(), keep_pct in 5u32..=50) {
+        let keep = f64::from(keep_pct) / 100.0;
+        let samples = 60usize;
+        let mut model = InstructionCost::default();
+        let mut expensive = InstructionCost::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = pruned_search(n, samples, keep, &mut model, &mut expensive, &mut rng).unwrap();
+        prop_assert!(res.measured <= ((samples as f64) * keep).ceil() as usize);
+        prop_assert!(res.measured >= 1);
+        // With model == expensive backend, pruning is lossless: the pruned
+        // best equals the best of the whole sample.
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let full = random_search(n, samples, &mut InstructionCost::default(), &mut rng2).unwrap();
+        prop_assert_eq!(res.best.cost, full.cost);
+    }
+
+    /// Local search output is valid and no worse than its random starts
+    /// would be on average (sanity: it returns a real plan of the size).
+    #[test]
+    fn local_search_output_valid(n in 2u32..=12, seed in any::<u64>()) {
+        let mut cost = InstructionCost::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = LocalSearchOptions { restarts: 2, patience: 40 };
+        let found = local_search(n, &opts, &mut cost, &mut rng).unwrap();
+        prop_assert_eq!(found.plan.n(), n);
+        prop_assert!(found.plan.validate().is_ok());
+        prop_assert!(found.cost > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Ordered compositions of an integer.
+//!
+//! A split node of the WHT factorization is an ordered composition
+//! `n = n1 + ... + nt` (`t >= 1` parts, order significant). There are
+//! `2^(n-1)` compositions of `n` in total, one per subset of the `n - 1`
+//! possible "cut points"; the paper's sampling model makes each equally
+//! likely.
+
+/// Number of ordered compositions of `n` (including the trivial one-part
+/// composition): `2^(n-1)`.
+///
+/// # Panics
+/// Panics if `n == 0` or the count overflows `u128` (`n > 128`).
+pub fn composition_count(n: u32) -> u128 {
+    assert!(n >= 1, "compositions of 0 are not defined here");
+    assert!(n <= 128, "composition count overflows u128");
+    1u128 << (n - 1)
+}
+
+/// Decode the composition of `n` selected by `mask` (an `(n-1)`-bit cut-point
+/// set: bit `i` set means "cut between position i and i+1").
+///
+/// `mask == 0` gives the trivial composition `[n]`; `mask == 2^(n-1) - 1`
+/// gives `[1, 1, ..., 1]`.
+///
+/// # Panics
+/// Panics if `n == 0`, `n > 64`, or `mask` has bits at or above `n - 1`.
+pub fn composition_from_mask(n: u32, mask: u64) -> Vec<u32> {
+    assert!((1..=64).contains(&n));
+    if n > 1 {
+        assert!(
+            mask < (1u64 << (n - 1)),
+            "mask {mask:#x} out of range for n={n}"
+        );
+    } else {
+        assert_eq!(mask, 0);
+    }
+    let mut parts = Vec::new();
+    let mut current = 1u32;
+    for i in 0..n - 1 {
+        if mask & (1 << i) != 0 {
+            parts.push(current);
+            current = 1;
+        } else {
+            current += 1;
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+/// Iterate over every ordered composition of `n`, in mask order
+/// (trivial `[n]` first). Intended for small `n` (there are `2^(n-1)`).
+pub fn compositions(n: u32) -> impl Iterator<Item = Vec<u32>> {
+    assert!((1..=30).contains(&n), "enumeration is only sensible for small n");
+    (0u64..(1u64 << (n - 1))).map(move |mask| composition_from_mask(n, mask))
+}
+
+/// Iterate over the nontrivial compositions (`t >= 2`), i.e. all masks
+/// except 0. These are the valid WHT split nodes.
+pub fn nontrivial_compositions(n: u32) -> impl Iterator<Item = Vec<u32>> {
+    assert!((2..=30).contains(&n));
+    (1u64..(1u64 << (n - 1))).map(move |mask| composition_from_mask(n, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts() {
+        assert_eq!(composition_count(1), 1);
+        assert_eq!(composition_count(2), 2);
+        assert_eq!(composition_count(5), 16);
+        assert_eq!(composition_count(65), 1u128 << 64);
+    }
+
+    #[test]
+    fn mask_decoding() {
+        assert_eq!(composition_from_mask(4, 0b000), vec![4]);
+        assert_eq!(composition_from_mask(4, 0b111), vec![1, 1, 1, 1]);
+        assert_eq!(composition_from_mask(4, 0b001), vec![1, 3]);
+        assert_eq!(composition_from_mask(4, 0b100), vec![3, 1]);
+        assert_eq!(composition_from_mask(4, 0b010), vec![2, 2]);
+        assert_eq!(composition_from_mask(1, 0), vec![1]);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        for n in 1..=10u32 {
+            let all: Vec<Vec<u32>> = compositions(n).collect();
+            assert_eq!(all.len() as u128, composition_count(n));
+            let set: HashSet<Vec<u32>> = all.iter().cloned().collect();
+            assert_eq!(set.len(), all.len(), "duplicates at n={n}");
+            for c in &all {
+                assert_eq!(c.iter().sum::<u32>(), n);
+                assert!(c.iter().all(|&p| p >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn nontrivial_excludes_single_part() {
+        let all: Vec<Vec<u32>> = nontrivial_compositions(4).collect();
+        assert_eq!(all.len(), 7);
+        assert!(all.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_mask_panics() {
+        composition_from_mask(3, 0b100);
+    }
+}

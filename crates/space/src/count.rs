@@ -1,0 +1,219 @@
+//! Exact size of the WHT algorithm space.
+//!
+//! Section 2 of the paper: "In \[5\] it is shown that there are approximately
+//! O(7^n) different algorithms." This module computes the count *exactly*
+//! with the recurrence
+//!
+//! ```text
+//! A(n) = [n <= L] + sum_{t >= 2} sum_{n1+...+nt = n} prod_i A(ni)
+//! ```
+//!
+//! where `L` is the largest unrolled leaf (8 in the WHT package). The sum
+//! over all t-part sequences is evaluated with the convolution closure
+//! `W(n) = A(n) + sum_{p=1..n-1} A(p) * W(n-p)`, `W(0) = 1`, giving
+//! `splits(n) = sum_{p=1..n-1} A(p) * W(n-p)` without circularity (every
+//! term uses sizes `< n` only).
+
+use wht_core::MAX_LEAF_K;
+
+/// Exact number of WHT algorithms (split trees) for size `2^n` with leaf
+/// codelets up to `2^max_leaf_k`, or `None` on `u128` overflow.
+///
+/// `plan_count(n, 1)` counts trees whose leaves are all `small[1]`
+/// (growth ~ 5.828^n = (3 + 2*sqrt(2))^n); `plan_count(n, 8)` is the paper's
+/// space (growth ~ 7^n).
+///
+/// # Panics
+/// Panics if `n == 0` or `max_leaf_k == 0`.
+pub fn plan_count(n: u32, max_leaf_k: u32) -> Option<u128> {
+    assert!(n >= 1 && max_leaf_k >= 1);
+    let counts = plan_counts_up_to(n, max_leaf_k)?;
+    Some(counts[n as usize])
+}
+
+/// Exact counts `A(1..=n)` in one pass (index 0 unused, `A(0)` set to 0).
+/// Returns `None` if any intermediate value overflows `u128`.
+pub fn plan_counts_up_to(n: u32, max_leaf_k: u32) -> Option<Vec<u128>> {
+    assert!(n >= 1 && max_leaf_k >= 1);
+    let n = n as usize;
+    let mut a = vec![0u128; n + 1]; // A(m): number of plans of size 2^m
+    let mut w = vec![0u128; n + 1]; // W(m): weighted sequences of parts
+    w[0] = 1;
+    for m in 1..=n {
+        // splits(m) = sum_{p=1..m-1} A(p) * W(m-p)
+        let mut splits: u128 = 0;
+        for p in 1..m {
+            splits = splits.checked_add(a[p].checked_mul(w[m - p])?)?;
+        }
+        let leaf = u128::from(m as u32 <= max_leaf_k);
+        a[m] = leaf.checked_add(splits)?;
+        w[m] = a[m].checked_add(splits)?;
+    }
+    Some(a)
+}
+
+/// Count of plans in the paper's space (leaves up to `2^8`).
+pub fn wht_package_plan_count(n: u32) -> Option<u128> {
+    plan_count(n, MAX_LEAF_K)
+}
+
+/// Estimate the asymptotic growth factor `rho = lim A(n+1)/A(n)`.
+///
+/// The generating function `A(x) = P(x) + A(x)^2 / (1 - A(x))` (with
+/// `P(x) = x + ... + x^L` the leaf choices) has a square-root singularity,
+/// so `A(n) ~ C * rho^n * n^(-3/2)` and the finite ratio converges like
+/// `rho * (1 - 3/(2n))`. We evaluate the ratio at a large `n` via the
+/// log-space DP and divide out that first-order correction.
+///
+/// For `L = 1` the exact value is `3 + 2*sqrt(2) = 5.828...`; for the
+/// package space `L = 8` it is `~6.828` — the paper's "approximately
+/// O(7^n)".
+pub fn growth_rate(max_leaf_k: u32) -> f64 {
+    let n = 600u32;
+    let ratio = (log_plan_count(n + 1, max_leaf_k) - log_plan_count(n, max_leaf_k)).exp();
+    ratio / (1.0 - 1.5 / f64::from(n))
+}
+
+/// Natural log of the plan count, computed in floating point so it works far
+/// beyond the `u128` range (useful for reporting |space| at n = 100+).
+pub fn log_plan_count(n: u32, max_leaf_k: u32) -> f64 {
+    assert!(n >= 1 && max_leaf_k >= 1);
+    let n = n as usize;
+    // Work with scaled logs: store log(A(m)) and log(W(m)).
+    // Sum exp-log with the usual max-trick per entry.
+    let mut log_a = vec![f64::NEG_INFINITY; n + 1];
+    let mut log_w = vec![f64::NEG_INFINITY; n + 1];
+    log_w[0] = 0.0;
+    let log_sum_exp = |items: &[f64]| -> f64 {
+        let m = items.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            return m;
+        }
+        m + items.iter().map(|&v| (v - m).exp()).sum::<f64>().ln()
+    };
+    for m in 1..=n {
+        let mut terms: Vec<f64> = (1..m).map(|p| log_a[p] + log_w[m - p]).collect();
+        let log_splits = log_sum_exp(&terms);
+        if m as u32 <= max_leaf_k {
+            terms.push(0.0); // log(1) for the leaf choice
+        }
+        log_a[m] = log_sum_exp(&terms);
+        log_w[m] = log_sum_exp(&[log_a[m], log_splits]);
+    }
+    log_a[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force count by explicit recursion over compositions, for
+    /// cross-checking the convolution DP.
+    fn brute_count(n: u32, max_leaf_k: u32) -> u128 {
+        let leaf = u128::from(n <= max_leaf_k);
+        if n == 1 {
+            return leaf;
+        }
+        let splits: u128 = crate::compositions::nontrivial_compositions(n)
+            .map(|parts| {
+                parts
+                    .iter()
+                    .map(|&p| brute_count(p, max_leaf_k))
+                    .product::<u128>()
+            })
+            .sum();
+        leaf + splits
+    }
+
+    #[test]
+    fn small_counts_match_brute_force() {
+        for max_leaf in [1u32, 2, 3, 8] {
+            for n in 1..=9u32 {
+                assert_eq!(
+                    plan_count(n, max_leaf),
+                    Some(brute_count(n, max_leaf)),
+                    "mismatch at n={n}, L={max_leaf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_values() {
+        // Leaves only small[1]: A(1)=1, A(2)=1 split; A(3): split[1,2],
+        // split[2,1], split[1,1,1] with A(2)=1 each -> 3.
+        assert_eq!(plan_count(1, 1), Some(1));
+        assert_eq!(plan_count(2, 1), Some(1));
+        assert_eq!(plan_count(3, 1), Some(3));
+        // With leaves up to 8: A(2) = leaf + split[1,1] = 2,
+        // A(3) = leaf + split[1,2]*2 + split[2,1]*2 + split[1,1,1] = 1+2+2+1 = 6.
+        assert_eq!(plan_count(2, 8), Some(2));
+        assert_eq!(plan_count(3, 8), Some(6));
+    }
+
+    /// Solve `sum_{k=1..L} x^k = 3 - 2*sqrt(2)` by bisection: the dominant
+    /// singularity of the plan-count generating function, whose reciprocal
+    /// is the exact growth rate.
+    fn exact_growth(l: u32) -> f64 {
+        let target = 3.0 - 2.0 * 2.0f64.sqrt();
+        let p = |x: f64| (1..=l).map(|k| x.powi(k as i32)).sum::<f64>();
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if p(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        1.0 / lo
+    }
+
+    #[test]
+    fn growth_rates_match_theory() {
+        // Leaves of size 1 only: singularity at x = 3 - 2*sqrt(2), so the
+        // growth rate is exactly 3 + 2*sqrt(2) = 5.828...
+        let g1 = growth_rate(1);
+        let want1 = 3.0 + 2.0 * 2.0f64.sqrt();
+        assert!((exact_growth(1) - want1).abs() < 1e-9);
+        assert!(
+            (g1 - want1).abs() / want1 < 5e-3,
+            "leaf-1 growth {g1} != {want1}"
+        );
+        // The paper's space (leaves to 8): exact rate ~6.828, which the
+        // paper rounds to "approximately O(7^n)".
+        let g8 = growth_rate(8);
+        let want8 = exact_growth(8);
+        assert!((want8 - 6.828).abs() < 5e-3, "exact L=8 rate is {want8}");
+        assert!(
+            (g8 - want8).abs() / want8 < 5e-3,
+            "package-space growth {g8} != {want8}"
+        );
+    }
+
+    #[test]
+    fn log_count_consistent_with_exact() {
+        for n in [5u32, 10, 20, 30] {
+            if let Some(exact) = plan_count(n, 8) {
+                let log_exact = (exact as f64).ln();
+                let log_est = log_plan_count(n, 8);
+                assert!(
+                    (log_exact - log_est).abs() < 1e-6 * log_exact.max(1.0),
+                    "n={n}: {log_exact} vs {log_est}"
+                );
+            }
+        }
+        // And it keeps working far beyond u128:
+        let huge = log_plan_count(200, 8);
+        assert!(huge > 300.0);
+    }
+
+    #[test]
+    fn monotone_in_leaf_size() {
+        for n in 2..=12u32 {
+            let small = plan_count(n, 1).unwrap();
+            let big = plan_count(n, 8).unwrap();
+            assert!(big >= small);
+        }
+    }
+}

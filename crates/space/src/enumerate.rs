@@ -1,0 +1,100 @@
+//! Exhaustive enumeration of the WHT algorithm space (small sizes).
+//!
+//! The space grows like 7^n, so full enumeration is only feasible for small
+//! `n`; [`enumerate_plans`] guards with an explicit budget. Exhaustive search
+//! (`wht-search`) and the count cross-checks build on this.
+
+use crate::compositions::nontrivial_compositions;
+use wht_core::{Plan, WhtError};
+
+/// Enumerate every plan of size `2^n` with leaves up to `2^max_leaf_k`.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] if the space size exceeds `budget` (checked
+/// with the exact count before any allocation), so callers cannot
+/// accidentally materialize millions of trees.
+pub fn enumerate_plans(n: u32, max_leaf_k: u32, budget: usize) -> Result<Vec<Plan>, WhtError> {
+    if n == 0 {
+        return Err(WhtError::InvalidConfig("n must be >= 1".into()));
+    }
+    let count = crate::count::plan_count(n, max_leaf_k)
+        .ok_or_else(|| WhtError::InvalidConfig("plan count overflows u128".into()))?;
+    if count > budget as u128 {
+        return Err(WhtError::InvalidConfig(format!(
+            "space for n={n} has {count} plans, over the budget of {budget}"
+        )));
+    }
+    Ok(enum_rec(n, max_leaf_k))
+}
+
+fn enum_rec(n: u32, max_leaf_k: u32) -> Vec<Plan> {
+    let mut out = Vec::new();
+    if n <= max_leaf_k {
+        out.push(Plan::Leaf { k: n });
+    }
+    if n >= 2 {
+        for parts in nontrivial_compositions(n) {
+            // Cartesian product of the children's plan lists.
+            let child_lists: Vec<Vec<Plan>> =
+                parts.iter().map(|&p| enum_rec(p, max_leaf_k)).collect();
+            let mut combos: Vec<Vec<Plan>> = vec![Vec::new()];
+            for list in &child_lists {
+                let mut next = Vec::with_capacity(combos.len() * list.len());
+                for prefix in &combos {
+                    for item in list {
+                        let mut c = prefix.clone();
+                        c.push(item.clone());
+                        next.push(c);
+                    }
+                }
+                combos = next;
+            }
+            for children in combos {
+                out.push(Plan::split(children).expect("enumerated plans are valid"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumeration_matches_exact_count() {
+        for max_leaf in [1u32, 2, 8] {
+            for n in 1..=7u32 {
+                let plans = enumerate_plans(n, max_leaf, 1_000_000).unwrap();
+                assert_eq!(
+                    plans.len() as u128,
+                    crate::count::plan_count(n, max_leaf).unwrap(),
+                    "n={n} L={max_leaf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_plans_are_valid_and_distinct() {
+        let plans = enumerate_plans(6, 8, 1_000_000).unwrap();
+        let mut seen = HashSet::new();
+        for p in &plans {
+            assert!(p.validate().is_ok());
+            assert_eq!(p.n(), 6);
+            assert!(seen.insert(p.to_string()), "duplicate plan {p}");
+        }
+    }
+
+    #[test]
+    fn budget_guard_triggers() {
+        let err = enumerate_plans(12, 8, 1000).unwrap_err();
+        assert!(matches!(err, WhtError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn n_zero_rejected() {
+        assert!(enumerate_plans(0, 8, 10).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # wht-space — the WHT algorithm space
+//!
+//! Counting, enumeration, and random sampling of the space of WHT split
+//! trees studied by the paper (Section 2: "there are approximately O(7^n)
+//! different algorithms").
+//!
+//! * [`mod@compositions`] — ordered compositions of `n`, the split choices of
+//!   Equation 1;
+//! * [`count`] — exact space sizes via a convolution-closure DP, growth-rate
+//!   estimates (the O(7^n) claim), log-counts beyond `u128`;
+//! * [`enumerate`] — exhaustive enumeration with an explicit budget guard;
+//! * [`sample`] — the paper's *recursive split uniform* sampler used for the
+//!   10,000-algorithm experiments.
+//!
+//! ```
+//! use wht_space::{plan_count, Sampler};
+//! use rand::SeedableRng;
+//!
+//! // The package space at n = 9 (exact count from the DP):
+//! assert_eq!(plan_count(9, 8), Some(95_199));
+//! // ... and it grows like ~6.83^n ("approximately O(7^n)", Section 2):
+//! assert_eq!(plan_count(18, 8), Some(1_054_459_634_529));
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let plan = Sampler::default().sample(9, &mut rng)?;
+//! assert_eq!(plan.n(), 9);
+//! # Ok::<(), wht_core::WhtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compositions;
+pub mod count;
+pub mod enumerate;
+pub mod sample;
+
+pub use compositions::{
+    composition_count, composition_from_mask, compositions, nontrivial_compositions,
+};
+pub use count::{
+    growth_rate, log_plan_count, plan_count, plan_counts_up_to, wht_package_plan_count,
+};
+pub use enumerate::enumerate_plans;
+pub use sample::{sample_plans_seeded, Sampler};

@@ -1,0 +1,207 @@
+//! The paper's *recursive split uniform* random sampler.
+//!
+//! Section 3: "The random sample was obtained using a recursive split
+//! uniform distribution. That is, each time Equation 1 is applied we assume
+//! every composition n = n1 + ... + nt is equally likely to occur (see
+//! \[5\])."
+//!
+//! Concretely (see DESIGN.md §5.6): at a node of size `2^n` we draw one of
+//! the `2^(n-1)` ordered compositions of `n` uniformly — the trivial
+//! composition `[n]` means "stop, emit the unrolled leaf `small[n]`" and is
+//! only available while a leaf codelet exists (`n <= max_leaf_k`); above
+//! that, we draw uniformly among the `2^(n-1) - 1` nontrivial compositions.
+//! Each part is then sampled recursively and independently.
+//!
+//! Uniform compositions are drawn by choosing an `(n-1)`-bit cut-point mask
+//! uniformly (rejection for the excluded trivial mask), so the sampler is
+//! exactly uniform, O(n) per node, and deterministic under a seeded RNG.
+
+use crate::compositions::composition_from_mask;
+use rand::Rng;
+use wht_core::{Plan, WhtError, MAX_LEAF_K, MAX_N};
+
+/// Recursive-split-uniform sampler over the WHT algorithm space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampler {
+    /// Largest exponent for which a leaf codelet exists (the WHT package's
+    /// 8). Nodes at or below this size may stop; larger nodes must split.
+    pub max_leaf_k: u32,
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Sampler {
+            max_leaf_k: MAX_LEAF_K,
+        }
+    }
+}
+
+impl Sampler {
+    /// Sampler with a non-default leaf bound (must be `1..=MAX_LEAF_K`).
+    ///
+    /// # Errors
+    /// [`WhtError::LeafSizeOutOfRange`] outside that range.
+    pub fn with_max_leaf(max_leaf_k: u32) -> Result<Self, WhtError> {
+        if !(1..=MAX_LEAF_K).contains(&max_leaf_k) {
+            return Err(WhtError::LeafSizeOutOfRange { k: max_leaf_k });
+        }
+        Ok(Sampler { max_leaf_k })
+    }
+
+    /// Draw one plan of size `2^n`.
+    ///
+    /// # Errors
+    /// [`WhtError::SizeTooLarge`] for `n == 0` or `n > MAX_N`.
+    pub fn sample<R: Rng + ?Sized>(&self, n: u32, rng: &mut R) -> Result<Plan, WhtError> {
+        if n == 0 || n > MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        Ok(self.sample_rec(n, rng))
+    }
+
+    /// Draw `count` independent plans of size `2^n`.
+    ///
+    /// # Errors
+    /// Same as [`Sampler::sample`].
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        n: u32,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Plan>, WhtError> {
+        (0..count).map(|_| self.sample(n, rng)).collect()
+    }
+
+    fn sample_rec<R: Rng + ?Sized>(&self, n: u32, rng: &mut R) -> Plan {
+        if n == 1 {
+            return Plan::Leaf { k: 1 };
+        }
+        let mask_bits = n - 1;
+        let leaf_allowed = n <= self.max_leaf_k;
+        let mask = loop {
+            let m: u64 = rng.gen_range(0..(1u64 << mask_bits));
+            if m != 0 || leaf_allowed {
+                break m;
+            }
+            // trivial composition drawn but no leaf codelet exists: reject
+        };
+        if mask == 0 {
+            return Plan::Leaf { k: n };
+        }
+        let children: Vec<Plan> = composition_from_mask(n, mask)
+            .into_iter()
+            .map(|p| self.sample_rec(p, rng))
+            .collect();
+        Plan::split(children).expect("sampled composition is a valid split")
+    }
+}
+
+/// Convenience: draw `count` plans of size `2^n` with the package-default
+/// sampler and a fixed seed (reproducible experiments).
+///
+/// # Errors
+/// Same as [`Sampler::sample`].
+pub fn sample_plans_seeded(n: u32, count: usize, seed: u64) -> Result<Vec<Plan>, WhtError> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Sampler::default().sample_many(n, count, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sampled_plans_are_valid() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = Sampler::default();
+        for n in [1u32, 2, 5, 9, 18, 26] {
+            for _ in 0..50 {
+                let p = s.sample(n, &mut rng).unwrap();
+                assert_eq!(p.n(), n);
+                assert!(p.validate().is_ok());
+                assert!(p.leaf_exponents().iter().all(|&k| k <= MAX_LEAF_K));
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_bound_is_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Sampler::with_max_leaf(2).unwrap();
+        for _ in 0..200 {
+            let p = s.sample(10, &mut rng).unwrap();
+            assert!(p.leaf_exponents().iter().all(|&k| k <= 2));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Sampler::with_max_leaf(0).is_err());
+        assert!(Sampler::with_max_leaf(9).is_err());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Sampler::default().sample(0, &mut rng).is_err());
+        assert!(Sampler::default().sample(MAX_N + 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let a = sample_plans_seeded(12, 20, 99).unwrap();
+        let b = sample_plans_seeded(12, 20, 99).unwrap();
+        assert_eq!(a, b);
+        let c = sample_plans_seeded(12, 20, 100).unwrap();
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    /// For n = 3 the exact distribution is computable by hand:
+    /// compositions of 3 are [3], [1,2], [2,1], [1,1,1], each probability
+    /// 1/4. A part of size 2 becomes small[2] or split[small[1],small[1]]
+    /// with probability 1/2 each. So:
+    ///   small[3]                                  1/4
+    ///   split[small[1],small[2]]                  1/8
+    ///   split[small[1],split[small[1],small[1]]]  1/8
+    ///   split[small[2],small[1]]                  1/8
+    ///   split[split[small[1],small[1]],small[1]]  1/8
+    ///   split[small[1],small[1],small[1]]         1/4
+    #[test]
+    fn n3_distribution_matches_hand_computation() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        let s = Sampler::default();
+        let trials = 40_000usize;
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for _ in 0..trials {
+            let p = s.sample(3, &mut rng).unwrap();
+            *freq.entry(p.to_string()).or_default() += 1;
+        }
+        let expect: &[(&str, f64)] = &[
+            ("small[3]", 0.25),
+            ("split[small[1],small[2]]", 0.125),
+            ("split[small[1],split[small[1],small[1]]]", 0.125),
+            ("split[small[2],small[1]]", 0.125),
+            ("split[split[small[1],small[1]],small[1]]", 0.125),
+            ("split[small[1],small[1],small[1]]", 0.25),
+        ];
+        assert_eq!(freq.len(), expect.len(), "unexpected plan shapes: {freq:?}");
+        for (plan, p) in expect {
+            let got = freq[*plan] as f64 / trials as f64;
+            assert!(
+                (got - p).abs() < 0.015,
+                "P({plan}) = {got}, want ~{p}"
+            );
+        }
+    }
+
+    /// Above the leaf bound the trivial composition must never be drawn.
+    #[test]
+    fn no_leaves_above_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = Sampler::default();
+        for _ in 0..100 {
+            let p = s.sample(9, &mut rng).unwrap();
+            assert!(!p.is_leaf());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the algorithm-space machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wht_space::{
+    composition_count, composition_from_mask, log_plan_count, plan_count, plan_counts_up_to,
+    Sampler,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every mask decodes to a valid composition; the mapping is injective.
+    #[test]
+    fn mask_decoding_is_a_bijection(n in 1u32..=16) {
+        let mut seen = std::collections::HashSet::new();
+        for mask in 0..(1u64 << (n - 1)) {
+            let parts = composition_from_mask(n, mask);
+            prop_assert_eq!(parts.iter().sum::<u32>(), n);
+            prop_assert!(parts.iter().all(|&p| p >= 1));
+            prop_assert!(seen.insert(parts));
+        }
+        prop_assert_eq!(seen.len() as u128, composition_count(n));
+    }
+
+    /// Sampled plans are valid, sized right, and respect the leaf bound,
+    /// for arbitrary seeds and sizes.
+    #[test]
+    fn sampler_always_valid(n in 1u32..=24, seed in any::<u64>(), max_leaf in 1u32..=8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = Sampler::with_max_leaf(max_leaf).unwrap();
+        let plan = sampler.sample(n, &mut rng).unwrap();
+        prop_assert_eq!(plan.n(), n);
+        prop_assert!(plan.validate().is_ok());
+        prop_assert!(plan.leaf_exponents().iter().all(|&k| k <= max_leaf));
+    }
+
+    /// Counts are monotone in the leaf bound and super-exponentially
+    /// increasing in n.
+    #[test]
+    fn counts_are_monotone(n in 2u32..=24) {
+        let with_1 = plan_count(n, 1).unwrap();
+        let with_4 = plan_count(n, 4).unwrap();
+        let with_8 = plan_count(n, 8).unwrap();
+        prop_assert!(with_1 <= with_4 && with_4 <= with_8);
+        let prev = plan_count(n - 1, 8).unwrap();
+        if n >= 6 {
+            // The asymptotic ratio is ~6.83; by n = 6 it exceeds 4.
+            prop_assert!(with_8 > prev * 4, "growth must exceed 4x per step at n={n}");
+        } else {
+            prop_assert!(with_8 >= prev);
+        }
+    }
+
+    /// The log-space count agrees with the exact count wherever both exist.
+    #[test]
+    fn log_count_tracks_exact(n in 1u32..=32, max_leaf in 1u32..=8) {
+        if let Some(exact) = plan_count(n, max_leaf) {
+            if exact > 0 {
+                let log_exact = (exact as f64).ln();
+                let log_est = log_plan_count(n, max_leaf);
+                prop_assert!(
+                    (log_exact - log_est).abs() <= 1e-6 * log_exact.abs().max(1.0),
+                    "n={}, L={}: {} vs {}", n, max_leaf, log_exact, log_est
+                );
+            }
+        }
+    }
+
+    /// The prefix table is consistent with pointwise counts.
+    #[test]
+    fn prefix_counts_consistent(n in 1u32..=20) {
+        let table = plan_counts_up_to(n, 8).unwrap();
+        for m in 1..=n {
+            prop_assert_eq!(Some(table[m as usize]), plan_count(m, 8));
+        }
+    }
+}

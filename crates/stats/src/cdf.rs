@@ -1,0 +1,177 @@
+//! The percentile-pruning curves of the paper's Figures 10 and 11.
+//!
+//! "Each curve in the figures show\[s\] the cumulative probability of
+//! obtaining an algorithm outside of the pth percentile as a function of
+//! instruction count [or combined count]. For a given instruction count,
+//! ... the value of the curve gives the probability that an algorithm with
+//! fewer than or equal to the specified number has performance worse than
+//! the top p percent. In the limit as the instruction count ... approaches
+//! the maximum value, the cumulative probability should approach 1 - p."
+//!
+//! Formally, with model values `m_i` and performance values `y_i` (smaller
+//! is better) over a sample of size `N`:
+//!
+//! ```text
+//! curve_p(T) = #{ i : m_i <= T  and  y_i > percentile_p(y) } / N
+//! ```
+//!
+//! Once `curve_p(T)` is within epsilon of `1 - p`, every algorithm with
+//! model value above `T` that remains unexamined is (with probability
+//! `1 - epsilon/(...)`) inside the top p% — the paper's pruning rule: for
+//! n = 9, discarding algorithms with more than 7e4 instructions still finds
+//! a top-5% algorithm.
+
+use crate::describe::quantile;
+
+/// One pruning curve: sorted model-value thresholds and the fraction of the
+/// *whole sample* that is both below the threshold and outside the top-p%.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneCurve {
+    /// The percentile this curve is for (e.g. 0.05 = top 5%).
+    pub p: f64,
+    /// Performance threshold defining "top p%" (the p-quantile of `y`).
+    pub perf_cutoff: f64,
+    /// Model-value axis (the sample's model values, sorted ascending).
+    pub thresholds: Vec<f64>,
+    /// `fraction[i]` = share of the sample with model value <=
+    /// `thresholds[i]` and performance outside the top p%.
+    pub fraction: Vec<f64>,
+}
+
+impl PruneCurve {
+    /// Build the curve for percentile `p` (in `(0, 1)`).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or `p` is outside
+    /// `(0, 1)`.
+    pub fn new(model: &[f64], perf: &[f64], p: f64) -> Self {
+        assert_eq!(model.len(), perf.len());
+        assert!(!model.is_empty());
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        let perf_cutoff = quantile(perf, p);
+        let n = model.len() as f64;
+        let mut rows: Vec<(f64, bool)> = model
+            .iter()
+            .zip(perf.iter())
+            .map(|(&m, &y)| (m, y > perf_cutoff))
+            .collect();
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite model values"));
+        let mut acc = 0u64;
+        let mut thresholds = Vec::with_capacity(rows.len());
+        let mut fraction = Vec::with_capacity(rows.len());
+        for (m, outside) in rows {
+            if outside {
+                acc += 1;
+            }
+            thresholds.push(m);
+            fraction.push(acc as f64 / n);
+        }
+        PruneCurve {
+            p,
+            perf_cutoff,
+            thresholds,
+            fraction,
+        }
+    }
+
+    /// The curve's limit (last value); approaches `1 - p` on large samples.
+    pub fn limit(&self) -> f64 {
+        *self.fraction.last().expect("non-empty")
+    }
+
+    /// Smallest model threshold `T` such that pruning to `model <= T`
+    /// still *retains at least one* top-p% algorithm, i.e. the smallest
+    /// model value among the top performers. Pruning at any `T` at or above
+    /// this is safe.
+    pub fn safe_prune_threshold(model: &[f64], perf: &[f64], p: f64) -> f64 {
+        assert_eq!(model.len(), perf.len());
+        assert!(!model.is_empty());
+        let cutoff = quantile(perf, p);
+        model
+            .iter()
+            .zip(perf.iter())
+            .filter(|&(_, &y)| y <= cutoff)
+            .map(|(&m, _)| m)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Evaluate the curve at an arbitrary threshold by step interpolation.
+    pub fn at(&self, threshold: f64) -> f64 {
+        match self
+            .thresholds
+            .partition_point(|&t| t <= threshold)
+            .checked_sub(1)
+        {
+            Some(i) => self.fraction[i],
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Perfectly correlated model and performance: pruning by model is
+    /// exactly pruning by performance.
+    #[test]
+    fn perfect_model_curve_shape() {
+        let xs: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let c = PruneCurve::new(&xs, &xs, 0.10);
+        // Below the 10th percentile no algorithm is "outside":
+        assert_eq!(c.at(5.0), 0.0);
+        // At the top the curve reaches ~0.9:
+        assert!((c.limit() - 0.90).abs() < 0.02);
+        // Safe pruning threshold is the best model value (0.0):
+        assert_eq!(PruneCurve::safe_prune_threshold(&xs, &xs, 0.10), 0.0);
+    }
+
+    /// Anti-correlated model: the good performers have the LARGEST model
+    /// values; pruning by the model is maximally unsafe.
+    #[test]
+    fn anticorrelated_model_unsafe() {
+        let model: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let perf: Vec<f64> = (0..100).map(|v| (99 - v) as f64).collect();
+        let t = PruneCurve::safe_prune_threshold(&model, &perf, 0.05);
+        // The best performers sit at the top of the model axis:
+        assert!(t >= 94.0);
+        let c = PruneCurve::new(&model, &perf, 0.05);
+        // Early thresholds already accumulate "outside" mass:
+        assert!(c.at(10.0) > 0.09);
+    }
+
+    #[test]
+    fn limit_approaches_one_minus_p() {
+        let model: Vec<f64> = (0..1000).map(|v| (v % 97) as f64).collect();
+        let perf: Vec<f64> = (0..1000).map(|v| ((v * 31) % 89) as f64).collect();
+        for p in [0.01, 0.05, 0.10] {
+            let c = PruneCurve::new(&model, &perf, p);
+            assert!(
+                (c.limit() - (1.0 - p)).abs() < 0.06,
+                "p={p}: limit {} should be near {}",
+                c.limit(),
+                1.0 - p
+            );
+        }
+    }
+
+    #[test]
+    fn at_is_monotone_step() {
+        let model = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let perf = [30.0, 10.0, 20.0, 50.0, 40.0];
+        let c = PruneCurve::new(&model, &perf, 0.25);
+        assert_eq!(c.at(0.5), 0.0);
+        let mut prev = 0.0;
+        for t in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            let v = c.at(t);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn bad_percentile_rejected() {
+        PruneCurve::new(&[1.0, 2.0], &[1.0, 2.0], 1.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Descriptive statistics: moments, quantiles, and the IQR.
+//!
+//! Everything the paper's Section 3–4 analysis needs: means and variances
+//! (to compare against the exact theory DP), skewness/excess kurtosis (to
+//! check the limiting-normality claim of reference \[5\]), and quartiles (for
+//! the outer-fence outlier filter).
+
+/// Summary moments of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Describe {
+    /// Number of observations.
+    pub len: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population variance (divides by `n`).
+    pub variance: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Sample skewness (`m3 / m2^1.5`); 0 for symmetric data.
+    pub skewness: f64,
+    /// Excess kurtosis (`m4 / m2^2 - 3`); 0 for a normal distribution.
+    pub excess_kurtosis: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Compute [`Describe`] for a sample.
+///
+/// # Panics
+/// Panics on an empty sample or non-finite values.
+pub fn describe(xs: &[f64]) -> Describe {
+    assert!(!xs.is_empty(), "describe() needs at least one observation");
+    assert!(
+        xs.iter().all(|v| v.is_finite()),
+        "describe() requires finite values"
+    );
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let (mut m2, mut m3, mut m4) = (0.0, 0.0, 0.0);
+    for &x in xs {
+        let d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    let std_dev = m2.sqrt();
+    let (skewness, excess_kurtosis) = if m2 > 0.0 {
+        (m3 / m2.powf(1.5), m4 / (m2 * m2) - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Describe {
+        len: xs.len(),
+        mean,
+        variance: m2,
+        std_dev,
+        skewness,
+        excess_kurtosis,
+        min,
+        max,
+    }
+}
+
+/// Quantile with linear interpolation between order statistics
+/// (`q` in `[0, 1]`; `q = 0.25` is Q1, `q = 0.5` the median).
+///
+/// # Panics
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile() needs data");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] for data already sorted ascending (no copy).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// First quartile, third quartile, and the interquartile range.
+pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    (q1, q3, q3 - q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_constant() {
+        let d = describe(&[5.0; 10]);
+        assert_eq!(d.mean, 5.0);
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.skewness, 0.0);
+        assert_eq!(d.min, 5.0);
+        assert_eq!(d.max, 5.0);
+    }
+
+    #[test]
+    fn describe_known_values() {
+        let d = describe(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.mean, 2.5);
+        assert!((d.variance - 1.25).abs() < 1e-12);
+        assert_eq!(d.skewness, 0.0); // symmetric
+        assert_eq!(d.len, 4);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data (long right tail) has positive skewness.
+        let right = describe(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(right.skewness > 1.0);
+        let left = describe(&[-10.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(left.skewness < -1.0);
+    }
+
+    #[test]
+    fn normalish_sample_has_small_higher_moments() {
+        // A coarse triangular sample approximating symmetry.
+        let xs: Vec<f64> = (-100..=100).map(|v| v as f64 / 10.0).collect();
+        let d = describe(&xs);
+        assert!(d.skewness.abs() < 1e-12);
+        // Uniform has excess kurtosis -1.2:
+        assert!((d.excess_kurtosis + 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        let (q1, q3, iqr) = quartiles(&xs);
+        assert_eq!(q1, 1.75);
+        assert_eq!(q3, 3.25);
+        assert!((iqr - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        describe(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        describe(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's outlier filter (Section 3).
+//!
+//! "The samples were filtered for extreme outliers beyond the 'outer
+//! fences', i.e. we expect that valid data will lie within a range based on
+//! the interquartile range (IQR), specifically:
+//! `Q1 - 3.0*IQR(X) < X < Q3 + 3.0*IQR(X)`."
+//! (The paper's typesetting garbles the left fence; the standard outer
+//! fence — Tukey with multiplier 3 — is intended and implemented here.)
+
+use crate::describe::quartiles;
+
+/// Indices of observations inside the outer fences
+/// `(Q1 - mult*IQR, Q3 + mult*IQR)`; the paper uses `mult = 3.0`.
+pub fn fence_mask(xs: &[f64], mult: f64) -> Vec<bool> {
+    let (q1, q3, iqr) = quartiles(xs);
+    let lo = q1 - mult * iqr;
+    let hi = q3 + mult * iqr;
+    xs.iter().map(|&x| x > lo && x < hi).collect()
+}
+
+/// Filter parallel series by the outer fences of the *first* series
+/// (the paper filters on performance and drops the whole observation).
+/// Returns the row indices kept.
+pub fn outer_fence_filter(primary: &[f64], mult: f64) -> Vec<usize> {
+    fence_mask(primary, mult)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, keep)| keep.then_some(i))
+        .collect()
+}
+
+/// Apply a row selection (from [`outer_fence_filter`]) to any series.
+pub fn select<T: Copy>(xs: &[T], keep: &[usize]) -> Vec<T> {
+    keep.iter().map(|&i| xs[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_bulk_drops_extremes() {
+        let mut xs: Vec<f64> = (0..100).map(|v| 50.0 + (v % 10) as f64).collect();
+        xs.push(1e9); // wild outlier
+        xs.push(-1e9);
+        let keep = outer_fence_filter(&xs, 3.0);
+        assert_eq!(keep.len(), 100);
+        assert!(!keep.contains(&100));
+        assert!(!keep.contains(&101));
+    }
+
+    #[test]
+    fn no_outliers_keeps_everything() {
+        let xs: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        let keep = outer_fence_filter(&xs, 3.0);
+        assert_eq!(keep.len(), 50);
+    }
+
+    #[test]
+    fn select_applies_row_mask() {
+        let keep = vec![0usize, 2];
+        assert_eq!(select(&[10, 20, 30], &keep), vec![10, 30]);
+        assert_eq!(select(&[1.5, 2.5, 3.5], &keep), vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn tight_cluster_with_moderate_tail() {
+        // Values within 3*IQR of the quartiles survive even if far from the
+        // median.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let keep = outer_fence_filter(&xs, 3.0);
+        assert_eq!(keep.len(), 8);
+    }
+}

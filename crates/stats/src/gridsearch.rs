@@ -1,0 +1,143 @@
+//! The alpha/beta grid search of the paper's Figure 9.
+//!
+//! "The model is of the form alpha*I + beta*M ... The coefficients alpha and
+//! beta were chosen in order to maximize the correlation. Figure 9 shows the
+//! correlation coefficient as a function of alpha and beta where
+//! 0 <= alpha, beta <= 1 are sampled uniformly in increments of 0.05. The
+//! optimal value, over this grid, occurs when alpha = 1.00 and beta = 0.05."
+//!
+//! (Pearson correlation is invariant under positive scaling, so rho really
+//! depends only on the direction beta/alpha; the full grid is reproduced
+//! anyway to regenerate the figure's surface, and the argmax is reported the
+//! way the paper reports it.)
+
+use crate::pearson::pearson;
+
+/// Result of a correlation grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// Grid values of alpha (row axis).
+    pub alphas: Vec<f64>,
+    /// Grid values of beta (column axis).
+    pub betas: Vec<f64>,
+    /// `rho[i][j] = pearson(alpha_i * I + beta_j * M, cycles)`;
+    /// `NaN` where the combination is constant (the 0,0 corner).
+    pub rho: Vec<Vec<f64>>,
+    /// Best alpha (first maximal cell in row-major order).
+    pub best_alpha: f64,
+    /// Best beta.
+    pub best_beta: f64,
+    /// Correlation at the best cell.
+    pub best_rho: f64,
+}
+
+/// Evaluate `pearson(alpha*I + beta*M, cycles)` over the paper's grid
+/// (`0..=1` in steps of `step`, default 0.05).
+///
+/// # Panics
+/// Panics if the slices differ in length, are shorter than 2, or `step` is
+/// not in `(0, 1]`.
+pub fn grid_search_combined(
+    instructions: &[u64],
+    misses: &[u64],
+    cycles: &[f64],
+    step: f64,
+) -> GridSearchResult {
+    assert_eq!(instructions.len(), misses.len());
+    assert_eq!(instructions.len(), cycles.len());
+    assert!(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
+    let steps = (1.0 / step).round() as usize;
+    let levels: Vec<f64> = (0..=steps).map(|i| i as f64 * step).collect();
+
+    let ifl: Vec<f64> = instructions.iter().map(|&v| v as f64).collect();
+    let mfl: Vec<f64> = misses.iter().map(|&v| v as f64).collect();
+
+    let mut rho = vec![vec![f64::NAN; levels.len()]; levels.len()];
+    let mut best = (f64::NAN, 0.0, 0.0);
+    let mut combo = vec![0.0f64; ifl.len()];
+    for (i, &a) in levels.iter().enumerate() {
+        for (j, &b) in levels.iter().enumerate() {
+            for ((c, &iv), &mv) in combo.iter_mut().zip(ifl.iter()).zip(mfl.iter()) {
+                *c = a * iv + b * mv;
+            }
+            let r = pearson(&combo, cycles);
+            rho[i][j] = r;
+            if !r.is_nan() && (best.0.is_nan() || r > best.0) {
+                best = (r, a, b);
+            }
+        }
+    }
+    GridSearchResult {
+        alphas: levels.clone(),
+        betas: levels,
+        rho,
+        best_alpha: best.1,
+        best_beta: best.2,
+        best_rho: best.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic data where cycles = I + 0.25 * M + small noise: the grid
+    /// optimum must sit near the beta/alpha = 0.25 direction.
+    #[test]
+    fn recovers_planted_direction() {
+        let n = 400usize;
+        let instructions: Vec<u64> = (0..n).map(|i| 1000 + ((i * 37) % 500) as u64).collect();
+        let misses: Vec<u64> = (0..n).map(|i| 200 + ((i * 101) % 900) as u64).collect();
+        let cycles: Vec<f64> = instructions
+            .iter()
+            .zip(misses.iter())
+            .enumerate()
+            .map(|(i, (&iv, &mv))| {
+                iv as f64 + 0.25 * mv as f64 + ((i * 7919) % 11) as f64 * 0.01
+            })
+            .collect();
+        let res = grid_search_combined(&instructions, &misses, &cycles, 0.05);
+        assert!(res.best_rho > 0.999, "rho = {}", res.best_rho);
+        let dir = res.best_beta / res.best_alpha.max(1e-12);
+        assert!(
+            (dir - 0.25).abs() < 0.08,
+            "direction {dir} should be near 0.25 (alpha={}, beta={})",
+            res.best_alpha,
+            res.best_beta
+        );
+    }
+
+    #[test]
+    fn grid_shape_and_corner_nan() {
+        let instructions = vec![1u64, 2, 3, 4];
+        let misses = vec![4u64, 3, 2, 1];
+        let cycles = vec![1.0, 2.0, 3.0, 4.0];
+        let res = grid_search_combined(&instructions, &misses, &cycles, 0.25);
+        assert_eq!(res.alphas.len(), 5);
+        assert_eq!(res.rho.len(), 5);
+        assert!(res.rho[0][0].is_nan(), "0,0 corner is constant");
+        // alpha=1,beta=0 is exactly I vs cycles: rho = 1 here.
+        assert!((res.rho[4][0] - 1.0).abs() < 1e-12);
+        assert!((res.best_rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance_of_rows() {
+        // Cells along a ray (same beta/alpha) have identical rho.
+        let instructions = vec![10u64, 50, 20, 80, 30];
+        let misses = vec![5u64, 1, 9, 4, 7];
+        let cycles = vec![20.0, 60.0, 35.0, 90.0, 45.0];
+        let res = grid_search_combined(&instructions, &misses, &cycles, 0.25);
+        // (0.25, 0.25) vs (0.5, 0.5) vs (1.0, 1.0):
+        let a = res.rho[1][1];
+        let b = res.rho[2][2];
+        let c = res.rho[4][4];
+        assert!((a - b).abs() < 1e-12 && (b - c).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        grid_search_combined(&[1, 2], &[1], &[1.0, 2.0], 0.5);
+    }
+}

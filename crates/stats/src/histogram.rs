@@ -1,0 +1,119 @@
+//! Equal-width histograms (the paper's Figures 4 and 5 use 50 bins).
+
+/// An equal-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Width of each bin (`(hi - lo) / bins`).
+    pub width: f64,
+    /// Observation counts per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins spanning the data
+    /// range (the top edge is inclusive, matching MATLAB's `hist` used by
+    /// the paper's figures).
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, the data is empty, or contains non-finite
+    /// values.
+    pub fn new(xs: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(!xs.is_empty(), "need data");
+        assert!(xs.iter().all(|v| v.is_finite()), "need finite data");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let width = span / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for &x in xs {
+            let idx = (((x - lo) / span) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            width,
+            counts,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// Index of the fullest bin (the mode).
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// `(center, count)` rows — the series a figure plots.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.bins()).map(|i| (self.center(i), self.counts[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_spreads_evenly() {
+        let xs: Vec<f64> = (0..500).map(|v| v as f64).collect();
+        let h = Histogram::new(&xs, 50);
+        assert_eq!(h.bins(), 50);
+        assert_eq!(h.total(), 500);
+        assert!(h.counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 1.0, 2.0, 10.0], 10);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn constant_data_single_spike() {
+        let h = Histogram::new(&[3.0; 20], 5);
+        assert_eq!(h.total(), 20);
+        assert_eq!(h.counts[0], 20); // degenerate span collapses to bin 0
+    }
+
+    #[test]
+    fn centers_and_mode() {
+        let xs = [0.0, 1.0, 1.1, 1.2, 4.0];
+        let h = Histogram::new(&xs, 4);
+        assert_eq!(h.mode_bin(), 1);
+        assert!((h.center(0) - 0.5).abs() < 1e-12);
+        let series = h.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need data")]
+    fn empty_rejected() {
+        Histogram::new(&[], 10);
+    }
+}

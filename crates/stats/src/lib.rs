@@ -1,0 +1,36 @@
+//! # wht-stats — the statistical toolkit of the paper's evaluation
+//!
+//! Everything Figures 4–11 and the Section 4 analysis need, implemented
+//! from scratch:
+//!
+//! * [`mod@describe`] — moments (incl. skewness/kurtosis for the
+//!   limiting-normality check), quantiles, IQR;
+//! * [`filter`] — the 3×IQR outer-fence outlier filter of Section 3;
+//! * [`histogram`] — 50-bin equal-width histograms (Figures 4–5);
+//! * [`mod@pearson`] — the correlation coefficient (Figures 6–8);
+//! * [`gridsearch`] — the `alpha*I + beta*M` correlation surface and argmax
+//!   (Figure 9);
+//! * [`cdf`] — percentile pruning curves (Figures 10–11) and the safe
+//!   pruning threshold.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod cdf;
+pub mod describe;
+pub mod filter;
+pub mod gridsearch;
+pub mod histogram;
+pub mod pearson;
+pub mod rank;
+pub mod regression;
+
+pub use bootstrap::{bootstrap_pearson_ci, ConfidenceInterval};
+pub use cdf::PruneCurve;
+pub use describe::{describe, quantile, quantile_sorted, quartiles, Describe};
+pub use filter::{fence_mask, outer_fence_filter, select};
+pub use gridsearch::{grid_search_combined, GridSearchResult};
+pub use histogram::Histogram;
+pub use pearson::pearson;
+pub use rank::{ranks, spearman};
+pub use regression::{fit_line, least_squares, ridge_regression, LineFit};

@@ -1,0 +1,85 @@
+//! Pearson product-moment correlation (the paper's Section 4 statistic).
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `f64::NAN` when either series is constant (the coefficient is
+/// undefined there — this happens at the `alpha = beta = 0` corner of the
+/// paper's Figure 9 grid).
+///
+/// # Panics
+/// Panics if the series differ in length or are shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_relation() {
+        let xs: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 7.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|&x| -2.0 * x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_invariance() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let ys = [2.0, 3.0, 1.0, 9.0, 4.0];
+        let r0 = pearson(&xs, &ys);
+        let xs2: Vec<f64> = xs.iter().map(|&x| 100.0 * x - 40.0).collect();
+        let ys2: Vec<f64> = ys.iter().map(|&y| 0.01 * y + 5.0).collect();
+        assert!((pearson(&xs2, &ys2) - r0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_noise_is_weakly_correlated() {
+        // Deterministic pseudo-random pairs.
+        let xs: Vec<f64> = (0..2000u64)
+            .map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) % 1000) as f64)
+            .collect();
+        let ys: Vec<f64> = (0..2000u64)
+            .map(|i| ((i.wrapping_mul(0xD1B54A32D192ED03) >> 33) % 1000) as f64)
+            .collect();
+        assert!(pearson(&xs, &ys).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_series_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).is_nan());
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        let r = pearson(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Spearman rank correlation — a robustness companion to Pearson's rho.
+//!
+//! The paper uses Pearson throughout; the pruning application only needs
+//! the *ranking* of algorithms to be preserved, for which Spearman is the
+//! natural diagnostic (reported alongside Pearson in the figure binaries'
+//! ablation output and EXPERIMENTS.md).
+
+use crate::pearson::pearson;
+
+/// Ranks with ties sharing their average rank (1-based).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite values"));
+    let mut out = vec![0.0f64; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < order.len() && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the group.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient.
+///
+/// # Panics
+/// Panics if the series differ in length or are shorter than 2.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_average() {
+        // 5 appears twice at ranks 2 and 3 -> both get 2.5.
+        assert_eq!(ranks(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn monotone_transform_gives_perfect_spearman() {
+        let xs: Vec<f64> = (0..80).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x + 1.0).ln() * 100.0).collect();
+        // Nonlinear but monotone: Pearson < 1, Spearman = 1.
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 0.999);
+    }
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        let xs: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| -x * x).collect();
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_matches_pearson_on_distinct_uniform_ranks() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.5];
+        let s = spearman(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,238 @@
+//! Ordinary least squares, for model calibration and the figure fits.
+//!
+//! Two uses in the reproduction: fitting the abstract machine's per-category
+//! weights to host timings (`wht-search::calibrate`), and reporting the
+//! regression line through the paper's scatter plots (Figures 6–8).
+
+/// Result of a simple (one-regressor) least-squares fit `y = a + b*x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Fit `y = a + b*x` by least squares.
+///
+/// # Panics
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let r_squared = if sxx > 0.0 && syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        0.0
+    };
+    LineFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Multiple linear regression without intercept: find `w` minimizing
+/// `||X w - y||^2`, where `rows[i]` is the i-th row of `X`.
+///
+/// Solves the normal equations `(X^T X) w = X^T y` by Gaussian elimination
+/// with partial pivoting; returns `None` if the system is singular (e.g.
+/// collinear predictor columns). Non-negative weights are *not* enforced —
+/// callers clamp if their domain requires it.
+///
+/// # Panics
+/// Panics if rows have inconsistent lengths or there are fewer rows than
+/// predictors.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(rows.len(), y.len());
+    assert!(!rows.is_empty());
+    let k = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == k), "ragged design matrix");
+    assert!(rows.len() >= k, "need at least as many rows as predictors");
+
+    // Build the normal equations.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &yi) in rows.iter().zip(y.iter()) {
+        for i in 0..k {
+            aty[i] += row[i] * yi;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    solve(ata, aty)
+}
+
+/// Ridge regression without intercept: minimize
+/// `||X w - y||^2 + lambda * ||w||^2`.
+///
+/// `lambda > 0` makes the normal equations positive definite, so this never
+/// fails on collinear columns (the weight mass is split across them) — the
+/// right tool when predictors are structurally dependent, as the WHT
+/// operation categories are (loads == stores exactly, addr == 2*loads).
+///
+/// # Panics
+/// Same input requirements as [`least_squares`], plus `lambda > 0`.
+pub fn ridge_regression(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert_eq!(rows.len(), y.len());
+    assert!(!rows.is_empty());
+    let k = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == k), "ragged design matrix");
+
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &yi) in rows.iter().zip(y.iter()) {
+        for i in 0..k {
+            aty[i] += row[i] * yi;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Scale the penalty to the design's magnitude so lambda is unitless.
+    let trace: f64 = (0..k).map(|i| ata[i][i]).sum();
+    let penalty = lambda * (trace / k as f64).max(f64::MIN_POSITIVE);
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += penalty;
+    }
+    solve(ata, aty).expect("ridge-regularized system is positive definite")
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None; // singular
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        #[allow(clippy::needless_range_loop)] // a[row] and a[col] alias rows of `a`
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fit_exact() {
+        let xs: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.5 * x).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+        assert!((f.slope - 2.5).abs() < 1e-9);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_fit_with_noise_has_r2_below_one() {
+        let xs: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let f = fit_line(&xs, &ys);
+        assert!(f.r_squared < 1.0);
+        assert!((f.slope - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn least_squares_recovers_planted_weights() {
+        // y = 2*x0 + 0.5*x1 + 7*x2, exactly.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let i = i as f64;
+                vec![i, (i * i) % 13.0, (i * 3.0) % 7.0]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 2.0 * r[0] + 0.5 * r[1] + 7.0 * r[2])
+            .collect();
+        let w = least_squares(&rows, &y).expect("non-singular");
+        assert!((w[0] - 2.0).abs() < 1e-8);
+        assert!((w[1] - 0.5).abs() < 1e-8);
+        assert!((w[2] - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        // Identical columns: least_squares fails, ridge splits the weight.
+        let rows: Vec<Vec<f64>> = (1..40).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (1..40).map(|i| 6.0 * i as f64).collect();
+        let w = ridge_regression(&rows, &y, 1e-9);
+        assert!((w[0] + w[1] - 6.0).abs() < 1e-3, "weights {w:?}");
+        // Predictions are right even though attribution is split.
+        let pred = 10.0 * (w[0] + w[1]);
+        assert!((pred - 60.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ridge_matches_ols_on_well_conditioned_data() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, ((i * i) % 17) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1]).collect();
+        let ols = least_squares(&rows, &y).unwrap();
+        let ridge = ridge_regression(&rows, &y, 1e-12);
+        for (a, b) in ols.iter().zip(ridge.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn singular_design_detected() {
+        // Two identical columns.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(least_squares(&rows, &y).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        least_squares(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use wht_stats::{
+    describe, fence_mask, grid_search_combined, pearson, quantile, quartiles, ranks, spearman,
+    Histogram, PruneCurve,
+};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn describe_bounds(xs in finite_vec(1..200)) {
+        let d = describe(&xs);
+        prop_assert!(d.min <= d.mean && d.mean <= d.max);
+        prop_assert!(d.variance >= 0.0);
+        prop_assert!(d.std_dev >= 0.0);
+        prop_assert_eq!(d.len, xs.len());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in finite_vec(1..150), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b);
+        let d = describe(&xs);
+        prop_assert!(a >= d.min && b <= d.max);
+    }
+
+    #[test]
+    fn quartiles_consistent(xs in finite_vec(4..150)) {
+        let (q1, q3, iqr) = quartiles(&xs);
+        prop_assert!(q1 <= q3);
+        prop_assert!((iqr - (q3 - q1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in finite_vec(1..300), bins in 1usize..80) {
+        let h = Histogram::new(&xs, bins);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(h.bins(), bins);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(pairs in proptest::collection::vec((-1e5f64..1e5, -1e5f64..1e5), 2..120)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        if !r.is_nan() {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+            prop_assert!((pearson(&ys, &xs) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in finite_vec(3..100)) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 3.0 + 1.0).collect();
+        let s = spearman(&xs, &ys);
+        if !s.is_nan() {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(xs in finite_vec(1..120)) {
+        let r = ranks(&xs);
+        // Ranks (with average ties) always sum to n(n+1)/2.
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fences_keep_the_quartile_core(xs in finite_vec(4..200)) {
+        let mask = fence_mask(&xs, 3.0);
+        let (q1, q3, _) = quartiles(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            if x >= q1 && x <= q3 {
+                prop_assert!(mask[i], "value inside the IQR must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn prune_curve_is_monotone(xs in finite_vec(8..150), p in 0.01f64..0.5) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 0.5 + 3.0).collect();
+        let c = PruneCurve::new(&xs, &ys, p);
+        for w in c.fraction.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(c.limit() <= 1.0);
+    }
+
+    #[test]
+    fn grid_search_best_cell_is_max(
+        data in proptest::collection::vec((1u64..10_000, 1u64..10_000, 1.0f64..1e6), 4..60)
+    ) {
+        let i: Vec<u64> = data.iter().map(|d| d.0).collect();
+        let m: Vec<u64> = data.iter().map(|d| d.1).collect();
+        let c: Vec<f64> = data.iter().map(|d| d.2).collect();
+        let res = grid_search_combined(&i, &m, &c, 0.25);
+        for row in &res.rho {
+            for &r in row {
+                if !r.is_nan() {
+                    prop_assert!(r <= res.best_rho + 1e-12);
+                }
+            }
+        }
+    }
+}

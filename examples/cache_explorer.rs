@@ -1,0 +1,63 @@
+//! Explore how plan shape interacts with cache geometry: the intuition
+//! behind the paper's Figures 3, 5 and 8, interactively reproducible.
+//!
+//! For a fixed transform size, sweeps cache capacities and prints the
+//! trace-simulated misses of the canonical shapes plus a blocked plan —
+//! showing where each shape's working set stops fitting, and validating
+//! the analytic direct-mapped model against the exact simulation.
+//!
+//! ```text
+//! cargo run --release --example cache_explorer [n]
+//! ```
+
+use wht::prelude::*;
+use wht_measure::direct_mapped_unit_misses;
+
+fn main() -> Result<(), WhtError> {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+
+    let plans = [
+        ("iterative", Plan::iterative(n)?),
+        ("right-rec", Plan::right_recursive(n)?),
+        ("left-rec", Plan::left_recursive(n)?),
+        ("blocked-4", Plan::binary_iterative(n, 4)?),
+        ("balanced-4", Plan::balanced(n, 4)?),
+    ];
+
+    println!("Trace-simulated misses for WHT(2^{n}), direct-mapped unit-line caches");
+    println!("(the analytic model of [8] in parentheses; compulsory misses = 2^{n})");
+    println!();
+    print!("{:>12}", "cache 2^c:");
+    let caps: Vec<u32> = (4..=n + 1).step_by(2).collect();
+    for c in &caps {
+        print!("{:>16}", format!("c={c}"));
+    }
+    println!();
+
+    for (name, plan) in &plans {
+        print!("{name:>12}");
+        for &c in &caps {
+            let sim = direct_mapped_unit_misses(plan, c)
+                .map_err(|e| WhtError::InvalidConfig(e.to_string()))?;
+            let model = analytic_misses(plan, ModelCache { log2_capacity: c });
+            print!("{:>16}", format!("{sim} ({model})"));
+        }
+        println!();
+    }
+
+    println!();
+    println!("On the Opteron hierarchy (64B lines, 2-way L1 / 16-way L2):");
+    for (name, plan) in &plans {
+        let (l1, l2) = wht_measure::opteron_misses(plan);
+        println!("{name:>12}: L1 misses {l1:>9}, L2 misses {l2:>9}");
+    }
+
+    println!();
+    println!("Reading guide: once a shape's recursion localizes (footprint fits),");
+    println!("its misses stop growing with extra passes — the right-recursive and");
+    println!("blocked shapes localize, the interleaved left recursion never does.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Dyadic correlation via the WHT convolution theorem: detect which Walsh
+//! spreading code is present in a noisy composite signal — a CDMA-flavored
+//! demo of the `O(N log N)` dyadic convolution the fast WHT enables.
+//!
+//! ```text
+//! cargo run --release --example dyadic_correlator
+//! ```
+
+use wht::core::dyadic::dyadic_convolution;
+use wht::core::reference::hadamard_entry;
+use wht::prelude::*;
+
+fn main() -> Result<(), WhtError> {
+    let n = 10u32;
+    let size = 1usize << n;
+
+    // Transmit: code #293 at amplitude 1.0 + code #77 at amplitude 0.6,
+    // plus deterministic pseudo-noise.
+    let codes = [293usize, 77];
+    let amps = [1.0f64, 0.6];
+    let signal: Vec<f64> = (0..size)
+        .map(|t| {
+            let mut v = 0.0;
+            for (&c, &a) in codes.iter().zip(amps.iter()) {
+                v += a * hadamard_entry(c, t) as f64;
+            }
+            let h = (t as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            v + (((h >> 40) as f64) / (1u64 << 24) as f64 - 0.5) * 0.8
+        })
+        .collect();
+
+    // Correlating against every Walsh code at once = one WHT (each natural
+    // index's coefficient is the correlation with that code). We do it via
+    // dyadic convolution with the all-codes probe to exercise the
+    // convolution path end to end, then confirm with the direct transform.
+    let plan = dp_search(n, &DpOptions::default(), &mut InstructionCost::default())?
+        .best_plan()
+        .clone();
+    println!("correlating with plan: {plan}");
+
+    // Direct matched filter: WHT(signal)/N gives per-code correlations.
+    let mut spectrum = signal.clone();
+    apply_plan(&plan, &mut spectrum)?;
+    let correlations: Vec<f64> = spectrum.iter().map(|v| v / size as f64).collect();
+
+    // Rank code hypotheses by |correlation|.
+    let mut ranked: Vec<(usize, f64)> = correlations
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i, v.abs()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("top detections:");
+    for &(code, mag) in ranked.iter().take(4) {
+        println!("  code {code:>4}: correlation {mag:.3}");
+    }
+    assert_eq!(ranked[0].0, 293);
+    assert_eq!(ranked[1].0, 77);
+    println!("both transmitted codes recovered, strongest first.");
+
+    // Cross-check the convolution theorem on this data: convolving the
+    // signal with itself and evaluating at 0 gives its energy / N ... use
+    // the library's fast path against the O(N^2) definition on a slice.
+    let probe: Vec<f64> = (0..size).map(|t| hadamard_entry(293, t) as f64).collect();
+    let conv = dyadic_convolution(&plan, &signal, &probe)?;
+    // (signal ⊛ code)[0] = sum_t signal[t] * code[t] = N * correlation.
+    let direct: f64 = signal.iter().zip(probe.iter()).map(|(a, b)| a * b).sum();
+    assert!((conv[0] - direct).abs() < 1e-6);
+    println!("convolution-theorem cross-check at lag 0: OK ({direct:.1})");
+    Ok(())
+}

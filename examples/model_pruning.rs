@@ -1,0 +1,93 @@
+//! The paper's headline application, end to end: prune a random search
+//! with the instruction-count/combined model so only a fraction of the
+//! candidate algorithms are ever *measured*.
+//!
+//! Compares three searches at the same sample budget:
+//! 1. full random search (every sample timed),
+//! 2. model-pruned search (only the best 10% by model timed),
+//! 3. the model-only "search" (trust the model, never time anything),
+//!
+//! and reports how close each gets to the best known plan.
+//!
+//! ```text
+//! cargo run --release --example model_pruning [n] [samples]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wht::prelude::*;
+
+fn main() -> Result<(), WhtError> {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(13);
+    let samples: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+
+    println!("Search space at n = {n}: {} algorithms", match plan_count(n, 8) {
+        Some(c) => c.to_string(),
+        None => "more than u128 can hold".to_string(),
+    });
+    println!("Sampling {samples} algorithms; measuring with the wall clock.");
+    println!();
+
+    // 1. Full random search: time everything.
+    let t0 = Instant::now();
+    let mut wall = WallClockCost::default();
+    let mut rng = StdRng::seed_from_u64(2007);
+    let full = random_search(n, samples, &mut wall, &mut rng)?;
+    let full_time = t0.elapsed();
+
+    // 2. Pruned search: model first, time the best 10%.
+    let t1 = Instant::now();
+    let mut model = wht_search_model(n);
+    let mut wall2 = WallClockCost::default();
+    let mut rng = StdRng::seed_from_u64(2007); // same sample stream
+    let pruned = pruned_search(n, samples, 0.10, &mut model, &mut wall2, &mut rng)?;
+    let pruned_time = t1.elapsed();
+
+    // 3. Model-only: take the model's single favourite, time it once.
+    let t2 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(2007);
+    let mut model2 = wht_search_model(n);
+    let model_best = random_search(n, samples, &mut model2, &mut rng)?;
+    let model_only_ns = time_plan(&model_best.plan, &TimingConfig::default())?.median_ns;
+    let model_time = t2.elapsed();
+
+    println!("full search   : best {:>9.0} ns   wall time {:>7.2?}   ({} plans timed)", full.cost, full_time, samples);
+    println!(
+        "pruned search : best {:>9.0} ns   wall time {:>7.2?}   ({} plans timed)",
+        pruned.best.cost, pruned_time, pruned.measured
+    );
+    println!(
+        "model only    : best {:>9.0} ns   wall time {:>7.2?}   (1 plan timed)",
+        model_only_ns, model_time
+    );
+    println!();
+    println!(
+        "pruned search found a plan within {:.1}% of the full search at ~{:.0}% of the measurements",
+        100.0 * (pruned.best.cost / full.cost - 1.0),
+        100.0 * pruned.measured as f64 / samples as f64
+    );
+    println!();
+    println!("full best   : {}", full.plan);
+    println!("pruned best : {}", pruned.best.plan);
+    println!("model best  : {}", model_best.plan);
+    Ok(())
+}
+
+/// The paper's model choice by size: instruction count in cache, combined
+/// model out of cache.
+fn wht_search_model(n: u32) -> wht::search::CombinedModelCost {
+    let beta = if n <= 13 { 0.0 } else { 0.05 };
+    wht::search::CombinedModelCost {
+        cost_model: CostModel::default(),
+        cache: ModelCache::opteron_l1_elems(),
+        alpha: 1.0,
+        beta,
+    }
+}

@@ -1,0 +1,68 @@
+//! # wht — reproduction of *Performance Analysis of a Family of WHT
+//! Algorithms* (Andrews & Johnson, 2007)
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided execution engine |
+//! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
+//! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
+//! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
+//! | [`measure`] (`wht-measure`) | timing, instrumented execution, trace-driven miss measurement |
+//! | [`stats`] (`wht-stats`) | Pearson, histograms, IQR fences, pruning curves, grid search |
+//! | [`search`] (`wht-search`) | DP autotuner, exhaustive/random/model-pruned search |
+//! | [`parallel`] (`wht-parallel`) | multi-threaded WHT and parallel measurement sweeps |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wht::prelude::*;
+//!
+//! // Parse a plan in the WHT package's grammar and run it.
+//! let plan: Plan = "split[small[2],small[3]]".parse()?;
+//! let mut x: Vec<f64> = (0..32).map(|v| v as f64).collect();
+//! let want = naive_wht(&x);
+//! apply_plan(&plan, &mut x)?;
+//! assert_eq!(x, want);
+//!
+//! // Model its cost without running it (the paper's central trick):
+//! let instructions = instruction_count(&plan, &CostModel::default());
+//! let misses = analytic_misses(&plan, ModelCache::opteron_l1_elems());
+//! assert!(instructions > 0 && misses >= 32);
+//! # Ok::<(), wht::WhtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wht_cachesim as cachesim;
+pub use wht_core as core;
+pub use wht_measure as measure;
+pub use wht_models as models;
+pub use wht_parallel as parallel;
+pub use wht_search as search;
+pub use wht_space as space;
+pub use wht_stats as stats;
+
+pub use wht_core::{Plan, WhtError};
+
+/// The items most programs need, in one import.
+pub mod prelude {
+    pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
+    pub use wht_core::{
+        apply_plan, naive_wht, parse_plan, to_sequency_order, Plan, Scalar, WhtError,
+    };
+    pub use wht_measure::{
+        measure_plan, time_plan, MeasureOptions, Measurement, SimMachine, TimingConfig,
+    };
+    pub use wht_models::{
+        analytic_misses, instruction_count, op_counts, CombinedModel, CostModel, ModelCache,
+    };
+    pub use wht_parallel::{measure_sweep, par_apply_plan, Threads};
+    pub use wht_search::{
+        dp_search, pruned_search, random_search, DpOptions, InstructionCost, PlanCost,
+        SimCyclesCost, WallClockCost,
+    };
+    pub use wht_space::{plan_count, sample_plans_seeded, Sampler};
+    pub use wht_stats::{describe, pearson, Histogram, PruneCurve};
+}

@@ -1,0 +1,110 @@
+//! Facade-level API exercises: everything a downstream user reaches through
+//! `wht::prelude` and the extension modules, composed the way an
+//! application would.
+
+use wht::prelude::*;
+
+#[test]
+fn prelude_covers_the_whole_pipeline() {
+    // plan -> run -> model -> search, all through the prelude.
+    let plan: Plan = "split[small[2],split[small[3],small[2]]]".parse().unwrap();
+    assert_eq!(plan.n(), 7);
+
+    let mut x: Vec<f64> = (0..128).map(|v| (v % 13) as f64).collect();
+    let want = naive_wht(&x);
+    apply_plan(&plan, &mut x).unwrap();
+    assert_eq!(x, want);
+
+    let i = instruction_count(&plan, &CostModel::default());
+    let m = analytic_misses(&plan, ModelCache::opteron_l1_elems());
+    assert!(CombinedModel::paper_optimum().value(i, m) > 0.0);
+
+    let mut cost = InstructionCost::default();
+    let dp = dp_search(7, &DpOptions::default(), &mut cost).unwrap();
+    assert!(cost.cost(dp.best_plan()).unwrap() <= i as f64);
+}
+
+#[test]
+fn ddl_engine_is_a_drop_in_replacement() {
+    use wht::core::ddl::{apply_plan_ddl, DdlConfig};
+    // n = 15 is past the simulated L1 (2^13 doubles), where relayout pays.
+    let plan = Plan::left_recursive(15).unwrap();
+    let input: Vec<f64> = (0..1 << 15).map(|v| ((v * 7) % 29) as f64 - 14.0).collect();
+    let mut plain = input.clone();
+    apply_plan(&plan, &mut plain).unwrap();
+    let mut ddl = input;
+    apply_plan_ddl(&plan, &mut ddl, DdlConfig::default()).unwrap();
+    assert_eq!(plain, ddl);
+
+    // And it does what it exists for: fewer L1 misses on the hostile shape.
+    let mut h = Hierarchy::opteron();
+    let base = wht::measure::trace_misses(&plan, &mut h)[0].misses;
+    let relayout = wht::measure::ddl_trace_misses(&plan, &mut h, 3)[0].misses;
+    assert!(relayout < base, "DDL {relayout} should beat {base} at n=15");
+}
+
+#[test]
+fn calibration_feeds_search() {
+    use rand::SeedableRng;
+    use wht::search::{calibrate, CalibrateOptions};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let opts = CalibrateOptions {
+        samples_per_size: 20,
+        sizes: [6, 8, 10],
+        timing: TimingConfig::fast(),
+    };
+    let mut model = calibrate(&opts, &mut rng).unwrap();
+    // The calibrated model plugs straight into the DP autotuner.
+    let dp = dp_search(10, &DpOptions::default(), &mut model).unwrap();
+    assert_eq!(dp.best_plan().n(), 10);
+    assert!(dp.best_cost() > 0.0);
+}
+
+#[test]
+fn spectral_toolchain() {
+    use wht::core::dyadic::dyadic_convolution_naive;
+    use wht::core::dyadic::dyadic_convolution;
+    use wht::core::twod::apply_plan_2d;
+
+    // 1-D dyadic convolution through a fast plan.
+    let plan = Plan::balanced(6, 3).unwrap();
+    let x: Vec<f64> = (0..64).map(|v| ((v * 3) % 7) as f64).collect();
+    let y: Vec<f64> = (0..64).map(|v| ((v * 5) % 11) as f64 - 5.0).collect();
+    let fast = dyadic_convolution(&plan, &x, &y).unwrap();
+    let slow = dyadic_convolution_naive(&x, &y);
+    for (a, b) in fast.iter().zip(slow.iter()) {
+        assert!((a - b).abs() < 1e-7);
+    }
+
+    // 2-D transform and sequency reordering compose.
+    let rp = Plan::leaf(3).unwrap();
+    let cp = Plan::leaf(3).unwrap();
+    let mut img: Vec<f64> = (0..64).map(|v| (v / 8) as f64).collect();
+    apply_plan_2d(&rp, &cp, &mut img).unwrap();
+    let row0: Vec<f64> = img[..8].to_vec();
+    let seq = to_sequency_order(&row0);
+    assert_eq!(seq.len(), 8);
+}
+
+#[test]
+fn parallel_and_sweep_through_facade() {
+    let plan = Plan::balanced(11, 4).unwrap();
+    let mut x: Vec<f64> = (0..1 << 11).map(|v| (v % 5) as f64).collect();
+    let want = {
+        let mut s = x.clone();
+        apply_plan(&plan, &mut s).unwrap();
+        s
+    };
+    par_apply_plan(&plan, &mut x, Threads(5)).unwrap();
+    assert_eq!(x, want);
+
+    let plans = vec![Plan::iterative(8).unwrap(), Plan::right_recursive(8).unwrap()];
+    let opts = MeasureOptions {
+        timing: None,
+        ..MeasureOptions::default()
+    };
+    let h = Hierarchy::opteron();
+    let ms = measure_sweep(&plans, &opts, &h, 2).unwrap();
+    assert_eq!(ms.len(), 2);
+    assert!(ms[0].instructions < ms[1].instructions); // iterative < right
+}

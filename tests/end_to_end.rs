@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the paper's pipeline, end to end, at
+//! test-friendly sizes, asserting the qualitative claims the figures
+//! reproduce at full scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wht::prelude::*;
+use wht_measure::measured_op_counts;
+use wht_stats::{outer_fence_filter, select};
+
+/// Sample → measure (deterministic backends) → correlate: the Figure 6/9
+/// program. In the simulated world cycles are a noiseless function of
+/// instructions and misses, so correlations must be strongly positive.
+#[test]
+fn sample_measure_correlate_pipeline() {
+    let n = 11u32;
+    let samples = 250usize;
+    let plans = sample_plans_seeded(n, samples, 42).unwrap();
+    let opts = MeasureOptions {
+        timing: None,
+        ..MeasureOptions::default()
+    };
+    let hierarchy = Hierarchy::opteron();
+    let ms = measure_sweep(&plans, &opts, &hierarchy, 8).unwrap();
+
+    let cycles: Vec<f64> = ms.iter().map(|m| m.sim_cycles.unwrap()).collect();
+    let instr: Vec<f64> = ms.iter().map(|m| m.instructions as f64).collect();
+
+    let keep = outer_fence_filter(&cycles, 3.0);
+    let rho = pearson(&select(&instr, &keep), &select(&cycles, &keep));
+    assert!(
+        rho > 0.85,
+        "in-cache instruction/cycle correlation should be strong, got {rho}"
+    );
+}
+
+/// The pruning claim (Figures 10/11): filtering by the model retains a
+/// top-5% performer with a small survivor set.
+#[test]
+fn model_pruning_retains_top_performers() {
+    let n = 10u32;
+    let samples = 400usize;
+    let plans = sample_plans_seeded(n, samples, 7).unwrap();
+    let cost = CostModel::default();
+    let model: Vec<f64> = plans
+        .iter()
+        .map(|p| instruction_count(p, &cost) as f64)
+        .collect();
+
+    let opts = MeasureOptions {
+        timing: None,
+        ..MeasureOptions::default()
+    };
+    let hierarchy = Hierarchy::opteron();
+    let ms = measure_sweep(&plans, &opts, &hierarchy, 8).unwrap();
+    let cycles: Vec<f64> = ms.iter().map(|m| m.sim_cycles.unwrap()).collect();
+
+    let curve = PruneCurve::new(&model, &cycles, 0.05);
+    assert!((curve.limit() - 0.95).abs() < 0.05);
+    let safe = PruneCurve::safe_prune_threshold(&model, &cycles, 0.05);
+    let survivors = model.iter().filter(|&&m| m <= safe).count();
+    // Pruning at the safe threshold should discard a useful chunk of the
+    // space while keeping at least one top-5% plan (by construction).
+    assert!(survivors >= 1);
+    assert!(
+        survivors <= samples / 2,
+        "model should prune at least half the sample, kept {survivors}"
+    );
+}
+
+/// The full story of Figure 1 on the deterministic machine: in cache the
+/// instruction-lean iterative algorithm wins among canonicals; far out of
+/// cache the localizing right-recursion wins; DP's best beats all three.
+#[test]
+fn canonical_ordering_flips_across_the_hierarchy() {
+    let mut sim = SimCyclesCost::opteron();
+
+    // In cache (n = 10): iterative < right < left.
+    let it = sim.cost(&Plan::iterative(10).unwrap()).unwrap();
+    let rr = sim.cost(&Plan::right_recursive(10).unwrap()).unwrap();
+    let lr = sim.cost(&Plan::left_recursive(10).unwrap()).unwrap();
+    assert!(it < rr && rr < lr, "in cache: {it} {rr} {lr}");
+
+    // Past the L2 boundary (n = 19): right recursive beats iterative;
+    // left recursive is the off-scale outlier.
+    let it = sim.cost(&Plan::iterative(19).unwrap()).unwrap();
+    let rr = sim.cost(&Plan::right_recursive(19).unwrap()).unwrap();
+    let lr = sim.cost(&Plan::left_recursive(19).unwrap()).unwrap();
+    assert!(rr < it, "out of cache: right {rr} should beat iterative {it}");
+    assert!(lr > 2.0 * rr, "left {lr} should be far worse than right {rr}");
+
+    // DP-found best beats every canonical at both sizes.
+    let dp = dp_search(10, &DpOptions::default(), &mut sim).unwrap();
+    let best10 = dp.cost[10];
+    assert!(best10 <= it.min(rr).min(lr));
+}
+
+/// Instruction model == instrumented measurement == engine work, linked by
+/// the flop invariant (n * 2^n butterflies for every plan).
+#[test]
+fn model_measurement_and_engine_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sampler = Sampler::default();
+    for n in [4u32, 9, 13] {
+        for _ in 0..10 {
+            let plan = sampler.sample(n, &mut rng).unwrap();
+            let counts = measured_op_counts(&plan);
+            assert_eq!(counts, op_counts(&plan));
+            assert_eq!(counts.arith, u64::from(n) << n);
+            // Engine agrees with the definition.
+            let size = plan.size();
+            let input: Vec<f64> = (0..size).map(|j| ((j % 16) as f64) - 8.0).collect();
+            let want = naive_wht(&input);
+            let mut got = input;
+            apply_plan(&plan, &mut got).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+}
+
+/// The combined model's grid search recovers a sensible optimum on
+/// deterministic data (rho must beat instruction-only correlation at an
+/// out-of-cache size).
+#[test]
+fn combined_model_improves_out_of_cache_correlation() {
+    let n = 15u32;
+    let samples = 200usize;
+    let plans = sample_plans_seeded(n, samples, 99).unwrap();
+    let opts = MeasureOptions {
+        timing: None,
+        ..MeasureOptions::default()
+    };
+    let hierarchy = Hierarchy::opteron();
+    let ms = measure_sweep(&plans, &opts, &hierarchy, 8).unwrap();
+    let cycles: Vec<f64> = ms.iter().map(|m| m.sim_cycles.unwrap()).collect();
+    let instr: Vec<u64> = ms.iter().map(|m| m.instructions).collect();
+    let misses: Vec<u64> = ms.iter().map(|m| m.l1_misses.unwrap()).collect();
+
+    let instr_f: Vec<f64> = instr.iter().map(|&v| v as f64).collect();
+    let rho_i = pearson(&instr_f, &cycles);
+    let grid = wht_stats::grid_search_combined(&instr, &misses, &cycles, 0.05);
+    assert!(
+        grid.best_rho >= rho_i,
+        "combined rho {} must be >= instruction rho {rho_i}",
+        grid.best_rho
+    );
+    assert!(grid.best_rho > 0.9, "deterministic combined rho should be high");
+}
+
+/// Sequency-ordered spectrum analysis works through the whole public API.
+#[test]
+fn sequency_pipeline() {
+    // A Walsh function of sequency s must have a one-hot sequency spectrum.
+    let n = 8u32;
+    let size = 1usize << n;
+    let s = 37usize;
+    let perm = wht::core::ordering::sequency_permutation(n);
+    let nat = perm[s];
+    let row: Vec<f64> = (0..size)
+        .map(|j| wht::core::reference::hadamard_entry(nat, j) as f64)
+        .collect();
+    let plan = Plan::balanced(n, 4).unwrap();
+    let mut spec = row;
+    apply_plan(&plan, &mut spec).unwrap();
+    let seq_spec = to_sequency_order(&spec);
+    for (i, &v) in seq_spec.iter().enumerate() {
+        if i == s {
+            assert_eq!(v, size as f64);
+        } else {
+            assert_eq!(v, 0.0);
+        }
+    }
+}
