@@ -98,7 +98,17 @@ mod tests {
 
     #[test]
     fn explicit_flags() {
-        let a = parse(&["--samples", "123", "--seed", "9", "--threads", "4", "--nmax", "12", "--no-timing"]);
+        let a = parse(&[
+            "--samples",
+            "123",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--nmax",
+            "12",
+            "--no-timing",
+        ]);
         assert_eq!(a.samples, 123);
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 4);

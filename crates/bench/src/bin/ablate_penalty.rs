@@ -33,12 +33,8 @@ fn main() {
             };
             let mut h = Hierarchy::opteron();
             let crossover = (2..=nmax).find(|&n| {
-                let it = simulated_cycles(
-                    &Plan::iterative(n).expect("valid"),
-                    &cost,
-                    &machine,
-                    &mut h,
-                );
+                let it =
+                    simulated_cycles(&Plan::iterative(n).expect("valid"), &cost, &machine, &mut h);
                 let rr = simulated_cycles(
                     &Plan::right_recursive(n).expect("valid"),
                     &cost,
@@ -51,11 +47,7 @@ fn main() {
                 .map(|n| n.to_string())
                 .unwrap_or_else(|| format!(">{nmax}"));
             rows.push(vec![format!("{l1}"), format!("{l2}"), text]);
-            rows_csv.push(vec![
-                l1,
-                l2,
-                crossover.map(f64::from).unwrap_or(f64::NAN),
-            ]);
+            rows_csv.push(vec![l1, l2, crossover.map(f64::from).unwrap_or(f64::NAN)]);
         }
     }
     write_csv(

@@ -1,0 +1,64 @@
+//! Compiled-vs-interpreted speedup table: the acceptance measurement for
+//! the compiled-plan execution layer.
+//!
+//! For each canonical plan and size, times the recursive interpreter
+//! (`apply_plan_recursive`, the paper's measured artifact) and the
+//! compiled pass-schedule replay (`CompiledPlan::apply`) with the same
+//! median-of-blocks methodology, and prints the ratio. Run with
+//! `--release`; flags: `--nmax N` (default 18), `--reps R` (default 7).
+
+use wht_core::{CompiledPlan, Plan};
+use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
+
+fn main() {
+    let mut nmax = 18u32;
+    let mut reps = 7usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nmax" => nmax = args.next().expect("--nmax N").parse().expect("integer"),
+            "--reps" => reps = args.next().expect("--reps R").parse().expect("integer"),
+            other => panic!("unknown flag {other}; valid: --nmax N, --reps R"),
+        }
+    }
+    let cfg = TimingConfig {
+        warmup: 2,
+        reps,
+        iters_per_block: 0,
+    };
+
+    println!("compiled vs interpreted execution (median ns/transform, {reps} blocks)");
+    println!(
+        "{:>3}  {:<10}  {:>14}  {:>14}  {:>8}",
+        "n", "plan", "interpreted", "compiled", "speedup"
+    );
+    let mut worst_at_16_plus = f64::INFINITY;
+    for n in (8..=nmax).step_by(2) {
+        // The paper's canonical three, plus one blocked reference shape
+        // (depth-1, so the interpreter is already flat there — it bounds
+        // what recursion elimination alone can buy).
+        let plans = [
+            ("iterative", Plan::iterative(n).expect("valid")),
+            ("right", Plan::right_recursive(n).expect("valid")),
+            ("left", Plan::left_recursive(n).expect("valid")),
+            ("blocked8*", Plan::binary_iterative(n, 8).expect("valid")),
+        ];
+        for (name, plan) in plans {
+            let interp = time_plan(&plan, &cfg).expect("valid config");
+            let compiled_plan = CompiledPlan::compile(&plan);
+            let compiled = time_compiled_plan(&compiled_plan, &cfg).expect("valid config");
+            let speedup = interp.median_ns / compiled.median_ns;
+            if n >= 16 && !name.ends_with('*') {
+                worst_at_16_plus = worst_at_16_plus.min(speedup);
+            }
+            println!(
+                "{:>3}  {:<10}  {:>14.0}  {:>14.0}  {:>7.2}x",
+                n, name, interp.median_ns, compiled.median_ns, speedup
+            );
+        }
+    }
+    if nmax >= 16 {
+        println!("\nworst canonical-plan speedup at n >= 16: {worst_at_16_plus:.2}x");
+        println!("(* reference shape, not one of the paper's canonical three)");
+    }
+}

@@ -43,8 +43,7 @@ fn main() {
         let mut wall_cost = WallClockCost::default();
         let dp = dp_search(nmax, &DpOptions::default(), &mut wall_cost).expect("dp search");
         for n in 1..=nmax {
-            let rows =
-                canonical_vs_best(n, &dp.best[n as usize], &mut wall_cost).expect("timing");
+            let rows = canonical_vs_best(n, &dp.best[n as usize], &mut wall_cost).expect("timing");
             let best = rows[3].1;
             wall_rows.push(vec![
                 f64::from(n),
@@ -80,17 +79,12 @@ fn main() {
     }
 
     // Paper-shape checks, printed for EXPERIMENTS.md.
-    let crossover = sim_rows
-        .iter()
-        .find(|r| r[3] < r[1])
-        .map(|r| r[0] as u32);
+    let crossover = sim_rows.iter().find(|r| r[3] < r[1]).map(|r| r[0] as u32);
     println!();
     println!("Paper: iterative best among canonicals until the L2 boundary (n=18),");
     println!("       right recursive < left recursive.");
     match crossover {
-        Some(n) => println!(
-            "Ours (sim backend): right recursive overtakes iterative at n = {n}"
-        ),
+        Some(n) => println!("Ours (sim backend): right recursive overtakes iterative at n = {n}"),
         None => println!("Ours (sim backend): no crossover up to n = {nmax}"),
     }
     let right_beats_left = sim_rows

@@ -48,10 +48,7 @@ fn main() {
     println!("Paper: iterative has the lowest instruction count for all sizes;");
     println!("       left recursive the highest (reaching ~4.5-5x best at n=20).");
     let iter_lowest = rows.iter().all(|r| r[1] <= r[2] && r[1] <= r[3]);
-    let left_highest = rows
-        .iter()
-        .filter(|r| r[0] >= 4.0)
-        .all(|r| r[2] >= r[3]);
+    let left_highest = rows.iter().filter(|r| r[0] >= 4.0).all(|r| r[2] >= r[3]);
     println!("Ours: iterative lowest at every size: {iter_lowest}");
     println!("Ours: left >= right for n >= 4: {left_highest}");
 }

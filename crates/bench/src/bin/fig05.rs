@@ -48,7 +48,10 @@ fn main() {
     }
 
     let unit = if study.timed { "ns" } else { "sim cycles" };
-    print!("{}", ascii_histogram(&format!("Cycle counts ({unit})"), &hc, 48));
+    print!(
+        "{}",
+        ascii_histogram(&format!("Cycle counts ({unit})"), &hc, 48)
+    );
     println!();
     print!("{}", ascii_histogram("Instruction counts", &hi, 48));
     println!();

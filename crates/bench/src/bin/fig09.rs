@@ -28,7 +28,11 @@ fn main() {
             rows.push(vec![a, b, res.rho[i][j]]);
         }
     }
-    write_csv(&results_dir().join("fig09_surface.csv"), "alpha,beta,rho", &rows);
+    write_csv(
+        &results_dir().join("fig09_surface.csv"),
+        "alpha,beta,rho",
+        &rows,
+    );
 
     println!("Figure 9: rho(cycles, alpha*I + beta*M) over the 0.05 grid, WHT(2^18)");
     println!();
@@ -69,6 +73,8 @@ fn main() {
     );
     println!();
     println!("(Pearson rho is scale-invariant, so the optimum is really the");
-    println!(" direction beta/alpha = {:.3}; the paper reports the grid cell.)",
-        res.best_beta / res.best_alpha.max(1e-12));
+    println!(
+        " direction beta/alpha = {:.3}; the paper reports the grid cell.)",
+        res.best_beta / res.best_alpha.max(1e-12)
+    );
 }

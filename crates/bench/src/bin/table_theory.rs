@@ -3,9 +3,7 @@
 //! against Monte-Carlo sampling.
 
 use wht_bench::{ascii_table, results_dir, write_csv, CommonArgs};
-use wht_models::{
-    exact_instruction_moments, instruction_count, instruction_extremes, CostModel,
-};
+use wht_models::{exact_instruction_moments, instruction_count, instruction_extremes, CostModel};
 use wht_space::sample_plans_seeded;
 use wht_stats::describe;
 
@@ -63,7 +61,14 @@ fn main() {
         "{}",
         ascii_table(
             &[
-                "n", "min", "max", "E[T] exact", "E[T] MC", "sd exact", "sd MC", "skew",
+                "n",
+                "min",
+                "max",
+                "E[T] exact",
+                "E[T] MC",
+                "sd exact",
+                "sd MC",
+                "skew",
                 "exkurt"
             ],
             &rows

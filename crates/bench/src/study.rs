@@ -280,7 +280,10 @@ mod tests {
     #[test]
     fn study_cache_round_trips() {
         let args = tiny_args();
-        std::env::set_var("WHT_RESULTS_DIR", std::env::temp_dir().join("wht_results_test"));
+        std::env::set_var(
+            "WHT_RESULTS_DIR",
+            std::env::temp_dir().join("wht_results_test"),
+        );
         let a = load_or_run_study(7, &args).unwrap();
         let b = load_or_run_study(7, &args).unwrap();
         // Deterministic backends: cached result equals recomputed result.

@@ -40,7 +40,11 @@ impl CacheConfig {
     /// # Errors
     /// [`ConfigError`] unless all three values are non-zero powers of two
     /// with `line_size * associativity <= capacity`.
-    pub fn new(capacity: usize, associativity: usize, line_size: usize) -> Result<Self, ConfigError> {
+    pub fn new(
+        capacity: usize,
+        associativity: usize,
+        line_size: usize,
+    ) -> Result<Self, ConfigError> {
         let cfg = CacheConfig {
             capacity,
             associativity,
@@ -61,7 +65,9 @@ impl CacheConfig {
             ("line_size", self.line_size),
         ] {
             if v == 0 || !v.is_power_of_two() {
-                return Err(ConfigError(format!("{name} = {v} must be a nonzero power of two")));
+                return Err(ConfigError(format!(
+                    "{name} = {v} must be a nonzero power of two"
+                )));
             }
         }
         if self.line_size * self.associativity > self.capacity {

@@ -140,8 +140,8 @@ mod tests {
         let mut h = two_level();
         assert_eq!(h.access(0), 2); // cold: miss L1 + L2
         assert_eq!(h.access(0), 0); // L1 hit
-        // Evict line 0 from tiny L1 (set 0 holds lines 0,4,8,... line = addr/8;
-        // L1 has 4 sets so lines 0 and 4 (addr 32) collide):
+                                    // Evict line 0 from tiny L1 (set 0 holds lines 0,4,8,... line = addr/8;
+                                    // L1 has 4 sets so lines 0 and 4 (addr 32) collide):
         assert_eq!(h.access(32), 2);
         // line 0 now misses L1 but still lives in L2:
         assert_eq!(h.access(0), 1);

@@ -1,0 +1,441 @@
+//! Compiled-plan execution: flatten a [`Plan`] into a pass schedule once,
+//! replay it with zero recursion.
+//!
+//! ## Why flattening is possible
+//!
+//! Equation 1 factors `WHT(2^n)` into Kronecker products, and Kronecker
+//! factors compose: `I ⊗ (X·Y) ⊗ I = (I ⊗ X ⊗ I) · (I ⊗ Y ⊗ I)`.
+//! Substituting every split of a plan into its parent therefore rewrites
+//! the whole tree as a *flat* product with exactly one factor per leaf,
+//!
+//! ```text
+//! WHT(2^n) = prod_{leaf ℓ} ( I(R_ℓ) ⊗ WHT(2^{k_ℓ}) ⊗ I(S_ℓ) )
+//! ```
+//!
+//! where `S_ℓ` is the product of the sizes of all factors applied before
+//! `ℓ` (everything to its right in the product) and `R_ℓ = 2^n / (2^{k_ℓ}
+//! S_ℓ)`. Each factor is one [`Pass`]: codelet `k` applied `R·S` times at
+//! stride `S` — the engine's `(r, s)` loop pair, hoisted to the top level.
+//! [`CompiledPlan::compile`] emits passes in the engine's exact
+//! right-to-left factor order, so compilation is a pure schedule
+//! transformation: pay the tree walk once, then every
+//! [`CompiledPlan::apply`] is a branch-light linear sweep over a
+//! `Vec<Pass>` with precomputed strides — no recursion, no re-derived
+//! stride arithmetic on the hot path.
+//!
+//! ## Bit-identical to the interpreter
+//!
+//! The recursive engine interleaves the invocations of nested factors
+//! (block-major order); the compiled schedule runs each factor to
+//! completion (pass-major order). The *multiset* of codelet invocations is
+//! identical, and within one factor the invocations touch pairwise
+//! disjoint element sets, while an invocation of a later factor reads only
+//! elements whose earlier-factor invocations are ordered before it in
+//! *both* schedules. Every load therefore observes the same value in
+//! either order, and each codelet performs the same floating-point
+//! operations on the same values — so compiled and interpreted execution
+//! agree **bit for bit** (property-tested in `tests/proptests.rs` for all
+//! four scalar types, and against the parallel engine).
+//!
+//! Pass-major order is also why compiled execution is the production
+//! choice: deep plans that the interpreter executes in a cache-hostile
+//! order (the paper's `left_recursive` pathology) flatten into the same
+//! streaming pass sequence as the iterative algorithm.
+
+use crate::codelets::apply_codelet;
+use crate::engine::ExecHooks;
+use crate::error::WhtError;
+use crate::plan::Plan;
+use crate::scalar::Scalar;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One factor `I(r) ⊗ WHT(2^k) ⊗ I(s)` of the flattened product: codelet
+/// `small[k]` applied over the `r × s` iteration grid.
+///
+/// Invocation `(j, t)` (for `j < r`, `t < s`) runs the codelet on the
+/// strided vector starting at `base + (j·2^k·s + t)·stride` with element
+/// stride `s·stride`. Top-level schedules have `base = 0, stride = 1`; the
+/// fields exist so sub-ranges of a pass can be described (the parallel
+/// engine shards the grid, tiled/2-D layers can offset it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass {
+    /// Leaf codelet exponent (`small[k]`, size `2^k`).
+    pub k: u32,
+    /// Outer grid extent: number of `2^k·s`-element blocks.
+    pub r: usize,
+    /// Inner grid extent — also the codelet stride in units of `stride`.
+    pub s: usize,
+    /// Base element offset of the pass.
+    pub base: usize,
+    /// Global stride multiplier applied to every index of the pass.
+    pub stride: usize,
+}
+
+impl Pass {
+    /// Number of codelet invocations in this pass (`r·s`).
+    #[inline]
+    pub fn invocations(&self) -> usize {
+        self.r * self.s
+    }
+
+    /// Elements covered by the pass (`r · 2^k · s`), each touched once.
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.r * ((1usize << self.k) * self.s)
+    }
+
+    /// Element stride the codelet runs at.
+    #[inline]
+    pub fn codelet_stride(&self) -> usize {
+        self.s * self.stride
+    }
+
+    /// Start index of invocation `q` (linearized `j·s + t`).
+    #[inline]
+    pub fn invocation_base(&self, q: usize) -> usize {
+        let j = q / self.s;
+        let t = q % self.s;
+        self.base + (j * ((1usize << self.k) * self.s) + t) * self.stride
+    }
+
+    /// Run invocation `q` of this pass on `x`.
+    ///
+    /// # Safety
+    /// `q < self.invocations()` and every index of the invocation must be
+    /// in bounds: `invocation_base(q) + (2^k - 1) · codelet_stride() <
+    /// x.len()`. Distinct invocations of one pass touch disjoint elements,
+    /// so they may run concurrently (the parallel engine's contract).
+    #[inline]
+    pub unsafe fn apply_invocation<T: Scalar>(&self, x: &mut [T], q: usize) {
+        // SAFETY: forwarded contract; `k` is validated at compile() time.
+        unsafe { apply_codelet(self.k, x, self.invocation_base(q), self.codelet_stride()) };
+    }
+
+    /// Run the whole pass on `x` (all `r·s` invocations, in grid order).
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()`.
+    unsafe fn apply_full<T: Scalar>(&self, x: &mut [T]) {
+        let block = (1usize << self.k) * self.s;
+        let codelet_stride = self.codelet_stride();
+        for j in 0..self.r {
+            let row = self.base + j * block * self.stride;
+            for t in 0..self.s {
+                // SAFETY: row + (s-1)·stride + (2^k - 1)·s·stride
+                // = base + (j·block + block - 1)·stride <= the bound in the
+                // function contract.
+                unsafe { apply_codelet(self.k, x, row + t * self.stride, codelet_stride) };
+            }
+        }
+    }
+}
+
+/// A [`Plan`] lowered to its flat factor schedule (see the module docs).
+///
+/// Compile once, apply many times:
+///
+/// ```
+/// use wht_core::{naive_wht, CompiledPlan, Plan};
+///
+/// let plan = Plan::right_recursive(10)?;
+/// let compiled = CompiledPlan::compile(&plan);
+/// let mut x: Vec<f64> = (0..1024).map(|v| (v % 5) as f64).collect();
+/// let want = naive_wht(&x);
+/// compiled.apply(&mut x)?;
+/// assert_eq!(x, want);
+/// # Ok::<(), wht_core::WhtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPlan {
+    n: u32,
+    passes: Vec<Pass>,
+}
+
+impl CompiledPlan {
+    /// Lower `plan` into its pass schedule (cost: one tree walk, one
+    /// `Vec` of `plan.leaf_count()` entries).
+    pub fn compile(plan: &Plan) -> Self {
+        let n = plan.n();
+        let size = 1usize << n;
+        let mut passes = Vec::with_capacity(plan.leaf_count());
+        let mut s = 1usize;
+        emit(plan, size, &mut s, &mut passes);
+        debug_assert_eq!(s, size, "factor sizes must multiply to the transform size");
+        CompiledPlan { n, passes }
+    }
+
+    /// Exponent of the transform (`log2` of its size).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Size `2^n` of the transform.
+    #[inline]
+    pub fn size(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The schedule, in execution order (one pass per plan leaf).
+    #[inline]
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Compute `x <- WHT(2^n) · x` in place by replaying the schedule.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
+    pub fn apply<T: Scalar>(&self, x: &mut [T]) -> Result<(), WhtError> {
+        if x.len() != self.size() {
+            return Err(WhtError::LengthMismatch {
+                expected: self.size(),
+                got: x.len(),
+            });
+        }
+        for pass in &self.passes {
+            debug_assert!(pass.base + (pass.span() - 1) * pass.stride < x.len());
+            // SAFETY: compile() emits only passes with base = 0, stride = 1
+            // and span() == size(), and the length was checked above.
+            unsafe { pass.apply_full(x) };
+        }
+        Ok(())
+    }
+
+    /// Replay the schedule datalessly, reporting each step to `hooks` —
+    /// the compiled counterpart of [`crate::engine::traverse`], consumed
+    /// by the instrumented counter and the cache-trace executor in
+    /// `wht-measure` so that measured and executed work share one
+    /// schedule.
+    ///
+    /// Hook mapping: one [`ExecHooks::enter_split`] for the whole schedule
+    /// (`t` = pass count), one [`ExecHooks::child_loops`] per pass, one
+    /// [`ExecHooks::leaf_call`] per codelet invocation, in execution
+    /// order.
+    pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
+        hooks.enter_split(self.n, self.passes.len());
+        for pass in &self.passes {
+            hooks.child_loops(pass.k, pass.r, pass.s);
+            for q in 0..pass.invocations() {
+                hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+            }
+        }
+    }
+
+    /// Re-check the schedule invariants (every pass tiles the full index
+    /// space exactly once). Holds by construction for compiled plans; for
+    /// hand-built schedules this is the validity gate.
+    pub fn validate(&self) -> Result<(), WhtError> {
+        for pass in &self.passes {
+            if pass.base != 0 || pass.stride != 1 || pass.span() != self.size() {
+                return Err(WhtError::InvalidConfig(format!(
+                    "pass {pass:?} does not tile a size-2^{} transform",
+                    self.n
+                )));
+            }
+            if !(1..=crate::plan::MAX_LEAF_K).contains(&pass.k) {
+                return Err(WhtError::LeafSizeOutOfRange { k: pass.k });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Emit the factor schedule of `plan` given `s` = product of the sizes of
+/// the factors already emitted (everything applied before this subtree).
+fn emit(plan: &Plan, total: usize, s: &mut usize, passes: &mut Vec<Pass>) {
+    match plan {
+        Plan::Leaf { k } => {
+            let size = 1usize << *k;
+            passes.push(Pass {
+                k: *k,
+                r: total / (size * *s),
+                s: *s,
+                base: 0,
+                stride: 1,
+            });
+            *s *= size;
+        }
+        Plan::Split { children, .. } => {
+            // Same right-to-left factor order as the interpreter.
+            for child in children.iter().rev() {
+                emit(child, total, s, passes);
+            }
+        }
+    }
+}
+
+const CACHE_CAP: usize = 64;
+
+thread_local! {
+    /// Per-thread schedule cache backing [`compiled_for`]: plans are
+    /// immutable and hashable, so the plan itself is the key.
+    static PLAN_CACHE: RefCell<HashMap<Plan, Rc<CompiledPlan>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// The lazily-compiled schedule for `plan`: compiled on first use on this
+/// thread, then served from a bounded per-thread cache. This is what lets
+/// [`crate::apply_plan`] keep its signature while paying the tree walk
+/// once per plan instead of once per call.
+pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
+    PLAN_CACHE.with(|cache| {
+        let mut map = cache.borrow_mut();
+        if let Some(hit) = map.get(plan) {
+            return Rc::clone(hit);
+        }
+        let compiled = Rc::new(CompiledPlan::compile(plan));
+        if map.len() >= CACHE_CAP {
+            // Simplest bounded policy: drop everything, refill from live
+            // traffic. CACHE_CAP plans is far beyond any working set here.
+            map.clear();
+        }
+        map.insert(plan.clone(), Rc::clone(&compiled));
+        compiled
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{apply_plan_recursive, for_each_leaf_call};
+    use crate::reference::{max_abs_diff, naive_wht};
+
+    fn signal(n: u32) -> Vec<f64> {
+        (0..1usize << n)
+            .map(|j| ((j.wrapping_mul(2654435761)) % 1000) as f64 / 250.0 - 2.0)
+            .collect()
+    }
+
+    fn test_plans(n: u32) -> Vec<Plan> {
+        vec![
+            Plan::iterative(n).unwrap(),
+            Plan::right_recursive(n).unwrap(),
+            Plan::left_recursive(n).unwrap(),
+            Plan::balanced(n, 3).unwrap(),
+            Plan::binary_iterative(n, 4).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn schedule_shape_one_pass_per_leaf() {
+        for n in 1..=12u32 {
+            for plan in test_plans(n) {
+                let compiled = CompiledPlan::compile(&plan);
+                assert_eq!(compiled.passes().len(), plan.leaf_count(), "plan {plan}");
+                assert!(compiled.validate().is_ok());
+                // Strides multiply up: pass i runs at stride = product of
+                // earlier factor sizes.
+                let mut s = 1usize;
+                for pass in compiled.passes() {
+                    assert_eq!(pass.s, s, "plan {plan}");
+                    s *= 1usize << pass.k;
+                }
+                assert_eq!(s, compiled.size());
+            }
+        }
+    }
+
+    #[test]
+    fn deep_recursions_flatten_to_the_iterative_schedule() {
+        // Both canonical binary recursions are *algorithms for building a
+        // schedule*; flattened, all-small[1] plans become the same n-pass
+        // program regardless of tree shape.
+        let n = 9u32;
+        let it = CompiledPlan::compile(&Plan::iterative(n).unwrap());
+        let rr = CompiledPlan::compile(&Plan::right_recursive(n).unwrap());
+        let lr = CompiledPlan::compile(&Plan::left_recursive(n).unwrap());
+        assert_eq!(it, rr);
+        assert_eq!(it, lr);
+    }
+
+    #[test]
+    fn compiled_matches_naive_and_recursive_bitwise() {
+        for n in 1..=11u32 {
+            let input = signal(n);
+            let want = naive_wht(&input);
+            for plan in test_plans(n) {
+                let compiled = CompiledPlan::compile(&plan);
+                let mut got = input.clone();
+                compiled.apply(&mut got).unwrap();
+                assert!(max_abs_diff(&got, &want) < 1e-9, "plan {plan}");
+
+                let mut rec = input.clone();
+                apply_plan_recursive(&plan, &mut rec).unwrap();
+                assert_eq!(got, rec, "bit-exact agreement required for {plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let compiled = CompiledPlan::compile(&Plan::iterative(4).unwrap());
+        let mut x = vec![0.0f64; 15];
+        assert_eq!(
+            compiled.apply(&mut x),
+            Err(WhtError::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
+        );
+    }
+
+    #[test]
+    fn traverse_visits_same_leaf_multiset_as_interpreter() {
+        let plan = Plan::balanced(9, 3).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let mut interp: Vec<(u32, usize, usize)> = Vec::new();
+        for_each_leaf_call(&plan, |k, b, s| interp.push((k, b, s)));
+        let mut flat: Vec<(u32, usize, usize)> = Vec::new();
+        struct Collect<'a>(&'a mut Vec<(u32, usize, usize)>);
+        impl ExecHooks for Collect<'_> {
+            fn leaf_call(&mut self, k: u32, base: usize, stride: usize) {
+                self.0.push((k, base, stride));
+            }
+        }
+        compiled.traverse(&mut Collect(&mut flat));
+        assert_eq!(flat.len(), interp.len());
+        interp.sort_unstable();
+        flat.sort_unstable();
+        assert_eq!(flat, interp, "same invocation multiset, different order");
+    }
+
+    #[test]
+    fn cached_compile_returns_identical_schedule() {
+        let plan = Plan::balanced(10, 4).unwrap();
+        let a = compiled_for(&plan);
+        let b = compiled_for(&plan);
+        assert!(Rc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(*a, CompiledPlan::compile(&plan));
+        // Flood the cache past capacity; the entry may be evicted but
+        // lookups must stay correct.
+        for n in 1..=8u32 {
+            for k in 1..=8u32 {
+                let p = Plan::binary_iterative(n + 8, k).unwrap();
+                assert_eq!(compiled_for(&p).n(), n + 8);
+            }
+        }
+        assert_eq!(*compiled_for(&plan), *a);
+    }
+
+    #[test]
+    fn invocation_indexing_is_consistent_with_apply() {
+        let plan = Plan::split(vec![Plan::leaf(2).unwrap(), Plan::leaf(3).unwrap()]).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let input = signal(5);
+        let mut whole = input.clone();
+        compiled.apply(&mut whole).unwrap();
+        // Re-run pass by pass through the public invocation API.
+        let mut pieces = input;
+        for pass in compiled.passes() {
+            for q in 0..pass.invocations() {
+                // SAFETY: q ranges over the pass grid and the buffer has
+                // the full transform size.
+                unsafe { pass.apply_invocation(&mut pieces, q) };
+            }
+        }
+        assert_eq!(pieces, whole);
+    }
+}

@@ -43,11 +43,7 @@ impl Default for DdlConfig {
 ///
 /// # Errors
 /// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
-pub fn apply_plan_ddl<T: Scalar>(
-    plan: &Plan,
-    x: &mut [T],
-    cfg: DdlConfig,
-) -> Result<(), WhtError> {
+pub fn apply_plan_ddl<T: Scalar>(plan: &Plan, x: &mut [T], cfg: DdlConfig) -> Result<(), WhtError> {
     if x.len() != plan.size() {
         return Err(WhtError::LengthMismatch {
             expected: plan.size(),
@@ -55,7 +51,14 @@ pub fn apply_plan_ddl<T: Scalar>(
         });
     }
     let mut scratch: Vec<T> = vec![T::ZERO; plan.size().min(1 << 16)];
-    ddl_rec(plan, x, 0, 1, 1usize << cfg.stride_threshold_log2, &mut scratch);
+    ddl_rec(
+        plan,
+        x,
+        0,
+        1,
+        1usize << cfg.stride_threshold_log2,
+        &mut scratch,
+    );
     Ok(())
 }
 
@@ -81,7 +84,14 @@ fn ddl_rec<T: Scalar>(
         // avoids pathological re-gathering at tiny thresholds and matches
         // the DDL trace executor in wht-measure.
         let mut inner_scratch: Vec<T> = Vec::new();
-        ddl_rec(plan, &mut scratch[..size], 0, 1, usize::MAX, &mut inner_scratch);
+        ddl_rec(
+            plan,
+            &mut scratch[..size],
+            0,
+            1,
+            usize::MAX,
+            &mut inner_scratch,
+        );
         for j in 0..size {
             x[base + j * stride] = scratch[j];
         }
@@ -176,7 +186,14 @@ mod tests {
         let plan = Plan::balanced(9, 3).unwrap();
         let input = signal(9);
         let mut a = input.clone();
-        apply_plan_ddl(&plan, &mut a, DdlConfig { stride_threshold_log2: 0 }).unwrap();
+        apply_plan_ddl(
+            &plan,
+            &mut a,
+            DdlConfig {
+                stride_threshold_log2: 0,
+            },
+        )
+        .unwrap();
         let mut b = input;
         apply_plan(&plan, &mut b).unwrap();
         assert_eq!(a, b);

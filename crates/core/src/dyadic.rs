@@ -44,7 +44,11 @@ pub fn dyadic_convolution(plan: &Plan, x: &[f64], y: &[f64]) -> Result<Vec<f64>,
     if x.len() != plan.size() || y.len() != plan.size() {
         return Err(WhtError::LengthMismatch {
             expected: plan.size(),
-            got: if x.len() != plan.size() { x.len() } else { y.len() },
+            got: if x.len() != plan.size() {
+                x.len()
+            } else {
+                y.len()
+            },
         });
     }
     let mut fx = x.to_vec();
@@ -96,7 +100,9 @@ mod tests {
     fn sig(n: usize, salt: u64) -> Vec<f64> {
         (0..n)
             .map(|j| {
-                let h = (j as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let h = (j as u64)
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 ((h >> 33) % 64) as f64 / 8.0 - 4.0
             })
             .collect()

@@ -14,12 +14,16 @@
 //! ```
 //!
 //! recursing on each `WHT(Ni)` until an unrolled leaf codelet is reached.
-//! The scheme is in-place and strided. [`apply_plan`] runs exactly this nest
-//! over real data (the code path that gets *timed*), while [`traverse`] runs
-//! the identical nest with no data, invoking [`ExecHooks`] callbacks — the
-//! instrumented instruction counter and the cache-trace executor in
-//! `wht-measure` are hooks, so measured counts and executed work can never
-//! drift apart.
+//! The scheme is in-place and strided. [`apply_plan_recursive`] runs exactly
+//! this nest over real data (the code path the measurement substrate
+//! *times*), while [`traverse`] runs the identical nest with no data,
+//! invoking [`ExecHooks`] callbacks — the instrumented instruction counter
+//! and the cache-trace executor in `wht-measure` are hooks, so measured
+//! counts and executed work can never drift apart. [`apply_plan`], the
+//! production entry point, instead replays the plan's flattened pass
+//! schedule from [`crate::compile`] (bit-identical output, no recursion);
+//! the same hooks can be driven from a compiled schedule via
+//! [`crate::compile::CompiledPlan::traverse`].
 //!
 //! ## Child order (WHT-package convention)
 //!
@@ -37,6 +41,7 @@
 //! at n = 18.)
 
 use crate::codelets::apply_codelet;
+use crate::compile::compiled_for;
 use crate::error::WhtError;
 use crate::plan::Plan;
 use crate::scalar::Scalar;
@@ -44,12 +49,32 @@ use crate::scalar::Scalar;
 /// Compute `x <- WHT(2^n) * x` in place using the algorithm described by
 /// `plan`.
 ///
-/// This is the measured fast path: after one length check here, all inner
-/// loads/stores are unchecked (see the safety argument on `apply_rec`).
+/// Since the compiled-plan layer landed, this delegates through a
+/// lazily-compiled, per-thread-cached pass schedule
+/// ([`crate::compile::compiled_for`]): first use of a plan pays one tree
+/// walk, every later call replays the flat schedule with zero recursion.
+/// The result is bit-identical to the recursive interpreter (see the
+/// `compile` module docs); callers that specifically want the paper's
+/// interpreted loop nest — the artifact the measurement substrate times —
+/// use [`apply_plan_recursive`].
 ///
 /// # Errors
 /// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
 pub fn apply_plan<T: Scalar>(plan: &Plan, x: &mut [T]) -> Result<(), WhtError> {
+    compiled_for(plan).apply(x)
+}
+
+/// Compute `x <- WHT(2^n) * x` in place by *interpreting* the split tree —
+/// the paper's recursive loop nest, verbatim (the module docs' pseudocode).
+///
+/// This is the measured artifact of the reproduction: after one length
+/// check here, all inner loads/stores are unchecked (see the safety
+/// argument on `apply_rec`). Production callers want [`apply_plan`], which
+/// replays the compiled schedule instead.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
+pub fn apply_plan_recursive<T: Scalar>(plan: &Plan, x: &mut [T]) -> Result<(), WhtError> {
     if x.len() != plan.size() {
         return Err(WhtError::LengthMismatch {
             expected: plan.size(),
@@ -189,7 +214,10 @@ mod tests {
         let mut x = vec![0.0f64; 15];
         assert_eq!(
             apply_plan(&plan, &mut x),
-            Err(WhtError::LengthMismatch { expected: 16, got: 15 })
+            Err(WhtError::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
         );
     }
 
@@ -231,7 +259,8 @@ mod tests {
         // split[small[2], split[small[1], split[small[3], small[1]]], small[1]]
         let inner2 = Plan::split(vec![Plan::leaf(3).unwrap(), Plan::leaf(1).unwrap()]).unwrap();
         let inner1 = Plan::split(vec![Plan::leaf(1).unwrap(), inner2]).unwrap();
-        let plan = Plan::split(vec![Plan::leaf(2).unwrap(), inner1, Plan::leaf(1).unwrap()]).unwrap();
+        let plan =
+            Plan::split(vec![Plan::leaf(2).unwrap(), inner1, Plan::leaf(1).unwrap()]).unwrap();
         assert_eq!(plan.n(), 8);
         let input = test_signal(8);
         let mut got = input.clone();

@@ -57,7 +57,10 @@ impl fmt::Display for WhtError {
             ),
             WhtError::EmptySplit => write!(f, "split node must have at least one child"),
             WhtError::SingleChildSplit => {
-                write!(f, "split node with a single child is not a valid factorization")
+                write!(
+                    f,
+                    "split node with a single child is not a valid factorization"
+                )
             }
             WhtError::SizeTooLarge { n } => write!(
                 f,
@@ -83,16 +86,24 @@ mod tests {
     fn display_messages_mention_key_data() {
         let e = WhtError::LeafSizeOutOfRange { k: 9 };
         assert!(e.to_string().contains("2^9"));
-        let e = WhtError::LengthMismatch { expected: 8, got: 7 };
+        let e = WhtError::LengthMismatch {
+            expected: 8,
+            got: 7,
+        };
         assert!(e.to_string().contains('8') && e.to_string().contains('7'));
-        let e = WhtError::Parse { pos: 3, msg: "expected '['".into() };
+        let e = WhtError::Parse {
+            pos: 3,
+            msg: "expected '['".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
         let e = WhtError::SizeTooLarge { n: 99 };
         assert!(e.to_string().contains("2^99"));
         let e = WhtError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
         assert!(WhtError::EmptySplit.to_string().contains("at least one"));
-        assert!(WhtError::SingleChildSplit.to_string().contains("single child"));
+        assert!(WhtError::SingleChildSplit
+            .to_string()
+            .contains("single child"));
     }
 
     #[test]

@@ -39,7 +39,8 @@
 //! | [`plan`] | the [`Plan`] split tree, canonical algorithms, invariants |
 //! | [`parse`] | WHT-package plan grammar (`split[small[1],...]` strings) |
 //! | [`codelets`] | unrolled base cases `small[1]`..`small[8]` |
-//! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
+//! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan_recursive`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
+//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
 //! | [`scalar`] | element types: `f64` (default), `f32`, `i64`, `i32` |
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod codelets;
+pub mod compile;
 pub mod ddl;
 pub mod dyadic;
 pub mod engine;
@@ -59,13 +61,14 @@ pub mod scalar;
 pub mod twod;
 
 pub use codelets::{apply_codelet_checked, apply_codelet_generic};
+pub use compile::{compiled_for, CompiledPlan, Pass};
 pub use ddl::{apply_plan_ddl, DdlConfig};
 pub use dyadic::{dyadic_autocorrelation, dyadic_convolution, dyadic_convolution_naive};
-pub use engine::{apply_plan, for_each_leaf_call, traverse, ExecHooks};
-pub use twod::{apply_plan_2d, naive_wht_2d};
+pub use engine::{apply_plan, apply_plan_recursive, for_each_leaf_call, traverse, ExecHooks};
 pub use error::WhtError;
 pub use ordering::{sequency_permutation, to_natural_order, to_sequency_order};
 pub use parse::parse_plan;
 pub use plan::{Plan, MAX_LEAF_K, MAX_N};
 pub use reference::{max_abs_diff, naive_wht, norm_sq};
 pub use scalar::Scalar;
+pub use twod::{apply_plan_2d, naive_wht_2d};

@@ -133,12 +133,7 @@ impl Plan {
 
     /// Height of the tree: a leaf has depth 1.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(Plan::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(Plan::depth).max().unwrap_or(0)
     }
 
     /// Iterate over the leaf exponents in left-to-right order.
@@ -241,7 +236,10 @@ impl Plan {
         }
         let hi = n.div_ceil(2);
         let lo = n - hi;
-        Plan::split(vec![Plan::balanced(hi, leaf_k)?, Plan::balanced(lo, leaf_k)?])
+        Plan::split(vec![
+            Plan::balanced(hi, leaf_k)?,
+            Plan::balanced(lo, leaf_k)?,
+        ])
     }
 
     /// Flat split into equal parts of size `2^part_k` (plus one remainder

@@ -70,8 +70,16 @@ pub fn naive_wht_2d(data: &[f64], rows: usize, cols: usize) -> Vec<f64> {
             let mut acc = 0.0;
             for r in 0..rows {
                 for c in 0..cols {
-                    let sign_r = if (ri & r).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
-                    let sign_c = if (ci & c).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign_r = if (ri & r).count_ones() % 2 == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    let sign_c = if (ci & c).count_ones() % 2 == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     acc += sign_r * sign_c * data[r * cols + c];
                 }
             }

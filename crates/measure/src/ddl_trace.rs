@@ -127,6 +127,9 @@ mod tests {
         let plain = trace_misses(&plan, &mut h)[0].misses;
         let ddl = ddl_trace_misses(&plan, &mut h, 3)[0].misses;
         assert!(ddl >= plain);
-        assert!(ddl <= 3 * plain, "copy overhead out of bounds: {ddl} vs {plain}");
+        assert!(
+            ddl <= 3 * plain,
+            "copy overhead out of bounds: {ddl} vs {plain}"
+        );
     }
 }

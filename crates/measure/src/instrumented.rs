@@ -9,7 +9,7 @@
 //! tested invariant of the workspace (it is the paper's "the models can be
 //! computed from a high-level description" property).
 
-use wht_core::{traverse, ExecHooks, Plan};
+use wht_core::{traverse, CompiledPlan, ExecHooks, Plan};
 use wht_models::{CostModel, OpCounts};
 
 /// [`ExecHooks`] accumulator for operation counts.
@@ -70,6 +70,23 @@ pub fn measured_instruction_count(plan: &Plan, cost: &CostModel) -> u64 {
     cost.total(&measured_op_counts(plan))
 }
 
+/// Operation counts of replaying a *compiled* schedule — the same counter
+/// driven by [`CompiledPlan::traverse`], so what is measured is exactly
+/// the `Vec<Pass>` program [`CompiledPlan::apply`] executes and the two
+/// structurally cannot drift. Leaf-work categories (arith, loads, stores,
+/// addr, leaf calls) always equal the interpreter's; the loop-bookkeeping
+/// categories are smaller — that difference *is* the compiled layer's win.
+pub fn compiled_op_counts(compiled: &CompiledPlan) -> OpCounts {
+    let mut counter = InstructionCounter::new();
+    compiled.traverse(&mut counter);
+    counter.counts()
+}
+
+/// Instruction count of replaying a compiled schedule under `cost`.
+pub fn compiled_instruction_count(compiled: &CompiledPlan, cost: &CostModel) -> u64 {
+    cost.total(&compiled_op_counts(compiled))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +112,37 @@ mod tests {
                     measured_instruction_count(&plan, &cost),
                     instruction_count(&plan, &cost)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_counts_same_leaf_work_less_overhead() {
+        for n in [6u32, 10, 13] {
+            for plan in [
+                Plan::right_recursive(n).unwrap(),
+                Plan::balanced(n, 3).unwrap(),
+                Plan::binary_iterative(n, 4).unwrap(),
+            ] {
+                let interp = measured_op_counts(&plan);
+                let compiled = compiled_op_counts(&CompiledPlan::compile(&plan));
+                // Identical real work...
+                assert_eq!(compiled.arith, interp.arith, "plan {plan}");
+                assert_eq!(compiled.loads, interp.loads);
+                assert_eq!(compiled.stores, interp.stores);
+                assert_eq!(compiled.addr, interp.addr);
+                assert_eq!(compiled.leaf_calls, interp.leaf_calls);
+                // ...never more bookkeeping (strictly less once any split
+                // nests below the root).
+                assert!(compiled.node_invocations <= interp.node_invocations);
+                assert!(compiled.j_iters <= interp.j_iters);
+                assert!(compiled.k_iters <= interp.k_iters);
+                if plan.depth() > 2 {
+                    assert!(
+                        compiled.node_invocations < interp.node_invocations,
+                        "nested {plan} must save split invocations"
+                    );
+                }
             }
         }
     }

@@ -30,11 +30,7 @@ impl ExecHooks for PolicyTraceHooks<'_> {
 
 /// Stats of one cold execution of `plan` through a [`PolicyCache`]
 /// (reset first). `elem_size` is the element width in bytes (8 for `f64`).
-pub fn policy_trace_misses(
-    plan: &Plan,
-    cache: &mut PolicyCache,
-    elem_size: usize,
-) -> PolicyStats {
+pub fn policy_trace_misses(plan: &Plan, cache: &mut PolicyCache, elem_size: usize) -> PolicyStats {
     cache.reset();
     let mut hooks = PolicyTraceHooks { cache, elem_size };
     traverse(plan, &mut hooks);
@@ -89,7 +85,8 @@ mod tests {
         // recursion's pairwise passes stride. The prefetcher's relative gain
         // must be larger for the iterative plan.
         let n = 15u32;
-        let it_off = opteron_l1_policy_misses(&Plan::iterative(n).unwrap(), Replacement::Lru, false);
+        let it_off =
+            opteron_l1_policy_misses(&Plan::iterative(n).unwrap(), Replacement::Lru, false);
         let it_on = opteron_l1_policy_misses(&Plan::iterative(n).unwrap(), Replacement::Lru, true);
         let lr_off =
             opteron_l1_policy_misses(&Plan::left_recursive(n).unwrap(), Replacement::Lru, false);

@@ -14,7 +14,7 @@
 //! timed region.
 
 use std::time::Instant;
-use wht_core::{apply_plan, Plan, WhtError};
+use wht_core::{apply_plan_recursive, CompiledPlan, Plan, WhtError};
 
 /// Timing methodology parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,18 +80,43 @@ pub struct TimingResult {
     pub iters_per_block: usize,
 }
 
-/// Time `plan` on freshly allocated data.
+/// Time the recursive *interpreter* on `plan`, on freshly allocated data.
+///
+/// This deliberately times [`apply_plan_recursive`] — the paper's measured
+/// artifact — so that wall-clock numbers stay consistent with the
+/// instrumented counts and traces in one [`crate::Measurement`], which are
+/// all derived from the recursive loop nest. Use [`time_compiled_plan`]
+/// to time the compiled execution layer.
 ///
 /// # Errors
-/// [`WhtError::InvalidConfig`] for zero `reps`; propagation from
-/// [`apply_plan`] is impossible here (the buffer is sized to the plan) but
-/// kept in the signature for uniformity.
+/// [`WhtError::InvalidConfig`] for zero `reps`.
 pub fn time_plan(plan: &Plan, cfg: &TimingConfig) -> Result<TimingResult, WhtError> {
+    time_apply(plan.n(), cfg, |buf| apply_plan_recursive(plan, buf))
+}
+
+/// Time the compiled-schedule executor ([`CompiledPlan::apply`]) on
+/// freshly allocated data — the production fast path's number.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] for zero `reps`.
+pub fn time_compiled_plan(
+    compiled: &CompiledPlan,
+    cfg: &TimingConfig,
+) -> Result<TimingResult, WhtError> {
+    time_apply(compiled.n(), cfg, |buf| compiled.apply(buf))
+}
+
+/// Shared timing methodology (see the module docs) over any in-place
+/// transform of size `2^n`.
+fn time_apply(
+    n: u32,
+    cfg: &TimingConfig,
+    mut apply: impl FnMut(&mut [f64]) -> Result<(), WhtError>,
+) -> Result<TimingResult, WhtError> {
     if cfg.reps == 0 {
         return Err(WhtError::InvalidConfig("reps must be >= 1".into()));
     }
-    let n = plan.n();
-    let size = plan.size();
+    let size = 1usize << n;
     let iters = cfg.resolved_iters(n);
 
     // Pristine input: unit-scale pseudo-random values, fixed seed.
@@ -104,7 +129,7 @@ pub fn time_plan(plan: &Plan, cfg: &TimingConfig) -> Result<TimingResult, WhtErr
     let mut buf = pristine.clone();
 
     for _ in 0..cfg.warmup {
-        apply_plan(plan, &mut buf)?;
+        apply(&mut buf)?;
     }
 
     let mut per_transform: Vec<f64> = Vec::with_capacity(cfg.reps);
@@ -112,7 +137,7 @@ pub fn time_plan(plan: &Plan, cfg: &TimingConfig) -> Result<TimingResult, WhtErr
         buf.copy_from_slice(&pristine);
         let start = Instant::now();
         for _ in 0..iters {
-            apply_plan(plan, &mut buf)?;
+            apply(&mut buf)?;
         }
         let elapsed = start.elapsed().as_nanos() as f64;
         per_transform.push(elapsed / iters as f64);
@@ -140,6 +165,18 @@ mod tests {
         assert!(r.min_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
         assert_eq!(r.reps, 3);
+    }
+
+    #[test]
+    fn compiled_timing_reports_positive_times() {
+        let compiled = CompiledPlan::compile(&Plan::right_recursive(8).unwrap());
+        let r = time_compiled_plan(&compiled, &TimingConfig::fast()).unwrap();
+        assert!(r.median_ns > 0.0 && r.min_ns <= r.median_ns);
+        let cfg = TimingConfig {
+            reps: 0,
+            ..TimingConfig::default()
+        };
+        assert!(time_compiled_plan(&compiled, &cfg).is_err());
     }
 
     #[test]

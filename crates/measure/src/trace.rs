@@ -8,7 +8,7 @@
 //! touching data.
 
 use wht_cachesim::{CacheConfig, CacheStats, ConfigError, Hierarchy};
-use wht_core::{traverse, ExecHooks, Plan};
+use wht_core::{traverse, CompiledPlan, ExecHooks, Plan};
 
 /// [`ExecHooks`] implementation that feeds every element access of the
 /// computation through a [`Hierarchy`].
@@ -61,6 +61,27 @@ pub fn trace_misses(plan: &Plan, hierarchy: &mut Hierarchy) -> Vec<CacheStats> {
     stats
 }
 
+/// Per-level stats of one cold *compiled* execution through `hierarchy`
+/// (reset first): the same [`TraceExecutor`] hooks driven by
+/// [`CompiledPlan::traverse`], so the trace replays exactly the `Vec<Pass>`
+/// program [`CompiledPlan::apply`] runs — measured and executed work share
+/// one schedule and structurally cannot drift. Compiled execution is
+/// pass-major rather than the interpreter's block-major order, so its miss
+/// counts legitimately differ from [`trace_misses`]; that difference is
+/// the schedule change, not measurement error.
+pub fn trace_misses_compiled(
+    compiled: &CompiledPlan,
+    hierarchy: &mut Hierarchy,
+) -> Vec<CacheStats> {
+    hierarchy.reset();
+    let mut exec = TraceExecutor::new(hierarchy.clone());
+    compiled.traverse(&mut exec);
+    let result = exec.into_hierarchy();
+    let stats: Vec<CacheStats> = (0..result.depth()).map(|i| result.stats(i)).collect();
+    *hierarchy = result;
+    stats
+}
+
 /// L1 and (if present) L2 miss counts of one cold execution on the paper's
 /// Opteron hierarchy.
 pub fn opteron_misses(plan: &Plan) -> (u64, u64) {
@@ -75,7 +96,10 @@ pub fn opteron_misses(plan: &Plan) -> (u64, u64) {
 ///
 /// # Errors
 /// [`ConfigError`] if the geometry is invalid (capacity of zero elements).
-pub fn direct_mapped_unit_misses(plan: &Plan, log2_capacity_elems: u32) -> Result<u64, ConfigError> {
+pub fn direct_mapped_unit_misses(
+    plan: &Plan,
+    log2_capacity_elems: u32,
+) -> Result<u64, ConfigError> {
     let elem = 8usize;
     let cfg = CacheConfig::direct_mapped_unit_line(1usize << log2_capacity_elems, elem)?;
     let mut h = Hierarchy::single(cfg, elem)?;
@@ -148,6 +172,34 @@ mod tests {
                 assert!(
                     rel < 0.02,
                     "plan {plan}: sim {sim} vs model {model} (rel {rel:.4})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_trace_same_accesses_fewer_or_equal_misses_for_canonicals() {
+        // Same access multiset (one load + one store per element per
+        // level), pass-major order. For the deep canonical recursions the
+        // compiled schedule equals the iterative one, whose locality is no
+        // worse on the Opteron hierarchy at these sizes.
+        for n in [8u32, 12] {
+            for plan in [
+                Plan::right_recursive(n).unwrap(),
+                Plan::left_recursive(n).unwrap(),
+                Plan::iterative(n).unwrap(),
+            ] {
+                let compiled = wht_core::CompiledPlan::compile(&plan);
+                let mut h = Hierarchy::opteron();
+                let interp = trace_misses(&plan, &mut h);
+                let mut h2 = Hierarchy::opteron();
+                let flat = trace_misses_compiled(&compiled, &mut h2);
+                assert_eq!(flat[0].accesses, interp[0].accesses, "plan {plan}");
+                assert!(
+                    flat[0].misses <= interp[0].misses,
+                    "plan {plan}: compiled {} vs interpreted {}",
+                    flat[0].misses,
+                    interp[0].misses
                 );
             }
         }

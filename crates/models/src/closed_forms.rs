@@ -71,8 +71,7 @@ pub fn right_recursive_instructions(n: u32, cost: &CostModel) -> u64 {
 pub fn left_recursive_instructions(n: u32, cost: &CostModel) -> u64 {
     assert!(n >= 2);
     let pow = |e: u32| 1u64 << e;
-    let per_invocation =
-        cost.node_invocation + 2 * cost.outer_iter + cost.j_iter + 2 * cost.k_iter;
+    let per_invocation = cost.node_invocation + 2 * cost.outer_iter + cost.j_iter + 2 * cost.k_iter;
     per_invocation * (pow(n - 1) - 1)
         + (cost.j_iter + cost.k_iter) * u64::from(n - 1) * pow(n - 1)
         + u64::from(n) * pow(n - 1) * leaf1(cost)
@@ -181,10 +180,9 @@ mod tests {
     fn left_right_gap_formula() {
         let cost = CostModel::default();
         for n in 3..=20u32 {
-            let gap = left_recursive_instructions(n, &cost)
-                - right_recursive_instructions(n, &cost);
-            let expect = cost.j_iter
-                * (u64::from(n - 1) * (1 << (n - 1)) - (1 << n) + 2);
+            let gap =
+                left_recursive_instructions(n, &cost) - right_recursive_instructions(n, &cost);
+            let expect = cost.j_iter * (u64::from(n - 1) * (1 << (n - 1)) - (1 << n) + 2);
             assert_eq!(gap, expect, "n={n}");
         }
     }

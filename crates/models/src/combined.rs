@@ -55,16 +55,25 @@ mod tests {
 
     #[test]
     fn evaluates_linear_combination() {
-        let m = CombinedModel { alpha: 1.0, beta: 0.05 };
+        let m = CombinedModel {
+            alpha: 1.0,
+            beta: 0.05,
+        };
         assert_eq!(m.value(100, 40), 102.0);
         assert_eq!(m.value(0, 0), 0.0);
     }
 
     #[test]
     fn instruction_only_and_miss_only_specialize() {
-        let i_only = CombinedModel { alpha: 1.0, beta: 0.0 };
+        let i_only = CombinedModel {
+            alpha: 1.0,
+            beta: 0.0,
+        };
         assert_eq!(i_only.value(123, 456), 123.0);
-        let m_only = CombinedModel { alpha: 0.0, beta: 1.0 };
+        let m_only = CombinedModel {
+            alpha: 0.0,
+            beta: 1.0,
+        };
         assert_eq!(m_only.value(123, 456), 456.0);
     }
 

@@ -261,7 +261,10 @@ mod tests {
                     u64::from(n) << n,
                     "plan {plan} has wrong flop count"
                 );
-                assert_eq!(instruction_count(&plan, &CostModel::flops_only()), u64::from(n) << n);
+                assert_eq!(
+                    instruction_count(&plan, &CostModel::flops_only()),
+                    u64::from(n) << n
+                );
             }
         }
     }
@@ -364,10 +367,7 @@ mod tests {
             .iter()
             .map(|&(k, times)| cost.leaf_cost(k) * times)
             .sum();
-        assert_eq!(
-            total - child_part,
-            cost.split_overhead(6, &[2, 1, 3])
-        );
+        assert_eq!(total - child_part, cost.split_overhead(6, &[2, 1, 3]));
     }
 
     #[test]

@@ -1,23 +1,33 @@
-//! Multi-threaded WHT execution.
+//! Multi-threaded WHT execution over compiled pass schedules.
 //!
 //! The WHT package shipped pthread/OpenMP variants that parallelize the
-//! loop nest of Equation 1; this module reproduces that scheme: at the
-//! top-level split node, the `(j, k)` iteration space of each child pass is
-//! distributed over worker threads (passes remain barriers, children of the
-//! recursion below the top level run sequentially inside each worker — the
-//! package's "parallel outer loop" strategy).
+//! loop nest of Equation 1. This module reproduces that scheme on top of
+//! the compiled-plan layer: the plan is flattened into its pass schedule
+//! (`wht_core::compile`) and the `r × s` invocation grid of **every** pass
+//! is distributed over worker threads, with a barrier between passes.
+//! That strictly generalizes the package's "parallel outer loop" strategy
+//! — the interpreter could only shard the top-level split's passes and ran
+//! nested recursions sequentially inside each worker; compiled schedules
+//! expose all `leaf_count` passes as flat, fully shardable grids.
 //!
 //! ## Safety argument
 //!
-//! Within one child pass, invocation `(j, k)` touches exactly the elements
-//! `{ j*Ni*S + k + u*S : u < Ni }`. Two distinct invocations differ in `j`
-//! (disjoint `Ni*S`-aligned blocks) or in `k` (distinct residues mod `S`),
-//! so their element sets are disjoint. Distributing disjoint invocations
-//! over threads is race-free even though the *slices* overlap; a raw
-//! pointer wrapper carries the buffer across the scoped threads.
+//! Within one pass, invocation `(j, t)` touches exactly the elements
+//! `{ (j·2^k·s + t) + u·s : u < 2^k }`. Two distinct invocations differ in
+//! `j` (disjoint `2^k·s`-aligned blocks) or in `t` (distinct residues mod
+//! `s`), so their element sets are disjoint. Distributing disjoint
+//! invocations over threads is race-free even though the *slices* overlap;
+//! a raw pointer wrapper carries the buffer across the scoped threads, and
+//! the barrier between passes orders every cross-pass dependence.
+//!
+//! Because each worker runs the same codelet on the same values as the
+//! sequential schedule (order within a pass is irrelevant: invocations are
+//! disjoint), parallel output is **bit-identical** to sequential output —
+//! property-tested in `tests/proptests.rs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use wht_core::{Plan, Scalar, WhtError};
+use std::sync::Barrier;
+use wht_core::{CompiledPlan, Plan, Scalar, WhtError};
 
 /// Raw-pointer wrapper that lets scoped worker threads write disjoint
 /// element sets of one buffer.
@@ -39,8 +49,11 @@ impl Default for Threads {
     }
 }
 
-/// Parallel in-place WHT: `x <- WHT(2^n) * x` with the top-level passes
+/// Parallel in-place WHT: `x <- WHT(2^n) * x` with every compiled pass
 /// distributed over `threads` workers.
+///
+/// Compiles the plan on each call; callers applying one plan repeatedly
+/// should compile once and use [`par_apply_compiled`].
 ///
 /// Falls back to the sequential engine when the plan is a single leaf or
 /// `threads.0 <= 1`.
@@ -48,7 +61,11 @@ impl Default for Threads {
 /// # Errors
 /// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`;
 /// [`WhtError::InvalidConfig`] for zero threads.
-pub fn par_apply_plan<T: Scalar>(plan: &Plan, x: &mut [T], threads: Threads) -> Result<(), WhtError> {
+pub fn par_apply_plan<T: Scalar>(
+    plan: &Plan,
+    x: &mut [T],
+    threads: Threads,
+) -> Result<(), WhtError> {
     if threads.0 == 0 {
         return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
     }
@@ -58,86 +75,85 @@ pub fn par_apply_plan<T: Scalar>(plan: &Plan, x: &mut [T], threads: Threads) -> 
             got: x.len(),
         });
     }
-    let workers = threads.0;
-    match plan {
-        Plan::Leaf { .. } => wht_core::apply_plan(plan, x),
-        _ if workers == 1 => wht_core::apply_plan(plan, x),
-        Plan::Split { n, children } => {
-            let ptr = SendPtr(x.as_mut_ptr());
-            let len = x.len();
-            let mut r = 1usize << n;
-            let mut s = 1usize;
-            // One barrier per child pass, as in the package's parallel loop.
-            for child in children.iter().rev() {
-                let ni = 1usize << child.n();
-                r /= ni;
-                let invocations = r * s;
-                let next = AtomicUsize::new(0);
-                let chunk = invocations.div_ceil(workers * 4).max(1);
-                std::thread::scope(|scope| {
-                    for _ in 0..workers.min(invocations) {
-                        let next = &next;
-                        let ptr = &ptr;
-                        scope.spawn(move || {
-                            // SAFETY: each linear index q = j*s + k is
-                            // claimed by exactly one worker; distinct
-                            // invocations touch disjoint elements (module
-                            // docs), all within `len` (engine invariant).
-                            let data =
-                                unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
-                            loop {
-                                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= invocations {
-                                    break;
-                                }
-                                let end = (start + chunk).min(invocations);
-                                for q in start..end {
-                                    let j = q / s;
-                                    let k = q % s;
-                                    apply_serial(child, data, j * ni * s + k, s);
-                                }
-                            }
-                        });
-                    }
-                });
-                s *= ni;
-            }
-            Ok(())
-        }
+    if threads.0 == 1 || plan.is_leaf() {
+        return wht_core::apply_plan(plan, x);
     }
+    par_apply_compiled(&wht_core::compiled_for(plan), x, threads)
 }
 
-/// Serial recursion identical to the core engine's `apply_rec` (re-stated
-/// here because the core keeps its worker private; the loop nest must stay
-/// byte-for-byte equivalent).
-fn apply_serial<T: Scalar>(plan: &Plan, x: &mut [T], base: usize, stride: usize) {
-    match plan {
-        Plan::Leaf { k } => {
-            debug_assert!(base + ((1usize << k) - 1) * stride < x.len());
-            // SAFETY: engine invariant (see wht_core::engine::apply_rec).
-            unsafe { wht_core::codelets::apply_codelet(*k, x, base, stride) };
-        }
-        Plan::Split { n, children } => {
-            let mut r = 1usize << n;
-            let mut s = 1usize;
-            for child in children.iter().rev() {
-                let ni = 1usize << child.n();
-                r /= ni;
-                for j in 0..r {
-                    for k in 0..s {
-                        apply_serial(child, x, base + (j * ni * s + k) * stride, s * stride);
-                    }
-                }
-                s *= ni;
-            }
-        }
+/// Parallel in-place WHT over an already-compiled schedule.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == compiled.size()`;
+/// [`WhtError::InvalidConfig`] for zero threads.
+pub fn par_apply_compiled<T: Scalar>(
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
     }
+    if x.len() != compiled.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: compiled.size(),
+            got: x.len(),
+        });
+    }
+    if threads.0 == 1 {
+        return compiled.apply(x);
+    }
+    let workers = threads.0;
+    let ptr = SendPtr(x.as_mut_ptr());
+    let len = x.len();
+    let passes = compiled.passes();
+    // Workers are spawned once for the whole schedule (a deep plan has
+    // `leaf_count` passes — respawning per pass would multiply thread
+    // start-up cost by that factor); a Barrier between passes plays the
+    // role the scope join played per pass, ordering every cross-pass
+    // dependence.
+    let counters: Vec<AtomicUsize> = passes.iter().map(|_| AtomicUsize::new(0)).collect();
+    let barrier = Barrier::new(workers);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let counters = &counters;
+            let barrier = &barrier;
+            let ptr = &ptr;
+            scope.spawn(move || {
+                // SAFETY: each invocation index q is claimed by exactly
+                // one worker; distinct invocations of one pass touch
+                // disjoint elements (module docs), all within `len`
+                // (schedule invariant + the length check above).
+                let data = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+                for (pass, next) in passes.iter().zip(counters) {
+                    let invocations = pass.invocations();
+                    let chunk = invocations.div_ceil(workers * 4).max(1);
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= invocations {
+                            break;
+                        }
+                        let end = (start + chunk).min(invocations);
+                        for q in start..end {
+                            // SAFETY: q < invocations and the buffer holds
+                            // the full transform (checked above).
+                            unsafe { pass.apply_invocation(data, q) };
+                        }
+                    }
+                    // No worker may start pass i+1 before every worker has
+                    // drained pass i (the wait also publishes all writes).
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wht_core::{apply_plan, max_abs_diff, naive_wht};
+    use wht_core::{apply_plan, max_abs_diff, naive_wht, CompiledPlan};
 
     fn signal(n: u32) -> Vec<f64> {
         (0..1usize << n)
@@ -178,6 +194,19 @@ mod tests {
     }
 
     #[test]
+    fn precompiled_entry_point_agrees() {
+        let n = 11;
+        let plan = Plan::binary_iterative(n, 5).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let input = signal(n);
+        let mut via_plan = input.clone();
+        par_apply_plan(&plan, &mut via_plan, Threads(4)).unwrap();
+        let mut via_compiled = input;
+        par_apply_compiled(&compiled, &mut via_compiled, Threads(4)).unwrap();
+        assert_eq!(via_plan, via_compiled);
+    }
+
+    #[test]
     fn leaf_plan_falls_back() {
         let plan = Plan::leaf(6).unwrap();
         let input = signal(6);
@@ -194,6 +223,9 @@ mod tests {
         assert!(par_apply_plan(&plan, &mut short, Threads(2)).is_err());
         let mut ok = vec![0.0f64; 16];
         assert!(par_apply_plan(&plan, &mut ok, Threads(0)).is_err());
+        let compiled = CompiledPlan::compile(&plan);
+        assert!(par_apply_compiled(&compiled, &mut short, Threads(2)).is_err());
+        assert!(par_apply_compiled(&compiled, &mut ok, Threads(0)).is_err());
     }
 
     #[test]

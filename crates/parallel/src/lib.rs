@@ -3,10 +3,10 @@
 //! Two uses of parallelism, mirroring the WHT package's own parallel
 //! variants and the scale of the paper's experiments:
 //!
-//! * [`engine`] — a multi-threaded WHT ([`par_apply_plan`]): the top-level
-//!   passes of Equation 1 distributed over scoped worker threads (the
-//!   invocation sets of a pass are pairwise disjoint, so the distribution
-//!   is race-free);
+//! * [`engine`] — a multi-threaded WHT ([`par_apply_plan`] /
+//!   [`par_apply_compiled`]): every pass of the plan's compiled schedule
+//!   distributed over scoped worker threads (the invocation sets of a pass
+//!   are pairwise disjoint, so the distribution is race-free);
 //! * [`sweep`] — a parallel measurement driver ([`measure_sweep`]) so that
 //!   10,000-algorithm experiment batches finish in minutes.
 //!
@@ -27,5 +27,5 @@
 pub mod engine;
 pub mod sweep;
 
-pub use engine::{par_apply_plan, Threads};
+pub use engine::{par_apply_compiled, par_apply_plan, Threads};
 pub use sweep::measure_sweep;

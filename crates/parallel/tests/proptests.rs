@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wht_core::apply_plan;
-use wht_parallel::{par_apply_plan, Threads};
+use wht_core::{apply_plan, apply_plan_recursive, CompiledPlan, Scalar};
+use wht_parallel::{par_apply_compiled, par_apply_plan, Threads};
 use wht_space::Sampler;
 
 proptest! {
@@ -33,6 +33,45 @@ proptest! {
         // Floating-point operations happen in identical order per element
         // (only the schedule differs), so agreement is exact, not approximate.
         prop_assert_eq!(par, seq);
+    }
+
+    /// On plans sampled from the paper's own distribution, the compiled
+    /// schedule, the recursive interpreter, and the parallel engine all
+    /// agree bit for bit, for every scalar type.
+    #[test]
+    fn compiled_recursive_and_parallel_all_agree(
+        n in 1u32..=12,
+        seed in any::<u64>(),
+        threads in 1usize..=8,
+    ) {
+        fn check<T: Scalar>(
+            plan: &wht_core::Plan,
+            compiled: &CompiledPlan,
+            seed: u64,
+            threads: usize,
+        ) {
+            let input: Vec<T> = (0..plan.size())
+                .map(|j| {
+                    let h = (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(seed);
+                    T::from_i64(((h >> 20) % 201) as i64 - 100)
+                })
+                .collect();
+            let mut rec = input.clone();
+            apply_plan_recursive(plan, &mut rec).unwrap();
+            let mut flat = input.clone();
+            compiled.apply(&mut flat).unwrap();
+            assert_eq!(flat, rec, "compiled vs recursive for {plan}");
+            let mut par = input;
+            par_apply_compiled(compiled, &mut par, Threads(threads)).unwrap();
+            assert_eq!(par, rec, "parallel vs recursive for {plan} ({threads} threads)");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        check::<f64>(&plan, &compiled, seed, threads);
+        check::<f32>(&plan, &compiled, seed, threads);
+        check::<i64>(&plan, &compiled, seed, threads);
+        check::<i32>(&plan, &compiled, seed, threads);
     }
 
     #[test]

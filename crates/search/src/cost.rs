@@ -102,6 +102,12 @@ impl SimCyclesCost {
 
 impl PlanCost for SimCyclesCost {
     fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        // Cold-start the hierarchy *here*, not only inside the trace:
+        // this backend's contract is that cost(plan) is a pure function
+        // of the plan, so no simulator state (resident lines or counters)
+        // may leak from one evaluation into the next whatever the callee
+        // does. Regression-tested below (cost order must not matter).
+        self.hierarchy.reset();
         Ok(simulated_cycles(
             plan,
             &self.cost_model,
@@ -157,6 +163,28 @@ mod tests {
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn sim_cycles_cost_is_order_independent() {
+        // cost(A); cost(B) must equal cost(B); cost(A): evaluation order
+        // leaking simulator state between plans would silently bias every
+        // search that uses this backend.
+        let a = Plan::right_recursive(12).unwrap();
+        let b = Plan::left_recursive(12).unwrap();
+
+        let mut ab = SimCyclesCost::opteron();
+        let a_first = ab.cost(&a).unwrap();
+        let b_second = ab.cost(&b).unwrap();
+
+        let mut ba = SimCyclesCost::opteron();
+        let b_first = ba.cost(&b).unwrap();
+        let a_second = ba.cost(&a).unwrap();
+
+        assert_eq!(a_first, a_second, "cost(A) depends on evaluation order");
+        assert_eq!(b_first, b_second, "cost(B) depends on evaluation order");
+        // And re-evaluating on a warm backend changes nothing either.
+        assert_eq!(ab.cost(&a).unwrap(), a_first);
     }
 
     #[test]

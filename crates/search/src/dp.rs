@@ -73,7 +73,11 @@ impl DpResult {
 /// # Errors
 /// [`WhtError::InvalidConfig`] for `n == 0` or degenerate options;
 /// propagates cost-function errors.
-pub fn dp_search<C: PlanCost>(n: u32, opts: &DpOptions, cost_fn: &mut C) -> Result<DpResult, WhtError> {
+pub fn dp_search<C: PlanCost>(
+    n: u32,
+    opts: &DpOptions,
+    cost_fn: &mut C,
+) -> Result<DpResult, WhtError> {
     if n == 0 {
         return Err(WhtError::InvalidConfig("n must be >= 1".into()));
     }
@@ -109,9 +113,10 @@ pub fn dp_search<C: PlanCost>(n: u32, opts: &DpOptions, cost_fn: &mut C) -> Resu
                 }
             }
         }
-        best[m as usize] = Some(candidate.ok_or_else(|| {
-            WhtError::InvalidConfig(format!("no candidate plan for size 2^{m}"))
-        })?);
+        best[m as usize] =
+            Some(candidate.ok_or_else(|| {
+                WhtError::InvalidConfig(format!("no candidate plan for size 2^{m}"))
+            })?);
     }
 
     let mut plans = Vec::with_capacity(n as usize + 1);
@@ -246,7 +251,15 @@ mod tests {
     #[test]
     fn sim_cycles_backend_works_end_to_end() {
         let mut cost = SimCyclesCost::opteron();
-        let dp = dp_search(10, &DpOptions { max_parts: 2, ..DpOptions::default() }, &mut cost).unwrap();
+        let dp = dp_search(
+            10,
+            &DpOptions {
+                max_parts: 2,
+                ..DpOptions::default()
+            },
+            &mut cost,
+        )
+        .unwrap();
         assert_eq!(dp.best_plan().n(), 10);
         assert!(dp.best_cost() > 0.0);
     }

@@ -8,7 +8,11 @@
 //! * [`dp`] — the package's dynamic-programming autotuner (the source of
 //!   the paper's "best" algorithms);
 //! * [`strategies`] — exhaustive search (small sizes), uniform random
-//!   search, and the paper's model-pruned search.
+//!   search, and the paper's model-pruned search;
+//! * [`planner`] — the production facade: a [`Planner`] owning a cost
+//!   backend, amortizing DP search across calls through an FFTW-style
+//!   [`Wisdom`] cache (JSON save/load) and serving transforms from
+//!   compiled pass schedules.
 //!
 //! ```
 //! use wht_search::{dp_search, DpOptions, InstructionCost};
@@ -27,10 +31,12 @@ pub mod calibrate;
 pub mod cost;
 pub mod dp;
 pub mod local;
+pub mod planner;
 pub mod strategies;
 
 pub use calibrate::{calibrate, CalibrateOptions, CalibratedCost};
 pub use cost::{CombinedModelCost, InstructionCost, PlanCost, SimCyclesCost, WallClockCost};
 pub use dp::{dp_search, DpOptions, DpResult};
 pub use local::{local_search, mutate, LocalSearchOptions};
+pub use planner::{Planner, Wisdom};
 pub use strategies::{exhaustive_search, pruned_search, random_search, PrunedSearchResult, Ranked};

@@ -91,12 +91,7 @@ pub fn mutate<R: Rng + ?Sized>(plan: &Plan, rng: &mut R) -> Plan {
 }
 
 /// Walk the tree in preorder; apply a mutation at node `target`.
-fn rewrite<R: Rng + ?Sized>(
-    plan: &Plan,
-    target: usize,
-    counter: &mut usize,
-    rng: &mut R,
-) -> Plan {
+fn rewrite<R: Rng + ?Sized>(plan: &Plan, target: usize, counter: &mut usize, rng: &mut R) -> Plan {
     let here = *counter;
     *counter += 1;
     if here == target {
@@ -189,8 +184,7 @@ mod tests {
     fn local_search_converges_to_good_plans() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut cost = InstructionCost::default();
-        let found = local_search(10, &LocalSearchOptions::default(), &mut cost, &mut rng)
-            .unwrap();
+        let found = local_search(10, &LocalSearchOptions::default(), &mut cost, &mut rng).unwrap();
         // Compare against the exact optimum from the theory DP.
         let opt = wht_models::instruction_extremes(10, &cost.cost_model, 8)
             .unwrap()

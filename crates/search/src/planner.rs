@@ -1,0 +1,439 @@
+//! The production facade: a [`Planner`] that amortizes search across
+//! millions of transforms via an FFTW-style **wisdom** cache.
+//!
+//! The paper's pipeline — search the algorithm space with a cost model,
+//! then run the winner — assumes search cost is paid rarely and execution
+//! cost constantly. This module packages that contract:
+//!
+//! 1. [`Planner::transform`] looks up the best known plan for the input's
+//!    size in its [`Wisdom`] store; on a miss it runs the DP autotuner
+//!    ([`crate::dp_search`]) against the planner's cost backend **once**,
+//!    recording the best plan of *every* size up to `n` (DP computes them
+//!    all anyway).
+//! 2. The chosen plan is lowered to a `wht_core::compile::CompiledPlan`
+//!    and cached, so steady-state traffic is a wisdom hit plus a flat
+//!    pass-schedule replay — zero cost evaluations, zero tree walks.
+//! 3. Wisdom round-trips through JSON ([`Wisdom::to_json`] /
+//!    [`Wisdom::from_json`], or [`Wisdom::save`] / [`Wisdom::load`]), so a
+//!    fleet can ship pre-tuned wisdom and a fresh process starts warm —
+//!    the FFTW `wisdom` workflow, keyed by `(n, cost-backend name)`.
+//!
+//! ```
+//! use wht_search::{InstructionCost, Planner};
+//!
+//! let mut planner = Planner::new(InstructionCost::default());
+//! let mut x: Vec<f64> = (0..1024).map(|v| (v % 7) as f64).collect();
+//! planner.transform(&mut x)?;          // first call: DP search + compile
+//! let evals_after_first = planner.evaluations();
+//! planner.transform(&mut x)?;          // warm call: pure replay
+//! assert_eq!(planner.evaluations(), evals_after_first);
+//!
+//! // Ship the tuning to another process:
+//! let json = planner.wisdom().to_json();
+//! let warm = wht_search::Wisdom::from_json(&json)?;
+//! assert!(warm.get(10, planner.backend_name()).is_some());
+//! # Ok::<(), wht_core::WhtError>(())
+//! ```
+
+use crate::cost::PlanCost;
+use crate::dp::{dp_search, DpOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use wht_core::{CompiledPlan, Plan, Scalar, WhtError};
+
+/// Serialized form of one wisdom entry: the plan travels as its
+/// WHT-package grammar string, which is stable, human-readable, and
+/// validated on parse.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WisdomEntry {
+    n: u32,
+    backend: String,
+    plan: String,
+}
+
+/// Serialized wisdom store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WisdomFile {
+    version: u32,
+    entries: Vec<WisdomEntry>,
+}
+
+const WISDOM_VERSION: u32 = 1;
+
+/// Best-known plans keyed by `(n, cost-backend name)` — the FFTW-style
+/// wisdom store behind [`Planner`].
+///
+/// Keyed size-first so the hot lookup ([`Wisdom::get`]) borrows the
+/// backend name instead of allocating a composite key per probe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Wisdom {
+    entries: HashMap<u32, HashMap<String, Plan>>,
+}
+
+impl Wisdom {
+    /// Empty store.
+    pub fn new() -> Self {
+        Wisdom::default()
+    }
+
+    /// Number of `(size, backend)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(HashMap::len).sum()
+    }
+
+    /// `true` when no wisdom has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Best known plan for size `2^n` under `backend`, if recorded.
+    pub fn get(&self, n: u32, backend: &str) -> Option<&Plan> {
+        self.entries.get(&n)?.get(backend)
+    }
+
+    /// Record (or overwrite) the best plan for `(n, backend)`.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] if `plan.n() != n` — wisdom for size
+    /// `n` must transform size-`2^n` inputs.
+    pub fn insert(&mut self, n: u32, backend: &str, plan: Plan) -> Result<(), WhtError> {
+        if plan.n() != n {
+            return Err(WhtError::LengthMismatch {
+                expected: 1usize << n,
+                got: plan.size(),
+            });
+        }
+        self.entries
+            .entry(n)
+            .or_default()
+            .insert(backend.to_string(), plan);
+        Ok(())
+    }
+
+    /// Render the store as JSON (entries sorted for determinism).
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<WisdomEntry> = self
+            .entries
+            .iter()
+            .flat_map(|(n, backends)| {
+                backends.iter().map(|(backend, plan)| WisdomEntry {
+                    n: *n,
+                    backend: backend.clone(),
+                    plan: plan.to_string(),
+                })
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.n, &a.backend).cmp(&(b.n, &b.backend)));
+        serde_json::to_string_pretty(&WisdomFile {
+            version: WISDOM_VERSION,
+            entries,
+        })
+        .expect("wisdom serialization is infallible")
+    }
+
+    /// Parse a store from JSON, validating every plan.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] on malformed JSON or a version
+    /// mismatch; [`WhtError::Parse`] / structural errors on a bad plan
+    /// string.
+    pub fn from_json(json: &str) -> Result<Self, WhtError> {
+        let file: WisdomFile = serde_json::from_str(json)
+            .map_err(|e| WhtError::InvalidConfig(format!("wisdom JSON: {e}")))?;
+        if file.version != WISDOM_VERSION {
+            return Err(WhtError::InvalidConfig(format!(
+                "wisdom version {} unsupported (expected {WISDOM_VERSION})",
+                file.version
+            )));
+        }
+        let mut wisdom = Wisdom::new();
+        for entry in file.entries {
+            let plan: Plan = entry.plan.parse()?;
+            wisdom.insert(entry.n, &entry.backend, plan)?;
+        }
+        Ok(wisdom)
+    }
+
+    /// Write the store to `path` as JSON.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] wrapping the I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), WhtError> {
+        std::fs::write(path.as_ref(), self.to_json()).map_err(|e| {
+            WhtError::InvalidConfig(format!("writing wisdom {}: {e}", path.as_ref().display()))
+        })
+    }
+
+    /// Read a store previously written by [`Wisdom::save`].
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] wrapping I/O failures and the parse
+    /// errors of [`Wisdom::from_json`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, WhtError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            WhtError::InvalidConfig(format!("reading wisdom {}: {e}", path.as_ref().display()))
+        })?;
+        Wisdom::from_json(&text)
+    }
+}
+
+/// Production entry point: owns a cost backend, a [`Wisdom`] store, and a
+/// compiled-schedule cache; serves `planner.transform(&mut x)` with DP
+/// search amortized to zero on the warm path (see the module docs).
+#[derive(Debug)]
+pub struct Planner<C: PlanCost> {
+    cost: C,
+    opts: DpOptions,
+    wisdom: Wisdom,
+    compiled: HashMap<u32, CompiledPlan>,
+    evaluations: usize,
+}
+
+impl<C: PlanCost> Planner<C> {
+    /// Planner with default DP options and empty wisdom.
+    pub fn new(cost: C) -> Self {
+        Planner::with_options(cost, DpOptions::default())
+    }
+
+    /// Planner with explicit DP options.
+    pub fn with_options(cost: C, opts: DpOptions) -> Self {
+        Planner {
+            cost,
+            opts,
+            wisdom: Wisdom::new(),
+            compiled: HashMap::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Adopt previously saved wisdom (builder style). Drops any compiled
+    /// schedules so already-served sizes re-resolve against the new
+    /// wisdom instead of silently replaying superseded plans.
+    #[must_use]
+    pub fn with_wisdom(mut self, wisdom: Wisdom) -> Self {
+        self.wisdom = wisdom;
+        self.compiled.clear();
+        self
+    }
+
+    /// Name of the owned cost backend — the wisdom key this planner reads
+    /// and writes.
+    pub fn backend_name(&self) -> &'static str {
+        self.cost.name()
+    }
+
+    /// Total cost evaluations this planner has performed; a warm planner
+    /// serves transforms without increasing this.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The wisdom accumulated (and/or imported) so far.
+    pub fn wisdom(&self) -> &Wisdom {
+        &self.wisdom
+    }
+
+    /// Best plan for size `2^n`: wisdom hit, or one DP search whose entire
+    /// per-size table is recorded as wisdom.
+    ///
+    /// # Errors
+    /// Propagates DP option validation and cost-backend failures.
+    pub fn plan(&mut self, n: u32) -> Result<&Plan, WhtError> {
+        let backend = self.cost.name();
+        if self.wisdom.get(n, backend).is_none() {
+            let dp = dp_search(n, &self.opts, &mut self.cost)?;
+            self.evaluations += dp.evaluations;
+            for m in 1..=n {
+                // Smaller sizes only fill holes: an imported entry may
+                // encode better (e.g. measured) wisdom than this search.
+                if m == n || self.wisdom.get(m, backend).is_none() {
+                    self.wisdom
+                        .insert(m, backend, dp.best[m as usize].clone())?;
+                }
+            }
+        }
+        Ok(self
+            .wisdom
+            .get(n, backend)
+            .expect("entry inserted or present above"))
+    }
+
+    /// In-place transform `x <- WHT(x.len()) * x` using the best known
+    /// plan for that size: the warm path is a wisdom hit plus a compiled
+    /// pass-schedule replay, with **zero** cost evaluations.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] unless `x.len()` is a power of two with
+    /// exponent in `1..=MAX_N`; propagates search errors on cold sizes.
+    pub fn transform<T: Scalar>(&mut self, x: &mut [T]) -> Result<(), WhtError> {
+        let len = x.len();
+        if len < 2 || !len.is_power_of_two() {
+            return Err(WhtError::InvalidConfig(format!(
+                "transform length {len} is not a power of two >= 2"
+            )));
+        }
+        let n = len.trailing_zeros();
+        if n > wht_core::MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        if !self.compiled.contains_key(&n) {
+            let plan = self.plan(n)?.clone();
+            self.compiled.insert(n, CompiledPlan::compile(&plan));
+        }
+        self.compiled.get(&n).expect("inserted above").apply(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CombinedModelCost, InstructionCost};
+    use wht_core::{apply_plan, max_abs_diff, naive_wht};
+
+    #[test]
+    fn transform_matches_reference_and_amortizes_search() {
+        let mut planner = Planner::new(InstructionCost::default());
+        let input: Vec<f64> = (0..512)
+            .map(|j| ((j * 37 + 5) % 64) as f64 - 32.0)
+            .collect();
+        let want = naive_wht(&input);
+        let mut x = input.clone();
+        planner.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        let cold_evals = planner.evaluations();
+        assert!(cold_evals > 0, "cold path must have searched");
+
+        for _ in 0..3 {
+            let mut y = input.clone();
+            planner.transform(&mut y).unwrap();
+            assert!(max_abs_diff(&y, &want) < 1e-9);
+        }
+        assert_eq!(
+            planner.evaluations(),
+            cold_evals,
+            "warm path must not search"
+        );
+    }
+
+    #[test]
+    fn dp_table_becomes_wisdom_for_all_smaller_sizes() {
+        let mut planner = Planner::new(InstructionCost::default());
+        planner.plan(9).unwrap();
+        for m in 1..=9u32 {
+            let plan = planner
+                .wisdom()
+                .get(m, "instruction-model")
+                .expect("size recorded");
+            assert_eq!(plan.n(), m);
+        }
+        // A smaller size is now free.
+        let evals = planner.evaluations();
+        planner.plan(5).unwrap();
+        assert_eq!(planner.evaluations(), evals);
+    }
+
+    #[test]
+    fn wisdom_round_trips_through_json_and_warms_a_new_planner() {
+        let mut tuned = Planner::new(CombinedModelCost::paper_default());
+        tuned.plan(10).unwrap();
+        let json = tuned.wisdom().to_json();
+
+        let wisdom = Wisdom::from_json(&json).unwrap();
+        assert_eq!(&wisdom, tuned.wisdom());
+
+        let mut warm = Planner::new(CombinedModelCost::paper_default()).with_wisdom(wisdom);
+        let mut x: Vec<f64> = (0..1024).map(|j| (j % 11) as f64).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        assert_eq!(
+            warm.evaluations(),
+            0,
+            "imported wisdom must skip search entirely"
+        );
+    }
+
+    #[test]
+    fn with_wisdom_invalidates_compiled_schedules() {
+        let mut planner = Planner::new(InstructionCost::default());
+        let mut x: Vec<f64> = (0..256).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap(); // compiles the DP winner for n=8
+        assert!(!planner.compiled.is_empty());
+
+        // Import wisdom that names a *different* plan for n=8.
+        let mut wisdom = Wisdom::new();
+        let imported = Plan::iterative(8).unwrap();
+        wisdom
+            .insert(8, "instruction-model", imported.clone())
+            .unwrap();
+        let evals_before_import = planner.evaluations();
+        let mut planner = planner.with_wisdom(wisdom);
+        assert!(
+            planner.compiled.is_empty(),
+            "stale schedules must not survive a wisdom import"
+        );
+        planner.transform(&mut x).unwrap();
+        assert_eq!(
+            planner.compiled.get(&8),
+            Some(&CompiledPlan::compile(&imported)),
+            "warm transform must execute the imported plan"
+        );
+        assert_eq!(
+            planner.evaluations(),
+            evals_before_import,
+            "imported wisdom covers the size; no new search"
+        );
+    }
+
+    #[test]
+    fn wisdom_save_load_files() {
+        let mut planner = Planner::new(InstructionCost::default());
+        planner.plan(8).unwrap();
+        let dir = std::env::temp_dir().join("wht_wisdom_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wisdom_{}.json", std::process::id()));
+        planner.wisdom().save(&path).unwrap();
+        let loaded = Wisdom::load(&path).unwrap();
+        assert_eq!(&loaded, planner.wisdom());
+        std::fs::remove_file(&path).ok();
+        assert!(Wisdom::load(dir.join("missing.json")).is_err());
+    }
+
+    #[test]
+    fn planner_transform_agrees_with_direct_plan_application() {
+        let mut planner = Planner::new(InstructionCost::default());
+        let mut via_planner: Vec<f64> = (0..256).map(|j| (j % 17) as f64 - 8.0).collect();
+        let direct_input = via_planner.clone();
+        planner.transform(&mut via_planner).unwrap();
+        let plan = planner.plan(8).unwrap().clone();
+        let mut direct = direct_input;
+        apply_plan(&plan, &mut direct).unwrap();
+        assert_eq!(
+            via_planner, direct,
+            "planner must run exactly its chosen plan"
+        );
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let mut planner = Planner::new(InstructionCost::default());
+        let mut odd = vec![0.0f64; 24];
+        assert!(planner.transform(&mut odd).is_err());
+        let mut one = vec![0.0f64; 1];
+        assert!(planner.transform(&mut one).is_err());
+        assert_eq!(planner.evaluations(), 0);
+    }
+
+    #[test]
+    fn malformed_wisdom_rejected() {
+        assert!(Wisdom::from_json("not json").is_err());
+        assert!(Wisdom::from_json("{\"version\":99,\"entries\":[]}").is_err());
+        let bad_plan =
+            "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\"plan\":\"small[\"}]}";
+        assert!(Wisdom::from_json(bad_plan).is_err());
+        let wrong_size =
+            "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\"plan\":\"small[3]\"}]}";
+        assert!(Wisdom::from_json(wrong_size).is_err());
+    }
+}

@@ -156,7 +156,11 @@ mod tests {
         // minimal instructions among canonicals but not globally).
         let mut c = InstructionCost::default();
         let iterative = c.cost(&Plan::iterative(9).unwrap()).unwrap();
-        assert!(best.cost <= iterative * 1.05, "{} vs {iterative}", best.cost);
+        assert!(
+            best.cost <= iterative * 1.05,
+            "{} vs {iterative}",
+            best.cost
+        );
         assert_eq!(best.plan.n(), 9);
     }
 
@@ -186,8 +190,7 @@ mod tests {
         let mut exp_a = SimCyclesCost::opteron();
         let mut exp_b = SimCyclesCost::opteron();
 
-        let pruned =
-            pruned_search(n, samples, 0.10, &mut model, &mut exp_a, &mut rng_a).unwrap();
+        let pruned = pruned_search(n, samples, 0.10, &mut model, &mut exp_a, &mut rng_a).unwrap();
         let full = random_search(n, samples, &mut exp_b, &mut rng_b).unwrap();
         assert!(
             pruned.best.cost <= full.cost * 1.05,

@@ -52,7 +52,10 @@ pub fn composition_from_mask(n: u32, mask: u64) -> Vec<u32> {
 /// Iterate over every ordered composition of `n`, in mask order
 /// (trivial `[n]` first). Intended for small `n` (there are `2^(n-1)`).
 pub fn compositions(n: u32) -> impl Iterator<Item = Vec<u32>> {
-    assert!((1..=30).contains(&n), "enumeration is only sensible for small n");
+    assert!(
+        (1..=30).contains(&n),
+        "enumeration is only sensible for small n"
+    );
     (0u64..(1u64 << (n - 1))).map(move |mask| composition_from_mask(n, mask))
 }
 

@@ -187,10 +187,7 @@ mod tests {
         assert_eq!(freq.len(), expect.len(), "unexpected plan shapes: {freq:?}");
         for (plan, p) in expect {
             let got = freq[*plan] as f64 / trials as f64;
-            assert!(
-                (got - p).abs() < 0.015,
-                "P({plan}) = {got}, want ~{p}"
-            );
+            assert!((got - p).abs() < 0.015, "P({plan}) = {got}, want ~{p}");
         }
     }
 

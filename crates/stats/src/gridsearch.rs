@@ -92,9 +92,7 @@ mod tests {
             .iter()
             .zip(misses.iter())
             .enumerate()
-            .map(|(i, (&iv, &mv))| {
-                iv as f64 + 0.25 * mv as f64 + ((i * 7919) % 11) as f64 * 0.01
-            })
+            .map(|(i, (&iv, &mv))| iv as f64 + 0.25 * mv as f64 + ((i * 7919) % 11) as f64 * 0.01)
             .collect();
         let res = grid_search_combined(&instructions, &misses, &cycles, 0.05);
         assert!(res.best_rho > 0.999, "rho = {}", res.best_rho);

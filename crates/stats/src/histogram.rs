@@ -69,7 +69,9 @@ impl Histogram {
 
     /// `(center, count)` rows — the series a figure plots.
     pub fn series(&self) -> Vec<(f64, u64)> {
-        (0..self.bins()).map(|i| (self.center(i), self.counts[i])).collect()
+        (0..self.bins())
+            .map(|i| (self.center(i), self.counts[i]))
+            .collect()
     }
 }
 

@@ -28,10 +28,13 @@ fn main() -> Result<(), WhtError> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
 
-    println!("Search space at n = {n}: {} algorithms", match plan_count(n, 8) {
-        Some(c) => c.to_string(),
-        None => "more than u128 can hold".to_string(),
-    });
+    println!(
+        "Search space at n = {n}: {} algorithms",
+        match plan_count(n, 8) {
+            Some(c) => c.to_string(),
+            None => "more than u128 can hold".to_string(),
+        }
+    );
     println!("Sampling {samples} algorithms; measuring with the wall clock.");
     println!();
 
@@ -58,7 +61,10 @@ fn main() -> Result<(), WhtError> {
     let model_only_ns = time_plan(&model_best.plan, &TimingConfig::default())?.median_ns;
     let model_time = t2.elapsed();
 
-    println!("full search   : best {:>9.0} ns   wall time {:>7.2?}   ({} plans timed)", full.cost, full_time, samples);
+    println!(
+        "full search   : best {:>9.0} ns   wall time {:>7.2?}   ({} plans timed)",
+        full.cost, full_time, samples
+    );
     println!(
         "pruned search : best {:>9.0} ns   wall time {:>7.2?}   ({} plans timed)",
         pruned.best.cost, pruned_time, pruned.measured

@@ -1,0 +1,62 @@
+//! Production-shaped usage: a `Planner` serving heavy transform traffic
+//! with search amortized through the wisdom cache.
+//!
+//! Simulates a two-process deployment: a *tuning* process autotunes a set
+//! of sizes and exports wisdom as JSON; a *serving* process imports the
+//! wisdom and handles a burst of transforms without ever evaluating a
+//! cost function — the FFTW wisdom workflow on the paper's algorithm
+//! space. Run with `cargo run --release --example planner_service`.
+
+use std::time::Instant;
+use wht::prelude::*;
+
+fn main() -> Result<(), WhtError> {
+    // ---- tuning process -------------------------------------------------
+    let mut tuner = Planner::new(InstructionCost::default());
+    for n in [8u32, 10, 12, 14] {
+        let best = tuner.plan(n)?.clone();
+        println!("tuned n={n:2}: {best}");
+    }
+    let wisdom_json = tuner.wisdom().to_json();
+    println!(
+        "exported wisdom: {} entries, {} cost evaluations paid once, {} bytes of JSON",
+        tuner.wisdom().len(),
+        tuner.evaluations(),
+        wisdom_json.len()
+    );
+
+    // ---- serving process ------------------------------------------------
+    let wisdom = Wisdom::from_json(&wisdom_json)?;
+    let mut server = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+
+    let n = 14u32;
+    let size = 1usize << n;
+    let requests = 200usize;
+    let pristine: Vec<f64> = (0..size)
+        .map(|j| ((j * 29 + 3) % 256) as f64 / 32.0)
+        .collect();
+
+    let start = Instant::now();
+    let mut checksum = 0.0f64;
+    for _ in 0..requests {
+        let mut x = pristine.clone();
+        server.transform(&mut x)?;
+        checksum += x[1];
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "served {requests} transforms of 2^{n} in {:.1} ms ({:.0} ns each), checksum {checksum:.3}",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_nanos() as f64 / requests as f64
+    );
+    assert_eq!(
+        server.evaluations(),
+        0,
+        "a warm server must never evaluate a cost function"
+    );
+    println!(
+        "cost evaluations in the serving process: {}",
+        server.evaluations()
+    );
+    Ok(())
+}

@@ -52,9 +52,7 @@ fn main() -> Result<(), WhtError> {
         .iter()
         .map(|&c| if c.abs() > cutoff { c } else { 0.0 })
         .collect();
-    println!(
-        "kept {kept} of {size} sequency coefficients (|coef| > {cutoff:.0})"
-    );
+    println!("kept {kept} of {size} sequency coefficients (|coef| > {cutoff:.0})");
 
     // --- inverse: WHT is self-inverse up to N ------------------------------
     let mut denoised = wht::core::ordering::to_natural_order(&thresholded);

@@ -5,13 +5,13 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided execution engine |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan` |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
 //! | [`measure`] (`wht-measure`) | timing, instrumented execution, trace-driven miss measurement |
 //! | [`stats`] (`wht-stats`) | Pearson, histograms, IQR fences, pruning curves, grid search |
-//! | [`search`] (`wht-search`) | DP autotuner, exhaustive/random/model-pruned search |
+//! | [`search`] (`wht-search`) | DP autotuner, exhaustive/random/model-pruned search, the [`Planner`](wht_search::Planner) facade with wisdom caching |
 //! | [`parallel`] (`wht-parallel`) | multi-threaded WHT and parallel measurement sweeps |
 //!
 //! ## Quick start
@@ -30,6 +30,14 @@
 //! let instructions = instruction_count(&plan, &CostModel::default());
 //! let misses = analytic_misses(&plan, ModelCache::opteron_l1_elems());
 //! assert!(instructions > 0 && misses >= 32);
+//!
+//! // Production path: a Planner picks and compiles the best plan per
+//! // size, amortizing search through its wisdom cache.
+//! let mut planner = Planner::new(InstructionCost::default());
+//! let mut y: Vec<f64> = (0..64).map(|v| (v % 3) as f64).collect();
+//! let expect = naive_wht(&y);
+//! planner.transform(&mut y)?;
+//! assert_eq!(y, expect);
 //! # Ok::<(), wht::WhtError>(())
 //! ```
 
@@ -50,18 +58,20 @@ pub use wht_core::{Plan, WhtError};
 pub mod prelude {
     pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
     pub use wht_core::{
-        apply_plan, naive_wht, parse_plan, to_sequency_order, Plan, Scalar, WhtError,
+        apply_plan, apply_plan_recursive, naive_wht, parse_plan, to_sequency_order, CompiledPlan,
+        Pass, Plan, Scalar, WhtError,
     };
     pub use wht_measure::{
-        measure_plan, time_plan, MeasureOptions, Measurement, SimMachine, TimingConfig,
+        measure_plan, time_compiled_plan, time_plan, MeasureOptions, Measurement, SimMachine,
+        TimingConfig,
     };
     pub use wht_models::{
         analytic_misses, instruction_count, op_counts, CombinedModel, CostModel, ModelCache,
     };
-    pub use wht_parallel::{measure_sweep, par_apply_plan, Threads};
+    pub use wht_parallel::{measure_sweep, par_apply_compiled, par_apply_plan, Threads};
     pub use wht_search::{
-        dp_search, pruned_search, random_search, DpOptions, InstructionCost, PlanCost,
-        SimCyclesCost, WallClockCost,
+        dp_search, pruned_search, random_search, DpOptions, InstructionCost, PlanCost, Planner,
+        SimCyclesCost, WallClockCost, Wisdom,
     };
     pub use wht_space::{plan_count, sample_plans_seeded, Sampler};
     pub use wht_stats::{describe, pearson, Histogram, PruneCurve};

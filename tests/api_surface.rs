@@ -25,6 +25,40 @@ fn prelude_covers_the_whole_pipeline() {
 }
 
 #[test]
+fn compiled_layer_and_planner_through_the_prelude() {
+    // Compile once, replay sequentially and in parallel, bit-identically.
+    let plan: Plan = "split[small[1],split[small[4],small[3]]]".parse().unwrap();
+    let compiled = CompiledPlan::compile(&plan);
+    assert_eq!(compiled.passes().len(), plan.leaf_count());
+    let input: Vec<f64> = (0..256).map(|v| ((v * 11) % 23) as f64 - 11.0).collect();
+    let mut interp = input.clone();
+    apply_plan_recursive(&plan, &mut interp).unwrap();
+    let mut flat = input.clone();
+    compiled.apply(&mut flat).unwrap();
+    assert_eq!(flat, interp);
+    let mut par = input;
+    par_apply_compiled(&compiled, &mut par, Threads(4)).unwrap();
+    assert_eq!(par, interp);
+
+    // Planner: search once, export wisdom, serve warm with zero searches.
+    let mut planner = Planner::new(InstructionCost::default());
+    let mut x: Vec<f64> = (0..128).map(|v| (v % 9) as f64).collect();
+    let want = naive_wht(&x);
+    planner.transform(&mut x).unwrap();
+    assert_eq!(x, want);
+    let wisdom = Wisdom::from_json(&planner.wisdom().to_json()).unwrap();
+    let mut warm = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+    let mut y: Vec<f64> = (0..128).map(|v| (v % 9) as f64).collect();
+    warm.transform(&mut y).unwrap();
+    assert_eq!(y, want);
+    assert_eq!(warm.evaluations(), 0);
+
+    // The compiled timing entry point is part of the prelude, too.
+    let t = time_compiled_plan(&compiled, &TimingConfig::fast()).unwrap();
+    assert!(t.median_ns > 0.0);
+}
+
+#[test]
 fn ddl_engine_is_a_drop_in_replacement() {
     use wht::core::ddl::{apply_plan_ddl, DdlConfig};
     // n = 15 is past the simulated L1 (2^13 doubles), where relayout pays.
@@ -62,8 +96,8 @@ fn calibration_feeds_search() {
 
 #[test]
 fn spectral_toolchain() {
-    use wht::core::dyadic::dyadic_convolution_naive;
     use wht::core::dyadic::dyadic_convolution;
+    use wht::core::dyadic::dyadic_convolution_naive;
     use wht::core::twod::apply_plan_2d;
 
     // 1-D dyadic convolution through a fast plan.
@@ -98,7 +132,10 @@ fn parallel_and_sweep_through_facade() {
     par_apply_plan(&plan, &mut x, Threads(5)).unwrap();
     assert_eq!(x, want);
 
-    let plans = vec![Plan::iterative(8).unwrap(), Plan::right_recursive(8).unwrap()];
+    let plans = vec![
+        Plan::iterative(8).unwrap(),
+        Plan::right_recursive(8).unwrap(),
+    ];
     let opts = MeasureOptions {
         timing: None,
         ..MeasureOptions::default()

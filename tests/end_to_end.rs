@@ -86,8 +86,14 @@ fn canonical_ordering_flips_across_the_hierarchy() {
     let it = sim.cost(&Plan::iterative(19).unwrap()).unwrap();
     let rr = sim.cost(&Plan::right_recursive(19).unwrap()).unwrap();
     let lr = sim.cost(&Plan::left_recursive(19).unwrap()).unwrap();
-    assert!(rr < it, "out of cache: right {rr} should beat iterative {it}");
-    assert!(lr > 2.0 * rr, "left {lr} should be far worse than right {rr}");
+    assert!(
+        rr < it,
+        "out of cache: right {rr} should beat iterative {it}"
+    );
+    assert!(
+        lr > 2.0 * rr,
+        "left {lr} should be far worse than right {rr}"
+    );
 
     // DP-found best beats every canonical at both sizes.
     let dp = dp_search(10, &DpOptions::default(), &mut sim).unwrap();
@@ -144,7 +150,10 @@ fn combined_model_improves_out_of_cache_correlation() {
         "combined rho {} must be >= instruction rho {rho_i}",
         grid.best_rho
     );
-    assert!(grid.best_rho > 0.9, "deterministic combined rho should be high");
+    assert!(
+        grid.best_rho > 0.9,
+        "deterministic combined rho should be high"
+    );
 }
 
 /// Sequency-ordered spectrum analysis works through the whole public API.

@@ -1,0 +1,270 @@
+//! Offline vendor shim for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — groups,
+//! [`BenchmarkId`], [`Throughput`], `bench_function` /
+//! `bench_with_input`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a simple median-of-batches wall-clock harness that
+//! prints one line per benchmark. No statistics engine, no plots, no
+//! baseline comparison; honest medians are enough to read relative
+//! performance, which is what the quoted results use.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    pub measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SHIM_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measurement: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement);
+        f(&mut b);
+        b.report(&id.render(), None);
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier `function/parameter`.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier with a bare function name.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: parameter.to_string(),
+            parameter: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes by time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure given a reference input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.measurement);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.render()), self.throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.measurement);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.render()), self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    median_ns: Option<f64>,
+    min_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(measurement: Duration) -> Self {
+        Bencher {
+            measurement,
+            median_ns: None,
+            min_ns: None,
+        }
+    }
+
+    /// Run `f` repeatedly, recording the median and minimum time per call
+    /// over timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many calls fit in ~1/10 of the budget?
+        let calib_start = Instant::now();
+        let mut calls = 0u64;
+        while calib_start.elapsed() < self.measurement / 10 {
+            black_box(f());
+            calls += 1;
+        }
+        let batch = calls.max(1);
+        // Measure fixed-size batches for the remaining budget (>= 5
+        // batches so a median exists).
+        let mut per_call: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement || per_call.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_call.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if per_call.len() >= 500 {
+                break;
+            }
+        }
+        per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.median_ns = Some(per_call[per_call.len() / 2]);
+        self.min_ns = Some(per_call[0]);
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let Some(median) = self.median_ns else {
+            println!("{id:<44} (no measurement: closure never called b.iter)");
+            return;
+        };
+        let mut line = String::new();
+        let _ = write!(line, "{id:<44} median {:>12.1} ns/iter", median);
+        if let Some(min) = self.min_ns {
+            let _ = write!(line, "  (min {min:>12.1})");
+        }
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (median * 1e-9) / 1e6;
+                let _ = write!(line, "  {rate:>9.1} Melem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (median * 1e-9) / 1e6;
+                let _ = write!(line, "  {rate:>9.1} MB/s");
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

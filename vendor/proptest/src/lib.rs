@@ -1,0 +1,395 @@
+//! Offline vendor shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! strategies built from numeric ranges, [`any`], tuples,
+//! [`collection::vec`], and [`Strategy::prop_map`], plus the
+//! `prop_assert*` macros. Cases are generated from a per-test
+//! deterministic seed; there is **no shrinking** — a failing case panics
+//! with its inputs' `Debug` rendering instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test path seeds the stream.
+pub fn test_rng(test_path: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values (shim: no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates", self.whence);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for "any value of `T`" (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-range strategy for `T: Arbitrary`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+    /// Alias used by some call sites as `prop::collection::...`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property (shim: plain panic, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `cases` random instantiations of its body.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let strategies = ( $( ($strat), )+ );
+                for case in 0..config.cases {
+                    let ( $($arg,)+ ) = $crate::Strategy::generate(&strategies, &mut rng);
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let ( $($arg,)+ ) = ( $($arg.clone(),)+ );
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed for {}:",
+                            case + 1,
+                            config.cases,
+                            stringify!($name)
+                        );
+                        $(
+                            eprintln!("  {} = {:?}", stringify!($arg), $arg);
+                        )+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 1u32..=9, b in -3i64..3, f in 0.0f64..1.0) {
+            prop_assert!((1..=9).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map(xs in crate::collection::vec(0u8..10, 3..7), n in any::<u8>()) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            let _ = n;
+        }
+
+        #[test]
+        fn tuple_prop_map(v in (1u32..4, 1u32..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_path() {
+        let mut a = crate::test_rng("x::y");
+        let mut b = crate::test_rng("x::y");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline vendor shim for `serde`.
+//!
+//! The build environment has no crate registry, so this workspace vendors a
+//! *simplified* serde: [`Serialize`] lowers a value to a JSON [`Value`] tree
+//! and [`Deserialize`] raises it back. The derive macros (re-exported from
+//! the sibling `serde_derive` shim) cover the shapes this workspace uses:
+//! structs with named fields and enums with unit or struct variants, with
+//! the real serde's externally-tagged enum representation — so JSON written
+//! by this shim is readable by the real `serde_json` and vice versa for
+//! those shapes.
+//!
+//! This is not the real serde data model (no serializer abstraction, no
+//! zero-copy); it exists so the workspace builds and round-trips its
+//! experiment data without network access.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{DeError, Value};
+
+/// Types that can lower themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Lower `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be raised from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Raise a value of `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    /// [`DeError`] describing the first shape mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::expected("number", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element array", other)),
+        }
+    }
+}

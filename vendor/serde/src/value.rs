@@ -1,0 +1,392 @@
+//! The shim's JSON value tree, writer and parser.
+
+use std::fmt;
+
+/// A JSON document.
+///
+/// Equality compares integers numerically across the `I64`/`U64`
+/// representations (the parser picks whichever fits first).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer that fit in `i64` when parsed (negative literals land here).
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// String (parsed with JSON escapes).
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (a, b) => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => matches!((a.as_u64(), b.as_u64()), (Some(x), Some(y)) if x == y),
+            },
+        }
+    }
+}
+
+impl Value {
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (any number; `null` reads as NaN, the writer's
+    /// encoding for non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON text.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(i) => out.push_str(&i.to_string()),
+            Value::U64(u) => out.push_str(&u.to_string()),
+            Value::F64(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest round-tripping decimal.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deserialization / parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Shape mismatch: wanted `what`, found `got`.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Parse JSON text into a [`Value`].
+///
+/// # Errors
+/// [`DeError`] with a byte offset on malformed input.
+pub fn parse_json(input: &str) -> Result<Value, DeError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(DeError(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(DeError("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(DeError(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(DeError(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(DeError(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, DeError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(DeError(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, DeError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(DeError(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(DeError("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| DeError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| DeError("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| DeError("bad \\u escape".into()))?;
+                        // Surrogate pairs are not produced by this shim's
+                        // writer; reject rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| DeError("unsupported \\u escape".into()))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(DeError(format!("bad escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 character.
+                let s =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| DeError("invalid utf-8".into()))?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|_| DeError("invalid number".into()))?;
+    if text.is_empty() {
+        return Err(DeError(format!("expected value at byte {start}")));
+    }
+    let is_float = text.contains(['.', 'e', 'E']);
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::I64(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| DeError(format!("invalid number '{text}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_values() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(7)),
+            ("b".into(), Value::I64(-3)),
+            ("c".into(), Value::F64(1.5e-9)),
+            (
+                "d".into(),
+                Value::Array(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::String("x\"y\n".into()),
+                ]),
+            ),
+        ]);
+        let mut s = String::new();
+        v.write_json(&mut s);
+        let back = parse_json(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        for f in [0.1, 1.0 / 3.0, 123456789.123456, f64::MIN_POSITIVE, 1e308] {
+            let mut s = String::new();
+            Value::F64(f).write_json(&mut s);
+            match parse_json(&s).unwrap() {
+                Value::F64(g) => assert_eq!(f, g),
+                Value::U64(u) => assert_eq!(f, u as f64),
+                Value::I64(i) => assert_eq!(f, i as f64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "nul", "01x"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! No `syn`/`quote` (the build is offline): the input item is parsed by
+//! walking the raw `TokenStream`, which is sufficient for the shapes this
+//! workspace derives on — non-generic structs with named fields and enums
+//! whose variants are unit or struct-like. Anything else is rejected with a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit variant
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields from the tokens of a brace group.
+/// Commas inside angle brackets (`HashMap<K, V>`) do not split fields;
+/// commas inside `()`/`[]`/`{}` cannot leak because groups are atomic.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected field name, found {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        fields.push(Field {
+            name: name.to_string(),
+        });
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected ':' after field `{name}`")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("derive supports struct/enum, found `{kind}`"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "shim serde derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "`{name}`: tuple/unit structs are not supported by the shim derive"
+        ));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!("`{name}`: expected a braced body"));
+    }
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(&body_tokens)?)
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0usize;
+        while j < body_tokens.len() {
+            j = skip_attrs_and_vis(&body_tokens, j);
+            let Some(TokenTree::Ident(vname)) = body_tokens.get(j) else {
+                if j >= body_tokens.len() {
+                    break;
+                }
+                return Err(format!(
+                    "expected variant name, found {:?}",
+                    body_tokens[j].to_string()
+                ));
+            };
+            let vname = vname.to_string();
+            j += 1;
+            let fields = match body_tokens.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    j += 1;
+                    Some(parse_named_fields(&inner)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "variant `{vname}`: tuple variants are not supported by the shim derive"
+                    ));
+                }
+                _ => None,
+            };
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+            if let Some(TokenTree::Punct(p)) = body_tokens.get(j) {
+                if p.as_char() == ',' {
+                    j += 1;
+                }
+            }
+        }
+        Shape::Enum(variants)
+    };
+    Ok(Item { name, shape })
+}
+
+fn gen_struct_to_value(fields: &[Field], path: &str) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{n}\"), ::serde::Serialize::to_value(&{path}{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{pushes}])")
+}
+
+fn gen_struct_from_value(name_path: &str, fields: &[Field], src: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get(\"{n}\")\
+                 .unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| ::serde::DeError(format!(\"{name_path}.{n}: {{}}\", e.0)))?,",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("Ok({name_path} {{ {inits} }})")
+}
+
+/// Derive the shim's [`Serialize`](../serde/trait.Serialize.html).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item.shape {
+        Shape::Struct(fields) => gen_struct_to_value(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{ty}::{v} => ::serde::Value::String(String::from(\"{v}\")),",
+                        ty = item.name,
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: String = fields.iter().map(|f| format!("{},", f.name)).collect();
+                        let obj = gen_struct_to_value(fields, "*");
+                        format!(
+                            "{ty}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (String::from(\"{v}\"), {obj})]),",
+                            ty = item.name,
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim's [`Deserialize`](../serde/trait.Deserialize.html).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item.shape {
+        Shape::Struct(fields) => gen_struct_from_value(&item.name, fields, "v"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{v}\" => Ok({ty}::{v}),", ty = item.name, v = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let ctor = gen_struct_from_value(
+                        &format!("{}::{}", item.name, v.name),
+                        fields,
+                        "inner",
+                    );
+                    format!("\"{v}\" => {{ {ctor} }},", v = v.name)
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError(format!(\"unknown variant '{{other}}' for {ty}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 other => Err(::serde::DeError(format!(\"unknown variant '{{other}}' for {ty}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\"{ty} variant\", other)),\n\
+                 }}",
+                ty = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,122 @@
+//! Offline vendor shim for `serde_json`: `to_string` / `from_str` over the
+//! shim serde's JSON [`Value`] data model.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::value::{parse_json, Value};
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render any [`serde::Serialize`] value as compact JSON.
+///
+/// # Errors
+/// Infallible for the shim's data model; the `Result` mirrors the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_json(&mut out);
+    Ok(out)
+}
+
+/// Render any [`serde::Serialize`] value as indented JSON.
+///
+/// # Errors
+/// Infallible for the shim's data model; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // Compact output re-indented: adequate for config/wisdom files.
+    let compact = to_string(value)?;
+    Ok(indent_json(&compact))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+/// [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_json(input).map_err(|e| Error(e.0))?;
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+fn indent_json(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>("[1,2,3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(to_string(&Some(1.5f64)).unwrap(), "1.5");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert_eq!(to_string(&String::from("a\"b")).unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+}
