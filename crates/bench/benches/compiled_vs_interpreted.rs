@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks: compiled pass-schedule replay vs the
-//! recursive interpreter, per canonical plan and size — the measured win
-//! of the `wht_core::compile` layer.
+//! Criterion micro-benchmarks: compiled pass-schedule replay (fused and
+//! unfused) vs the recursive interpreter, per canonical plan and size —
+//! the measured win of the `wht_core::compile` layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wht_core::{apply_plan_recursive, CompiledPlan, Plan};
+use wht_core::{apply_plan_recursive, CompiledPlan, FusionPolicy, Plan};
 
 fn canonical_plans(n: u32) -> Vec<(&'static str, Plan)> {
     vec![
@@ -40,25 +40,30 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
                     });
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new(format!("compiled/{name}"), n),
-                &compiled,
-                |b, compiled| {
-                    let mut x: Vec<f64> =
-                        (0..size).map(|v| ((v * 31) % 11) as f64 * 1e-3).collect();
-                    let pristine = x.clone();
-                    let mut applications = 0u32;
-                    b.iter(|| {
-                        compiled.apply(&mut x).expect("sized correctly");
-                        std::hint::black_box(x[0]);
-                        applications += 1;
-                        if applications * n >= 900 {
-                            x.copy_from_slice(&pristine);
-                            applications = 0;
-                        }
-                    });
-                },
-            );
+            for (mode, schedule) in [
+                ("compiled", compiled.clone()),
+                ("fused", compiled.fuse(&FusionPolicy::default())),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mode}/{name}"), n),
+                    &schedule,
+                    |b, schedule| {
+                        let mut x: Vec<f64> =
+                            (0..size).map(|v| ((v * 31) % 11) as f64 * 1e-3).collect();
+                        let pristine = x.clone();
+                        let mut applications = 0u32;
+                        b.iter(|| {
+                            schedule.apply(&mut x).expect("sized correctly");
+                            std::hint::black_box(x[0]);
+                            applications += 1;
+                            if applications * n >= 900 {
+                                x.copy_from_slice(&pristine);
+                                applications = 0;
+                            }
+                        });
+                    },
+                );
+            }
         }
     }
     group.finish();

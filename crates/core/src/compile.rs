@@ -1,5 +1,6 @@
 //! Compiled-plan execution: flatten a [`Plan`] into a pass schedule once,
-//! replay it with zero recursion.
+//! replay it with zero recursion — and optionally **fuse** runs of
+//! small-stride passes into cache-blocked super-passes.
 //!
 //! ## Why flattening is possible
 //!
@@ -19,28 +20,64 @@
 //! [`CompiledPlan::compile`] emits passes in the engine's exact
 //! right-to-left factor order, so compilation is a pure schedule
 //! transformation: pay the tree walk once, then every
-//! [`CompiledPlan::apply`] is a branch-light linear sweep over a
-//! `Vec<Pass>` with precomputed strides — no recursion, no re-derived
+//! [`CompiledPlan::apply`] is a branch-light linear sweep over the
+//! schedule with precomputed strides — no recursion, no re-derived
 //! stride arithmetic on the hot path.
+//!
+//! ## Pass fusion: how fusion decides
+//!
+//! A pass at stride `S` covering the whole vector streams all `2^n`
+//! elements through the cache; a `t`-factor plan therefore moves `t`
+//! vector-sized sweeps of memory traffic, which is exactly where the paper
+//! says WHT performance is won or lost once `2^n` outgrows the cache.
+//! Consecutive passes compose locally, though: the factors at strides
+//! `S, S·2^{k_1}, S·2^{k_1+k_2}, …` all stay inside *contiguous blocks* of
+//! `B = S·2^{k_1+…+k_m}` elements. [`CompiledPlan::fuse`] exploits that:
+//! it scans the flat schedule left to right and greedily merges the
+//! longest run of consecutive passes whose combined block size `B` (the
+//! *tile*) fits [`FusionPolicy::budget_elems`], emitting one
+//! [`SuperPass`] that iterates each of the `2^n / B` tiles through **all**
+//! fused factors before moving to the next tile. A tile is loaded once and
+//! transformed `m` times while cache-resident, so the run's memory traffic
+//! drops from `m` sweeps to one. Because strides multiply monotonically
+//! along the schedule, only the small-stride prefix can fuse; the
+//! remaining large-stride passes stay as single-pass super-passes
+//! (blocking those is the DDL relayout's job, see [`crate::ddl`]).
+//!
+//! Degenerate budgets behave as limits: a budget of `0` (or `1`) disables
+//! fusion and reproduces the unfused schedule; an unbounded budget fuses
+//! the entire schedule into one super-pass with a single vector-sized
+//! tile, which replays exactly like the unfused program.
+//!
+//! Fusion is a *regrouping* of the same factor list — [`CompiledPlan::passes`]
+//! is unchanged by [`CompiledPlan::fuse`]; only the execution grouping
+//! ([`CompiledPlan::super_passes`]) differs. [`crate::apply_plan`] replays
+//! fused schedules by default; set `WHT_NO_FUSE=1` (or pass
+//! [`FusionPolicy::disabled`] to [`compiled_for_with`]) to opt out, and
+//! `WHT_FUSE_BUDGET=<elems>` to override the tile budget.
 //!
 //! ## Bit-identical to the interpreter
 //!
 //! The recursive engine interleaves the invocations of nested factors
 //! (block-major order); the compiled schedule runs each factor to
-//! completion (pass-major order). The *multiset* of codelet invocations is
-//! identical, and within one factor the invocations touch pairwise
-//! disjoint element sets, while an invocation of a later factor reads only
+//! completion (pass-major order); a fused super-pass runs tile-major
+//! order. The *multiset* of codelet invocations is identical in all
+//! three, and within one factor the invocations touch pairwise disjoint
+//! element sets, while an invocation of a later factor reads only
 //! elements whose earlier-factor invocations are ordered before it in
-//! *both* schedules. Every load therefore observes the same value in
-//! either order, and each codelet performs the same floating-point
-//! operations on the same values — so compiled and interpreted execution
-//! agree **bit for bit** (property-tested in `tests/proptests.rs` for all
-//! four scalar types, and against the parallel engine).
+//! *every* schedule (a fused factor never reads outside its tile, and all
+//! earlier factors of that tile have already run). Every load therefore
+//! observes the same value in any order, and each codelet performs the
+//! same floating-point operations on the same values — so interpreted,
+//! compiled, and fused execution agree **bit for bit** (property-tested in
+//! `tests/proptests.rs` for all four scalar types over random plans and
+//! fusion policies, and against the parallel engine).
 //!
 //! Pass-major order is also why compiled execution is the production
 //! choice: deep plans that the interpreter executes in a cache-hostile
 //! order (the paper's `left_recursive` pathology) flatten into the same
-//! streaming pass sequence as the iterative algorithm.
+//! streaming pass sequence as the iterative algorithm — and fusion then
+//! removes most of that sequence's redundant memory sweeps.
 
 use crate::codelets::apply_codelet;
 use crate::engine::ExecHooks;
@@ -50,6 +87,7 @@ use crate::scalar::Scalar;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// One factor `I(r) ⊗ WHT(2^k) ⊗ I(s)` of the flattened product: codelet
 /// `small[k]` applied over the `r × s` iteration grid.
@@ -58,7 +96,7 @@ use std::rc::Rc;
 /// strided vector starting at `base + (j·2^k·s + t)·stride` with element
 /// stride `s·stride`. Top-level schedules have `base = 0, stride = 1`; the
 /// fields exist so sub-ranges of a pass can be described (the parallel
-/// engine shards the grid, tiled/2-D layers can offset it).
+/// engine shards the grid, fused super-passes restrict passes to tiles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pass {
     /// Leaf codelet exponent (`small[k]`, size `2^k`).
@@ -130,17 +168,271 @@ impl Pass {
             }
         }
     }
+
+    /// Pass span as `Option`, `None` on arithmetic overflow (hand-built
+    /// schedules can hold absurd extents; validation must not panic).
+    fn checked_span(&self) -> Option<usize> {
+        if self.k >= usize::BITS {
+            return None;
+        }
+        (1usize << self.k).checked_mul(self.s)?.checked_mul(self.r)
+    }
 }
 
-/// A [`Plan`] lowered to its flat factor schedule (see the module docs).
+/// Tile-budget policy for [`CompiledPlan::fuse`]: how many *elements* a
+/// fused tile may span (see the module docs' "how fusion decides").
+///
+/// The budget is in elements, not bytes, because schedules are
+/// scalar-type-agnostic; size it to `cache_bytes / size_of::<T>()` for the
+/// cache level the tiles should live in. The default targets a 1 MiB
+/// L2-ish working set for `f64` data — big tiles shorten the unfusable
+/// large-stride tail, which is where the remaining memory sweeps live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Maximum tile span in elements; runs fuse only while their combined
+    /// block size stays `<=` this. `0` and `1` disable fusion,
+    /// `usize::MAX` fuses without bound (one super-pass per schedule).
+    pub budget_elems: usize,
+}
+
+impl FusionPolicy {
+    /// Default tile budget: `2^17` elements (1 MiB of `f64`s) — resident
+    /// in any megabyte-class L2, and large enough to fuse ~17 radix-2
+    /// factors so only a handful of large-stride tail passes still sweep
+    /// the vector. Measured on a 2 MiB-L2 host, this beat smaller
+    /// (L1-sized) budgets at every out-of-LLC size.
+    pub const DEFAULT_BUDGET_ELEMS: usize = 1 << 17;
+
+    /// Policy with an explicit element budget.
+    pub fn new(budget_elems: usize) -> Self {
+        FusionPolicy { budget_elems }
+    }
+
+    /// Fusion off: [`CompiledPlan::fuse`] reproduces the unfused schedule.
+    pub fn disabled() -> Self {
+        FusionPolicy { budget_elems: 0 }
+    }
+
+    /// No budget: every contiguous run fuses (whole schedules collapse to
+    /// one super-pass with a single vector-sized tile).
+    pub fn unbounded() -> Self {
+        FusionPolicy {
+            budget_elems: usize::MAX,
+        }
+    }
+
+    /// Policy from the process environment: `WHT_NO_FUSE=1` disables
+    /// fusion, `WHT_FUSE_BUDGET=<elems>` overrides the tile budget, and
+    /// the default applies otherwise. Read fresh on every call; the
+    /// production entry point ([`compiled_for`]) snapshots it once per
+    /// process.
+    ///
+    /// # Panics
+    /// If `WHT_FUSE_BUDGET` is set but is not a plain integer element
+    /// count — a silently-ignored override would run every benchmark and
+    /// transform under the wrong budget with no signal.
+    pub fn from_env() -> Self {
+        if std::env::var("WHT_NO_FUSE").is_ok_and(|v| !v.is_empty() && v != "0") {
+            return FusionPolicy::disabled();
+        }
+        if let Ok(v) = std::env::var("WHT_FUSE_BUDGET") {
+            return FusionPolicy::new(parse_budget(&v));
+        }
+        FusionPolicy::default()
+    }
+
+    /// `true` if this policy can fuse anything at all (a tile of two
+    /// elements is the smallest possible fusion product).
+    pub fn enabled(&self) -> bool {
+        self.budget_elems >= 2
+    }
+
+    /// Canonical cache key for this policy (all disabled budgets are the
+    /// same policy).
+    fn cache_key(&self) -> usize {
+        if self.enabled() {
+            self.budget_elems
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            budget_elems: Self::DEFAULT_BUDGET_ELEMS,
+        }
+    }
+}
+
+/// Strict parse of a `WHT_FUSE_BUDGET` value (element count).
+fn parse_budget(v: &str) -> usize {
+    v.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("WHT_FUSE_BUDGET must be an integer element count, got {v:?}"))
+}
+
+/// One scheduling unit of a [`CompiledPlan`]: `parts` consecutive factors
+/// replayed tile by tile over a `tiles × tile_elems` blocking of the
+/// vector (see the module docs).
+///
+/// An unfused pass is the trivial super-pass: one part, one tile spanning
+/// the whole pass. A fused super-pass iterates each tile through all its
+/// parts before touching the next tile — the parts are stored
+/// *tile-relative* (`base`/`stride` of a part are offsets *within* a
+/// tile), and [`SuperPass::tile_pass`] rebases them to absolute passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperPass {
+    /// Tile-relative factor passes, in execution order within each tile.
+    parts: Vec<Pass>,
+    /// Elements per tile.
+    tile: usize,
+    /// Number of tiles.
+    tiles: usize,
+    /// Base element offset of the super-pass.
+    base: usize,
+    /// Global stride multiplier.
+    stride: usize,
+}
+
+impl SuperPass {
+    /// Assemble a super-pass from tile-relative parts. This is a plain
+    /// carrier — no invariants are checked here;
+    /// [`CompiledPlan::from_super_passes`] / [`CompiledPlan::validate`]
+    /// are the validity gate for hand-built schedules.
+    pub fn new(parts: Vec<Pass>, tile: usize, tiles: usize, base: usize, stride: usize) -> Self {
+        SuperPass {
+            parts,
+            tile,
+            tiles,
+            base,
+            stride,
+        }
+    }
+
+    /// The trivial (unfused) super-pass: one part, one tile spanning the
+    /// whole pass.
+    fn single(pass: Pass) -> Self {
+        SuperPass {
+            tile: pass.span(),
+            tiles: 1,
+            base: pass.base,
+            stride: pass.stride,
+            parts: vec![Pass {
+                base: 0,
+                stride: 1,
+                ..pass
+            }],
+        }
+    }
+
+    /// The tile-relative parts, in execution order within each tile.
+    #[inline]
+    pub fn parts(&self) -> &[Pass] {
+        &self.parts
+    }
+
+    /// Elements per tile.
+    #[inline]
+    pub fn tile_elems(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Elements covered by the super-pass (`tiles · tile_elems`).
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.tiles * self.tile
+    }
+
+    /// `true` if this super-pass actually fused more than one factor.
+    #[inline]
+    pub fn is_fused(&self) -> bool {
+        self.parts.len() > 1
+    }
+
+    /// Part `p` rebased to an absolute [`Pass`] restricted to tile `j`.
+    #[inline]
+    pub fn tile_pass(&self, p: usize, j: usize) -> Pass {
+        let part = self.parts[p];
+        Pass {
+            k: part.k,
+            r: part.r,
+            s: part.s,
+            base: self.base + (j * self.tile + part.base) * self.stride,
+            stride: part.stride * self.stride,
+        }
+    }
+
+    /// Part `p` expanded over **all** tiles as one absolute [`Pass`]: the
+    /// factor as it would appear in the unfused schedule. Executing the
+    /// flat passes part by part replays the super-pass in unfused
+    /// (pass-major) order — bit-identical output, no tile blocking — which
+    /// is how the parallel engine keeps every worker busy when there are
+    /// fewer tiles than threads.
+    ///
+    /// Only meaningful under the [`CompiledPlan::validate`] invariants
+    /// (every part tiles its tile exactly once): then tile `j`'s blocks
+    /// are exactly blocks `j·r .. (j+1)·r` of the flat pass.
+    #[inline]
+    pub fn flat_pass(&self, p: usize) -> Pass {
+        let part = self.parts[p];
+        Pass {
+            k: part.k,
+            r: part.r * self.tiles,
+            s: part.s,
+            base: self.base + part.base * self.stride,
+            stride: part.stride * self.stride,
+        }
+    }
+
+    /// Run every part on tile `j` (the fused unit of work; tiles are
+    /// pairwise disjoint, so distinct tiles may run concurrently — the
+    /// parallel engine's contract).
+    ///
+    /// # Safety
+    /// `j < self.tiles()` and the whole super-pass must be in bounds:
+    /// `base + (span() - 1) · stride < x.len()`, with every part tiling
+    /// its tile (the [`CompiledPlan::validate`] invariants).
+    #[inline]
+    pub unsafe fn apply_tile<T: Scalar>(&self, x: &mut [T], j: usize) {
+        for p in 0..self.parts.len() {
+            // SAFETY: a valid part stays inside tile `j`, which is inside
+            // the super-pass bound forwarded from the caller's contract.
+            unsafe { self.tile_pass(p, j).apply_full(x) };
+        }
+    }
+
+    /// Run the whole super-pass (all tiles, tile-major).
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()` plus the validate
+    /// invariants.
+    unsafe fn apply_all<T: Scalar>(&self, x: &mut [T]) {
+        for j in 0..self.tiles {
+            // SAFETY: forwarded contract.
+            unsafe { self.apply_tile(x, j) };
+        }
+    }
+}
+
+/// A [`Plan`] lowered to its flat factor schedule, grouped into
+/// [`SuperPass`] scheduling units (trivial groups unless
+/// [`CompiledPlan::fuse`] merged some — see the module docs).
 ///
 /// Compile once, apply many times:
 ///
 /// ```
-/// use wht_core::{naive_wht, CompiledPlan, Plan};
+/// use wht_core::{naive_wht, CompiledPlan, FusionPolicy, Plan};
 ///
 /// let plan = Plan::right_recursive(10)?;
-/// let compiled = CompiledPlan::compile(&plan);
+/// let compiled = CompiledPlan::compile(&plan).fuse(&FusionPolicy::default());
 /// let mut x: Vec<f64> = (0..1024).map(|v| (v % 5) as f64).collect();
 /// let want = naive_wht(&x);
 /// compiled.apply(&mut x)?;
@@ -150,12 +442,15 @@ impl Pass {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledPlan {
     n: u32,
+    /// The flat factor schedule (one pass per plan leaf), fusion-invariant.
     passes: Vec<Pass>,
+    /// The execution grouping actually replayed by [`CompiledPlan::apply`].
+    schedule: Vec<SuperPass>,
 }
 
 impl CompiledPlan {
-    /// Lower `plan` into its pass schedule (cost: one tree walk, one
-    /// `Vec` of `plan.leaf_count()` entries).
+    /// Lower `plan` into its (unfused) pass schedule (cost: one tree walk,
+    /// one `Vec` of `plan.leaf_count()` entries).
     pub fn compile(plan: &Plan) -> Self {
         let n = plan.n();
         let size = 1usize << n;
@@ -163,7 +458,63 @@ impl CompiledPlan {
         let mut s = 1usize;
         emit(plan, size, &mut s, &mut passes);
         debug_assert_eq!(s, size, "factor sizes must multiply to the transform size");
-        CompiledPlan { n, passes }
+        let schedule = passes.iter().copied().map(SuperPass::single).collect();
+        CompiledPlan {
+            n,
+            passes,
+            schedule,
+        }
+    }
+
+    /// Compile and fuse in one step: `CompiledPlan::compile(plan).fuse(policy)`.
+    pub fn compile_fused(plan: &Plan, policy: &FusionPolicy) -> Self {
+        Self::compile(plan).fuse(policy)
+    }
+
+    /// Regroup the factor schedule under `policy`: greedily merge the
+    /// longest runs of consecutive contiguous passes whose combined block
+    /// size fits `policy.budget_elems` into cache-blocked super-passes
+    /// (see the module docs' "how fusion decides"). The flat factor list
+    /// ([`CompiledPlan::passes`]) is unchanged; only the grouping differs,
+    /// so fusing is idempotent and re-fusing with a different policy is
+    /// always safe.
+    pub fn fuse(&self, policy: &FusionPolicy) -> CompiledPlan {
+        CompiledPlan {
+            n: self.n,
+            passes: self.passes.clone(),
+            schedule: fuse_schedule(&self.passes, 1usize << self.n, policy),
+        }
+    }
+
+    /// Assemble a compiled plan from hand-built super-passes, validating
+    /// every schedule invariant.
+    ///
+    /// # Errors
+    /// The typed [`CompiledPlan::validate`] errors ([`WhtError::InvalidSchedule`],
+    /// [`WhtError::LeafSizeOutOfRange`]) on a malformed schedule.
+    pub fn from_super_passes(n: u32, schedule: Vec<SuperPass>) -> Result<Self, WhtError> {
+        // Saturating arithmetic throughout: hand-built schedules can hold
+        // absurd extents, and the contract is a typed error from
+        // validate(), never an overflow panic while deriving this view.
+        let passes = schedule
+            .iter()
+            .flat_map(|sp| {
+                sp.parts.iter().map(|part| Pass {
+                    k: part.k,
+                    r: part.r.saturating_mul(sp.tiles),
+                    s: part.s,
+                    base: sp.base.saturating_add(part.base.saturating_mul(sp.stride)),
+                    stride: part.stride.saturating_mul(sp.stride),
+                })
+            })
+            .collect();
+        let plan = CompiledPlan {
+            n,
+            passes,
+            schedule,
+        };
+        plan.validate()?;
+        Ok(plan)
     }
 
     /// Exponent of the transform (`log2` of its size).
@@ -178,13 +529,27 @@ impl CompiledPlan {
         1usize << self.n
     }
 
-    /// The schedule, in execution order (one pass per plan leaf).
+    /// The flat factor schedule, in execution order (one pass per plan
+    /// leaf). Fusion never changes this list — it regroups it.
     #[inline]
     pub fn passes(&self) -> &[Pass] {
         &self.passes
     }
 
-    /// Compute `x <- WHT(2^n) · x` in place by replaying the schedule.
+    /// The execution grouping [`CompiledPlan::apply`] replays: one
+    /// [`SuperPass`] per unfused pass or fused run.
+    #[inline]
+    pub fn super_passes(&self) -> &[SuperPass] {
+        &self.schedule
+    }
+
+    /// `true` if any super-pass actually fused multiple factors.
+    pub fn is_fused(&self) -> bool {
+        self.schedule.iter().any(SuperPass::is_fused)
+    }
+
+    /// Compute `x <- WHT(2^n) · x` in place by replaying the schedule
+    /// (tile-major within fused super-passes).
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
@@ -195,11 +560,13 @@ impl CompiledPlan {
                 got: x.len(),
             });
         }
-        for pass in &self.passes {
-            debug_assert!(pass.base + (pass.span() - 1) * pass.stride < x.len());
-            // SAFETY: compile() emits only passes with base = 0, stride = 1
-            // and span() == size(), and the length was checked above.
-            unsafe { pass.apply_full(x) };
+        for sp in &self.schedule {
+            debug_assert!(sp.base + (sp.span() - 1) * sp.stride < x.len());
+            // SAFETY: compile()/fuse() emit only super-passes with base =
+            // 0, stride = 1 and span() == size() whose parts tile each
+            // tile exactly; from_super_passes() validates the same
+            // invariants; and the length was checked above.
+            unsafe { sp.apply_all(x) };
         }
         Ok(())
     }
@@ -208,39 +575,175 @@ impl CompiledPlan {
     /// the compiled counterpart of [`crate::engine::traverse`], consumed
     /// by the instrumented counter and the cache-trace executor in
     /// `wht-measure` so that measured and executed work share one
-    /// schedule.
+    /// schedule (including the fused tile-major order — what is measured
+    /// is exactly what [`CompiledPlan::apply`] runs).
     ///
     /// Hook mapping: one [`ExecHooks::enter_split`] for the whole schedule
-    /// (`t` = pass count), one [`ExecHooks::child_loops`] per pass, one
+    /// (`t` = super-pass count), one [`ExecHooks::super_pass`] per
+    /// super-pass, one [`ExecHooks::child_loops`] per part per tile, one
     /// [`ExecHooks::leaf_call`] per codelet invocation, in execution
     /// order.
     pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
-        hooks.enter_split(self.n, self.passes.len());
-        for pass in &self.passes {
-            hooks.child_loops(pass.k, pass.r, pass.s);
-            for q in 0..pass.invocations() {
-                hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+        hooks.enter_split(self.n, self.schedule.len());
+        for sp in &self.schedule {
+            hooks.super_pass(sp.parts.len(), sp.tiles, sp.tile);
+            for j in 0..sp.tiles {
+                for p in 0..sp.parts.len() {
+                    let pass = sp.tile_pass(p, j);
+                    hooks.child_loops(pass.k, pass.r, pass.s);
+                    for q in 0..pass.invocations() {
+                        hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+                    }
+                }
             }
         }
     }
 
-    /// Re-check the schedule invariants (every pass tiles the full index
-    /// space exactly once). Holds by construction for compiled plans; for
-    /// hand-built schedules this is the validity gate.
+    /// Re-check the schedule invariants: every super-pass is a top-level
+    /// `tiles × tile` blocking of the full index space, and every part
+    /// tiles its tile exactly once without escaping it. Holds by
+    /// construction for compiled/fused plans; for hand-built schedules
+    /// ([`CompiledPlan::from_super_passes`]) this is the validity gate,
+    /// and it never panics — malformed schedules come back as typed
+    /// errors.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidSchedule`] naming the offending super-pass, or
+    /// [`WhtError::LeafSizeOutOfRange`] for an out-of-range codelet.
     pub fn validate(&self) -> Result<(), WhtError> {
-        for pass in &self.passes {
-            if pass.base != 0 || pass.stride != 1 || pass.span() != self.size() {
-                return Err(WhtError::InvalidConfig(format!(
-                    "pass {pass:?} does not tile a size-2^{} transform",
-                    self.n
-                )));
+        let size = self.size();
+        let invalid = |index: usize, msg: String| Err(WhtError::InvalidSchedule { index, msg });
+        for (index, sp) in self.schedule.iter().enumerate() {
+            if sp.parts.is_empty() {
+                return invalid(index, "super-pass has no parts".into());
             }
-            if !(1..=crate::plan::MAX_LEAF_K).contains(&pass.k) {
-                return Err(WhtError::LeafSizeOutOfRange { k: pass.k });
+            if sp.tile == 0 || sp.tiles == 0 {
+                return invalid(index, "super-pass has an empty tile grid".into());
+            }
+            if sp.base != 0 || sp.stride != 1 {
+                return invalid(
+                    index,
+                    format!(
+                        "top-level super-pass must have base 0 and stride 1, got base {} stride {}",
+                        sp.base, sp.stride
+                    ),
+                );
+            }
+            match sp.tiles.checked_mul(sp.tile) {
+                Some(span) if span == size => {}
+                Some(span) if span > size => {
+                    return invalid(
+                        index,
+                        format!(
+                            "{} tiles of {} elements span {span}, exceeding the vector length {size}",
+                            sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                Some(span) => {
+                    return invalid(
+                        index,
+                        format!(
+                            "{} tiles of {} elements cover only {span} of {size} elements",
+                            sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                None => return invalid(index, "tile grid size overflows".into()),
+            }
+            for (p, part) in sp.parts.iter().enumerate() {
+                if !(1..=crate::plan::MAX_LEAF_K).contains(&part.k) {
+                    return Err(WhtError::LeafSizeOutOfRange { k: part.k });
+                }
+                if part.r == 0 || part.s == 0 {
+                    return invalid(index, format!("part {p} has an empty invocation grid"));
+                }
+                let Some(pspan) = part.checked_span() else {
+                    return invalid(index, format!("part {p} span overflows"));
+                };
+                // Farthest tile-relative element the part touches.
+                let reach = (pspan - 1)
+                    .checked_mul(part.stride)
+                    .and_then(|v| v.checked_add(part.base))
+                    .unwrap_or(usize::MAX);
+                if reach >= sp.tile {
+                    return invalid(
+                        index,
+                        format!(
+                            "part {p} escapes its tile: reaches element {reach} of a \
+                             {}-element tile (overlapping tiles)",
+                            sp.tile
+                        ),
+                    );
+                }
+                if part.base != 0 || part.stride != 1 || pspan != sp.tile {
+                    return invalid(
+                        index,
+                        format!(
+                            "part {p} does not tile its tile exactly once \
+                             (base {}, stride {}, span {pspan} vs tile {})",
+                            part.base, part.stride, sp.tile
+                        ),
+                    );
+                }
             }
         }
         Ok(())
     }
+}
+
+/// Greedy fusion pass over the flat schedule (see the module docs):
+/// extend each run while the next pass is contiguous (`base 0, stride 1`,
+/// stride equal to the run's accumulated block size) and the grown tile
+/// stays within budget; emit a fused super-pass for runs of two or more.
+fn fuse_schedule(passes: &[Pass], size: usize, policy: &FusionPolicy) -> Vec<SuperPass> {
+    let budget = policy.budget_elems;
+    let mut schedule = Vec::new();
+    let mut i = 0;
+    while i < passes.len() {
+        let first = passes[i];
+        let mut tile = (1usize << first.k) * first.s;
+        let mut end = i + 1;
+        if policy.enabled() && first.base == 0 && first.stride == 1 {
+            while end < passes.len() {
+                let next = passes[end];
+                if next.base != 0 || next.stride != 1 || next.s != tile {
+                    break;
+                }
+                let Some(grown) = (1usize << next.k)
+                    .checked_mul(tile)
+                    .filter(|&t| t <= budget)
+                else {
+                    break;
+                };
+                tile = grown;
+                end += 1;
+            }
+        }
+        if end - i >= 2 {
+            let parts = passes[i..end]
+                .iter()
+                .map(|p| Pass {
+                    k: p.k,
+                    r: tile / ((1usize << p.k) * p.s),
+                    s: p.s,
+                    base: 0,
+                    stride: 1,
+                })
+                .collect();
+            schedule.push(SuperPass {
+                parts,
+                tile,
+                tiles: size / tile,
+                base: 0,
+                stride: 1,
+            });
+        } else {
+            schedule.push(SuperPass::single(first));
+        }
+        i = end;
+    }
+    schedule
 }
 
 /// Emit the factor schedule of `plan` given `s` = product of the sizes of
@@ -271,28 +774,51 @@ const CACHE_CAP: usize = 64;
 
 thread_local! {
     /// Per-thread schedule cache backing [`compiled_for`]: plans are
-    /// immutable and hashable, so the plan itself is the key.
-    static PLAN_CACHE: RefCell<HashMap<Plan, Rc<CompiledPlan>>> =
+    /// immutable and hashable, so `(plan, fusion budget)` is the key
+    /// (nested so the hot lookup borrows the plan instead of cloning it).
+    static PLAN_CACHE: RefCell<HashMap<Plan, HashMap<usize, Rc<CompiledPlan>>>> =
         RefCell::new(HashMap::new());
 }
 
-/// The lazily-compiled schedule for `plan`: compiled on first use on this
-/// thread, then served from a bounded per-thread cache. This is what lets
-/// [`crate::apply_plan`] keep its signature while paying the tree walk
-/// once per plan instead of once per call.
+/// The process-wide default fusion policy, read from the environment
+/// exactly once (see [`FusionPolicy::from_env`]).
+fn env_policy() -> &'static FusionPolicy {
+    static POLICY: OnceLock<FusionPolicy> = OnceLock::new();
+    POLICY.get_or_init(FusionPolicy::from_env)
+}
+
+/// The lazily-compiled schedule for `plan` under the process-default
+/// [`FusionPolicy`] (fusion **on** unless `WHT_NO_FUSE=1`): compiled on
+/// first use on this thread, then served from a bounded per-thread cache.
+/// This is what lets [`crate::apply_plan`] keep its signature while paying
+/// the tree walk once per plan instead of once per call.
 pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
+    compiled_for_with(plan, env_policy())
+}
+
+/// [`compiled_for`] with an explicit fusion policy (the API opt-out:
+/// `compiled_for_with(plan, &FusionPolicy::disabled())` replays the
+/// unfused schedule whatever the environment says). Schedules are cached
+/// per `(plan, budget)`, so mixed-policy traffic never cross-talks.
+pub fn compiled_for_with(plan: &Plan, policy: &FusionPolicy) -> Rc<CompiledPlan> {
+    let budget = policy.cache_key();
     PLAN_CACHE.with(|cache| {
         let mut map = cache.borrow_mut();
-        if let Some(hit) = map.get(plan) {
+        if let Some(hit) = map.get(plan).and_then(|by_budget| by_budget.get(&budget)) {
             return Rc::clone(hit);
         }
-        let compiled = Rc::new(CompiledPlan::compile(plan));
-        if map.len() >= CACHE_CAP {
+        let compiled = Rc::new(CompiledPlan::compile_fused(plan, policy));
+        // The bound counts (plan, budget) schedules, not just plans — a
+        // budget sweep over one plan must still trigger eviction.
+        if map.values().map(HashMap::len).sum::<usize>() >= CACHE_CAP {
             // Simplest bounded policy: drop everything, refill from live
-            // traffic. CACHE_CAP plans is far beyond any working set here.
+            // traffic. CACHE_CAP schedules is far beyond any working set
+            // here.
             map.clear();
         }
-        map.insert(plan.clone(), Rc::clone(&compiled));
+        map.entry(plan.clone())
+            .or_default()
+            .insert(budget, Rc::clone(&compiled));
         compiled
     })
 }
@@ -325,6 +851,8 @@ mod tests {
             for plan in test_plans(n) {
                 let compiled = CompiledPlan::compile(&plan);
                 assert_eq!(compiled.passes().len(), plan.leaf_count(), "plan {plan}");
+                assert_eq!(compiled.super_passes().len(), compiled.passes().len());
+                assert!(!compiled.is_fused());
                 assert!(compiled.validate().is_ok());
                 // Strides multiply up: pass i runs at stride = product of
                 // earlier factor sizes.
@@ -349,6 +877,67 @@ mod tests {
         let lr = CompiledPlan::compile(&Plan::left_recursive(n).unwrap());
         assert_eq!(it, rr);
         assert_eq!(it, lr);
+    }
+
+    #[test]
+    fn fusion_merges_the_small_stride_prefix() {
+        // iterative(12) with a 2^6-element budget: the first 6 radix-2
+        // factors fuse into one super-pass of 2^6 tiles; the remaining 6
+        // large-stride passes stay single.
+        let compiled = CompiledPlan::compile(&Plan::iterative(12).unwrap());
+        let fused = compiled.fuse(&FusionPolicy::new(1 << 6));
+        assert_eq!(
+            fused.passes(),
+            compiled.passes(),
+            "fusion must not touch the factor list"
+        );
+        assert_eq!(fused.super_passes().len(), 7);
+        let head = &fused.super_passes()[0];
+        assert!(head.is_fused());
+        assert_eq!(head.parts().len(), 6);
+        assert_eq!(head.tile_elems(), 1 << 6);
+        assert_eq!(head.tiles(), 1 << 6);
+        assert_eq!(head.span(), fused.size());
+        for sp in &fused.super_passes()[1..] {
+            assert!(!sp.is_fused());
+            assert_eq!(sp.tiles(), 1);
+        }
+        assert!(fused.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_budgets_are_the_limits() {
+        let compiled = CompiledPlan::compile(&Plan::balanced(10, 3).unwrap());
+        // Budget 0 (and 1): no fusion — the schedule is the unfused one.
+        for policy in [FusionPolicy::disabled(), FusionPolicy::new(1)] {
+            assert_eq!(compiled.fuse(&policy), compiled);
+        }
+        // Unbounded budget: the whole schedule is one super-pass with a
+        // single vector-sized tile.
+        let all = compiled.fuse(&FusionPolicy::unbounded());
+        assert_eq!(all.super_passes().len(), 1);
+        assert_eq!(all.super_passes()[0].tiles(), 1);
+        assert_eq!(all.super_passes()[0].tile_elems(), all.size());
+        assert_eq!(all.super_passes()[0].parts().len(), compiled.passes().len());
+        assert!(all.validate().is_ok());
+    }
+
+    #[test]
+    fn fused_apply_is_bit_identical_to_unfused_and_recursive() {
+        for n in 1..=11u32 {
+            let input = signal(n);
+            for plan in test_plans(n) {
+                let mut rec = input.clone();
+                apply_plan_recursive(&plan, &mut rec).unwrap();
+                let compiled = CompiledPlan::compile(&plan);
+                for budget in [0usize, 2, 16, 64, 1 << n, usize::MAX] {
+                    let fused = compiled.fuse(&FusionPolicy::new(budget));
+                    let mut got = input.clone();
+                    fused.apply(&mut got).unwrap();
+                    assert_eq!(got, rec, "plan {plan}, budget {budget}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -385,21 +974,59 @@ mod tests {
     #[test]
     fn traverse_visits_same_leaf_multiset_as_interpreter() {
         let plan = Plan::balanced(9, 3).unwrap();
-        let compiled = CompiledPlan::compile(&plan);
         let mut interp: Vec<(u32, usize, usize)> = Vec::new();
         for_each_leaf_call(&plan, |k, b, s| interp.push((k, b, s)));
-        let mut flat: Vec<(u32, usize, usize)> = Vec::new();
         struct Collect<'a>(&'a mut Vec<(u32, usize, usize)>);
         impl ExecHooks for Collect<'_> {
             fn leaf_call(&mut self, k: u32, base: usize, stride: usize) {
                 self.0.push((k, base, stride));
             }
         }
-        compiled.traverse(&mut Collect(&mut flat));
-        assert_eq!(flat.len(), interp.len());
-        interp.sort_unstable();
-        flat.sort_unstable();
-        assert_eq!(flat, interp, "same invocation multiset, different order");
+        // The invocation multiset is invariant under compilation AND any
+        // fusion policy — only the order changes.
+        for policy in [
+            FusionPolicy::disabled(),
+            FusionPolicy::new(64),
+            FusionPolicy::unbounded(),
+        ] {
+            let compiled = CompiledPlan::compile_fused(&plan, &policy);
+            let mut flat: Vec<(u32, usize, usize)> = Vec::new();
+            compiled.traverse(&mut Collect(&mut flat));
+            assert_eq!(flat.len(), interp.len());
+            let mut interp_sorted = interp.clone();
+            interp_sorted.sort_unstable();
+            flat.sort_unstable();
+            assert_eq!(
+                flat, interp_sorted,
+                "same invocation multiset, different order"
+            );
+        }
+    }
+
+    #[test]
+    fn traverse_reports_super_pass_structure() {
+        #[derive(Default)]
+        struct Count {
+            super_passes: Vec<(usize, usize, usize)>,
+            child_loops: usize,
+        }
+        impl ExecHooks for Count {
+            fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize) {
+                self.super_passes.push((parts, tiles, tile_elems));
+            }
+            fn child_loops(&mut self, _c: u32, _r: usize, _s: usize) {
+                self.child_loops += 1;
+            }
+        }
+        let compiled = CompiledPlan::compile(&Plan::iterative(8).unwrap());
+        let fused = compiled.fuse(&FusionPolicy::new(1 << 4));
+        let mut c = Count::default();
+        fused.traverse(&mut c);
+        // 4 factors fused over 16 tiles + 4 single passes.
+        assert_eq!(c.super_passes.len(), 5);
+        assert_eq!(c.super_passes[0], (4, 16, 16));
+        // child_loops fires once per part per tile: 4 * 16 + 4.
+        assert_eq!(c.child_loops, 4 * 16 + 4);
     }
 
     #[test]
@@ -408,7 +1035,17 @@ mod tests {
         let a = compiled_for(&plan);
         let b = compiled_for(&plan);
         assert!(Rc::ptr_eq(&a, &b), "second lookup must hit the cache");
-        assert_eq!(*a, CompiledPlan::compile(&plan));
+        // The default entry point fuses under the process policy; the
+        // factor list is policy-invariant.
+        assert_eq!(a.passes(), CompiledPlan::compile(&plan).passes());
+        // Distinct policies are distinct cache entries.
+        let unfused = compiled_for_with(&plan, &FusionPolicy::disabled());
+        assert_eq!(*unfused, CompiledPlan::compile(&plan));
+        let fused = compiled_for_with(&plan, &FusionPolicy::new(1 << 8));
+        assert_eq!(
+            *fused,
+            CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 8))
+        );
         // Flood the cache past capacity; the entry may be evicted but
         // lookups must stay correct.
         for n in 1..=8u32 {
@@ -437,5 +1074,86 @@ mod tests {
             }
         }
         assert_eq!(pieces, whole);
+    }
+
+    #[test]
+    fn tile_pass_restriction_is_consistent_with_apply() {
+        // Drive a fused schedule tile by tile through the public
+        // `tile_pass` API and compare against the built-in executor.
+        let plan = Plan::iterative(9).unwrap();
+        let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 4));
+        assert!(fused.is_fused());
+        let input = signal(9);
+        let mut whole = input.clone();
+        fused.apply(&mut whole).unwrap();
+        let mut pieces = input;
+        for sp in fused.super_passes() {
+            for j in 0..sp.tiles() {
+                for p in 0..sp.parts().len() {
+                    let pass = sp.tile_pass(p, j);
+                    for q in 0..pass.invocations() {
+                        // SAFETY: q ranges over the restricted grid; the
+                        // schedule is valid by construction.
+                        unsafe { pass.apply_invocation(&mut pieces, q) };
+                    }
+                }
+            }
+        }
+        assert_eq!(pieces, whole);
+    }
+
+    #[test]
+    fn from_super_passes_round_trips_valid_schedules() {
+        let plan = Plan::balanced(10, 3).unwrap();
+        let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 5));
+        let rebuilt = CompiledPlan::from_super_passes(10, fused.super_passes().to_vec()).unwrap();
+        assert_eq!(rebuilt.super_passes(), fused.super_passes());
+        assert_eq!(rebuilt.passes(), fused.passes());
+        let mut a = signal(10);
+        let mut b = a.clone();
+        fused.apply(&mut a).unwrap();
+        rebuilt.apply(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_parsing_is_strict() {
+        assert_eq!(parse_budget("4096"), 4096);
+        assert_eq!(parse_budget(" 512 "), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "WHT_FUSE_BUDGET")]
+    fn malformed_budget_panics_instead_of_silently_defaulting() {
+        parse_budget("32k");
+    }
+
+    #[test]
+    fn budget_sweeps_stay_correct_across_cache_eviction() {
+        // A budget sweep over one plan walks the per-(plan, budget) cache
+        // past its bound; every lookup must stay correct through the
+        // eviction the sweep triggers.
+        let plan = Plan::iterative(10).unwrap();
+        let reference = CompiledPlan::compile(&plan);
+        for b in 0..CACHE_CAP + 8 {
+            let c = compiled_for_with(&plan, &FusionPolicy::new(b + 2));
+            assert_eq!(c.passes(), reference.passes(), "budget {}", b + 2);
+        }
+    }
+
+    #[test]
+    fn env_policy_constructors() {
+        assert!(!FusionPolicy::disabled().enabled());
+        assert!(!FusionPolicy::new(1).enabled());
+        assert!(FusionPolicy::new(2).enabled());
+        assert!(FusionPolicy::unbounded().enabled());
+        assert_eq!(
+            FusionPolicy::default().budget_elems,
+            FusionPolicy::DEFAULT_BUDGET_ELEMS
+        );
+        assert_eq!(
+            FusionPolicy::disabled().cache_key(),
+            FusionPolicy::new(1).cache_key()
+        );
     }
 }

@@ -53,8 +53,12 @@ use crate::scalar::Scalar;
 /// lazily-compiled, per-thread-cached pass schedule
 /// ([`crate::compile::compiled_for`]): first use of a plan pays one tree
 /// walk, every later call replays the flat schedule with zero recursion.
-/// The result is bit-identical to the recursive interpreter (see the
-/// `compile` module docs); callers that specifically want the paper's
+/// The schedule is **fused by default** — consecutive small-stride passes
+/// are merged into cache-blocked super-passes under the process
+/// [`crate::compile::FusionPolicy`] (opt out with `WHT_NO_FUSE=1`, or call
+/// [`crate::compile::compiled_for_with`] with an explicit policy). The
+/// result is bit-identical to the recursive interpreter either way (see
+/// the `compile` module docs); callers that specifically want the paper's
 /// interpreted loop nest — the artifact the measurement substrate times —
 /// use [`apply_plan_recursive`].
 ///
@@ -130,6 +134,17 @@ pub trait ExecHooks {
     #[inline]
     fn enter_split(&mut self, n: u32, t: usize) {
         let _ = (n, t);
+    }
+
+    /// A compiled super-pass begins: `parts` fused factors replayed over
+    /// `tiles` cache tiles of `tile_elems` elements each. Emitted only by
+    /// [`crate::compile::CompiledPlan::traverse`] (the recursive
+    /// interpreter has no super-pass structure); consumers that segment
+    /// measurements per super-pass (e.g. the per-super-pass traffic report
+    /// in `wht-measure`) override this, everything else ignores it.
+    #[inline]
+    fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize) {
+        let _ = (parts, tiles, tile_elems);
     }
 
     /// Within the current split invocation, child `i` (of size `2^child_n`)

@@ -45,6 +45,15 @@ pub enum WhtError {
     /// A configuration value (cache geometry, measurement repetitions, ...)
     /// was invalid; the message explains the constraint.
     InvalidConfig(String),
+    /// A hand-built compiled schedule violates the pass/tile invariants
+    /// (see `CompiledPlan::validate`): a part escapes its tile, tiles
+    /// overlap or exceed the vector length, coverage has holes, ...
+    InvalidSchedule {
+        /// Index of the offending super-pass in the schedule.
+        index: usize,
+        /// Which invariant broke.
+        msg: String,
+    },
 }
 
 impl fmt::Display for WhtError {
@@ -72,6 +81,9 @@ impl fmt::Display for WhtError {
             }
             WhtError::Parse { pos, msg } => write!(f, "plan parse error at byte {pos}: {msg}"),
             WhtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WhtError::InvalidSchedule { index, msg } => {
+                write!(f, "invalid compiled schedule at super-pass {index}: {msg}")
+            }
         }
     }
 }
@@ -100,6 +112,11 @@ mod tests {
         assert!(e.to_string().contains("2^99"));
         let e = WhtError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = WhtError::InvalidSchedule {
+            index: 2,
+            msg: "tiles overlap".into(),
+        };
+        assert!(e.to_string().contains("super-pass 2") && e.to_string().contains("tiles overlap"));
         assert!(WhtError::EmptySplit.to_string().contains("at least one"));
         assert!(WhtError::SingleChildSplit
             .to_string()

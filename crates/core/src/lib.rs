@@ -40,8 +40,9 @@
 //! | [`parse`] | WHT-package plan grammar (`split[small[1],...]` strings) |
 //! | [`codelets`] | unrolled base cases `small[1]`..`small[8]` |
 //! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan_recursive`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
-//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
+//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, cache-blocked pass fusion ([`FusionPolicy`], [`SuperPass`]), the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
+//! | [`testkit`] | shared test scaffolding: seeded random-plan generator, `O(n·2^n)` fast reference transform, deterministic signals |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
 //! | [`scalar`] | element types: `f64` (default), `f32`, `i64`, `i32` |
 
@@ -58,10 +59,11 @@ pub mod parse;
 pub mod plan;
 pub mod reference;
 pub mod scalar;
+pub mod testkit;
 pub mod twod;
 
 pub use codelets::{apply_codelet_checked, apply_codelet_generic};
-pub use compile::{compiled_for, CompiledPlan, Pass};
+pub use compile::{compiled_for, compiled_for_with, CompiledPlan, FusionPolicy, Pass, SuperPass};
 pub use ddl::{apply_plan_ddl, DdlConfig};
 pub use dyadic::{dyadic_autocorrelation, dyadic_convolution, dyadic_convolution_naive};
 pub use engine::{apply_plan, apply_plan_recursive, for_each_leaf_call, traverse, ExecHooks};

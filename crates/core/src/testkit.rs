@@ -1,0 +1,189 @@
+//! Shared test scaffolding for the whole workspace: a seeded random-plan
+//! generator and a fast `O(n·2^n)` reference transform.
+//!
+//! Every crate's test suite needs the same two artifacts — "some valid
+//! plan of size `2^n`, deterministically derived from a seed" and "the
+//! ground-truth transform of this input" — and before this module each
+//! suite grew its own ad-hoc copy. The generators here are deliberately
+//! dependency-free (no `proptest`, no `rand`): byte-stream decoding keeps
+//! them usable both from plain `#[test]`s (via [`random_plan`]) and from
+//! property tests that want to drive the decoder with their own byte
+//! strategy (via [`decode_plan`], so shrinking operates on raw bytes).
+//!
+//! This is *test* scaffolding, shipped in the library so downstream
+//! crates' integration tests can reach it — nothing here belongs on a
+//! production hot path.
+
+use crate::plan::{Plan, MAX_LEAF_K};
+use crate::scalar::Scalar;
+
+/// Decode a byte stream into a random plan of total exponent `n`.
+///
+/// At each node, the next byte chooses whether to stop (leaf, only allowed
+/// for `n <= MAX_LEAF_K`) and how to split off the first part; recursion
+/// handles the rest. Deterministic in the input bytes, and **every** byte
+/// sequence decodes to *some* valid plan — the property that keeps
+/// proptest shrinking meaningful when the bytes come from a strategy.
+pub fn decode_plan(n: u32, bytes: &mut impl Iterator<Item = u8>) -> Plan {
+    let b = bytes.next().unwrap_or(0);
+    if n <= MAX_LEAF_K && (n == 1 || b.is_multiple_of(3)) {
+        return Plan::Leaf { k: n };
+    }
+
+    // Split into parts: draw parts one at a time, each 1..=n-1 of what's
+    // left, making sure we end with at least two parts.
+    let mut parts: Vec<u32> = Vec::new();
+    let mut rem = n;
+    while rem > 0 {
+        let max_part = if parts.is_empty() { n - 1 } else { rem };
+        let b = u32::from(bytes.next().unwrap_or(1));
+        let part = 1 + b % max_part.max(1);
+        let part = part.min(rem);
+        parts.push(part);
+        rem -= part;
+    }
+    if parts.len() == 1 {
+        // Can only happen for n == 1 handled above, but keep it robust.
+        return Plan::Leaf {
+            k: n.min(MAX_LEAF_K),
+        };
+    }
+    let children = parts
+        .into_iter()
+        .map(|p| decode_plan(p, bytes))
+        .collect::<Vec<_>>();
+    Plan::split(children).expect("decoded plan must be valid")
+}
+
+/// SplitMix64 step — the byte source behind [`random_plan`] and
+/// [`random_signal`] (self-contained so the testkit needs no `rand`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded random plan of total exponent `n`: [`decode_plan`] driven by a
+/// SplitMix64 byte stream. Deterministic in `(n, seed)`.
+///
+/// # Panics
+/// If `n == 0` or `n > MAX_N` (test helper; sizes are the test's choice).
+pub fn random_plan(n: u32, seed: u64) -> Plan {
+    assert!(
+        (1..=crate::plan::MAX_N).contains(&n),
+        "random_plan exponent {n} out of range"
+    );
+    let mut state = seed;
+    let mut bytes = std::iter::from_fn(move || Some(splitmix64(&mut state).to_le_bytes()))
+        .flat_map(|b| b.into_iter());
+    decode_plan(n, &mut bytes)
+}
+
+/// A deterministic pseudo-random test signal of `len` elements in a small
+/// integer range (exact in every scalar type, including `f32` and `i32`).
+pub fn random_signal<T: Scalar>(len: usize, seed: u64) -> Vec<T> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| T::from_i64((splitmix64(&mut state) % 255) as i64 - 127))
+        .collect()
+}
+
+/// The fast reference transform: `WHT(2^n) · x` by the textbook in-place
+/// butterfly recurrence — `O(n·2^n)` instead of [`crate::naive_wht`]'s
+/// `O(4^n)` matrix product, so reference checks stay affordable out to
+/// `n = 20` and beyond.
+///
+/// Exact over the integer scalar types (the WHT matrix has ±1 entries);
+/// over floats it equals any plan's output in exact arithmetic but **not**
+/// necessarily bit for bit (different plans round differently) — compare
+/// with a tolerance, or use an integer instantiation for exact golden
+/// vectors.
+///
+/// # Panics
+/// If `x.len()` is not a power of two (test helper).
+pub fn reference_wht<T: Scalar>(x: &[T]) -> Vec<T> {
+    assert!(
+        x.len().is_power_of_two(),
+        "reference_wht length {} is not a power of two",
+        x.len()
+    );
+    let mut out = x.to_vec();
+    let mut h = 1usize;
+    while h < out.len() {
+        for block in out.chunks_exact_mut(2 * h) {
+            for j in 0..h {
+                let a = block[j];
+                let b = block[j + h];
+                block[j] = a + b;
+                block[j + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::apply_plan;
+    use crate::reference::{max_abs_diff, naive_wht};
+
+    #[test]
+    fn random_plans_are_valid_and_deterministic() {
+        for n in 1..=20u32 {
+            for seed in 0..20u64 {
+                let plan = random_plan(n, seed);
+                assert_eq!(plan.n(), n);
+                assert!(plan.validate().is_ok());
+                assert_eq!(plan, random_plan(n, seed), "same seed, same plan");
+            }
+        }
+        // Seeds actually vary the shape.
+        let distinct: std::collections::HashSet<String> =
+            (0..32u64).map(|s| random_plan(12, s).to_string()).collect();
+        assert!(distinct.len() > 8, "only {} distinct plans", distinct.len());
+    }
+
+    #[test]
+    fn reference_matches_naive() {
+        for n in 1..=9u32 {
+            let x: Vec<f64> = random_signal(1 << n, 7 + u64::from(n));
+            let fast = reference_wht(&x);
+            let naive = naive_wht(&x);
+            assert!(max_abs_diff(&fast, &naive) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reference_is_exact_for_integers_against_the_engine() {
+        for n in [4u32, 9, 14] {
+            let x: Vec<i64> = random_signal(1 << n, 99);
+            let want = reference_wht(&x);
+            for seed in 0..4u64 {
+                let plan = random_plan(n, seed);
+                let mut got = x.clone();
+                apply_plan(&plan, &mut got).unwrap();
+                assert_eq!(got, want, "plan {plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn signals_are_deterministic_and_exact_across_types() {
+        let f: Vec<f64> = random_signal(64, 5);
+        let i: Vec<i64> = random_signal(64, 5);
+        for (a, b) in f.iter().zip(i.iter()) {
+            assert_eq!(*a, *b as f64);
+        }
+        assert_eq!(f, random_signal::<f64>(64, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn reference_rejects_non_power_of_two() {
+        let _ = reference_wht(&[1.0f64; 12]);
+    }
+}

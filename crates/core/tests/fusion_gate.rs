@@ -1,0 +1,33 @@
+//! CI gate for the fusion test matrix: each CI leg runs the whole suite
+//! with `WHT_NO_FUSE` either unset (fused executor) or `1` (unfused
+//! executor). This test fails the leg if the production path does not
+//! match the environment — i.e. if a misconfigured matrix would silently
+//! test one executor twice and skip the other.
+
+use wht_core::{compiled_for, FusionPolicy, Plan};
+
+#[test]
+fn executor_path_matches_the_environment() {
+    let no_fuse = std::env::var("WHT_NO_FUSE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    // The env-derived policy must reflect the switch...
+    let policy = FusionPolicy::from_env();
+    assert_eq!(
+        policy.enabled(),
+        !no_fuse,
+        "FusionPolicy::from_env() disagrees with WHT_NO_FUSE={:?}",
+        std::env::var("WHT_NO_FUSE").ok()
+    );
+    // ...and the production schedule cache must actually be compiling that
+    // path: iterative(18) fuses under any enabled default-scale budget.
+    let compiled = compiled_for(&Plan::iterative(18).unwrap());
+    assert_eq!(
+        compiled.is_fused(),
+        !no_fuse,
+        "apply_plan would execute the wrong schedule for this CI leg \
+         (WHT_NO_FUSE={:?}, fused={})",
+        std::env::var("WHT_NO_FUSE").ok(),
+        compiled.is_fused()
+    );
+}

@@ -148,6 +148,30 @@ mod tests {
     }
 
     #[test]
+    fn fused_counts_keep_leaf_work_and_cut_schedule_overhead() {
+        use wht_core::FusionPolicy;
+        let plan = Plan::right_recursive(14).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let fused = compiled.fuse(&FusionPolicy::new(1 << 10));
+        assert!(fused.is_fused());
+        let c = compiled_op_counts(&compiled);
+        let f = compiled_op_counts(&fused);
+        // Fusion regroups the schedule; it must not change any work
+        // category — the loop bookkeeping sums tile-locally to the same
+        // totals, and the leaf multiset is invariant.
+        assert_eq!(f.arith, c.arith);
+        assert_eq!(f.loads, c.loads);
+        assert_eq!(f.stores, c.stores);
+        assert_eq!(f.addr, c.addr);
+        assert_eq!(f.leaf_calls, c.leaf_calls);
+        assert_eq!(f.j_iters, c.j_iters);
+        assert_eq!(f.k_iters, c.k_iters);
+        assert_eq!(f.node_invocations, c.node_invocations);
+        // Fewer scheduling units is the one structural difference.
+        assert!(f.outer_iters < c.outer_iters);
+    }
+
+    #[test]
     fn counter_accumulates_across_traversals() {
         let plan = Plan::iterative(4).unwrap();
         let mut counter = InstructionCounter::new();

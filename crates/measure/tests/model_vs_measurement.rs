@@ -1,13 +1,11 @@
 //! Cross-crate property tests: the paper's "computable from the high-level
 //! description" property, checked against instrumented execution on random
-//! plans from the paper's own sampling distribution.
+//! plans from the shared `wht_core::testkit` generator.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wht_core::testkit::random_plan;
 use wht_measure::{direct_mapped_unit_misses, measured_op_counts};
 use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
-use wht_space::Sampler;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -16,8 +14,7 @@ proptest! {
     /// EXACTLY for every plan (any n, any seed).
     #[test]
     fn model_equals_instrumented_execution(n in 1u32..=14, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         prop_assert_eq!(op_counts(&plan), measured_op_counts(&plan), "plan {}", plan);
         let cost = CostModel::default();
         prop_assert_eq!(
@@ -31,8 +28,7 @@ proptest! {
     /// wht-models::cache docs). In-cache it must be exact.
     #[test]
     fn analytic_misses_track_simulation(n in 1u32..=11, c in 4u32..=9, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         let sim = direct_mapped_unit_misses(&plan, c).unwrap();
         let model = analytic_misses(&plan, ModelCache { log2_capacity: c });
         if n <= c {
@@ -52,8 +48,7 @@ proptest! {
     /// nor more than total accesses.
     #[test]
     fn simulated_misses_bounded(n in 1u32..=10, c in 3u32..=8, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         let sim = direct_mapped_unit_misses(&plan, c).unwrap();
         let accesses = 2 * (1u64 << n) * plan.leaf_count() as u64;
         prop_assert!(sim >= 1u64 << n);

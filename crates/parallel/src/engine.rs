@@ -2,32 +2,48 @@
 //!
 //! The WHT package shipped pthread/OpenMP variants that parallelize the
 //! loop nest of Equation 1. This module reproduces that scheme on top of
-//! the compiled-plan layer: the plan is flattened into its pass schedule
-//! (`wht_core::compile`) and the `r × s` invocation grid of **every** pass
-//! is distributed over worker threads, with a barrier between passes.
-//! That strictly generalizes the package's "parallel outer loop" strategy
-//! — the interpreter could only shard the top-level split's passes and ran
-//! nested recursions sequentially inside each worker; compiled schedules
-//! expose all `leaf_count` passes as flat, fully shardable grids.
+//! the compiled-plan layer: the plan is flattened into its (possibly
+//! fused) super-pass schedule (`wht_core::compile`) and every super-pass
+//! is distributed over worker threads, with a barrier ordering each
+//! cross-unit dependence. That strictly generalizes the package's
+//! "parallel outer loop" strategy — the interpreter could only shard the
+//! top-level split's passes and ran nested recursions sequentially inside
+//! each worker; compiled schedules expose all passes as flat, fully
+//! shardable grids.
+//!
+//! ## Units of work
+//!
+//! A **fused** super-pass with at least one tile per worker shards by
+//! *tile*: a claimed tile runs all fused factors while cache-hot on the
+//! claiming worker, so the parallel engine inherits the fusion layer's
+//! locality win instead of re-interleaving the factors across threads.
+//! With fewer tiles than workers (a single-tile super-pass, or huge
+//! tiles), tile-sharding would idle most of the crew, so the engine
+//! falls back to the unfused pass-major order and shards each factor's
+//! full `r × s` invocation grid exactly as the pre-fusion engine did
+//! (`SuperPass::flat_pass`) — bit-identical output either way.
 //!
 //! ## Safety argument
 //!
 //! Within one pass, invocation `(j, t)` touches exactly the elements
 //! `{ (j·2^k·s + t) + u·s : u < 2^k }`. Two distinct invocations differ in
 //! `j` (disjoint `2^k·s`-aligned blocks) or in `t` (distinct residues mod
-//! `s`), so their element sets are disjoint. Distributing disjoint
-//! invocations over threads is race-free even though the *slices* overlap;
-//! a raw pointer wrapper carries the buffer across the scoped threads, and
-//! the barrier between passes orders every cross-pass dependence.
+//! `s`), so their element sets are disjoint. Distinct *tiles* of one
+//! super-pass are disjoint contiguous blocks by the schedule invariants
+//! (`CompiledPlan::validate`), and the parts within a claimed tile run
+//! sequentially on the claiming worker. Distributing disjoint units over
+//! threads is race-free even though the *slices* overlap; a raw pointer
+//! wrapper carries the buffer across the scoped threads, and the barrier
+//! between units orders every cross-unit dependence.
 //!
 //! Because each worker runs the same codelet on the same values as the
-//! sequential schedule (order within a pass is irrelevant: invocations are
+//! sequential schedule (order within a unit is irrelevant: units are
 //! disjoint), parallel output is **bit-identical** to sequential output —
-//! property-tested in `tests/proptests.rs`.
+//! property-tested in `tests/proptests.rs`, fused and unfused.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
-use wht_core::{CompiledPlan, Plan, Scalar, WhtError};
+use wht_core::{CompiledPlan, Pass, Plan, Scalar, WhtError};
 
 /// Raw-pointer wrapper that lets scoped worker threads write disjoint
 /// element sets of one buffer.
@@ -106,42 +122,83 @@ pub fn par_apply_compiled<T: Scalar>(
     let workers = threads.0;
     let ptr = SendPtr(x.as_mut_ptr());
     let len = x.len();
-    let passes = compiled.passes();
+    // Lower the super-pass schedule into barrier-separated work units:
+    // fused super-passes shard by tile, single-tile super-passes shard
+    // each part's invocation grid (module docs).
+    enum Unit<'a> {
+        /// Claim indices are tile numbers of the super-pass.
+        Tiles(&'a wht_core::SuperPass),
+        /// Claim indices are invocation numbers of the absolute pass.
+        Invocations(Pass),
+    }
+    impl Unit<'_> {
+        fn count(&self) -> usize {
+            match self {
+                Unit::Tiles(sp) => sp.tiles(),
+                Unit::Invocations(pass) => pass.invocations(),
+            }
+        }
+    }
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    for sp in compiled.super_passes() {
+        if sp.tiles() >= workers {
+            // Enough tiles to keep every worker busy: shard by tile and
+            // keep the fusion layer's per-tile locality.
+            units.push(Unit::Tiles(sp));
+        } else {
+            // Too few tiles (a single-tile super-pass, or a fused run
+            // whose tiles are huge relative to the crew): fall back to
+            // the unfused pass-major order and shard each factor's full
+            // invocation grid, exactly as the pre-fusion engine did —
+            // bit-identical output, no starved workers.
+            for p in 0..sp.parts().len() {
+                units.push(Unit::Invocations(sp.flat_pass(p)));
+            }
+        }
+    }
     // Workers are spawned once for the whole schedule (a deep plan has
-    // `leaf_count` passes — respawning per pass would multiply thread
-    // start-up cost by that factor); a Barrier between passes plays the
-    // role the scope join played per pass, ordering every cross-pass
+    // `leaf_count` passes — respawning per unit would multiply thread
+    // start-up cost by that factor); a Barrier between units plays the
+    // role the scope join played per pass, ordering every cross-unit
     // dependence.
-    let counters: Vec<AtomicUsize> = passes.iter().map(|_| AtomicUsize::new(0)).collect();
+    let counters: Vec<AtomicUsize> = units.iter().map(|_| AtomicUsize::new(0)).collect();
     let barrier = Barrier::new(workers);
     std::thread::scope(|scope| {
         for _ in 0..workers {
+            let units = &units;
             let counters = &counters;
             let barrier = &barrier;
             let ptr = &ptr;
             scope.spawn(move || {
-                // SAFETY: each invocation index q is claimed by exactly
-                // one worker; distinct invocations of one pass touch
-                // disjoint elements (module docs), all within `len`
-                // (schedule invariant + the length check above).
+                // SAFETY: each claim index is taken by exactly one worker;
+                // distinct tiles of a super-pass and distinct invocations
+                // of a pass touch disjoint elements (module docs), all
+                // within `len` (schedule invariant + the length check
+                // above).
                 let data = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
-                for (pass, next) in passes.iter().zip(counters) {
-                    let invocations = pass.invocations();
-                    let chunk = invocations.div_ceil(workers * 4).max(1);
+                for (unit, next) in units.iter().zip(counters) {
+                    let count = unit.count();
+                    let chunk = count.div_ceil(workers * 4).max(1);
                     loop {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= invocations {
+                        if start >= count {
                             break;
                         }
-                        let end = (start + chunk).min(invocations);
-                        for q in start..end {
-                            // SAFETY: q < invocations and the buffer holds
-                            // the full transform (checked above).
-                            unsafe { pass.apply_invocation(data, q) };
+                        let end = (start + chunk).min(count);
+                        for i in start..end {
+                            match unit {
+                                // SAFETY (both arms): i < count and the
+                                // buffer holds the full transform (checked
+                                // above).
+                                Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
+                                Unit::Invocations(pass) => unsafe {
+                                    pass.apply_invocation(data, i)
+                                },
+                            }
                         }
                     }
-                    // No worker may start pass i+1 before every worker has
-                    // drained pass i (the wait also publishes all writes).
+                    // No worker may start unit i+1 before every worker has
+                    // drained unit i (the wait also publishes all writes).
                     barrier.wait();
                 }
             });
@@ -179,6 +236,46 @@ mod tests {
                     assert_eq!(par, seq, "plan {plan}, {threads} threads");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fused_parallel_matches_sequential_bit_for_bit() {
+        use wht_core::FusionPolicy;
+        for n in [10u32, 13] {
+            for plan in [Plan::iterative(n).unwrap(), Plan::balanced(n, 3).unwrap()] {
+                let input = signal(n);
+                for budget in [0usize, 1 << 4, 1 << 7, usize::MAX] {
+                    let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(budget));
+                    let mut seq = input.clone();
+                    fused.apply(&mut seq).unwrap();
+                    for threads in [2usize, 3, 8] {
+                        let mut par = input.clone();
+                        par_apply_compiled(&fused, &mut par, Threads(threads)).unwrap();
+                        assert_eq!(par, seq, "plan {plan}, budget {budget}, {threads} threads");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_parallel_exact_on_both_sides_of_the_tile_sharding_threshold() {
+        use wht_core::FusionPolicy;
+        // tiles = size / budget: with 8 workers, budget N/2 gives 2 tiles
+        // (flat-pass fallback) and budget N/64 gives 64 tiles (tile
+        // sharding). Both must agree with sequential execution exactly.
+        let n = 14u32;
+        let plan = Plan::iterative(n).unwrap();
+        let input = signal(n);
+        for budget in [1usize << (n - 1), 1 << (n - 6)] {
+            let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(budget));
+            assert!(fused.is_fused());
+            let mut seq = input.clone();
+            fused.apply(&mut seq).unwrap();
+            let mut par = input.clone();
+            par_apply_compiled(&fused, &mut par, Threads(8)).unwrap();
+            assert_eq!(par, seq, "budget {budget}");
         }
     }
 

@@ -1,13 +1,12 @@
 //! Property tests for the parallel engine: race-freedom in practice means
-//! bit-exact agreement with the sequential engine on random plans, thread
-//! counts, and data.
+//! bit-exact agreement with the sequential engine on random plans, fusion
+//! policies, thread counts, and data. Plans and signals come from the
+//! shared `wht_core::testkit` generators.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use wht_core::{apply_plan, apply_plan_recursive, CompiledPlan, Scalar};
+use wht_core::testkit::{random_plan, random_signal};
+use wht_core::{apply_plan, apply_plan_recursive, CompiledPlan, FusionPolicy, Scalar};
 use wht_parallel::{par_apply_compiled, par_apply_plan, Threads};
-use wht_space::Sampler;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -18,8 +17,7 @@ proptest! {
         seed in any::<u64>(),
         threads in 1usize..=16,
     ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         let input: Vec<f64> = (0..plan.size())
             .map(|j| {
                 let h = (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(seed);
@@ -35,9 +33,9 @@ proptest! {
         prop_assert_eq!(par, seq);
     }
 
-    /// On plans sampled from the paper's own distribution, the compiled
-    /// schedule, the recursive interpreter, and the parallel engine all
-    /// agree bit for bit, for every scalar type.
+    /// The compiled schedule, the recursive interpreter, and the parallel
+    /// engine all agree bit for bit on random plans, for every scalar
+    /// type.
     #[test]
     fn compiled_recursive_and_parallel_all_agree(
         n in 1u32..=12,
@@ -50,12 +48,7 @@ proptest! {
             seed: u64,
             threads: usize,
         ) {
-            let input: Vec<T> = (0..plan.size())
-                .map(|j| {
-                    let h = (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03).wrapping_add(seed);
-                    T::from_i64(((h >> 20) % 201) as i64 - 100)
-                })
-                .collect();
+            let input: Vec<T> = random_signal(plan.size(), seed);
             let mut rec = input.clone();
             apply_plan_recursive(plan, &mut rec).unwrap();
             let mut flat = input.clone();
@@ -65,8 +58,7 @@ proptest! {
             par_apply_compiled(compiled, &mut par, Threads(threads)).unwrap();
             assert_eq!(par, rec, "parallel vs recursive for {plan} ({threads} threads)");
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         let compiled = CompiledPlan::compile(&plan);
         check::<f64>(&plan, &compiled, seed, threads);
         check::<f32>(&plan, &compiled, seed, threads);
@@ -74,10 +66,31 @@ proptest! {
         check::<i32>(&plan, &compiled, seed, threads);
     }
 
+    /// Tile-sharded execution of fused schedules is bit-identical to the
+    /// sequential fused replay (and hence to the interpreter), for any
+    /// fusion budget — the parallel leg of the fusion differential
+    /// harness.
+    #[test]
+    fn fused_parallel_equals_sequential_bit_for_bit(
+        n in 1u32..=13,
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+        budget_bits in 0u32..=14,
+    ) {
+        let budget = if budget_bits == 0 { 0 } else { 1usize << budget_bits };
+        let plan = random_plan(n, seed);
+        let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(budget));
+        let input: Vec<i64> = random_signal(plan.size(), seed);
+        let mut seq = input.clone();
+        fused.apply(&mut seq).unwrap();
+        let mut par = input;
+        par_apply_compiled(&fused, &mut par, Threads(threads)).unwrap();
+        prop_assert_eq!(par, seq, "plan {}, budget {}", plan, budget);
+    }
+
     #[test]
     fn parallel_integer_engine_exact(n in 1u32..=10, seed in any::<u64>(), threads in 1usize..=8) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let plan = random_plan(n, seed);
         let ints: Vec<i64> = (0..plan.size() as i64).map(|j| (j * 29 % 61) - 30).collect();
         let mut seq = ints.clone();
         apply_plan(&plan, &mut seq).unwrap();

@@ -6,7 +6,7 @@
 //! strategy works with either backend.
 
 use wht_cachesim::Hierarchy;
-use wht_core::{Plan, WhtError};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, WhtError};
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
 use wht_models::{analytic_misses, instruction_count, CostModel, ModelCache};
 
@@ -75,6 +75,85 @@ impl PlanCost for CombinedModelCost {
 
     fn name(&self) -> &'static str {
         "combined-model"
+    }
+}
+
+/// Fusion-aware model cost `alpha·I + beta·T`: instruction count plus the
+/// memory traffic of the schedule the fused executor *actually replays*.
+///
+/// The combined model charges analytic cache misses of the interpreter's
+/// execution order; production traffic runs through the compiled layer,
+/// where [`CompiledPlan::fuse`] collapses each fused run to a single
+/// sweep. This backend scores that: `T` counts the elements streamed by
+/// the fused schedule — a super-pass whose tile fits
+/// [`FusedTrafficCost::cache_elems`] streams its span once (load +
+/// store); one whose tile cannot stay cache-resident streams once per
+/// part, like the unfused program it effectively is. Plans whose factor
+/// lists fuse into fewer resident super-passes under `policy` cost less —
+/// the search optimizes the executor it will actually run, tile budget
+/// included.
+#[derive(Debug, Clone)]
+pub struct FusedTrafficCost {
+    /// Abstract machine weights for `I`.
+    pub cost_model: CostModel,
+    /// The fusion policy the executor will compile with.
+    pub policy: FusionPolicy,
+    /// Elements that fit the cache level tiles are expected to live in.
+    /// A super-pass whose tile exceeds this is charged one sweep **per
+    /// part** — fusion buys no traffic once the tile itself cannot stay
+    /// resident (e.g. an unbounded budget collapses the schedule to one
+    /// vector-sized tile, which still streams once per factor).
+    pub cache_elems: usize,
+    /// Weight on instructions.
+    pub alpha: f64,
+    /// Weight on streamed elements.
+    pub beta: f64,
+}
+
+impl FusedTrafficCost {
+    /// Cost under an explicit fusion policy with the default weights
+    /// (`alpha = 1`, `beta = 4`: a streamed element costs about what a
+    /// handful of bookkeeping instructions does, matching the combined
+    /// model's miss-penalty scale on 8-element lines) and an L2-sized
+    /// residency threshold.
+    pub fn with_policy(policy: FusionPolicy) -> Self {
+        FusedTrafficCost {
+            cost_model: CostModel::default(),
+            policy,
+            cache_elems: FusionPolicy::DEFAULT_BUDGET_ELEMS,
+            alpha: 1.0,
+            beta: 4.0,
+        }
+    }
+}
+
+impl Default for FusedTrafficCost {
+    fn default() -> Self {
+        FusedTrafficCost::with_policy(FusionPolicy::default())
+    }
+}
+
+impl PlanCost for FusedTrafficCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        let i = instruction_count(plan, &self.cost_model) as f64;
+        let compiled = CompiledPlan::compile_fused(plan, &self.policy);
+        let streamed: usize = compiled
+            .super_passes()
+            .iter()
+            .map(|sp| {
+                let sweeps = if sp.tile_elems() <= self.cache_elems {
+                    1
+                } else {
+                    sp.parts().len()
+                };
+                sp.span() * sweeps
+            })
+            .sum();
+        Ok(self.alpha * i + self.beta * (2 * streamed) as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "fused-traffic"
     }
 }
 
@@ -151,6 +230,35 @@ mod tests {
         assert_eq!(c2.cost(&plan).unwrap(), c2.cost(&plan).unwrap());
         let mut c3 = SimCyclesCost::opteron();
         assert_eq!(c3.cost(&plan).unwrap(), c3.cost(&plan).unwrap());
+        let mut c4 = FusedTrafficCost::default();
+        assert_eq!(c4.cost(&plan).unwrap(), c4.cost(&plan).unwrap());
+    }
+
+    #[test]
+    fn fused_traffic_rewards_fusable_schedules() {
+        // Same plan, same instructions — the only difference between the
+        // backends is whether the executor's fusion collapses sweeps, so
+        // the fusion-off policy must cost strictly more at a size where
+        // the schedule fuses.
+        let plan = Plan::iterative(18).unwrap();
+        let mut on = FusedTrafficCost::default();
+        let mut off = FusedTrafficCost::with_policy(FusionPolicy::disabled());
+        assert!(on.cost(&plan).unwrap() < off.cost(&plan).unwrap());
+        // An unbounded budget makes one vector-sized tile, which cannot be
+        // cache-resident: the model must charge it the unfused traffic,
+        // not a single sweep.
+        let mut unbounded = FusedTrafficCost::with_policy(FusionPolicy::unbounded());
+        assert_eq!(
+            unbounded.cost(&plan).unwrap(),
+            off.cost(&plan).unwrap(),
+            "non-resident tiles stream once per factor, exactly like no fusion"
+        );
+        // And under one policy, a factor list with fewer unfusable
+        // large-stride passes streams less: blocked-8 beats all-radix-2
+        // past the budget.
+        let blocked = Plan::binary_iterative(18, 8).unwrap();
+        let mut c = FusedTrafficCost::default();
+        assert!(c.cost(&blocked).unwrap() < c.cost(&plan).unwrap());
     }
 
     #[test]
@@ -160,6 +268,7 @@ mod tests {
             CombinedModelCost::paper_default().name(),
             SimCyclesCost::opteron().name(),
             WallClockCost::default().name(),
+            FusedTrafficCost::default().name(),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

@@ -4,7 +4,9 @@
 //! model-based pruning:
 //!
 //! * [`cost`] — pluggable cost backends: instruction model, combined
-//!   `alpha*I + beta*M` model, deterministic simulated cycles, wall clock;
+//!   `alpha*I + beta*M` model, fusion-aware traffic model (scores the
+//!   cache-blocked schedule the compiled executor actually replays),
+//!   deterministic simulated cycles, wall clock;
 //! * [`dp`] — the package's dynamic-programming autotuner (the source of
 //!   the paper's "best" algorithms);
 //! * [`strategies`] — exhaustive search (small sizes), uniform random
@@ -35,7 +37,9 @@ pub mod planner;
 pub mod strategies;
 
 pub use calibrate::{calibrate, CalibrateOptions, CalibratedCost};
-pub use cost::{CombinedModelCost, InstructionCost, PlanCost, SimCyclesCost, WallClockCost};
+pub use cost::{
+    CombinedModelCost, FusedTrafficCost, InstructionCost, PlanCost, SimCyclesCost, WallClockCost,
+};
 pub use dp::{dp_search, DpOptions, DpResult};
 pub use local::{local_search, mutate, LocalSearchOptions};
 pub use planner::{Planner, Wisdom};

@@ -10,13 +10,18 @@
 //!    ([`crate::dp_search`]) against the planner's cost backend **once**,
 //!    recording the best plan of *every* size up to `n` (DP computes them
 //!    all anyway).
-//! 2. The chosen plan is lowered to a `wht_core::compile::CompiledPlan`
-//!    and cached, so steady-state traffic is a wisdom hit plus a flat
-//!    pass-schedule replay — zero cost evaluations, zero tree walks.
+//! 2. The chosen plan is lowered to a `wht_core::compile::CompiledPlan`,
+//!    **fused** under the planner's `FusionPolicy` (cache-blocked
+//!    super-passes; opt out with `with_fusion(FusionPolicy::disabled())`
+//!    or `WHT_NO_FUSE=1`), and cached — steady-state traffic is a wisdom
+//!    hit plus a flat schedule replay: zero cost evaluations, zero tree
+//!    walks.
 //! 3. Wisdom round-trips through JSON ([`Wisdom::to_json`] /
 //!    [`Wisdom::from_json`], or [`Wisdom::save`] / [`Wisdom::load`]), so a
 //!    fleet can ship pre-tuned wisdom and a fresh process starts warm —
-//!    the FFTW `wisdom` workflow, keyed by `(n, cost-backend name)`.
+//!    the FFTW `wisdom` workflow, keyed by `(n, cost-backend name)`. Each
+//!    entry records the tile budget it was tuned with, and an importing
+//!    planner replays that executor configuration per size.
 //!
 //! ```
 //! use wht_search::{InstructionCost, Planner};
@@ -40,16 +45,27 @@ use crate::dp::{dp_search, DpOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
-use wht_core::{CompiledPlan, Plan, Scalar, WhtError};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, Scalar, WhtError};
 
 /// Serialized form of one wisdom entry: the plan travels as its
 /// WHT-package grammar string, which is stable, human-readable, and
-/// validated on parse.
+/// validated on parse. `fuse_budget` is the tile budget (in elements) the
+/// planner chose when it recorded the entry — `0` means fusion was off,
+/// absent/`null` means "not recorded" (the reader's default policy
+/// applies).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct WisdomEntry {
     n: u32,
     backend: String,
     plan: String,
+    fuse_budget: Option<u64>,
+}
+
+/// One best-known plan plus the fusion choice recorded with it.
+#[derive(Debug, Clone, PartialEq)]
+struct WisdomRecord {
+    plan: Plan,
+    fuse_budget: Option<usize>,
 }
 
 /// Serialized wisdom store.
@@ -68,7 +84,7 @@ const WISDOM_VERSION: u32 = 1;
 /// backend name instead of allocating a composite key per probe.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Wisdom {
-    entries: HashMap<u32, HashMap<String, Plan>>,
+    entries: HashMap<u32, HashMap<String, WisdomRecord>>,
 }
 
 impl Wisdom {
@@ -89,15 +105,40 @@ impl Wisdom {
 
     /// Best known plan for size `2^n` under `backend`, if recorded.
     pub fn get(&self, n: u32, backend: &str) -> Option<&Plan> {
-        self.entries.get(&n)?.get(backend)
+        Some(&self.entries.get(&n)?.get(backend)?.plan)
     }
 
-    /// Record (or overwrite) the best plan for `(n, backend)`.
+    /// Tile budget (elements) recorded with the `(n, backend)` entry:
+    /// `Some(0)` means the recorder had fusion off, `None` means no
+    /// choice was recorded (or no entry exists) and the reader's default
+    /// policy applies.
+    pub fn fuse_budget(&self, n: u32, backend: &str) -> Option<usize> {
+        self.entries.get(&n)?.get(backend)?.fuse_budget
+    }
+
+    /// Record (or overwrite) the best plan for `(n, backend)` with no
+    /// fusion choice attached.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n` — wisdom for size
     /// `n` must transform size-`2^n` inputs.
     pub fn insert(&mut self, n: u32, backend: &str, plan: Plan) -> Result<(), WhtError> {
+        self.insert_with_budget(n, backend, plan, None)
+    }
+
+    /// Record (or overwrite) the best plan for `(n, backend)`, attaching
+    /// the tile budget the recorder compiled with (`Some(0)` = fusion
+    /// off).
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
+    pub fn insert_with_budget(
+        &mut self,
+        n: u32,
+        backend: &str,
+        plan: Plan,
+        fuse_budget: Option<usize>,
+    ) -> Result<(), WhtError> {
         if plan.n() != n {
             return Err(WhtError::LengthMismatch {
                 expected: 1usize << n,
@@ -107,7 +148,7 @@ impl Wisdom {
         self.entries
             .entry(n)
             .or_default()
-            .insert(backend.to_string(), plan);
+            .insert(backend.to_string(), WisdomRecord { plan, fuse_budget });
         Ok(())
     }
 
@@ -117,10 +158,11 @@ impl Wisdom {
             .entries
             .iter()
             .flat_map(|(n, backends)| {
-                backends.iter().map(|(backend, plan)| WisdomEntry {
+                backends.iter().map(|(backend, record)| WisdomEntry {
                     n: *n,
                     backend: backend.clone(),
-                    plan: plan.to_string(),
+                    plan: record.plan.to_string(),
+                    fuse_budget: record.fuse_budget.map(|b| b as u64),
                 })
             })
             .collect();
@@ -150,7 +192,10 @@ impl Wisdom {
         let mut wisdom = Wisdom::new();
         for entry in file.entries {
             let plan: Plan = entry.plan.parse()?;
-            wisdom.insert(entry.n, &entry.backend, plan)?;
+            let budget = entry.fuse_budget.map(|b| {
+                usize::try_from(b).unwrap_or(usize::MAX) // saturate on 32-bit hosts
+            });
+            wisdom.insert_with_budget(entry.n, &entry.backend, plan, budget)?;
         }
         Ok(wisdom)
     }
@@ -185,13 +230,18 @@ impl Wisdom {
 pub struct Planner<C: PlanCost> {
     cost: C,
     opts: DpOptions,
+    fusion: FusionPolicy,
+    /// `true` once [`Planner::with_fusion`] was called: the explicit
+    /// policy then beats any budget recorded in wisdom.
+    fusion_pinned: bool,
     wisdom: Wisdom,
     compiled: HashMap<u32, CompiledPlan>,
     evaluations: usize,
 }
 
 impl<C: PlanCost> Planner<C> {
-    /// Planner with default DP options and empty wisdom.
+    /// Planner with default DP options, empty wisdom, and the
+    /// process-default fusion policy ([`FusionPolicy::from_env`]).
     pub fn new(cost: C) -> Self {
         Planner::with_options(cost, DpOptions::default())
     }
@@ -201,10 +251,36 @@ impl<C: PlanCost> Planner<C> {
         Planner {
             cost,
             opts,
+            fusion: FusionPolicy::from_env(),
+            fusion_pinned: false,
             wisdom: Wisdom::new(),
             compiled: HashMap::new(),
             evaluations: 0,
         }
+    }
+
+    /// Override the fusion policy (builder style). Drops compiled
+    /// schedules so already-served sizes recompile under the new policy,
+    /// and **pins** the policy: budgets recorded in wisdom (including by
+    /// this planner's own earlier searches) no longer override it. This
+    /// is the API opt-out: `with_fusion(FusionPolicy::disabled())` serves
+    /// unfused schedules whatever the environment or the wisdom says.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self.fusion_pinned = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The fusion policy new wisdom is recorded with and cold sizes are
+    /// compiled under. Unless the policy was pinned with
+    /// [`Planner::with_fusion`], a budget recorded in wisdom overrides it
+    /// per size — except when the policy is *disabled* (e.g. the
+    /// `WHT_NO_FUSE=1` kill switch), which imported wisdom can never
+    /// re-enable.
+    pub fn fusion(&self) -> FusionPolicy {
+        self.fusion
     }
 
     /// Adopt previously saved wisdom (builder style). Drops any compiled
@@ -244,12 +320,24 @@ impl<C: PlanCost> Planner<C> {
         if self.wisdom.get(n, backend).is_none() {
             let dp = dp_search(n, &self.opts, &mut self.cost)?;
             self.evaluations += dp.evaluations;
+            // Record the tile budget this planner compiles with, so a
+            // process importing the wisdom replays the same executor
+            // configuration (0 = fusion off).
+            let budget = if self.fusion.enabled() {
+                self.fusion.budget_elems
+            } else {
+                0
+            };
             for m in 1..=n {
                 // Smaller sizes only fill holes: an imported entry may
                 // encode better (e.g. measured) wisdom than this search.
                 if m == n || self.wisdom.get(m, backend).is_none() {
-                    self.wisdom
-                        .insert(m, backend, dp.best[m as usize].clone())?;
+                    self.wisdom.insert_with_budget(
+                        m,
+                        backend,
+                        dp.best[m as usize].clone(),
+                        Some(budget),
+                    )?;
                 }
             }
         }
@@ -279,7 +367,22 @@ impl<C: PlanCost> Planner<C> {
         }
         if !self.compiled.contains_key(&n) {
             let plan = self.plan(n)?.clone();
-            self.compiled.insert(n, CompiledPlan::compile(&plan));
+            // A budget recorded with the wisdom entry wins over the
+            // planner's default policy — imported wisdom replays the
+            // executor configuration it was tuned with. Two things beat
+            // the recorded budget: an explicitly pinned policy
+            // (with_fusion), and a *disabled* default (the WHT_NO_FUSE
+            // kill switch must not be re-enabled by imported wisdom).
+            let policy = if self.fusion_pinned || !self.fusion.enabled() {
+                self.fusion
+            } else {
+                self.wisdom
+                    .fuse_budget(n, self.cost.name())
+                    .map(FusionPolicy::new)
+                    .unwrap_or(self.fusion)
+            };
+            self.compiled
+                .insert(n, CompiledPlan::compile_fused(&plan, &policy));
         }
         self.compiled.get(&n).expect("inserted above").apply(x)
     }
@@ -376,7 +479,7 @@ mod tests {
         planner.transform(&mut x).unwrap();
         assert_eq!(
             planner.compiled.get(&8),
-            Some(&CompiledPlan::compile(&imported)),
+            Some(&CompiledPlan::compile_fused(&imported, &planner.fusion())),
             "warm transform must execute the imported plan"
         );
         assert_eq!(
@@ -384,6 +487,118 @@ mod tests {
             evals_before_import,
             "imported wisdom covers the size; no new search"
         );
+    }
+
+    #[test]
+    fn wisdom_records_the_tile_budget_and_round_trips_it() {
+        // The planner stamps its fusion budget on every entry it records.
+        let mut planner =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::new(1 << 9));
+        planner.plan(8).unwrap();
+        for m in 1..=8u32 {
+            assert_eq!(
+                planner.wisdom().fuse_budget(m, "instruction-model"),
+                Some(1 << 9)
+            );
+        }
+        // ...and the budget survives the JSON round trip.
+        let back = Wisdom::from_json(&planner.wisdom().to_json()).unwrap();
+        assert_eq!(&back, planner.wisdom());
+        assert_eq!(back.fuse_budget(8, "instruction-model"), Some(1 << 9));
+
+        // A fusion-off planner records budget 0, distinct from "not
+        // recorded".
+        let mut off =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::disabled());
+        off.plan(4).unwrap();
+        let back = Wisdom::from_json(&off.wisdom().to_json()).unwrap();
+        assert_eq!(back.fuse_budget(4, "instruction-model"), Some(0));
+        let mut plain = Wisdom::new();
+        plain
+            .insert(4, "instruction-model", Plan::iterative(4).unwrap())
+            .unwrap();
+        assert_eq!(plain.fuse_budget(4, "instruction-model"), None);
+    }
+
+    #[test]
+    fn recorded_budget_overrides_the_importing_planners_policy() {
+        // Tune with fusion off; a default (fusion-on) importer must still
+        // compile that size unfused, honoring the recorded configuration.
+        let mut tuned =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::disabled());
+        tuned.plan(10).unwrap();
+        let wisdom = Wisdom::from_json(&tuned.wisdom().to_json()).unwrap();
+
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+        let mut x: Vec<f64> = (0..1024).map(|j| (j % 13) as f64).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        assert!(
+            !warm.compiled.get(&10).unwrap().is_fused(),
+            "recorded budget 0 must win over the importer's default policy"
+        );
+        // Version-1 wisdom without the field still loads (budget absent).
+        let legacy =
+            "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\"plan\":\"split[small[2],small[2]]\"}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.fuse_budget(4, "x"), None);
+    }
+
+    #[test]
+    fn disabled_default_policy_is_a_kill_switch_over_recorded_budgets() {
+        // An *unpinned* disabled policy is what WHT_NO_FUSE=1 produces at
+        // construction (simulated here by setting the private fields —
+        // tests must not mutate process env under a threaded test
+        // runner). Imported wisdom carrying a fused budget must not
+        // re-enable fusion past the kill switch.
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_budget(
+                10,
+                "instruction-model",
+                Plan::iterative(10).unwrap(),
+                Some(1 << 9),
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+        planner.fusion = FusionPolicy::disabled();
+        planner.fusion_pinned = false;
+        let mut x: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        assert!(
+            !planner.compiled.get(&10).unwrap().is_fused(),
+            "a disabled default policy must beat the recorded budget"
+        );
+    }
+
+    #[test]
+    fn with_fusion_pins_the_policy_over_recorded_budgets() {
+        // A planner that already recorded a fused budget for a size must
+        // still honor a later explicit opt-out — with_fusion pins the
+        // policy, beating the planner's own earlier wisdom.
+        let mut planner =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::new(1 << 12));
+        let mut x: Vec<f64> = (0..4096).map(|j| (j % 7) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        assert!(planner.compiled.get(&12).unwrap().is_fused());
+        assert_eq!(
+            planner.wisdom().fuse_budget(12, "instruction-model"),
+            Some(1 << 12)
+        );
+
+        let mut planner = planner.with_fusion(FusionPolicy::disabled());
+        let mut y: Vec<f64> = (0..4096).map(|j| (j % 7) as f64).collect();
+        planner.transform(&mut y).unwrap();
+        assert!(
+            !planner.compiled.get(&12).unwrap().is_fused(),
+            "explicit with_fusion(disabled) must beat the recorded budget"
+        );
+        // And flipping back on works the same way.
+        let mut planner = planner.with_fusion(FusionPolicy::unbounded());
+        let mut z: Vec<f64> = (0..4096).map(|j| (j % 7) as f64).collect();
+        planner.transform(&mut z).unwrap();
+        assert!(planner.compiled.get(&12).unwrap().is_fused());
     }
 
     #[test]

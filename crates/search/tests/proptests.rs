@@ -3,20 +3,21 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wht_core::testkit::random_plan;
 use wht_search::{
-    dp_search, local_search, mutate, pruned_search, random_search, DpOptions, InstructionCost,
-    LocalSearchOptions, PlanCost,
+    dp_search, local_search, mutate, pruned_search, random_search, DpOptions, FusedTrafficCost,
+    InstructionCost, LocalSearchOptions, PlanCost,
 };
-use wht_space::Sampler;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Mutation preserves size and validity from any start.
+    /// Mutation preserves size and validity from any start (starts come
+    /// from the shared `wht_core::testkit` generator).
     #[test]
     fn mutation_is_closed_over_the_space(n in 1u32..=18, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut plan = Sampler::default().sample(n, &mut rng).unwrap();
+        let mut plan = random_plan(n, seed);
         for _ in 0..30 {
             plan = mutate(&plan, &mut rng);
             prop_assert_eq!(plan.n(), n);
@@ -53,6 +54,18 @@ proptest! {
         let mut rng2 = StdRng::seed_from_u64(seed);
         let full = random_search(n, samples, &mut InstructionCost::default(), &mut rng2).unwrap();
         prop_assert_eq!(res.best.cost, full.cost);
+    }
+
+    /// The fusion-aware traffic backend plugs straight into the DP
+    /// autotuner and never loses to a canonical plan it could have picked.
+    #[test]
+    fn dp_with_fused_traffic_cost(n in 2u32..=12) {
+        let mut cost = FusedTrafficCost::default();
+        let dp = dp_search(n, &DpOptions::default(), &mut cost).unwrap();
+        prop_assert_eq!(dp.best_plan().n(), n);
+        prop_assert!(dp.best_plan().validate().is_ok());
+        let canon = cost.cost(&wht_core::Plan::iterative(n).unwrap()).unwrap();
+        prop_assert!(dp.best_cost() <= canon);
     }
 
     /// Local search output is valid and no worse than its random starts

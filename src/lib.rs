@@ -5,7 +5,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan` |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`, with cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) on by default |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
@@ -58,20 +58,20 @@ pub use wht_core::{Plan, WhtError};
 pub mod prelude {
     pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
     pub use wht_core::{
-        apply_plan, apply_plan_recursive, naive_wht, parse_plan, to_sequency_order, CompiledPlan,
-        Pass, Plan, Scalar, WhtError,
+        apply_plan, apply_plan_recursive, compiled_for_with, naive_wht, parse_plan,
+        to_sequency_order, CompiledPlan, FusionPolicy, Pass, Plan, Scalar, SuperPass, WhtError,
     };
     pub use wht_measure::{
-        measure_plan, time_compiled_plan, time_plan, MeasureOptions, Measurement, SimMachine,
-        TimingConfig,
+        measure_plan, super_pass_traffic, time_compiled_plan, time_plan, MeasureOptions,
+        Measurement, SimMachine, SuperPassTraffic, TimingConfig,
     };
     pub use wht_models::{
         analytic_misses, instruction_count, op_counts, CombinedModel, CostModel, ModelCache,
     };
     pub use wht_parallel::{measure_sweep, par_apply_compiled, par_apply_plan, Threads};
     pub use wht_search::{
-        dp_search, pruned_search, random_search, DpOptions, InstructionCost, PlanCost, Planner,
-        SimCyclesCost, WallClockCost, Wisdom,
+        dp_search, pruned_search, random_search, DpOptions, FusedTrafficCost, InstructionCost,
+        PlanCost, Planner, SimCyclesCost, WallClockCost, Wisdom,
     };
     pub use wht_space::{plan_count, sample_plans_seeded, Sampler};
     pub use wht_stats::{describe, pearson, Histogram, PruneCurve};

@@ -59,6 +59,44 @@ fn compiled_layer_and_planner_through_the_prelude() {
 }
 
 #[test]
+fn fusion_layer_through_the_prelude() {
+    // Fuse, replay sequentially and in parallel, measure per-super-pass
+    // traffic, and cost a plan fusion-aware — all prelude items.
+    let plan = Plan::iterative(12).unwrap();
+    let compiled = CompiledPlan::compile(&plan);
+    let fused = compiled.fuse(&FusionPolicy::new(1 << 6));
+    assert!(fused.is_fused());
+    assert_eq!(fused.passes(), compiled.passes());
+
+    let input: Vec<f64> = (0..1 << 12)
+        .map(|v| ((v * 13) % 31) as f64 - 15.0)
+        .collect();
+    let mut seq = input.clone();
+    compiled.apply(&mut seq).unwrap();
+    let mut tiled = input.clone();
+    fused.apply(&mut tiled).unwrap();
+    assert_eq!(tiled, seq);
+    let mut par = input.clone();
+    par_apply_compiled(&fused, &mut par, Threads(4)).unwrap();
+    assert_eq!(par, seq);
+
+    // The explicit-policy cache entry point honors the opt-out.
+    let via_cache = compiled_for_with(&plan, &FusionPolicy::disabled());
+    assert!(!via_cache.is_fused());
+    let mut unfused = input;
+    via_cache.apply(&mut unfused).unwrap();
+    assert_eq!(unfused, seq);
+
+    let mut h = Hierarchy::opteron();
+    let report: Vec<SuperPassTraffic> = super_pass_traffic(&fused, &mut h);
+    assert_eq!(report.len(), fused.super_passes().len());
+    assert!(report[0].parts > 1);
+
+    let mut cost = FusedTrafficCost::default();
+    assert!(cost.cost(&plan).unwrap() > 0.0);
+}
+
+#[test]
 fn ddl_engine_is_a_drop_in_replacement() {
     use wht::core::ddl::{apply_plan_ddl, DdlConfig};
     // n = 15 is past the simulated L1 (2^13 doubles), where relayout pays.

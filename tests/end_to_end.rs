@@ -156,6 +156,78 @@ fn combined_model_improves_out_of_cache_correlation() {
     );
 }
 
+/// Golden vectors through the full production path: `Planner::transform`
+/// with fusion on and off against the naive and fast references. Integer
+/// golden vectors are exact (the WHT matrix has ±1 entries), so both
+/// executor configurations must reproduce them bit for bit — and each
+/// other, since fusion only reorders provably-commuting invocations.
+#[test]
+fn planner_fusion_on_and_off_match_golden_vectors() {
+    use wht::core::testkit::{random_signal, reference_wht};
+    use wht::core::{max_abs_diff, FusionPolicy};
+    for n in [8u32, 12] {
+        let size = 1usize << n;
+        let ints: Vec<i64> = random_signal(size, 2026 + u64::from(n));
+        let golden = reference_wht(&ints);
+        let floats: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+        let golden_f = naive_wht(&floats);
+
+        let mut fused =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::new(1 << 8));
+        let mut unfused =
+            Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::disabled());
+
+        let mut a = ints.clone();
+        fused.transform(&mut a).unwrap();
+        assert_eq!(a, golden, "fused integer path must hit the golden vector");
+        let mut b = ints.clone();
+        unfused.transform(&mut b).unwrap();
+        assert_eq!(b, golden, "unfused integer path must hit the golden vector");
+
+        let mut fa = floats.clone();
+        fused.transform(&mut fa).unwrap();
+        assert!(max_abs_diff(&fa, &golden_f) < 1e-9);
+        let mut fb = floats;
+        unfused.transform(&mut fb).unwrap();
+        assert_eq!(
+            fa, fb,
+            "fused and unfused production paths must agree bit for bit"
+        );
+    }
+}
+
+/// The FFTW-style wisdom workflow carries the executor configuration:
+/// the tile budget a planner tuned with survives the JSON round trip and
+/// governs the importing planner's compilation for that size.
+#[test]
+fn wisdom_round_trip_preserves_the_recorded_tile_budget() {
+    use wht::core::FusionPolicy;
+    let budget = 4096usize;
+    let mut tuned = Planner::new(InstructionCost::default()).with_fusion(FusionPolicy::new(budget));
+    let mut x: Vec<f64> = (0..1 << 10).map(|j| (j % 23) as f64 - 11.0).collect();
+    let want = naive_wht(&x);
+    tuned.transform(&mut x).unwrap();
+    assert!(wht::core::max_abs_diff(&x, &want) < 1e-9);
+
+    let json = tuned.wisdom().to_json();
+    assert!(json.contains("fuse_budget"), "budget must be serialized");
+    let restored = Wisdom::from_json(&json).unwrap();
+    assert_eq!(&restored, tuned.wisdom());
+    assert_eq!(restored.fuse_budget(10, tuned.backend_name()), Some(budget));
+
+    // A warm import serves the size with zero searches under the
+    // recorded budget.
+    let mut warm = Planner::new(InstructionCost::default()).with_wisdom(restored);
+    let mut y: Vec<f64> = (0..1 << 10).map(|j| (j % 23) as f64 - 11.0).collect();
+    warm.transform(&mut y).unwrap();
+    assert!(wht::core::max_abs_diff(&y, &want) < 1e-9);
+    assert_eq!(warm.evaluations(), 0);
+    assert_eq!(
+        warm.wisdom().fuse_budget(10, warm.backend_name()),
+        Some(budget)
+    );
+}
+
 /// Sequency-ordered spectrum analysis works through the whole public API.
 #[test]
 fn sequency_pipeline() {
