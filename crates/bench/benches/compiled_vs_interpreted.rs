@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks: compiled pass-schedule replay (fused and
-//! unfused) vs the recursive interpreter, per canonical plan and size —
-//! the measured win of the `wht_core::compile` layer.
+//! Criterion micro-benchmarks: compiled pass-schedule replay (fused,
+//! unfused, and fused + SIMD lane kernels) vs the recursive interpreter,
+//! per canonical plan and size — the measured win of the
+//! `wht_core::compile` layer and its kernel backends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wht_core::{apply_plan_recursive, CompiledPlan, FusionPolicy, Plan};
+use wht_core::{apply_plan_recursive, CompiledPlan, FusionPolicy, Plan, SimdPolicy};
 
 fn canonical_plans(n: u32) -> Vec<(&'static str, Plan)> {
     vec![
@@ -43,6 +44,12 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
             for (mode, schedule) in [
                 ("compiled", compiled.clone()),
                 ("fused", compiled.fuse(&FusionPolicy::default())),
+                (
+                    "simd",
+                    compiled
+                        .fuse(&FusionPolicy::default())
+                        .with_simd(&SimdPolicy::auto()),
+                ),
             ] {
                 group.bench_with_input(
                     BenchmarkId::new(format!("{mode}/{name}"), n),

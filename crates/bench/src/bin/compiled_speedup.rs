@@ -1,34 +1,38 @@
-//! Compiled-vs-interpreted-vs-fused speedup table: the acceptance
-//! measurement for the compiled-plan execution layer and its pass-fusion
-//! stage.
+//! Compiled-vs-interpreted-vs-fused-vs-SIMD speedup table: the acceptance
+//! measurement for the compiled-plan execution layer, its pass-fusion
+//! stage, and the SIMD lane-block codelet backend.
 //!
 //! For each canonical plan and size, times the recursive interpreter
 //! (`apply_plan_recursive`, the paper's measured artifact), the unfused
-//! compiled pass-schedule replay (`CompiledPlan::apply`), and the fused
-//! cache-blocked replay (`CompiledPlan::fuse`) with the same
-//! median-of-blocks methodology, and prints the fastest-observed times
-//! and ratios (the minimum is the noise-robust estimator for ratio
+//! compiled pass-schedule replay (`CompiledPlan::apply`), the fused
+//! cache-blocked replay (`CompiledPlan::fuse`), and the fused replay
+//! through the lane-block kernels (`CompiledPlan::with_simd`) with the
+//! same median-of-blocks methodology, and prints the fastest-observed
+//! times and ratios (the minimum is the noise-robust estimator for ratio
 //! claims; medians track it closely on a quiet machine).
 //!
-//! Fusion pays where the unfused replay is **memory-bound**: once the
-//! vector outgrows the last-level cache, every unfused pass re-streams it
-//! from DRAM while the fused head streams it once. Below that size the
-//! replay is core-bound and fusion is neutral (the per-size summary lines
-//! make the crossover visible — on a 100 MiB-LLC host it sits near
-//! n = 22, on a laptop-class LLC near n = 20).
+//! Where each stage pays: fusion pays once the vector outgrows the
+//! last-level cache (every unfused pass re-streams DRAM; the fused head
+//! streams once); the SIMD backend pays *below* that point, where the
+//! fused replay is ALU-bound — the lane kernels retire the butterflies
+//! and their unit-stride loads/stores `W` columns at a time, so
+//! LLC-resident sizes are where the simd/fused column peaks.
 //!
 //! Run with `--release`; flags: `--nmax N` (default 24, so the table
 //! reaches past a ~100 MiB LLC), `--reps R` (default 5), `--budget
 //! ELEMS` (fusion tile budget, default
-//! `FusionPolicy::DEFAULT_BUDGET_ELEMS`).
+//! `FusionPolicy::DEFAULT_BUDGET_ELEMS`), `--llc-mib MIB` (the working-set
+//! bound the SIMD acceptance summary treats as LLC-resident; set it to
+//! your host's LLC — the default 64 suits a ~100 MiB server part).
 
-use wht_core::{CompiledPlan, FusionPolicy, Plan};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, SimdPolicy};
 use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
 
 fn main() {
     let mut nmax = 24u32;
     let mut reps = 5usize;
     let mut budget = FusionPolicy::DEFAULT_BUDGET_ELEMS;
+    let mut llc_mib = 64u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,7 +45,16 @@ fn main() {
                     .parse()
                     .expect("integer")
             }
-            other => panic!("unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS"),
+            "--llc-mib" => {
+                llc_mib = args
+                    .next()
+                    .expect("--llc-mib MIB")
+                    .parse()
+                    .expect("integer")
+            }
+            other => panic!(
+                "unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS, --llc-mib MIB"
+            ),
         }
     }
     let cfg = TimingConfig {
@@ -52,15 +65,24 @@ fn main() {
     let policy = FusionPolicy::new(budget);
 
     println!(
-        "compiled vs interpreted vs fused execution \
-         (min ns/transform over {reps} blocks, tile budget {budget} elems)"
+        "compiled vs interpreted vs fused vs SIMD execution \
+         (min ns/transform over {reps} blocks, tile budget {budget} elems, f64)"
     );
     println!(
-        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}",
-        "n", "plan", "interpreted", "compiled", "fused", "comp/int", "fuse/comp"
+        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}  {:>9}",
+        "n",
+        "plan",
+        "interpreted",
+        "compiled",
+        "fused",
+        "simd",
+        "comp/int",
+        "fuse/comp",
+        "simd/fuse"
     );
     let mut worst_compiled_16 = f64::INFINITY;
     let mut fused_by_size: Vec<(u32, f64)> = Vec::new();
+    let mut simd_by_size: Vec<(u32, f64)> = Vec::new();
     for n in (8..=nmax).step_by(2) {
         // The paper's canonical three, plus one blocked reference shape
         // (depth-1, so the interpreter is already flat there — it bounds
@@ -72,48 +94,69 @@ fn main() {
             ("blocked8*", Plan::binary_iterative(n, 8).expect("valid")),
         ];
         let mut worst_fused = f64::INFINITY;
+        let mut worst_simd = f64::INFINITY;
         for (name, plan) in plans {
             let interp = time_plan(&plan, &cfg).expect("valid config");
             let compiled_plan = CompiledPlan::compile(&plan);
             let compiled = time_compiled_plan(&compiled_plan, &cfg).expect("valid config");
             let fused_plan = compiled_plan.fuse(&policy);
             let fused = time_compiled_plan(&fused_plan, &cfg).expect("valid config");
+            let simd_plan = fused_plan.with_simd(&SimdPolicy::auto());
+            let simd = time_compiled_plan(&simd_plan, &cfg).expect("valid config");
             let compiled_speedup = interp.min_ns / compiled.min_ns;
             let fused_speedup = compiled.min_ns / fused.min_ns;
+            let simd_speedup = fused.min_ns / simd.min_ns;
             if !name.ends_with('*') {
                 if n >= 16 {
                     worst_compiled_16 = worst_compiled_16.min(compiled_speedup);
                 }
                 worst_fused = worst_fused.min(fused_speedup);
+                worst_simd = worst_simd.min(simd_speedup);
             }
             println!(
-                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x",
+                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x  {:>8.2}x",
                 n,
                 name,
                 interp.min_ns,
                 compiled.min_ns,
                 fused.min_ns,
+                simd.min_ns,
                 compiled_speedup,
-                fused_speedup
+                fused_speedup,
+                simd_speedup
             );
         }
         // Sub-cache sizes finish in microseconds and their ratios are
-        // noise; the summary tracks the sizes the fusion story is about.
+        // noise; the summary tracks the sizes each stage's story is about.
         if n >= 16 {
             fused_by_size.push((n, worst_fused));
+            simd_by_size.push((n, worst_simd));
         }
     }
     if nmax >= 16 {
         println!("\nworst canonical-plan compiled speedup at n >= 16: {worst_compiled_16:.2}x");
     }
     if !fused_by_size.is_empty() {
-        println!("worst canonical-plan fused-over-compiled speedup per size:");
-        for (n, worst) in &fused_by_size {
+        println!("worst canonical-plan fused-over-compiled and simd-over-fused speedups per size:");
+        for ((n, worst_f), (_, worst_s)) in fused_by_size.iter().zip(simd_by_size.iter()) {
             let bytes = (1u64 << n) * 8;
-            println!("  n = {n:>2} ({:>4} MiB): {worst:.2}x", bytes >> 20);
+            println!(
+                "  n = {n:>2} ({:>4} MiB): fuse/comp {worst_f:.2}x   simd/fuse {worst_s:.2}x",
+                bytes >> 20
+            );
         }
         if let Some((n, worst)) = fused_by_size.last() {
             println!("fused-over-compiled at the largest (memory-bound) size n = {n}: {worst:.2}x");
+        }
+        if let Some((n, worst)) = simd_by_size
+            .iter()
+            .rfind(|(n, _)| (1u64 << n) * 8 <= llc_mib << 20)
+        {
+            println!(
+                "simd-over-scalar-fused at the largest size within the {llc_mib} MiB \
+                 LLC proxy (--llc-mib), n = {n}: {worst:.2}x (acceptance: >= 1.5x \
+                 at an LLC-resident size)"
+            );
         }
     }
     println!("(* reference shape, not one of the paper's canonical three)");

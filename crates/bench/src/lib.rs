@@ -32,5 +32,6 @@ pub mod study;
 pub use args::CommonArgs;
 pub use output::{ascii_histogram, ascii_scatter, ascii_table, results_dir, write_csv};
 pub use study::{
-    best_plans_simcycles, canonical_plans, canonical_vs_best, load_or_run_study, run_study, Study,
+    best_plans_simcycles, canonical_plans, canonical_vs_best, load_or_run_study,
+    load_or_run_study_in, run_study, Study,
 };

@@ -84,13 +84,32 @@ impl Study {
     }
 }
 
-/// Load the study from cache or run it.
+/// Load the study from cache or run it, caching under the process results
+/// directory (`WHT_RESULTS_DIR` or `results/`).
 ///
 /// # Errors
 /// Sampling and measurement errors propagate; cache I/O problems fall back
 /// to recomputation.
 pub fn load_or_run_study(n: u32, args: &CommonArgs) -> Result<Study, WhtError> {
-    let path = results_dir().join(format!(
+    load_or_run_study_in(&results_dir(), n, args)
+}
+
+/// [`load_or_run_study`] with the cache directory injected. This is the
+/// testable seam: tests pass a scratch directory instead of mutating
+/// `WHT_RESULTS_DIR` with `set_var`/`remove_var`, which races every
+/// concurrently running test that reads *any* environment variable and
+/// leaks the override if the test panics mid-way.
+///
+/// # Errors
+/// Sampling and measurement errors propagate; cache I/O problems fall back
+/// to recomputation.
+pub fn load_or_run_study_in(
+    dir: &std::path::Path,
+    n: u32,
+    args: &CommonArgs,
+) -> Result<Study, WhtError> {
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!(
         "study_v2_n{n}_s{}_seed{}_t{}.json",
         args.samples, args.seed, !args.no_timing as u8
     ));
@@ -279,16 +298,23 @@ mod tests {
 
     #[test]
     fn study_cache_round_trips() {
+        // The cache directory is injected — mutating WHT_RESULTS_DIR via
+        // set_var/remove_var here would race concurrently running tests
+        // and leak the override on a mid-test panic.
         let args = tiny_args();
-        std::env::set_var(
-            "WHT_RESULTS_DIR",
-            std::env::temp_dir().join("wht_results_test"),
-        );
-        let a = load_or_run_study(7, &args).unwrap();
-        let b = load_or_run_study(7, &args).unwrap();
+        let dir = std::env::temp_dir().join(format!("wht_results_test_{}", std::process::id()));
+        let a = load_or_run_study_in(&dir, 7, &args).unwrap();
+        let b = load_or_run_study_in(&dir, 7, &args).unwrap();
         // Deterministic backends: cached result equals recomputed result.
         assert_eq!(a.instructions(), b.instructions());
         assert_eq!(a.l1_misses(), b.l1_misses());
-        std::env::remove_var("WHT_RESULTS_DIR");
+        // And the cache file really was written where it was pointed.
+        assert!(dir
+            .join(format!(
+                "study_v2_n7_s{}_seed{}_t0.json",
+                args.samples, args.seed
+            ))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,6 +14,37 @@
 //! Memory behaviour (relied on by the trace executor in `wht-measure`): each
 //! call reads each of its `2^k` elements exactly once (load pass), computes
 //! in registers/stack, then writes each element exactly once (store pass).
+//!
+//! ## The SIMD lane-block backend
+//!
+//! The package's codelets get their speed from straight-line code; ours
+//! additionally get vector arithmetic by blocking **across invocations**
+//! rather than within a butterfly. A compiled pass `I(r) ⊗ WHT(2^k) ⊗ I(s)`
+//! at unit global stride runs its inner `t in 0..s` loop over `s`
+//! *contiguous* columns: column `t`'s element `u` lives at `row + t + u·s`.
+//! Grouping `W = `[`Scalar::LANES`] consecutive columns therefore turns
+//! every butterfly into `W`-wide arithmetic on `[T; W]` blocks loaded and
+//! stored with unit stride — the shape LLVM reliably auto-vectorizes on
+//! stable Rust. [`apply_pass_lanes`] runs a whole pass that way
+//! (sub-blocks of width 8/4/2 mop up `s < W` heads, and the `s == 1` head
+//! pass uses a contiguous load/compute/store codelet variant);
+//! [`apply_codelet_cols`] is the same kernel restricted to a column range,
+//! the parallel engine's unit of work. On `x86_64`, `f64`/`f32` lane
+//! kernels are additionally compiled under
+//! `#[target_feature(enable = "avx2")]` and selected once per process via
+//! runtime detection; every other type and host uses the portable
+//! fallback, which still vectorizes at the target's baseline width.
+//!
+//! Every lane grouping performs the **same** additions and subtractions on
+//! the same values as the scalar loop — vector lanes never interact in an
+//! add/sub — so lane-blocked output is bit-identical for floats and exact
+//! for integers (property-tested in `tests/proptests.rs`). Each element is
+//! still read exactly once and written exactly once per pass, so the
+//! trace-executor accounting contract above is unchanged.
+//!
+//! [`SimdPolicy`] mirrors [`crate::compile::FusionPolicy`]: the compiled
+//! executor selects the lane backend by default, `WHT_NO_SIMD=1` (or
+//! [`SimdPolicy::disabled`] through the API) opts out.
 
 use crate::plan::MAX_LEAF_K;
 use crate::scalar::Scalar;
@@ -100,9 +131,15 @@ pub fn apply_codelet_checked<T: Scalar>(
     if !(1..=MAX_LEAF_K).contains(&k) {
         return Err(crate::WhtError::LeafSizeOutOfRange { k });
     }
+    if stride == 0 {
+        // A zero stride is a configuration error, not a short buffer:
+        // reporting it as LengthMismatch { expected: base + 1 } would send
+        // the caller hunting for an allocation bug that does not exist.
+        return Err(crate::WhtError::InvalidStride { stride });
+    }
     let size = 1usize << k;
     let span_end = base.saturating_add((size - 1).saturating_mul(stride));
-    if stride == 0 || span_end >= x.len() {
+    if span_end >= x.len() {
         return Err(crate::WhtError::LengthMismatch {
             expected: span_end.saturating_add(1),
             got: x.len(),
@@ -111,6 +148,395 @@ pub fn apply_codelet_checked<T: Scalar>(
     // SAFETY: bounds checked just above.
     unsafe { apply_codelet(k, x, base, stride) };
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SIMD lane-block backend (see the module docs).
+// ---------------------------------------------------------------------------
+
+/// Opt-in/opt-out switch for the lane-block codelet backend, mirroring
+/// [`crate::compile::FusionPolicy`]: the production executor reads it from
+/// the environment once per process ([`SimdPolicy::from_env`]), and
+/// explicit policies pin the choice through the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdPolicy {
+    /// Whether compiled schedules select the lane-block kernels for their
+    /// unit-stride passes (the scalar per-column loop runs otherwise).
+    pub use_lanes: bool,
+}
+
+impl SimdPolicy {
+    /// Lane kernels on — the default.
+    pub fn auto() -> Self {
+        SimdPolicy { use_lanes: true }
+    }
+
+    /// Lane kernels off: every pass replays through the scalar per-column
+    /// codelet loop.
+    pub fn disabled() -> Self {
+        SimdPolicy { use_lanes: false }
+    }
+
+    /// Policy from the process environment: `WHT_NO_SIMD=1` (any non-empty
+    /// value other than `0`) disables the lane backend, anything else
+    /// keeps the default. Read fresh on every call; the production entry
+    /// point ([`crate::compile::compiled_for`]) snapshots it once per
+    /// process.
+    pub fn from_env() -> Self {
+        if std::env::var("WHT_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0") {
+            return SimdPolicy::disabled();
+        }
+        SimdPolicy::auto()
+    }
+
+    /// `true` if this policy selects the lane-block backend.
+    pub fn enabled(&self) -> bool {
+        self.use_lanes
+    }
+}
+
+impl Default for SimdPolicy {
+    fn default() -> Self {
+        SimdPolicy::auto()
+    }
+}
+
+/// Lane-block width the SIMD backend uses for element type `T`
+/// ([`Scalar::LANES`] — the elements of one 64-byte block). Exposed so
+/// cost backends in `wht-search` can model the vector throughput of the
+/// executor they rank plans for.
+pub const fn lane_width<T: Scalar>() -> usize {
+    T::LANES
+}
+
+/// In-place size-`SIZE` WHT on each of `W` adjacent unit-stride columns:
+/// column `w`'s element `u` lives at `x[base + w + u * s]`. Loads, computes
+/// and stores whole `[T; W]` blocks, so every butterfly is `W`-wide
+/// arithmetic on contiguous memory.
+///
+/// # Safety
+/// Caller must guarantee `base + W - 1 + (SIZE - 1) * s < x.len()` (the
+/// last element of the last column is in bounds; columns are at unit
+/// stride so every other index is below it).
+#[inline(always)]
+unsafe fn lane_block_fixed<T: Scalar, const SIZE: usize, const W: usize>(
+    x: &mut [T],
+    base: usize,
+    s: usize,
+) {
+    debug_assert!(SIZE.is_power_of_two() && W.is_power_of_two());
+    debug_assert!(base + W - 1 + (SIZE - 1) * s < x.len());
+
+    let mut buf = [[T::ZERO; W]; SIZE];
+    // Load pass: one contiguous W-element block per codelet row — still
+    // exactly one read per element.
+    for (u, block) in buf.iter_mut().enumerate() {
+        let row = base + u * s;
+        for (w, slot) in block.iter_mut().enumerate() {
+            // SAFETY: in-bounds per the function contract.
+            *slot = unsafe { *x.get_unchecked(row + w) };
+        }
+    }
+    // The same butterfly network as `codelet_fixed`, W lanes at a time.
+    // Lanes never interact, so each lane computes bit-for-bit what the
+    // scalar codelet computes for its column.
+    let mut h = 1;
+    while h < SIZE {
+        let mut i = 0;
+        while i < SIZE {
+            for j in i..i + h {
+                // Plain index loop over two *different* rows (`j`, `j+h`):
+                // a zip would need a split borrow that only obscures the
+                // butterfly; the constant trip count vectorizes as is.
+                #[allow(clippy::needless_range_loop)]
+                for w in 0..W {
+                    let a = buf[j][w];
+                    let b = buf[j + h][w];
+                    buf[j][w] = a + b;
+                    buf[j + h][w] = a - b;
+                }
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+    // Store pass: one contiguous block per row, one write per element.
+    for (u, block) in buf.iter().enumerate() {
+        let row = base + u * s;
+        for (w, slot) in block.iter().enumerate() {
+            // SAFETY: in-bounds per the function contract.
+            unsafe { *x.get_unchecked_mut(row + w) = *slot };
+        }
+    }
+}
+
+/// [`lane_block_fixed`] dispatched over the leaf exponent.
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K` and the [`lane_block_fixed`] bound for
+/// `SIZE = 2^k`.
+#[inline(always)]
+unsafe fn lane_block<T: Scalar, const W: usize>(k: u32, x: &mut [T], base: usize, s: usize) {
+    debug_assert!((1..=MAX_LEAF_K).contains(&k));
+    // SAFETY: forwarded contract.
+    unsafe {
+        match k {
+            1 => lane_block_fixed::<T, 2, W>(x, base, s),
+            2 => lane_block_fixed::<T, 4, W>(x, base, s),
+            3 => lane_block_fixed::<T, 8, W>(x, base, s),
+            4 => lane_block_fixed::<T, 16, W>(x, base, s),
+            5 => lane_block_fixed::<T, 32, W>(x, base, s),
+            6 => lane_block_fixed::<T, 64, W>(x, base, s),
+            7 => lane_block_fixed::<T, 128, W>(x, base, s),
+            8 => lane_block_fixed::<T, 256, W>(x, base, s),
+            _ => unreachable!("leaf exponent validated at plan construction"),
+        }
+    }
+}
+
+/// Contiguous (`stride == 1`) codelet: the lane-blocked load/compute/store
+/// variant for the `s == 1` head pass of a schedule. The unit stride is a
+/// compile-time fact here, so the load and store passes lower to straight
+/// vector copies and the fixed-size butterfly stages vectorize without any
+/// strided address arithmetic.
+///
+/// # Safety
+/// `base + SIZE - 1 < x.len()`.
+#[inline(always)]
+unsafe fn codelet_unit_fixed<T: Scalar, const SIZE: usize>(x: &mut [T], base: usize) {
+    debug_assert!(base + SIZE - 1 < x.len());
+    let mut buf = [T::ZERO; SIZE];
+    for (j, slot) in buf.iter_mut().enumerate() {
+        // SAFETY: in-bounds per the function contract.
+        *slot = unsafe { *x.get_unchecked(base + j) };
+    }
+    let mut h = 1;
+    while h < SIZE {
+        let mut i = 0;
+        while i < SIZE {
+            for j in i..i + h {
+                let a = buf[j];
+                let b = buf[j + h];
+                buf[j] = a + b;
+                buf[j + h] = a - b;
+            }
+            i += 2 * h;
+        }
+        h *= 2;
+    }
+    for (j, slot) in buf.iter().enumerate() {
+        // SAFETY: in-bounds per the function contract.
+        unsafe { *x.get_unchecked_mut(base + j) = *slot };
+    }
+}
+
+/// [`codelet_unit_fixed`] dispatched over the leaf exponent.
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K` and `base + 2^k - 1 < x.len()`.
+#[inline(always)]
+unsafe fn codelet_unit<T: Scalar>(k: u32, x: &mut [T], base: usize) {
+    debug_assert!((1..=MAX_LEAF_K).contains(&k));
+    // SAFETY: forwarded contract.
+    unsafe {
+        match k {
+            1 => codelet_unit_fixed::<T, 2>(x, base),
+            2 => codelet_unit_fixed::<T, 4>(x, base),
+            3 => codelet_unit_fixed::<T, 8>(x, base),
+            4 => codelet_unit_fixed::<T, 16>(x, base),
+            5 => codelet_unit_fixed::<T, 32>(x, base),
+            6 => codelet_unit_fixed::<T, 64>(x, base),
+            7 => codelet_unit_fixed::<T, 128>(x, base),
+            8 => codelet_unit_fixed::<T, 256>(x, base),
+            _ => unreachable!("leaf exponent validated at plan construction"),
+        }
+    }
+}
+
+/// Portable body of the column-range kernel: codelet `small[k]` applied to
+/// `cols` adjacent unit-stride columns starting at `base` (inner extent
+/// `s`), in descending block widths — `W`-wide blocks, then 8/4/2-wide
+/// sub-blocks for the `s < W` head, then scalar columns for any ragged
+/// tail (real schedules have power-of-two `s`, so the tail is empty
+/// whenever any block ran).
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K`, `cols <= s`, and the whole range in bounds:
+/// `base + cols - 1 + (2^k - 1) * s < x.len()`.
+#[inline(always)]
+unsafe fn codelet_cols_body<T: Scalar>(k: u32, x: &mut [T], base: usize, s: usize, cols: usize) {
+    // SAFETY (all calls): each block covers columns [t, t + width) of the
+    // caller's range, so its last element is at most the caller's bound.
+    unsafe {
+        let mut t = 0;
+        if T::LANES >= 16 {
+            while t + 16 <= cols {
+                lane_block::<T, 16>(k, x, base + t, s);
+                t += 16;
+            }
+        }
+        while t + 8 <= cols {
+            lane_block::<T, 8>(k, x, base + t, s);
+            t += 8;
+        }
+        while t + 4 <= cols {
+            lane_block::<T, 4>(k, x, base + t, s);
+            t += 4;
+        }
+        while t + 2 <= cols {
+            lane_block::<T, 2>(k, x, base + t, s);
+            t += 2;
+        }
+        while t < cols {
+            if s == 1 {
+                codelet_unit(k, x, base + t);
+            } else {
+                apply_codelet(k, x, base + t, s);
+            }
+            t += 1;
+        }
+    }
+}
+
+/// Portable body of the whole-pass kernel: every row of the `r × s` grid
+/// of `I(r) ⊗ WHT(2^k) ⊗ I(s)` at unit global stride, lane-blocked.
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K` and `base + r * 2^k * s - 1 < x.len()`.
+#[inline(always)]
+unsafe fn pass_lanes_body<T: Scalar>(k: u32, x: &mut [T], base: usize, r: usize, s: usize) {
+    let block = (1usize << k) * s;
+    for j in 0..r {
+        // SAFETY: row j's columns end at base + j*block + (s-1) + (2^k-1)*s
+        // = base + (j+1)*block - 1, within the caller's bound.
+        unsafe { codelet_cols_body(k, x, base + j * block, s, s) };
+    }
+}
+
+/// `true` if this x86-64 host executes AVX2. `is_x86_feature_detected!`
+/// caches its CPUID probe in std's own atomic, so after the first call
+/// this is one relaxed load — cheap enough for per-pass (and per-block)
+/// dispatch.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// The portable bodies re-monomorphized under AVX2 for the float types:
+/// same Rust code, compiled against 256-bit vectors and selected at
+/// runtime. Integer lane kernels stay on the portable path — the baseline
+/// target already vectorizes integer add/sub well enough that a second
+/// copy is not worth the code size.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+
+    /// # Safety
+    /// [`codelet_cols_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn codelet_cols_f64(k: u32, x: &mut [f64], base: usize, s: usize, cols: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { codelet_cols_body(k, x, base, s, cols) }
+    }
+
+    /// # Safety
+    /// [`codelet_cols_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn codelet_cols_f32(k: u32, x: &mut [f32], base: usize, s: usize, cols: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { codelet_cols_body(k, x, base, s, cols) }
+    }
+
+    /// # Safety
+    /// [`pass_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pass_lanes_f64(k: u32, x: &mut [f64], base: usize, r: usize, s: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { pass_lanes_body(k, x, base, r, s) }
+    }
+
+    /// # Safety
+    /// [`pass_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pass_lanes_f32(k: u32, x: &mut [f32], base: usize, r: usize, s: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { pass_lanes_body(k, x, base, r, s) }
+    }
+}
+
+/// Reinterpret `x` as a slice of `U`. Caller asserts `T` and `U` are the
+/// same type (checked); the cast is then the identity.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn same_type_slice<T: Scalar, U: Scalar>(x: &mut [T]) -> &mut [U] {
+    assert_eq!(std::any::TypeId::of::<T>(), std::any::TypeId::of::<U>());
+    // SAFETY: T == U was just checked, so layout and validity are
+    // trivially identical.
+    unsafe { &mut *(x as *mut [T] as *mut [U]) }
+}
+
+/// Apply codelet `small[k]` to `cols` adjacent unit-stride columns of a
+/// pass with inner extent `s`, lane-blocked: column `t`'s element `u`
+/// lives at `x[base + t + u * s]`. This is the SIMD backend's unit of
+/// work below a whole pass — the parallel engine shards lane passes with
+/// it. Dispatches to the AVX2 build of the kernel for `f64`/`f32` when
+/// the host supports it (decided once per process), portable otherwise;
+/// every dispatch choice computes bit-identical results.
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K`, `cols <= s`, and
+/// `base + cols - 1 + (2^k - 1) * s < x.len()`.
+#[inline]
+pub unsafe fn apply_codelet_cols<T: Scalar>(
+    k: u32,
+    x: &mut [T],
+    base: usize,
+    s: usize,
+    cols: usize,
+) {
+    debug_assert!(cols <= s);
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::any::TypeId;
+        // The TypeId comparisons are monomorphization-time constants; only
+        // the AVX2 flag is a (relaxed, cached) runtime load.
+        if TypeId::of::<T>() == TypeId::of::<f64>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe { avx2::codelet_cols_f64(k, same_type_slice(x), base, s, cols) };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f32>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe { avx2::codelet_cols_f32(k, same_type_slice(x), base, s, cols) };
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { codelet_cols_body(k, x, base, s, cols) }
+}
+
+/// Apply one whole pass `I(r) ⊗ WHT(2^k) ⊗ I(s)` at unit global stride
+/// through the lane-block backend (the kernel `PassBackend::Lanes`
+/// schedules select — see `wht_core::compile`). Same AVX2/portable
+/// dispatch as [`apply_codelet_cols`], hoisted above the row loop.
+///
+/// # Safety
+/// `k` in `1..=MAX_LEAF_K` and `base + r * 2^k * s - 1 < x.len()`.
+#[inline]
+pub unsafe fn apply_pass_lanes<T: Scalar>(k: u32, x: &mut [T], base: usize, r: usize, s: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::any::TypeId;
+        if TypeId::of::<T>() == TypeId::of::<f64>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe { avx2::pass_lanes_f64(k, same_type_slice(x), base, r, s) };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f32>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe { avx2::pass_lanes_f32(k, same_type_slice(x), base, r, s) };
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { pass_lanes_body(k, x, base, r, s) }
 }
 
 /// Reference loop-based small WHT for arbitrary `k`, used by tests to
@@ -205,13 +631,103 @@ mod tests {
     #[test]
     fn checked_wrapper_rejects_bad_inputs() {
         let mut x = vec![0.0f64; 8];
-        assert!(apply_codelet_checked(0, &mut x, 0, 1).is_err());
-        assert!(apply_codelet_checked(9, &mut x, 0, 1).is_err());
-        // span 0 + 7*2 = 14 >= len 8:
-        assert!(apply_codelet_checked(3, &mut x, 0, 2).is_err());
-        // zero stride is nonsense:
-        assert!(apply_codelet_checked(1, &mut x, 0, 0).is_err());
+        assert_eq!(
+            apply_codelet_checked(0, &mut x, 0, 1),
+            Err(crate::WhtError::LeafSizeOutOfRange { k: 0 })
+        );
+        assert_eq!(
+            apply_codelet_checked(9, &mut x, 0, 1),
+            Err(crate::WhtError::LeafSizeOutOfRange { k: 9 })
+        );
+        // span 0 + 7*2 = 14 >= len 8: genuinely a too-short buffer.
+        assert_eq!(
+            apply_codelet_checked(3, &mut x, 0, 2),
+            Err(crate::WhtError::LengthMismatch {
+                expected: 15,
+                got: 8
+            })
+        );
+        // Zero stride is a *config* error, and must be diagnosed as one —
+        // not disguised as LengthMismatch { expected: base + 1 }.
+        assert_eq!(
+            apply_codelet_checked(1, &mut x, 0, 0),
+            Err(crate::WhtError::InvalidStride { stride: 0 })
+        );
+        assert_eq!(
+            apply_codelet_checked(2, &mut x, 5, 0),
+            Err(crate::WhtError::InvalidStride { stride: 0 }),
+            "stride 0 must win over any base/length combination"
+        );
         // exactly fits:
         assert!(apply_codelet_checked(3, &mut x, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn simd_policy_constructors() {
+        assert!(SimdPolicy::auto().enabled());
+        assert!(SimdPolicy::default().enabled());
+        assert!(!SimdPolicy::disabled().enabled());
+        assert_eq!(lane_width::<f64>(), 8);
+        assert_eq!(lane_width::<f32>(), 16);
+        assert_eq!(lane_width::<i64>(), 8);
+        assert_eq!(lane_width::<i32>(), 16);
+    }
+
+    /// The lane-block kernels against the scalar per-column loop: same
+    /// pass, bit-identical elements, for every leaf size, a spread of
+    /// inner extents (below, at, and above every block width), and all
+    /// four scalar types.
+    #[test]
+    fn lane_pass_is_bit_identical_to_scalar_columns() {
+        fn check<T: Scalar>() {
+            for k in 1..=MAX_LEAF_K {
+                for s in [1usize, 2, 3, 4, 6, 8, 16, 17, 32] {
+                    let r = 3usize;
+                    let len = r * (1usize << k) * s;
+                    let input: Vec<T> = (0..len)
+                        .map(|j| T::from_i64(((j * 37 + 11) % 251) as i64 - 125))
+                        .collect();
+                    let mut scalar = input.clone();
+                    for j in 0..r {
+                        let row = j * (1usize << k) * s;
+                        for t in 0..s {
+                            // SAFETY: (row + t) + (2^k - 1) * s < len.
+                            unsafe { apply_codelet(k, &mut scalar, row + t, s) };
+                        }
+                    }
+                    let mut lanes = input;
+                    // SAFETY: whole pass fits the buffer by construction.
+                    unsafe { apply_pass_lanes(k, &mut lanes, 0, r, s) };
+                    assert_eq!(lanes, scalar, "k={k}, s={s}");
+                }
+            }
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<i64>();
+        check::<i32>();
+    }
+
+    /// `apply_codelet_cols` on an arbitrary column sub-range leaves the
+    /// other columns untouched and matches the scalar codelets on its own.
+    #[test]
+    fn column_ranges_are_exact_and_contained() {
+        let k = 3u32;
+        let s = 16usize;
+        let len = (1usize << k) * s;
+        let input: Vec<f64> = (0..len)
+            .map(|j| ((j * 13 + 5) % 97) as f64 - 48.0)
+            .collect();
+        for (t0, cols) in [(0usize, 5usize), (3, 8), (11, 5), (0, 16), (15, 1)] {
+            let mut scalar = input.clone();
+            for t in t0..t0 + cols {
+                // SAFETY: t + (2^k - 1) * s < len.
+                unsafe { apply_codelet(k, &mut scalar, t, s) };
+            }
+            let mut ranged = input.clone();
+            // SAFETY: cols <= s and the range is in bounds.
+            unsafe { apply_codelet_cols(k, &mut ranged, t0, s, cols) };
+            assert_eq!(ranged, scalar, "t0={t0}, cols={cols}");
+        }
     }
 }

@@ -78,8 +78,24 @@
 //! order (the paper's `left_recursive` pathology) flatten into the same
 //! streaming pass sequence as the iterative algorithm — and fusion then
 //! removes most of that sequence's redundant memory sweeps.
+//!
+//! ## Kernel backends
+//!
+//! Every super-pass additionally records which *kernel backend* replays
+//! its parts ([`PassBackend`]): the scalar per-column codelet loop, or the
+//! SIMD lane-block kernels of [`crate::codelets`] (unit-stride `[T; W]`
+//! blocks — see that module's docs). [`CompiledPlan::with_simd`] selects
+//! the backend under a [`SimdPolicy`], mirroring [`CompiledPlan::fuse`]:
+//! the factor list is untouched, the recorded schedule says exactly which
+//! kernel [`CompiledPlan::apply`] (and the parallel engine, which reads
+//! the same record) will run, and [`CompiledPlan::traverse`] reports it
+//! through [`ExecHooks::super_pass`] so measurement consumers account the
+//! executed program. Both backends perform the same adds/subs on the same
+//! values, so the choice never changes output bits. [`crate::apply_plan`]
+//! selects lanes by default; `WHT_NO_SIMD=1` (or
+//! [`SimdPolicy::disabled`] via [`compiled_for_with`]) opts out.
 
-use crate::codelets::apply_codelet;
+use crate::codelets::{apply_codelet, apply_pass_lanes, SimdPolicy};
 use crate::engine::ExecHooks;
 use crate::error::WhtError;
 use crate::plan::Plan;
@@ -151,7 +167,8 @@ impl Pass {
         unsafe { apply_codelet(self.k, x, self.invocation_base(q), self.codelet_stride()) };
     }
 
-    /// Run the whole pass on `x` (all `r·s` invocations, in grid order).
+    /// Run the whole pass on `x` (all `r·s` invocations, in grid order)
+    /// through the scalar per-column codelet loop.
     ///
     /// # Safety
     /// `base + (span() - 1) · stride < x.len()`.
@@ -169,6 +186,28 @@ impl Pass {
         }
     }
 
+    /// Run the whole pass through the kernel `backend` selects: the
+    /// lane-block kernels for [`PassBackend::Lanes`] (they require the
+    /// unit global stride every valid schedule has; a non-unit stride
+    /// falls back to the scalar loop rather than mis-indexing), the
+    /// scalar per-column loop otherwise. Bit-identical either way.
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()`.
+    #[inline]
+    unsafe fn apply_full_backend<T: Scalar>(&self, x: &mut [T], backend: PassBackend) {
+        // SAFETY (both arms): forwarded contract; for the lane kernel,
+        // stride == 1 makes the bound exactly base + r·2^k·s - 1 < len.
+        unsafe {
+            match backend {
+                PassBackend::Lanes if self.stride == 1 => {
+                    apply_pass_lanes(self.k, x, self.base, self.r, self.s)
+                }
+                _ => self.apply_full(x),
+            }
+        }
+    }
+
     /// Pass span as `Option`, `None` on arithmetic overflow (hand-built
     /// schedules can hold absurd extents; validation must not panic).
     fn checked_span(&self) -> Option<usize> {
@@ -177,6 +216,26 @@ impl Pass {
         }
         (1usize << self.k).checked_mul(self.s)?.checked_mul(self.r)
     }
+}
+
+/// Which kernel replays a scheduling unit's codelet work — recorded on
+/// every [`SuperPass`] so the executed program is a property of the
+/// schedule itself: `apply`, the parallel engine, `traverse`, and every
+/// measurement consumer read one record instead of re-deciding.
+///
+/// Both backends run the same butterfly operations on the same values
+/// (vector lanes never interact in add/sub), so the backend choice is
+/// observable in speed, never in output bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PassBackend {
+    /// The per-column scalar codelet loop (`small[k]` once per `(j, t)`
+    /// grid point).
+    #[default]
+    Scalar,
+    /// The SIMD lane-block kernels of [`crate::codelets`]: butterflies
+    /// over `[T; `[`Scalar::LANES`]`]` unit-stride column blocks, with
+    /// AVX2-compiled float variants selected at runtime.
+    Lanes,
 }
 
 /// Tile-budget policy for [`CompiledPlan::fuse`]: how many *elements* a
@@ -294,11 +353,14 @@ pub struct SuperPass {
     base: usize,
     /// Global stride multiplier.
     stride: usize,
+    /// Kernel backend replaying the parts (see [`PassBackend`]).
+    backend: PassBackend,
 }
 
 impl SuperPass {
-    /// Assemble a super-pass from tile-relative parts. This is a plain
-    /// carrier — no invariants are checked here;
+    /// Assemble a super-pass from tile-relative parts (scalar backend;
+    /// chain [`SuperPass::with_backend`] to select the lane kernels).
+    /// This is a plain carrier — no invariants are checked here;
     /// [`CompiledPlan::from_super_passes`] / [`CompiledPlan::validate`]
     /// are the validity gate for hand-built schedules.
     pub fn new(parts: Vec<Pass>, tile: usize, tiles: usize, base: usize, stride: usize) -> Self {
@@ -308,7 +370,23 @@ impl SuperPass {
             tiles,
             base,
             stride,
+            backend: PassBackend::Scalar,
         }
+    }
+
+    /// The same super-pass with its kernel backend replaced (builder
+    /// style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: PassBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The kernel backend [`CompiledPlan::apply`] (and the parallel
+    /// engine) will run this super-pass with.
+    #[inline]
+    pub fn backend(&self) -> PassBackend {
+        self.backend
     }
 
     /// The trivial (unfused) super-pass: one part, one tile spanning the
@@ -324,6 +402,7 @@ impl SuperPass {
                 stride: 1,
                 ..pass
             }],
+            backend: PassBackend::Scalar,
         }
     }
 
@@ -405,7 +484,7 @@ impl SuperPass {
         for p in 0..self.parts.len() {
             // SAFETY: a valid part stays inside tile `j`, which is inside
             // the super-pass bound forwarded from the caller's contract.
-            unsafe { self.tile_pass(p, j).apply_full(x) };
+            unsafe { self.tile_pass(p, j).apply_full_backend(x, self.backend) };
         }
     }
 
@@ -471,19 +550,67 @@ impl CompiledPlan {
         Self::compile(plan).fuse(policy)
     }
 
+    /// Compile under the full executor configuration — fusion *and* kernel
+    /// backend: `compile(plan).fuse(fusion).with_simd(simd)`.
+    pub fn compile_with(plan: &Plan, fusion: &FusionPolicy, simd: &SimdPolicy) -> Self {
+        Self::compile(plan).fuse(fusion).with_simd(simd)
+    }
+
     /// Regroup the factor schedule under `policy`: greedily merge the
     /// longest runs of consecutive contiguous passes whose combined block
     /// size fits `policy.budget_elems` into cache-blocked super-passes
     /// (see the module docs' "how fusion decides"). The flat factor list
     /// ([`CompiledPlan::passes`]) is unchanged; only the grouping differs,
     /// so fusing is idempotent and re-fusing with a different policy is
-    /// always safe.
+    /// always safe. The kernel backend rides along: a SIMD schedule stays
+    /// SIMD after re-fusing.
     pub fn fuse(&self, policy: &FusionPolicy) -> CompiledPlan {
+        let backend = if self.is_simd() {
+            PassBackend::Lanes
+        } else {
+            PassBackend::Scalar
+        };
         CompiledPlan {
             n: self.n,
             passes: self.passes.clone(),
-            schedule: fuse_schedule(&self.passes, 1usize << self.n, policy),
+            schedule: fuse_schedule(&self.passes, 1usize << self.n, policy)
+                .into_iter()
+                .map(|sp| sp.with_backend(backend))
+                .collect(),
         }
+    }
+
+    /// Select the kernel backend under `policy`: every super-pass is
+    /// marked [`PassBackend::Lanes`] when the policy is enabled (all
+    /// top-level schedule units run at unit stride, the lane kernels'
+    /// habitat), [`PassBackend::Scalar`] otherwise. Like
+    /// [`CompiledPlan::fuse`], this is a *relabeling* of the same factor
+    /// list — output bits cannot change, only which kernel produces them —
+    /// and the choice is recorded in the schedule, so `apply`, the
+    /// parallel engine, and `traverse` all agree on what actually runs.
+    #[must_use]
+    pub fn with_simd(&self, policy: &SimdPolicy) -> CompiledPlan {
+        let backend = if policy.enabled() {
+            PassBackend::Lanes
+        } else {
+            PassBackend::Scalar
+        };
+        CompiledPlan {
+            n: self.n,
+            passes: self.passes.clone(),
+            schedule: self
+                .schedule
+                .iter()
+                .map(|sp| sp.clone().with_backend(backend))
+                .collect(),
+        }
+    }
+
+    /// `true` if any super-pass selects the SIMD lane backend.
+    pub fn is_simd(&self) -> bool {
+        self.schedule
+            .iter()
+            .any(|sp| sp.backend == PassBackend::Lanes)
     }
 
     /// Assemble a compiled plan from hand-built super-passes, validating
@@ -586,7 +713,7 @@ impl CompiledPlan {
     pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
         hooks.enter_split(self.n, self.schedule.len());
         for sp in &self.schedule {
-            hooks.super_pass(sp.parts.len(), sp.tiles, sp.tile);
+            hooks.super_pass(sp.parts.len(), sp.tiles, sp.tile, sp.backend);
             for j in 0..sp.tiles {
                 for p in 0..sp.parts.len() {
                     let pass = sp.tile_pass(p, j);
@@ -737,6 +864,7 @@ fn fuse_schedule(passes: &[Pass], size: usize, policy: &FusionPolicy) -> Vec<Sup
                 tiles: size / tile,
                 base: 0,
                 stride: 1,
+                backend: PassBackend::Scalar,
             });
         } else {
             schedule.push(SuperPass::single(first));
@@ -772,12 +900,14 @@ fn emit(plan: &Plan, total: usize, s: &mut usize, passes: &mut Vec<Pass>) {
 
 const CACHE_CAP: usize = 64;
 
+/// Per-plan cache entries keyed by `(fusion budget, simd enabled)`.
+type ConfigCache = HashMap<(usize, bool), Rc<CompiledPlan>>;
+
 thread_local! {
     /// Per-thread schedule cache backing [`compiled_for`]: plans are
-    /// immutable and hashable, so `(plan, fusion budget)` is the key
+    /// immutable and hashable, so `(plan, fusion budget, simd)` is the key
     /// (nested so the hot lookup borrows the plan instead of cloning it).
-    static PLAN_CACHE: RefCell<HashMap<Plan, HashMap<usize, Rc<CompiledPlan>>>> =
-        RefCell::new(HashMap::new());
+    static PLAN_CACHE: RefCell<HashMap<Plan, ConfigCache>> = RefCell::new(HashMap::new());
 }
 
 /// The process-wide default fusion policy, read from the environment
@@ -787,28 +917,41 @@ fn env_policy() -> &'static FusionPolicy {
     POLICY.get_or_init(FusionPolicy::from_env)
 }
 
-/// The lazily-compiled schedule for `plan` under the process-default
-/// [`FusionPolicy`] (fusion **on** unless `WHT_NO_FUSE=1`): compiled on
-/// first use on this thread, then served from a bounded per-thread cache.
-/// This is what lets [`crate::apply_plan`] keep its signature while paying
-/// the tree walk once per plan instead of once per call.
-pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
-    compiled_for_with(plan, env_policy())
+/// The process-wide default SIMD policy, read from the environment exactly
+/// once (see [`SimdPolicy::from_env`]).
+fn env_simd_policy() -> &'static SimdPolicy {
+    static POLICY: OnceLock<SimdPolicy> = OnceLock::new();
+    POLICY.get_or_init(SimdPolicy::from_env)
 }
 
-/// [`compiled_for`] with an explicit fusion policy (the API opt-out:
-/// `compiled_for_with(plan, &FusionPolicy::disabled())` replays the
-/// unfused schedule whatever the environment says). Schedules are cached
-/// per `(plan, budget)`, so mixed-policy traffic never cross-talks.
-pub fn compiled_for_with(plan: &Plan, policy: &FusionPolicy) -> Rc<CompiledPlan> {
-    let budget = policy.cache_key();
+/// The lazily-compiled schedule for `plan` under the process-default
+/// [`FusionPolicy`] and [`SimdPolicy`] (fusion **on** unless
+/// `WHT_NO_FUSE=1`, lane kernels **on** unless `WHT_NO_SIMD=1`): compiled
+/// on first use on this thread, then served from a bounded per-thread
+/// cache. This is what lets [`crate::apply_plan`] keep its signature while
+/// paying the tree walk once per plan instead of once per call.
+pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
+    compiled_for_with(plan, env_policy(), env_simd_policy())
+}
+
+/// [`compiled_for`] with an explicit executor configuration (the API
+/// opt-outs: `FusionPolicy::disabled()` replays the unfused schedule and
+/// `SimdPolicy::disabled()` the scalar kernels, whatever the environment
+/// says). Schedules are cached per `(plan, budget, simd)`, so
+/// mixed-policy traffic never cross-talks.
+pub fn compiled_for_with(
+    plan: &Plan,
+    policy: &FusionPolicy,
+    simd: &SimdPolicy,
+) -> Rc<CompiledPlan> {
+    let key = (policy.cache_key(), simd.enabled());
     PLAN_CACHE.with(|cache| {
         let mut map = cache.borrow_mut();
-        if let Some(hit) = map.get(plan).and_then(|by_budget| by_budget.get(&budget)) {
+        if let Some(hit) = map.get(plan).and_then(|by_key| by_key.get(&key)) {
             return Rc::clone(hit);
         }
-        let compiled = Rc::new(CompiledPlan::compile_fused(plan, policy));
-        // The bound counts (plan, budget) schedules, not just plans — a
+        let compiled = Rc::new(CompiledPlan::compile_with(plan, policy, simd));
+        // The bound counts (plan, config) schedules, not just plans — a
         // budget sweep over one plan must still trigger eviction.
         if map.values().map(HashMap::len).sum::<usize>() >= CACHE_CAP {
             // Simplest bounded policy: drop everything, refill from live
@@ -818,7 +961,7 @@ pub fn compiled_for_with(plan: &Plan, policy: &FusionPolicy) -> Rc<CompiledPlan>
         }
         map.entry(plan.clone())
             .or_default()
-            .insert(budget, Rc::clone(&compiled));
+            .insert(key, Rc::clone(&compiled));
         compiled
     })
 }
@@ -959,6 +1102,38 @@ mod tests {
     }
 
     #[test]
+    fn simd_relabeling_is_bit_identical_and_recorded() {
+        for n in [6u32, 10, 12] {
+            let input = signal(n);
+            for plan in test_plans(n) {
+                for budget in [0usize, 1 << 5, usize::MAX] {
+                    let scalar = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(budget));
+                    let simd = scalar.with_simd(&SimdPolicy::auto());
+                    // The relabeling is recorded, validates, and keeps the
+                    // factor list...
+                    assert!(simd.is_simd() && !scalar.is_simd());
+                    assert!(simd
+                        .super_passes()
+                        .iter()
+                        .all(|sp| sp.backend() == PassBackend::Lanes));
+                    assert!(simd.validate().is_ok());
+                    assert_eq!(simd.passes(), scalar.passes());
+                    // ...and both backends produce identical bits.
+                    let mut a = input.clone();
+                    scalar.apply(&mut a).unwrap();
+                    let mut b = input.clone();
+                    simd.apply(&mut b).unwrap();
+                    assert_eq!(a, b, "plan {plan}, budget {budget}");
+                    // Disabling flips back; fusing preserves the backend.
+                    assert!(!simd.with_simd(&SimdPolicy::disabled()).is_simd());
+                    assert!(simd.fuse(&FusionPolicy::new(1 << 4)).is_simd());
+                    assert!(!scalar.fuse(&FusionPolicy::new(1 << 4)).is_simd());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn length_mismatch_rejected() {
         let compiled = CompiledPlan::compile(&Plan::iterative(4).unwrap());
         let mut x = vec![0.0f64; 15];
@@ -1011,7 +1186,13 @@ mod tests {
             child_loops: usize,
         }
         impl ExecHooks for Count {
-            fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize) {
+            fn super_pass(
+                &mut self,
+                parts: usize,
+                tiles: usize,
+                tile_elems: usize,
+                _backend: PassBackend,
+            ) {
                 self.super_passes.push((parts, tiles, tile_elems));
             }
             fn child_loops(&mut self, _c: u32, _r: usize, _s: usize) {
@@ -1038,14 +1219,23 @@ mod tests {
         // The default entry point fuses under the process policy; the
         // factor list is policy-invariant.
         assert_eq!(a.passes(), CompiledPlan::compile(&plan).passes());
-        // Distinct policies are distinct cache entries.
-        let unfused = compiled_for_with(&plan, &FusionPolicy::disabled());
-        assert_eq!(*unfused, CompiledPlan::compile(&plan));
-        let fused = compiled_for_with(&plan, &FusionPolicy::new(1 << 8));
+        // Distinct policies are distinct cache entries. (Comparisons are
+        // against schedules built under the same env SimdPolicy, so the
+        // test holds on every CI leg.)
+        let env_simd = SimdPolicy::from_env();
+        let unfused = compiled_for_with(&plan, &FusionPolicy::disabled(), &env_simd);
+        assert_eq!(*unfused, CompiledPlan::compile(&plan).with_simd(&env_simd));
+        let fused = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &env_simd);
         assert_eq!(
             *fused,
-            CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 8))
+            CompiledPlan::compile_with(&plan, &FusionPolicy::new(1 << 8), &env_simd)
         );
+        // The kernel backend is part of the cache key too.
+        let scalar = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &SimdPolicy::disabled());
+        assert!(!scalar.is_simd());
+        let lanes = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &SimdPolicy::auto());
+        assert!(lanes.is_simd());
+        assert_eq!(scalar.passes(), lanes.passes());
         // Flood the cache past capacity; the entry may be evicted but
         // lookups must stay correct.
         for n in 1..=8u32 {
@@ -1136,7 +1326,7 @@ mod tests {
         let plan = Plan::iterative(10).unwrap();
         let reference = CompiledPlan::compile(&plan);
         for b in 0..CACHE_CAP + 8 {
-            let c = compiled_for_with(&plan, &FusionPolicy::new(b + 2));
+            let c = compiled_for_with(&plan, &FusionPolicy::new(b + 2), &SimdPolicy::from_env());
             assert_eq!(c.passes(), reference.passes(), "budget {}", b + 2);
         }
     }

@@ -25,8 +25,32 @@ pub struct DdlConfig {
     /// Gather/scatter kicks in when a subtransform's stride reaches
     /// `2^stride_threshold_log2` elements. 3 (= one 64-byte line of
     /// doubles) mirrors the package's intent: relayout as soon as strides
-    /// stop sharing lines.
+    /// stop sharing lines. Must be below `usize::BITS` (checked by
+    /// [`DdlConfig::validate`]); no stride in a valid plan can reach
+    /// `2^MAX_N` anyway, so larger thresholds only ever mean "never
+    /// relayout".
     pub stride_threshold_log2: u32,
+}
+
+impl DdlConfig {
+    /// Check the configuration: `stride_threshold_log2` must be a valid
+    /// shift amount. Without this gate, `1usize << 64` would panic in
+    /// debug builds and silently *wrap* in release builds — a threshold
+    /// of 64 would become `2^0 = 1` and relayout every subtransform,
+    /// the exact opposite of the configured intent.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] naming the constraint.
+    pub fn validate(&self) -> Result<(), WhtError> {
+        if self.stride_threshold_log2 >= usize::BITS {
+            return Err(WhtError::InvalidConfig(format!(
+                "DDL stride threshold 2^{} overflows usize (max exponent {})",
+                self.stride_threshold_log2,
+                usize::BITS - 1
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for DdlConfig {
@@ -42,8 +66,10 @@ impl Default for DdlConfig {
 /// stride crosses the DDL threshold into contiguous scratch first.
 ///
 /// # Errors
+/// [`WhtError::InvalidConfig`] if `cfg` fails [`DdlConfig::validate`];
 /// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
 pub fn apply_plan_ddl<T: Scalar>(plan: &Plan, x: &mut [T], cfg: DdlConfig) -> Result<(), WhtError> {
+    cfg.validate()?;
     if x.len() != plan.size() {
         return Err(WhtError::LengthMismatch {
             expected: plan.size(),
@@ -204,6 +230,39 @@ mod tests {
         let plan = Plan::leaf(4).unwrap();
         let mut x = vec![0.0f64; 15];
         assert!(apply_plan_ddl(&plan, &mut x, DdlConfig::default()).is_err());
+    }
+
+    #[test]
+    fn overflowing_threshold_is_a_typed_config_error() {
+        // Regression: stride_threshold_log2 >= usize::BITS used to feed
+        // `1usize << 64`, which panics in debug and *wraps to 1* in
+        // release — silently relayouting every subtransform. It must be
+        // rejected as InvalidConfig instead, for every overflowing value.
+        let plan = Plan::balanced(8, 2).unwrap();
+        for bad in [usize::BITS, usize::BITS + 1, u32::MAX] {
+            let cfg = DdlConfig {
+                stride_threshold_log2: bad,
+            };
+            assert!(matches!(cfg.validate(), Err(WhtError::InvalidConfig(_))));
+            let mut x = vec![0.0f64; 1 << 8];
+            let err = apply_plan_ddl(&plan, &mut x, cfg).unwrap_err();
+            assert!(
+                matches!(err, WhtError::InvalidConfig(ref msg) if msg.contains(&format!("2^{bad}"))),
+                "got: {err:?}"
+            );
+        }
+        // The largest representable threshold stays valid (it simply
+        // never triggers a relayout) and still computes the transform.
+        let cfg = DdlConfig {
+            stride_threshold_log2: usize::BITS - 1,
+        };
+        assert!(cfg.validate().is_ok());
+        let input = signal(8);
+        let mut a = input.clone();
+        apply_plan_ddl(&plan, &mut a, cfg).unwrap();
+        let mut b = input;
+        apply_plan(&plan, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -137,14 +137,23 @@ pub trait ExecHooks {
     }
 
     /// A compiled super-pass begins: `parts` fused factors replayed over
-    /// `tiles` cache tiles of `tile_elems` elements each. Emitted only by
+    /// `tiles` cache tiles of `tile_elems` elements each, through the
+    /// kernel `backend` recorded in the schedule (so measurement consumers
+    /// see exactly the program the executor runs, SIMD selection
+    /// included). Emitted only by
     /// [`crate::compile::CompiledPlan::traverse`] (the recursive
     /// interpreter has no super-pass structure); consumers that segment
     /// measurements per super-pass (e.g. the per-super-pass traffic report
     /// in `wht-measure`) override this, everything else ignores it.
     #[inline]
-    fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize) {
-        let _ = (parts, tiles, tile_elems);
+    fn super_pass(
+        &mut self,
+        parts: usize,
+        tiles: usize,
+        tile_elems: usize,
+        backend: crate::compile::PassBackend,
+    ) {
+        let _ = (parts, tiles, tile_elems, backend);
     }
 
     /// Within the current split invocation, child `i` (of size `2^child_n`)

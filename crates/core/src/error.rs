@@ -28,6 +28,14 @@ pub enum WhtError {
         /// The offending total exponent.
         n: u32,
     },
+    /// A codelet was invoked with an invalid element stride (`0`). A zero
+    /// stride would make every "strided" index alias the base element —
+    /// a configuration error, reported as such instead of being disguised
+    /// as a buffer-length problem.
+    InvalidStride {
+        /// The offending stride.
+        stride: usize,
+    },
     /// A data buffer had the wrong length for the plan it was applied to.
     LengthMismatch {
         /// Length the plan requires (`plan.size()`).
@@ -76,6 +84,9 @@ impl fmt::Display for WhtError {
                 "plan size 2^{n} exceeds the supported maximum 2^{}",
                 crate::plan::MAX_N
             ),
+            WhtError::InvalidStride { stride } => {
+                write!(f, "invalid codelet stride {stride}: stride must be nonzero")
+            }
             WhtError::LengthMismatch { expected, got } => {
                 write!(f, "data length {got} does not match plan size {expected}")
             }
@@ -112,6 +123,8 @@ mod tests {
         assert!(e.to_string().contains("2^99"));
         let e = WhtError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = WhtError::InvalidStride { stride: 0 };
+        assert!(e.to_string().contains("stride 0") && e.to_string().contains("nonzero"));
         let e = WhtError::InvalidSchedule {
             index: 2,
             msg: "tiles overlap".into(),

@@ -25,6 +25,12 @@ pub trait Scalar:
     const ZERO: Self;
     /// Multiplicative identity (used by test signal generators).
     const ONE: Self;
+    /// Natural lane-block width of the SIMD codelet backend: the number of
+    /// elements of this type in one 64-byte block (a cache line — two
+    /// 256-bit AVX2 vectors for 8-byte scalars, four for 4-byte ones). The
+    /// lane-block kernels in [`crate::codelets`] transform this many
+    /// unit-stride columns per block; must be a power of two.
+    const LANES: usize;
 
     /// Lossy conversion from `i64`, for building test inputs.
     fn from_i64(v: i64) -> Self;
@@ -36,6 +42,7 @@ pub trait Scalar:
 impl Scalar for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const LANES: usize = 8;
 
     #[inline]
     fn from_i64(v: i64) -> Self {
@@ -51,6 +58,7 @@ impl Scalar for f64 {
 impl Scalar for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
+    const LANES: usize = 16;
 
     #[inline]
     fn from_i64(v: i64) -> Self {
@@ -66,6 +74,7 @@ impl Scalar for f32 {
 impl Scalar for i64 {
     const ZERO: Self = 0;
     const ONE: Self = 1;
+    const LANES: usize = 8;
 
     #[inline]
     fn from_i64(v: i64) -> Self {
@@ -81,6 +90,7 @@ impl Scalar for i64 {
 impl Scalar for i32 {
     const ZERO: Self = 0;
     const ONE: Self = 1;
+    const LANES: usize = 16;
 
     #[inline]
     fn from_i64(v: i64) -> Self {
@@ -110,6 +120,18 @@ mod tests {
         add_sub_roundtrip::<f32>();
         add_sub_roundtrip::<i64>();
         add_sub_roundtrip::<i32>();
+    }
+
+    #[test]
+    fn lane_widths_are_powers_of_two_filling_a_cache_line() {
+        fn check<T: Scalar>() {
+            assert!(T::LANES.is_power_of_two());
+            assert_eq!(T::LANES * core::mem::size_of::<T>(), 64);
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<i64>();
+        check::<i32>();
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! CI gate for the SIMD test matrix: each CI leg runs the whole suite
+//! with `WHT_NO_SIMD` either unset (lane-kernel executor) or `1` (scalar
+//! executor). This test fails the leg if the production path does not
+//! match the environment — i.e. if a misconfigured matrix would silently
+//! test one kernel backend twice and skip the other. Modeled on
+//! `fusion_gate.rs`, which guards the fusion axis the same way.
+
+use wht_core::{compiled_for, PassBackend, Plan, SimdPolicy};
+
+#[test]
+fn kernel_path_matches_the_environment() {
+    let no_simd = std::env::var("WHT_NO_SIMD")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    // The env-derived policy must reflect the switch...
+    let policy = SimdPolicy::from_env();
+    assert_eq!(
+        policy.enabled(),
+        !no_simd,
+        "SimdPolicy::from_env() disagrees with WHT_NO_SIMD={:?}",
+        std::env::var("WHT_NO_SIMD").ok()
+    );
+    // ...and the production schedule cache must actually be compiling that
+    // path: every super-pass of every schedule records its kernel.
+    let compiled = compiled_for(&Plan::iterative(18).unwrap());
+    assert_eq!(
+        compiled.is_simd(),
+        !no_simd,
+        "apply_plan would execute the wrong kernel for this CI leg \
+         (WHT_NO_SIMD={:?}, simd={})",
+        std::env::var("WHT_NO_SIMD").ok(),
+        compiled.is_simd()
+    );
+    let want = if no_simd {
+        PassBackend::Scalar
+    } else {
+        PassBackend::Lanes
+    };
+    assert!(
+        compiled
+            .super_passes()
+            .iter()
+            .all(|sp| sp.backend() == want),
+        "schedule records a mixed or wrong backend for this CI leg"
+    );
+}

@@ -12,7 +12,11 @@ use wht_cachesim::Hierarchy;
 use wht_core::plan::Plan;
 
 /// Per-level stats of one cold DDL execution of `plan` through `hierarchy`
-/// (reset first). `stride_threshold_log2` as in `wht_core::ddl::DdlConfig`.
+/// (reset first). `stride_threshold_log2` as in `wht_core::ddl::DdlConfig`;
+/// a threshold exponent that overflows `usize` saturates to "never
+/// relayout" (no stride in a valid plan can reach it) instead of wrapping
+/// the shift, mirroring `DdlConfig::validate`'s intent for this
+/// `Result`-free measurement helper.
 pub fn ddl_trace_misses(
     plan: &Plan,
     hierarchy: &mut Hierarchy,
@@ -23,7 +27,9 @@ pub fn ddl_trace_misses(
     let scratch_base = plan.size().next_multiple_of(64);
     let mut ctx = DdlTrace {
         hierarchy,
-        threshold: 1usize << stride_threshold_log2,
+        threshold: 1usize
+            .checked_shl(stride_threshold_log2)
+            .unwrap_or(usize::MAX),
         scratch_base,
     };
     ctx.rec(plan, 0, 1);
@@ -100,6 +106,12 @@ mod tests {
         let mut h2 = Hierarchy::opteron();
         let ddl = ddl_trace_misses(&plan, &mut h2, 30);
         assert_eq!(plain, ddl);
+        // Regression: an exponent that overflows usize must saturate to
+        // the same "never relayout" trace, not wrap the shift to
+        // threshold 1 (which would gather every subtransform).
+        let mut h3 = Hierarchy::opteron();
+        let saturated = ddl_trace_misses(&plan, &mut h3, u32::MAX);
+        assert_eq!(plain, saturated);
     }
 
     /// The headline DDL effect: for the cache-hostile left recursion out of

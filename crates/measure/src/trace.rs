@@ -8,7 +8,7 @@
 //! touching data.
 
 use wht_cachesim::{CacheConfig, CacheStats, ConfigError, Hierarchy};
-use wht_core::{traverse, CompiledPlan, ExecHooks, Plan};
+use wht_core::{traverse, CompiledPlan, ExecHooks, PassBackend, Plan};
 
 /// [`ExecHooks`] implementation that feeds every element access of the
 /// computation through a [`Hierarchy`].
@@ -104,6 +104,11 @@ pub struct SuperPassTraffic {
     pub tiles: usize,
     /// Elements per tile.
     pub tile_elems: usize,
+    /// Kernel backend the executor replays this super-pass with (recorded
+    /// in the schedule; the lane backend loads `W`-element blocks but
+    /// still reads and writes each element exactly once, so the access
+    /// and miss columns are charged identically for both backends).
+    pub backend: PassBackend,
     /// Element accesses issued by this super-pass (loads + stores).
     pub accesses: u64,
     /// L1 misses charged to this super-pass.
@@ -131,13 +136,14 @@ impl SuperPassTracer {
 
 impl ExecHooks for SuperPassTracer {
     #[inline]
-    fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize) {
+    fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize, backend: PassBackend) {
         self.close();
         let l1 = self.hierarchy.stats(0);
         self.open = Some(SuperPassTraffic {
             parts,
             tiles,
             tile_elems,
+            backend,
             accesses: l1.accesses,
             l1_misses: l1.misses,
         });
@@ -345,6 +351,38 @@ mod tests {
             assert!(
                 row.l1_misses >= 1u64 << (n - 3),
                 "tail passes sweep the vector"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_selection_never_changes_the_accounting() {
+        use wht_core::{CompiledPlan, FusionPolicy, SimdPolicy};
+        // The lane kernels load W-element blocks, but the accounting
+        // contract — one read and one write per element per pass — is
+        // backend-invariant, so the trace executor charges SIMD and scalar
+        // schedules identically while the report records which kernel ran.
+        let plan = Plan::iterative(14).unwrap();
+        let scalar = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 10));
+        let simd = scalar.with_simd(&SimdPolicy::auto());
+
+        let mut h = Hierarchy::opteron();
+        let scalar_stats = trace_misses_compiled(&scalar, &mut h);
+        let mut h = Hierarchy::opteron();
+        let simd_stats = trace_misses_compiled(&simd, &mut h);
+        assert_eq!(scalar_stats, simd_stats);
+
+        let mut h = Hierarchy::opteron();
+        let scalar_rows = super_pass_traffic(&scalar, &mut h);
+        let mut h = Hierarchy::opteron();
+        let simd_rows = super_pass_traffic(&simd, &mut h);
+        assert_eq!(scalar_rows.len(), simd_rows.len());
+        for (a, b) in scalar_rows.iter().zip(simd_rows.iter()) {
+            assert_eq!(a.backend, PassBackend::Scalar);
+            assert_eq!(b.backend, PassBackend::Lanes);
+            assert_eq!(
+                (a.parts, a.tiles, a.tile_elems, a.accesses, a.l1_misses),
+                (b.parts, b.tiles, b.tile_elems, b.accesses, b.l1_misses),
             );
         }
     }

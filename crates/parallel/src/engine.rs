@@ -19,9 +19,19 @@
 //! locality win instead of re-interleaving the factors across threads.
 //! With fewer tiles than workers (a single-tile super-pass, or huge
 //! tiles), tile-sharding would idle most of the crew, so the engine
-//! falls back to the unfused pass-major order and shards each factor's
-//! full `r × s` invocation grid exactly as the pre-fusion engine did
+//! falls back to the unfused pass-major order and shards each factor
 //! (`SuperPass::flat_pass`) — bit-identical output either way.
+//!
+//! Workers always run the **same kernel backend the sequential replay
+//! picked** (`PassBackend`, recorded in the schedule): a claimed tile
+//! replays through `SuperPass::apply_tile`, which dispatches on the
+//! record, and the flat-pass fallback shards a `Lanes` pass by *lane
+//! block* (one claim = one `W`-column block of one row, the SIMD kernel's
+//! own unit of work — see `wht_core::codelets::apply_codelet_cols`)
+//! instead of by scalar invocation, so opting a process into or out of
+//! SIMD changes sequential and parallel execution together. Either way
+//! the grouping performs the same adds/subs on the same values, so
+//! output stays bit-identical to sequential execution.
 //!
 //! ## Safety argument
 //!
@@ -128,31 +138,60 @@ pub fn par_apply_compiled<T: Scalar>(
     enum Unit<'a> {
         /// Claim indices are tile numbers of the super-pass.
         Tiles(&'a wht_core::SuperPass),
-        /// Claim indices are invocation numbers of the absolute pass.
+        /// Claim indices are invocation numbers of the absolute pass
+        /// (scalar-backend fallback).
         Invocations(Pass),
+        /// Claim indices are lane blocks of the absolute unit-stride pass:
+        /// index `i` is block `i % blocks_per_row` of row `i /
+        /// blocks_per_row`, covering `width` columns (the last block of a
+        /// row may be narrower). The lane-backend fallback: each claim
+        /// runs the exact kernel unit the sequential SIMD replay runs.
+        LaneBlocks {
+            pass: Pass,
+            blocks_per_row: usize,
+            width: usize,
+        },
     }
     impl Unit<'_> {
         fn count(&self) -> usize {
             match self {
                 Unit::Tiles(sp) => sp.tiles(),
                 Unit::Invocations(pass) => pass.invocations(),
+                Unit::LaneBlocks {
+                    pass,
+                    blocks_per_row,
+                    ..
+                } => pass.r * blocks_per_row,
             }
         }
     }
+    let width = T::LANES;
     let mut units: Vec<Unit<'_>> = Vec::new();
     for sp in compiled.super_passes() {
         if sp.tiles() >= workers {
             // Enough tiles to keep every worker busy: shard by tile and
-            // keep the fusion layer's per-tile locality.
+            // keep the fusion layer's per-tile locality (apply_tile runs
+            // the backend recorded in the schedule).
             units.push(Unit::Tiles(sp));
         } else {
             // Too few tiles (a single-tile super-pass, or a fused run
             // whose tiles are huge relative to the crew): fall back to
-            // the unfused pass-major order and shard each factor's full
-            // invocation grid, exactly as the pre-fusion engine did —
-            // bit-identical output, no starved workers.
+            // the unfused pass-major order and shard each factor —
+            // bit-identical output, no starved workers. A lane-backend
+            // factor shards by lane block so every worker still runs the
+            // kernel the schedule recorded; a scalar factor shards its
+            // full invocation grid exactly as the pre-fusion engine did.
             for p in 0..sp.parts().len() {
-                units.push(Unit::Invocations(sp.flat_pass(p)));
+                let pass = sp.flat_pass(p);
+                if sp.backend() == wht_core::PassBackend::Lanes && pass.stride == 1 {
+                    units.push(Unit::LaneBlocks {
+                        pass,
+                        blocks_per_row: pass.s.div_ceil(width),
+                        width,
+                    });
+                } else {
+                    units.push(Unit::Invocations(pass));
+                }
             }
         }
     }
@@ -187,13 +226,36 @@ pub fn par_apply_compiled<T: Scalar>(
                         let end = (start + chunk).min(count);
                         for i in start..end {
                             match unit {
-                                // SAFETY (both arms): i < count and the
+                                // SAFETY (all arms): i < count and the
                                 // buffer holds the full transform (checked
                                 // above).
                                 Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
                                 Unit::Invocations(pass) => unsafe {
                                     pass.apply_invocation(data, i)
                                 },
+                                Unit::LaneBlocks {
+                                    pass,
+                                    blocks_per_row,
+                                    width,
+                                } => {
+                                    let row = i / blocks_per_row;
+                                    let t0 = (i % blocks_per_row) * width;
+                                    let cols = (*width).min(pass.s - t0);
+                                    let block = (1usize << pass.k) * pass.s;
+                                    // SAFETY: row < pass.r and t0 + cols <=
+                                    // pass.s, so the block stays inside the
+                                    // pass span; pass.stride == 1 was
+                                    // checked when the unit was built.
+                                    unsafe {
+                                        wht_core::apply_codelet_cols(
+                                            pass.k,
+                                            data,
+                                            pass.base + row * block + t0,
+                                            pass.s,
+                                            cols,
+                                        )
+                                    };
+                                }
                             }
                         }
                     }
@@ -276,6 +338,42 @@ mod tests {
             let mut par = input.clone();
             par_apply_compiled(&fused, &mut par, Threads(8)).unwrap();
             assert_eq!(par, seq, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn simd_parallel_matches_sequential_bit_for_bit_in_both_sharding_regimes() {
+        use wht_core::{FusionPolicy, SimdPolicy};
+        // tiles = size / budget: with 8 workers, budget N/2 gives 2 tiles
+        // (lane-block/flat fallback) and budget N/64 gives 64 tiles (tile
+        // sharding); budget 0 leaves every pass a single-tile unit, so the
+        // whole schedule runs through the lane-block fallback. All must
+        // agree with the sequential SIMD replay exactly, for floats and
+        // integers.
+        let n = 13u32;
+        for plan in [Plan::iterative(n).unwrap(), Plan::balanced(n, 4).unwrap()] {
+            for budget in [0usize, 1 << (n - 1), 1 << (n - 6)] {
+                let simd = CompiledPlan::compile_with(
+                    &plan,
+                    &FusionPolicy::new(budget),
+                    &SimdPolicy::auto(),
+                );
+                assert!(simd.is_simd());
+                let input = signal(n);
+                let mut seq = input.clone();
+                simd.apply(&mut seq).unwrap();
+                for threads in [2usize, 3, 8] {
+                    let mut par = input.clone();
+                    par_apply_compiled(&simd, &mut par, Threads(threads)).unwrap();
+                    assert_eq!(par, seq, "plan {plan}, budget {budget}, {threads} threads");
+                }
+                let ints: Vec<i32> = input.iter().map(|&v| v as i32).collect();
+                let mut seq_i = ints.clone();
+                simd.apply(&mut seq_i).unwrap();
+                let mut par_i = ints;
+                par_apply_compiled(&simd, &mut par_i, Threads(5)).unwrap();
+                assert_eq!(par_i, seq_i, "plan {plan}, budget {budget} (i32)");
+            }
         }
     }
 

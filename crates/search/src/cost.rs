@@ -6,9 +6,9 @@
 //! strategy works with either backend.
 
 use wht_cachesim::Hierarchy;
-use wht_core::{CompiledPlan, FusionPolicy, Plan, WhtError};
+use wht_core::{lane_width, CompiledPlan, FusionPolicy, Plan, SimdPolicy, WhtError};
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
-use wht_models::{analytic_misses, instruction_count, CostModel, ModelCache};
+use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
 
 /// A (possibly stateful) cost function over plans; smaller is better.
 pub trait PlanCost {
@@ -104,6 +104,16 @@ pub struct FusedTrafficCost {
     /// resident (e.g. an unbounded budget collapses the schedule to one
     /// vector-sized tile, which still streams once per factor).
     pub cache_elems: usize,
+    /// Vector width of the kernel backend the executor will run: the leaf
+    /// work term (butterflies, element loads/stores and their address
+    /// arithmetic) is divided by this, because the lane-block kernels
+    /// retire `W` columns of it per operation. `1` models the scalar
+    /// backend; loop bookkeeping is never divided (the lane kernels run
+    /// the same pass/row loops). Matching the ranking model to the
+    /// executor matters: under SIMD the ALU term shrinks, so memory
+    /// traffic weighs relatively more and traffic-lean plans rank higher
+    /// — exactly what wall-clock measurement shows.
+    pub simd_lanes: usize,
     /// Weight on instructions.
     pub alpha: f64,
     /// Weight on streamed elements.
@@ -111,19 +121,31 @@ pub struct FusedTrafficCost {
 }
 
 impl FusedTrafficCost {
-    /// Cost under an explicit fusion policy with the default weights
-    /// (`alpha = 1`, `beta = 4`: a streamed element costs about what a
-    /// handful of bookkeeping instructions does, matching the combined
-    /// model's miss-penalty scale on 8-element lines) and an L2-sized
-    /// residency threshold.
-    pub fn with_policy(policy: FusionPolicy) -> Self {
+    /// Cost under an explicit executor configuration (fusion policy +
+    /// kernel backend) with the default weights (`alpha = 1`, `beta = 4`:
+    /// a streamed element costs about what a handful of bookkeeping
+    /// instructions does, matching the combined model's miss-penalty
+    /// scale on 8-element lines) and an L2-sized residency threshold.
+    /// The lane width models the measured default element type, `f64`.
+    pub fn with_backends(policy: FusionPolicy, simd: SimdPolicy) -> Self {
         FusedTrafficCost {
             cost_model: CostModel::default(),
             policy,
             cache_elems: FusionPolicy::DEFAULT_BUDGET_ELEMS,
+            simd_lanes: if simd.enabled() {
+                lane_width::<f64>()
+            } else {
+                1
+            },
             alpha: 1.0,
             beta: 4.0,
         }
+    }
+
+    /// [`FusedTrafficCost::with_backends`] with the process-default SIMD
+    /// policy (lane kernels unless `WHT_NO_SIMD=1`).
+    pub fn with_policy(policy: FusionPolicy) -> Self {
+        FusedTrafficCost::with_backends(policy, SimdPolicy::from_env())
     }
 }
 
@@ -135,7 +157,17 @@ impl Default for FusedTrafficCost {
 
 impl PlanCost for FusedTrafficCost {
     fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
-        let i = instruction_count(plan, &self.cost_model) as f64;
+        // Split the instruction model into the leaf work the lane kernels
+        // retire W columns at a time and the loop bookkeeping they run
+        // unchanged.
+        let ops = op_counts(plan);
+        let total = self.cost_model.total(&ops) as f64;
+        let leaf_work = (self.cost_model.arith * ops.arith
+            + self.cost_model.load * ops.loads
+            + self.cost_model.store * ops.stores
+            + self.cost_model.addr * ops.addr) as f64;
+        let lanes = self.simd_lanes.max(1) as f64;
+        let i = (total - leaf_work) + leaf_work / lanes;
         let compiled = CompiledPlan::compile_fused(plan, &self.policy);
         let streamed: usize = compiled
             .super_passes()
@@ -259,6 +291,39 @@ mod tests {
         let blocked = Plan::binary_iterative(18, 8).unwrap();
         let mut c = FusedTrafficCost::default();
         assert!(c.cost(&blocked).unwrap() < c.cost(&plan).unwrap());
+    }
+
+    #[test]
+    fn fused_traffic_learns_the_vector_width() {
+        let plan = Plan::iterative(18).unwrap();
+        let policy = FusionPolicy::default();
+        let mut simd = FusedTrafficCost::with_backends(policy, SimdPolicy::auto());
+        let mut scalar = FusedTrafficCost::with_backends(policy, SimdPolicy::disabled());
+        assert_eq!(simd.simd_lanes, wht_core::lane_width::<f64>());
+        assert_eq!(scalar.simd_lanes, 1);
+        // The lane backend retires the leaf work W columns at a time, so
+        // the modelled cost must drop — but only the leaf-work share of
+        // it: bookkeeping and traffic are backend-invariant, so the
+        // SIMD cost stays well above total/W.
+        let c_simd = simd.cost(&plan).unwrap();
+        let c_scalar = scalar.cost(&plan).unwrap();
+        assert!(c_simd < c_scalar);
+        assert!(c_simd > c_scalar / simd.simd_lanes as f64);
+        // Under SIMD the ALU term shrinks, so traffic weighs relatively
+        // more: the cost ratio between the fusion-off and fusion-on
+        // executors (which differ *only* in traffic) must widen when the
+        // ranking model knows the executor is vectorized.
+        let mut simd_off =
+            FusedTrafficCost::with_backends(FusionPolicy::disabled(), SimdPolicy::auto());
+        let mut scalar_off =
+            FusedTrafficCost::with_backends(FusionPolicy::disabled(), SimdPolicy::disabled());
+        let simd_ratio = simd_off.cost(&plan).unwrap() / c_simd;
+        let scalar_ratio = scalar_off.cost(&plan).unwrap() / c_scalar;
+        assert!(
+            simd_ratio > scalar_ratio,
+            "traffic must weigh relatively more under SIMD \
+             ({simd_ratio:.3} vs {scalar_ratio:.3})"
+        );
     }
 
     #[test]

@@ -45,27 +45,31 @@ use crate::dp::{dp_search, DpOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
-use wht_core::{CompiledPlan, FusionPolicy, Plan, Scalar, WhtError};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, Scalar, SimdPolicy, WhtError};
 
 /// Serialized form of one wisdom entry: the plan travels as its
 /// WHT-package grammar string, which is stable, human-readable, and
 /// validated on parse. `fuse_budget` is the tile budget (in elements) the
 /// planner chose when it recorded the entry — `0` means fusion was off,
 /// absent/`null` means "not recorded" (the reader's default policy
-/// applies).
+/// applies). `simd` records the kernel backend the entry was tuned for
+/// (`true` = lane kernels, `false` = scalar, absent = not recorded), with
+/// the same semantics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct WisdomEntry {
     n: u32,
     backend: String,
     plan: String,
     fuse_budget: Option<u64>,
+    simd: Option<bool>,
 }
 
-/// One best-known plan plus the fusion choice recorded with it.
+/// One best-known plan plus the executor tuning recorded with it.
 #[derive(Debug, Clone, PartialEq)]
 struct WisdomRecord {
     plan: Plan,
     fuse_budget: Option<usize>,
+    simd: Option<bool>,
 }
 
 /// Serialized wisdom store.
@@ -116,19 +120,28 @@ impl Wisdom {
         self.entries.get(&n)?.get(backend)?.fuse_budget
     }
 
+    /// Kernel backend recorded with the `(n, backend)` entry:
+    /// `Some(true)` means the recorder tuned with the SIMD lane kernels,
+    /// `Some(false)` with the scalar kernels, `None` means no choice was
+    /// recorded (or no entry exists) and the reader's default policy
+    /// applies.
+    pub fn simd_enabled(&self, n: u32, backend: &str) -> Option<bool> {
+        self.entries.get(&n)?.get(backend)?.simd
+    }
+
     /// Record (or overwrite) the best plan for `(n, backend)` with no
-    /// fusion choice attached.
+    /// executor tuning attached.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n` — wisdom for size
     /// `n` must transform size-`2^n` inputs.
     pub fn insert(&mut self, n: u32, backend: &str, plan: Plan) -> Result<(), WhtError> {
-        self.insert_with_budget(n, backend, plan, None)
+        self.insert_with_tuning(n, backend, plan, None, None)
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)`, attaching
     /// the tile budget the recorder compiled with (`Some(0)` = fusion
-    /// off).
+    /// off) but no kernel-backend choice.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
@@ -139,16 +152,38 @@ impl Wisdom {
         plan: Plan,
         fuse_budget: Option<usize>,
     ) -> Result<(), WhtError> {
+        self.insert_with_tuning(n, backend, plan, fuse_budget, None)
+    }
+
+    /// Record (or overwrite) the best plan for `(n, backend)`, attaching
+    /// the full executor tuning it was recorded under: the tile budget
+    /// (`Some(0)` = fusion off) and the kernel backend (`Some(true)` =
+    /// SIMD lane kernels).
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
+    pub fn insert_with_tuning(
+        &mut self,
+        n: u32,
+        backend: &str,
+        plan: Plan,
+        fuse_budget: Option<usize>,
+        simd: Option<bool>,
+    ) -> Result<(), WhtError> {
         if plan.n() != n {
             return Err(WhtError::LengthMismatch {
                 expected: 1usize << n,
                 got: plan.size(),
             });
         }
-        self.entries
-            .entry(n)
-            .or_default()
-            .insert(backend.to_string(), WisdomRecord { plan, fuse_budget });
+        self.entries.entry(n).or_default().insert(
+            backend.to_string(),
+            WisdomRecord {
+                plan,
+                fuse_budget,
+                simd,
+            },
+        );
         Ok(())
     }
 
@@ -163,6 +198,7 @@ impl Wisdom {
                     backend: backend.clone(),
                     plan: record.plan.to_string(),
                     fuse_budget: record.fuse_budget.map(|b| b as u64),
+                    simd: record.simd,
                 })
             })
             .collect();
@@ -195,7 +231,7 @@ impl Wisdom {
             let budget = entry.fuse_budget.map(|b| {
                 usize::try_from(b).unwrap_or(usize::MAX) // saturate on 32-bit hosts
             });
-            wisdom.insert_with_budget(entry.n, &entry.backend, plan, budget)?;
+            wisdom.insert_with_tuning(entry.n, &entry.backend, plan, budget, entry.simd)?;
         }
         Ok(wisdom)
     }
@@ -234,6 +270,10 @@ pub struct Planner<C: PlanCost> {
     /// `true` once [`Planner::with_fusion`] was called: the explicit
     /// policy then beats any budget recorded in wisdom.
     fusion_pinned: bool,
+    simd: SimdPolicy,
+    /// `true` once [`Planner::with_simd`] was called: the explicit policy
+    /// then beats any backend recorded in wisdom.
+    simd_pinned: bool,
     wisdom: Wisdom,
     compiled: HashMap<u32, CompiledPlan>,
     evaluations: usize,
@@ -253,6 +293,8 @@ impl<C: PlanCost> Planner<C> {
             opts,
             fusion: FusionPolicy::from_env(),
             fusion_pinned: false,
+            simd: SimdPolicy::from_env(),
+            simd_pinned: false,
             wisdom: Wisdom::new(),
             compiled: HashMap::new(),
             evaluations: 0,
@@ -281,6 +323,29 @@ impl<C: PlanCost> Planner<C> {
     /// re-enable.
     pub fn fusion(&self) -> FusionPolicy {
         self.fusion
+    }
+
+    /// Override the SIMD kernel policy (builder style). Drops compiled
+    /// schedules so already-served sizes recompile under the new policy,
+    /// and **pins** it: backends recorded in wisdom no longer override
+    /// it. This is the API opt-out: `with_simd(SimdPolicy::disabled())`
+    /// serves scalar kernels whatever the environment or the wisdom says.
+    #[must_use]
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self.simd_pinned = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The SIMD policy new wisdom is recorded with and cold sizes are
+    /// compiled under — same override semantics as [`Planner::fusion`]:
+    /// a backend recorded in wisdom wins per size unless the policy was
+    /// pinned with [`Planner::with_simd`] or is *disabled* (the
+    /// `WHT_NO_SIMD=1` kill switch, which imported wisdom can never
+    /// re-enable).
+    pub fn simd(&self) -> SimdPolicy {
+        self.simd
     }
 
     /// Adopt previously saved wisdom (builder style). Drops any compiled
@@ -320,9 +385,9 @@ impl<C: PlanCost> Planner<C> {
         if self.wisdom.get(n, backend).is_none() {
             let dp = dp_search(n, &self.opts, &mut self.cost)?;
             self.evaluations += dp.evaluations;
-            // Record the tile budget this planner compiles with, so a
-            // process importing the wisdom replays the same executor
-            // configuration (0 = fusion off).
+            // Record the executor tuning this planner compiles with, so a
+            // process importing the wisdom replays the same configuration
+            // (budget 0 = fusion off; simd = which kernels ran).
             let budget = if self.fusion.enabled() {
                 self.fusion.budget_elems
             } else {
@@ -332,11 +397,12 @@ impl<C: PlanCost> Planner<C> {
                 // Smaller sizes only fill holes: an imported entry may
                 // encode better (e.g. measured) wisdom than this search.
                 if m == n || self.wisdom.get(m, backend).is_none() {
-                    self.wisdom.insert_with_budget(
+                    self.wisdom.insert_with_tuning(
                         m,
                         backend,
                         dp.best[m as usize].clone(),
                         Some(budget),
+                        Some(self.simd.enabled()),
                     )?;
                 }
             }
@@ -381,8 +447,21 @@ impl<C: PlanCost> Planner<C> {
                     .map(FusionPolicy::new)
                     .unwrap_or(self.fusion)
             };
+            // Same resolution for the kernel backend: a recorded choice
+            // wins unless the policy is pinned (with_simd) or disabled
+            // (the WHT_NO_SIMD kill switch, which imported wisdom must
+            // not re-enable).
+            let simd = if self.simd_pinned || !self.simd.enabled() {
+                self.simd
+            } else {
+                match self.wisdom.simd_enabled(n, self.cost.name()) {
+                    Some(true) => SimdPolicy::auto(),
+                    Some(false) => SimdPolicy::disabled(),
+                    None => self.simd,
+                }
+            };
             self.compiled
-                .insert(n, CompiledPlan::compile_fused(&plan, &policy));
+                .insert(n, CompiledPlan::compile_with(&plan, &policy, &simd));
         }
         self.compiled.get(&n).expect("inserted above").apply(x)
     }
@@ -479,7 +558,11 @@ mod tests {
         planner.transform(&mut x).unwrap();
         assert_eq!(
             planner.compiled.get(&8),
-            Some(&CompiledPlan::compile_fused(&imported, &planner.fusion())),
+            Some(&CompiledPlan::compile_with(
+                &imported,
+                &planner.fusion(),
+                &planner.simd()
+            )),
             "warm transform must execute the imported plan"
         );
         assert_eq!(
@@ -599,6 +682,81 @@ mod tests {
         let mut z: Vec<f64> = (0..4096).map(|j| (j % 7) as f64).collect();
         planner.transform(&mut z).unwrap();
         assert!(planner.compiled.get(&12).unwrap().is_fused());
+    }
+
+    #[test]
+    fn wisdom_records_the_kernel_backend_and_round_trips_it() {
+        // The planner stamps its SIMD policy on every entry it records...
+        let mut planner =
+            Planner::new(InstructionCost::default()).with_simd(SimdPolicy::disabled());
+        planner.plan(8).unwrap();
+        for m in 1..=8u32 {
+            assert_eq!(
+                planner.wisdom().simd_enabled(m, "instruction-model"),
+                Some(false)
+            );
+        }
+        // ...and the record survives the JSON round trip.
+        let back = Wisdom::from_json(&planner.wisdom().to_json()).unwrap();
+        assert_eq!(&back, planner.wisdom());
+        assert_eq!(back.simd_enabled(8, "instruction-model"), Some(false));
+
+        // An importing planner with an unpinned enabled policy replays the
+        // recorded scalar choice.
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(back);
+        warm.simd = SimdPolicy::auto();
+        warm.simd_pinned = false;
+        let mut x: Vec<f64> = (0..256).map(|j| (j % 7) as f64).collect();
+        warm.transform(&mut x).unwrap();
+        assert!(
+            !warm.compiled.get(&8).unwrap().is_simd(),
+            "recorded scalar tuning must win over the importer's default"
+        );
+
+        // Entries without the field (legacy wisdom) record no choice.
+        let legacy =
+            "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\"plan\":\"split[small[2],small[2]]\"}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.simd_enabled(4, "x"), None);
+    }
+
+    #[test]
+    fn simd_kill_switch_and_pinning_beat_recorded_backends() {
+        // Imported wisdom tuned with the lane kernels must not re-enable
+        // them past an (unpinned) disabled policy — what WHT_NO_SIMD=1
+        // produces at construction.
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                10,
+                "instruction-model",
+                Plan::iterative(10).unwrap(),
+                None,
+                Some(true),
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
+        planner.simd = SimdPolicy::disabled();
+        planner.simd_pinned = false;
+        let mut x: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        assert!(
+            !planner.compiled.get(&10).unwrap().is_simd(),
+            "a disabled default policy must beat the recorded backend"
+        );
+
+        // And an explicit with_simd pin beats the record in both
+        // directions.
+        let mut pinned = Planner::new(InstructionCost::default())
+            .with_wisdom(wisdom)
+            .with_simd(SimdPolicy::disabled());
+        let mut y: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
+        pinned.transform(&mut y).unwrap();
+        assert!(!pinned.compiled.get(&10).unwrap().is_simd());
+        let mut repinned = pinned.with_simd(SimdPolicy::auto());
+        let mut z: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
+        repinned.transform(&mut z).unwrap();
+        assert!(repinned.compiled.get(&10).unwrap().is_simd());
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! wisdom and handles a burst of transforms without ever evaluating a
 //! cost function — the FFTW wisdom workflow on the paper's algorithm
 //! space. Run with `cargo run --release --example planner_service`.
+//!
+//! Executor knobs: served transforms replay fused, SIMD-lane-kernel
+//! compiled schedules by default. Wisdom records the tile budget and
+//! kernel backend each entry was tuned with, and an importing planner
+//! replays that configuration. Opt out per process with `WHT_NO_FUSE=1` /
+//! `WHT_NO_SIMD=1` (kill switches imported wisdom cannot override), or
+//! per planner with `.with_fusion(FusionPolicy::disabled())` /
+//! `.with_simd(SimdPolicy::disabled())`, which also pin the choice
+//! against recorded wisdom.
 
 use std::time::Instant;
 use wht::prelude::*;
@@ -48,6 +57,15 @@ fn main() -> Result<(), WhtError> {
         "served {requests} transforms of 2^{n} in {:.1} ms ({:.0} ns each), checksum {checksum:.3}",
         elapsed.as_secs_f64() * 1e3,
         elapsed.as_nanos() as f64 / requests as f64
+    );
+    println!(
+        "executor config: fusion {} (WHT_NO_FUSE opts out), SIMD lanes {} (WHT_NO_SIMD opts out)",
+        if server.fusion().enabled() {
+            "on"
+        } else {
+            "off"
+        },
+        if server.simd().enabled() { "on" } else { "off" },
     );
     assert_eq!(
         server.evaluations(),

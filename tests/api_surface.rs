@@ -80,12 +80,20 @@ fn fusion_layer_through_the_prelude() {
     par_apply_compiled(&fused, &mut par, Threads(4)).unwrap();
     assert_eq!(par, seq);
 
-    // The explicit-policy cache entry point honors the opt-out.
-    let via_cache = compiled_for_with(&plan, &FusionPolicy::disabled());
+    // The explicit-policy cache entry point honors both opt-outs.
+    let via_cache = compiled_for_with(&plan, &FusionPolicy::disabled(), &SimdPolicy::disabled());
     assert!(!via_cache.is_fused());
-    let mut unfused = input;
+    assert!(!via_cache.is_simd());
+    let mut unfused = input.clone();
     via_cache.apply(&mut unfused).unwrap();
     assert_eq!(unfused, seq);
+
+    // And the SIMD lane backend is prelude-reachable and bit-identical.
+    let lanes = compiled_for_with(&plan, &FusionPolicy::new(1 << 6), &SimdPolicy::auto());
+    assert!(lanes.is_simd());
+    let mut simd = input;
+    lanes.apply(&mut simd).unwrap();
+    assert_eq!(simd, seq);
 
     let mut h = Hierarchy::opteron();
     let report: Vec<SuperPassTraffic> = super_pass_traffic(&fused, &mut h);
