@@ -1,38 +1,78 @@
-//! Compiled-vs-interpreted-vs-fused-vs-SIMD speedup table: the acceptance
-//! measurement for the compiled-plan execution layer, its pass-fusion
-//! stage, and the SIMD lane-block codelet backend.
+//! Compiled-vs-interpreted-vs-fused-vs-SIMD-vs-relayout speedup table:
+//! the acceptance measurement for the compiled-plan execution layer, its
+//! pass-fusion stage, the SIMD lane-block codelet backend, and the DDL
+//! relayout tail.
 //!
 //! For each canonical plan and size, times the recursive interpreter
 //! (`apply_plan_recursive`, the paper's measured artifact), the unfused
 //! compiled pass-schedule replay (`CompiledPlan::apply`), the fused
-//! cache-blocked replay (`CompiledPlan::fuse`), and the fused replay
-//! through the lane-block kernels (`CompiledPlan::with_simd`) with the
-//! same median-of-blocks methodology, and prints the fastest-observed
-//! times and ratios (the minimum is the noise-robust estimator for ratio
-//! claims; medians track it closely on a quiet machine).
+//! cache-blocked replay (`CompiledPlan::fuse`), the fused replay through
+//! the lane-block kernels (`CompiledPlan::with_simd`), and the full
+//! pipeline with the large-stride tail relayouted through gathered
+//! scratch (`CompiledPlan::relayout`, compiled eagerly so every size
+//! reports the effect) with the same median-of-blocks methodology, and
+//! prints the fastest-observed times and ratios (the minimum is the
+//! noise-robust estimator for ratio claims; medians track it closely on a
+//! quiet machine).
 //!
-//! Where each stage pays: fusion pays once the vector outgrows the
-//! last-level cache (every unfused pass re-streams DRAM; the fused head
-//! streams once); the SIMD backend pays *below* that point, where the
-//! fused replay is ALU-bound — the lane kernels retire the butterflies
-//! and their unit-stride loads/stores `W` columns at a time, so
-//! LLC-resident sizes are where the simd/fused column peaks.
+//! Where each stage pays: fusion and relayout pay once the vector
+//! outgrows the last-level cache — every unfused pass re-streams DRAM,
+//! the fused head streams once, and the relayouted tail turns its
+//! remaining per-factor sweeps into one gather + one scatter; the SIMD
+//! backend pays *below* that point, where the replay is ALU-bound.
+//!
+//! Besides the table, the run emits a machine-readable
+//! **`BENCH_relayout.json`** (override with `--json PATH`): one row per
+//! plan × size × executor leg with min-of-blocks ns/transform and
+//! Melem/s, so the perf trajectory is tracked across PRs instead of
+//! living only in commit messages.
 //!
 //! Run with `--release`; flags: `--nmax N` (default 24, so the table
 //! reaches past a ~100 MiB LLC), `--reps R` (default 5), `--budget
 //! ELEMS` (fusion tile budget, default
-//! `FusionPolicy::DEFAULT_BUDGET_ELEMS`), `--llc-mib MIB` (the working-set
-//! bound the SIMD acceptance summary treats as LLC-resident; set it to
-//! your host's LLC — the default 64 suits a ~100 MiB server part).
+//! `FusionPolicy::DEFAULT_BUDGET_ELEMS`), `--relayout-budget ELEMS`
+//! (gathered-block budget, default
+//! `RelayoutPolicy::DEFAULT_BUDGET_ELEMS`), `--llc-mib MIB` (the
+//! working-set bound the acceptance summaries treat as LLC-resident; set
+//! it to your host's LLC — the default 64 suits a ~100 MiB server part),
+//! `--json PATH`.
 
-use wht_core::{CompiledPlan, FusionPolicy, Plan, SimdPolicy};
+use serde::Serialize;
+use wht_core::{CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy};
 use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
+
+/// One measured (plan, size, executor) cell of the speedup table.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    plan: String,
+    /// `true` for the paper's canonical three (iterative/right/left);
+    /// `false` for reference shapes — so tooling aggregating this file
+    /// can reproduce the table's canonical-only summaries.
+    canonical: bool,
+    n: u32,
+    executor: String,
+    min_ns: f64,
+    melem_per_s: f64,
+}
+
+/// The checked-in benchmark artifact (`BENCH_relayout.json`).
+#[derive(Debug, Serialize)]
+struct BenchFile {
+    bench: String,
+    methodology: String,
+    tile_budget_elems: u64,
+    relayout_budget_elems: u64,
+    reps: u64,
+    rows: Vec<BenchRow>,
+}
 
 fn main() {
     let mut nmax = 24u32;
     let mut reps = 5usize;
     let mut budget = FusionPolicy::DEFAULT_BUDGET_ELEMS;
+    let mut relayout_budget = RelayoutPolicy::DEFAULT_BUDGET_ELEMS;
     let mut llc_mib = 64u64;
+    let mut json_path = String::from("BENCH_relayout.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +85,13 @@ fn main() {
                     .parse()
                     .expect("integer")
             }
+            "--relayout-budget" => {
+                relayout_budget = args
+                    .next()
+                    .expect("--relayout-budget ELEMS")
+                    .parse()
+                    .expect("integer")
+            }
             "--llc-mib" => {
                 llc_mib = args
                     .next()
@@ -52,8 +99,10 @@ fn main() {
                     .parse()
                     .expect("integer")
             }
+            "--json" => json_path = args.next().expect("--json PATH"),
             other => panic!(
-                "unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS, --llc-mib MIB"
+                "unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS, \
+                 --relayout-budget ELEMS, --llc-mib MIB, --json PATH"
             ),
         }
     }
@@ -63,26 +112,35 @@ fn main() {
         iters_per_block: 0,
     };
     let policy = FusionPolicy::new(budget);
+    // Eager engagement so the table reports the relayout effect at every
+    // size — exactly the data that tunes the production policy's
+    // `min_elems` threshold per host.
+    let relayout_policy = RelayoutPolicy::eager(relayout_budget);
 
     println!(
-        "compiled vs interpreted vs fused vs SIMD execution \
-         (min ns/transform over {reps} blocks, tile budget {budget} elems, f64)"
+        "compiled vs interpreted vs fused vs SIMD vs relayout execution \
+         (min ns/transform over {reps} blocks, tile budget {budget} elems, \
+         gathered-block budget {relayout_budget} elems, f64)"
     );
     println!(
-        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}  {:>9}",
+        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}  {:>9}  {:>9}",
         "n",
         "plan",
         "interpreted",
         "compiled",
         "fused",
         "simd",
+        "relayout",
         "comp/int",
         "fuse/comp",
-        "simd/fuse"
+        "simd/fuse",
+        "relay/simd"
     );
+    let mut rows: Vec<BenchRow> = Vec::new();
     let mut worst_compiled_16 = f64::INFINITY;
     let mut fused_by_size: Vec<(u32, f64)> = Vec::new();
     let mut simd_by_size: Vec<(u32, f64)> = Vec::new();
+    let mut relayout_by_size: Vec<(u32, f64)> = Vec::new();
     for n in (8..=nmax).step_by(2) {
         // The paper's canonical three, plus one blocked reference shape
         // (depth-1, so the interpreter is already flat there — it bounds
@@ -95,6 +153,7 @@ fn main() {
         ];
         let mut worst_fused = f64::INFINITY;
         let mut worst_simd = f64::INFINITY;
+        let mut worst_relayout = f64::INFINITY;
         for (name, plan) in plans {
             let interp = time_plan(&plan, &cfg).expect("valid config");
             let compiled_plan = CompiledPlan::compile(&plan);
@@ -103,27 +162,52 @@ fn main() {
             let fused = time_compiled_plan(&fused_plan, &cfg).expect("valid config");
             let simd_plan = fused_plan.with_simd(&SimdPolicy::auto());
             let simd = time_compiled_plan(&simd_plan, &cfg).expect("valid config");
+            let relayout_plan = fused_plan
+                .relayout(&relayout_policy)
+                .with_simd(&SimdPolicy::auto());
+            let relayout = time_compiled_plan(&relayout_plan, &cfg).expect("valid config");
             let compiled_speedup = interp.min_ns / compiled.min_ns;
             let fused_speedup = compiled.min_ns / fused.min_ns;
             let simd_speedup = fused.min_ns / simd.min_ns;
+            let relayout_speedup = simd.min_ns / relayout.min_ns;
+            let melem = |min_ns: f64| (1u64 << n) as f64 / min_ns * 1e3;
+            for (executor, t) in [
+                ("interpreted", interp.min_ns),
+                ("compiled", compiled.min_ns),
+                ("fused", fused.min_ns),
+                ("fused+simd", simd.min_ns),
+                ("fused+simd+relayout", relayout.min_ns),
+            ] {
+                rows.push(BenchRow {
+                    plan: name.trim_end_matches('*').to_string(),
+                    canonical: !name.ends_with('*'),
+                    n,
+                    executor: executor.to_string(),
+                    min_ns: t,
+                    melem_per_s: melem(t),
+                });
+            }
             if !name.ends_with('*') {
                 if n >= 16 {
                     worst_compiled_16 = worst_compiled_16.min(compiled_speedup);
                 }
                 worst_fused = worst_fused.min(fused_speedup);
                 worst_simd = worst_simd.min(simd_speedup);
+                worst_relayout = worst_relayout.min(relayout_speedup);
             }
             println!(
-                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x  {:>8.2}x",
+                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x  {:>8.2}x  {:>8.2}x",
                 n,
                 name,
                 interp.min_ns,
                 compiled.min_ns,
                 fused.min_ns,
                 simd.min_ns,
+                relayout.min_ns,
                 compiled_speedup,
                 fused_speedup,
-                simd_speedup
+                simd_speedup,
+                relayout_speedup
             );
         }
         // Sub-cache sizes finish in microseconds and their ratios are
@@ -131,17 +215,23 @@ fn main() {
         if n >= 16 {
             fused_by_size.push((n, worst_fused));
             simd_by_size.push((n, worst_simd));
+            relayout_by_size.push((n, worst_relayout));
         }
     }
     if nmax >= 16 {
         println!("\nworst canonical-plan compiled speedup at n >= 16: {worst_compiled_16:.2}x");
     }
     if !fused_by_size.is_empty() {
-        println!("worst canonical-plan fused-over-compiled and simd-over-fused speedups per size:");
-        for ((n, worst_f), (_, worst_s)) in fused_by_size.iter().zip(simd_by_size.iter()) {
+        println!("worst canonical-plan per-stage speedups per size:");
+        for (((n, worst_f), (_, worst_s)), (_, worst_r)) in fused_by_size
+            .iter()
+            .zip(simd_by_size.iter())
+            .zip(relayout_by_size.iter())
+        {
             let bytes = (1u64 << n) * 8;
             println!(
-                "  n = {n:>2} ({:>4} MiB): fuse/comp {worst_f:.2}x   simd/fuse {worst_s:.2}x",
+                "  n = {n:>2} ({:>4} MiB): fuse/comp {worst_f:.2}x   simd/fuse {worst_s:.2}x   \
+                 relay/simd {worst_r:.2}x",
                 bytes >> 20
             );
         }
@@ -158,6 +248,30 @@ fn main() {
                  at an LLC-resident size)"
             );
         }
+        if let Some((n, worst)) = relayout_by_size.last() {
+            println!(
+                "relayout-over-fused-simd at the largest (memory-bound) size n = {n}: \
+                 {worst:.2}x (acceptance: >= 1.5x for >= 1 canonical plan at the first \
+                 out-of-LLC size, +/-5% neutral for LLC-resident sizes)"
+            );
+        }
     }
     println!("(* reference shape, not one of the paper's canonical three)");
+
+    let file = BenchFile {
+        bench: "relayout".to_string(),
+        methodology: format!(
+            "min-of-{reps}-blocks ns per transform, f64, warmup 2; executors: \
+             interpreted = apply_plan_recursive, compiled = unfused CompiledPlan::apply, \
+             fused = tile budget {budget}, fused+simd = lane kernels, \
+             fused+simd+relayout = eager gathered tail (block budget {relayout_budget})"
+        ),
+        tile_budget_elems: budget as u64,
+        relayout_budget_elems: relayout_budget as u64,
+        reps: reps as u64,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
+    std::fs::write(&json_path, json).expect("write benchmark JSON");
+    println!("wrote {json_path}");
 }

@@ -539,6 +539,179 @@ pub unsafe fn apply_pass_lanes<T: Scalar>(k: u32, x: &mut [T], base: usize, r: u
     unsafe { pass_lanes_body(k, x, base, r, s) }
 }
 
+// ---------------------------------------------------------------------------
+// Relayout gather/scatter kernels (the DDL copies of the compiled executor).
+// ---------------------------------------------------------------------------
+
+/// Gather `rows` strided row-segments of `cols` contiguous elements each
+/// into the contiguous buffer `dst`: `dst[u*cols + g] = src[base +
+/// u*row_stride + g]`. This is the relayout stage's transpose-in: both the
+/// reads (each row is one contiguous `cols`-element run, rows visited at
+/// monotonically increasing addresses) and the writes (one linear sweep of
+/// `dst`) are sequential in the invocation direction, so hardware
+/// prefetchers stream them — the property the paper's DDL gather relies
+/// on.
+///
+/// # Safety
+/// `cols <= row_stride` (rows must not overlap), `rows * cols <=
+/// dst.len()`, and the last source element must be in bounds:
+/// `base + (rows - 1) * row_stride + cols - 1 < src.len()` (with `rows`,
+/// `cols` nonzero).
+#[inline]
+pub unsafe fn gather_rows<T: Scalar>(
+    src: &[T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    dst: &mut [T],
+) {
+    debug_assert!(cols >= 1 && cols <= row_stride);
+    debug_assert!(rows * cols <= dst.len());
+    debug_assert!(base + (rows - 1) * row_stride + cols - 1 < src.len());
+    for u in 0..rows {
+        // SAFETY: row u's source run ends at base + u*row_stride + cols - 1
+        // and its destination run at (u + 1)*cols - 1, both inside the
+        // bounds of the function contract; src and dst are distinct
+        // borrows, so the runs cannot overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr().add(base + u * row_stride),
+                dst.as_mut_ptr().add(u * cols),
+                cols,
+            );
+        }
+    }
+}
+
+/// Scatter the contiguous buffer `src` back over `rows` strided
+/// row-segments of `dst`: `dst[base + u*row_stride + g] = src[u*cols + g]`
+/// — the exact inverse of [`gather_rows`], with the same
+/// sequential-in-invocation-direction access pattern (linear reads,
+/// monotonically increasing strided writes).
+///
+/// # Safety
+/// Same contract as [`gather_rows`] with `src`/`dst` roles swapped:
+/// `cols <= row_stride`, `rows * cols <= src.len()`, and
+/// `base + (rows - 1) * row_stride + cols - 1 < dst.len()`.
+#[inline]
+pub unsafe fn scatter_rows<T: Scalar>(
+    dst: &mut [T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    src: &[T],
+) {
+    debug_assert!(cols >= 1 && cols <= row_stride);
+    debug_assert!(rows * cols <= src.len());
+    debug_assert!(base + (rows - 1) * row_stride + cols - 1 < dst.len());
+    for u in 0..rows {
+        // SAFETY: mirror of gather_rows — both runs are inside the bounds
+        // of the function contract and the borrows are distinct.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr().add(u * cols),
+                dst.as_mut_ptr().add(base + u * row_stride),
+                cols,
+            );
+        }
+    }
+}
+
+/// Validate one gather/scatter geometry against the buffers it would run
+/// on (`strided_len` = the strided side, `contiguous_len` = the scratch
+/// side). Shared by the checked wrappers below.
+fn check_relayout_geometry(
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    base: usize,
+    strided_len: usize,
+    contiguous_len: usize,
+) -> Result<(), crate::WhtError> {
+    if row_stride == 0 || cols == 0 {
+        // A zero row stride (or zero-width rows) is a configuration
+        // error, not a short buffer — same diagnosis contract as
+        // `apply_codelet_checked`.
+        return Err(crate::WhtError::InvalidStride {
+            stride: row_stride.min(cols),
+        });
+    }
+    if cols > row_stride {
+        // Rows closer together than their width alias each other: the
+        // copy kernels assume disjoint rows.
+        return Err(crate::WhtError::InvalidStride { stride: row_stride });
+    }
+    if rows == 0 {
+        return Err(crate::WhtError::InvalidConfig(
+            "relayout with zero rows".into(),
+        ));
+    }
+    let block = rows
+        .checked_mul(cols)
+        .ok_or(crate::WhtError::InvalidConfig(
+            "relayout block size overflows".into(),
+        ))?;
+    if block > contiguous_len {
+        return Err(crate::WhtError::LengthMismatch {
+            expected: block,
+            got: contiguous_len,
+        });
+    }
+    let last = base
+        .checked_add((rows - 1).saturating_mul(row_stride))
+        .and_then(|v| v.checked_add(cols - 1))
+        .unwrap_or(usize::MAX);
+    if last >= strided_len {
+        return Err(crate::WhtError::LengthMismatch {
+            expected: last.saturating_add(1),
+            got: strided_len,
+        });
+    }
+    Ok(())
+}
+
+/// Safe, validating wrapper around [`gather_rows`] for standalone use.
+///
+/// # Errors
+/// [`crate::WhtError::InvalidStride`] for a zero `row_stride`/`cols` or
+/// overlapping rows (`cols > row_stride`);
+/// [`crate::WhtError::LengthMismatch`] if either buffer is too short for
+/// the geometry; [`crate::WhtError::InvalidConfig`] for zero rows.
+pub fn gather_rows_checked<T: Scalar>(
+    src: &[T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    dst: &mut [T],
+) -> Result<(), crate::WhtError> {
+    check_relayout_geometry(rows, row_stride, cols, base, src.len(), dst.len())?;
+    // SAFETY: geometry validated just above.
+    unsafe { gather_rows(src, base, rows, row_stride, cols, dst) };
+    Ok(())
+}
+
+/// Safe, validating wrapper around [`scatter_rows`] for standalone use.
+///
+/// # Errors
+/// Same contract as [`gather_rows_checked`] with the buffer roles
+/// swapped.
+pub fn scatter_rows_checked<T: Scalar>(
+    dst: &mut [T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    src: &[T],
+) -> Result<(), crate::WhtError> {
+    check_relayout_geometry(rows, row_stride, cols, base, dst.len(), src.len())?;
+    // SAFETY: geometry validated just above.
+    unsafe { scatter_rows(dst, base, rows, row_stride, cols, src) };
+    Ok(())
+}
+
 /// Reference loop-based small WHT for arbitrary `k`, used by tests to
 /// cross-check the fixed-size codelets. Same in-place strided contract as
 /// [`apply_codelet_checked`], but the size is a runtime value and the

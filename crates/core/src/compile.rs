@@ -94,8 +94,33 @@
 //! values, so the choice never changes output bits. [`crate::apply_plan`]
 //! selects lanes by default; `WHT_NO_SIMD=1` (or
 //! [`SimdPolicy::disabled`] via [`compiled_for_with`]) opts out.
+//!
+//! ## The relayout tail
+//!
+//! Prefix fusion stops where the grown tile would exceed the budget, so
+//! every remaining large-stride pass still sweeps the whole vector once —
+//! `O(n - log2 budget)` full memory sweeps that dominate out-of-cache
+//! runtime. [`CompiledPlan::relayout`] brings the paper's DDL remedy (the
+//! recursive form lives in [`crate::ddl`]) into the compiled schedule:
+//! the unfusable tail computes `WHT(rows) ⊗ I(row_stride)` on the vector
+//! viewed as a `rows × row_stride` matrix, so a [`Relayout`] super-pass
+//! **gathers** blocks of `cols` contiguous columns into cache-sized
+//! scratch, streams *all* tail factors over the resident scratch at unit
+//! global stride (where the SIMD lane kernels apply), and **scatters**
+//! the block back. The gather/scatter copies ([`crate::codelets::gather_rows`],
+//! [`crate::codelets::scatter_rows`]) traverse addresses sequentially in
+//! the invocation direction, so hardware prefetchers stream them; the
+//! tail's many sweeps collapse to the gather's read sweep plus the
+//! scatter's write sweep. Like fusion and the kernel backend, the
+//! rewrite is recorded in the schedule, policy-driven
+//! ([`RelayoutPolicy`]; `WHT_NO_RELAYOUT=1` / `WHT_RELAYOUT_THRESHOLD`
+//! env mirrors), on by default behind [`crate::apply_plan`] past the
+//! policy's size threshold, and provably bit-identical: a gather/scatter
+//! round trip is the identity on each block's elements, blocks partition
+//! the vector, and the scratch passes perform the same butterflies on the
+//! same values as the in-place tail passes they replace.
 
-use crate::codelets::{apply_codelet, apply_pass_lanes, SimdPolicy};
+use crate::codelets::{apply_codelet, apply_pass_lanes, gather_rows, scatter_rows, SimdPolicy};
 use crate::engine::ExecHooks;
 use crate::error::WhtError;
 use crate::plan::Plan;
@@ -238,6 +263,159 @@ pub enum PassBackend {
     Lanes,
 }
 
+/// Geometry of one relayout super-pass (the compiled executor's DDL
+/// stage — see the module docs' "the relayout tail").
+///
+/// The vector is viewed as an `rows × row_stride` row-major matrix.
+/// Gathered block `j` copies columns `j*cols .. (j+1)*cols` — i.e. the
+/// strided row-segments `x[u*row_stride + j*cols ..][..cols]` for
+/// `u < rows` — into contiguous scratch of `rows * cols` elements, runs
+/// every tail factor on the scratch at unit global stride, and scatters
+/// the result back. `cols` divides `row_stride`, so the
+/// `row_stride / cols` blocks partition the vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Relayout {
+    /// Strided rows gathered per block (the product of the relayouted
+    /// tail factor sizes, `2^n / row_stride`).
+    pub rows: usize,
+    /// Row length of the matrix view — the stride of the first relayouted
+    /// pass (the product of all factor sizes applied before the tail).
+    pub row_stride: usize,
+    /// Contiguous columns per gathered block.
+    pub cols: usize,
+}
+
+/// Policy for [`CompiledPlan::relayout`]: when the large-stride tail of a
+/// fused schedule is rewritten into gather → unit-stride super-passes →
+/// scatter (see the module docs).
+///
+/// Mirrors [`FusionPolicy`]: the production executor reads it from the
+/// environment once per process (`WHT_NO_RELAYOUT=1` disables,
+/// `WHT_RELAYOUT_THRESHOLD=<elems>` overrides `min_elems`), explicit
+/// policies pin the choice through the API, and the per-thread schedule
+/// cache keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayoutPolicy {
+    /// Maximum elements of one gathered block — the scratch working set a
+    /// relayouted tail streams through while cache-resident. `0` and `1`
+    /// disable relayout.
+    pub budget_elems: usize,
+    /// Vector size (elements) below which relayout never engages. The
+    /// two transpose sweeps only pay for themselves once the tail passes
+    /// actually miss the last-level cache; below that every sweep is a
+    /// cache hit and the copies are pure overhead.
+    pub min_elems: usize,
+    /// Minimum number of trailing passes to gather: relayout replaces
+    /// `tail` full read+write sweeps with the gather's read sweep plus
+    /// the scatter's write sweep, so short tails are not worth the
+    /// scratch churn (see [`RelayoutPolicy::DEFAULT_MIN_PASSES`]).
+    pub min_passes: usize,
+}
+
+impl RelayoutPolicy {
+    /// Default gathered-block budget: the fusion layer's tile budget
+    /// (`2^17` elements = 1 MiB of `f64`s), so the relayouted tail streams
+    /// through the same cache level the fused head's tiles live in.
+    pub const DEFAULT_BUDGET_ELEMS: usize = FusionPolicy::DEFAULT_BUDGET_ELEMS;
+
+    /// Default engagement threshold: `2^24` elements (128 MiB of `f64`s)
+    /// — decisively past the ~100 MiB LLC of the reference host, where
+    /// tail sweeps actually pay DRAM. Measured there, relayout wins
+    /// 1.1–1.3× at `n >= 24` and is neutral-to-negative below (the
+    /// copies are pure overhead while the tail still hits cache), so the
+    /// default engages exactly where the win is. Hosts with smaller LLCs
+    /// tune it down via `WHT_RELAYOUT_THRESHOLD`; wisdom entries tune it
+    /// per size.
+    pub const DEFAULT_MIN_ELEMS: usize = 1 << 24;
+
+    /// Default minimum tail length: gather + scatter cost about two full
+    /// sweeps, so a 2-pass tail is break-even on traffic and a strict
+    /// loss once copy overhead counts (measured: gathering the 2-pass
+    /// tail of the blocked-radix-8 shape at n = 26 ran 2.8× *slower*).
+    /// Three or more saved sweeps is where relayout wins — the same
+    /// threshold `FusedTrafficCost` models with its 2-sweep charge.
+    pub const DEFAULT_MIN_PASSES: usize = 3;
+
+    /// Policy with an explicit gathered-block budget and the default
+    /// engagement thresholds.
+    pub fn new(budget_elems: usize) -> Self {
+        RelayoutPolicy {
+            budget_elems,
+            ..RelayoutPolicy::default()
+        }
+    }
+
+    /// Relayout off: [`CompiledPlan::relayout`] returns the schedule
+    /// unchanged.
+    pub fn disabled() -> Self {
+        RelayoutPolicy {
+            budget_elems: 0,
+            min_elems: 0,
+            min_passes: 0,
+        }
+    }
+
+    /// Policy that engages at *every* size (no `min_elems` floor) — what
+    /// differential tests use so small transforms exercise the relayout
+    /// path, and what a wisdom entry recorded as "relayout on for this
+    /// size" replays in `wht-search`.
+    pub fn eager(budget_elems: usize) -> Self {
+        RelayoutPolicy {
+            budget_elems,
+            min_elems: 0,
+            min_passes: Self::DEFAULT_MIN_PASSES,
+        }
+    }
+
+    /// Policy from the process environment: `WHT_NO_RELAYOUT=1` disables
+    /// relayout, `WHT_RELAYOUT_THRESHOLD=<elems>` overrides the
+    /// engagement size floor, and the default applies otherwise. Read
+    /// fresh on every call; the production entry point ([`compiled_for`])
+    /// snapshots it once per process.
+    ///
+    /// # Panics
+    /// If `WHT_RELAYOUT_THRESHOLD` is set but not a plain integer element
+    /// count (same strict contract as `WHT_FUSE_BUDGET`).
+    pub fn from_env() -> Self {
+        if std::env::var("WHT_NO_RELAYOUT").is_ok_and(|v| !v.is_empty() && v != "0") {
+            return RelayoutPolicy::disabled();
+        }
+        let mut policy = RelayoutPolicy::default();
+        if let Ok(v) = std::env::var("WHT_RELAYOUT_THRESHOLD") {
+            policy.min_elems = v.trim().parse().unwrap_or_else(|_| {
+                panic!("WHT_RELAYOUT_THRESHOLD must be an integer element count, got {v:?}")
+            });
+        }
+        policy
+    }
+
+    /// `true` if this policy can relayout anything at all (a gathered
+    /// block of two rows is the smallest possible tail).
+    pub fn enabled(&self) -> bool {
+        self.budget_elems >= 2
+    }
+
+    /// Canonical cache key for this policy (all disabled policies are the
+    /// same policy).
+    fn cache_key(&self) -> (usize, usize, usize) {
+        if self.enabled() {
+            (self.budget_elems, self.min_elems, self.min_passes)
+        } else {
+            (0, 0, 0)
+        }
+    }
+}
+
+impl Default for RelayoutPolicy {
+    fn default() -> Self {
+        RelayoutPolicy {
+            budget_elems: Self::DEFAULT_BUDGET_ELEMS,
+            min_elems: Self::DEFAULT_MIN_ELEMS,
+            min_passes: Self::DEFAULT_MIN_PASSES,
+        }
+    }
+}
+
 /// Tile-budget policy for [`CompiledPlan::fuse`]: how many *elements* a
 /// fused tile may span (see the module docs' "how fusion decides").
 ///
@@ -355,6 +533,11 @@ pub struct SuperPass {
     stride: usize,
     /// Kernel backend replaying the parts (see [`PassBackend`]).
     backend: PassBackend,
+    /// `Some` when the unit is a **relayout** super-pass: "tile" `j` is
+    /// gathered block `j` of the [`Relayout`] geometry, the parts are
+    /// unit-stride passes over the gathered scratch, and execution runs
+    /// gather → parts → scatter per block (see [`CompiledPlan::relayout`]).
+    relayout: Option<Relayout>,
 }
 
 impl SuperPass {
@@ -371,7 +554,38 @@ impl SuperPass {
             base,
             stride,
             backend: PassBackend::Scalar,
+            relayout: None,
         }
+    }
+
+    /// Assemble a **relayout** super-pass from scratch-relative parts and
+    /// a [`Relayout`] geometry: the tile grid is `row_stride / cols`
+    /// blocks of `rows * cols` gathered elements, and the parts run over
+    /// each gathered block at unit stride. A plain carrier like
+    /// [`SuperPass::new`] — [`CompiledPlan::from_super_passes`] /
+    /// [`CompiledPlan::validate`] gate hand-built schedules.
+    pub fn new_relayout(parts: Vec<Pass>, relayout: Relayout) -> Self {
+        SuperPass {
+            parts,
+            tile: relayout.rows.saturating_mul(relayout.cols),
+            tiles: relayout.row_stride.checked_div(relayout.cols).unwrap_or(0),
+            base: 0,
+            stride: 1,
+            backend: PassBackend::Scalar,
+            relayout: Some(relayout),
+        }
+    }
+
+    /// The relayout geometry, if this unit is a relayout super-pass.
+    #[inline]
+    pub fn relayout(&self) -> Option<Relayout> {
+        self.relayout
+    }
+
+    /// `true` if this scheduling unit gathers/scatters through scratch.
+    #[inline]
+    pub fn is_relayout(&self) -> bool {
+        self.relayout.is_some()
     }
 
     /// The same super-pass with its kernel backend replaced (builder
@@ -403,6 +617,7 @@ impl SuperPass {
                 ..pass
             }],
             backend: PassBackend::Scalar,
+            relayout: None,
         }
     }
 
@@ -437,8 +652,17 @@ impl SuperPass {
     }
 
     /// Part `p` rebased to an absolute [`Pass`] restricted to tile `j`.
+    ///
+    /// Only meaningful for direct (non-relayout) super-passes: a relayout
+    /// part runs in *scratch* coordinates (use [`SuperPass::parts`]
+    /// directly against the gathered block, or [`SuperPass::flat_pass`]
+    /// for the equivalent in-place pass).
     #[inline]
     pub fn tile_pass(&self, p: usize, j: usize) -> Pass {
+        debug_assert!(
+            self.relayout.is_none(),
+            "tile_pass is x-space; relayout parts live in scratch space"
+        );
         let part = self.parts[p];
         Pass {
             k: part.k,
@@ -459,9 +683,33 @@ impl SuperPass {
     /// Only meaningful under the [`CompiledPlan::validate`] invariants
     /// (every part tiles its tile exactly once): then tile `j`'s blocks
     /// are exactly blocks `j·r .. (j+1)·r` of the flat pass.
+    ///
+    /// For a **relayout** super-pass the parts are stored in scratch
+    /// coordinates (`s = cols · c` over a gathered block); this maps part
+    /// `p` back to the in-place factor it relayouts — `s = row_stride ·
+    /// c` over the whole vector — so the unfused replay of a relayout
+    /// unit is available without any gather/scatter (the parallel
+    /// engine's no-starvation fallback, and the factor-list derivation
+    /// in [`CompiledPlan::from_super_passes`]).
     #[inline]
     pub fn flat_pass(&self, p: usize) -> Pass {
         let part = self.parts[p];
+        if let Some(rl) = self.relayout {
+            // part.s = cols * c with c = the product of the tail factor
+            // sizes applied before part p; the in-place pass runs the
+            // same factor at s = row_stride * c over all rows.
+            let c = part.s.checked_div(rl.cols).unwrap_or(0);
+            let s = rl.row_stride.saturating_mul(c);
+            let span = self.tiles.saturating_mul(self.tile);
+            let block = (1usize << part.k.min(usize::BITS - 1)).saturating_mul(s);
+            return Pass {
+                k: part.k,
+                r: span.checked_div(block).unwrap_or(0),
+                s,
+                base: self.base,
+                stride: self.stride,
+            };
+        }
         Pass {
             k: part.k,
             r: part.r * self.tiles,
@@ -473,14 +721,17 @@ impl SuperPass {
 
     /// Run every part on tile `j` (the fused unit of work; tiles are
     /// pairwise disjoint, so distinct tiles may run concurrently — the
-    /// parallel engine's contract).
+    /// parallel engine's contract). Direct super-passes only; a relayout
+    /// unit's tile needs scratch ([`SuperPass::apply_gathered_block`]).
     ///
     /// # Safety
-    /// `j < self.tiles()` and the whole super-pass must be in bounds:
-    /// `base + (span() - 1) · stride < x.len()`, with every part tiling
-    /// its tile (the [`CompiledPlan::validate`] invariants).
+    /// `j < self.tiles()`, `self.relayout().is_none()`, and the whole
+    /// super-pass must be in bounds: `base + (span() - 1) · stride <
+    /// x.len()`, with every part tiling its tile (the
+    /// [`CompiledPlan::validate`] invariants).
     #[inline]
     pub unsafe fn apply_tile<T: Scalar>(&self, x: &mut [T], j: usize) {
+        debug_assert!(self.relayout.is_none());
         for p in 0..self.parts.len() {
             // SAFETY: a valid part stays inside tile `j`, which is inside
             // the super-pass bound forwarded from the caller's contract.
@@ -488,15 +739,54 @@ impl SuperPass {
         }
     }
 
-    /// Run the whole super-pass (all tiles, tile-major).
+    /// Run gathered block `j` of a relayout super-pass: gather the block's
+    /// strided columns into `scratch`, stream every part over the
+    /// contiguous scratch (unit global stride — the lane kernels'
+    /// habitat), scatter back. Distinct blocks touch pairwise disjoint
+    /// elements of `x`, so they may run concurrently with per-worker
+    /// scratch (the parallel engine's contract).
+    ///
+    /// # Safety
+    /// `self.relayout().is_some()`, `j < self.tiles()`,
+    /// `scratch.len() >= self.tile_elems()`, `x.len() >= self.span()`,
+    /// and the [`CompiledPlan::validate`] invariants hold.
+    #[inline]
+    pub unsafe fn apply_gathered_block<T: Scalar>(&self, x: &mut [T], j: usize, scratch: &mut [T]) {
+        let rl = self
+            .relayout
+            .expect("apply_gathered_block on a direct super-pass");
+        let block = &mut scratch[..self.tile];
+        // SAFETY (gather/scatter): block j's last source element is
+        // (rows-1)*row_stride + j*cols + cols-1 < rows*row_stride =
+        // span() <= x.len() (validate invariant + caller contract), and
+        // block.len() == rows*cols exactly.
+        unsafe {
+            gather_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            for p in 0..self.parts.len() {
+                // SAFETY: a valid part tiles the gathered block exactly
+                // (base 0, stride 1, span == tile == block.len()).
+                self.parts[p].apply_full_backend(block, self.backend);
+            }
+            scatter_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+        }
+    }
+
+    /// Run the whole super-pass (all tiles, tile-major; gathered blocks
+    /// through `scratch` for relayout units).
     ///
     /// # Safety
     /// `base + (span() - 1) · stride < x.len()` plus the validate
-    /// invariants.
-    unsafe fn apply_all<T: Scalar>(&self, x: &mut [T]) {
+    /// invariants; for relayout units `scratch.len() >= tile_elems()`.
+    unsafe fn apply_all<T: Scalar>(&self, x: &mut [T], scratch: &mut [T]) {
         for j in 0..self.tiles {
             // SAFETY: forwarded contract.
-            unsafe { self.apply_tile(x, j) };
+            unsafe {
+                if self.relayout.is_some() {
+                    self.apply_gathered_block(x, j, scratch);
+                } else {
+                    self.apply_tile(x, j);
+                }
+            }
         }
     }
 }
@@ -550,10 +840,19 @@ impl CompiledPlan {
         Self::compile(plan).fuse(policy)
     }
 
-    /// Compile under the full executor configuration — fusion *and* kernel
-    /// backend: `compile(plan).fuse(fusion).with_simd(simd)`.
-    pub fn compile_with(plan: &Plan, fusion: &FusionPolicy, simd: &SimdPolicy) -> Self {
-        Self::compile(plan).fuse(fusion).with_simd(simd)
+    /// Compile under the full executor configuration — fusion, tail
+    /// relayout, *and* kernel backend:
+    /// `compile(plan).fuse(fusion).relayout(relayout).with_simd(simd)`.
+    pub fn compile_with(
+        plan: &Plan,
+        fusion: &FusionPolicy,
+        relayout: &RelayoutPolicy,
+        simd: &SimdPolicy,
+    ) -> Self {
+        Self::compile(plan)
+            .fuse(fusion)
+            .relayout(relayout)
+            .with_simd(simd)
     }
 
     /// Regroup the factor schedule under `policy`: greedily merge the
@@ -563,7 +862,9 @@ impl CompiledPlan {
     /// ([`CompiledPlan::passes`]) is unchanged; only the grouping differs,
     /// so fusing is idempotent and re-fusing with a different policy is
     /// always safe. The kernel backend rides along: a SIMD schedule stays
-    /// SIMD after re-fusing.
+    /// SIMD after re-fusing. Relayout grouping does **not** ride along —
+    /// re-fusing rebuilds the grouping from the factor list, so chain
+    /// [`CompiledPlan::relayout`] after the final `fuse`.
     pub fn fuse(&self, policy: &FusionPolicy) -> CompiledPlan {
         let backend = if self.is_simd() {
             PassBackend::Lanes
@@ -578,6 +879,152 @@ impl CompiledPlan {
                 .map(|sp| sp.with_backend(backend))
                 .collect(),
         }
+    }
+
+    /// Rewrite the schedule's large-stride **tail** into a relayout
+    /// super-pass under `policy` (the paper's DDL idea, lifted into the
+    /// compiled executor — see the module docs' "the relayout tail").
+    ///
+    /// The maximal trailing run of single-factor super-passes (the passes
+    /// prefix fusion could not merge) computes `WHT(rows) ⊗ I(row_stride)`
+    /// on the vector viewed as an `rows × row_stride` matrix, each factor
+    /// sweeping the whole vector once. When the run is at least
+    /// `policy.min_passes` long, the vector spans at least
+    /// `policy.min_elems`, and a gathered block of `rows · cols` elements
+    /// fits `policy.budget_elems`, the run is replaced by one relayout
+    /// unit: each of the `row_stride / cols` blocks gathers `cols`
+    /// contiguous columns into scratch, streams **all** tail factors over
+    /// the cache-resident scratch at unit global stride (so the SIMD lane
+    /// kernels apply), and scatters back — cutting the tail's
+    /// `min_passes..` full memory sweeps to the gather's read sweep plus
+    /// the scatter's write sweep. When `rows` alone exceeds the budget,
+    /// the earliest tail passes are left in place (they keep sweeping)
+    /// and only the suffix that fits is gathered.
+    ///
+    /// Like [`CompiledPlan::fuse`], this is a regrouping:
+    /// [`CompiledPlan::passes`] is unchanged, output bits cannot change
+    /// (property-tested against the recursive, DDL, and direct compiled
+    /// paths), and the backend rides along. Applying it to a schedule
+    /// whose tail is already relayouted returns an equal schedule.
+    #[must_use]
+    pub fn relayout(&self, policy: &RelayoutPolicy) -> CompiledPlan {
+        let size = 1usize << self.n;
+        let mut schedule = self.schedule.clone();
+        'relayout: {
+            // A vector that fits the gathered-block budget is already
+            // "cache-resident" by this policy's own definition — gathering
+            // it would be a pure copy of everything for no saved sweep.
+            if !policy.enabled() || size < policy.min_elems.max(2) || size <= policy.budget_elems {
+                break 'relayout;
+            }
+            // The maximal trailing run of trivial single-factor units
+            // (one part, one vector-spanning tile, not already a
+            // relayout), with chained strides.
+            let mut start = schedule.len();
+            while start > 0 {
+                let sp = &schedule[start - 1];
+                if sp.relayout.is_some()
+                    || sp.parts.len() != 1
+                    || sp.tiles != 1
+                    || sp.base != 0
+                    || sp.stride != 1
+                    || sp.parts[0].base != 0
+                    || sp.parts[0].stride != 1
+                {
+                    break;
+                }
+                if start < schedule.len() {
+                    // Strides must chain: next pass's s = this one's
+                    // s * 2^k (always true for compiled schedules; guards
+                    // hand-built ones).
+                    let this = sp.parts[0];
+                    let next = schedule[start].parts[0];
+                    if next.s != this.s << this.k {
+                        break;
+                    }
+                }
+                start -= 1;
+            }
+            // Shrink from the left until the gathered rows fit the
+            // budget (each drop multiplies row_stride by the dropped
+            // factor's size, dividing rows).
+            while start < schedule.len() && size / schedule[start].parts[0].s > policy.budget_elems
+            {
+                start += 1;
+            }
+            let tail = schedule.len() - start;
+            if tail < policy.min_passes.max(2) {
+                break 'relayout;
+            }
+            let row_stride = schedule[start].parts[0].s;
+            let rows = size / row_stride;
+            // Widest power-of-two column block whose gathered span fits
+            // the budget (capped at the full row, in which case the
+            // "gather" is a single contiguous run per block). A power of
+            // two always divides the power-of-two row length, so the
+            // blocks partition the vector exactly.
+            let max_cols = (policy.budget_elems / rows).min(row_stride);
+            let cols = if max_cols.is_power_of_two() {
+                max_cols
+            } else {
+                max_cols.next_power_of_two() >> 1
+            };
+            debug_assert!(cols >= 1 && row_stride.is_multiple_of(cols));
+            let tile = rows * cols;
+            let backend = schedule[start].backend;
+            let parts = schedule[start..]
+                .iter()
+                .map(|sp| {
+                    let p = sp.parts[0];
+                    let s = cols * (p.s / row_stride);
+                    Pass {
+                        k: p.k,
+                        r: tile / ((1usize << p.k) * s),
+                        s,
+                        base: 0,
+                        stride: 1,
+                    }
+                })
+                .collect();
+            schedule.truncate(start);
+            schedule.push(SuperPass {
+                parts,
+                tile,
+                tiles: row_stride / cols,
+                base: 0,
+                stride: 1,
+                backend,
+                relayout: Some(Relayout {
+                    rows,
+                    row_stride,
+                    cols,
+                }),
+            });
+        }
+        CompiledPlan {
+            n: self.n,
+            passes: self.passes.clone(),
+            schedule,
+        }
+    }
+
+    /// `true` if any scheduling unit is a relayout super-pass.
+    pub fn has_relayout(&self) -> bool {
+        self.schedule.iter().any(SuperPass::is_relayout)
+    }
+
+    /// Scratch elements one replay of this schedule needs (the largest
+    /// gathered block; `0` when no unit relayouts). [`CompiledPlan::apply`]
+    /// allocates this internally; callers that replay one schedule many
+    /// times pass a reusable buffer to [`CompiledPlan::apply_with_scratch`]
+    /// so the warm path never allocates.
+    pub fn scratch_elems(&self) -> usize {
+        self.schedule
+            .iter()
+            .filter(|sp| sp.relayout.is_some())
+            .map(|sp| sp.tile)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Select the kernel backend under `policy`: every super-pass is
@@ -626,12 +1073,20 @@ impl CompiledPlan {
         let passes = schedule
             .iter()
             .flat_map(|sp| {
-                sp.parts.iter().map(|part| Pass {
-                    k: part.k,
-                    r: part.r.saturating_mul(sp.tiles),
-                    s: part.s,
-                    base: sp.base.saturating_add(part.base.saturating_mul(sp.stride)),
-                    stride: part.stride.saturating_mul(sp.stride),
+                sp.parts.iter().enumerate().map(move |(p, part)| {
+                    if sp.relayout.is_some() {
+                        // The relayout-aware mapping back to the in-place
+                        // factor (already overflow-safe).
+                        sp.flat_pass(p)
+                    } else {
+                        Pass {
+                            k: part.k,
+                            r: part.r.saturating_mul(sp.tiles),
+                            s: part.s,
+                            base: sp.base.saturating_add(part.base.saturating_mul(sp.stride)),
+                            stride: part.stride.saturating_mul(sp.stride),
+                        }
+                    }
                 })
             })
             .collect();
@@ -676,24 +1131,54 @@ impl CompiledPlan {
     }
 
     /// Compute `x <- WHT(2^n) · x` in place by replaying the schedule
-    /// (tile-major within fused super-passes).
+    /// (tile-major within fused super-passes, gather → transform → scatter
+    /// within relayout super-passes).
+    ///
+    /// Relayout schedules need a scratch buffer of
+    /// [`CompiledPlan::scratch_elems`] elements; this entry point
+    /// allocates it per call (one small, cache-sized allocation —
+    /// negligible against the out-of-cache transforms relayout targets).
+    /// Hot loops replaying one schedule use
+    /// [`CompiledPlan::apply_with_scratch`] to amortize it to zero.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
     pub fn apply<T: Scalar>(&self, x: &mut [T]) -> Result<(), WhtError> {
+        let mut scratch = Vec::new();
+        self.apply_with_scratch(x, &mut scratch)
+    }
+
+    /// [`CompiledPlan::apply`] with a caller-owned scratch buffer: grown
+    /// to [`CompiledPlan::scratch_elems`] on first use, never shrunk, so
+    /// replaying a schedule (or a mix of schedules) through one buffer
+    /// allocates nothing after warmup.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
+    pub fn apply_with_scratch<T: Scalar>(
+        &self,
+        x: &mut [T],
+        scratch: &mut Vec<T>,
+    ) -> Result<(), WhtError> {
         if x.len() != self.size() {
             return Err(WhtError::LengthMismatch {
                 expected: self.size(),
                 got: x.len(),
             });
         }
+        let needed = self.scratch_elems();
+        if scratch.len() < needed {
+            scratch.resize(needed, T::ZERO);
+        }
         for sp in &self.schedule {
             debug_assert!(sp.base + (sp.span() - 1) * sp.stride < x.len());
-            // SAFETY: compile()/fuse() emit only super-passes with base =
-            // 0, stride = 1 and span() == size() whose parts tile each
-            // tile exactly; from_super_passes() validates the same
-            // invariants; and the length was checked above.
-            unsafe { sp.apply_all(x) };
+            // SAFETY: compile()/fuse()/relayout() emit only super-passes
+            // with base = 0, stride = 1 and span() == size() whose parts
+            // tile each tile exactly (and whose relayout geometry
+            // partitions the vector); from_super_passes() validates the
+            // same invariants; the length was checked above; and scratch
+            // covers the largest gathered block.
+            unsafe { sp.apply_all(x, scratch) };
         }
         Ok(())
     }
@@ -709,17 +1194,41 @@ impl CompiledPlan {
     /// (`t` = super-pass count), one [`ExecHooks::super_pass`] per
     /// super-pass, one [`ExecHooks::child_loops`] per part per tile, one
     /// [`ExecHooks::leaf_call`] per codelet invocation, in execution
-    /// order.
+    /// order. A relayout super-pass additionally brackets each gathered
+    /// block with [`ExecHooks::relayout_gather`] /
+    /// [`ExecHooks::relayout_scatter`], and its leaf calls are reported at
+    /// **scratch** addresses — a conceptual scratch region starting just
+    /// past the vector (at `size()` rounded up to a cache line), exactly
+    /// as a freshly allocated buffer would sit, so trace consumers charge
+    /// the relayout's real memory behaviour: the strided copies sweep the
+    /// vector, the transform itself runs in the resident scratch.
     pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
+        let scratch_base = self.size().next_multiple_of(64);
         hooks.enter_split(self.n, self.schedule.len());
         for sp in &self.schedule {
-            hooks.super_pass(sp.parts.len(), sp.tiles, sp.tile, sp.backend);
+            hooks.super_pass(sp.parts.len(), sp.tiles, sp.tile, sp.backend, sp.relayout);
             for j in 0..sp.tiles {
-                for p in 0..sp.parts.len() {
-                    let pass = sp.tile_pass(p, j);
-                    hooks.child_loops(pass.k, pass.r, pass.s);
-                    for q in 0..pass.invocations() {
-                        hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+                if let Some(rl) = sp.relayout {
+                    hooks.relayout_gather(j * rl.cols, rl, scratch_base);
+                    for p in 0..sp.parts.len() {
+                        let pass = sp.parts[p];
+                        hooks.child_loops(pass.k, pass.r, pass.s);
+                        for q in 0..pass.invocations() {
+                            hooks.leaf_call(
+                                pass.k,
+                                scratch_base + pass.invocation_base(q),
+                                pass.codelet_stride(),
+                            );
+                        }
+                    }
+                    hooks.relayout_scatter(j * rl.cols, rl, scratch_base);
+                } else {
+                    for p in 0..sp.parts.len() {
+                        let pass = sp.tile_pass(p, j);
+                        hooks.child_loops(pass.k, pass.r, pass.s);
+                        for q in 0..pass.invocations() {
+                            hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+                        }
                     }
                 }
             }
@@ -755,6 +1264,44 @@ impl CompiledPlan {
                         sp.base, sp.stride
                     ),
                 );
+            }
+            if let Some(rl) = sp.relayout {
+                // Relayout geometry: the tile grid must be exactly the
+                // rows × row_stride matrix view's column partition.
+                if rl.rows == 0 || rl.cols == 0 || rl.row_stride == 0 {
+                    return invalid(index, "relayout with an empty geometry".into());
+                }
+                if rl.cols > rl.row_stride || rl.row_stride % rl.cols != 0 {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout columns {} do not partition the row length {}",
+                            rl.cols, rl.row_stride
+                        ),
+                    );
+                }
+                if rl.rows.checked_mul(rl.cols) != Some(sp.tile)
+                    || rl.row_stride / rl.cols != sp.tiles
+                {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout geometry {}x{} cols {} disagrees with the \
+                             {} tiles x {} elements grid",
+                            rl.rows, rl.row_stride, rl.cols, sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                if rl.rows.checked_mul(rl.row_stride) != Some(size) {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout matrix view {}x{} does not cover the \
+                             {size}-element vector",
+                            rl.rows, rl.row_stride
+                        ),
+                    );
+                }
             }
             match sp.tiles.checked_mul(sp.tile) {
                 Some(span) if span == size => {}
@@ -865,6 +1412,7 @@ fn fuse_schedule(passes: &[Pass], size: usize, policy: &FusionPolicy) -> Vec<Sup
                 base: 0,
                 stride: 1,
                 backend: PassBackend::Scalar,
+                relayout: None,
             });
         } else {
             schedule.push(SuperPass::single(first));
@@ -900,8 +1448,10 @@ fn emit(plan: &Plan, total: usize, s: &mut usize, passes: &mut Vec<Pass>) {
 
 const CACHE_CAP: usize = 64;
 
-/// Per-plan cache entries keyed by `(fusion budget, simd enabled)`.
-type ConfigCache = HashMap<(usize, bool), Rc<CompiledPlan>>;
+/// Per-plan cache entries keyed by the full executor configuration:
+/// `(fusion budget, simd enabled, relayout key)`.
+type ConfigKey = (usize, bool, (usize, usize, usize));
+type ConfigCache = HashMap<ConfigKey, Rc<CompiledPlan>>;
 
 thread_local! {
     /// Per-thread schedule cache backing [`compiled_for`]: plans are
@@ -924,33 +1474,44 @@ fn env_simd_policy() -> &'static SimdPolicy {
     POLICY.get_or_init(SimdPolicy::from_env)
 }
 
+/// The process-wide default relayout policy, read from the environment
+/// exactly once (see [`RelayoutPolicy::from_env`]).
+fn env_relayout_policy() -> &'static RelayoutPolicy {
+    static POLICY: OnceLock<RelayoutPolicy> = OnceLock::new();
+    POLICY.get_or_init(RelayoutPolicy::from_env)
+}
+
 /// The lazily-compiled schedule for `plan` under the process-default
-/// [`FusionPolicy`] and [`SimdPolicy`] (fusion **on** unless
-/// `WHT_NO_FUSE=1`, lane kernels **on** unless `WHT_NO_SIMD=1`): compiled
-/// on first use on this thread, then served from a bounded per-thread
-/// cache. This is what lets [`crate::apply_plan`] keep its signature while
-/// paying the tree walk once per plan instead of once per call.
+/// [`FusionPolicy`], [`RelayoutPolicy`], and [`SimdPolicy`] (fusion **on**
+/// unless `WHT_NO_FUSE=1`, tail relayout **on** past its size threshold
+/// unless `WHT_NO_RELAYOUT=1`, lane kernels **on** unless
+/// `WHT_NO_SIMD=1`): compiled on first use on this thread, then served
+/// from a bounded per-thread cache. This is what lets
+/// [`crate::apply_plan`] keep its signature while paying the tree walk
+/// once per plan instead of once per call.
 pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
-    compiled_for_with(plan, env_policy(), env_simd_policy())
+    compiled_for_with(plan, env_policy(), env_relayout_policy(), env_simd_policy())
 }
 
 /// [`compiled_for`] with an explicit executor configuration (the API
-/// opt-outs: `FusionPolicy::disabled()` replays the unfused schedule and
+/// opt-outs: `FusionPolicy::disabled()` replays the unfused schedule,
+/// `RelayoutPolicy::disabled()` keeps the tail sweeping in place, and
 /// `SimdPolicy::disabled()` the scalar kernels, whatever the environment
-/// says). Schedules are cached per `(plan, budget, simd)`, so
+/// says). Schedules are cached per `(plan, fusion, relayout, simd)`, so
 /// mixed-policy traffic never cross-talks.
 pub fn compiled_for_with(
     plan: &Plan,
     policy: &FusionPolicy,
+    relayout: &RelayoutPolicy,
     simd: &SimdPolicy,
 ) -> Rc<CompiledPlan> {
-    let key = (policy.cache_key(), simd.enabled());
+    let key = (policy.cache_key(), simd.enabled(), relayout.cache_key());
     PLAN_CACHE.with(|cache| {
         let mut map = cache.borrow_mut();
         if let Some(hit) = map.get(plan).and_then(|by_key| by_key.get(&key)) {
             return Rc::clone(hit);
         }
-        let compiled = Rc::new(CompiledPlan::compile_with(plan, policy, simd));
+        let compiled = Rc::new(CompiledPlan::compile_with(plan, policy, relayout, simd));
         // The bound counts (plan, config) schedules, not just plans — a
         // budget sweep over one plan must still trigger eviction.
         if map.values().map(HashMap::len).sum::<usize>() >= CACHE_CAP {
@@ -1134,6 +1695,191 @@ mod tests {
     }
 
     #[test]
+    fn relayout_rewrites_the_unfusable_tail() {
+        // iterative(14) fused at 2^6: 6-factor head + 8 tail passes. An
+        // eager relayout with a 2^9 block budget gathers all 8 tail
+        // factors: rows = 2^14 / 2^6 = 256, cols = 512/256 = 2,
+        // blocks = 64/2 = 32.
+        let n = 14u32;
+        let compiled = CompiledPlan::compile(&Plan::iterative(n).unwrap());
+        let fused = compiled.fuse(&FusionPolicy::new(1 << 6));
+        let relaid = fused.relayout(&RelayoutPolicy::eager(1 << 9));
+        assert!(relaid.has_relayout());
+        assert_eq!(
+            relaid.passes(),
+            compiled.passes(),
+            "relayout must not touch the factor list"
+        );
+        assert_eq!(relaid.super_passes().len(), 2);
+        let tail = &relaid.super_passes()[1];
+        let rl = tail.relayout().expect("tail must be a relayout unit");
+        assert_eq!((rl.rows, rl.row_stride, rl.cols), (1 << 8, 1 << 6, 2));
+        assert_eq!(tail.parts().len(), 8);
+        assert_eq!(tail.tile_elems(), 1 << 9);
+        assert_eq!(tail.tiles(), (1 << 6) / 2);
+        assert_eq!(tail.span(), relaid.size());
+        assert_eq!(relaid.scratch_elems(), 1 << 9);
+        assert!(relaid.validate().is_ok(), "{:?}", relaid.validate());
+        // Scratch parts run at unit global stride with s = cols * c.
+        let mut c = 1usize;
+        for part in tail.parts() {
+            assert_eq!((part.base, part.stride), (0, 1));
+            assert_eq!(part.s, 2 * c);
+            c <<= part.k;
+        }
+        // The in-place view of each part is the original tail factor.
+        for (p, pass) in compiled.passes()[6..].iter().enumerate() {
+            assert_eq!(tail.flat_pass(p), *pass);
+        }
+        // Bit-identical to every other executor for all scalar types.
+        let input = signal(n);
+        let mut want = input.clone();
+        fused.apply(&mut want).unwrap();
+        let mut got = input.clone();
+        relaid.apply(&mut got).unwrap();
+        assert_eq!(got, want);
+        // ...including through the SIMD backend and a reusable scratch.
+        let simd = relaid.with_simd(&SimdPolicy::auto());
+        assert!(simd.has_relayout() && simd.is_simd());
+        let mut scratch = Vec::new();
+        let mut got2 = input;
+        simd.apply_with_scratch(&mut got2, &mut scratch).unwrap();
+        assert_eq!(got2, want);
+        assert_eq!(scratch.len(), 1 << 9);
+    }
+
+    #[test]
+    fn relayout_policy_gates() {
+        let n = 14u32;
+        let fused =
+            CompiledPlan::compile_fused(&Plan::iterative(n).unwrap(), &FusionPolicy::new(1 << 6));
+        // Disabled, too-small vectors, short tails, and resident vectors
+        // all leave the schedule unchanged.
+        assert_eq!(fused.relayout(&RelayoutPolicy::disabled()), fused);
+        let below_threshold = RelayoutPolicy {
+            min_elems: 1 << 20,
+            ..RelayoutPolicy::eager(1 << 9)
+        };
+        assert_eq!(fused.relayout(&below_threshold), fused);
+        let long_tail_only = RelayoutPolicy {
+            min_passes: 9,
+            ..RelayoutPolicy::eager(1 << 9)
+        };
+        assert_eq!(fused.relayout(&long_tail_only), fused);
+        assert_eq!(
+            fused.relayout(&RelayoutPolicy::eager(1 << n)),
+            fused,
+            "a budget holding the whole vector must not relayout"
+        );
+        // Idempotence: relayouting a relayouted schedule changes nothing.
+        let relaid = fused.relayout(&RelayoutPolicy::eager(1 << 9));
+        assert!(relaid.has_relayout());
+        assert_eq!(relaid.relayout(&RelayoutPolicy::eager(1 << 9)), relaid);
+        // A budget too small for all rows drops the earliest tail passes:
+        // budget 2^7 needs rows <= 128, so the first tail pass (rows 256)
+        // stays in place and 7 factors gather.
+        let partial = fused.relayout(&RelayoutPolicy::eager(1 << 7));
+        assert!(partial.has_relayout());
+        assert_eq!(partial.super_passes().len(), 3);
+        let tail = partial.super_passes().last().unwrap();
+        assert_eq!(tail.parts().len(), 7);
+        assert_eq!(tail.relayout().unwrap().rows, 1 << 7);
+        assert!(partial.validate().is_ok());
+        let input = signal(n);
+        let mut want = input.clone();
+        fused.apply(&mut want).unwrap();
+        let mut got = input;
+        partial.apply(&mut got).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn relayout_units_round_trip_through_from_super_passes() {
+        let plan = Plan::iterative(12).unwrap();
+        let relaid = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 5))
+            .relayout(&RelayoutPolicy::eager(1 << 8));
+        assert!(relaid.has_relayout());
+        let rebuilt = CompiledPlan::from_super_passes(12, relaid.super_passes().to_vec()).unwrap();
+        assert_eq!(rebuilt.super_passes(), relaid.super_passes());
+        assert_eq!(rebuilt.passes(), relaid.passes());
+        let mut a = signal(12);
+        let mut b = a.clone();
+        relaid.apply(&mut a).unwrap();
+        rebuilt.apply(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relayout_env_policy_constructors() {
+        assert!(!RelayoutPolicy::disabled().enabled());
+        assert!(!RelayoutPolicy::new(1).enabled());
+        assert!(RelayoutPolicy::new(2).enabled());
+        assert!(RelayoutPolicy::default().enabled());
+        assert_eq!(
+            RelayoutPolicy::default().budget_elems,
+            RelayoutPolicy::DEFAULT_BUDGET_ELEMS
+        );
+        assert_eq!(RelayoutPolicy::eager(64).min_elems, 0);
+        assert_eq!(
+            RelayoutPolicy::disabled().cache_key(),
+            RelayoutPolicy {
+                budget_elems: 0,
+                min_elems: 99,
+                min_passes: 3
+            }
+            .cache_key()
+        );
+    }
+
+    #[test]
+    fn relayout_traverse_reports_scratch_addresses_and_copies() {
+        #[derive(Default)]
+        struct Watch {
+            gathers: usize,
+            scatters: usize,
+            relayout_units: usize,
+            leaf_bases: Vec<usize>,
+        }
+        impl ExecHooks for Watch {
+            fn super_pass(
+                &mut self,
+                _parts: usize,
+                _tiles: usize,
+                _tile: usize,
+                _backend: PassBackend,
+                relayout: Option<Relayout>,
+            ) {
+                self.relayout_units += usize::from(relayout.is_some());
+            }
+            fn relayout_gather(&mut self, _b: usize, _rl: Relayout, _s: usize) {
+                self.gathers += 1;
+            }
+            fn relayout_scatter(&mut self, _b: usize, _rl: Relayout, _s: usize) {
+                self.scatters += 1;
+            }
+            fn leaf_call(&mut self, _k: u32, base: usize, _stride: usize) {
+                self.leaf_bases.push(base);
+            }
+        }
+        let n = 10u32;
+        let relaid =
+            CompiledPlan::compile_fused(&Plan::iterative(n).unwrap(), &FusionPolicy::new(1 << 5))
+                .relayout(&RelayoutPolicy::eager(1 << 7));
+        assert!(relaid.has_relayout());
+        let blocks = relaid.super_passes().last().unwrap().tiles();
+        let mut w = Watch::default();
+        relaid.traverse(&mut w);
+        assert_eq!(w.relayout_units, 1);
+        assert_eq!(w.gathers, blocks);
+        assert_eq!(w.scatters, blocks);
+        // Leaf calls of the relayout unit land in the scratch region just
+        // past the vector; everything else stays inside it.
+        let size = relaid.size();
+        assert!(w.leaf_bases.iter().any(|&b| b >= size));
+        assert!(w.leaf_bases.iter().all(|&b| b < size + (1 << 7)));
+    }
+
+    #[test]
     fn length_mismatch_rejected() {
         let compiled = CompiledPlan::compile(&Plan::iterative(4).unwrap());
         let mut x = vec![0.0f64; 15];
@@ -1192,6 +1938,7 @@ mod tests {
                 tiles: usize,
                 tile_elems: usize,
                 _backend: PassBackend,
+                _relayout: Option<Relayout>,
             ) {
                 self.super_passes.push((parts, tiles, tile_elems));
             }
@@ -1223,17 +1970,42 @@ mod tests {
         // against schedules built under the same env SimdPolicy, so the
         // test holds on every CI leg.)
         let env_simd = SimdPolicy::from_env();
-        let unfused = compiled_for_with(&plan, &FusionPolicy::disabled(), &env_simd);
+        let unfused = compiled_for_with(
+            &plan,
+            &FusionPolicy::disabled(),
+            &RelayoutPolicy::disabled(),
+            &env_simd,
+        );
         assert_eq!(*unfused, CompiledPlan::compile(&plan).with_simd(&env_simd));
-        let fused = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &env_simd);
+        let fused = compiled_for_with(
+            &plan,
+            &FusionPolicy::new(1 << 8),
+            &RelayoutPolicy::disabled(),
+            &env_simd,
+        );
         assert_eq!(
             *fused,
-            CompiledPlan::compile_with(&plan, &FusionPolicy::new(1 << 8), &env_simd)
+            CompiledPlan::compile_with(
+                &plan,
+                &FusionPolicy::new(1 << 8),
+                &RelayoutPolicy::disabled(),
+                &env_simd
+            )
         );
         // The kernel backend is part of the cache key too.
-        let scalar = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &SimdPolicy::disabled());
+        let scalar = compiled_for_with(
+            &plan,
+            &FusionPolicy::new(1 << 8),
+            &RelayoutPolicy::disabled(),
+            &SimdPolicy::disabled(),
+        );
         assert!(!scalar.is_simd());
-        let lanes = compiled_for_with(&plan, &FusionPolicy::new(1 << 8), &SimdPolicy::auto());
+        let lanes = compiled_for_with(
+            &plan,
+            &FusionPolicy::new(1 << 8),
+            &RelayoutPolicy::disabled(),
+            &SimdPolicy::auto(),
+        );
         assert!(lanes.is_simd());
         assert_eq!(scalar.passes(), lanes.passes());
         // Flood the cache past capacity; the entry may be evicted but
@@ -1326,7 +2098,12 @@ mod tests {
         let plan = Plan::iterative(10).unwrap();
         let reference = CompiledPlan::compile(&plan);
         for b in 0..CACHE_CAP + 8 {
-            let c = compiled_for_with(&plan, &FusionPolicy::new(b + 2), &SimdPolicy::from_env());
+            let c = compiled_for_with(
+                &plan,
+                &FusionPolicy::new(b + 2),
+                &RelayoutPolicy::disabled(),
+                &SimdPolicy::from_env(),
+            );
             assert_eq!(c.passes(), reference.passes(), "budget {}", b + 2);
         }
     }

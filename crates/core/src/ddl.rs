@@ -65,10 +65,33 @@ impl Default for DdlConfig {
 /// [`apply_plan`](crate::engine::apply_plan), but gather subtransforms whose
 /// stride crosses the DDL threshold into contiguous scratch first.
 ///
+/// Allocates the gather scratch internally per call; hot loops replaying
+/// one plan use [`apply_plan_ddl_with_scratch`] to amortize the
+/// allocation to zero.
+///
 /// # Errors
 /// [`WhtError::InvalidConfig`] if `cfg` fails [`DdlConfig::validate`];
 /// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
 pub fn apply_plan_ddl<T: Scalar>(plan: &Plan, x: &mut [T], cfg: DdlConfig) -> Result<(), WhtError> {
+    apply_plan_ddl_with_scratch(plan, x, cfg, &mut Vec::new())
+}
+
+/// [`apply_plan_ddl`] with a caller-owned scratch buffer: grown once to
+/// the plan's largest gathered subtree (a single tree walk computes the
+/// requirement up front), never shrunk, and split — not reallocated —
+/// across nested gathers, so repeated application through one buffer
+/// allocates **nothing** after warmup (asserted by the
+/// `ddl_noalloc` integration test under a counting allocator).
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] if `cfg` fails [`DdlConfig::validate`];
+/// [`WhtError::LengthMismatch`] unless `x.len() == plan.size()`.
+pub fn apply_plan_ddl_with_scratch<T: Scalar>(
+    plan: &Plan,
+    x: &mut [T],
+    cfg: DdlConfig,
+    scratch: &mut Vec<T>,
+) -> Result<(), WhtError> {
     cfg.validate()?;
     if x.len() != plan.size() {
         return Err(WhtError::LengthMismatch {
@@ -76,16 +99,38 @@ pub fn apply_plan_ddl<T: Scalar>(plan: &Plan, x: &mut [T], cfg: DdlConfig) -> Re
             got: x.len(),
         });
     }
-    let mut scratch: Vec<T> = vec![T::ZERO; plan.size().min(1 << 16)];
-    ddl_rec(
-        plan,
-        x,
-        0,
-        1,
-        1usize << cfg.stride_threshold_log2,
-        &mut scratch,
-    );
+    let threshold = 1usize << cfg.stride_threshold_log2;
+    let needed = max_gather_elems(plan, 1, threshold);
+    if scratch.len() < needed {
+        scratch.resize(needed, T::ZERO);
+    }
+    ddl_rec(plan, x, 0, 1, threshold, scratch);
     Ok(())
+}
+
+/// Scratch elements one DDL execution of `plan` needs: the size of the
+/// largest subtree whose stride reaches `threshold`. A gathered subtree's
+/// inner transform runs with the relayout threshold saturated (see
+/// [`ddl_rec`]), so gathers never nest and the footprints never stack.
+fn max_gather_elems(plan: &Plan, stride: usize, threshold: usize) -> usize {
+    if stride >= threshold && plan.size() > 1 {
+        return plan.size();
+    }
+    match plan {
+        Plan::Leaf { .. } => 0,
+        Plan::Split { children, .. } => {
+            // Every (j, k) invocation of one child runs at the same
+            // stride s·stride, so the loop grid collapses out of the
+            // requirement computation.
+            let mut s = 1usize;
+            let mut worst = 0usize;
+            for child in children.iter().rev() {
+                worst = worst.max(max_gather_elems(child, s * stride, threshold));
+                s *= 1usize << child.n();
+            }
+            worst
+        }
+    }
 }
 
 fn ddl_rec<T: Scalar>(
@@ -94,32 +139,25 @@ fn ddl_rec<T: Scalar>(
     base: usize,
     stride: usize,
     threshold: usize,
-    scratch: &mut Vec<T>,
+    scratch: &mut [T],
 ) {
     let size = plan.size();
     if stride >= threshold && size > 1 {
         // Relayout: gather to contiguous, transform at stride 1, scatter.
-        if scratch.len() < size {
-            scratch.resize(size, T::ZERO);
-        }
-        for j in 0..size {
-            scratch[j] = x[base + j * stride];
+        // The caller pre-sized scratch for the largest gathered subtree,
+        // so a *split* of the buffer — never a fresh allocation — serves
+        // the inner recursion.
+        let (gathered, rest) = scratch.split_at_mut(size);
+        for (j, slot) in gathered.iter_mut().enumerate() {
+            *slot = x[base + j * stride];
         }
         // After a gather, the contiguous transform never relayouts again
         // (threshold usize::MAX): one relayout per subtree, which both
         // avoids pathological re-gathering at tiny thresholds and matches
         // the DDL trace executor in wht-measure.
-        let mut inner_scratch: Vec<T> = Vec::new();
-        ddl_rec(
-            plan,
-            &mut scratch[..size],
-            0,
-            1,
-            usize::MAX,
-            &mut inner_scratch,
-        );
-        for j in 0..size {
-            x[base + j * stride] = scratch[j];
+        ddl_rec(plan, gathered, 0, 1, usize::MAX, rest);
+        for (j, slot) in gathered.iter().enumerate() {
+            x[base + j * stride] = *slot;
         }
         return;
     }

@@ -140,8 +140,9 @@ pub trait ExecHooks {
     /// `tiles` cache tiles of `tile_elems` elements each, through the
     /// kernel `backend` recorded in the schedule (so measurement consumers
     /// see exactly the program the executor runs, SIMD selection
-    /// included). Emitted only by
-    /// [`crate::compile::CompiledPlan::traverse`] (the recursive
+    /// included); `relayout` carries the gather geometry when the unit is
+    /// a relayout super-pass (its "tiles" are gathered blocks). Emitted
+    /// only by [`crate::compile::CompiledPlan::traverse`] (the recursive
     /// interpreter has no super-pass structure); consumers that segment
     /// measurements per super-pass (e.g. the per-super-pass traffic report
     /// in `wht-measure`) override this, everything else ignores it.
@@ -152,8 +153,40 @@ pub trait ExecHooks {
         tiles: usize,
         tile_elems: usize,
         backend: crate::compile::PassBackend,
+        relayout: Option<crate::compile::Relayout>,
     ) {
-        let _ = (parts, tiles, tile_elems, backend);
+        let _ = (parts, tiles, tile_elems, backend, relayout);
+    }
+
+    /// A relayout super-pass gathers one block: the strided row-segments
+    /// `x[u·row_stride + x_base ..][..cols]` (`u < rows`) are copied into
+    /// the conceptual scratch region at `scratch_base` (element index just
+    /// past the vector — see [`crate::compile::CompiledPlan::traverse`]).
+    /// Memory contract: one read per source element, one write per scratch
+    /// slot, addresses sequential in the copy direction. Emitted before
+    /// the block's part leaf calls (which run at scratch addresses).
+    #[inline]
+    fn relayout_gather(
+        &mut self,
+        x_base: usize,
+        relayout: crate::compile::Relayout,
+        scratch_base: usize,
+    ) {
+        let _ = (x_base, relayout, scratch_base);
+    }
+
+    /// A relayout super-pass scatters one block back — the exact inverse
+    /// copy of [`ExecHooks::relayout_gather`] (one read per scratch slot,
+    /// one write per destination element), emitted after the block's part
+    /// leaf calls.
+    #[inline]
+    fn relayout_scatter(
+        &mut self,
+        x_base: usize,
+        relayout: crate::compile::Relayout,
+        scratch_base: usize,
+    ) {
+        let _ = (x_base, relayout, scratch_base);
     }
 
     /// Within the current split invocation, child `i` (of size `2^child_n`)

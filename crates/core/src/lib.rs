@@ -38,9 +38,9 @@
 //! |--------|----------|
 //! | [`plan`] | the [`Plan`] split tree, canonical algorithms, invariants |
 //! | [`parse`] | WHT-package plan grammar (`split[small[1],...]` strings) |
-//! | [`codelets`] | unrolled base cases `small[1]`..`small[8]`, plus the SIMD lane-block backend ([`SimdPolicy`], `WHT_NO_SIMD` opt-out) |
+//! | [`codelets`] | unrolled base cases `small[1]`..`small[8]`, the SIMD lane-block backend ([`SimdPolicy`], `WHT_NO_SIMD` opt-out), and the relayout gather/scatter copy kernels |
 //! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan_recursive`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
-//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, cache-blocked pass fusion ([`FusionPolicy`], [`SuperPass`]), per-unit kernel backend selection ([`PassBackend`]), the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
+//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, cache-blocked pass fusion ([`FusionPolicy`], [`SuperPass`]), DDL tail relayout ([`RelayoutPolicy`], [`Relayout`], `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD` opt-outs), per-unit kernel backend selection ([`PassBackend`]), the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
 //! | [`testkit`] | shared test scaffolding: seeded random-plan generator, `O(n·2^n)` fast reference transform, deterministic signals |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
@@ -63,13 +63,14 @@ pub mod testkit;
 pub mod twod;
 
 pub use codelets::{
-    apply_codelet_checked, apply_codelet_cols, apply_codelet_generic, apply_pass_lanes, lane_width,
-    SimdPolicy,
+    apply_codelet_checked, apply_codelet_cols, apply_codelet_generic, apply_pass_lanes,
+    gather_rows_checked, lane_width, scatter_rows_checked, SimdPolicy,
 };
 pub use compile::{
-    compiled_for, compiled_for_with, CompiledPlan, FusionPolicy, Pass, PassBackend, SuperPass,
+    compiled_for, compiled_for_with, CompiledPlan, FusionPolicy, Pass, PassBackend, Relayout,
+    RelayoutPolicy, SuperPass,
 };
-pub use ddl::{apply_plan_ddl, DdlConfig};
+pub use ddl::{apply_plan_ddl, apply_plan_ddl_with_scratch, DdlConfig};
 pub use dyadic::{dyadic_autocorrelation, dyadic_convolution, dyadic_convolution_naive};
 pub use engine::{apply_plan, apply_plan_recursive, for_each_leaf_call, traverse, ExecHooks};
 pub use error::WhtError;

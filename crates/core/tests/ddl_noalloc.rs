@@ -1,0 +1,119 @@
+//! Allocation regression tests for the warm scratch-reuse paths, run
+//! under a counting global allocator: once a caller-owned scratch buffer
+//! has been sized by a first (warmup) application, replaying the same
+//! plan must hit the heap **zero** times — both for the recursive DDL
+//! engine (`apply_plan_ddl_with_scratch`) and the compiled relayout
+//! executor (`CompiledPlan::apply_with_scratch`). Per-subtree heap churn
+//! in `ddl_rec` (a fresh inner scratch per gathered subtree) is exactly
+//! the regression this file pins down.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wht_core::ddl::DdlConfig;
+use wht_core::{
+    apply_plan_ddl_with_scratch, CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy,
+};
+
+/// System allocator wrapper that counts every allocation (including
+/// reallocs, which acquire new memory too). Deallocations are free.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn signal(n: u32) -> Vec<f64> {
+    (0..1usize << n)
+        .map(|j| ((j.wrapping_mul(0x9E3779B9)) % 512) as f64 / 64.0 - 4.0)
+        .collect()
+}
+
+#[test]
+fn ddl_with_scratch_does_not_allocate_after_warmup() {
+    // left_recursive is the shape whose strides grow fastest — every
+    // level past the threshold gathers, so this exercises the split-based
+    // scratch reuse hardest.
+    let n = 12u32;
+    let plan = Plan::left_recursive(n).unwrap();
+    let cfg = DdlConfig::default();
+    let mut x = signal(n);
+    let mut scratch: Vec<f64> = Vec::new();
+
+    // Warmup: sizes the scratch once (and computes the reference result).
+    apply_plan_ddl_with_scratch(&plan, &mut x, cfg, &mut scratch).unwrap();
+    let mut reference = signal(n);
+    wht_core::apply_plan_recursive(&plan, &mut reference).unwrap();
+    assert_eq!(x, reference, "warmup run must be correct");
+
+    // Warm replays: zero heap traffic, still correct.
+    let mut y = signal(n);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    apply_plan_ddl_with_scratch(&plan, &mut y, cfg, &mut scratch).unwrap();
+    apply_plan_ddl_with_scratch(&plan, &mut y, cfg, &mut scratch).unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm DDL replays must not touch the heap"
+    );
+
+    // A tighter threshold (more gathers) re-sizes at most once, then is
+    // allocation-free again.
+    let tight = DdlConfig {
+        stride_threshold_log2: 0,
+    };
+    let mut z = signal(n);
+    apply_plan_ddl_with_scratch(&plan, &mut z, tight, &mut scratch).unwrap();
+    let mut w = signal(n);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    apply_plan_ddl_with_scratch(&plan, &mut w, tight, &mut scratch).unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0);
+}
+
+#[test]
+fn compiled_relayout_with_scratch_does_not_allocate_after_warmup() {
+    let n = 14u32;
+    let relaid = CompiledPlan::compile(&Plan::iterative(n).unwrap())
+        .fuse(&FusionPolicy::new(1 << 6))
+        .relayout(&RelayoutPolicy::eager(1 << 9))
+        .with_simd(&SimdPolicy::auto());
+    assert!(relaid.has_relayout());
+    let mut x = signal(n);
+    let mut scratch: Vec<f64> = Vec::new();
+    relaid.apply_with_scratch(&mut x, &mut scratch).unwrap();
+    assert_eq!(scratch.len(), relaid.scratch_elems());
+
+    let mut y = signal(n);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    relaid.apply_with_scratch(&mut y, &mut scratch).unwrap();
+    relaid.apply_with_scratch(&mut y, &mut scratch).unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm relayout replays must not touch the heap"
+    );
+}

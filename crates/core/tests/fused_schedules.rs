@@ -4,7 +4,7 @@
 //! never a silently-accepted schedule that would make the unsafe executor
 //! read or write out of bounds.
 
-use wht_core::{CompiledPlan, FusionPolicy, Plan, SuperPass, WhtError};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, Relayout, SuperPass, WhtError};
 
 /// A correct tile-relative part for a `tile`-element tile: `small[k]`
 /// covering the tile exactly once at stride `s`.
@@ -189,6 +189,124 @@ fn absurd_extents_return_typed_errors_not_overflow_panics() {
     };
     assert!(matches!(
         CompiledPlan::from_super_passes(4, vec![SuperPass::new(vec![huge_part], 16, 1, 0, 1)]),
+        Err(WhtError::InvalidSchedule { index: 0, .. })
+    ));
+}
+
+#[test]
+fn well_formed_hand_built_relayout_schedule_is_accepted() {
+    // The shape relayout() makes for iterative(6) fused at 2^2: a 4-factor
+    // head over 4-element tiles, then a relayout unit gathering the
+    // 4-pass... here 4-row tail: rows 4 (2^6/2^4... keep it simple):
+    // fused head covers factors at strides 1..8 (tile 16), the 2-factor
+    // tail is viewed as a 4 x 16 matrix gathered 8 columns at a time.
+    let n = 6u32;
+    let head = SuperPass::new(
+        vec![
+            part(1, 1, 16),
+            part(1, 2, 16),
+            part(1, 4, 16),
+            part(1, 8, 16),
+        ],
+        16,
+        4,
+        0,
+        1,
+    );
+    // Scratch block of 4 rows x 8 cols = 32 elements; tail factors at
+    // scratch strides 8 and 16.
+    let tail = SuperPass::new_relayout(
+        vec![part(1, 8, 32), part(1, 16, 32)],
+        Relayout {
+            rows: 4,
+            row_stride: 16,
+            cols: 8,
+        },
+    );
+    let plan = CompiledPlan::from_super_passes(n, vec![head, tail]).unwrap();
+    assert!(plan.validate().is_ok());
+    // It computes exactly what the builder pipeline builds.
+    let want = CompiledPlan::compile_fused(&Plan::iterative(n).unwrap(), &FusionPolicy::new(16))
+        .relayout(&wht_core::RelayoutPolicy {
+            min_passes: 2, // the hand-built tail is exactly two factors
+            ..wht_core::RelayoutPolicy::eager(32)
+        });
+    assert_eq!(plan.super_passes(), want.super_passes());
+    let mut x: Vec<i64> = (0..64).map(|j| (j * 5 % 17) - 8).collect();
+    let mut y = x.clone();
+    plan.apply(&mut x).unwrap();
+    want.apply(&mut y).unwrap();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn relayout_geometry_violations_rejected() {
+    // Matrix view not covering the vector: 4 x 8 = 32 of 64 elements.
+    let bad = SuperPass::new_relayout(
+        vec![part(1, 4, 16), part(1, 8, 16)],
+        Relayout {
+            rows: 4,
+            row_stride: 8,
+            cols: 4,
+        },
+    );
+    let err = CompiledPlan::from_super_passes(6, vec![bad]).unwrap_err();
+    assert!(
+        matches!(err, WhtError::InvalidSchedule { index: 0, ref msg } if msg.contains("does not cover")),
+        "got: {err:?}"
+    );
+    // Columns that do not partition the row length (6 % 4 != 0).
+    let ragged = SuperPass::new_relayout(
+        vec![part(1, 4, 16)],
+        Relayout {
+            rows: 4,
+            row_stride: 6,
+            cols: 4,
+        },
+    );
+    let err = CompiledPlan::from_super_passes(5, vec![ragged]).unwrap_err();
+    assert!(
+        matches!(err, WhtError::InvalidSchedule { index: 0, ref msg } if msg.contains("partition")),
+        "got: {err:?}"
+    );
+    // Empty geometry.
+    let empty = SuperPass::new_relayout(
+        vec![part(1, 1, 2)],
+        Relayout {
+            rows: 0,
+            row_stride: 4,
+            cols: 2,
+        },
+    );
+    assert!(matches!(
+        CompiledPlan::from_super_passes(4, vec![empty]),
+        Err(WhtError::InvalidSchedule { index: 0, ref msg }) if msg.contains("empty")
+    ));
+    // A part that does not tile the gathered block exactly once.
+    let short_part = SuperPass::new_relayout(
+        vec![part(1, 1, 4)],
+        Relayout {
+            rows: 4,
+            row_stride: 4,
+            cols: 2,
+        },
+    );
+    let err = CompiledPlan::from_super_passes(4, vec![short_part]).unwrap_err();
+    assert!(
+        matches!(err, WhtError::InvalidSchedule { index: 0, ref msg } if msg.contains("exactly once")),
+        "got: {err:?}"
+    );
+    // Absurd geometry extents return typed errors, not overflow panics.
+    let absurd = SuperPass::new_relayout(
+        vec![part(1, 1, 2)],
+        Relayout {
+            rows: usize::MAX,
+            row_stride: usize::MAX,
+            cols: usize::MAX,
+        },
+    );
+    assert!(matches!(
+        CompiledPlan::from_super_passes(4, vec![absurd]),
         Err(WhtError::InvalidSchedule { index: 0, .. })
     ));
 }

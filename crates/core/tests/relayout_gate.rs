@@ -1,0 +1,56 @@
+//! CI gate for the relayout test matrix: each CI leg runs the whole suite
+//! with `WHT_NO_RELAYOUT` either unset (relayout-tail executor past the
+//! size threshold) or `1` (in-place tail executor). This test fails the
+//! leg if the production path does not match the environment — i.e. if a
+//! misconfigured matrix would silently test one executor twice and skip
+//! the other. Modeled on `fusion_gate.rs`/`simd_gate.rs`, which guard the
+//! other two executor axes the same way.
+
+use wht_core::{compiled_for, Plan, RelayoutPolicy};
+
+#[test]
+fn relayout_path_matches_the_environment() {
+    let no_relayout = std::env::var("WHT_NO_RELAYOUT")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    // The env-derived policy must reflect the switch...
+    let policy = RelayoutPolicy::from_env();
+    assert_eq!(
+        policy.enabled(),
+        !no_relayout,
+        "RelayoutPolicy::from_env() disagrees with WHT_NO_RELAYOUT={:?}",
+        std::env::var("WHT_NO_RELAYOUT").ok()
+    );
+    // ...and the production schedule cache must actually be compiling that
+    // path. Pick a size past the policy's engagement floor (compiling a
+    // schedule touches no data, so a 2^26-element plan is cheap): under
+    // the default configuration its fused tail relayouts, so a leg whose
+    // compiled schedule disagrees with the env is running the wrong
+    // executor. The fused leg requirement only holds where prefix fusion
+    // leaves a tail, so skip the shape check when fusion is off — the
+    // relayout stage still engages on the all-singles schedule there.
+    let n = 26u32;
+    assert!(
+        (1usize << n) >= RelayoutPolicy::default().min_elems,
+        "gate size must clear the default engagement threshold"
+    );
+    let compiled = compiled_for(&Plan::iterative(n).unwrap());
+    assert_eq!(
+        compiled.has_relayout(),
+        !no_relayout,
+        "apply_plan would execute the wrong tail for this CI leg \
+         (WHT_NO_RELAYOUT={:?}, relayout={})",
+        std::env::var("WHT_NO_RELAYOUT").ok(),
+        compiled.has_relayout()
+    );
+    if !no_relayout {
+        let tail = compiled
+            .super_passes()
+            .iter()
+            .find(|sp| sp.is_relayout())
+            .expect("checked above");
+        let rl = tail.relayout().unwrap();
+        assert_eq!(rl.rows * rl.row_stride, compiled.size());
+        assert!(tail.tile_elems() <= RelayoutPolicy::default().budget_elems);
+    }
+}

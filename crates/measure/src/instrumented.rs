@@ -55,6 +55,26 @@ impl ExecHooks for InstructionCounter {
         self.counts.stores += size;
         self.counts.addr += 2 * size;
     }
+
+    #[inline]
+    fn relayout_gather(&mut self, _x_base: usize, rl: wht_core::Relayout, _scratch: usize) {
+        // One load (strided source), one store (scratch slot), and their
+        // address computations per copied element — the gather half of
+        // the two extra sweeps a relayout unit pays.
+        let elems = (rl.rows * rl.cols) as u64;
+        self.counts.loads += elems;
+        self.counts.stores += elems;
+        self.counts.addr += 2 * elems;
+    }
+
+    #[inline]
+    fn relayout_scatter(&mut self, _x_base: usize, rl: wht_core::Relayout, _scratch: usize) {
+        // The scatter half: the exact inverse copy, same operation bill.
+        let elems = (rl.rows * rl.cols) as u64;
+        self.counts.loads += elems;
+        self.counts.stores += elems;
+        self.counts.addr += 2 * elems;
+    }
 }
 
 /// Execute the loop nest (dataless) and count every operation category.
@@ -169,6 +189,27 @@ mod tests {
         assert_eq!(f.node_invocations, c.node_invocations);
         // Fewer scheduling units is the one structural difference.
         assert!(f.outer_iters < c.outer_iters);
+    }
+
+    #[test]
+    fn relayout_counts_add_exactly_the_copy_work() {
+        use wht_core::{FusionPolicy, RelayoutPolicy};
+        let n = 14u32;
+        let plan = Plan::iterative(n).unwrap();
+        let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 6));
+        let relaid = fused.relayout(&RelayoutPolicy::eager(1 << 9));
+        assert!(relaid.has_relayout());
+        let f = compiled_op_counts(&fused);
+        let r = compiled_op_counts(&relaid);
+        // The butterflies and leaf multiset are untouched; the gather and
+        // scatter each add one load, one store, and two address
+        // computations per element of the vector.
+        let size = 1u64 << n;
+        assert_eq!(r.arith, f.arith);
+        assert_eq!(r.leaf_calls, f.leaf_calls);
+        assert_eq!(r.loads, f.loads + 2 * size);
+        assert_eq!(r.stores, f.stores + 2 * size);
+        assert_eq!(r.addr, f.addr + 4 * size);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! touching data.
 
 use wht_cachesim::{CacheConfig, CacheStats, ConfigError, Hierarchy};
-use wht_core::{traverse, CompiledPlan, ExecHooks, PassBackend, Plan};
+use wht_core::{traverse, CompiledPlan, ExecHooks, PassBackend, Plan, Relayout};
 
 /// [`ExecHooks`] implementation that feeds every element access of the
 /// computation through a [`Hierarchy`].
@@ -51,10 +51,44 @@ fn trace_leaf(hierarchy: &mut Hierarchy, k: u32, base: usize, stride: usize) {
     }
 }
 
+/// One relayout gather's memory trace — the copy contract documented on
+/// `wht_core::codelets::gather_rows`: each source element is read once and
+/// its scratch slot written once, in copy order (row-major over the
+/// block). Shared by both trace consumers in this module.
+fn trace_gather(hierarchy: &mut Hierarchy, x_base: usize, rl: Relayout, scratch_base: usize) {
+    for u in 0..rl.rows {
+        for g in 0..rl.cols {
+            hierarchy.access_element(x_base + u * rl.row_stride + g);
+            hierarchy.access_element(scratch_base + u * rl.cols + g);
+        }
+    }
+}
+
+/// One relayout scatter's memory trace: the exact inverse copy (scratch
+/// slot read, destination element written), same order.
+fn trace_scatter(hierarchy: &mut Hierarchy, x_base: usize, rl: Relayout, scratch_base: usize) {
+    for u in 0..rl.rows {
+        for g in 0..rl.cols {
+            hierarchy.access_element(scratch_base + u * rl.cols + g);
+            hierarchy.access_element(x_base + u * rl.row_stride + g);
+        }
+    }
+}
+
 impl ExecHooks for TraceExecutor {
     #[inline]
     fn leaf_call(&mut self, k: u32, base: usize, stride: usize) {
         trace_leaf(&mut self.hierarchy, k, base, stride);
+    }
+
+    #[inline]
+    fn relayout_gather(&mut self, x_base: usize, relayout: Relayout, scratch_base: usize) {
+        trace_gather(&mut self.hierarchy, x_base, relayout, scratch_base);
+    }
+
+    #[inline]
+    fn relayout_scatter(&mut self, x_base: usize, relayout: Relayout, scratch_base: usize) {
+        trace_scatter(&mut self.hierarchy, x_base, relayout, scratch_base);
     }
 }
 
@@ -109,6 +143,12 @@ pub struct SuperPassTraffic {
     /// still reads and writes each element exactly once, so the access
     /// and miss columns are charged identically for both backends).
     pub backend: PassBackend,
+    /// `Some` when the unit is a relayout super-pass (its "tiles" are
+    /// gathered blocks): the row's accesses then include the gather and
+    /// scatter copies — the two extra read/write sweeps relayout pays on
+    /// top of the per-factor 1R/1W contract — so the cost of the
+    /// transposes is measured, not just their benefit.
+    pub relayout: Option<Relayout>,
     /// Element accesses issued by this super-pass (loads + stores).
     pub accesses: u64,
     /// L1 misses charged to this super-pass.
@@ -136,7 +176,14 @@ impl SuperPassTracer {
 
 impl ExecHooks for SuperPassTracer {
     #[inline]
-    fn super_pass(&mut self, parts: usize, tiles: usize, tile_elems: usize, backend: PassBackend) {
+    fn super_pass(
+        &mut self,
+        parts: usize,
+        tiles: usize,
+        tile_elems: usize,
+        backend: PassBackend,
+        relayout: Option<Relayout>,
+    ) {
         self.close();
         let l1 = self.hierarchy.stats(0);
         self.open = Some(SuperPassTraffic {
@@ -144,6 +191,7 @@ impl ExecHooks for SuperPassTracer {
             tiles,
             tile_elems,
             backend,
+            relayout,
             accesses: l1.accesses,
             l1_misses: l1.misses,
         });
@@ -152,6 +200,16 @@ impl ExecHooks for SuperPassTracer {
     #[inline]
     fn leaf_call(&mut self, k: u32, base: usize, stride: usize) {
         trace_leaf(&mut self.hierarchy, k, base, stride);
+    }
+
+    #[inline]
+    fn relayout_gather(&mut self, x_base: usize, relayout: Relayout, scratch_base: usize) {
+        trace_gather(&mut self.hierarchy, x_base, relayout, scratch_base);
+    }
+
+    #[inline]
+    fn relayout_scatter(&mut self, x_base: usize, relayout: Relayout, scratch_base: usize) {
+        trace_scatter(&mut self.hierarchy, x_base, relayout, scratch_base);
     }
 }
 
@@ -385,6 +443,68 @@ mod tests {
                 (b.parts, b.tiles, b.tile_elems, b.accesses, b.l1_misses),
             );
         }
+    }
+
+    #[test]
+    fn relayout_accounting_charges_the_two_extra_sweeps_and_cuts_misses() {
+        use wht_core::{CompiledPlan, FusionPolicy, RelayoutPolicy};
+        // n = 16 on the Opteron hierarchy (64 KiB L1): fuse the first 10
+        // factors (8 KiB tiles), then relayout the 6-pass tail into
+        // 2^12-element gathered blocks.
+        let n = 16u32;
+        let plan = Plan::iterative(n).unwrap();
+        let fused = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 10));
+        let relaid = fused.relayout(&RelayoutPolicy::eager(1 << 12));
+        assert!(relaid.has_relayout());
+        let tail_parts = relaid.super_passes().last().unwrap().parts().len() as u64;
+        assert_eq!(tail_parts, 6);
+
+        // The 1R/1W-per-element contract generalizes: every factor still
+        // accesses each element twice, and the relayout unit additionally
+        // pays the gather and scatter copies — 2 accesses per element per
+        // copy over the full vector.
+        let mut h = Hierarchy::opteron();
+        let report = super_pass_traffic(&relaid, &mut h);
+        let size = 1u64 << n;
+        let total: u64 = report.iter().map(|r| r.accesses).sum();
+        assert_eq!(total, 2 * size * u64::from(n) + 4 * size);
+        let tail = report.last().unwrap();
+        assert!(tail.relayout.is_some());
+        assert_eq!(tail.accesses, 2 * size * tail_parts + 4 * size);
+        for row in &report[..report.len() - 1] {
+            assert_eq!(row.relayout, None);
+        }
+
+        // And the win: the relayouted tail's misses collapse to about the
+        // copies' compulsory sweeps, far below the per-factor sweeps the
+        // in-place tail pays.
+        let mut h = Hierarchy::opteron();
+        let fused_misses: u64 = super_pass_traffic(&fused, &mut h)
+            .iter()
+            .skip(1)
+            .map(|r| r.l1_misses)
+            .sum();
+        let mut h = Hierarchy::opteron();
+        let relaid_misses: u64 = super_pass_traffic(&relaid, &mut h)
+            .iter()
+            .skip(1)
+            .map(|r| r.l1_misses)
+            .sum();
+        assert!(
+            relaid_misses * 2 < fused_misses,
+            "relayout tail misses {relaid_misses} should be far below the \
+             sweeping tail's {fused_misses}"
+        );
+
+        // Aggregate per-level stats agree between the two trace consumers.
+        let mut h = Hierarchy::opteron();
+        let stats = trace_misses_compiled(&relaid, &mut h);
+        let mut h = Hierarchy::opteron();
+        let segmented: u64 = super_pass_traffic(&relaid, &mut h)
+            .iter()
+            .map(|r| r.l1_misses)
+            .sum();
+        assert_eq!(stats[0].misses, segmented);
     }
 
     #[test]

@@ -33,6 +33,18 @@
 //! the grouping performs the same adds/subs on the same values, so
 //! output stays bit-identical to sequential execution.
 //!
+//! A **relayout** super-pass shards by *gathered block*: a claimed block
+//! is gathered into the claiming worker's private scratch, streamed
+//! through all tail factors, and scattered back
+//! (`SuperPass::apply_gathered_block`) — blocks touch pairwise disjoint
+//! column sets, so per-worker scratch is the only extra state. Scratch is
+//! allocated once per worker per call (only when the schedule relayouts),
+//! sized to the largest gathered block. With fewer blocks than workers
+//! the engine falls back to the relayout unit's *in-place* flat passes
+//! (`SuperPass::flat_pass` maps scratch parts back to the original
+//! large-stride factors), sharded like any other pass — no gather, no
+//! starved workers, bit-identical output.
+//!
 //! ## Safety argument
 //!
 //! Within one pass, invocation `(j, t)` touches exactly the elements
@@ -138,6 +150,10 @@ pub fn par_apply_compiled<T: Scalar>(
     enum Unit<'a> {
         /// Claim indices are tile numbers of the super-pass.
         Tiles(&'a wht_core::SuperPass),
+        /// Claim indices are gathered-block numbers of a relayout
+        /// super-pass; each claim gathers into the worker's scratch,
+        /// transforms, and scatters back.
+        GatheredBlocks(&'a wht_core::SuperPass),
         /// Claim indices are invocation numbers of the absolute pass
         /// (scalar-backend fallback).
         Invocations(Pass),
@@ -155,7 +171,7 @@ pub fn par_apply_compiled<T: Scalar>(
     impl Unit<'_> {
         fn count(&self) -> usize {
             match self {
-                Unit::Tiles(sp) => sp.tiles(),
+                Unit::Tiles(sp) | Unit::GatheredBlocks(sp) => sp.tiles(),
                 Unit::Invocations(pass) => pass.invocations(),
                 Unit::LaneBlocks {
                     pass,
@@ -166,9 +182,42 @@ pub fn par_apply_compiled<T: Scalar>(
         }
     }
     let width = T::LANES;
+    let scratch_elems = compiled.scratch_elems();
+    // The shared few-units-of-work fallback: replay the super-pass as its
+    // flat (in-place, pass-major) factors, sharded per pass — by lane
+    // block for a lane-backend unit-stride pass (every worker still runs
+    // the kernel the schedule recorded), by scalar invocation otherwise.
+    // Bit-identical output, no starved workers.
+    fn push_flat_parts<'a>(units: &mut Vec<Unit<'a>>, sp: &'a wht_core::SuperPass, width: usize) {
+        for p in 0..sp.parts().len() {
+            let pass = sp.flat_pass(p);
+            if sp.backend() == wht_core::PassBackend::Lanes && pass.stride == 1 {
+                units.push(Unit::LaneBlocks {
+                    pass,
+                    blocks_per_row: pass.s.div_ceil(width),
+                    width,
+                });
+            } else {
+                units.push(Unit::Invocations(pass));
+            }
+        }
+    }
     let mut units: Vec<Unit<'_>> = Vec::new();
     for sp in compiled.super_passes() {
-        if sp.tiles() >= workers {
+        if sp.is_relayout() {
+            if sp.tiles() >= workers {
+                // Enough gathered blocks to keep the crew busy: shard by
+                // block; each worker gathers into its own scratch, so the
+                // fusion-grade locality of the relayouted tail survives
+                // parallel execution.
+                units.push(Unit::GatheredBlocks(sp));
+            } else {
+                // Too few blocks: replay the tail as its original
+                // in-place large-stride passes (flat_pass maps the
+                // scratch parts back), sharded like any other factor.
+                push_flat_parts(&mut units, sp, width);
+            }
+        } else if sp.tiles() >= workers {
             // Enough tiles to keep every worker busy: shard by tile and
             // keep the fusion layer's per-tile locality (apply_tile runs
             // the backend recorded in the schedule).
@@ -176,23 +225,8 @@ pub fn par_apply_compiled<T: Scalar>(
         } else {
             // Too few tiles (a single-tile super-pass, or a fused run
             // whose tiles are huge relative to the crew): fall back to
-            // the unfused pass-major order and shard each factor —
-            // bit-identical output, no starved workers. A lane-backend
-            // factor shards by lane block so every worker still runs the
-            // kernel the schedule recorded; a scalar factor shards its
-            // full invocation grid exactly as the pre-fusion engine did.
-            for p in 0..sp.parts().len() {
-                let pass = sp.flat_pass(p);
-                if sp.backend() == wht_core::PassBackend::Lanes && pass.stride == 1 {
-                    units.push(Unit::LaneBlocks {
-                        pass,
-                        blocks_per_row: pass.s.div_ceil(width),
-                        width,
-                    });
-                } else {
-                    units.push(Unit::Invocations(pass));
-                }
-            }
+            // the unfused pass-major order.
+            push_flat_parts(&mut units, sp, width);
         }
     }
     // Workers are spawned once for the whole schedule (a deep plan has
@@ -202,6 +236,7 @@ pub fn par_apply_compiled<T: Scalar>(
     // dependence.
     let counters: Vec<AtomicUsize> = units.iter().map(|_| AtomicUsize::new(0)).collect();
     let barrier = Barrier::new(workers);
+    let needs_scratch = units.iter().any(|u| matches!(u, Unit::GatheredBlocks(_)));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let units = &units;
@@ -209,6 +244,13 @@ pub fn par_apply_compiled<T: Scalar>(
             let barrier = &barrier;
             let ptr = &ptr;
             scope.spawn(move || {
+                // Private gather scratch, allocated once per worker per
+                // call and only when a relayout unit will actually run.
+                let mut scratch: Vec<T> = if needs_scratch {
+                    vec![T::ZERO; scratch_elems]
+                } else {
+                    Vec::new()
+                };
                 // SAFETY: each claim index is taken by exactly one worker;
                 // distinct tiles of a super-pass and distinct invocations
                 // of a pass touch disjoint elements (module docs), all
@@ -230,6 +272,9 @@ pub fn par_apply_compiled<T: Scalar>(
                                 // buffer holds the full transform (checked
                                 // above).
                                 Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
+                                Unit::GatheredBlocks(sp) => unsafe {
+                                    sp.apply_gathered_block(data, i, &mut scratch)
+                                },
                                 Unit::Invocations(pass) => unsafe {
                                     pass.apply_invocation(data, i)
                                 },
@@ -356,6 +401,7 @@ mod tests {
                 let simd = CompiledPlan::compile_with(
                     &plan,
                     &FusionPolicy::new(budget),
+                    &wht_core::RelayoutPolicy::disabled(),
                     &SimdPolicy::auto(),
                 );
                 assert!(simd.is_simd());
@@ -373,6 +419,49 @@ mod tests {
                 let mut par_i = ints;
                 par_apply_compiled(&simd, &mut par_i, Threads(5)).unwrap();
                 assert_eq!(par_i, seq_i, "plan {plan}, budget {budget} (i32)");
+            }
+        }
+    }
+
+    #[test]
+    fn relayout_parallel_matches_sequential_bit_for_bit_in_both_sharding_regimes() {
+        use wht_core::{FusionPolicy, RelayoutPolicy, SimdPolicy};
+        // Fused head tile 2^6 at n = 14 leaves rows = 2^8 tail rows.
+        // Block budget 2^9 gives cols 2 -> 32 gathered blocks (block
+        // sharding with 8 workers); budget 2^12 gives cols 16 -> 4 blocks
+        // (< 8 workers: in-place flat-pass fallback). Both must agree with
+        // the sequential relayout replay exactly, scalar and SIMD, floats
+        // and integers.
+        let n = 14u32;
+        for plan in [
+            Plan::iterative(n).unwrap(),
+            Plan::binary_iterative(n, 2).unwrap(),
+        ] {
+            for block_budget in [1usize << 9, 1 << 12] {
+                for simd in [SimdPolicy::auto(), SimdPolicy::disabled()] {
+                    let relaid = CompiledPlan::compile(&plan)
+                        .fuse(&FusionPolicy::new(1 << 6))
+                        .relayout(&RelayoutPolicy::eager(block_budget))
+                        .with_simd(&simd);
+                    assert!(relaid.has_relayout(), "plan {plan}");
+                    let input = signal(n);
+                    let mut seq = input.clone();
+                    relaid.apply(&mut seq).unwrap();
+                    for threads in [2usize, 3, 8] {
+                        let mut par = input.clone();
+                        par_apply_compiled(&relaid, &mut par, Threads(threads)).unwrap();
+                        assert_eq!(
+                            par, seq,
+                            "plan {plan}, block budget {block_budget}, {threads} threads"
+                        );
+                    }
+                    let ints: Vec<i64> = input.iter().map(|&v| v as i64).collect();
+                    let mut seq_i = ints.clone();
+                    relaid.apply(&mut seq_i).unwrap();
+                    let mut par_i = ints;
+                    par_apply_compiled(&relaid, &mut par_i, Threads(5)).unwrap();
+                    assert_eq!(par_i, seq_i, "plan {plan} (i64)");
+                }
             }
         }
     }

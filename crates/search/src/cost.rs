@@ -6,7 +6,9 @@
 //! strategy works with either backend.
 
 use wht_cachesim::Hierarchy;
-use wht_core::{lane_width, CompiledPlan, FusionPolicy, Plan, SimdPolicy, WhtError};
+use wht_core::{
+    lane_width, CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy, WhtError,
+};
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
 use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
 
@@ -98,6 +100,14 @@ pub struct FusedTrafficCost {
     pub cost_model: CostModel,
     /// The fusion policy the executor will compile with.
     pub policy: FusionPolicy,
+    /// The tail-relayout policy the executor will compile with. A
+    /// relayout super-pass is charged **two** sweeps of streamed elements
+    /// — the gather (strided reads + scratch writes) and the scatter
+    /// (scratch reads + strided writes) — instead of the one sweep per
+    /// factor its `tail_passes` would cost in place, so the search picks
+    /// relayout exactly where the two transposes beat the saved sweeps
+    /// and the plan ranking matches the executor it feeds.
+    pub relayout: RelayoutPolicy,
     /// Elements that fit the cache level tiles are expected to live in.
     /// A super-pass whose tile exceeds this is charged one sweep **per
     /// part** — fusion buys no traffic once the tile itself cannot stay
@@ -127,10 +137,21 @@ impl FusedTrafficCost {
     /// instructions does, matching the combined model's miss-penalty
     /// scale on 8-element lines) and an L2-sized residency threshold.
     /// The lane width models the measured default element type, `f64`.
+    /// Both axes are explicit, so construction is deterministic: the
+    /// relayout policy is [`RelayoutPolicy::default`] (pin a different
+    /// one with [`FusedTrafficCost::with_executor`]); only
+    /// [`FusedTrafficCost::with_policy`] reads the process environment.
     pub fn with_backends(policy: FusionPolicy, simd: SimdPolicy) -> Self {
+        FusedTrafficCost::with_executor(policy, RelayoutPolicy::default(), simd)
+    }
+
+    /// Cost under the **full** executor configuration: fusion policy,
+    /// tail-relayout policy, and kernel backend.
+    pub fn with_executor(policy: FusionPolicy, relayout: RelayoutPolicy, simd: SimdPolicy) -> Self {
         FusedTrafficCost {
             cost_model: CostModel::default(),
             policy,
+            relayout,
             cache_elems: FusionPolicy::DEFAULT_BUDGET_ELEMS,
             simd_lanes: if simd.enabled() {
                 lane_width::<f64>()
@@ -142,10 +163,13 @@ impl FusedTrafficCost {
         }
     }
 
-    /// [`FusedTrafficCost::with_backends`] with the process-default SIMD
-    /// policy (lane kernels unless `WHT_NO_SIMD=1`).
+    /// Explicit fusion policy with the process-default kernel backend and
+    /// relayout policy (lane kernels unless `WHT_NO_SIMD=1`, tail
+    /// relayout per `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD`) — the
+    /// env-aware constructor, so a default-built cost model ranks plans
+    /// for the executor this process actually runs.
     pub fn with_policy(policy: FusionPolicy) -> Self {
-        FusedTrafficCost::with_backends(policy, SimdPolicy::from_env())
+        FusedTrafficCost::with_executor(policy, RelayoutPolicy::from_env(), SimdPolicy::from_env())
     }
 }
 
@@ -168,12 +192,18 @@ impl PlanCost for FusedTrafficCost {
             + self.cost_model.addr * ops.addr) as f64;
         let lanes = self.simd_lanes.max(1) as f64;
         let i = (total - leaf_work) + leaf_work / lanes;
-        let compiled = CompiledPlan::compile_fused(plan, &self.policy);
+        let compiled = CompiledPlan::compile_fused(plan, &self.policy).relayout(&self.relayout);
         let streamed: usize = compiled
             .super_passes()
             .iter()
             .map(|sp| {
-                let sweeps = if sp.tile_elems() <= self.cache_elems {
+                let sweeps = if sp.is_relayout() {
+                    // Gather + scatter: two streamed sweeps replace the
+                    // per-factor sweeps of the relayouted tail (the
+                    // gathered block itself stays resident by
+                    // construction — its size is the relayout budget).
+                    2
+                } else if sp.tile_elems() <= self.cache_elems {
                     1
                 } else {
                     sp.parts().len()
@@ -324,6 +354,44 @@ mod tests {
             "traffic must weigh relatively more under SIMD \
              ({simd_ratio:.3} vs {scalar_ratio:.3})"
         );
+    }
+
+    #[test]
+    fn fused_traffic_scores_relayout_as_two_sweeps_for_the_tail() {
+        // n = 20 with the default 2^17 fusion budget: the fused head is
+        // one resident sweep and the 3-pass tail sweeps three more times.
+        // An eager relayout collapses the tail to its two transpose
+        // sweeps, so the modeled traffic must drop by exactly one
+        // vector sweep — and relayout must never be picked where it
+        // cannot win (the schedule itself declines short tails).
+        let plan = Plan::iterative(20).unwrap();
+        let fusion = FusionPolicy::default();
+        let mut in_place =
+            FusedTrafficCost::with_executor(fusion, RelayoutPolicy::disabled(), SimdPolicy::auto());
+        let mut relaid = FusedTrafficCost::with_executor(
+            fusion,
+            RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS),
+            SimdPolicy::auto(),
+        );
+        let c_in_place = in_place.cost(&plan).unwrap();
+        let c_relaid = relaid.cost(&plan).unwrap();
+        let sweep = relaid.beta * (2 * (1usize << 20)) as f64;
+        assert!(
+            (c_in_place - c_relaid - sweep).abs() < 1e-6,
+            "tail of 3 sweeps -> 2 transpose sweeps must save exactly one \
+             ({c_in_place} vs {c_relaid})"
+        );
+        // A 2-pass tail (n = 19) is break-even under the 2-sweep charge,
+        // and the default policy (min_passes = 3) declines to rewrite it
+        // at all — so the two executors and their modeled costs coincide
+        // and plan ranking cannot flip on a non-win.
+        let plan19 = Plan::iterative(19).unwrap();
+        let a = in_place.cost(&plan19).unwrap();
+        let b = relaid.cost(&plan19).unwrap();
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        assert!(!CompiledPlan::compile_fused(&plan19, &fusion)
+            .relayout(&RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS))
+            .has_relayout());
     }
 
     #[test]

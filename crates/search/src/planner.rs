@@ -13,15 +13,19 @@
 //! 2. The chosen plan is lowered to a `wht_core::compile::CompiledPlan`,
 //!    **fused** under the planner's `FusionPolicy` (cache-blocked
 //!    super-passes; opt out with `with_fusion(FusionPolicy::disabled())`
-//!    or `WHT_NO_FUSE=1`), and cached — steady-state traffic is a wisdom
-//!    hit plus a flat schedule replay: zero cost evaluations, zero tree
-//!    walks.
+//!    or `WHT_NO_FUSE=1`), its large-stride tail **relayouted** under the
+//!    `RelayoutPolicy` (gather → unit-stride scratch transform → scatter
+//!    past the policy's size threshold; opt out with
+//!    `with_relayout(RelayoutPolicy::disabled())` or `WHT_NO_RELAYOUT=1`),
+//!    and cached — steady-state traffic is a wisdom hit plus a flat
+//!    schedule replay: zero cost evaluations, zero tree walks.
 //! 3. Wisdom round-trips through JSON ([`Wisdom::to_json`] /
 //!    [`Wisdom::from_json`], or [`Wisdom::save`] / [`Wisdom::load`]), so a
 //!    fleet can ship pre-tuned wisdom and a fresh process starts warm —
 //!    the FFTW `wisdom` workflow, keyed by `(n, cost-backend name)`. Each
-//!    entry records the tile budget it was tuned with, and an importing
-//!    planner replays that executor configuration per size.
+//!    entry records the executor tuning it was recorded with (tile
+//!    budget, kernel backend, per-size relayout), and an importing
+//!    planner replays that configuration per size.
 //!
 //! ```
 //! use wht_search::{InstructionCost, Planner};
@@ -45,7 +49,7 @@ use crate::dp::{dp_search, DpOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
-use wht_core::{CompiledPlan, FusionPolicy, Plan, Scalar, SimdPolicy, WhtError};
+use wht_core::{CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, Scalar, SimdPolicy, WhtError};
 
 /// Serialized form of one wisdom entry: the plan travels as its
 /// WHT-package grammar string, which is stable, human-readable, and
@@ -62,6 +66,7 @@ struct WisdomEntry {
     plan: String,
     fuse_budget: Option<u64>,
     simd: Option<bool>,
+    relayout: Option<u64>,
 }
 
 /// One best-known plan plus the executor tuning recorded with it.
@@ -70,6 +75,7 @@ struct WisdomRecord {
     plan: Plan,
     fuse_budget: Option<usize>,
     simd: Option<bool>,
+    relayout: Option<usize>,
 }
 
 /// Serialized wisdom store.
@@ -79,7 +85,12 @@ struct WisdomFile {
     entries: Vec<WisdomEntry>,
 }
 
-const WISDOM_VERSION: u32 = 1;
+const WISDOM_VERSION: u32 = 2;
+
+/// Oldest wisdom format [`Wisdom::from_json`] still reads. Version 1
+/// predates the `relayout` tuning field; its entries load with no
+/// relayout choice recorded and re-serialize as the current version.
+const WISDOM_MIN_VERSION: u32 = 1;
 
 /// Best-known plans keyed by `(n, cost-backend name)` — the FFTW-style
 /// wisdom store behind [`Planner`].
@@ -129,6 +140,15 @@ impl Wisdom {
         self.entries.get(&n)?.get(backend)?.simd
     }
 
+    /// Relayout tuning recorded with the `(n, backend)` entry: the
+    /// gathered-block budget (elements) the recorder's executor relayouted
+    /// the tail with at this size, `Some(0)` meaning relayout did not
+    /// engage, `None` meaning no choice was recorded (or no entry exists)
+    /// and the reader's default policy applies.
+    pub fn relayout_budget(&self, n: u32, backend: &str) -> Option<usize> {
+        self.entries.get(&n)?.get(backend)?.relayout
+    }
+
     /// Record (or overwrite) the best plan for `(n, backend)` with no
     /// executor tuning attached.
     ///
@@ -136,7 +156,7 @@ impl Wisdom {
     /// [`WhtError::LengthMismatch`] if `plan.n() != n` — wisdom for size
     /// `n` must transform size-`2^n` inputs.
     pub fn insert(&mut self, n: u32, backend: &str, plan: Plan) -> Result<(), WhtError> {
-        self.insert_with_tuning(n, backend, plan, None, None)
+        self.insert_with_tuning(n, backend, plan, None, None, None)
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)`, attaching
@@ -152,13 +172,14 @@ impl Wisdom {
         plan: Plan,
         fuse_budget: Option<usize>,
     ) -> Result<(), WhtError> {
-        self.insert_with_tuning(n, backend, plan, fuse_budget, None)
+        self.insert_with_tuning(n, backend, plan, fuse_budget, None, None)
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)`, attaching
     /// the full executor tuning it was recorded under: the tile budget
-    /// (`Some(0)` = fusion off) and the kernel backend (`Some(true)` =
-    /// SIMD lane kernels).
+    /// (`Some(0)` = fusion off), the kernel backend (`Some(true)` = SIMD
+    /// lane kernels), and the relayout gathered-block budget (`Some(0)` =
+    /// relayout off at this size).
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
@@ -169,6 +190,7 @@ impl Wisdom {
         plan: Plan,
         fuse_budget: Option<usize>,
         simd: Option<bool>,
+        relayout: Option<usize>,
     ) -> Result<(), WhtError> {
         if plan.n() != n {
             return Err(WhtError::LengthMismatch {
@@ -182,6 +204,7 @@ impl Wisdom {
                 plan,
                 fuse_budget,
                 simd,
+                relayout,
             },
         );
         Ok(())
@@ -199,6 +222,7 @@ impl Wisdom {
                     plan: record.plan.to_string(),
                     fuse_budget: record.fuse_budget.map(|b| b as u64),
                     simd: record.simd,
+                    relayout: record.relayout.map(|b| b as u64),
                 })
             })
             .collect();
@@ -219,19 +243,30 @@ impl Wisdom {
     pub fn from_json(json: &str) -> Result<Self, WhtError> {
         let file: WisdomFile = serde_json::from_str(json)
             .map_err(|e| WhtError::InvalidConfig(format!("wisdom JSON: {e}")))?;
-        if file.version != WISDOM_VERSION {
+        if !(WISDOM_MIN_VERSION..=WISDOM_VERSION).contains(&file.version) {
             return Err(WhtError::InvalidConfig(format!(
-                "wisdom version {} unsupported (expected {WISDOM_VERSION})",
+                "wisdom version {} unsupported (expected {WISDOM_MIN_VERSION}..={WISDOM_VERSION})",
                 file.version
             )));
         }
         let mut wisdom = Wisdom::new();
         for entry in file.entries {
             let plan: Plan = entry.plan.parse()?;
-            let budget = entry.fuse_budget.map(|b| {
-                usize::try_from(b).unwrap_or(usize::MAX) // saturate on 32-bit hosts
-            });
-            wisdom.insert_with_tuning(entry.n, &entry.backend, plan, budget, entry.simd)?;
+            // saturate on 32-bit hosts
+            let budget = entry
+                .fuse_budget
+                .map(|b| usize::try_from(b).unwrap_or(usize::MAX));
+            let relayout = entry
+                .relayout
+                .map(|b| usize::try_from(b).unwrap_or(usize::MAX));
+            wisdom.insert_with_tuning(
+                entry.n,
+                &entry.backend,
+                plan,
+                budget,
+                entry.simd,
+                relayout,
+            )?;
         }
         Ok(wisdom)
     }
@@ -274,6 +309,10 @@ pub struct Planner<C: PlanCost> {
     /// `true` once [`Planner::with_simd`] was called: the explicit policy
     /// then beats any backend recorded in wisdom.
     simd_pinned: bool,
+    relayout: RelayoutPolicy,
+    /// `true` once [`Planner::with_relayout`] was called: the explicit
+    /// policy then beats any relayout tuning recorded in wisdom.
+    relayout_pinned: bool,
     wisdom: Wisdom,
     compiled: HashMap<u32, CompiledPlan>,
     evaluations: usize,
@@ -295,6 +334,8 @@ impl<C: PlanCost> Planner<C> {
             fusion_pinned: false,
             simd: SimdPolicy::from_env(),
             simd_pinned: false,
+            relayout: RelayoutPolicy::from_env(),
+            relayout_pinned: false,
             wisdom: Wisdom::new(),
             compiled: HashMap::new(),
             evaluations: 0,
@@ -348,6 +389,29 @@ impl<C: PlanCost> Planner<C> {
         self.simd
     }
 
+    /// Override the tail-relayout policy (builder style). Drops compiled
+    /// schedules so already-served sizes recompile under the new policy,
+    /// and **pins** it: relayout tuning recorded in wisdom no longer
+    /// overrides it. This is the API opt-out:
+    /// `with_relayout(RelayoutPolicy::disabled())` keeps every tail
+    /// sweeping in place whatever the environment or the wisdom says.
+    #[must_use]
+    pub fn with_relayout(mut self, relayout: RelayoutPolicy) -> Self {
+        self.relayout = relayout;
+        self.relayout_pinned = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The relayout policy new wisdom is recorded with and cold sizes are
+    /// compiled under — same override semantics as [`Planner::fusion`]: a
+    /// recorded per-size tuning wins unless the policy was pinned with
+    /// [`Planner::with_relayout`] or is *disabled* (the `WHT_NO_RELAYOUT=1`
+    /// kill switch, which imported wisdom can never re-enable).
+    pub fn relayout(&self) -> RelayoutPolicy {
+        self.relayout
+    }
+
     /// Adopt previously saved wisdom (builder style). Drops any compiled
     /// schedules so already-served sizes re-resolve against the new
     /// wisdom instead of silently replaying superseded plans.
@@ -387,7 +451,15 @@ impl<C: PlanCost> Planner<C> {
             self.evaluations += dp.evaluations;
             // Record the executor tuning this planner compiles with, so a
             // process importing the wisdom replays the same configuration
-            // (budget 0 = fusion off; simd = which kernels ran).
+            // (budget 0 = fusion off; simd = which kernels ran; relayout
+            // = the gathered-block budget where this plan's schedule
+            // actually relayouts at that size, 0 where it does not — the
+            // record must reflect the executed configuration, so it is
+            // read off the compiled schedule itself rather than the
+            // policy gates: a policy knob like `min_passes`, or a plan
+            // shape with too short a tail, can decline relayout even
+            // where the size gates pass, and an importer must not replay
+            // a schedule this planner never ran).
             let budget = if self.fusion.enabled() {
                 self.fusion.budget_elems
             } else {
@@ -397,12 +469,23 @@ impl<C: PlanCost> Planner<C> {
                 // Smaller sizes only fill holes: an imported entry may
                 // encode better (e.g. measured) wisdom than this search.
                 if m == n || self.wisdom.get(m, backend).is_none() {
+                    let relayout = if self.relayout.enabled()
+                        && CompiledPlan::compile(&dp.best[m as usize])
+                            .fuse(&self.fusion)
+                            .relayout(&self.relayout)
+                            .has_relayout()
+                    {
+                        self.relayout.budget_elems
+                    } else {
+                        0
+                    };
                     self.wisdom.insert_with_tuning(
                         m,
                         backend,
                         dp.best[m as usize].clone(),
                         Some(budget),
                         Some(self.simd.enabled()),
+                        Some(relayout),
                     )?;
                 }
             }
@@ -460,8 +543,34 @@ impl<C: PlanCost> Planner<C> {
                     None => self.simd,
                 }
             };
-            self.compiled
-                .insert(n, CompiledPlan::compile_with(&plan, &policy, &simd));
+            // And for the relayout stage: a recorded per-size tuning is
+            // replayed eagerly (the recorder already made the size
+            // decision), 0 means relayout stays off for this size, and a
+            // pinned or disabled (WHT_NO_RELAYOUT) policy beats the
+            // record.
+            let relayout = if self.relayout_pinned || !self.relayout.enabled() {
+                self.relayout
+            } else {
+                match self.wisdom.relayout_budget(n, self.cost.name()) {
+                    Some(0) => RelayoutPolicy::disabled(),
+                    // Replay at the engine's floor (min_passes 2, no size
+                    // gate), not the default policy's knobs: the record
+                    // only exists because the recorder's schedule
+                    // actually gathered, and a recorder tuned with
+                    // min_passes below the default must not have its
+                    // configuration silently dropped on import.
+                    Some(budget) => RelayoutPolicy {
+                        budget_elems: budget,
+                        min_elems: 0,
+                        min_passes: 2,
+                    },
+                    None => self.relayout,
+                }
+            };
+            self.compiled.insert(
+                n,
+                CompiledPlan::compile_with(&plan, &policy, &relayout, &simd),
+            );
         }
         self.compiled.get(&n).expect("inserted above").apply(x)
     }
@@ -561,6 +670,7 @@ mod tests {
             Some(&CompiledPlan::compile_with(
                 &imported,
                 &planner.fusion(),
+                &planner.relayout(),
                 &planner.simd()
             )),
             "warm transform must execute the imported plan"
@@ -733,6 +843,7 @@ mod tests {
                 Plan::iterative(10).unwrap(),
                 None,
                 Some(true),
+                None,
             )
             .unwrap();
         let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
@@ -757,6 +868,205 @@ mod tests {
         let mut z: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
         repinned.transform(&mut z).unwrap();
         assert!(repinned.compiled.get(&10).unwrap().is_simd());
+    }
+
+    #[test]
+    fn wisdom_records_relayout_tuning_and_round_trips_it() {
+        // The record is read off the compiled schedule itself: for every
+        // size the recorded budget is nonzero exactly where this
+        // planner's executor would actually relayout that size's plan —
+        // a policy knob (min_passes) or a short-tailed DP winner that
+        // declines relayout must record 0, whatever the size gates say.
+        let mut planner = Planner::new(InstructionCost::default())
+            .with_fusion(FusionPolicy::new(1 << 6))
+            .with_relayout(RelayoutPolicy::eager(1 << 9));
+        planner.plan(14).unwrap();
+        for m in 1..=14u32 {
+            let plan_m = planner
+                .wisdom()
+                .get(m, "instruction-model")
+                .unwrap()
+                .clone();
+            let executed = CompiledPlan::compile(&plan_m)
+                .fuse(&planner.fusion())
+                .relayout(&planner.relayout())
+                .has_relayout();
+            assert_eq!(
+                planner.wisdom().relayout_budget(m, "instruction-model"),
+                Some(if executed { 1 << 9 } else { 0 }),
+                "record must match the executed schedule at n = {m}"
+            );
+        }
+        assert_eq!(
+            planner.wisdom().relayout_budget(8, "instruction-model"),
+            Some(0),
+            "sizes inside the block budget cannot gather and record 0"
+        );
+        // And a policy whose min_passes declines every tail records 0
+        // everywhere even though its size gates pass.
+        let mut never = Planner::new(InstructionCost::default())
+            .with_fusion(FusionPolicy::new(1 << 6))
+            .with_relayout(RelayoutPolicy {
+                min_passes: 99,
+                ..RelayoutPolicy::eager(1 << 9)
+            });
+        never.plan(14).unwrap();
+        for m in 1..=14u32 {
+            assert_eq!(
+                never.wisdom().relayout_budget(m, "instruction-model"),
+                Some(0),
+                "a declining policy must not record a tuning it never ran"
+            );
+        }
+        // ...and the record survives the JSON round trip.
+        let back = Wisdom::from_json(&planner.wisdom().to_json()).unwrap();
+        assert_eq!(&back, planner.wisdom());
+
+        // An importing planner with an unpinned default policy replays
+        // the recorded tuning: the served schedule relayouts at n = 14
+        // even though the default policy's size floor would decline it.
+        // (The recorded plan is pinned to a many-factor shape so its
+        // fused schedule actually has a gatherable tail.)
+        let mut imported = Wisdom::new();
+        imported
+            .insert_with_tuning(
+                14,
+                "instruction-model",
+                Plan::iterative(14).unwrap(),
+                Some(1 << 6),
+                None,
+                Some(1 << 9),
+            )
+            .unwrap();
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(imported);
+        // Unpinned default policy regardless of the CI leg's env (the
+        // WHT_NO_RELAYOUT leg would otherwise kill-switch the replay,
+        // which has its own test below).
+        warm.relayout = RelayoutPolicy::default();
+        warm.relayout_pinned = false;
+        let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 11) as f64 - 5.0).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        assert!(
+            warm.compiled.get(&14).unwrap().has_relayout(),
+            "recorded relayout tuning must be replayed by the importer"
+        );
+        assert_eq!(warm.evaluations(), 0);
+    }
+
+    #[test]
+    fn recorded_relayout_replays_at_the_engine_floor_not_the_default_knobs() {
+        // A recorder tuned with min_passes = 2 can gather a 2-pass tail
+        // and record its budget; the importer must replay that exact
+        // configuration instead of re-gating it through the default
+        // min_passes = 3 (which would silently drop the tuning).
+        // binary_iterative(10, 2) fused at 2^6 leaves a 2-pass tail
+        // (strides 64 and 256) that a 2^9 block budget can gather.
+        let plan = Plan::binary_iterative(10, 2).unwrap();
+        let two_pass_tail = CompiledPlan::compile(&plan)
+            .fuse(&FusionPolicy::new(1 << 6))
+            .relayout(&RelayoutPolicy {
+                min_passes: 2,
+                ..RelayoutPolicy::eager(1 << 9)
+            });
+        assert!(two_pass_tail.has_relayout(), "test precondition");
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                10,
+                "instruction-model",
+                plan,
+                Some(1 << 6),
+                None,
+                Some(1 << 9),
+            )
+            .unwrap();
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+        warm.relayout = RelayoutPolicy::default();
+        warm.relayout_pinned = false;
+        let mut x: Vec<f64> = (0..1 << 10).map(|j| (j % 9) as f64 - 4.0).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        assert!(
+            warm.compiled.get(&10).unwrap().has_relayout(),
+            "a recorded 2-pass-tail tuning must survive import"
+        );
+    }
+
+    #[test]
+    fn relayout_kill_switch_and_pinning_beat_recorded_tuning() {
+        // Imported wisdom tuned with relayout must not re-enable it past
+        // an (unpinned) disabled policy — what WHT_NO_RELAYOUT=1 produces
+        // at construction.
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                14,
+                "instruction-model",
+                Plan::iterative(14).unwrap(),
+                Some(1 << 6),
+                None,
+                Some(1 << 9),
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
+        planner.relayout = RelayoutPolicy::disabled();
+        planner.relayout_pinned = false;
+        let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        assert!(
+            !planner.compiled.get(&14).unwrap().has_relayout(),
+            "a disabled default policy must beat the recorded tuning"
+        );
+
+        // And an explicit with_relayout pin beats the record both ways.
+        let mut pinned = Planner::new(InstructionCost::default())
+            .with_wisdom(wisdom)
+            .with_relayout(RelayoutPolicy::disabled());
+        let mut y: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        pinned.transform(&mut y).unwrap();
+        assert!(!pinned.compiled.get(&14).unwrap().has_relayout());
+        let mut repinned = pinned.with_relayout(RelayoutPolicy::eager(1 << 9));
+        let mut z: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        repinned.transform(&mut z).unwrap();
+        assert!(repinned.compiled.get(&14).unwrap().has_relayout());
+    }
+
+    #[test]
+    fn version_1_wisdom_migrates_and_round_trips_as_version_2() {
+        // A version-1 store (pre-relayout) must load — its entries carry
+        // no relayout choice — and re-serialize as the current version
+        // without bricking anything.
+        let legacy = "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\
+                       \"plan\":\"split[small[2],small[2]]\",\"fuse_budget\":512,\
+                       \"simd\":true}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.fuse_budget(4, "x"), Some(512));
+        assert_eq!(w.simd_enabled(4, "x"), Some(true));
+        assert_eq!(w.relayout_budget(4, "x"), None);
+        let json = w.to_json();
+        assert!(json.contains("\"version\": 2"), "{json}");
+        let back = Wisdom::from_json(&json).unwrap();
+        assert_eq!(back, w);
+        // Future versions stay rejected.
+        assert!(Wisdom::from_json("{\"version\":3,\"entries\":[]}").is_err());
+    }
+
+    #[test]
+    fn unknown_json_fields_are_tolerated() {
+        // Forward compatibility: a store written by a newer build with
+        // extra tuning fields must still load here — unknown fields are
+        // ignored, known ones are honored.
+        let future = "{\"version\":2,\"future_knob\":\"xyz\",\"entries\":[{\"n\":4,\
+                      \"backend\":\"x\",\"plan\":\"split[small[2],small[2]]\",\
+                      \"fuse_budget\":64,\"simd\":false,\"relayout\":32,\
+                      \"prefetch_distance\":8}]}";
+        let w = Wisdom::from_json(future).unwrap();
+        assert_eq!(w.fuse_budget(4, "x"), Some(64));
+        assert_eq!(w.simd_enabled(4, "x"), Some(false));
+        assert_eq!(w.relayout_budget(4, "x"), Some(32));
     }
 
     #[test]

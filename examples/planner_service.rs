@@ -8,13 +8,18 @@
 //! space. Run with `cargo run --release --example planner_service`.
 //!
 //! Executor knobs: served transforms replay fused, SIMD-lane-kernel
-//! compiled schedules by default. Wisdom records the tile budget and
-//! kernel backend each entry was tuned with, and an importing planner
-//! replays that configuration. Opt out per process with `WHT_NO_FUSE=1` /
-//! `WHT_NO_SIMD=1` (kill switches imported wisdom cannot override), or
-//! per planner with `.with_fusion(FusionPolicy::disabled())` /
-//! `.with_simd(SimdPolicy::disabled())`, which also pin the choice
-//! against recorded wisdom.
+//! compiled schedules by default, with the large-stride tail relayouted
+//! through gathered scratch once the vector crosses the
+//! `RelayoutPolicy` size threshold (`WHT_RELAYOUT_THRESHOLD` tunes it
+//! per host). Wisdom records the tile budget, kernel backend, and
+//! per-size relayout tuning each entry was tuned with, and an importing
+//! planner replays that configuration. Opt out per process with
+//! `WHT_NO_FUSE=1` / `WHT_NO_SIMD=1` / `WHT_NO_RELAYOUT=1` (kill
+//! switches imported wisdom cannot override), or per planner with
+//! `.with_fusion(FusionPolicy::disabled())` /
+//! `.with_simd(SimdPolicy::disabled())` /
+//! `.with_relayout(RelayoutPolicy::disabled())`, which also pin the
+//! choice against recorded wisdom.
 
 use std::time::Instant;
 use wht::prelude::*;
@@ -59,13 +64,21 @@ fn main() -> Result<(), WhtError> {
         elapsed.as_nanos() as f64 / requests as f64
     );
     println!(
-        "executor config: fusion {} (WHT_NO_FUSE opts out), SIMD lanes {} (WHT_NO_SIMD opts out)",
+        "executor config: fusion {} (WHT_NO_FUSE opts out), SIMD lanes {} \
+         (WHT_NO_SIMD opts out), tail relayout {} past {} elems \
+         (WHT_NO_RELAYOUT / WHT_RELAYOUT_THRESHOLD opt out)",
         if server.fusion().enabled() {
             "on"
         } else {
             "off"
         },
         if server.simd().enabled() { "on" } else { "off" },
+        if server.relayout().enabled() {
+            "on"
+        } else {
+            "off"
+        },
+        server.relayout().min_elems,
     );
     assert_eq!(
         server.evaluations(),

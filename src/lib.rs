@@ -5,7 +5,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`, with cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) and SIMD lane-block kernels ([`SimdPolicy`](wht_core::SimdPolicy), `WHT_NO_SIMD` opt-out) on by default |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`, with cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)), SIMD lane-block kernels ([`SimdPolicy`](wht_core::SimdPolicy), `WHT_NO_SIMD` opt-out), and DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy), `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD` opt-outs) on by default |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
@@ -59,8 +59,8 @@ pub mod prelude {
     pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
     pub use wht_core::{
         apply_plan, apply_plan_recursive, compiled_for_with, lane_width, naive_wht, parse_plan,
-        to_sequency_order, CompiledPlan, FusionPolicy, Pass, PassBackend, Plan, Scalar, SimdPolicy,
-        SuperPass, WhtError,
+        to_sequency_order, CompiledPlan, FusionPolicy, Pass, PassBackend, Plan, Relayout,
+        RelayoutPolicy, Scalar, SimdPolicy, SuperPass, WhtError,
     };
     pub use wht_measure::{
         measure_plan, super_pass_traffic, time_compiled_plan, time_plan, MeasureOptions,

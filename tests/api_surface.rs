@@ -80,20 +80,42 @@ fn fusion_layer_through_the_prelude() {
     par_apply_compiled(&fused, &mut par, Threads(4)).unwrap();
     assert_eq!(par, seq);
 
-    // The explicit-policy cache entry point honors both opt-outs.
-    let via_cache = compiled_for_with(&plan, &FusionPolicy::disabled(), &SimdPolicy::disabled());
+    // The explicit-policy cache entry point honors every opt-out.
+    let via_cache = compiled_for_with(
+        &plan,
+        &FusionPolicy::disabled(),
+        &RelayoutPolicy::disabled(),
+        &SimdPolicy::disabled(),
+    );
     assert!(!via_cache.is_fused());
     assert!(!via_cache.is_simd());
+    assert!(!via_cache.has_relayout());
     let mut unfused = input.clone();
     via_cache.apply(&mut unfused).unwrap();
     assert_eq!(unfused, seq);
 
     // And the SIMD lane backend is prelude-reachable and bit-identical.
-    let lanes = compiled_for_with(&plan, &FusionPolicy::new(1 << 6), &SimdPolicy::auto());
+    let lanes = compiled_for_with(
+        &plan,
+        &FusionPolicy::new(1 << 6),
+        &RelayoutPolicy::disabled(),
+        &SimdPolicy::auto(),
+    );
     assert!(lanes.is_simd());
-    let mut simd = input;
+    let mut simd = input.clone();
     lanes.apply(&mut simd).unwrap();
     assert_eq!(simd, seq);
+
+    // The relayout stage is prelude-reachable, bit-identical, and
+    // parallel-safe through the facade.
+    let relaid = fused.relayout(&RelayoutPolicy::eager(1 << 8));
+    assert!(relaid.has_relayout());
+    let mut gathered = input.clone();
+    relaid.apply(&mut gathered).unwrap();
+    assert_eq!(gathered, seq);
+    let mut par_gathered = input;
+    par_apply_compiled(&relaid, &mut par_gathered, Threads(4)).unwrap();
+    assert_eq!(par_gathered, seq);
 
     let mut h = Hierarchy::opteron();
     let report: Vec<SuperPassTraffic> = super_pass_traffic(&fused, &mut h);

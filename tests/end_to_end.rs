@@ -228,6 +228,51 @@ fn wisdom_round_trip_preserves_the_recorded_tile_budget() {
     );
 }
 
+/// The wisdom workflow carries the relayout tuning end to end: a planner
+/// tuned with an eager relayout policy records it per size, the record
+/// survives JSON, and the full executor pipeline (fusion + relayout +
+/// SIMD) reproduces the integer golden vectors bit for bit against the
+/// in-place configurations.
+#[test]
+fn planner_relayout_round_trips_and_matches_golden_vectors() {
+    use wht::core::testkit::{random_signal, reference_wht};
+    use wht::core::{FusionPolicy, RelayoutPolicy};
+    let n = 14u32;
+    let ints: Vec<i64> = random_signal(1usize << n, 4242);
+    let golden = reference_wht(&ints);
+
+    let mut tuned = Planner::new(InstructionCost::default())
+        .with_fusion(FusionPolicy::new(1 << 6))
+        .with_relayout(RelayoutPolicy::eager(1 << 9));
+    let mut a = ints.clone();
+    tuned.transform(&mut a).unwrap();
+    assert_eq!(a, golden, "relayout path must hit the golden vector");
+    // The wisdom record reflects what the executor actually compiled for
+    // this size: the budget where the chosen plan's schedule relayouts,
+    // 0 where its tail is too short to gather.
+    let chosen = tuned.plan(n).unwrap().clone();
+    let executed = wht::core::CompiledPlan::compile(&chosen)
+        .fuse(&tuned.fusion())
+        .relayout(&tuned.relayout())
+        .has_relayout();
+    assert_eq!(
+        tuned.wisdom().relayout_budget(n, tuned.backend_name()),
+        Some(if executed { 1 << 9 } else { 0 })
+    );
+
+    let json = tuned.wisdom().to_json();
+    assert!(json.contains("relayout"), "tuning must be serialized");
+    let restored = Wisdom::from_json(&json).unwrap();
+    assert_eq!(&restored, tuned.wisdom());
+
+    let mut off = Planner::new(InstructionCost::default())
+        .with_fusion(FusionPolicy::new(1 << 6))
+        .with_relayout(RelayoutPolicy::disabled());
+    let mut b = ints.clone();
+    off.transform(&mut b).unwrap();
+    assert_eq!(b, golden, "in-place tail must hit the same golden vector");
+}
+
 /// Sequency-ordered spectrum analysis works through the whole public API.
 #[test]
 fn sequency_pipeline() {
