@@ -1,31 +1,40 @@
-//! Compiled-vs-interpreted-vs-fused-vs-SIMD-vs-relayout speedup table:
-//! the acceptance measurement for the compiled-plan execution layer, its
-//! pass-fusion stage, the SIMD lane-block codelet backend, and the DDL
-//! relayout tail.
+//! Compiled-vs-interpreted-vs-fused-vs-SIMD-vs-relayout-vs-recodelet
+//! speedup table: the acceptance measurement for the compiled-plan
+//! execution layer and every stage of its lowering pipeline.
 //!
 //! For each canonical plan and size, times the recursive interpreter
 //! (`apply_plan_recursive`, the paper's measured artifact), the unfused
 //! compiled pass-schedule replay (`CompiledPlan::apply`), the fused
 //! cache-blocked replay (`CompiledPlan::fuse`), the fused replay through
-//! the lane-block kernels (`CompiledPlan::with_simd`), and the full
-//! pipeline with the large-stride tail relayouted through gathered
-//! scratch (`CompiledPlan::relayout`, compiled eagerly so every size
-//! reports the effect) with the same median-of-blocks methodology, and
-//! prints the fastest-observed times and ratios (the minimum is the
-//! noise-robust estimator for ratio claims; medians track it closely on a
-//! quiet machine).
+//! the lane-block kernels (`CompiledPlan::with_simd`), the pipeline with
+//! the large-stride tail relayouted through gathered scratch
+//! (`CompiledPlan::relayout`, compiled eagerly so every size reports the
+//! effect), and the **full lowering pipeline** with every unit's chained
+//! factors re-codeleted into merged `small[k]` codelets
+//! (`CompiledPlan::recodelet`) — all with the same median-of-blocks
+//! methodology, printing fastest-observed times and ratios (the minimum
+//! is the noise-robust estimator for ratio claims; medians track it
+//! closely on a quiet machine).
 //!
 //! Where each stage pays: fusion and relayout pay once the vector
 //! outgrows the last-level cache — every unfused pass re-streams DRAM,
 //! the fused head streams once, and the relayouted tail turns its
 //! remaining per-factor sweeps into one gather + one scatter; the SIMD
-//! backend pays *below* that point, where the replay is ALU-bound.
+//! backend pays *below* that point, where the replay is ALU-bound; and
+//! re-codeleting pays everywhere fusion or relayout made a unit
+//! cache-resident, because a resident unit is load/store-μop-bound and
+//! merged codelets cut its load/store passes by the merge factor at
+//! identical flops.
 //!
 //! Besides the table, the run emits a machine-readable
-//! **`BENCH_relayout.json`** (override with `--json PATH`): one row per
-//! plan × size × executor leg with min-of-blocks ns/transform and
+//! **`BENCH_tailcodelet.json`** (override with `--json PATH`): one row
+//! per plan × size × executor leg with min-of-blocks ns/transform and
 //! Melem/s, so the perf trajectory is tracked across PRs instead of
-//! living only in commit messages.
+//! living only in commit messages. The file carries a `schema_version`
+//! so `BENCH_*.json` artifacts stay comparable across PRs as columns
+//! accrete (version 1 = the PR 4 `BENCH_relayout.json` shape without the
+//! field; version 2 adds `schema_version` itself and the
+//! `fused+simd+relayout+recodelet` executor rows).
 //!
 //! Run with `--release`; flags: `--nmax N` (default 24, so the table
 //! reaches past a ~100 MiB LLC), `--reps R` (default 5), `--budget
@@ -38,8 +47,13 @@
 //! `--json PATH`.
 
 use serde::Serialize;
-use wht_core::{CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy};
+use wht_core::{
+    CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy, SimdPolicy,
+};
 use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
+
+/// Schema version of the emitted JSON (see the module docs).
+const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// One measured (plan, size, executor) cell of the speedup table.
 #[derive(Debug, Clone, Serialize)]
@@ -55,9 +69,10 @@ struct BenchRow {
     melem_per_s: f64,
 }
 
-/// The checked-in benchmark artifact (`BENCH_relayout.json`).
+/// The checked-in benchmark artifact (`BENCH_tailcodelet.json`).
 #[derive(Debug, Serialize)]
 struct BenchFile {
+    schema_version: u64,
     bench: String,
     methodology: String,
     tile_budget_elems: u64,
@@ -72,7 +87,7 @@ fn main() {
     let mut budget = FusionPolicy::DEFAULT_BUDGET_ELEMS;
     let mut relayout_budget = RelayoutPolicy::DEFAULT_BUDGET_ELEMS;
     let mut llc_mib = 64u64;
-    let mut json_path = String::from("BENCH_relayout.json");
+    let mut json_path = String::from("BENCH_tailcodelet.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -112,18 +127,18 @@ fn main() {
         iters_per_block: 0,
     };
     let policy = FusionPolicy::new(budget);
-    // Eager engagement so the table reports the relayout effect at every
-    // size — exactly the data that tunes the production policy's
-    // `min_elems` threshold per host.
+    // Eager engagement so the table reports the relayout (and tail
+    // re-codeleting) effect at every size — exactly the data that tunes
+    // the production policy's `min_elems` threshold per host.
     let relayout_policy = RelayoutPolicy::eager(relayout_budget);
 
     println!(
-        "compiled vs interpreted vs fused vs SIMD vs relayout execution \
+        "compiled vs interpreted vs fused vs SIMD vs relayout vs recodelet execution \
          (min ns/transform over {reps} blocks, tile budget {budget} elems, \
          gathered-block budget {relayout_budget} elems, f64)"
     );
     println!(
-        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "{:>3}  {:<10}  {:>13}  {:>13}  {:>13}  {:>13}  {:>13}  {:>13}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
         "n",
         "plan",
         "interpreted",
@@ -131,16 +146,19 @@ fn main() {
         "fused",
         "simd",
         "relayout",
+        "recodelet",
         "comp/int",
         "fuse/comp",
         "simd/fuse",
-        "relay/simd"
+        "relay/simd",
+        "recod/relay"
     );
     let mut rows: Vec<BenchRow> = Vec::new();
     let mut worst_compiled_16 = f64::INFINITY;
     let mut fused_by_size: Vec<(u32, f64)> = Vec::new();
     let mut simd_by_size: Vec<(u32, f64)> = Vec::new();
     let mut relayout_by_size: Vec<(u32, f64)> = Vec::new();
+    let mut tail_by_size: Vec<(u32, f64)> = Vec::new();
     for n in (8..=nmax).step_by(2) {
         // The paper's canonical three, plus one blocked reference shape
         // (depth-1, so the interpreter is already flat there — it bounds
@@ -154,6 +172,7 @@ fn main() {
         let mut worst_fused = f64::INFINITY;
         let mut worst_simd = f64::INFINITY;
         let mut worst_relayout = f64::INFINITY;
+        let mut worst_tail = f64::INFINITY;
         for (name, plan) in plans {
             let interp = time_plan(&plan, &cfg).expect("valid config");
             let compiled_plan = CompiledPlan::compile(&plan);
@@ -166,10 +185,19 @@ fn main() {
                 .relayout(&relayout_policy)
                 .with_simd(&SimdPolicy::auto());
             let relayout = time_compiled_plan(&relayout_plan, &cfg).expect("valid config");
+            // The full lowering pipeline, exactly as `lower` runs it.
+            let tail_plan = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+                fusion: policy,
+                relayout: relayout_policy,
+                recodelet: RecodeletPolicy::default(),
+                simd: SimdPolicy::auto(),
+            });
+            let tail = time_compiled_plan(&tail_plan, &cfg).expect("valid config");
             let compiled_speedup = interp.min_ns / compiled.min_ns;
             let fused_speedup = compiled.min_ns / fused.min_ns;
             let simd_speedup = fused.min_ns / simd.min_ns;
             let relayout_speedup = simd.min_ns / relayout.min_ns;
+            let tail_speedup = relayout.min_ns / tail.min_ns;
             let melem = |min_ns: f64| (1u64 << n) as f64 / min_ns * 1e3;
             for (executor, t) in [
                 ("interpreted", interp.min_ns),
@@ -177,6 +205,7 @@ fn main() {
                 ("fused", fused.min_ns),
                 ("fused+simd", simd.min_ns),
                 ("fused+simd+relayout", relayout.min_ns),
+                ("fused+simd+relayout+recodelet", tail.min_ns),
             ] {
                 rows.push(BenchRow {
                     plan: name.trim_end_matches('*').to_string(),
@@ -194,9 +223,10 @@ fn main() {
                 worst_fused = worst_fused.min(fused_speedup);
                 worst_simd = worst_simd.min(simd_speedup);
                 worst_relayout = worst_relayout.min(relayout_speedup);
+                worst_tail = worst_tail.min(tail_speedup);
             }
             println!(
-                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x  {:>8.2}x  {:>8.2}x",
+                "{:>3}  {:<10}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>8.2}x  {:>8.2}x  {:>8.2}x  {:>8.2}x",
                 n,
                 name,
                 interp.min_ns,
@@ -204,10 +234,12 @@ fn main() {
                 fused.min_ns,
                 simd.min_ns,
                 relayout.min_ns,
+                tail.min_ns,
                 compiled_speedup,
                 fused_speedup,
                 simd_speedup,
-                relayout_speedup
+                relayout_speedup,
+                tail_speedup
             );
         }
         // Sub-cache sizes finish in microseconds and their ratios are
@@ -216,6 +248,7 @@ fn main() {
             fused_by_size.push((n, worst_fused));
             simd_by_size.push((n, worst_simd));
             relayout_by_size.push((n, worst_relayout));
+            tail_by_size.push((n, worst_tail));
         }
     }
     if nmax >= 16 {
@@ -223,15 +256,16 @@ fn main() {
     }
     if !fused_by_size.is_empty() {
         println!("worst canonical-plan per-stage speedups per size:");
-        for (((n, worst_f), (_, worst_s)), (_, worst_r)) in fused_by_size
+        for ((((n, worst_f), (_, worst_s)), (_, worst_r)), (_, worst_t)) in fused_by_size
             .iter()
             .zip(simd_by_size.iter())
             .zip(relayout_by_size.iter())
+            .zip(tail_by_size.iter())
         {
             let bytes = (1u64 << n) * 8;
             println!(
                 "  n = {n:>2} ({:>4} MiB): fuse/comp {worst_f:.2}x   simd/fuse {worst_s:.2}x   \
-                 relay/simd {worst_r:.2}x",
+                 relay/simd {worst_r:.2}x   tail/relay {worst_t:.2}x",
                 bytes >> 20
             );
         }
@@ -251,20 +285,30 @@ fn main() {
         if let Some((n, worst)) = relayout_by_size.last() {
             println!(
                 "relayout-over-fused-simd at the largest (memory-bound) size n = {n}: \
-                 {worst:.2}x (acceptance: >= 1.5x for >= 1 canonical plan at the first \
-                 out-of-LLC size, +/-5% neutral for LLC-resident sizes)"
+                 {worst:.2}x"
+            );
+        }
+        if let Some((n, worst)) = tail_by_size.last() {
+            println!(
+                "recodelet-over-relayout at the largest (memory-bound) size n = {n}: \
+                 {worst:.2}x (acceptance: >= 1.1x for every canonical plan at n >= 24)"
             );
         }
     }
     println!("(* reference shape, not one of the paper's canonical three)");
 
     let file = BenchFile {
-        bench: "relayout".to_string(),
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "recodelet".to_string(),
         methodology: format!(
             "min-of-{reps}-blocks ns per transform, f64, warmup 2; executors: \
              interpreted = apply_plan_recursive, compiled = unfused CompiledPlan::apply, \
              fused = tile budget {budget}, fused+simd = lane kernels, \
-             fused+simd+relayout = eager gathered tail (block budget {relayout_budget})"
+             fused+simd+relayout = eager gathered tail (block budget {relayout_budget}), \
+             fused+simd+relayout+recodelet = full lowering pipeline (merged codelets in \
+             every unit, max_k {}, footprint {} elems)",
+            RecodeletPolicy::default().max_k,
+            RecodeletPolicy::default().footprint_elems
         ),
         tile_budget_elems: budget as u64,
         relayout_budget_elems: relayout_budget as u64,

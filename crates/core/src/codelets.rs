@@ -177,13 +177,13 @@ impl SimdPolicy {
         SimdPolicy { use_lanes: false }
     }
 
-    /// Policy from the process environment: `WHT_NO_SIMD=1` (any non-empty
-    /// value other than `0`) disables the lane backend, anything else
-    /// keeps the default. Read fresh on every call; the production entry
-    /// point ([`crate::compile::compiled_for`]) snapshots it once per
-    /// process.
+    /// Policy from the process environment: `WHT_NO_SIMD=1` (the uniform
+    /// [`crate::env`] kill-switch contract) disables the lane backend,
+    /// anything else keeps the default. Read fresh on every call; the
+    /// production entry point ([`crate::compile::compiled_for`]) snapshots
+    /// [`crate::compile::ExecPolicy::from_env`] once per process.
     pub fn from_env() -> Self {
-        if std::env::var("WHT_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0") {
+        if crate::env::flag("WHT_NO_SIMD") {
             return SimdPolicy::disabled();
         }
         SimdPolicy::auto()

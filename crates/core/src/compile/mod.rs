@@ -1,0 +1,1169 @@
+//! Compiled-plan execution: flatten a [`Plan`] into a pass schedule once,
+//! lower it through a staged rewrite pipeline, replay it with zero
+//! recursion.
+//!
+//! ## Why flattening is possible
+//!
+//! Equation 1 factors `WHT(2^n)` into Kronecker products, and Kronecker
+//! factors compose: `I ⊗ (X·Y) ⊗ I = (I ⊗ X ⊗ I) · (I ⊗ Y ⊗ I)`.
+//! Substituting every split of a plan into its parent therefore rewrites
+//! the whole tree as a *flat* product with exactly one factor per leaf,
+//!
+//! ```text
+//! WHT(2^n) = prod_{leaf ℓ} ( I(R_ℓ) ⊗ WHT(2^{k_ℓ}) ⊗ I(S_ℓ) )
+//! ```
+//!
+//! where `S_ℓ` is the product of the sizes of all factors applied before
+//! `ℓ` (everything to its right in the product) and `R_ℓ = 2^n / (2^{k_ℓ}
+//! S_ℓ)`. Each factor is one [`Pass`]: codelet `k` applied `R·S` times at
+//! stride `S` — the engine's `(r, s)` loop pair, hoisted to the top level.
+//! [`CompiledPlan::compile`] emits passes in the engine's exact
+//! right-to-left factor order, so compilation is a pure schedule
+//! transformation: pay the tree walk once, then every
+//! [`CompiledPlan::apply`] is a branch-light linear sweep over the
+//! schedule with precomputed strides — no recursion, no re-derived
+//! stride arithmetic on the hot path.
+//!
+//! ## The lowering pipeline
+//!
+//! Between compilation and execution the schedule passes through a
+//! sequence of explicit rewrite **stages** over the [`SuperPass`]
+//! schedule IR — each one a validated, output-bit-preserving rewrite,
+//! each gated by one field of a single [`ExecPolicy`]
+//! ([`CompiledPlan::lower`] runs them in order; [`LoweringStage`] is the
+//! stage abstraction new rewrites implement):
+//!
+//! 1. **Fuse** ([`CompiledPlan::fuse`], [`FusionPolicy`]) — merge
+//!    contiguous small-stride pass runs into cache-blocked super-passes.
+//!    A pass at stride `S` covering the whole vector streams all `2^n`
+//!    elements through the cache; a `t`-factor plan therefore moves `t`
+//!    vector-sized sweeps of memory traffic, which is exactly where the
+//!    paper says WHT performance is won or lost once `2^n` outgrows the
+//!    cache. Consecutive passes at strides `S, S·2^{k_1}, …` all stay
+//!    inside *contiguous blocks* of `B = S·2^{k_1+…+k_m}` elements, so the
+//!    stage greedily merges the longest runs whose block size `B` (the
+//!    *tile*) fits [`FusionPolicy::budget_elems`]: one [`SuperPass`]
+//!    iterates each of the `2^n / B` tiles through **all** fused factors
+//!    before moving on, dropping the run's traffic from `m` sweeps to one.
+//!    Because strides multiply monotonically, only the small-stride prefix
+//!    can fuse.
+//! 2. **Relayout** ([`CompiledPlan::relayout`], [`RelayoutPolicy`]) — the
+//!    paper's DDL remedy for the unfusable large-stride tail (the
+//!    recursive form lives in [`crate::ddl`]). The tail computes
+//!    `WHT(rows) ⊗ I(row_stride)` on the vector viewed as a
+//!    `rows × row_stride` matrix, so a [`Relayout`] super-pass **gathers**
+//!    blocks of `cols` contiguous columns into cache-sized scratch,
+//!    streams *all* tail factors over the resident scratch at unit global
+//!    stride, and **scatters** the block back
+//!    ([`crate::codelets::gather_rows`]/[`crate::codelets::scatter_rows`]
+//!    traverse addresses sequentially, so prefetchers stream them) —
+//!    collapsing the tail's many sweeps to one gather plus one scatter.
+//! 3. **Re-codelet** ([`CompiledPlan::recodelet`],
+//!    [`RecodeletPolicy`]) — once a unit's working set is cache-resident
+//!    (a fused tile, a gathered scratch block), its per-factor passes are
+//!    load/store-μop-bound, not memory-bound, and its factors are
+//!    chained (`s, s·2^{k_1}, …`), so consecutive factors regroup into
+//!    larger unrolled codelets: `WHT(2^a) ⊗ WHT(2^b) → WHT(2^{a+b})`, the
+//!    same Kronecker identity the codelets already unroll internally.
+//!    Merging `m` chained factors cuts the unit's load/store passes
+//!    `m`-fold at identical flops — the same butterfly DAG, so output is
+//!    bit-identical. The merge is bounded by a measured per-call
+//!    footprint rule (see the stage docs); single-factor units are never
+//!    touched.
+//! 4. **Backend select** ([`CompiledPlan::with_simd`],
+//!    [`crate::codelets::SimdPolicy`]) — record which kernel replays each
+//!    unit ([`PassBackend`]): the scalar per-column codelet loop, or the
+//!    SIMD lane-block kernels of [`crate::codelets`].
+//!
+//! Every stage is a **schedule rewrite, never a semantics change**: the
+//! recursive engine interleaves nested factors (block-major), the compiled
+//! schedule runs pass-major, a fused super-pass tile-major, a relayouted
+//! tail block-major through scratch — but the multiset of butterfly
+//! operations and the values they see are identical in all of them (each
+//! stage's docs carry the argument), so every lowered schedule agrees with
+//! the interpreter **bit for bit**, property-tested for all four scalar
+//! types over random plans and policies.
+//!
+//! Each stage records what it did on the unit it produced
+//! ([`SuperPass::provenance`]), [`CompiledPlan::validate`] re-checks the
+//! schedule invariants after every stage in debug builds, and
+//! [`CompiledPlan::traverse`] reports the lowered schedule — units,
+//! backends, relayout geometry, provenance — to [`ExecHooks`] consumers,
+//! so what is measured is exactly what [`CompiledPlan::apply`] runs.
+//!
+//! ## One policy, one cache
+//!
+//! [`crate::apply_plan`] replays lowered schedules by default under the
+//! process [`ExecPolicy`] snapshot ([`ExecPolicy::from_env`]; see
+//! [`crate::env`] for the `WHT_*` knob table), served from a per-thread
+//! cache keyed by `(plan, ExecPolicy)` — one key covering every stage, so
+//! mixed-policy traffic never cross-talks and adding a stage never adds a
+//! cache layer. [`compiled_for_exec`] pins an explicit configuration
+//! through the API.
+
+mod fuse;
+mod policy;
+mod recodelet;
+mod relayout;
+mod stages;
+#[cfg(test)]
+mod tests;
+
+pub use policy::{
+    resolve_knob, ExecKey, ExecPolicy, FusionPolicy, PolicyKnob, RecodeletPolicy, RelayoutPolicy,
+    SMALL_MERGE_ROWS,
+};
+pub use stages::{lowering_stages, LoweringStage};
+
+use crate::codelets::{apply_codelet, apply_pass_lanes, gather_rows, scatter_rows, SimdPolicy};
+use crate::engine::ExecHooks;
+use crate::error::WhtError;
+use crate::plan::Plan;
+use crate::scalar::Scalar;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// One factor `I(r) ⊗ WHT(2^k) ⊗ I(s)` of the flattened product: codelet
+/// `small[k]` applied over the `r × s` iteration grid.
+///
+/// Invocation `(j, t)` (for `j < r`, `t < s`) runs the codelet on the
+/// strided vector starting at `base + (j·2^k·s + t)·stride` with element
+/// stride `s·stride`. Top-level schedules have `base = 0, stride = 1`; the
+/// fields exist so sub-ranges of a pass can be described (the parallel
+/// engine shards the grid, fused super-passes restrict passes to tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass {
+    /// Leaf codelet exponent (`small[k]`, size `2^k`).
+    pub k: u32,
+    /// Outer grid extent: number of `2^k·s`-element blocks.
+    pub r: usize,
+    /// Inner grid extent — also the codelet stride in units of `stride`.
+    pub s: usize,
+    /// Base element offset of the pass.
+    pub base: usize,
+    /// Global stride multiplier applied to every index of the pass.
+    pub stride: usize,
+}
+
+impl Pass {
+    /// Number of codelet invocations in this pass (`r·s`).
+    #[inline]
+    pub fn invocations(&self) -> usize {
+        self.r * self.s
+    }
+
+    /// Elements covered by the pass (`r · 2^k · s`), each touched once.
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.r * ((1usize << self.k) * self.s)
+    }
+
+    /// Element stride the codelet runs at.
+    #[inline]
+    pub fn codelet_stride(&self) -> usize {
+        self.s * self.stride
+    }
+
+    /// Start index of invocation `q` (linearized `j·s + t`).
+    #[inline]
+    pub fn invocation_base(&self, q: usize) -> usize {
+        let j = q / self.s;
+        let t = q % self.s;
+        self.base + (j * ((1usize << self.k) * self.s) + t) * self.stride
+    }
+
+    /// Run invocation `q` of this pass on `x`.
+    ///
+    /// # Safety
+    /// `q < self.invocations()` and every index of the invocation must be
+    /// in bounds: `invocation_base(q) + (2^k - 1) · codelet_stride() <
+    /// x.len()`. Distinct invocations of one pass touch disjoint elements,
+    /// so they may run concurrently (the parallel engine's contract).
+    #[inline]
+    pub unsafe fn apply_invocation<T: Scalar>(&self, x: &mut [T], q: usize) {
+        // SAFETY: forwarded contract; `k` is validated at compile() time.
+        unsafe { apply_codelet(self.k, x, self.invocation_base(q), self.codelet_stride()) };
+    }
+
+    /// Run the whole pass on `x` (all `r·s` invocations, in grid order)
+    /// through the scalar per-column codelet loop.
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()`.
+    unsafe fn apply_full<T: Scalar>(&self, x: &mut [T]) {
+        let block = (1usize << self.k) * self.s;
+        let codelet_stride = self.codelet_stride();
+        for j in 0..self.r {
+            let row = self.base + j * block * self.stride;
+            for t in 0..self.s {
+                // SAFETY: row + (s-1)·stride + (2^k - 1)·s·stride
+                // = base + (j·block + block - 1)·stride <= the bound in the
+                // function contract.
+                unsafe { apply_codelet(self.k, x, row + t * self.stride, codelet_stride) };
+            }
+        }
+    }
+
+    /// Run the whole pass through the kernel `backend` selects: the
+    /// lane-block kernels for [`PassBackend::Lanes`] (they require the
+    /// unit global stride every valid schedule has; a non-unit stride
+    /// falls back to the scalar loop rather than mis-indexing), the
+    /// scalar per-column loop otherwise. Bit-identical either way.
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()`.
+    #[inline]
+    unsafe fn apply_full_backend<T: Scalar>(&self, x: &mut [T], backend: PassBackend) {
+        // SAFETY (both arms): forwarded contract; for the lane kernel,
+        // stride == 1 makes the bound exactly base + r·2^k·s - 1 < len.
+        unsafe {
+            match backend {
+                PassBackend::Lanes if self.stride == 1 => {
+                    apply_pass_lanes(self.k, x, self.base, self.r, self.s)
+                }
+                _ => self.apply_full(x),
+            }
+        }
+    }
+
+    /// Pass span as `Option`, `None` on arithmetic overflow (hand-built
+    /// schedules can hold absurd extents; validation must not panic).
+    fn checked_span(&self) -> Option<usize> {
+        if self.k >= usize::BITS {
+            return None;
+        }
+        (1usize << self.k).checked_mul(self.s)?.checked_mul(self.r)
+    }
+}
+
+/// Which kernel replays a scheduling unit's codelet work — recorded on
+/// every [`SuperPass`] so the executed program is a property of the
+/// schedule itself: `apply`, the parallel engine, `traverse`, and every
+/// measurement consumer read one record instead of re-deciding.
+///
+/// Both backends run the same butterfly operations on the same values
+/// (vector lanes never interact in add/sub), so the backend choice is
+/// observable in speed, never in output bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PassBackend {
+    /// The per-column scalar codelet loop (`small[k]` once per `(j, t)`
+    /// grid point).
+    #[default]
+    Scalar,
+    /// The SIMD lane-block kernels of [`crate::codelets`]: butterflies
+    /// over `[T; `[`Scalar::LANES`]`]` unit-stride column blocks, with
+    /// AVX2-compiled float variants selected at runtime.
+    Lanes,
+}
+
+/// Geometry of one relayout super-pass (the compiled executor's DDL
+/// stage — see the module docs' "the lowering pipeline").
+///
+/// The vector is viewed as an `rows × row_stride` row-major matrix.
+/// Gathered block `j` copies columns `j*cols .. (j+1)*cols` — i.e. the
+/// strided row-segments `x[u*row_stride + j*cols ..][..cols]` for
+/// `u < rows` — into contiguous scratch of `rows * cols` elements, runs
+/// every tail factor on the scratch at unit global stride, and scatters
+/// the result back. `cols` divides `row_stride`, so the
+/// `row_stride / cols` blocks partition the vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Relayout {
+    /// Strided rows gathered per block (the product of the relayouted
+    /// tail factor sizes, `2^n / row_stride`).
+    pub rows: usize,
+    /// Row length of the matrix view — the stride of the first relayouted
+    /// pass (the product of all factor sizes applied before the tail).
+    pub row_stride: usize,
+    /// Contiguous columns per gathered block.
+    pub cols: usize,
+}
+
+/// Per-unit record of what the lowering pipeline did — the **per-stage
+/// provenance** of a scheduling unit, stamped by each stage that rewrote
+/// it and reported through [`ExecHooks::super_pass`] so measurement
+/// consumers can attribute costs and savings to the stage that caused
+/// them (structure like [`SuperPass::is_fused`] says what a unit *is*;
+/// provenance says which rewrite *made it so*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Provenance {
+    /// The fuse stage merged two or more factors into this unit.
+    pub fused: bool,
+    /// The relayout stage rewrote this unit's factors to gather through
+    /// scratch.
+    pub relayouted: bool,
+    /// Factors the re-codelet stage merged away in this unit (original
+    /// part count minus re-codeleted part count; `0` when the stage left
+    /// the unit alone).
+    pub recodeleted: usize,
+}
+
+/// One scheduling unit of a [`CompiledPlan`]: `parts` consecutive factors
+/// replayed tile by tile over a `tiles × tile_elems` blocking of the
+/// vector (see the module docs).
+///
+/// An unfused pass is the trivial super-pass: one part, one tile spanning
+/// the whole pass. A fused super-pass iterates each tile through all its
+/// parts before touching the next tile — the parts are stored
+/// *tile-relative* (`base`/`stride` of a part are offsets *within* a
+/// tile), and [`SuperPass::tile_pass`] rebases them to absolute passes.
+///
+/// Equality compares the *executed program* — parts, geometry, backend,
+/// relayout — and deliberately ignores [`SuperPass::provenance`]: a
+/// hand-built unit and a stage-built unit that replay identically are
+/// the same schedule, whatever their history.
+#[derive(Debug, Clone, Eq)]
+pub struct SuperPass {
+    /// Tile-relative factor passes, in execution order within each tile.
+    parts: Vec<Pass>,
+    /// Elements per tile.
+    tile: usize,
+    /// Number of tiles.
+    tiles: usize,
+    /// Base element offset of the super-pass.
+    base: usize,
+    /// Global stride multiplier.
+    stride: usize,
+    /// Kernel backend replaying the parts (see [`PassBackend`]).
+    backend: PassBackend,
+    /// `Some` when the unit is a **relayout** super-pass: "tile" `j` is
+    /// gathered block `j` of the [`Relayout`] geometry, the parts are
+    /// unit-stride passes over the gathered scratch, and execution runs
+    /// gather → parts → scatter per block (see [`CompiledPlan::relayout`]).
+    relayout: Option<Relayout>,
+    /// Which lowering stages rewrote this unit (see [`Provenance`]).
+    provenance: Provenance,
+}
+
+impl PartialEq for SuperPass {
+    fn eq(&self, other: &Self) -> bool {
+        // Provenance is stage history, not program: excluded on purpose
+        // (see the struct docs).
+        self.parts == other.parts
+            && self.tile == other.tile
+            && self.tiles == other.tiles
+            && self.base == other.base
+            && self.stride == other.stride
+            && self.backend == other.backend
+            && self.relayout == other.relayout
+    }
+}
+
+impl SuperPass {
+    /// Assemble a super-pass from tile-relative parts (scalar backend;
+    /// chain [`SuperPass::with_backend`] to select the lane kernels).
+    /// This is a plain carrier — no invariants are checked here;
+    /// [`CompiledPlan::from_super_passes`] / [`CompiledPlan::validate`]
+    /// are the validity gate for hand-built schedules.
+    pub fn new(parts: Vec<Pass>, tile: usize, tiles: usize, base: usize, stride: usize) -> Self {
+        SuperPass {
+            parts,
+            tile,
+            tiles,
+            base,
+            stride,
+            backend: PassBackend::Scalar,
+            relayout: None,
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// Assemble a **relayout** super-pass from scratch-relative parts and
+    /// a [`Relayout`] geometry: the tile grid is `row_stride / cols`
+    /// blocks of `rows * cols` gathered elements, and the parts run over
+    /// each gathered block at unit stride. A plain carrier like
+    /// [`SuperPass::new`] — [`CompiledPlan::from_super_passes`] /
+    /// [`CompiledPlan::validate`] gate hand-built schedules.
+    pub fn new_relayout(parts: Vec<Pass>, relayout: Relayout) -> Self {
+        SuperPass {
+            parts,
+            tile: relayout.rows.saturating_mul(relayout.cols),
+            tiles: relayout.row_stride.checked_div(relayout.cols).unwrap_or(0),
+            base: 0,
+            stride: 1,
+            backend: PassBackend::Scalar,
+            relayout: Some(relayout),
+            provenance: Provenance {
+                relayouted: true,
+                ..Provenance::default()
+            },
+        }
+    }
+
+    /// The relayout geometry, if this unit is a relayout super-pass.
+    #[inline]
+    pub fn relayout(&self) -> Option<Relayout> {
+        self.relayout
+    }
+
+    /// `true` if this scheduling unit gathers/scatters through scratch.
+    #[inline]
+    pub fn is_relayout(&self) -> bool {
+        self.relayout.is_some()
+    }
+
+    /// The same super-pass with its kernel backend replaced (builder
+    /// style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: PassBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The kernel backend [`CompiledPlan::apply`] (and the parallel
+    /// engine) will run this super-pass with.
+    #[inline]
+    pub fn backend(&self) -> PassBackend {
+        self.backend
+    }
+
+    /// Which lowering stages rewrote this unit (see [`Provenance`]).
+    #[inline]
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// The trivial (unfused) super-pass: one part, one tile spanning the
+    /// whole pass.
+    fn single(pass: Pass) -> Self {
+        SuperPass {
+            tile: pass.span(),
+            tiles: 1,
+            base: pass.base,
+            stride: pass.stride,
+            parts: vec![Pass {
+                base: 0,
+                stride: 1,
+                ..pass
+            }],
+            backend: PassBackend::Scalar,
+            relayout: None,
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// The tile-relative parts, in execution order within each tile.
+    #[inline]
+    pub fn parts(&self) -> &[Pass] {
+        &self.parts
+    }
+
+    /// Elements per tile.
+    #[inline]
+    pub fn tile_elems(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Elements covered by the super-pass (`tiles · tile_elems`).
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.tiles * self.tile
+    }
+
+    /// `true` if this super-pass actually fused more than one factor.
+    #[inline]
+    pub fn is_fused(&self) -> bool {
+        self.parts.len() > 1
+    }
+
+    /// Part `p` rebased to an absolute [`Pass`] restricted to tile `j`.
+    ///
+    /// Only meaningful for direct (non-relayout) super-passes: a relayout
+    /// part runs in *scratch* coordinates (use [`SuperPass::parts`]
+    /// directly against the gathered block, or [`SuperPass::flat_pass`]
+    /// for the equivalent in-place pass).
+    #[inline]
+    pub fn tile_pass(&self, p: usize, j: usize) -> Pass {
+        debug_assert!(
+            self.relayout.is_none(),
+            "tile_pass is x-space; relayout parts live in scratch space"
+        );
+        let part = self.parts[p];
+        Pass {
+            k: part.k,
+            r: part.r,
+            s: part.s,
+            base: self.base + (j * self.tile + part.base) * self.stride,
+            stride: part.stride * self.stride,
+        }
+    }
+
+    /// Part `p` expanded over **all** tiles as one absolute [`Pass`]: the
+    /// factor as it would appear in the unfused schedule. Executing the
+    /// flat passes part by part replays the super-pass in unfused
+    /// (pass-major) order — bit-identical output, no tile blocking — which
+    /// is how the parallel engine keeps every worker busy when there are
+    /// fewer tiles than threads.
+    ///
+    /// Only meaningful under the [`CompiledPlan::validate`] invariants
+    /// (every part tiles its tile exactly once): then tile `j`'s blocks
+    /// are exactly blocks `j·r .. (j+1)·r` of the flat pass.
+    ///
+    /// For a **relayout** super-pass the parts are stored in scratch
+    /// coordinates (`s = cols · c` over a gathered block); this maps part
+    /// `p` back to the in-place factor it relayouts — `s = row_stride ·
+    /// c` over the whole vector — so the unfused replay of a relayout
+    /// unit is available without any gather/scatter (the parallel
+    /// engine's no-starvation fallback, and the factor-list derivation
+    /// in [`CompiledPlan::from_super_passes`]). A factor the tail
+    /// re-codeleting stage merged maps back the same way — to the merged
+    /// `WHT(2^{k_1+…+k_m})` factor at the original in-place stride.
+    #[inline]
+    pub fn flat_pass(&self, p: usize) -> Pass {
+        let part = self.parts[p];
+        if let Some(rl) = self.relayout {
+            // part.s = cols * c with c = the product of the tail factor
+            // sizes applied before part p; the in-place pass runs the
+            // same factor at s = row_stride * c over the whole vector.
+            let c = part.s.checked_div(rl.cols).unwrap_or(0);
+            let s = rl.row_stride.saturating_mul(c);
+            let span = self.tiles.saturating_mul(self.tile);
+            let block = (1usize << part.k.min(usize::BITS - 1)).saturating_mul(s);
+            return Pass {
+                k: part.k,
+                r: span.checked_div(block).unwrap_or(0),
+                s,
+                base: self.base,
+                stride: self.stride,
+            };
+        }
+        Pass {
+            k: part.k,
+            r: part.r * self.tiles,
+            s: part.s,
+            base: self.base + part.base * self.stride,
+            stride: part.stride * self.stride,
+        }
+    }
+
+    /// Run every part on tile `j` (the fused unit of work; tiles are
+    /// pairwise disjoint, so distinct tiles may run concurrently — the
+    /// parallel engine's contract). Direct super-passes only; a relayout
+    /// unit's tile needs scratch ([`SuperPass::apply_gathered_block`]).
+    ///
+    /// # Safety
+    /// `j < self.tiles()`, `self.relayout().is_none()`, and the whole
+    /// super-pass must be in bounds: `base + (span() - 1) · stride <
+    /// x.len()`, with every part tiling its tile (the
+    /// [`CompiledPlan::validate`] invariants).
+    #[inline]
+    pub unsafe fn apply_tile<T: Scalar>(&self, x: &mut [T], j: usize) {
+        debug_assert!(self.relayout.is_none());
+        for p in 0..self.parts.len() {
+            // SAFETY: a valid part stays inside tile `j`, which is inside
+            // the super-pass bound forwarded from the caller's contract.
+            unsafe { self.tile_pass(p, j).apply_full_backend(x, self.backend) };
+        }
+    }
+
+    /// Run gathered block `j` of a relayout super-pass: gather the block's
+    /// strided columns into `scratch`, stream every part over the
+    /// contiguous scratch (unit global stride — the lane kernels'
+    /// habitat), scatter back. Distinct blocks touch pairwise disjoint
+    /// elements of `x`, so they may run concurrently with per-worker
+    /// scratch (the parallel engine's contract).
+    ///
+    /// # Safety
+    /// `self.relayout().is_some()`, `j < self.tiles()`,
+    /// `scratch.len() >= self.tile_elems()`, `x.len() >= self.span()`,
+    /// and the [`CompiledPlan::validate`] invariants hold.
+    #[inline]
+    pub unsafe fn apply_gathered_block<T: Scalar>(&self, x: &mut [T], j: usize, scratch: &mut [T]) {
+        let rl = self
+            .relayout
+            .expect("apply_gathered_block on a direct super-pass");
+        let block = &mut scratch[..self.tile];
+        // SAFETY (gather/scatter): block j's last source element is
+        // (rows-1)*row_stride + j*cols + cols-1 < rows*row_stride =
+        // span() <= x.len() (validate invariant + caller contract), and
+        // block.len() == rows*cols exactly.
+        unsafe {
+            gather_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            for p in 0..self.parts.len() {
+                // SAFETY: a valid part tiles the gathered block exactly
+                // (base 0, stride 1, span == tile == block.len()).
+                self.parts[p].apply_full_backend(block, self.backend);
+            }
+            scatter_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+        }
+    }
+
+    /// Run the whole super-pass (all tiles, tile-major; gathered blocks
+    /// through `scratch` for relayout units).
+    ///
+    /// # Safety
+    /// `base + (span() - 1) · stride < x.len()` plus the validate
+    /// invariants; for relayout units `scratch.len() >= tile_elems()`.
+    unsafe fn apply_all<T: Scalar>(&self, x: &mut [T], scratch: &mut [T]) {
+        for j in 0..self.tiles {
+            // SAFETY: forwarded contract.
+            unsafe {
+                if self.relayout.is_some() {
+                    self.apply_gathered_block(x, j, scratch);
+                } else {
+                    self.apply_tile(x, j);
+                }
+            }
+        }
+    }
+}
+
+/// A [`Plan`] lowered to its flat factor schedule, grouped into
+/// [`SuperPass`] scheduling units (trivial groups until the lowering
+/// stages rewrite them — see the module docs).
+///
+/// Compile once, lower once, apply many times:
+///
+/// ```
+/// use wht_core::{naive_wht, CompiledPlan, ExecPolicy, Plan};
+///
+/// let plan = Plan::right_recursive(10)?;
+/// let compiled = CompiledPlan::compile(&plan).lower(&ExecPolicy::default());
+/// let mut x: Vec<f64> = (0..1024).map(|v| (v % 5) as f64).collect();
+/// let want = naive_wht(&x);
+/// compiled.apply(&mut x)?;
+/// assert_eq!(x, want);
+/// # Ok::<(), wht_core::WhtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPlan {
+    n: u32,
+    /// The flat factor schedule, one pass per executed factor. Fusion,
+    /// relayout, and backend selection regroup but never change it; the
+    /// re-codelet stage is the one rewrite that replaces factors
+    /// (merging chained ones), and it re-derives this list to match.
+    passes: Vec<Pass>,
+    /// The execution grouping actually replayed by [`CompiledPlan::apply`].
+    schedule: Vec<SuperPass>,
+}
+
+impl CompiledPlan {
+    /// Lower `plan` into its (unfused) pass schedule (cost: one tree walk,
+    /// one `Vec` of `plan.leaf_count()` entries).
+    pub fn compile(plan: &Plan) -> Self {
+        let n = plan.n();
+        let size = 1usize << n;
+        let mut passes = Vec::with_capacity(plan.leaf_count());
+        let mut s = 1usize;
+        emit(plan, size, &mut s, &mut passes);
+        debug_assert_eq!(s, size, "factor sizes must multiply to the transform size");
+        let schedule = passes.iter().copied().map(SuperPass::single).collect();
+        CompiledPlan {
+            n,
+            passes,
+            schedule,
+        }
+    }
+
+    /// Compile and fuse in one step: `CompiledPlan::compile(plan).fuse(policy)`.
+    pub fn compile_fused(plan: &Plan, policy: &FusionPolicy) -> Self {
+        Self::compile(plan).fuse(policy)
+    }
+
+    /// Compile under the three pre-pipeline executor knobs — fusion, tail
+    /// relayout, and kernel backend:
+    /// `compile(plan).fuse(fusion).relayout(relayout).with_simd(simd)`.
+    ///
+    /// This is the legacy entry point kept for callers that predate the
+    /// staged pipeline; it never runs the re-codelet stage.
+    /// Prefer [`CompiledPlan::compile_exec`], which lowers through the
+    /// full pipeline under one [`ExecPolicy`].
+    pub fn compile_with(
+        plan: &Plan,
+        fusion: &FusionPolicy,
+        relayout: &RelayoutPolicy,
+        simd: &SimdPolicy,
+    ) -> Self {
+        Self::compile(plan)
+            .fuse(fusion)
+            .relayout(relayout)
+            .with_simd(simd)
+    }
+
+    /// Compile and lower through the full staged pipeline under `policy`:
+    /// `CompiledPlan::compile(plan).lower(policy)`.
+    pub fn compile_exec(plan: &Plan, policy: &ExecPolicy) -> Self {
+        Self::compile(plan).lower(policy)
+    }
+
+    /// `true` if any scheduling unit is a relayout super-pass.
+    pub fn has_relayout(&self) -> bool {
+        self.schedule.iter().any(SuperPass::is_relayout)
+    }
+
+    /// `true` if the re-codelet stage merged factors anywhere in this
+    /// schedule.
+    pub fn has_recodeleted(&self) -> bool {
+        self.schedule.iter().any(|sp| sp.provenance.recodeleted > 0)
+    }
+
+    /// Scratch elements one replay of this schedule needs (the largest
+    /// gathered block; `0` when no unit relayouts). [`CompiledPlan::apply`]
+    /// allocates this internally; callers that replay one schedule many
+    /// times pass a reusable buffer to [`CompiledPlan::apply_with_scratch`]
+    /// so the warm path never allocates.
+    pub fn scratch_elems(&self) -> usize {
+        self.schedule
+            .iter()
+            .filter(|sp| sp.relayout.is_some())
+            .map(|sp| sp.tile)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Select the kernel backend under `policy`: every super-pass is
+    /// marked [`PassBackend::Lanes`] when the policy is enabled (all
+    /// top-level schedule units run at unit stride, the lane kernels'
+    /// habitat), [`PassBackend::Scalar`] otherwise. Like
+    /// [`CompiledPlan::fuse`], this is a *relabeling* of the same factor
+    /// list — output bits cannot change, only which kernel produces them —
+    /// and the choice is recorded in the schedule, so `apply`, the
+    /// parallel engine, and `traverse` all agree on what actually runs.
+    #[must_use]
+    pub fn with_simd(&self, policy: &SimdPolicy) -> CompiledPlan {
+        let backend = if policy.enabled() {
+            PassBackend::Lanes
+        } else {
+            PassBackend::Scalar
+        };
+        CompiledPlan {
+            n: self.n,
+            passes: self.passes.clone(),
+            schedule: self
+                .schedule
+                .iter()
+                .map(|sp| sp.clone().with_backend(backend))
+                .collect(),
+        }
+    }
+
+    /// `true` if any super-pass selects the SIMD lane backend.
+    pub fn is_simd(&self) -> bool {
+        self.schedule
+            .iter()
+            .any(|sp| sp.backend == PassBackend::Lanes)
+    }
+
+    /// Assemble a compiled plan from hand-built super-passes, validating
+    /// every schedule invariant.
+    ///
+    /// # Errors
+    /// The typed [`CompiledPlan::validate`] errors ([`WhtError::InvalidSchedule`],
+    /// [`WhtError::LeafSizeOutOfRange`]) on a malformed schedule.
+    pub fn from_super_passes(n: u32, schedule: Vec<SuperPass>) -> Result<Self, WhtError> {
+        // Saturating arithmetic throughout: hand-built schedules can hold
+        // absurd extents, and the contract is a typed error from
+        // validate(), never an overflow panic while deriving this view.
+        let passes = schedule
+            .iter()
+            .flat_map(|sp| {
+                sp.parts.iter().enumerate().map(move |(p, part)| {
+                    if sp.relayout.is_some() {
+                        // The relayout-aware mapping back to the in-place
+                        // factor (already overflow-safe).
+                        sp.flat_pass(p)
+                    } else {
+                        Pass {
+                            k: part.k,
+                            r: part.r.saturating_mul(sp.tiles),
+                            s: part.s,
+                            base: sp.base.saturating_add(part.base.saturating_mul(sp.stride)),
+                            stride: part.stride.saturating_mul(sp.stride),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let plan = CompiledPlan {
+            n,
+            passes,
+            schedule,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Exponent of the transform (`log2` of its size).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Size `2^n` of the transform.
+    #[inline]
+    pub fn size(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The flat factor schedule, in execution order (one pass per
+    /// executed factor — one per plan leaf until the re-codeleting
+    /// stage merges chained tail factors). Fusion, relayout, and backend
+    /// selection never change this list — they regroup it.
+    #[inline]
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// The execution grouping [`CompiledPlan::apply`] replays: one
+    /// [`SuperPass`] per unfused pass or fused run.
+    #[inline]
+    pub fn super_passes(&self) -> &[SuperPass] {
+        &self.schedule
+    }
+
+    /// `true` if any super-pass actually fused multiple factors.
+    pub fn is_fused(&self) -> bool {
+        self.schedule.iter().any(SuperPass::is_fused)
+    }
+
+    /// Compute `x <- WHT(2^n) · x` in place by replaying the schedule
+    /// (tile-major within fused super-passes, gather → transform → scatter
+    /// within relayout super-passes).
+    ///
+    /// Relayout schedules need a scratch buffer of
+    /// [`CompiledPlan::scratch_elems`] elements; this entry point
+    /// allocates it per call (one small, cache-sized allocation —
+    /// negligible against the out-of-cache transforms relayout targets).
+    /// Hot loops replaying one schedule use
+    /// [`CompiledPlan::apply_with_scratch`] to amortize it to zero.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
+    pub fn apply<T: Scalar>(&self, x: &mut [T]) -> Result<(), WhtError> {
+        let mut scratch = Vec::new();
+        self.apply_with_scratch(x, &mut scratch)
+    }
+
+    /// [`CompiledPlan::apply`] with a caller-owned scratch buffer: grown
+    /// to [`CompiledPlan::scratch_elems`] on first use, never shrunk, so
+    /// replaying a schedule (or a mix of schedules) through one buffer
+    /// allocates nothing after warmup.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`.
+    pub fn apply_with_scratch<T: Scalar>(
+        &self,
+        x: &mut [T],
+        scratch: &mut Vec<T>,
+    ) -> Result<(), WhtError> {
+        if x.len() != self.size() {
+            return Err(WhtError::LengthMismatch {
+                expected: self.size(),
+                got: x.len(),
+            });
+        }
+        let needed = self.scratch_elems();
+        if scratch.len() < needed {
+            scratch.resize(needed, T::ZERO);
+        }
+        for sp in &self.schedule {
+            debug_assert!(sp.base + (sp.span() - 1) * sp.stride < x.len());
+            // SAFETY: every lowering stage emits only super-passes with
+            // base = 0, stride = 1 and span() == size() whose parts tile
+            // each tile exactly (and whose relayout geometry partitions
+            // the vector); from_super_passes() validates the same
+            // invariants; the length was checked above; and scratch
+            // covers the largest gathered block.
+            unsafe { sp.apply_all(x, scratch) };
+        }
+        Ok(())
+    }
+
+    /// Replay the schedule datalessly, reporting each step to `hooks` —
+    /// the compiled counterpart of [`crate::engine::traverse`], consumed
+    /// by the instrumented counter and the cache-trace executor in
+    /// `wht-measure` so that measured and executed work share one
+    /// schedule (including the fused tile-major order — what is measured
+    /// is exactly what [`CompiledPlan::apply`] runs).
+    ///
+    /// Hook mapping: one [`ExecHooks::enter_split`] for the whole schedule
+    /// (`t` = super-pass count), one [`ExecHooks::super_pass`] per
+    /// super-pass (carrying the whole [`SuperPass`] — geometry, backend,
+    /// relayout, and per-stage provenance), one [`ExecHooks::child_loops`]
+    /// per part per tile, one [`ExecHooks::leaf_call`] per codelet
+    /// invocation, in execution order. A relayout super-pass additionally
+    /// brackets each gathered block with [`ExecHooks::relayout_gather`] /
+    /// [`ExecHooks::relayout_scatter`], and its leaf calls are reported at
+    /// **scratch** addresses — a conceptual scratch region starting just
+    /// past the vector (at `size()` rounded up to a cache line), exactly
+    /// as a freshly allocated buffer would sit, so trace consumers charge
+    /// the relayout's real memory behaviour: the strided copies sweep the
+    /// vector, the transform itself runs in the resident scratch.
+    pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
+        let scratch_base = self.size().next_multiple_of(64);
+        hooks.enter_split(self.n, self.schedule.len());
+        for sp in &self.schedule {
+            hooks.super_pass(sp);
+            for j in 0..sp.tiles {
+                if let Some(rl) = sp.relayout {
+                    hooks.relayout_gather(j * rl.cols, rl, scratch_base);
+                    for p in 0..sp.parts.len() {
+                        let pass = sp.parts[p];
+                        hooks.child_loops(pass.k, pass.r, pass.s);
+                        for q in 0..pass.invocations() {
+                            hooks.leaf_call(
+                                pass.k,
+                                scratch_base + pass.invocation_base(q),
+                                pass.codelet_stride(),
+                            );
+                        }
+                    }
+                    hooks.relayout_scatter(j * rl.cols, rl, scratch_base);
+                } else {
+                    for p in 0..sp.parts.len() {
+                        let pass = sp.tile_pass(p, j);
+                        hooks.child_loops(pass.k, pass.r, pass.s);
+                        for q in 0..pass.invocations() {
+                            hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-check the schedule invariants: every super-pass is a top-level
+    /// `tiles × tile` blocking of the full index space, and every part
+    /// tiles its tile exactly once without escaping it. Holds by
+    /// construction for every lowering stage's output (and is re-asserted
+    /// after each stage in debug builds — see [`CompiledPlan::lower`]);
+    /// for hand-built schedules ([`CompiledPlan::from_super_passes`])
+    /// this is the validity gate, and it never panics — malformed
+    /// schedules come back as typed errors.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidSchedule`] naming the offending super-pass, or
+    /// [`WhtError::LeafSizeOutOfRange`] for an out-of-range codelet.
+    pub fn validate(&self) -> Result<(), WhtError> {
+        let size = self.size();
+        let invalid = |index: usize, msg: String| Err(WhtError::InvalidSchedule { index, msg });
+        for (index, sp) in self.schedule.iter().enumerate() {
+            if sp.parts.is_empty() {
+                return invalid(index, "super-pass has no parts".into());
+            }
+            if sp.tile == 0 || sp.tiles == 0 {
+                return invalid(index, "super-pass has an empty tile grid".into());
+            }
+            if sp.base != 0 || sp.stride != 1 {
+                return invalid(
+                    index,
+                    format!(
+                        "top-level super-pass must have base 0 and stride 1, got base {} stride {}",
+                        sp.base, sp.stride
+                    ),
+                );
+            }
+            if let Some(rl) = sp.relayout {
+                // Relayout geometry: the tile grid must be exactly the
+                // rows × row_stride matrix view's column partition.
+                if rl.rows == 0 || rl.cols == 0 || rl.row_stride == 0 {
+                    return invalid(index, "relayout with an empty geometry".into());
+                }
+                if rl.cols > rl.row_stride || rl.row_stride % rl.cols != 0 {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout columns {} do not partition the row length {}",
+                            rl.cols, rl.row_stride
+                        ),
+                    );
+                }
+                if rl.rows.checked_mul(rl.cols) != Some(sp.tile)
+                    || rl.row_stride / rl.cols != sp.tiles
+                {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout geometry {}x{} cols {} disagrees with the \
+                             {} tiles x {} elements grid",
+                            rl.rows, rl.row_stride, rl.cols, sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                if rl.rows.checked_mul(rl.row_stride) != Some(size) {
+                    return invalid(
+                        index,
+                        format!(
+                            "relayout matrix view {}x{} does not cover the \
+                             {size}-element vector",
+                            rl.rows, rl.row_stride
+                        ),
+                    );
+                }
+            }
+            match sp.tiles.checked_mul(sp.tile) {
+                Some(span) if span == size => {}
+                Some(span) if span > size => {
+                    return invalid(
+                        index,
+                        format!(
+                            "{} tiles of {} elements span {span}, exceeding the vector length {size}",
+                            sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                Some(span) => {
+                    return invalid(
+                        index,
+                        format!(
+                            "{} tiles of {} elements cover only {span} of {size} elements",
+                            sp.tiles, sp.tile
+                        ),
+                    );
+                }
+                None => return invalid(index, "tile grid size overflows".into()),
+            }
+            for (p, part) in sp.parts.iter().enumerate() {
+                if !(1..=crate::plan::MAX_LEAF_K).contains(&part.k) {
+                    return Err(WhtError::LeafSizeOutOfRange { k: part.k });
+                }
+                if part.r == 0 || part.s == 0 {
+                    return invalid(index, format!("part {p} has an empty invocation grid"));
+                }
+                let Some(pspan) = part.checked_span() else {
+                    return invalid(index, format!("part {p} span overflows"));
+                };
+                // Farthest tile-relative element the part touches.
+                let reach = (pspan - 1)
+                    .checked_mul(part.stride)
+                    .and_then(|v| v.checked_add(part.base))
+                    .unwrap_or(usize::MAX);
+                if reach >= sp.tile {
+                    return invalid(
+                        index,
+                        format!(
+                            "part {p} escapes its tile: reaches element {reach} of a \
+                             {}-element tile (overlapping tiles)",
+                            sp.tile
+                        ),
+                    );
+                }
+                if part.base != 0 || part.stride != 1 || pspan != sp.tile {
+                    return invalid(
+                        index,
+                        format!(
+                            "part {p} does not tile its tile exactly once \
+                             (base {}, stride {}, span {pspan} vs tile {})",
+                            part.base, part.stride, sp.tile
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Emit the factor schedule of `plan` given `s` = product of the sizes of
+/// the factors already emitted (everything applied before this subtree).
+fn emit(plan: &Plan, total: usize, s: &mut usize, passes: &mut Vec<Pass>) {
+    match plan {
+        Plan::Leaf { k } => {
+            let size = 1usize << *k;
+            passes.push(Pass {
+                k: *k,
+                r: total / (size * *s),
+                s: *s,
+                base: 0,
+                stride: 1,
+            });
+            *s *= size;
+        }
+        Plan::Split { children, .. } => {
+            // Same right-to-left factor order as the interpreter.
+            for child in children.iter().rev() {
+                emit(child, total, s, passes);
+            }
+        }
+    }
+}
+
+const CACHE_CAP: usize = 64;
+
+/// Per-plan cache entries keyed by the full executor configuration
+/// ([`ExecPolicy::cache_key`] — one key covering every lowering stage).
+type ConfigCache = HashMap<ExecKey, Rc<CompiledPlan>>;
+
+thread_local! {
+    /// Per-thread schedule cache backing [`compiled_for`]: plans are
+    /// immutable and hashable, so `(plan, ExecPolicy)` is the key
+    /// (nested so the hot lookup borrows the plan instead of cloning it).
+    static PLAN_CACHE: RefCell<HashMap<Plan, ConfigCache>> = RefCell::new(HashMap::new());
+}
+
+/// The process-wide default executor configuration, read from the
+/// environment exactly once (see [`ExecPolicy::from_env`] and the knob
+/// table in [`crate::env`]).
+fn env_exec_policy() -> &'static ExecPolicy {
+    static POLICY: OnceLock<ExecPolicy> = OnceLock::new();
+    POLICY.get_or_init(ExecPolicy::from_env)
+}
+
+/// The lazily-lowered schedule for `plan` under the process-default
+/// [`ExecPolicy`] (fusion **on** unless `WHT_NO_FUSE=1`, tail relayout
+/// **on** past its size threshold unless `WHT_NO_RELAYOUT=1`, relayouted
+/// tails re-codeleted unless `WHT_NO_RECODELET=1`, lane kernels **on**
+/// unless `WHT_NO_SIMD=1`): compiled on first use on this thread, then
+/// served from a bounded per-thread cache. This is what lets
+/// [`crate::apply_plan`] keep its signature while paying the tree walk
+/// once per plan instead of once per call.
+pub fn compiled_for(plan: &Plan) -> Rc<CompiledPlan> {
+    compiled_for_exec(plan, env_exec_policy())
+}
+
+/// [`compiled_for`] with an explicit executor configuration — the API
+/// pin: the given [`ExecPolicy`] wins over whatever the environment
+/// says, stage by stage (`ExecPolicy::all_disabled()` replays the pure
+/// scalar unfused baseline). Schedules are cached per
+/// `(plan, ExecPolicy)`, so mixed-policy traffic never cross-talks.
+pub fn compiled_for_exec(plan: &Plan, policy: &ExecPolicy) -> Rc<CompiledPlan> {
+    let key = policy.cache_key();
+    PLAN_CACHE.with(|cache| {
+        let mut map = cache.borrow_mut();
+        if let Some(hit) = map.get(plan).and_then(|by_key| by_key.get(&key)) {
+            return Rc::clone(hit);
+        }
+        let compiled = Rc::new(CompiledPlan::compile_exec(plan, policy));
+        // The bound counts (plan, config) schedules, not just plans — a
+        // budget sweep over one plan must still trigger eviction.
+        if map.values().map(HashMap::len).sum::<usize>() >= CACHE_CAP {
+            // Simplest bounded policy: drop everything, refill from live
+            // traffic. CACHE_CAP schedules is far beyond any working set
+            // here.
+            map.clear();
+        }
+        map.entry(plan.clone())
+            .or_default()
+            .insert(key, Rc::clone(&compiled));
+        compiled
+    })
+}
+
+/// [`compiled_for`] with the three pre-pipeline executor knobs — the
+/// legacy API pin kept for callers that predate [`ExecPolicy`]
+/// (equivalent to [`compiled_for_exec`] with the re-codeleting
+/// stage disabled, matching the schedules this entry point always
+/// produced). Prefer [`compiled_for_exec`].
+pub fn compiled_for_with(
+    plan: &Plan,
+    policy: &FusionPolicy,
+    relayout: &RelayoutPolicy,
+    simd: &SimdPolicy,
+) -> Rc<CompiledPlan> {
+    compiled_for_exec(
+        plan,
+        &ExecPolicy {
+            fusion: *policy,
+            relayout: *relayout,
+            recodelet: RecodeletPolicy::disabled(),
+            simd: *simd,
+        },
+    )
+}

@@ -1,0 +1,524 @@
+//! Executor configuration: the per-stage policies of the lowering
+//! pipeline and the [`ExecPolicy`] that carries all of them.
+//!
+//! Each lowering stage (see [`crate::compile::LoweringStage`]) is gated by
+//! one policy struct; [`ExecPolicy`] bundles the four so the whole
+//! executor configuration travels as **one value** — one environment
+//! snapshot, one schedule-cache key, one wisdom record, one resolution.
+//!
+//! ## Resolution precedence
+//!
+//! Wherever a policy can come from more than one place, the order is
+//! **API pin > wisdom > environment > default**, with one refinement: a
+//! *disabled* environment/default policy is a kill switch that recorded
+//! wisdom cannot re-enable (`WHT_NO_FUSE=1` must win over a wisdom entry
+//! recorded with fusion on). [`resolve_knob`] implements that rule once
+//! for every knob; `wht_search::Planner` is its production caller.
+
+use crate::codelets::SimdPolicy;
+use crate::env;
+use crate::plan::MAX_LEAF_K;
+
+/// Tile-budget policy for [`CompiledPlan::fuse`](crate::compile::CompiledPlan::fuse):
+/// how many *elements* a fused tile may span (see the module docs' "how
+/// fusion decides").
+///
+/// The budget is in elements, not bytes, because schedules are
+/// scalar-type-agnostic; size it to `cache_bytes / size_of::<T>()` for the
+/// cache level the tiles should live in. The default targets a 1 MiB
+/// L2-ish working set for `f64` data — big tiles shorten the unfusable
+/// large-stride tail, which is where the remaining memory sweeps live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Maximum tile span in elements; runs fuse only while their combined
+    /// block size stays `<=` this. `0` and `1` disable fusion,
+    /// `usize::MAX` fuses without bound (one super-pass per schedule).
+    pub budget_elems: usize,
+}
+
+impl FusionPolicy {
+    /// Default tile budget: `2^17` elements (1 MiB of `f64`s) — resident
+    /// in any megabyte-class L2, and large enough to fuse ~17 radix-2
+    /// factors so only a handful of large-stride tail passes still sweep
+    /// the vector. Measured on a 2 MiB-L2 host, this beat smaller
+    /// (L1-sized) budgets at every out-of-LLC size.
+    pub const DEFAULT_BUDGET_ELEMS: usize = 1 << 17;
+
+    /// Policy with an explicit element budget.
+    pub fn new(budget_elems: usize) -> Self {
+        FusionPolicy { budget_elems }
+    }
+
+    /// Fusion off: [`CompiledPlan::fuse`](crate::compile::CompiledPlan::fuse)
+    /// reproduces the unfused schedule.
+    pub fn disabled() -> Self {
+        FusionPolicy { budget_elems: 0 }
+    }
+
+    /// No budget: every contiguous run fuses (whole schedules collapse to
+    /// one super-pass with a single vector-sized tile).
+    pub fn unbounded() -> Self {
+        FusionPolicy {
+            budget_elems: usize::MAX,
+        }
+    }
+
+    /// Policy from the process environment: `WHT_NO_FUSE=1` disables
+    /// fusion, `WHT_FUSE_BUDGET=<elems>` overrides the tile budget, and
+    /// the default applies otherwise. Read fresh on every call; the
+    /// production entry point ([`crate::compile::compiled_for`]) snapshots
+    /// [`ExecPolicy::from_env`] once per process.
+    ///
+    /// # Panics
+    /// If `WHT_FUSE_BUDGET` is set but malformed (the uniform
+    /// [`crate::env`] contract).
+    pub fn from_env() -> Self {
+        if env::flag("WHT_NO_FUSE") {
+            return FusionPolicy::disabled();
+        }
+        env::parse("WHT_FUSE_BUDGET")
+            .map(FusionPolicy::new)
+            .unwrap_or_default()
+    }
+
+    /// `true` if this policy can fuse anything at all (a tile of two
+    /// elements is the smallest possible fusion product).
+    pub fn enabled(&self) -> bool {
+        self.budget_elems >= 2
+    }
+
+    /// Canonical cache key for this policy (all disabled budgets are the
+    /// same policy).
+    pub(crate) fn cache_key(&self) -> usize {
+        if self.enabled() {
+            self.budget_elems
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            budget_elems: Self::DEFAULT_BUDGET_ELEMS,
+        }
+    }
+}
+
+/// Policy for [`CompiledPlan::relayout`](crate::compile::CompiledPlan::relayout):
+/// when the large-stride tail of a fused schedule is rewritten into
+/// gather → unit-stride super-passes → scatter (see the module docs).
+///
+/// Mirrors [`FusionPolicy`]: the production executor reads it from the
+/// environment once per process (`WHT_NO_RELAYOUT=1` disables,
+/// `WHT_RELAYOUT_THRESHOLD=<elems>` overrides `min_elems`), explicit
+/// policies pin the choice through the API, and the per-thread schedule
+/// cache keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayoutPolicy {
+    /// Maximum elements of one gathered block — the scratch working set a
+    /// relayouted tail streams through while cache-resident. `0` and `1`
+    /// disable relayout.
+    pub budget_elems: usize,
+    /// Vector size (elements) below which relayout never engages. The
+    /// two transpose sweeps only pay for themselves once the tail passes
+    /// actually miss the last-level cache; below that every sweep is a
+    /// cache hit and the copies are pure overhead.
+    pub min_elems: usize,
+    /// Minimum number of trailing passes to gather: relayout replaces
+    /// `tail` full read+write sweeps with the gather's read sweep plus
+    /// the scatter's write sweep, so short tails are not worth the
+    /// scratch churn (see [`RelayoutPolicy::DEFAULT_MIN_PASSES`]).
+    pub min_passes: usize,
+}
+
+impl RelayoutPolicy {
+    /// Default gathered-block budget: the fusion layer's tile budget
+    /// (`2^17` elements = 1 MiB of `f64`s), so the relayouted tail streams
+    /// through the same cache level the fused head's tiles live in.
+    pub const DEFAULT_BUDGET_ELEMS: usize = FusionPolicy::DEFAULT_BUDGET_ELEMS;
+
+    /// Default engagement threshold: `2^24` elements (128 MiB of `f64`s)
+    /// — decisively past the ~100 MiB LLC of the reference host, where
+    /// tail sweeps actually pay DRAM. Measured there, relayout wins
+    /// 1.1–1.3× at `n >= 24` and is neutral-to-negative below (the
+    /// copies are pure overhead while the tail still hits cache), so the
+    /// default engages exactly where the win is. Hosts with smaller LLCs
+    /// tune it down via `WHT_RELAYOUT_THRESHOLD`; wisdom entries tune it
+    /// per size.
+    pub const DEFAULT_MIN_ELEMS: usize = 1 << 24;
+
+    /// Default minimum tail length: gather + scatter cost about two full
+    /// sweeps, so a 2-pass tail is break-even on traffic and a strict
+    /// loss once copy overhead counts (measured: gathering the 2-pass
+    /// tail of the blocked-radix-8 shape at n = 26 ran 2.8× *slower*).
+    /// Three or more saved sweeps is where relayout wins — the same
+    /// threshold `FusedTrafficCost` models with its 2-sweep charge.
+    pub const DEFAULT_MIN_PASSES: usize = 3;
+
+    /// Policy with an explicit gathered-block budget and the default
+    /// engagement thresholds.
+    pub fn new(budget_elems: usize) -> Self {
+        RelayoutPolicy {
+            budget_elems,
+            ..RelayoutPolicy::default()
+        }
+    }
+
+    /// Relayout off: [`CompiledPlan::relayout`](crate::compile::CompiledPlan::relayout)
+    /// returns the schedule unchanged.
+    pub fn disabled() -> Self {
+        RelayoutPolicy {
+            budget_elems: 0,
+            min_elems: 0,
+            min_passes: 0,
+        }
+    }
+
+    /// Policy that engages at *every* size (no `min_elems` floor) — what
+    /// differential tests use so small transforms exercise the relayout
+    /// path, and what a wisdom entry recorded as "relayout on for this
+    /// size" replays in `wht-search`.
+    pub fn eager(budget_elems: usize) -> Self {
+        RelayoutPolicy {
+            budget_elems,
+            min_elems: 0,
+            min_passes: Self::DEFAULT_MIN_PASSES,
+        }
+    }
+
+    /// Policy from the process environment: `WHT_NO_RELAYOUT=1` disables
+    /// relayout, `WHT_RELAYOUT_THRESHOLD=<elems>` overrides the
+    /// engagement size floor, and the default applies otherwise. Read
+    /// fresh on every call; the production entry point snapshots
+    /// [`ExecPolicy::from_env`] once per process.
+    ///
+    /// # Panics
+    /// If `WHT_RELAYOUT_THRESHOLD` is set but malformed (the uniform
+    /// [`crate::env`] contract).
+    pub fn from_env() -> Self {
+        if env::flag("WHT_NO_RELAYOUT") {
+            return RelayoutPolicy::disabled();
+        }
+        let mut policy = RelayoutPolicy::default();
+        if let Some(min_elems) = env::parse("WHT_RELAYOUT_THRESHOLD") {
+            policy.min_elems = min_elems;
+        }
+        policy
+    }
+
+    /// `true` if this policy can relayout anything at all (a gathered
+    /// block of two rows is the smallest possible tail).
+    pub fn enabled(&self) -> bool {
+        self.budget_elems >= 2
+    }
+
+    /// Canonical cache key for this policy (all disabled policies are the
+    /// same policy).
+    pub(crate) fn cache_key(&self) -> (usize, usize, usize) {
+        if self.enabled() {
+            (self.budget_elems, self.min_elems, self.min_passes)
+        } else {
+            (0, 0, 0)
+        }
+    }
+}
+
+impl Default for RelayoutPolicy {
+    fn default() -> Self {
+        RelayoutPolicy {
+            budget_elems: Self::DEFAULT_BUDGET_ELEMS,
+            min_elems: Self::DEFAULT_MIN_ELEMS,
+            min_passes: Self::DEFAULT_MIN_PASSES,
+        }
+    }
+}
+
+/// Policy for [`CompiledPlan::recodelet`](crate::compile::CompiledPlan::recodelet):
+/// how aggressively the chained factors *within* a scheduling unit — a
+/// fused tile's parts, or a relayouted tail's scratch passes — are
+/// regrouped into larger unrolled codelets (see the module docs'
+/// "re-codeleting the lowered schedule").
+///
+/// A unit's working set is cache-resident by construction (that is what
+/// fusion and relayout bought), so its per-factor passes are
+/// load/store-μop-bound, not memory-bound; merging `m` chained factors
+/// into one `small[k1+…+km]` codelet cuts the unit's load/store passes
+/// `m`-fold while performing the exact same butterflies (the merge is the
+/// Kronecker identity `WHT(2^a) ⊗ WHT(2^b) = WHT(2^{a+b})` the codelets
+/// already unroll — output is bit-identical).
+///
+/// Two knobs bound the merge, both measured on the reference host:
+/// `max_k` caps the merged exponent (a `small[8]` at unit stride spills
+/// registers and ran *slower* than two `small[4]`s), and
+/// `footprint_elems` caps a merged codelet call's strided span — a
+/// `small[128]` whose 128 rows sit 8 KiB apart lands every row in one L1
+/// set and a fresh TLB page, and measured 10% *slower* than the
+/// per-factor passes it replaced. Merges up to [`SMALL_MERGE_ROWS`] rows
+/// are always allowed whatever the span: size-8 codelets at huge strides
+/// are the well-measured `blocked8` shape (1.45× over radix-2 at equal
+/// flops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecodeletPolicy {
+    /// Largest merged codelet exponent: chained factors merge while
+    /// their combined exponent stays `<=` this (capped at
+    /// [`MAX_LEAF_K`], the biggest unrolled codelet). `0` and `1`
+    /// disable the stage — a single factor cannot merge with nothing.
+    pub max_k: u32,
+    /// Largest strided span (elements) one merged codelet call may touch:
+    /// factors merge only while `2^k · s` stays `<=` this (or the merged
+    /// codelet stays within [`SMALL_MERGE_ROWS`] rows). Keeps every call
+    /// L1- and TLB-friendly whatever the unit's internal strides.
+    pub footprint_elems: usize,
+}
+
+/// Merged codelets of at most this many rows (`small[3]`, size 8) are
+/// exempt from the [`RecodeletPolicy::footprint_elems`] cap: eight rows
+/// fit any L1 set's associativity at any stride — the `blocked8` plan
+/// shape, measured fast across the whole size range.
+pub const SMALL_MERGE_ROWS: usize = 8;
+
+impl RecodeletPolicy {
+    /// Default merged-codelet cap: `small[4]` (16 elements). Measured on
+    /// the reference host across n = 16–24, `max_k = 4` beat both smaller
+    /// caps (more remaining passes) and larger ones (register spills in
+    /// the unit-stride head group; footprint violations elsewhere):
+    /// lowering the canonical plans' radix-2 schedules to
+    /// `[4,4,4,3,2]`-shaped tiles ran 1.9–3.4× faster than per-factor
+    /// replay, while `small[8]` merges gave back a third of that.
+    pub const DEFAULT_MAX_K: u32 = 4;
+
+    /// Default per-call footprint cap: `4096` elements (32 KiB of `f64`s
+    /// — inside a 48 KiB L1, spanning at most eight 4 KiB pages).
+    /// Measured best among 2 KiB–64 KiB on the reference host.
+    pub const DEFAULT_FOOTPRINT_ELEMS: usize = 4096;
+
+    /// Policy with an explicit merged-codelet cap (clamped to
+    /// [`MAX_LEAF_K`] — the unrolled family ends there) and the default
+    /// footprint.
+    pub fn new(max_k: u32) -> Self {
+        RecodeletPolicy {
+            max_k: max_k.min(MAX_LEAF_K),
+            ..RecodeletPolicy::default()
+        }
+    }
+
+    /// Re-codeleting off: every unit keeps one pass per factor.
+    pub fn disabled() -> Self {
+        RecodeletPolicy {
+            max_k: 0,
+            footprint_elems: 0,
+        }
+    }
+
+    /// Policy from the process environment: `WHT_NO_RECODELET=1`
+    /// disables the stage, `WHT_RECODELET_MAX_K=<k>` overrides the
+    /// merged-codelet cap, `WHT_RECODELET_FOOTPRINT=<elems>` the per-call
+    /// footprint cap, and the defaults apply otherwise.
+    ///
+    /// # Panics
+    /// If `WHT_RECODELET_MAX_K` is set but malformed or exceeds
+    /// [`MAX_LEAF_K`] (the uniform [`crate::env`] contract: a knob that
+    /// cannot mean what it says must crash, not silently clamp), or
+    /// `WHT_RECODELET_FOOTPRINT` is malformed.
+    pub fn from_env() -> Self {
+        if env::flag("WHT_NO_RECODELET") {
+            return RecodeletPolicy::disabled();
+        }
+        let mut policy = RecodeletPolicy::default();
+        if let Some(k) = env::parse("WHT_RECODELET_MAX_K") {
+            policy.max_k = u32::try_from(k).ok().filter(|&k| k <= MAX_LEAF_K).unwrap_or_else(|| {
+                panic!("WHT_RECODELET_MAX_K must be a codelet exponent in 0..={MAX_LEAF_K}, got {k}")
+            });
+        }
+        if let Some(footprint) = env::parse("WHT_RECODELET_FOOTPRINT") {
+            policy.footprint_elems = footprint;
+        }
+        policy
+    }
+
+    /// `true` if this policy can merge anything at all (the smallest
+    /// merge is two `small[1]` factors into a `small[2]`).
+    pub fn enabled(&self) -> bool {
+        self.max_k >= 2
+    }
+
+    /// Canonical cache key for this policy (all disabled policies are the
+    /// same policy).
+    pub(crate) fn cache_key(&self) -> (u32, usize) {
+        if self.enabled() {
+            (self.max_k, self.footprint_elems)
+        } else {
+            (0, 0)
+        }
+    }
+}
+
+impl Default for RecodeletPolicy {
+    fn default() -> Self {
+        RecodeletPolicy {
+            max_k: Self::DEFAULT_MAX_K,
+            footprint_elems: Self::DEFAULT_FOOTPRINT_ELEMS,
+        }
+    }
+}
+
+/// The full executor configuration, as **one value**: every stage of the
+/// lowering pipeline (fuse → relayout → re-codelet → backend-select) reads
+/// its policy from here, the per-thread schedule cache keys on
+/// [`ExecPolicy::cache_key`], and `wht_search` records/replays it per
+/// wisdom entry.
+///
+/// ## Where a policy comes from (precedence)
+///
+/// 1. **API pin** — an explicit policy passed through the API
+///    (`Planner::with_exec`/`with_fusion`/…,
+///    [`compiled_for_exec`](crate::compile::compiled_for_exec)) always
+///    wins.
+/// 2. **Wisdom** — a tuning recorded with a wisdom entry replays the
+///    recorder's configuration per size…
+/// 3. **Environment** — …unless the process environment *disables* the
+///    stage (`WHT_NO_*` kill switches, which wisdom must never
+///    re-enable), or no tuning was recorded, in which case the
+///    environment snapshot applies ([`ExecPolicy::from_env`]).
+/// 4. **Default** — with no environment override, the documented
+///    per-stage defaults.
+///
+/// [`resolve_knob`] is that rule as code; every knob resolves through it
+/// exactly once per compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Cache-blocked prefix fusion (stage 1).
+    pub fusion: FusionPolicy,
+    /// DDL tail relayout (stage 2).
+    pub relayout: RelayoutPolicy,
+    /// Re-codeleting of chained factors within units (stage 3).
+    pub recodelet: RecodeletPolicy,
+    /// Kernel backend selection (stage 4).
+    pub simd: SimdPolicy,
+}
+
+/// One cache key covering every knob of an [`ExecPolicy`] (see
+/// [`ExecPolicy::cache_key`]).
+pub type ExecKey = (usize, (usize, usize, usize), (u32, usize), bool);
+
+impl ExecPolicy {
+    /// The whole executor configuration from the process environment —
+    /// one read for every `WHT_*` knob (see [`crate::env`] for the
+    /// table). The production entry point
+    /// ([`crate::compile::compiled_for`]) snapshots this once per
+    /// process.
+    pub fn from_env() -> Self {
+        ExecPolicy {
+            fusion: FusionPolicy::from_env(),
+            relayout: RelayoutPolicy::from_env(),
+            recodelet: RecodeletPolicy::from_env(),
+            simd: SimdPolicy::from_env(),
+        }
+    }
+
+    /// Every stage off: the pure-scalar, unfused, in-place baseline
+    /// executor (what the combined `WHT_NO_*` kill switches produce).
+    pub fn all_disabled() -> Self {
+        ExecPolicy {
+            fusion: FusionPolicy::disabled(),
+            relayout: RelayoutPolicy::disabled(),
+            recodelet: RecodeletPolicy::disabled(),
+            simd: SimdPolicy::disabled(),
+        }
+    }
+
+    /// This policy with the fusion stage replaced (builder style).
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// This policy with the relayout stage replaced (builder style).
+    #[must_use]
+    pub fn with_relayout(mut self, relayout: RelayoutPolicy) -> Self {
+        self.relayout = relayout;
+        self
+    }
+
+    /// This policy with the re-codelet stage replaced (builder
+    /// style).
+    #[must_use]
+    pub fn with_recodelet(mut self, recodelet: RecodeletPolicy) -> Self {
+        self.recodelet = recodelet;
+        self
+    }
+
+    /// This policy with the kernel backend replaced (builder style).
+    #[must_use]
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Canonical schedule-cache key: one tuple covering every knob, with
+    /// all disabled variants of a stage collapsing to the same key. This
+    /// is **the** cache key — adding a lowering stage means adding a
+    /// component here, not a new cache layer.
+    pub fn cache_key(&self) -> ExecKey {
+        (
+            self.fusion.cache_key(),
+            self.relayout.cache_key(),
+            self.recodelet.cache_key(),
+            self.simd.enabled(),
+        )
+    }
+}
+
+/// A policy that can act as one knob of the precedence rule: anything
+/// with an on/off notion ([`resolve_knob`] needs to recognize the
+/// kill-switch state).
+pub trait PolicyKnob: Copy {
+    /// `true` when the policy actually engages its stage.
+    fn enabled(&self) -> bool;
+}
+
+impl PolicyKnob for FusionPolicy {
+    fn enabled(&self) -> bool {
+        FusionPolicy::enabled(self)
+    }
+}
+
+impl PolicyKnob for RelayoutPolicy {
+    fn enabled(&self) -> bool {
+        RelayoutPolicy::enabled(self)
+    }
+}
+
+impl PolicyKnob for RecodeletPolicy {
+    fn enabled(&self) -> bool {
+        RecodeletPolicy::enabled(self)
+    }
+}
+
+impl PolicyKnob for SimdPolicy {
+    fn enabled(&self) -> bool {
+        SimdPolicy::enabled(self)
+    }
+}
+
+/// The one precedence rule for every executor knob (see
+/// [`ExecPolicy`]'s docs): an explicitly **pinned** policy wins
+/// unconditionally; an unpinned but **disabled** policy is a kill switch
+/// that recorded wisdom cannot re-enable; otherwise a **recorded** wisdom
+/// tuning wins; otherwise the policy itself (environment snapshot or
+/// default) applies.
+///
+/// `wht_search::Planner` used to hand-roll this three times (fusion,
+/// SIMD, relayout), each copy drifting slightly; every stage — current
+/// and future — now resolves through this single function, and the
+/// property tests in `wht-search` pin the precedence per knob.
+pub fn resolve_knob<P: PolicyKnob>(pinned: bool, policy: P, recorded: Option<P>) -> P {
+    if pinned || !policy.enabled() {
+        policy
+    } else {
+        recorded.unwrap_or(policy)
+    }
+}

@@ -1,0 +1,116 @@
+//! The staged lowering pipeline: the [`LoweringStage`] abstraction and
+//! the standard stage sequence [`CompiledPlan::lower`] runs.
+//!
+//! Each stage is a policy-gated, schedule-to-schedule rewrite that
+//! preserves output bits (each stage's own docs carry the argument).
+//! PRs used to bolt each new rewrite onto the executor ad hoc — policy,
+//! env mirror, cache key, and call-site plumbing re-implemented per
+//! stage; a new rewrite now implements [`LoweringStage`], claims a field
+//! in [`ExecPolicy`] (which extends the one cache key), and takes its
+//! place in [`lowering_stages`] — everything downstream (executor,
+//! parallel engine, measurement, search, wisdom) consumes the lowered
+//! schedule generically.
+
+use super::{CompiledPlan, ExecPolicy};
+
+/// One rewrite stage of the lowering pipeline: a pure
+/// schedule-to-schedule transformation gated by (a field of) the
+/// [`ExecPolicy`] it was built from.
+///
+/// Contract: `rewrite` must preserve output bits and the
+/// [`CompiledPlan::validate`] invariants (re-asserted after every stage
+/// in debug builds by [`CompiledPlan::lower`]), and must be a no-op when
+/// its policy is disabled.
+pub trait LoweringStage {
+    /// Stage name, for diagnostics and provenance reporting.
+    fn name(&self) -> &'static str;
+
+    /// Apply the rewrite to `plan`'s schedule.
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan;
+}
+
+/// Stage 1: cache-blocked prefix fusion ([`CompiledPlan::fuse`]).
+struct FuseStage(super::FusionPolicy);
+
+impl LoweringStage for FuseStage {
+    fn name(&self) -> &'static str {
+        "fuse"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.fuse(&self.0)
+    }
+}
+
+/// Stage 2: DDL tail relayout ([`CompiledPlan::relayout`]).
+struct RelayoutStage(super::RelayoutPolicy);
+
+impl LoweringStage for RelayoutStage {
+    fn name(&self) -> &'static str {
+        "relayout"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.relayout(&self.0)
+    }
+}
+
+/// Stage 3: re-codeleting chained factors within every unit ([`CompiledPlan::recodelet`]).
+struct RecodeletStage(super::RecodeletPolicy);
+
+impl LoweringStage for RecodeletStage {
+    fn name(&self) -> &'static str {
+        "recodelet"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.recodelet(&self.0)
+    }
+}
+
+/// Stage 4: kernel backend selection ([`CompiledPlan::with_simd`]).
+struct BackendStage(crate::codelets::SimdPolicy);
+
+impl LoweringStage for BackendStage {
+    fn name(&self) -> &'static str {
+        "backend-select"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.with_simd(&self.0)
+    }
+}
+
+/// The standard stage sequence for `policy`, in execution order:
+/// fuse → relayout → recodelet → backend-select. Order matters and is
+/// fixed here once: fusion must run before relayout (the tail is
+/// whatever fusion could not merge), re-codeleting before backend
+/// selection is immaterial but keeps structural rewrites together, and
+/// re-fusing later would discard the relayout grouping.
+pub fn lowering_stages(policy: &ExecPolicy) -> Vec<Box<dyn LoweringStage>> {
+    vec![
+        Box::new(FuseStage(policy.fusion)),
+        Box::new(RelayoutStage(policy.relayout)),
+        Box::new(RecodeletStage(policy.recodelet)),
+        Box::new(BackendStage(policy.simd)),
+    ]
+}
+
+impl CompiledPlan {
+    /// Lower this schedule through the full staged pipeline under
+    /// `policy` (see [`lowering_stages`]): every stage applied in order,
+    /// with the schedule invariants re-asserted after each stage in
+    /// debug builds. This is the production lowering —
+    /// [`super::compiled_for`] caches exactly `compile(plan).lower(policy)`
+    /// per `(plan, policy)`.
+    #[must_use]
+    pub fn lower(&self, policy: &ExecPolicy) -> CompiledPlan {
+        let mut lowered = self.clone();
+        for stage in lowering_stages(policy) {
+            lowered = stage.rewrite(&lowered);
+            debug_assert!(
+                lowered.validate().is_ok(),
+                "lowering stage {:?} produced an invalid schedule: {:?}",
+                stage.name(),
+                lowered.validate()
+            );
+        }
+        lowered
+    }
+}

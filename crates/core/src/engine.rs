@@ -136,26 +136,23 @@ pub trait ExecHooks {
         let _ = (n, t);
     }
 
-    /// A compiled super-pass begins: `parts` fused factors replayed over
-    /// `tiles` cache tiles of `tile_elems` elements each, through the
-    /// kernel `backend` recorded in the schedule (so measurement consumers
-    /// see exactly the program the executor runs, SIMD selection
-    /// included); `relayout` carries the gather geometry when the unit is
-    /// a relayout super-pass (its "tiles" are gathered blocks). Emitted
-    /// only by [`crate::compile::CompiledPlan::traverse`] (the recursive
+    /// A compiled scheduling unit begins: the hook receives the whole
+    /// [`crate::compile::SuperPass`] — its part/tile geometry, the kernel
+    /// backend recorded in the schedule (so measurement consumers see
+    /// exactly the program the executor runs, SIMD selection included),
+    /// the gather geometry when the unit is a relayout super-pass (its
+    /// "tiles" are gathered blocks), and the per-stage
+    /// [`crate::compile::Provenance`] saying which lowering rewrites
+    /// produced it. Passing the unit itself means a new lowering stage
+    /// never changes this signature again — consumers read the fields
+    /// they care about. Emitted only by
+    /// [`crate::compile::CompiledPlan::traverse`] (the recursive
     /// interpreter has no super-pass structure); consumers that segment
     /// measurements per super-pass (e.g. the per-super-pass traffic report
     /// in `wht-measure`) override this, everything else ignores it.
     #[inline]
-    fn super_pass(
-        &mut self,
-        parts: usize,
-        tiles: usize,
-        tile_elems: usize,
-        backend: crate::compile::PassBackend,
-        relayout: Option<crate::compile::Relayout>,
-    ) {
-        let _ = (parts, tiles, tile_elems, backend, relayout);
+    fn super_pass(&mut self, sp: &crate::compile::SuperPass) {
+        let _ = sp;
     }
 
     /// A relayout super-pass gathers one block: the strided row-segments

@@ -1,0 +1,101 @@
+//! Central registry of the `WHT_*` environment knobs.
+//!
+//! Every executor policy used to read and parse its own environment
+//! variables, each with slightly different parse behavior (one panicked on
+//! malformed input, others silently defaulted). This module is the single
+//! place process-environment configuration enters the workspace: the
+//! policy constructors ([`crate::compile::ExecPolicy::from_env`] and the
+//! per-stage `from_env`s it delegates to) call [`flag`] and [`parse`], so
+//! every knob shares one documented, tested contract:
+//!
+//! - A **kill switch** (`WHT_NO_*`) is *on* when the variable is set to any
+//!   non-empty value other than `0` — `WHT_NO_FUSE=1` disables,
+//!   `WHT_NO_FUSE=0` and `WHT_NO_FUSE=` (empty) do not.
+//! - A **value knob** must parse as a plain unsigned integer; a malformed
+//!   value **panics** with a message naming the variable. Silently falling
+//!   back to the default would run every benchmark and transform under the
+//!   wrong configuration with no signal, which is strictly worse than a
+//!   crash at startup.
+//!
+//! ## The knobs
+//!
+//! | variable | effect | default |
+//! |----------|--------|---------|
+//! | `WHT_NO_FUSE` | kill switch: replay unfused schedules | fusion on |
+//! | `WHT_FUSE_BUDGET` | fused-tile budget in elements | `2^17` |
+//! | `WHT_NO_SIMD` | kill switch: scalar codelet loops | lane kernels on |
+//! | `WHT_NO_RELAYOUT` | kill switch: large-stride tail sweeps in place | relayout on past the threshold |
+//! | `WHT_RELAYOUT_THRESHOLD` | vector size (elements) past which the tail relayouts | `2^24` |
+//! | `WHT_NO_RECODELET` | kill switch: every scheduling unit keeps one pass per factor | re-codeleting on |
+//! | `WHT_RECODELET_MAX_K` | largest merged codelet exponent (`0`/`1` disable; max [`crate::plan::MAX_LEAF_K`]) | `4` |
+//! | `WHT_RECODELET_FOOTPRINT` | largest strided span (elements) one merged codelet call may touch | `4096` |
+//!
+//! Each kill switch also has an API equivalent (`*Policy::disabled()`)
+//! that *pins* the choice per call site; the environment configures the
+//! process-wide default that [`crate::apply_plan`] snapshots once. The
+//! precedence between API pins, recorded wisdom, environment, and
+//! defaults is documented on [`crate::compile::ExecPolicy`].
+
+/// `true` when kill-switch variable `name` is set on: any non-empty value
+/// other than `0`.
+pub fn flag(name: &str) -> bool {
+    flag_value(std::env::var(name).ok().as_deref())
+}
+
+/// The pure kill-switch predicate behind [`flag`] (`None` = unset).
+/// Factored out so tests can pin the contract without mutating the
+/// process environment under a threaded test runner.
+pub fn flag_value(raw: Option<&str>) -> bool {
+    raw.is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The value of integer knob `name`, `None` when unset.
+///
+/// # Panics
+/// If the variable is set but not a plain unsigned integer (see the
+/// module docs for why malformed knobs crash instead of defaulting).
+pub fn parse(name: &str) -> Option<usize> {
+    std::env::var(name).ok().map(|v| parse_value(name, &v))
+}
+
+/// The pure strict-parse behind [`parse`]: surrounding whitespace is
+/// tolerated, anything else panics with a message naming the knob.
+pub fn parse_value(name: &str, raw: &str) -> usize {
+    raw.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {raw:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_switch_contract() {
+        assert!(!flag_value(None), "unset is off");
+        assert!(!flag_value(Some("")), "empty is off");
+        assert!(!flag_value(Some("0")), "explicit zero is off");
+        for on in ["1", "true", "yes", "2", " "] {
+            assert!(flag_value(Some(on)), "{on:?} must switch on");
+        }
+    }
+
+    #[test]
+    fn value_knobs_parse_strictly() {
+        assert_eq!(parse_value("WHT_FUSE_BUDGET", "4096"), 4096);
+        assert_eq!(parse_value("WHT_FUSE_BUDGET", " 512 "), 512);
+        assert_eq!(parse_value("WHT_RELAYOUT_THRESHOLD", "0"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "WHT_FUSE_BUDGET")]
+    fn malformed_value_panics_naming_the_knob() {
+        parse_value("WHT_FUSE_BUDGET", "32k");
+    }
+
+    #[test]
+    #[should_panic(expected = "WHT_RECODELET_MAX_K")]
+    fn every_knob_shares_the_strict_contract() {
+        parse_value("WHT_RECODELET_MAX_K", "-3");
+    }
+}

@@ -38,9 +38,10 @@
 //! |--------|----------|
 //! | [`plan`] | the [`Plan`] split tree, canonical algorithms, invariants |
 //! | [`parse`] | WHT-package plan grammar (`split[small[1],...]` strings) |
-//! | [`codelets`] | unrolled base cases `small[1]`..`small[8]`, the SIMD lane-block backend ([`SimdPolicy`], `WHT_NO_SIMD` opt-out), and the relayout gather/scatter copy kernels |
+//! | [`codelets`] | unrolled base cases `small[1]`..`small[8]`, the SIMD lane-block backend ([`SimdPolicy`]), and the relayout gather/scatter copy kernels |
 //! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan_recursive`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
-//! | [`compile`] | flattened pass schedules: [`CompiledPlan`] compilation, cache-blocked pass fusion ([`FusionPolicy`], [`SuperPass`]), DDL tail relayout ([`RelayoutPolicy`], [`Relayout`], `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD` opt-outs), per-unit kernel backend selection ([`PassBackend`]), the zero-recursion executor behind [`apply_plan`], the per-thread schedule cache |
+//! | [`compile`] | flattened pass schedules and the staged lowering pipeline: [`CompiledPlan`] compilation, the [`ExecPolicy`]-driven stage sequence fuse ([`FusionPolicy`], [`SuperPass`]) → DDL tail relayout ([`RelayoutPolicy`], [`Relayout`]) → re-codelet ([`RecodeletPolicy`]) → kernel backend selection ([`PassBackend`]), per-unit stage [`Provenance`], the zero-recursion executor behind [`apply_plan`], the per-thread `(plan, ExecPolicy)` schedule cache |
+//! | [`mod@env`] | the one place `WHT_*` environment knobs are read, with the knob table and the uniform parse contract |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
 //! | [`testkit`] | shared test scaffolding: seeded random-plan generator, `O(n·2^n)` fast reference transform, deterministic signals |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
@@ -53,6 +54,7 @@ pub mod compile;
 pub mod ddl;
 pub mod dyadic;
 pub mod engine;
+pub mod env;
 pub mod error;
 pub mod ordering;
 pub mod parse;
@@ -67,8 +69,9 @@ pub use codelets::{
     gather_rows_checked, lane_width, scatter_rows_checked, SimdPolicy,
 };
 pub use compile::{
-    compiled_for, compiled_for_with, CompiledPlan, FusionPolicy, Pass, PassBackend, Relayout,
-    RelayoutPolicy, SuperPass,
+    compiled_for, compiled_for_exec, compiled_for_with, lowering_stages, resolve_knob,
+    CompiledPlan, ExecPolicy, FusionPolicy, LoweringStage, Pass, PassBackend, PolicyKnob,
+    Provenance, RecodeletPolicy, Relayout, RelayoutPolicy, SuperPass,
 };
 pub use ddl::{apply_plan_ddl, apply_plan_ddl_with_scratch, DdlConfig};
 pub use dyadic::{dyadic_autocorrelation, dyadic_convolution, dyadic_convolution_naive};

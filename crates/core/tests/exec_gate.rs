@@ -1,0 +1,126 @@
+//! CI gate for the executor test matrix — the one harness for every
+//! lowering-stage axis (it replaces the former `fusion_gate.rs` /
+//! `simd_gate.rs` / `relayout_gate.rs` triplets).
+//!
+//! Each CI leg runs the whole suite under one combination of the `WHT_NO_*`
+//! kill switches (fused default, unfused, scalar kernels, in-place tail,
+//! and **all off** — the pure scalar unfused baseline). This test fails the
+//! leg if the production path does not match the environment — i.e. if a
+//! misconfigured matrix would silently test one executor twice and skip
+//! another. One table drives every axis: adding a lowering stage means
+//! adding a row, not a file.
+
+use wht_core::{compiled_for, env, ExecPolicy, PassBackend, Plan, RelayoutPolicy};
+
+/// The kill switches, read with the same contract the policies use.
+fn switches() -> (bool, bool, bool, bool) {
+    (
+        env::flag("WHT_NO_FUSE"),
+        env::flag("WHT_NO_SIMD"),
+        env::flag("WHT_NO_RELAYOUT"),
+        env::flag("WHT_NO_RECODELET"),
+    )
+}
+
+#[test]
+fn executor_paths_match_the_environment() {
+    let (no_fuse, no_simd, no_relayout, no_recodelet) = switches();
+    // The env-derived policy must reflect every switch — one snapshot,
+    // one assertion per axis.
+    let policy = ExecPolicy::from_env();
+    for (axis, enabled, killed) in [
+        ("fusion", policy.fusion.enabled(), no_fuse),
+        ("simd", policy.simd.enabled(), no_simd),
+        ("relayout", policy.relayout.enabled(), no_relayout),
+        ("recodelet", policy.recodelet.enabled(), no_recodelet),
+    ] {
+        assert_eq!(
+            enabled, !killed,
+            "ExecPolicy::from_env() disagrees with the {axis} kill switch"
+        );
+    }
+
+    // ...and the production schedule cache must actually be compiling the
+    // path the leg claims to test. One size covers every axis: compiling
+    // touches no data, so a 2^26-element plan is cheap, it is past the
+    // default relayout engagement floor, iterative(26) fuses under any
+    // enabled default-scale budget, and its relayouted tail re-codelets.
+    let n = 26u32;
+    assert!(
+        (1usize << n) >= RelayoutPolicy::default().min_elems,
+        "gate size must clear the default engagement threshold"
+    );
+    let compiled = compiled_for(&Plan::iterative(n).unwrap());
+    // Fusion is checked through per-stage provenance, not the structural
+    // is_fused(): a relayout unit is multi-part whatever the fuse stage
+    // did, so only the stage stamp distinguishes the unfused leg here.
+    assert_eq!(
+        compiled
+            .super_passes()
+            .iter()
+            .any(|sp| sp.provenance().fused),
+        !no_fuse,
+        "apply_plan would execute the wrong fusion path for this CI leg"
+    );
+    assert_eq!(
+        compiled.is_simd(),
+        !no_simd,
+        "apply_plan would execute the wrong kernel backend for this CI leg"
+    );
+    let backend = if no_simd {
+        PassBackend::Scalar
+    } else {
+        PassBackend::Lanes
+    };
+    assert!(
+        compiled
+            .super_passes()
+            .iter()
+            .all(|sp| sp.backend() == backend),
+        "schedule records a mixed or wrong backend for this CI leg"
+    );
+    assert_eq!(
+        compiled.has_relayout(),
+        !no_relayout,
+        "apply_plan would execute the wrong tail for this CI leg"
+    );
+    // The re-codelet stage merges within multi-factor units, so it has
+    // something to rewrite whenever fusion or relayout produced one (the
+    // all-off baseline has only single-factor sweeps).
+    assert_eq!(
+        compiled.has_recodeleted(),
+        !no_recodelet && (!no_fuse || !no_relayout),
+        "apply_plan would execute the wrong codelet grouping for this CI leg"
+    );
+
+    if !no_relayout {
+        let tail = compiled
+            .super_passes()
+            .iter()
+            .find(|sp| sp.is_relayout())
+            .expect("checked above");
+        let rl = tail.relayout().unwrap();
+        assert_eq!(rl.rows * rl.row_stride, compiled.size());
+        assert!(tail.tile_elems() <= RelayoutPolicy::default().budget_elems);
+        if !no_recodelet {
+            assert!(
+                tail.provenance().recodeleted > 0,
+                "the re-codeleted tail must say which stage rewrote it"
+            );
+        }
+    }
+
+    // The all-off leg pins the pure scalar unfused in-place baseline:
+    // every unit is a trivial single-factor, single-tile, scalar-backend
+    // super-pass — nothing the pipeline could have rewritten survives.
+    if no_fuse && no_simd && no_relayout {
+        assert!(compiled.super_passes().iter().all(|sp| {
+            sp.parts().len() == 1
+                && sp.tiles() == 1
+                && sp.backend() == PassBackend::Scalar
+                && !sp.is_relayout()
+                && sp.provenance() == wht_core::Provenance::default()
+        }));
+        assert_eq!(compiled.super_passes().len(), compiled.passes().len());
+    }
+}

@@ -8,7 +8,9 @@
 //! touching data.
 
 use wht_cachesim::{CacheConfig, CacheStats, ConfigError, Hierarchy};
-use wht_core::{traverse, CompiledPlan, ExecHooks, PassBackend, Plan, Relayout};
+use wht_core::{
+    traverse, CompiledPlan, ExecHooks, PassBackend, Plan, Provenance, Relayout, SuperPass,
+};
 
 /// [`ExecHooks`] implementation that feeds every element access of the
 /// computation through a [`Hierarchy`].
@@ -149,6 +151,12 @@ pub struct SuperPassTraffic {
     /// top of the per-factor 1R/1W contract — so the cost of the
     /// transposes is measured, not just their benefit.
     pub relayout: Option<Relayout>,
+    /// Which lowering stages produced this unit (per-stage provenance,
+    /// straight off the schedule): e.g. `provenance.recodeleted > 0` says
+    /// the re-codelet stage merged that many factors here, which
+    /// is why the row has fewer, larger leaf calls than the factor list
+    /// of the plan would suggest.
+    pub provenance: Provenance,
     /// Element accesses issued by this super-pass (loads + stores).
     pub accesses: u64,
     /// L1 misses charged to this super-pass.
@@ -176,22 +184,16 @@ impl SuperPassTracer {
 
 impl ExecHooks for SuperPassTracer {
     #[inline]
-    fn super_pass(
-        &mut self,
-        parts: usize,
-        tiles: usize,
-        tile_elems: usize,
-        backend: PassBackend,
-        relayout: Option<Relayout>,
-    ) {
+    fn super_pass(&mut self, sp: &SuperPass) {
         self.close();
         let l1 = self.hierarchy.stats(0);
         self.open = Some(SuperPassTraffic {
-            parts,
-            tiles,
-            tile_elems,
-            backend,
-            relayout,
+            parts: sp.parts().len(),
+            tiles: sp.tiles(),
+            tile_elems: sp.tile_elems(),
+            backend: sp.backend(),
+            relayout: sp.relayout(),
+            provenance: sp.provenance(),
             accesses: l1.accesses,
             l1_misses: l1.misses,
         });
@@ -505,6 +507,44 @@ mod tests {
             .map(|r| r.l1_misses)
             .sum();
         assert_eq!(stats[0].misses, segmented);
+    }
+
+    #[test]
+    fn recodeleted_accounting_reports_provenance_and_saved_passes() {
+        use wht_core::{CompiledPlan, FusionPolicy, RecodeletPolicy, RelayoutPolicy};
+        // Same geometry as the relayout accounting test; re-codeleting
+        // merges the 6 chained scratch factors into [4, 2] and the
+        // 10-part fused head into [4, 4, 2], so the 1R/1W-per-pass
+        // contract now charges each unit 2 accesses per element per
+        // *merged* pass — the measured counterpart of the stage's saved
+        // load/store passes.
+        let n = 16u32;
+        let plan = Plan::iterative(n).unwrap();
+        let relaid = CompiledPlan::compile_fused(&plan, &FusionPolicy::new(1 << 10))
+            .relayout(&RelayoutPolicy::eager(1 << 12));
+        let merged = relaid.recodelet(&RecodeletPolicy::default());
+        assert!(merged.has_recodeleted());
+        let size = 1u64 << n;
+        let mut h = Hierarchy::opteron();
+        let report = super_pass_traffic(&merged, &mut h);
+        assert_eq!(report.len(), 2);
+        // Per-stage provenance travels into the traffic report.
+        let head = &report[0];
+        assert!(head.provenance.fused && !head.provenance.relayouted);
+        assert_eq!(head.provenance.recodeleted, 7, "10 factors -> [4, 4, 2]");
+        assert_eq!(head.parts, 3);
+        assert_eq!(head.accesses, 2 * size * 3);
+        let tail = report.last().unwrap();
+        assert!(tail.provenance.relayouted);
+        assert_eq!(tail.provenance.recodeleted, 4, "6 factors -> [4, 2]");
+        assert_eq!(tail.parts, 2);
+        assert_eq!(tail.accesses, 2 * size * 2 + 4 * size);
+        // The merged schedule accesses strictly less than the per-factor
+        // one (2·6 + 4 tail sweeps before, 2·2 + 4 after).
+        let mut h = Hierarchy::opteron();
+        let per_factor_tail = super_pass_traffic(&relaid, &mut h).last().unwrap().accesses;
+        assert_eq!(per_factor_tail, 2 * size * 6 + 4 * size);
+        assert!(tail.accesses < per_factor_tail);
     }
 
     #[test]

@@ -467,6 +467,54 @@ mod tests {
     }
 
     #[test]
+    fn recodeleted_parallel_matches_sequential_bit_for_bit_in_both_sharding_regimes() {
+        use wht_core::{ExecPolicy, FusionPolicy, RecodeletPolicy, RelayoutPolicy, SimdPolicy};
+        // Same geometry as the relayout test (32 gathered blocks vs 4),
+        // but lowered through the full pipeline so the gathered blocks
+        // replay merged codelets: the parallel engine shards whatever
+        // units the lowered schedule exposes, with no stage-specific
+        // code — block sharding and the in-place flat-pass fallback must
+        // both agree with the sequential re-codeleted replay exactly.
+        let n = 14u32;
+        for plan in [
+            Plan::iterative(n).unwrap(),
+            Plan::binary_iterative(n, 2).unwrap(),
+        ] {
+            for block_budget in [1usize << 9, 1 << 12] {
+                for simd in [SimdPolicy::auto(), SimdPolicy::disabled()] {
+                    let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+                        fusion: FusionPolicy::new(1 << 6),
+                        relayout: RelayoutPolicy::eager(block_budget),
+                        recodelet: RecodeletPolicy::default(),
+                        simd,
+                    });
+                    assert!(
+                        lowered.has_relayout() && lowered.has_recodeleted(),
+                        "plan {plan}"
+                    );
+                    let input = signal(n);
+                    let mut seq = input.clone();
+                    lowered.apply(&mut seq).unwrap();
+                    for threads in [2usize, 3, 8] {
+                        let mut par = input.clone();
+                        par_apply_compiled(&lowered, &mut par, Threads(threads)).unwrap();
+                        assert_eq!(
+                            par, seq,
+                            "plan {plan}, block budget {block_budget}, {threads} threads"
+                        );
+                    }
+                    let ints: Vec<i32> = input.iter().map(|&v| v as i32).collect();
+                    let mut seq_i = ints.clone();
+                    lowered.apply(&mut seq_i).unwrap();
+                    let mut par_i = ints;
+                    par_apply_compiled(&lowered, &mut par_i, Threads(5)).unwrap();
+                    assert_eq!(par_i, seq_i, "plan {plan} (i32)");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_matches_naive() {
         let n = 10;
         let plan = Plan::balanced(n, 4).unwrap();

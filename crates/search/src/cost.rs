@@ -7,7 +7,8 @@
 
 use wht_cachesim::Hierarchy;
 use wht_core::{
-    lane_width, CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy, WhtError,
+    lane_width, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy,
+    SimdPolicy, WhtError,
 };
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
 use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
@@ -98,16 +99,13 @@ impl PlanCost for CombinedModelCost {
 pub struct FusedTrafficCost {
     /// Abstract machine weights for `I`.
     pub cost_model: CostModel,
-    /// The fusion policy the executor will compile with.
-    pub policy: FusionPolicy,
-    /// The tail-relayout policy the executor will compile with. A
-    /// relayout super-pass is charged **two** sweeps of streamed elements
-    /// — the gather (strided reads + scratch writes) and the scatter
-    /// (scratch reads + strided writes) — instead of the one sweep per
-    /// factor its `tail_passes` would cost in place, so the search picks
-    /// relayout exactly where the two transposes beat the saved sweeps
-    /// and the plan ranking matches the executor it feeds.
-    pub relayout: RelayoutPolicy,
+    /// The full executor configuration the ranked plans will be lowered
+    /// under: the cost function scores `compile(plan).lower(&exec)` —
+    /// the exact schedule the executor replays — so every lowering stage
+    /// (fusion's tile blocking, relayout's two-sweep transposes, the
+    /// re-codeleted tail's merged factors, the kernel backend) shows up
+    /// in the ranking the moment it exists, with no per-stage code here.
+    pub exec: ExecPolicy,
     /// Elements that fit the cache level tiles are expected to live in.
     /// A super-pass whose tile exceeds this is charged one sweep **per
     /// part** — fusion buys no traffic once the tile itself cannot stay
@@ -131,45 +129,56 @@ pub struct FusedTrafficCost {
 }
 
 impl FusedTrafficCost {
-    /// Cost under an explicit executor configuration (fusion policy +
-    /// kernel backend) with the default weights (`alpha = 1`, `beta = 4`:
-    /// a streamed element costs about what a handful of bookkeeping
-    /// instructions does, matching the combined model's miss-penalty
-    /// scale on 8-element lines) and an L2-sized residency threshold.
-    /// The lane width models the measured default element type, `f64`.
-    /// Both axes are explicit, so construction is deterministic: the
-    /// relayout policy is [`RelayoutPolicy::default`] (pin a different
-    /// one with [`FusedTrafficCost::with_executor`]); only
-    /// [`FusedTrafficCost::with_policy`] reads the process environment.
-    pub fn with_backends(policy: FusionPolicy, simd: SimdPolicy) -> Self {
-        FusedTrafficCost::with_executor(policy, RelayoutPolicy::default(), simd)
-    }
-
-    /// Cost under the **full** executor configuration: fusion policy,
-    /// tail-relayout policy, and kernel backend.
-    pub fn with_executor(policy: FusionPolicy, relayout: RelayoutPolicy, simd: SimdPolicy) -> Self {
+    /// Cost under an explicit [`ExecPolicy`] with the default weights
+    /// (`alpha = 1`, `beta = 4`: a streamed element costs about what a
+    /// handful of bookkeeping instructions does, matching the combined
+    /// model's miss-penalty scale on 8-element lines) and an L2-sized
+    /// residency threshold. The lane width models the measured default
+    /// element type, `f64`. Construction is deterministic — nothing here
+    /// reads the process environment (use
+    /// `with_exec(ExecPolicy::from_env())` for that).
+    pub fn with_exec(exec: ExecPolicy) -> Self {
         FusedTrafficCost {
             cost_model: CostModel::default(),
-            policy,
-            relayout,
             cache_elems: FusionPolicy::DEFAULT_BUDGET_ELEMS,
-            simd_lanes: if simd.enabled() {
+            simd_lanes: if exec.simd.enabled() {
                 lane_width::<f64>()
             } else {
                 1
             },
+            exec,
             alpha: 1.0,
             beta: 4.0,
         }
     }
 
-    /// Explicit fusion policy with the process-default kernel backend and
-    /// relayout policy (lane kernels unless `WHT_NO_SIMD=1`, tail
-    /// relayout per `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD`) — the
-    /// env-aware constructor, so a default-built cost model ranks plans
-    /// for the executor this process actually runs.
+    /// Cost under an explicit fusion policy + kernel backend, with the
+    /// default relayout policy and re-codeleting
+    /// ([`FusedTrafficCost::with_exec`] pins the full configuration).
+    pub fn with_backends(policy: FusionPolicy, simd: SimdPolicy) -> Self {
+        FusedTrafficCost::with_executor(policy, RelayoutPolicy::default(), simd)
+    }
+
+    /// Cost under the three pre-pipeline executor knobs: fusion policy,
+    /// tail-relayout policy, and kernel backend (re-codeleting at
+    /// its default).
+    pub fn with_executor(policy: FusionPolicy, relayout: RelayoutPolicy, simd: SimdPolicy) -> Self {
+        FusedTrafficCost::with_exec(ExecPolicy {
+            fusion: policy,
+            relayout,
+            recodelet: RecodeletPolicy::default(),
+            simd,
+        })
+    }
+
+    /// Explicit fusion policy with the process-default remaining stages
+    /// (lane kernels unless `WHT_NO_SIMD=1`, tail relayout per
+    /// `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD`, re-codeleting per
+    /// `WHT_NO_RECODELET`) — the env-aware constructor, so a
+    /// default-built cost model ranks plans for the executor this
+    /// process actually runs.
     pub fn with_policy(policy: FusionPolicy) -> Self {
-        FusedTrafficCost::with_executor(policy, RelayoutPolicy::from_env(), SimdPolicy::from_env())
+        FusedTrafficCost::with_exec(ExecPolicy::from_env().with_fusion(policy))
     }
 }
 
@@ -181,27 +190,47 @@ impl Default for FusedTrafficCost {
 
 impl PlanCost for FusedTrafficCost {
     fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
-        // Split the instruction model into the leaf work the lane kernels
-        // retire W columns at a time and the loop bookkeeping they run
-        // unchanged.
+        // Lower the plan exactly as the executor will; everything below
+        // scores that schedule generically, stage-agnostically.
+        let compiled = CompiledPlan::compile(plan).lower(&self.exec);
+        // Instruction term, split into loop bookkeeping (from the plan
+        // tree — the lane kernels run the same pass/row loops) and leaf
+        // work re-derived from the *lowered* factor list: a stage that
+        // rewrites factors (the re-codeleted tail merges m chained
+        // factors into one codelet, dropping m-1 load/store passes over
+        // its elements) is scored from what will actually execute.
         let ops = op_counts(plan);
-        let total = self.cost_model.total(&ops) as f64;
-        let leaf_work = (self.cost_model.arith * ops.arith
+        let plan_leaf_work = (self.cost_model.arith * ops.arith
             + self.cost_model.load * ops.loads
             + self.cost_model.store * ops.stores
             + self.cost_model.addr * ops.addr) as f64;
+        let bookkeeping = self.cost_model.total(&ops) as f64 - plan_leaf_work;
+        let mut exec_leaf_work = 0u64;
+        for pass in compiled.passes() {
+            // One codelet invocation of size 2^k: k·2^k butterfly ops,
+            // 2^k loads + 2^k stores, one address computation per load
+            // and store (the same accounting as `op_counts` on a leaf).
+            let size = 1u64 << pass.k;
+            let inv = pass.invocations() as u64;
+            exec_leaf_work += inv
+                * (self.cost_model.arith * u64::from(pass.k) * size
+                    + (self.cost_model.load + self.cost_model.store + 2 * self.cost_model.addr)
+                        * size);
+        }
         let lanes = self.simd_lanes.max(1) as f64;
-        let i = (total - leaf_work) + leaf_work / lanes;
-        let compiled = CompiledPlan::compile_fused(plan, &self.policy).relayout(&self.relayout);
+        let i = bookkeeping + exec_leaf_work as f64 / lanes;
+        // Traffic term: sweeps per scheduling unit, off the lowered
+        // schedule. A relayout unit is charged two streamed sweeps — the
+        // gather (strided reads + scratch writes) and the scatter
+        // (scratch reads + strided writes) — instead of the one sweep
+        // per factor its tail would cost in place, so the search picks
+        // relayout exactly where the two transposes beat the saved
+        // sweeps.
         let streamed: usize = compiled
             .super_passes()
             .iter()
             .map(|sp| {
                 let sweeps = if sp.is_relayout() {
-                    // Gather + scatter: two streamed sweeps replace the
-                    // per-factor sweeps of the relayouted tail (the
-                    // gathered block itself stays resident by
-                    // construction — its size is the relayout budget).
                     2
                 } else if sp.tile_elems() <= self.cache_elems {
                     1
@@ -308,11 +337,17 @@ mod tests {
         assert!(on.cost(&plan).unwrap() < off.cost(&plan).unwrap());
         // An unbounded budget makes one vector-sized tile, which cannot be
         // cache-resident: the model must charge it the unfused traffic,
-        // not a single sweep.
-        let mut unbounded = FusedTrafficCost::with_policy(FusionPolicy::unbounded());
+        // not a single sweep. (Re-codeleting pinned off on both sides —
+        // it legitimately merges the unbounded unit's parts, which is a
+        // *real* sweep reduction, not the fusion identity this pins.)
+        let no_recodelet = ExecPolicy::from_env().with_recodelet(RecodeletPolicy::disabled());
+        let mut unbounded =
+            FusedTrafficCost::with_exec(no_recodelet.with_fusion(FusionPolicy::unbounded()));
+        let mut off_plain =
+            FusedTrafficCost::with_exec(no_recodelet.with_fusion(FusionPolicy::disabled()));
         assert_eq!(
             unbounded.cost(&plan).unwrap(),
-            off.cost(&plan).unwrap(),
+            off_plain.cost(&plan).unwrap(),
             "non-resident tiles stream once per factor, exactly like no fusion"
         );
         // And under one policy, a factor list with fewer unfusable
@@ -366,12 +401,16 @@ mod tests {
         // cannot win (the schedule itself declines short tails).
         let plan = Plan::iterative(20).unwrap();
         let fusion = FusionPolicy::default();
+        // Tail re-codeleting pinned off on both sides: it changes the
+        // leaf-work term (that's its point — asserted below), and this
+        // test isolates the traffic charge.
+        let base = ExecPolicy::default()
+            .with_fusion(fusion)
+            .with_recodelet(RecodeletPolicy::disabled());
         let mut in_place =
-            FusedTrafficCost::with_executor(fusion, RelayoutPolicy::disabled(), SimdPolicy::auto());
-        let mut relaid = FusedTrafficCost::with_executor(
-            fusion,
-            RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS),
-            SimdPolicy::auto(),
+            FusedTrafficCost::with_exec(base.with_relayout(RelayoutPolicy::disabled()));
+        let mut relaid = FusedTrafficCost::with_exec(
+            base.with_relayout(RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS)),
         );
         let c_in_place = in_place.cost(&plan).unwrap();
         let c_relaid = relaid.cost(&plan).unwrap();
@@ -380,6 +419,18 @@ mod tests {
             (c_in_place - c_relaid - sweep).abs() < 1e-6,
             "tail of 3 sweeps -> 2 transpose sweeps must save exactly one \
              ({c_in_place} vs {c_relaid})"
+        );
+        // Re-codeleting the relayouted tail merges its chained factors,
+        // shrinking the leaf-work term (fewer load/store passes over the
+        // scratch) while traffic is unchanged — the generic scoring sees
+        // the stage because it scores the lowered factor list.
+        let mut recodeleted = FusedTrafficCost::with_exec(
+            base.with_relayout(RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS))
+                .with_recodelet(RecodeletPolicy::default()),
+        );
+        assert!(
+            recodeleted.cost(&plan).unwrap() < c_relaid,
+            "the ranking model must see the re-codeleted tail's saved μops"
         );
         // A 2-pass tail (n = 19) is break-even under the 2-sweep charge,
         // and the default policy (min_passes = 3) declines to rewrite it

@@ -42,5 +42,5 @@ pub use cost::{
 };
 pub use dp::{dp_search, DpOptions, DpResult};
 pub use local::{local_search, mutate, LocalSearchOptions};
-pub use planner::{Planner, Wisdom};
+pub use planner::{Planner, Tuning, Wisdom};
 pub use strategies::{exhaustive_search, pruned_search, random_search, PrunedSearchResult, Ranked};

@@ -10,22 +10,52 @@
 //!    ([`crate::dp_search`]) against the planner's cost backend **once**,
 //!    recording the best plan of *every* size up to `n` (DP computes them
 //!    all anyway).
-//! 2. The chosen plan is lowered to a `wht_core::compile::CompiledPlan`,
-//!    **fused** under the planner's `FusionPolicy` (cache-blocked
-//!    super-passes; opt out with `with_fusion(FusionPolicy::disabled())`
-//!    or `WHT_NO_FUSE=1`), its large-stride tail **relayouted** under the
-//!    `RelayoutPolicy` (gather → unit-stride scratch transform → scatter
-//!    past the policy's size threshold; opt out with
-//!    `with_relayout(RelayoutPolicy::disabled())` or `WHT_NO_RELAYOUT=1`),
-//!    and cached — steady-state traffic is a wisdom hit plus a flat
-//!    schedule replay: zero cost evaluations, zero tree walks.
+//! 2. The chosen plan is lowered through the staged pipeline of
+//!    `wht_core::compile` under one **resolved** [`ExecPolicy`]
+//!    (fuse → relayout → re-codelet → kernel backend), and the
+//!    compiled schedule is cached — steady-state traffic is a wisdom hit
+//!    plus a flat schedule replay: zero cost evaluations, zero tree
+//!    walks.
 //! 3. Wisdom round-trips through JSON ([`Wisdom::to_json`] /
 //!    [`Wisdom::from_json`], or [`Wisdom::save`] / [`Wisdom::load`]), so a
 //!    fleet can ship pre-tuned wisdom and a fresh process starts warm —
 //!    the FFTW `wisdom` workflow, keyed by `(n, cost-backend name)`. Each
-//!    entry records the executor tuning it was recorded with (tile
-//!    budget, kernel backend, per-size relayout), and an importing
-//!    planner replays that configuration per size.
+//!    entry records the executor [`Tuning`] it was recorded with, and an
+//!    importing planner replays that configuration per size.
+//!
+//! ## How a policy is resolved
+//!
+//! Every executor knob resolves through one rule —
+//! [`wht_core::resolve_knob`], **API pin > wisdom > environment >
+//! default** — exactly once per compiled size:
+//!
+//! - `Planner::with_*` (or [`Planner::with_exec`]) **pins** a policy: it
+//!   beats recorded wisdom, including this planner's own earlier
+//!   searches.
+//! - An unpinned but *disabled* policy (what a `WHT_NO_*` kill switch
+//!   produces at construction) also beats wisdom: imported tuning must
+//!   never re-enable a stage the process opted out of.
+//! - Otherwise a recorded [`Tuning`] replays the recorder's
+//!   configuration, and absent any record the planner's environment
+//!   snapshot / defaults apply.
+//!
+//! ## Wisdom format history
+//!
+//! - **Version 3** (current): each entry carries one forward-compatible
+//!   `tuning` record ([`Tuning`]) — new executor stages add fields there,
+//!   never new entry-level columns. Unknown fields inside `tuning` (from
+//!   newer builds) are ignored on load.
+//! - **Version 2** (PR 4): flat per-entry `fuse_budget` / `simd` /
+//!   `relayout` columns. Loads transparently — the flat fields migrate
+//!   into a [`Tuning`] with no `recodelet` choice recorded — and
+//!   re-serializes as version 3.
+//! - **Version 1** (PR 2): as version 2 without `relayout`. Same
+//!   migration path.
+//!
+//! Migrated blobs replay bit-identically: the recorded knobs resolve
+//! exactly as they did when written, and the stages they predate resolve
+//! to the importer's defaults (which never change output bits — every
+//! lowering stage is bit-exact by construction).
 //!
 //! ```
 //! use wht_search::{InstructionCost, Planner};
@@ -49,47 +79,93 @@ use crate::dp::{dp_search, DpOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
-use wht_core::{CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, Scalar, SimdPolicy, WhtError};
+use wht_core::{
+    resolve_knob, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy,
+    Scalar, SimdPolicy, WhtError,
+};
 
-/// Serialized form of one wisdom entry: the plan travels as its
-/// WHT-package grammar string, which is stable, human-readable, and
-/// validated on parse. `fuse_budget` is the tile budget (in elements) the
-/// planner chose when it recorded the entry — `0` means fusion was off,
-/// absent/`null` means "not recorded" (the reader's default policy
-/// applies). `simd` records the kernel backend the entry was tuned for
-/// (`true` = lane kernels, `false` = scalar, absent = not recorded), with
-/// the same semantics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct WisdomEntry {
-    n: u32,
-    backend: String,
-    plan: String,
-    fuse_budget: Option<u64>,
-    simd: Option<bool>,
-    relayout: Option<u64>,
+/// Per-entry executor tuning: which configuration the recorder's executor
+/// actually ran when the entry's plan was chosen. One forward-compatible
+/// record — every lowering stage owns one optional field, `None` meaning
+/// "no choice recorded, the reader's policy applies" (distinct from a
+/// recorded *off*, which replays as off).
+///
+/// Stored sizes are `u64` so wisdom written on 64-bit hosts loads on
+/// 32-bit ones (values saturate to `usize::MAX` on conversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Tuning {
+    /// Fused-tile budget in elements; `Some(0)` = fusion was off.
+    pub fuse_budget: Option<u64>,
+    /// Kernel backend: `Some(true)` = the SIMD lane kernels.
+    pub simd: Option<bool>,
+    /// Relayout gathered-block budget in elements at this size;
+    /// `Some(0)` = the recorder's executor did not gather this size.
+    pub relayout: Option<u64>,
+    /// Whether the re-codelet stage ran. An on/off record only: the
+    /// stage's shape knobs (`max_k`, `footprint_elems`) are host tuning,
+    /// so an importer replaying `Some(true)` uses its *own* policy's
+    /// shape rather than the recorder's.
+    pub recodelet: Option<bool>,
+}
+
+impl Tuning {
+    /// `true` when no choice at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == Tuning::default()
+    }
 }
 
 /// One best-known plan plus the executor tuning recorded with it.
 #[derive(Debug, Clone, PartialEq)]
 struct WisdomRecord {
     plan: Plan,
-    fuse_budget: Option<usize>,
+    tuning: Tuning,
+}
+
+/// Serialized wisdom entry, current (version-3) shape: the plan travels
+/// as its WHT-package grammar string (stable, human-readable, validated
+/// on parse) and the executor tuning as one nested [`Tuning`] record.
+#[derive(Debug, Clone, Serialize)]
+struct WisdomEntryOut {
+    n: u32,
+    backend: String,
+    plan: String,
+    tuning: Tuning,
+}
+
+/// Permissive read-side entry covering every supported version: version 3
+/// carries `tuning`; versions 1–2 carried the flat fields, which migrate
+/// into a [`Tuning`] on load. Unknown fields are ignored by the JSON
+/// layer (forward compatibility).
+#[derive(Debug, Clone, Deserialize)]
+struct WisdomEntryIn {
+    n: u32,
+    backend: String,
+    plan: String,
+    tuning: Option<Tuning>,
+    fuse_budget: Option<u64>,
     simd: Option<bool>,
-    relayout: Option<usize>,
+    relayout: Option<u64>,
 }
 
-/// Serialized wisdom store.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct WisdomFile {
+/// Serialized wisdom store (write side).
+#[derive(Debug, Clone, Serialize)]
+struct WisdomFileOut {
     version: u32,
-    entries: Vec<WisdomEntry>,
+    entries: Vec<WisdomEntryOut>,
 }
 
-const WISDOM_VERSION: u32 = 2;
+/// Serialized wisdom store (read side).
+#[derive(Debug, Clone, Deserialize)]
+struct WisdomFileIn {
+    version: u32,
+    entries: Vec<WisdomEntryIn>,
+}
 
-/// Oldest wisdom format [`Wisdom::from_json`] still reads. Version 1
-/// predates the `relayout` tuning field; its entries load with no
-/// relayout choice recorded and re-serialize as the current version.
+const WISDOM_VERSION: u32 = 3;
+
+/// Oldest wisdom format [`Wisdom::from_json`] still reads (see the module
+/// docs' format history).
 const WISDOM_MIN_VERSION: u32 = 1;
 
 /// Best-known plans keyed by `(n, cost-backend name)` — the FFTW-style
@@ -123,12 +199,20 @@ impl Wisdom {
         Some(&self.entries.get(&n)?.get(backend)?.plan)
     }
 
+    /// The executor [`Tuning`] recorded with the `(n, backend)` entry,
+    /// `None` when no entry exists.
+    pub fn tuning(&self, n: u32, backend: &str) -> Option<Tuning> {
+        Some(self.entries.get(&n)?.get(backend)?.tuning)
+    }
+
     /// Tile budget (elements) recorded with the `(n, backend)` entry:
     /// `Some(0)` means the recorder had fusion off, `None` means no
     /// choice was recorded (or no entry exists) and the reader's default
     /// policy applies.
     pub fn fuse_budget(&self, n: u32, backend: &str) -> Option<usize> {
-        self.entries.get(&n)?.get(backend)?.fuse_budget
+        self.tuning(n, backend)?
+            .fuse_budget
+            .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
     }
 
     /// Kernel backend recorded with the `(n, backend)` entry:
@@ -137,7 +221,7 @@ impl Wisdom {
     /// recorded (or no entry exists) and the reader's default policy
     /// applies.
     pub fn simd_enabled(&self, n: u32, backend: &str) -> Option<bool> {
-        self.entries.get(&n)?.get(backend)?.simd
+        self.tuning(n, backend)?.simd
     }
 
     /// Relayout tuning recorded with the `(n, backend)` entry: the
@@ -146,7 +230,9 @@ impl Wisdom {
     /// engage, `None` meaning no choice was recorded (or no entry exists)
     /// and the reader's default policy applies.
     pub fn relayout_budget(&self, n: u32, backend: &str) -> Option<usize> {
-        self.entries.get(&n)?.get(backend)?.relayout
+        self.tuning(n, backend)?
+            .relayout
+            .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)` with no
@@ -156,12 +242,12 @@ impl Wisdom {
     /// [`WhtError::LengthMismatch`] if `plan.n() != n` — wisdom for size
     /// `n` must transform size-`2^n` inputs.
     pub fn insert(&mut self, n: u32, backend: &str, plan: Plan) -> Result<(), WhtError> {
-        self.insert_with_tuning(n, backend, plan, None, None, None)
+        self.insert_with_tuning(n, backend, plan, Tuning::default())
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)`, attaching
     /// the tile budget the recorder compiled with (`Some(0)` = fusion
-    /// off) but no kernel-backend choice.
+    /// off) but no other executor choice.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
@@ -172,14 +258,19 @@ impl Wisdom {
         plan: Plan,
         fuse_budget: Option<usize>,
     ) -> Result<(), WhtError> {
-        self.insert_with_tuning(n, backend, plan, fuse_budget, None, None)
+        self.insert_with_tuning(
+            n,
+            backend,
+            plan,
+            Tuning {
+                fuse_budget: fuse_budget.map(|b| b as u64),
+                ..Tuning::default()
+            },
+        )
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)`, attaching
-    /// the full executor tuning it was recorded under: the tile budget
-    /// (`Some(0)` = fusion off), the kernel backend (`Some(true)` = SIMD
-    /// lane kernels), and the relayout gathered-block budget (`Some(0)` =
-    /// relayout off at this size).
+    /// the full executor [`Tuning`] it was recorded under.
     ///
     /// # Errors
     /// [`WhtError::LengthMismatch`] if `plan.n() != n`.
@@ -188,9 +279,7 @@ impl Wisdom {
         n: u32,
         backend: &str,
         plan: Plan,
-        fuse_budget: Option<usize>,
-        simd: Option<bool>,
-        relayout: Option<usize>,
+        tuning: Tuning,
     ) -> Result<(), WhtError> {
         if plan.n() != n {
             return Err(WhtError::LengthMismatch {
@@ -198,50 +287,46 @@ impl Wisdom {
                 got: plan.size(),
             });
         }
-        self.entries.entry(n).or_default().insert(
-            backend.to_string(),
-            WisdomRecord {
-                plan,
-                fuse_budget,
-                simd,
-                relayout,
-            },
-        );
+        self.entries
+            .entry(n)
+            .or_default()
+            .insert(backend.to_string(), WisdomRecord { plan, tuning });
         Ok(())
     }
 
-    /// Render the store as JSON (entries sorted for determinism).
+    /// Render the store as JSON (entries sorted for determinism), in the
+    /// current (version-3) format.
     pub fn to_json(&self) -> String {
-        let mut entries: Vec<WisdomEntry> = self
+        let mut entries: Vec<WisdomEntryOut> = self
             .entries
             .iter()
             .flat_map(|(n, backends)| {
-                backends.iter().map(|(backend, record)| WisdomEntry {
+                backends.iter().map(|(backend, record)| WisdomEntryOut {
                     n: *n,
                     backend: backend.clone(),
                     plan: record.plan.to_string(),
-                    fuse_budget: record.fuse_budget.map(|b| b as u64),
-                    simd: record.simd,
-                    relayout: record.relayout.map(|b| b as u64),
+                    tuning: record.tuning,
                 })
             })
             .collect();
         entries.sort_by(|a, b| (a.n, &a.backend).cmp(&(b.n, &b.backend)));
-        serde_json::to_string_pretty(&WisdomFile {
+        serde_json::to_string_pretty(&WisdomFileOut {
             version: WISDOM_VERSION,
             entries,
         })
         .expect("wisdom serialization is infallible")
     }
 
-    /// Parse a store from JSON, validating every plan.
+    /// Parse a store from JSON, validating every plan. Version-1 and
+    /// version-2 stores migrate transparently (see the module docs'
+    /// format history) and re-serialize as the current version.
     ///
     /// # Errors
     /// [`WhtError::InvalidConfig`] on malformed JSON or a version
     /// mismatch; [`WhtError::Parse`] / structural errors on a bad plan
     /// string.
     pub fn from_json(json: &str) -> Result<Self, WhtError> {
-        let file: WisdomFile = serde_json::from_str(json)
+        let file: WisdomFileIn = serde_json::from_str(json)
             .map_err(|e| WhtError::InvalidConfig(format!("wisdom JSON: {e}")))?;
         if !(WISDOM_MIN_VERSION..=WISDOM_VERSION).contains(&file.version) {
             return Err(WhtError::InvalidConfig(format!(
@@ -252,21 +337,16 @@ impl Wisdom {
         let mut wisdom = Wisdom::new();
         for entry in file.entries {
             let plan: Plan = entry.plan.parse()?;
-            // saturate on 32-bit hosts
-            let budget = entry
-                .fuse_budget
-                .map(|b| usize::try_from(b).unwrap_or(usize::MAX));
-            let relayout = entry
-                .relayout
-                .map(|b| usize::try_from(b).unwrap_or(usize::MAX));
-            wisdom.insert_with_tuning(
-                entry.n,
-                &entry.backend,
-                plan,
-                budget,
-                entry.simd,
-                relayout,
-            )?;
+            // Version 3 carries the nested record; versions 1-2 carried
+            // flat columns, which migrate into the same shape. A v3
+            // entry's nested record wins over any stray flat fields.
+            let tuning = entry.tuning.unwrap_or(Tuning {
+                fuse_budget: entry.fuse_budget,
+                simd: entry.simd,
+                relayout: entry.relayout,
+                recodelet: None,
+            });
+            wisdom.insert_with_tuning(entry.n, &entry.backend, plan, tuning)?;
         }
         Ok(wisdom)
     }
@@ -294,6 +374,26 @@ impl Wisdom {
     }
 }
 
+/// Which knobs of the planner's [`ExecPolicy`] were explicitly pinned
+/// through the API (and therefore beat recorded wisdom — the precedence
+/// rule's first clause).
+#[derive(Debug, Clone, Copy, Default)]
+struct PinnedKnobs {
+    fusion: bool,
+    simd: bool,
+    relayout: bool,
+    recodelet: bool,
+}
+
+impl PinnedKnobs {
+    const ALL: PinnedKnobs = PinnedKnobs {
+        fusion: true,
+        simd: true,
+        relayout: true,
+        recodelet: true,
+    };
+}
+
 /// Production entry point: owns a cost backend, a [`Wisdom`] store, and a
 /// compiled-schedule cache; serves `planner.transform(&mut x)` with DP
 /// search amortized to zero on the warm path (see the module docs).
@@ -301,18 +401,11 @@ impl Wisdom {
 pub struct Planner<C: PlanCost> {
     cost: C,
     opts: DpOptions,
-    fusion: FusionPolicy,
-    /// `true` once [`Planner::with_fusion`] was called: the explicit
-    /// policy then beats any budget recorded in wisdom.
-    fusion_pinned: bool,
-    simd: SimdPolicy,
-    /// `true` once [`Planner::with_simd`] was called: the explicit policy
-    /// then beats any backend recorded in wisdom.
-    simd_pinned: bool,
-    relayout: RelayoutPolicy,
-    /// `true` once [`Planner::with_relayout`] was called: the explicit
-    /// policy then beats any relayout tuning recorded in wisdom.
-    relayout_pinned: bool,
+    /// The planner's own executor configuration (environment snapshot at
+    /// construction, fields replaced by the `with_*` builders).
+    exec: ExecPolicy,
+    /// Which fields of `exec` were pinned through the API.
+    pinned: PinnedKnobs,
     wisdom: Wisdom,
     compiled: HashMap<u32, CompiledPlan>,
     evaluations: usize,
@@ -320,7 +413,8 @@ pub struct Planner<C: PlanCost> {
 
 impl<C: PlanCost> Planner<C> {
     /// Planner with default DP options, empty wisdom, and the
-    /// process-default fusion policy ([`FusionPolicy::from_env`]).
+    /// process-default executor configuration
+    /// ([`ExecPolicy::from_env`]).
     pub fn new(cost: C) -> Self {
         Planner::with_options(cost, DpOptions::default())
     }
@@ -330,16 +424,26 @@ impl<C: PlanCost> Planner<C> {
         Planner {
             cost,
             opts,
-            fusion: FusionPolicy::from_env(),
-            fusion_pinned: false,
-            simd: SimdPolicy::from_env(),
-            simd_pinned: false,
-            relayout: RelayoutPolicy::from_env(),
-            relayout_pinned: false,
+            exec: ExecPolicy::from_env(),
+            pinned: PinnedKnobs::default(),
             wisdom: Wisdom::new(),
             compiled: HashMap::new(),
             evaluations: 0,
         }
+    }
+
+    /// Override the **whole** executor configuration (builder style),
+    /// pinning every knob: recorded wisdom no longer overrides any stage.
+    /// Drops compiled schedules so already-served sizes recompile under
+    /// the new configuration. `with_exec(ExecPolicy::all_disabled())` is
+    /// the full API opt-out: the pure scalar unfused baseline, whatever
+    /// the environment or the wisdom says.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self.pinned = PinnedKnobs::ALL;
+        self.compiled.clear();
+        self
     }
 
     /// Override the fusion policy (builder style). Drops compiled
@@ -350,66 +454,71 @@ impl<C: PlanCost> Planner<C> {
     /// unfused schedules whatever the environment or the wisdom says.
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
-        self.fusion = fusion;
-        self.fusion_pinned = true;
+        self.exec.fusion = fusion;
+        self.pinned.fusion = true;
         self.compiled.clear();
         self
     }
 
     /// The fusion policy new wisdom is recorded with and cold sizes are
-    /// compiled under. Unless the policy was pinned with
-    /// [`Planner::with_fusion`], a budget recorded in wisdom overrides it
-    /// per size — except when the policy is *disabled* (e.g. the
-    /// `WHT_NO_FUSE=1` kill switch), which imported wisdom can never
-    /// re-enable.
+    /// compiled under — resolution per the module docs' precedence rule.
     pub fn fusion(&self) -> FusionPolicy {
-        self.fusion
+        self.exec.fusion
     }
 
-    /// Override the SIMD kernel policy (builder style). Drops compiled
-    /// schedules so already-served sizes recompile under the new policy,
-    /// and **pins** it: backends recorded in wisdom no longer override
-    /// it. This is the API opt-out: `with_simd(SimdPolicy::disabled())`
-    /// serves scalar kernels whatever the environment or the wisdom says.
+    /// Override the SIMD kernel policy (builder style); same pin
+    /// semantics as [`Planner::with_fusion`].
     #[must_use]
     pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
-        self.simd = simd;
-        self.simd_pinned = true;
+        self.exec.simd = simd;
+        self.pinned.simd = true;
         self.compiled.clear();
         self
     }
 
     /// The SIMD policy new wisdom is recorded with and cold sizes are
-    /// compiled under — same override semantics as [`Planner::fusion`]:
-    /// a backend recorded in wisdom wins per size unless the policy was
-    /// pinned with [`Planner::with_simd`] or is *disabled* (the
-    /// `WHT_NO_SIMD=1` kill switch, which imported wisdom can never
-    /// re-enable).
+    /// compiled under — resolution per the module docs' precedence rule.
     pub fn simd(&self) -> SimdPolicy {
-        self.simd
+        self.exec.simd
     }
 
-    /// Override the tail-relayout policy (builder style). Drops compiled
-    /// schedules so already-served sizes recompile under the new policy,
-    /// and **pins** it: relayout tuning recorded in wisdom no longer
-    /// overrides it. This is the API opt-out:
-    /// `with_relayout(RelayoutPolicy::disabled())` keeps every tail
-    /// sweeping in place whatever the environment or the wisdom says.
+    /// Override the tail-relayout policy (builder style); same pin
+    /// semantics as [`Planner::with_fusion`].
     #[must_use]
     pub fn with_relayout(mut self, relayout: RelayoutPolicy) -> Self {
-        self.relayout = relayout;
-        self.relayout_pinned = true;
+        self.exec.relayout = relayout;
+        self.pinned.relayout = true;
         self.compiled.clear();
         self
     }
 
     /// The relayout policy new wisdom is recorded with and cold sizes are
-    /// compiled under — same override semantics as [`Planner::fusion`]: a
-    /// recorded per-size tuning wins unless the policy was pinned with
-    /// [`Planner::with_relayout`] or is *disabled* (the `WHT_NO_RELAYOUT=1`
-    /// kill switch, which imported wisdom can never re-enable).
+    /// compiled under — resolution per the module docs' precedence rule.
     pub fn relayout(&self) -> RelayoutPolicy {
-        self.relayout
+        self.exec.relayout
+    }
+
+    /// Override the re-codeleting policy (builder style); same pin
+    /// semantics as [`Planner::with_fusion`].
+    #[must_use]
+    pub fn with_recodelet(mut self, recodelet: RecodeletPolicy) -> Self {
+        self.exec.recodelet = recodelet;
+        self.pinned.recodelet = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The re-codeleting policy new wisdom is recorded with and cold
+    /// sizes are compiled under — resolution per the module docs'
+    /// precedence rule.
+    pub fn recodelet(&self) -> RecodeletPolicy {
+        self.exec.recodelet
+    }
+
+    /// The planner's own executor configuration (before per-size wisdom
+    /// resolution).
+    pub fn exec(&self) -> &ExecPolicy {
+        &self.exec
     }
 
     /// Adopt previously saved wisdom (builder style). Drops any compiled
@@ -439,6 +548,55 @@ impl<C: PlanCost> Planner<C> {
         &self.wisdom
     }
 
+    /// The [`ExecPolicy`] size `2^n` would compile under right now: every
+    /// knob resolved through the one precedence rule (API pin > wisdom >
+    /// environment > default, with disabled-default as a kill switch —
+    /// see [`wht_core::resolve_knob`]). Exposed so services and tests can
+    /// inspect the decision without compiling.
+    pub fn resolved_exec(&self, n: u32) -> ExecPolicy {
+        let t = self.wisdom.tuning(n, self.cost.name()).unwrap_or_default();
+        ExecPolicy {
+            fusion: resolve_knob(
+                self.pinned.fusion,
+                self.exec.fusion,
+                t.fuse_budget
+                    .map(|b| FusionPolicy::new(usize::try_from(b).unwrap_or(usize::MAX))),
+            ),
+            relayout: resolve_knob(
+                self.pinned.relayout,
+                self.exec.relayout,
+                t.relayout.map(replay_relayout),
+            ),
+            recodelet: resolve_knob(
+                self.pinned.recodelet,
+                self.exec.recodelet,
+                // The record is a bool (the stage's shape knobs are
+                // host-tuning, not per-size wisdom), so a recorded *on*
+                // replays through the reader's own policy — preserving
+                // its WHT_RECODELET_* environment tuning — rather than
+                // clobbering it with the compiled-in default.
+                t.recodelet.map(|on| {
+                    if on {
+                        self.exec.recodelet
+                    } else {
+                        RecodeletPolicy::disabled()
+                    }
+                }),
+            ),
+            simd: resolve_knob(
+                self.pinned.simd,
+                self.exec.simd,
+                t.simd.map(|on| {
+                    if on {
+                        SimdPolicy::auto()
+                    } else {
+                        SimdPolicy::disabled()
+                    }
+                }),
+            ),
+        }
+    }
+
     /// Best plan for size `2^n`: wisdom hit, or one DP search whose entire
     /// per-size table is recorded as wisdom.
     ///
@@ -460,8 +618,8 @@ impl<C: PlanCost> Planner<C> {
             // shape with too short a tail, can decline relayout even
             // where the size gates pass, and an importer must not replay
             // a schedule this planner never ran).
-            let budget = if self.fusion.enabled() {
-                self.fusion.budget_elems
+            let budget = if self.exec.fusion.enabled() {
+                self.exec.fusion.budget_elems as u64
             } else {
                 0
             };
@@ -469,13 +627,13 @@ impl<C: PlanCost> Planner<C> {
                 // Smaller sizes only fill holes: an imported entry may
                 // encode better (e.g. measured) wisdom than this search.
                 if m == n || self.wisdom.get(m, backend).is_none() {
-                    let relayout = if self.relayout.enabled()
+                    let relayout = if self.exec.relayout.enabled()
                         && CompiledPlan::compile(&dp.best[m as usize])
-                            .fuse(&self.fusion)
-                            .relayout(&self.relayout)
+                            .fuse(&self.exec.fusion)
+                            .relayout(&self.exec.relayout)
                             .has_relayout()
                     {
-                        self.relayout.budget_elems
+                        self.exec.relayout.budget_elems as u64
                     } else {
                         0
                     };
@@ -483,9 +641,12 @@ impl<C: PlanCost> Planner<C> {
                         m,
                         backend,
                         dp.best[m as usize].clone(),
-                        Some(budget),
-                        Some(self.simd.enabled()),
-                        Some(relayout),
+                        Tuning {
+                            fuse_budget: Some(budget),
+                            simd: Some(self.exec.simd.enabled()),
+                            relayout: Some(relayout),
+                            recodelet: Some(self.exec.recodelet.enabled()),
+                        },
                     )?;
                 }
             }
@@ -516,63 +677,30 @@ impl<C: PlanCost> Planner<C> {
         }
         if !self.compiled.contains_key(&n) {
             let plan = self.plan(n)?.clone();
-            // A budget recorded with the wisdom entry wins over the
-            // planner's default policy — imported wisdom replays the
-            // executor configuration it was tuned with. Two things beat
-            // the recorded budget: an explicitly pinned policy
-            // (with_fusion), and a *disabled* default (the WHT_NO_FUSE
-            // kill switch must not be re-enabled by imported wisdom).
-            let policy = if self.fusion_pinned || !self.fusion.enabled() {
-                self.fusion
-            } else {
-                self.wisdom
-                    .fuse_budget(n, self.cost.name())
-                    .map(FusionPolicy::new)
-                    .unwrap_or(self.fusion)
-            };
-            // Same resolution for the kernel backend: a recorded choice
-            // wins unless the policy is pinned (with_simd) or disabled
-            // (the WHT_NO_SIMD kill switch, which imported wisdom must
-            // not re-enable).
-            let simd = if self.simd_pinned || !self.simd.enabled() {
-                self.simd
-            } else {
-                match self.wisdom.simd_enabled(n, self.cost.name()) {
-                    Some(true) => SimdPolicy::auto(),
-                    Some(false) => SimdPolicy::disabled(),
-                    None => self.simd,
-                }
-            };
-            // And for the relayout stage: a recorded per-size tuning is
-            // replayed eagerly (the recorder already made the size
-            // decision), 0 means relayout stays off for this size, and a
-            // pinned or disabled (WHT_NO_RELAYOUT) policy beats the
-            // record.
-            let relayout = if self.relayout_pinned || !self.relayout.enabled() {
-                self.relayout
-            } else {
-                match self.wisdom.relayout_budget(n, self.cost.name()) {
-                    Some(0) => RelayoutPolicy::disabled(),
-                    // Replay at the engine's floor (min_passes 2, no size
-                    // gate), not the default policy's knobs: the record
-                    // only exists because the recorder's schedule
-                    // actually gathered, and a recorder tuned with
-                    // min_passes below the default must not have its
-                    // configuration silently dropped on import.
-                    Some(budget) => RelayoutPolicy {
-                        budget_elems: budget,
-                        min_elems: 0,
-                        min_passes: 2,
-                    },
-                    None => self.relayout,
-                }
-            };
-            self.compiled.insert(
-                n,
-                CompiledPlan::compile_with(&plan, &policy, &relayout, &simd),
-            );
+            let exec = self.resolved_exec(n);
+            self.compiled
+                .insert(n, CompiledPlan::compile_exec(&plan, &exec));
         }
         self.compiled.get(&n).expect("inserted above").apply(x)
+    }
+}
+
+/// How a recorded relayout tuning replays: `0` means the recorder's
+/// executor did not gather this size (stays off), a nonzero budget
+/// replays at the engine's floor (`min_passes = 2`, no size gate) rather
+/// than the default policy's knobs — the record only exists because the
+/// recorder's schedule actually gathered, and a recorder tuned with
+/// `min_passes` below the default must not have its configuration
+/// silently dropped on import.
+fn replay_relayout(budget: u64) -> RelayoutPolicy {
+    if budget == 0 {
+        RelayoutPolicy::disabled()
+    } else {
+        RelayoutPolicy {
+            budget_elems: usize::try_from(budget).unwrap_or(usize::MAX),
+            min_elems: 0,
+            min_passes: 2,
+        }
     }
 }
 
@@ -667,11 +795,9 @@ mod tests {
         planner.transform(&mut x).unwrap();
         assert_eq!(
             planner.compiled.get(&8),
-            Some(&CompiledPlan::compile_with(
+            Some(&CompiledPlan::compile_exec(
                 &imported,
-                &planner.fusion(),
-                &planner.relayout(),
-                &planner.simd()
+                &planner.resolved_exec(8)
             )),
             "warm transform must execute the imported plan"
         );
@@ -711,6 +837,7 @@ mod tests {
             .insert(4, "instruction-model", Plan::iterative(4).unwrap())
             .unwrap();
         assert_eq!(plain.fuse_budget(4, "instruction-model"), None);
+        assert!(plain.tuning(4, "instruction-model").unwrap().is_empty());
     }
 
     #[test]
@@ -755,8 +882,8 @@ mod tests {
             )
             .unwrap();
         let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
-        planner.fusion = FusionPolicy::disabled();
-        planner.fusion_pinned = false;
+        planner.exec.fusion = FusionPolicy::disabled();
+        planner.pinned.fusion = false;
         let mut x: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
         planner.transform(&mut x).unwrap();
         assert!(
@@ -814,8 +941,8 @@ mod tests {
         // An importing planner with an unpinned enabled policy replays the
         // recorded scalar choice.
         let mut warm = Planner::new(InstructionCost::default()).with_wisdom(back);
-        warm.simd = SimdPolicy::auto();
-        warm.simd_pinned = false;
+        warm.exec.simd = SimdPolicy::auto();
+        warm.pinned.simd = false;
         let mut x: Vec<f64> = (0..256).map(|j| (j % 7) as f64).collect();
         warm.transform(&mut x).unwrap();
         assert!(
@@ -841,14 +968,15 @@ mod tests {
                 10,
                 "instruction-model",
                 Plan::iterative(10).unwrap(),
-                None,
-                Some(true),
-                None,
+                Tuning {
+                    simd: Some(true),
+                    ..Tuning::default()
+                },
             )
             .unwrap();
         let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
-        planner.simd = SimdPolicy::disabled();
-        planner.simd_pinned = false;
+        planner.exec.simd = SimdPolicy::disabled();
+        planner.pinned.simd = false;
         let mut x: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
         planner.transform(&mut x).unwrap();
         assert!(
@@ -933,17 +1061,19 @@ mod tests {
                 14,
                 "instruction-model",
                 Plan::iterative(14).unwrap(),
-                Some(1 << 6),
-                None,
-                Some(1 << 9),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    relayout: Some(1 << 9),
+                    ..Tuning::default()
+                },
             )
             .unwrap();
         let mut warm = Planner::new(InstructionCost::default()).with_wisdom(imported);
         // Unpinned default policy regardless of the CI leg's env (the
         // WHT_NO_RELAYOUT leg would otherwise kill-switch the replay,
         // which has its own test below).
-        warm.relayout = RelayoutPolicy::default();
-        warm.relayout_pinned = false;
+        warm.exec.relayout = RelayoutPolicy::default();
+        warm.pinned.relayout = false;
         let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 11) as f64 - 5.0).collect();
         let want = naive_wht(&x);
         warm.transform(&mut x).unwrap();
@@ -977,14 +1107,16 @@ mod tests {
                 10,
                 "instruction-model",
                 plan,
-                Some(1 << 6),
-                None,
-                Some(1 << 9),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    relayout: Some(1 << 9),
+                    ..Tuning::default()
+                },
             )
             .unwrap();
         let mut warm = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
-        warm.relayout = RelayoutPolicy::default();
-        warm.relayout_pinned = false;
+        warm.exec.relayout = RelayoutPolicy::default();
+        warm.pinned.relayout = false;
         let mut x: Vec<f64> = (0..1 << 10).map(|j| (j % 9) as f64 - 4.0).collect();
         let want = naive_wht(&x);
         warm.transform(&mut x).unwrap();
@@ -1006,14 +1138,16 @@ mod tests {
                 14,
                 "instruction-model",
                 Plan::iterative(14).unwrap(),
-                Some(1 << 6),
-                None,
-                Some(1 << 9),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    relayout: Some(1 << 9),
+                    ..Tuning::default()
+                },
             )
             .unwrap();
         let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
-        planner.relayout = RelayoutPolicy::disabled();
-        planner.relayout_pinned = false;
+        planner.exec.relayout = RelayoutPolicy::disabled();
+        planner.pinned.relayout = false;
         let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
         planner.transform(&mut x).unwrap();
         assert!(
@@ -1035,10 +1169,10 @@ mod tests {
     }
 
     #[test]
-    fn version_1_wisdom_migrates_and_round_trips_as_version_2() {
+    fn version_1_wisdom_migrates_and_round_trips_as_version_3() {
         // A version-1 store (pre-relayout) must load — its entries carry
-        // no relayout choice — and re-serialize as the current version
-        // without bricking anything.
+        // no relayout or recodelet choice — and re-serialize as the
+        // current version without bricking anything.
         let legacy = "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\
                        \"plan\":\"split[small[2],small[2]]\",\"fuse_budget\":512,\
                        \"simd\":true}]}";
@@ -1046,12 +1180,80 @@ mod tests {
         assert_eq!(w.fuse_budget(4, "x"), Some(512));
         assert_eq!(w.simd_enabled(4, "x"), Some(true));
         assert_eq!(w.relayout_budget(4, "x"), None);
+        assert_eq!(w.tuning(4, "x").unwrap().recodelet, None);
         let json = w.to_json();
-        assert!(json.contains("\"version\": 2"), "{json}");
+        assert!(json.contains("\"version\": 3"), "{json}");
+        assert!(json.contains("\"tuning\""), "{json}");
         let back = Wisdom::from_json(&json).unwrap();
         assert_eq!(back, w);
         // Future versions stay rejected.
-        assert!(Wisdom::from_json("{\"version\":3,\"entries\":[]}").is_err());
+        assert!(Wisdom::from_json("{\"version\":4,\"entries\":[]}").is_err());
+    }
+
+    #[test]
+    fn version_2_wisdom_migrates_and_replays_like_the_recorder() {
+        // A version-2 store (flat fuse_budget/simd/relayout columns, the
+        // PR 4 format) must load with every recorded knob intact...
+        let legacy = "{\"version\":2,\"entries\":[{\"n\":14,\"backend\":\
+                      \"instruction-model\",\"plan\":\"split[small[1],small[1],\
+                      small[1],small[1],small[1],small[1],small[1],small[1],\
+                      small[1],small[1],small[1],small[1],small[1],small[1]]\",\
+                      \"fuse_budget\":64,\"simd\":true,\"relayout\":512}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.fuse_budget(14, "instruction-model"), Some(64));
+        assert_eq!(w.simd_enabled(14, "instruction-model"), Some(true));
+        assert_eq!(w.relayout_budget(14, "instruction-model"), Some(512));
+        assert_eq!(
+            w.tuning(14, "instruction-model").unwrap().recodelet,
+            None,
+            "a stage the blob predates records no choice"
+        );
+        // ...re-serialize as version 3...
+        let migrated = Wisdom::from_json(&w.to_json()).unwrap();
+        assert_eq!(migrated, w);
+        // ...and replay the recorded configuration: the resolved policy
+        // matches the legacy per-knob resolution exactly, and with the
+        // post-v2 stage pinned off, the compiled schedule is *equal* to
+        // what the pre-pipeline executor compiled for this blob.
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(migrated);
+        warm.exec = ExecPolicy::default();
+        warm.pinned = PinnedKnobs {
+            recodelet: true,
+            ..PinnedKnobs::default()
+        };
+        warm.exec.recodelet = RecodeletPolicy::disabled();
+        let resolved = warm.resolved_exec(14);
+        assert_eq!(resolved.fusion, FusionPolicy::new(64));
+        assert!(resolved.simd.enabled());
+        assert_eq!(resolved.relayout, replay_relayout(512));
+        let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 11) as f64 - 5.0).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9, "migrated replay is exact");
+        let plan = warm.wisdom().get(14, "instruction-model").unwrap().clone();
+        assert_eq!(
+            warm.compiled.get(&14).unwrap(),
+            &CompiledPlan::compile_with(
+                &plan,
+                &FusionPolicy::new(64),
+                &replay_relayout(512),
+                &SimdPolicy::auto()
+            ),
+            "v2 blob + pinned-off tail stage = the pre-refactor schedule, exactly"
+        );
+        // With the importer's default (unpinned) tail policy the schedule
+        // additionally re-codelets — and output bits cannot change.
+        let mut modern = Planner::new(InstructionCost::default())
+            .with_wisdom(Wisdom::from_json(legacy).unwrap());
+        modern.exec = ExecPolicy::default();
+        modern.pinned = PinnedKnobs::default();
+        let mut y: Vec<f64> = (0..1 << 14).map(|j| (j % 11) as f64 - 5.0).collect();
+        modern.transform(&mut y).unwrap();
+        assert_eq!(
+            y, x,
+            "re-codeleted replay of migrated wisdom is bit-identical"
+        );
+        assert!(modern.compiled.get(&14).unwrap().has_recodeleted());
     }
 
     #[test]
@@ -1059,14 +1261,115 @@ mod tests {
         // Forward compatibility: a store written by a newer build with
         // extra tuning fields must still load here — unknown fields are
         // ignored, known ones are honored.
-        let future = "{\"version\":2,\"future_knob\":\"xyz\",\"entries\":[{\"n\":4,\
+        let future = "{\"version\":3,\"future_knob\":\"xyz\",\"entries\":[{\"n\":4,\
                       \"backend\":\"x\",\"plan\":\"split[small[2],small[2]]\",\
-                      \"fuse_budget\":64,\"simd\":false,\"relayout\":32,\
-                      \"prefetch_distance\":8}]}";
+                      \"tuning\":{\"fuse_budget\":64,\"simd\":false,\"relayout\":32,\
+                      \"recodelet\":true,\"prefetch_distance\":8}}]}";
         let w = Wisdom::from_json(future).unwrap();
         assert_eq!(w.fuse_budget(4, "x"), Some(64));
         assert_eq!(w.simd_enabled(4, "x"), Some(false));
         assert_eq!(w.relayout_budget(4, "x"), Some(32));
+        assert_eq!(w.tuning(4, "x").unwrap().recodelet, Some(true));
+    }
+
+    #[test]
+    fn recodelet_resolves_through_the_same_precedence_rule() {
+        // Recorded off beats the importer's default-on...
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                14,
+                "instruction-model",
+                Plan::iterative(14).unwrap(),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    relayout: Some(1 << 9),
+                    recodelet: Some(false),
+                    ..Tuning::default()
+                },
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
+        planner.exec = ExecPolicy::default();
+        planner.pinned = PinnedKnobs::default();
+        let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        let compiled = planner.compiled.get(&14).unwrap();
+        assert!(compiled.has_relayout());
+        assert!(
+            !compiled.has_recodeleted(),
+            "recorded recodelet=false must replay per-factor"
+        );
+        // ...an unpinned disabled default is a kill switch over a
+        // recorded on...
+        let mut on_record = Wisdom::new();
+        on_record
+            .insert_with_tuning(
+                14,
+                "instruction-model",
+                Plan::iterative(14).unwrap(),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    relayout: Some(1 << 9),
+                    recodelet: Some(true),
+                    ..Tuning::default()
+                },
+            )
+            .unwrap();
+        let mut killed = Planner::new(InstructionCost::default()).with_wisdom(on_record);
+        killed.exec = ExecPolicy::default();
+        killed.exec.recodelet = RecodeletPolicy::disabled();
+        killed.pinned = PinnedKnobs::default();
+        assert!(!killed.resolved_exec(14).recodelet.enabled());
+        // ...and an explicit pin beats the record both ways. (The other
+        // knobs are set to unpinned defaults by hand so the recorded
+        // fusion/relayout tuning replays identically on every CI leg.)
+        let mut pinned = Planner::new(InstructionCost::default()).with_wisdom(wisdom);
+        pinned.exec = ExecPolicy::default();
+        pinned.pinned = PinnedKnobs {
+            recodelet: true,
+            ..PinnedKnobs::default()
+        };
+        assert!(pinned.resolved_exec(14).recodelet.enabled());
+        let mut y: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        pinned.transform(&mut y).unwrap();
+        assert!(pinned.compiled.get(&14).unwrap().has_recodeleted());
+        assert_eq!(y, x, "re-codeleting never changes output bits");
+    }
+
+    #[test]
+    fn with_exec_pins_every_knob() {
+        // Wisdom records a full executor configuration; with_exec must
+        // beat all of it at once.
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                14,
+                "instruction-model",
+                Plan::iterative(14).unwrap(),
+                Tuning {
+                    fuse_budget: Some(1 << 6),
+                    simd: Some(true),
+                    relayout: Some(1 << 9),
+                    recodelet: Some(true),
+                },
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default())
+            .with_wisdom(wisdom)
+            .with_exec(ExecPolicy::all_disabled());
+        let resolved = planner.resolved_exec(14);
+        assert!(!resolved.fusion.enabled());
+        assert!(!resolved.simd.enabled());
+        assert!(!resolved.relayout.enabled());
+        assert!(!resolved.recodelet.enabled());
+        let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
+        let want = naive_wht(&x);
+        planner.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9);
+        let compiled = planner.compiled.get(&14).unwrap();
+        assert!(!compiled.is_fused() && !compiled.is_simd());
+        assert!(!compiled.has_relayout() && !compiled.has_recodeleted());
     }
 
     #[test]

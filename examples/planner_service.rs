@@ -7,19 +7,23 @@
 //! cost function — the FFTW wisdom workflow on the paper's algorithm
 //! space. Run with `cargo run --release --example planner_service`.
 //!
-//! Executor knobs: served transforms replay fused, SIMD-lane-kernel
-//! compiled schedules by default, with the large-stride tail relayouted
-//! through gathered scratch once the vector crosses the
-//! `RelayoutPolicy` size threshold (`WHT_RELAYOUT_THRESHOLD` tunes it
-//! per host). Wisdom records the tile budget, kernel backend, and
-//! per-size relayout tuning each entry was tuned with, and an importing
-//! planner replays that configuration. Opt out per process with
-//! `WHT_NO_FUSE=1` / `WHT_NO_SIMD=1` / `WHT_NO_RELAYOUT=1` (kill
-//! switches imported wisdom cannot override), or per planner with
-//! `.with_fusion(FusionPolicy::disabled())` /
-//! `.with_simd(SimdPolicy::disabled())` /
-//! `.with_relayout(RelayoutPolicy::disabled())`, which also pin the
-//! choice against recorded wisdom.
+//! Executor knobs: served transforms replay schedules lowered through the
+//! staged pipeline of `wht_core::compile` — prefix fusion, DDL tail
+//! relayout past the size threshold, re-codeleting, SIMD lane
+//! kernels — under **one** `ExecPolicy`. Each wisdom entry records the
+//! executor `Tuning` it was recorded with, and every knob of an importing
+//! planner resolves through one precedence rule: **API pin > wisdom >
+//! environment > default**. Concretely:
+//!
+//! - `.with_exec(policy)` (or a per-stage `.with_fusion(...)` /
+//!   `.with_simd(...)` / `.with_relayout(...)` / `.with_recodelet(...)`)
+//!   pins the choice — recorded wisdom no longer overrides it.
+//! - The `WHT_NO_FUSE` / `WHT_NO_SIMD` / `WHT_NO_RELAYOUT` /
+//!   `WHT_NO_RECODELET` kill switches disable a stage process-wide, and
+//!   imported wisdom can never re-enable it (see `wht_core::env` for the
+//!   full knob table).
+//! - Otherwise recorded tuning replays the recorder's configuration per
+//!   size, and the environment snapshot / defaults fill the gaps.
 
 use std::time::Instant;
 use wht::prelude::*;
@@ -63,22 +67,26 @@ fn main() -> Result<(), WhtError> {
         elapsed.as_secs_f64() * 1e3,
         elapsed.as_nanos() as f64 / requests as f64
     );
+
+    // The configuration a size actually compiles under is one resolved
+    // ExecPolicy — inspectable without compiling anything.
+    let resolved: ExecPolicy = server.resolved_exec(n);
+    let on_off = |on: bool| if on { "on" } else { "off" };
     println!(
-        "executor config: fusion {} (WHT_NO_FUSE opts out), SIMD lanes {} \
-         (WHT_NO_SIMD opts out), tail relayout {} past {} elems \
-         (WHT_NO_RELAYOUT / WHT_RELAYOUT_THRESHOLD opt out)",
-        if server.fusion().enabled() {
-            "on"
-        } else {
-            "off"
-        },
-        if server.simd().enabled() { "on" } else { "off" },
-        if server.relayout().enabled() {
-            "on"
-        } else {
-            "off"
-        },
-        server.relayout().min_elems,
+        "resolved executor config for n={n}: fusion {} (budget {} elems), \
+         tail relayout {} past {} elems, re-codeleting {} (max small[{}]), \
+         SIMD lanes {}",
+        on_off(resolved.fusion.enabled()),
+        resolved.fusion.budget_elems,
+        on_off(resolved.relayout.enabled()),
+        resolved.relayout.min_elems,
+        on_off(resolved.recodelet.enabled()),
+        resolved.recodelet.max_k,
+        on_off(resolved.simd.enabled()),
+    );
+    println!(
+        "(kill switches: WHT_NO_FUSE / WHT_NO_SIMD / WHT_NO_RELAYOUT / \
+         WHT_NO_RECODELET; pins: with_exec or the per-stage with_* builders)"
     );
     assert_eq!(
         server.evaluations(),

@@ -5,7 +5,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`, with cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)), SIMD lane-block kernels ([`SimdPolicy`](wht_core::SimdPolicy), `WHT_NO_SIMD` opt-out), and DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy), `WHT_NO_RELAYOUT` / `WHT_RELAYOUT_THRESHOLD` opt-outs) on by default |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`: a staged lowering pipeline — cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) → DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy)) → re-codeleting ([`RecodeletPolicy`](wht_core::RecodeletPolicy)) → SIMD lane-block kernel selection ([`SimdPolicy`](wht_core::SimdPolicy)) — driven by one [`ExecPolicy`](wht_core::ExecPolicy), on by default (every stage has a `WHT_NO_*` kill switch; see `wht_core::env` for the knob table) |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
@@ -58,9 +58,10 @@ pub use wht_core::{Plan, WhtError};
 pub mod prelude {
     pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
     pub use wht_core::{
-        apply_plan, apply_plan_recursive, compiled_for_with, lane_width, naive_wht, parse_plan,
-        to_sequency_order, CompiledPlan, FusionPolicy, Pass, PassBackend, Plan, Relayout,
-        RelayoutPolicy, Scalar, SimdPolicy, SuperPass, WhtError,
+        apply_plan, apply_plan_recursive, compiled_for_exec, compiled_for_with, lane_width,
+        naive_wht, parse_plan, to_sequency_order, CompiledPlan, ExecPolicy, FusionPolicy, Pass,
+        PassBackend, Plan, Provenance, RecodeletPolicy, Relayout, RelayoutPolicy, Scalar,
+        SimdPolicy, SuperPass, WhtError,
     };
     pub use wht_measure::{
         measure_plan, super_pass_traffic, time_compiled_plan, time_plan, MeasureOptions,
@@ -72,7 +73,7 @@ pub mod prelude {
     pub use wht_parallel::{measure_sweep, par_apply_compiled, par_apply_plan, Threads};
     pub use wht_search::{
         dp_search, pruned_search, random_search, DpOptions, FusedTrafficCost, InstructionCost,
-        PlanCost, Planner, SimCyclesCost, WallClockCost, Wisdom,
+        PlanCost, Planner, SimCyclesCost, Tuning, WallClockCost, Wisdom,
     };
     pub use wht_space::{plan_count, sample_plans_seeded, Sampler};
     pub use wht_stats::{describe, pearson, Histogram, PruneCurve};

@@ -211,7 +211,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Element count for [`vec`]: a fixed size or a half-open range.
+    /// Element count for [`vec()`]: a fixed size or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -243,7 +243,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
