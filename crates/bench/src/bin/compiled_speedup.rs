@@ -36,6 +36,17 @@
 //! field; version 2 adds `schema_version` itself and the
 //! `fused+simd+relayout+recodelet` executor rows).
 //!
+//! A second, batched-small table follows (emitting **`BENCH_batch.json`**,
+//! override with `--batch-json PATH`): rows × 2^n grids for n = 6–14
+//! timed through three executors — a per-transform `apply_plan` loop (the
+//! production serving baseline, paying the schedule-cache lookup per
+//! call), a per-row `CompiledPlan::apply_with_scratch` loop (lookup
+//! amortized, per-row kernels), and `CompiledPlan::apply_batch` (the
+//! cross-transform lane path) — with aggregate Melem/s per cell. This is
+//! the acceptance measurement for the batch stage: batching pays where a
+//! lone transform cannot fill the lanes (small n), and must stay neutral
+//! at batch size 1.
+//!
 //! Run with `--release`; flags: `--nmax N` (default 24, so the table
 //! reaches past a ~100 MiB LLC), `--reps R` (default 5), `--budget
 //! ELEMS` (fusion tile budget, default
@@ -44,11 +55,14 @@
 //! `RelayoutPolicy::DEFAULT_BUDGET_ELEMS`), `--llc-mib MIB` (the
 //! working-set bound the acceptance summaries treat as LLC-resident; set
 //! it to your host's LLC — the default 64 suits a ~100 MiB server part),
-//! `--json PATH`.
+//! `--json PATH`, `--batch-json PATH`, `--batch-only` (skip the
+//! single-transform table).
 
 use serde::Serialize;
+use std::time::Instant;
 use wht_core::{
-    CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy, SimdPolicy,
+    apply_plan, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
+    RelayoutPolicy, SimdPolicy,
 };
 use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
 
@@ -81,6 +95,29 @@ struct BenchFile {
     rows: Vec<BenchRow>,
 }
 
+/// One measured (plan, size, batch rows, executor) cell of the batched
+/// table — `min_ns` covers the whole batch; `melem_per_s` is aggregate.
+#[derive(Debug, Clone, Serialize)]
+struct BatchRow {
+    plan: String,
+    canonical: bool,
+    n: u32,
+    rows: u64,
+    executor: String,
+    min_ns: f64,
+    melem_per_s: f64,
+}
+
+/// The checked-in batched-small artifact (`BENCH_batch.json`).
+#[derive(Debug, Serialize)]
+struct BatchFile {
+    schema_version: u64,
+    bench: String,
+    methodology: String,
+    reps: u64,
+    rows: Vec<BatchRow>,
+}
+
 fn main() {
     let mut nmax = 24u32;
     let mut reps = 5usize;
@@ -88,6 +125,8 @@ fn main() {
     let mut relayout_budget = RelayoutPolicy::DEFAULT_BUDGET_ELEMS;
     let mut llc_mib = 64u64;
     let mut json_path = String::from("BENCH_tailcodelet.json");
+    let mut batch_json_path = String::from("BENCH_batch.json");
+    let mut batch_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,11 +154,18 @@ fn main() {
                     .expect("integer")
             }
             "--json" => json_path = args.next().expect("--json PATH"),
+            "--batch-json" => batch_json_path = args.next().expect("--batch-json PATH"),
+            "--batch-only" => batch_only = true,
             other => panic!(
                 "unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS, \
-                 --relayout-budget ELEMS, --llc-mib MIB, --json PATH"
+                 --relayout-budget ELEMS, --llc-mib MIB, --json PATH, --batch-json PATH, \
+                 --batch-only"
             ),
         }
+    }
+    if batch_only {
+        batch_bench(reps, &batch_json_path);
+        return;
     }
     let cfg = TimingConfig {
         warmup: 2,
@@ -191,6 +237,9 @@ fn main() {
                 relayout: relayout_policy,
                 recodelet: RecodeletPolicy::default(),
                 simd: SimdPolicy::auto(),
+                // Single-transform timing: the batch product is dead
+                // weight here (apply() never reads it).
+                batch: BatchPolicy::disabled(),
             });
             let tail = time_compiled_plan(&tail_plan, &cfg).expect("valid config");
             let compiled_speedup = interp.min_ns / compiled.min_ns;
@@ -317,5 +366,135 @@ fn main() {
     };
     let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
     std::fs::write(&json_path, json).expect("write benchmark JSON");
+    println!("wrote {json_path}");
+
+    batch_bench(reps, &batch_json_path);
+}
+
+/// The batched-small acceptance table: rows × 2^n grids through the
+/// per-transform `apply_plan` loop, the per-row compiled loop, and
+/// `apply_batch` — aggregate throughput per cell, `BENCH_batch.json` out.
+fn batch_bench(reps: usize, json_path: &str) {
+    println!(
+        "\nbatched-small execution (aggregate Melem/s, min over {reps} blocks, f64; \
+         batched = CompiledPlan::apply_batch, loops re-transform row by row)"
+    );
+    println!(
+        "{:>3}  {:<10}  {:>5}  {:>15}  {:>15}  {:>15}  {:>10}  {:>10}",
+        "n", "plan", "rows", "apply_plan loop", "compiled loop", "batched", "vs plan", "vs comp"
+    );
+    let exec = ExecPolicy::default().with_simd(SimdPolicy::auto());
+    let mut rows_out: Vec<BatchRow> = Vec::new();
+    // Worst batched/apply_plan-loop ratios over the canonical plans at
+    // engaged batch sizes — the acceptance summary.
+    let mut worst_small = f64::INFINITY; // n = 6..=12, rows >= 64
+    let mut worst_14 = f64::INFINITY; // n = 14, rows >= 64
+    let mut worst_single = f64::INFINITY; // rows == 1 (neutrality)
+    for n in (6..=14u32).step_by(2) {
+        let plans = [
+            ("iterative", Plan::iterative(n).expect("valid")),
+            ("right", Plan::right_recursive(n).expect("valid")),
+            ("left", Plan::left_recursive(n).expect("valid")),
+        ];
+        let size = 1usize << n;
+        for (name, plan) in plans {
+            let compiled = CompiledPlan::compile(&plan).lower(&exec);
+            for batch_rows in [1usize, 64, 256, 1024] {
+                let src: Vec<f64> = (0..batch_rows * size)
+                    .map(|j| ((j.wrapping_mul(0x9E3779B9)) % 512) as f64 / 64.0 - 4.0)
+                    .collect();
+                let mut x = src.clone();
+                let mut scratch: Vec<f64> = Vec::new();
+                // Warm every path (schedule caches, scratch sizing).
+                compiled
+                    .apply_batch_with_scratch(&mut x, batch_rows, &mut scratch)
+                    .expect("sized above");
+                apply_plan(&plan, &mut x[..size]).expect("sized above");
+                let (mut t_batch, mut t_plan, mut t_comp) = (f64::MAX, f64::MAX, f64::MAX);
+                for _ in 0..reps {
+                    x.copy_from_slice(&src);
+                    let t = Instant::now();
+                    compiled
+                        .apply_batch_with_scratch(&mut x, batch_rows, &mut scratch)
+                        .expect("sized above");
+                    t_batch = t_batch.min(t.elapsed().as_secs_f64());
+                    x.copy_from_slice(&src);
+                    let t = Instant::now();
+                    for row in x.chunks_exact_mut(size) {
+                        apply_plan(&plan, row).expect("sized above");
+                    }
+                    t_plan = t_plan.min(t.elapsed().as_secs_f64());
+                    x.copy_from_slice(&src);
+                    let t = Instant::now();
+                    for row in x.chunks_exact_mut(size) {
+                        compiled
+                            .apply_with_scratch(row, &mut scratch)
+                            .expect("sized above");
+                    }
+                    t_comp = t_comp.min(t.elapsed().as_secs_f64());
+                }
+                let melem = |t: f64| (batch_rows * size) as f64 / t / 1e6;
+                for (executor, t) in [
+                    ("apply_plan-loop", t_plan),
+                    ("compiled-loop", t_comp),
+                    ("batched", t_batch),
+                ] {
+                    rows_out.push(BatchRow {
+                        plan: name.to_string(),
+                        canonical: true,
+                        n,
+                        rows: batch_rows as u64,
+                        executor: executor.to_string(),
+                        min_ns: t * 1e9,
+                        melem_per_s: melem(t),
+                    });
+                }
+                let vs_plan = t_plan / t_batch;
+                let vs_comp = t_comp / t_batch;
+                if batch_rows >= 64 {
+                    if n <= 12 {
+                        worst_small = worst_small.min(vs_plan);
+                    } else {
+                        worst_14 = worst_14.min(vs_plan);
+                    }
+                } else {
+                    worst_single = worst_single.min(vs_plan);
+                }
+                println!(
+                    "{:>3}  {:<10}  {:>5}  {:>15.0}  {:>15.0}  {:>15.0}  {:>9.2}x  {:>9.2}x",
+                    n,
+                    name,
+                    batch_rows,
+                    melem(t_plan),
+                    melem(t_comp),
+                    melem(t_batch),
+                    vs_plan,
+                    vs_comp
+                );
+            }
+        }
+    }
+    println!(
+        "worst batched-over-apply_plan-loop, canonical plans: {worst_small:.2}x at \
+         n = 6..12 with >= 64 rows (acceptance: >= 3x), {worst_14:.2}x at n = 14 \
+         (acceptance: >= 1.5x), {worst_single:.2}x at batch size 1 (acceptance: \
+         neutral or better)"
+    );
+
+    let file = BatchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "batch".to_string(),
+        methodology: format!(
+            "min-of-{reps}-blocks ns per whole batch, aggregate Melem/s, f64, warmup 1; \
+             executors: apply_plan-loop = per-row apply_plan (schedule-cache lookup per \
+             call), compiled-loop = per-row CompiledPlan::apply_with_scratch, batched = \
+             CompiledPlan::apply_batch_with_scratch (cross-transform lane path, default \
+             BatchPolicy, SimdPolicy::auto)"
+        ),
+        reps: reps as u64,
+        rows: rows_out,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
+    std::fs::write(json_path, json).expect("write benchmark JSON");
     println!("wrote {json_path}");
 }

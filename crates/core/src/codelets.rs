@@ -540,6 +540,617 @@ pub unsafe fn apply_pass_lanes<T: Scalar>(k: u32, x: &mut [T], base: usize, r: u
 }
 
 // ---------------------------------------------------------------------------
+// Cross-transform lane kernels (the batched-small transpose path).
+// ---------------------------------------------------------------------------
+//
+// A batch of adjacent transforms is a row-major `rows × 2^n` matrix. For a
+// *single* transform the lane kernels above can only go as wide as the
+// pass's inner extent `s` — the head passes (`s < LANES`) run on narrow
+// sub-blocks. Transposing a group of `w` adjacent rows into scratch
+// (`scratch[j*w + u] = rows[u][j]`) turns every per-transform pass
+// `I(r) ⊗ WHT(2^k) ⊗ I(s)` into `I(r) ⊗ WHT(2^k) ⊗ I(s·w)` at unit stride
+// on the scratch: the `w` lanes of column block `j` are the *same
+// coordinate of `w` different transforms*, so every butterfly is full-width
+// whatever `s` was, and lanes never interact — output bits per transform
+// are identical to the per-row replay. The kernels below are the
+// transposes that carry blocks in and out of that domain (plus the
+// SRHT-fused variants); the butterflies themselves reuse the lane kernels
+// above through the ordinary `Pass` machinery with `s` scaled by `w`.
+
+/// Columns per transpose tile: each tile moves `w × TRANSPOSE_TILE`
+/// elements — at most 16 lanes × 32 columns × 8 bytes = 4 KiB, L1-resident
+/// for every scalar type — so the strided side of the transpose stays in
+/// cache while the contiguous side streams.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Portable body of [`gather_lanes_tile`]: `dst[j*w + u] =
+/// src[u*row_stride + j]` for `j < cols`, `u < w` — transpose one
+/// `w × cols` window of `w` strided rows into the lane-major scratch
+/// layout. Tiled over columns so the strided writes of one tile stay
+/// L1-resident while the row reads stream contiguously.
+///
+/// # Safety
+/// `w >= 1`, `cols >= 1`, `cols <= row_stride`,
+/// `src.len() >= (w-1) * row_stride + cols`, `dst.len() >= w * cols`.
+#[inline(always)]
+unsafe fn gather_lanes_body<T: Scalar>(
+    src: &[T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    dst: &mut [T],
+) {
+    debug_assert!(w >= 1 && cols >= 1 && cols <= row_stride);
+    debug_assert!(src.len() >= (w - 1) * row_stride + cols && dst.len() >= w * cols);
+    let mut j0 = 0;
+    while j0 < cols {
+        let jend = (j0 + TRANSPOSE_TILE).min(cols);
+        for u in 0..w {
+            let row = u * row_stride;
+            for j in j0..jend {
+                // SAFETY: u*row_stride + j and j*w + u are in bounds per
+                // the contract.
+                unsafe { *dst.get_unchecked_mut(j * w + u) = *src.get_unchecked(row + j) };
+            }
+        }
+        j0 = jend;
+    }
+}
+
+/// Portable body of [`scatter_lanes`]: `dst[u*n + j] = src[j*w + u]` — the
+/// exact inverse transpose of [`gather_lanes_body`].
+///
+/// # Safety
+/// Same contract as [`gather_lanes_body`] with the roles swapped.
+#[inline(always)]
+unsafe fn scatter_lanes_body<T: Scalar>(
+    dst: &mut [T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    src: &[T],
+) {
+    debug_assert!(w >= 1 && cols >= 1 && cols <= row_stride);
+    debug_assert!(dst.len() >= (w - 1) * row_stride + cols && src.len() >= w * cols);
+    let mut j0 = 0;
+    while j0 < cols {
+        let jend = (j0 + TRANSPOSE_TILE).min(cols);
+        for u in 0..w {
+            let row = u * row_stride;
+            for j in j0..jend {
+                // SAFETY: mirror of gather_lanes_body.
+                unsafe { *dst.get_unchecked_mut(row + j) = *src.get_unchecked(j * w + u) };
+            }
+        }
+        j0 = jend;
+    }
+}
+
+/// Portable body of [`gather_lanes_signed`]: the transpose-in with the
+/// SRHT's Rademacher sign flips fused into the load — `dst[j*w + u] =
+/// signs[j] * src[u*n + j]`, where `signs[j]` is the diagonal entry of `D`
+/// for transform coordinate `j` (shared by all `w` lanes of block `j`,
+/// which is what makes the fused flip branch-free per column tile).
+/// Negation is `ZERO - v`, exact for every [`Scalar`].
+///
+/// # Safety
+/// [`gather_lanes_body`]'s contract plus `signs.len() >= n`.
+#[inline(always)]
+unsafe fn gather_lanes_signed_body<T: Scalar>(
+    src: &[T],
+    n: usize,
+    w: usize,
+    signs: &[i8],
+    dst: &mut [T],
+) {
+    debug_assert!(w >= 1 && n >= 1);
+    debug_assert!(src.len() >= w * n && dst.len() >= w * n && signs.len() >= n);
+    let mut j0 = 0;
+    while j0 < n {
+        let jend = (j0 + TRANSPOSE_TILE).min(n);
+        for u in 0..w {
+            let row = u * n;
+            for j in j0..jend {
+                // SAFETY: same bounds as gather_lanes_body; signs[j] has
+                // j < n <= signs.len().
+                unsafe {
+                    let v = *src.get_unchecked(row + j);
+                    let flipped = if *signs.get_unchecked(j) < 0 {
+                        T::ZERO - v
+                    } else {
+                        v
+                    };
+                    *dst.get_unchecked_mut(j * w + u) = flipped;
+                }
+            }
+        }
+        j0 = jend;
+    }
+}
+
+/// The transpose bodies re-monomorphized under AVX2, runtime-selected
+/// exactly like the lane-kernel dispatch above — plus explicit
+/// shuffle-network kernels for the hot shape, `w == 8` rows of 8-byte
+/// scalars (the f64/i64 lane group): an 8 × 4 column block is transposed
+/// entirely in registers (two 4 × 4 `unpack`/`permute2f128` networks), so
+/// both sides of the transpose move whole vectors instead of scalar
+/// elements. The 8-byte kernels are pure data movement (loads, shuffles,
+/// stores — no arithmetic), so dispatching `i64` through the `f64` kernel
+/// is bit-exact; narrower scalars stay on the recompiled portable body.
+#[cfg(target_arch = "x86_64")]
+mod avx2_lanes {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Transpose a 4 × 4 f64 block held in four row vectors into its four
+    /// column vectors.
+    ///
+    /// # Safety
+    /// AVX2 must be available.
+    #[inline(always)]
+    unsafe fn transpose4(
+        a: __m256d,
+        b: __m256d,
+        c: __m256d,
+        d: __m256d,
+    ) -> (__m256d, __m256d, __m256d, __m256d) {
+        // SAFETY: pure register shuffles; AVX2 presence is the caller's
+        // contract.
+        unsafe {
+            let t0 = _mm256_unpacklo_pd(a, b); // a0 b0 a2 b2
+            let t1 = _mm256_unpackhi_pd(a, b); // a1 b1 a3 b3
+            let t2 = _mm256_unpacklo_pd(c, d);
+            let t3 = _mm256_unpackhi_pd(c, d);
+            (
+                _mm256_permute2f128_pd(t0, t2, 0x20), // a0 b0 c0 d0
+                _mm256_permute2f128_pd(t1, t3, 0x20), // a1 b1 c1 d1
+                _mm256_permute2f128_pd(t0, t2, 0x31), // a2 b2 c2 d2
+                _mm256_permute2f128_pd(t1, t3, 0x31), // a3 b3 c3 d3
+            )
+        }
+    }
+
+    /// [`gather_lanes_body`] specialized to `w == 8` rows of 8-byte
+    /// scalars, 4 columns per register-transposed block.
+    ///
+    /// # Safety
+    /// [`gather_lanes_body`]'s contract with `w == 8`, `cols.is_multiple_of(4)`,
+    /// both buffers valid for `f64` reinterpretation (any 8-byte
+    /// [`Scalar`]: the kernel only moves bits), and AVX2 available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather8_x64(src: *const f64, cols: usize, row_stride: usize, dst: *mut f64) {
+        // SAFETY: all offsets stay under the caller's bounds contract:
+        // reads at u*row_stride + j + 0..4 for u < 8, j + 4 <= cols;
+        // writes at (j+t)*8 + 0..8 for j + t < cols.
+        unsafe {
+            let mut j = 0;
+            while j < cols {
+                let a = _mm256_loadu_pd(src.add(j));
+                let b = _mm256_loadu_pd(src.add(row_stride + j));
+                let c = _mm256_loadu_pd(src.add(2 * row_stride + j));
+                let d = _mm256_loadu_pd(src.add(3 * row_stride + j));
+                let (lo0, lo1, lo2, lo3) = transpose4(a, b, c, d);
+                let a = _mm256_loadu_pd(src.add(4 * row_stride + j));
+                let b = _mm256_loadu_pd(src.add(5 * row_stride + j));
+                let c = _mm256_loadu_pd(src.add(6 * row_stride + j));
+                let d = _mm256_loadu_pd(src.add(7 * row_stride + j));
+                let (hi0, hi1, hi2, hi3) = transpose4(a, b, c, d);
+                _mm256_storeu_pd(dst.add(j * 8), lo0);
+                _mm256_storeu_pd(dst.add(j * 8 + 4), hi0);
+                _mm256_storeu_pd(dst.add((j + 1) * 8), lo1);
+                _mm256_storeu_pd(dst.add((j + 1) * 8 + 4), hi1);
+                _mm256_storeu_pd(dst.add((j + 2) * 8), lo2);
+                _mm256_storeu_pd(dst.add((j + 2) * 8 + 4), hi2);
+                _mm256_storeu_pd(dst.add((j + 3) * 8), lo3);
+                _mm256_storeu_pd(dst.add((j + 3) * 8 + 4), hi3);
+                j += 4;
+            }
+        }
+    }
+
+    /// Inverse of [`gather8_x64`]: lane-major scratch back to `w == 8`
+    /// strided rows.
+    ///
+    /// # Safety
+    /// [`scatter_lanes_body`]'s contract with `w == 8`, `cols.is_multiple_of(4)`,
+    /// 8-byte scalars, AVX2 available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scatter8_x64(dst: *mut f64, cols: usize, row_stride: usize, src: *const f64) {
+        // SAFETY: exact mirror of gather8_x64's access pattern.
+        unsafe {
+            let mut j = 0;
+            while j < cols {
+                let c0 = _mm256_loadu_pd(src.add(j * 8));
+                let c1 = _mm256_loadu_pd(src.add((j + 1) * 8));
+                let c2 = _mm256_loadu_pd(src.add((j + 2) * 8));
+                let c3 = _mm256_loadu_pd(src.add((j + 3) * 8));
+                let (r0, r1, r2, r3) = transpose4(c0, c1, c2, c3);
+                _mm256_storeu_pd(dst.add(j), r0);
+                _mm256_storeu_pd(dst.add(row_stride + j), r1);
+                _mm256_storeu_pd(dst.add(2 * row_stride + j), r2);
+                _mm256_storeu_pd(dst.add(3 * row_stride + j), r3);
+                let c0 = _mm256_loadu_pd(src.add(j * 8 + 4));
+                let c1 = _mm256_loadu_pd(src.add((j + 1) * 8 + 4));
+                let c2 = _mm256_loadu_pd(src.add((j + 2) * 8 + 4));
+                let c3 = _mm256_loadu_pd(src.add((j + 3) * 8 + 4));
+                let (r4, r5, r6, r7) = transpose4(c0, c1, c2, c3);
+                _mm256_storeu_pd(dst.add(4 * row_stride + j), r4);
+                _mm256_storeu_pd(dst.add(5 * row_stride + j), r5);
+                _mm256_storeu_pd(dst.add(6 * row_stride + j), r6);
+                _mm256_storeu_pd(dst.add(7 * row_stride + j), r7);
+                j += 4;
+            }
+        }
+    }
+
+    /// [`gather8_x64`] with the SRHT sign flips fused in: after the
+    /// in-register transpose every vector holds one coordinate's 4 lanes,
+    /// so `signs[j] < 0` is one vector `0.0 - v` per column vector — the
+    /// exact operation the portable body performs per element, so the
+    /// fused path is bit-identical to it (signed zeros included). **f64
+    /// only** — the body handles integers.
+    ///
+    /// # Safety
+    /// [`gather_lanes_signed_body`]'s contract with `w == 8`,
+    /// `cols.is_multiple_of(4)`, f64 data, `signs` valid for `cols` reads, and
+    /// AVX2 available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather8_signed_f64(
+        src: *const f64,
+        cols: usize,
+        row_stride: usize,
+        signs: *const i8,
+        dst: *mut f64,
+    ) {
+        // SAFETY: gather8_x64's access pattern plus signs[j..j+4] reads
+        // under the caller's contract.
+        unsafe {
+            let zero = _mm256_setzero_pd();
+            let flip = |v: __m256d, s: i8| if s < 0 { _mm256_sub_pd(zero, v) } else { v };
+            let mut j = 0;
+            while j < cols {
+                let a = _mm256_loadu_pd(src.add(j));
+                let b = _mm256_loadu_pd(src.add(row_stride + j));
+                let c = _mm256_loadu_pd(src.add(2 * row_stride + j));
+                let d = _mm256_loadu_pd(src.add(3 * row_stride + j));
+                let (lo0, lo1, lo2, lo3) = transpose4(a, b, c, d);
+                let a = _mm256_loadu_pd(src.add(4 * row_stride + j));
+                let b = _mm256_loadu_pd(src.add(5 * row_stride + j));
+                let c = _mm256_loadu_pd(src.add(6 * row_stride + j));
+                let d = _mm256_loadu_pd(src.add(7 * row_stride + j));
+                let (hi0, hi1, hi2, hi3) = transpose4(a, b, c, d);
+                let s0 = *signs.add(j);
+                let s1 = *signs.add(j + 1);
+                let s2 = *signs.add(j + 2);
+                let s3 = *signs.add(j + 3);
+                _mm256_storeu_pd(dst.add(j * 8), flip(lo0, s0));
+                _mm256_storeu_pd(dst.add(j * 8 + 4), flip(hi0, s0));
+                _mm256_storeu_pd(dst.add((j + 1) * 8), flip(lo1, s1));
+                _mm256_storeu_pd(dst.add((j + 1) * 8 + 4), flip(hi1, s1));
+                _mm256_storeu_pd(dst.add((j + 2) * 8), flip(lo2, s2));
+                _mm256_storeu_pd(dst.add((j + 2) * 8 + 4), flip(hi2, s2));
+                _mm256_storeu_pd(dst.add((j + 3) * 8), flip(lo3, s3));
+                _mm256_storeu_pd(dst.add((j + 3) * 8 + 4), flip(hi3, s3));
+                j += 4;
+            }
+        }
+    }
+
+    /// # Safety
+    /// [`gather_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_f64(
+        src: &[f64],
+        cols: usize,
+        row_stride: usize,
+        w: usize,
+        dst: &mut [f64],
+    ) {
+        // SAFETY: forwarded contract.
+        unsafe { gather_lanes_body(src, cols, row_stride, w, dst) }
+    }
+
+    /// # Safety
+    /// [`gather_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_f32(
+        src: &[f32],
+        cols: usize,
+        row_stride: usize,
+        w: usize,
+        dst: &mut [f32],
+    ) {
+        // SAFETY: forwarded contract.
+        unsafe { gather_lanes_body(src, cols, row_stride, w, dst) }
+    }
+
+    /// # Safety
+    /// [`scatter_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scatter_f64(
+        dst: &mut [f64],
+        cols: usize,
+        row_stride: usize,
+        w: usize,
+        src: &[f64],
+    ) {
+        // SAFETY: forwarded contract.
+        unsafe { scatter_lanes_body(dst, cols, row_stride, w, src) }
+    }
+
+    /// # Safety
+    /// [`scatter_lanes_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scatter_f32(
+        dst: &mut [f32],
+        cols: usize,
+        row_stride: usize,
+        w: usize,
+        src: &[f32],
+    ) {
+        // SAFETY: forwarded contract.
+        unsafe { scatter_lanes_body(dst, cols, row_stride, w, src) }
+    }
+
+    /// # Safety
+    /// [`gather_lanes_signed_body`]'s contract, plus AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_signed_f32(
+        src: &[f32],
+        n: usize,
+        w: usize,
+        signs: &[i8],
+        dst: &mut [f32],
+    ) {
+        // SAFETY: forwarded contract.
+        unsafe { gather_lanes_signed_body(src, n, w, signs, dst) }
+    }
+}
+
+/// Reinterpret an immutable `x` as a slice of `U` (the shared-reference
+/// sibling of [`same_type_slice`], for the read-only side of a transpose).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn same_type_slice_ref<T: Scalar, U: Scalar>(x: &[T]) -> &[U] {
+    assert_eq!(std::any::TypeId::of::<T>(), std::any::TypeId::of::<U>());
+    // SAFETY: T == U was just checked, so layout and validity are
+    // trivially identical.
+    unsafe { &*(x as *const [T] as *const [U]) }
+}
+
+/// Transpose one `w × cols` window of `w` strided rows (row `u` starts at
+/// `src[u * row_stride]`) into the lane-major scratch layout:
+/// `dst[j*w + u] = src[u*row_stride + j]` for `j < cols`. This is the
+/// batched executor's transpose-in, tile-addressable so the caller can
+/// walk a large transform in L1-sized column windows — after it, every
+/// per-transform pass `(k, r, s)` runs on `dst` as `(k, r, s·w)` at unit
+/// stride, full lane width whatever `s` was.
+///
+/// Dispatch: `w == 8` rows of 8-byte scalars with `cols.is_multiple_of(4)` hits the
+/// in-register AVX2 shuffle network (bit-exact for `i64` — pure data
+/// movement); f64/f32 otherwise take the AVX2-recompiled portable body;
+/// everything else the portable body.
+///
+/// # Safety
+/// `w >= 1`, `1 <= cols <= row_stride`,
+/// `src.len() >= (w-1) * row_stride + cols`, `dst.len() >= w * cols`.
+#[inline]
+pub unsafe fn gather_lanes_tile<T: Scalar>(
+    src: &[T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    dst: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::any::TypeId;
+        if std::mem::size_of::<T>() == 8 && w == 8 && cols.is_multiple_of(4) && avx2_available() {
+            // SAFETY: forwarded contract; the kernel is pure 8-byte data
+            // movement, so reinterpreting any 8-byte Scalar as f64 bits is
+            // value-preserving. AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::gather8_x64(
+                    src.as_ptr() as *const f64,
+                    cols,
+                    row_stride,
+                    dst.as_mut_ptr() as *mut f64,
+                )
+            };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f64>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::gather_f64(
+                    same_type_slice_ref(src),
+                    cols,
+                    row_stride,
+                    w,
+                    same_type_slice(dst),
+                )
+            };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f32>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::gather_f32(
+                    same_type_slice_ref(src),
+                    cols,
+                    row_stride,
+                    w,
+                    same_type_slice(dst),
+                )
+            };
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { gather_lanes_body(src, cols, row_stride, w, dst) }
+}
+
+/// Transpose the lane-major scratch back over one `w × cols` window of
+/// strided rows: `dst[u*row_stride + j] = src[j*w + u]` — the exact
+/// inverse of [`gather_lanes_tile`], same dispatch.
+///
+/// # Safety
+/// Same contract as [`gather_lanes_tile`] with the roles swapped.
+#[inline]
+pub unsafe fn scatter_lanes_tile<T: Scalar>(
+    dst: &mut [T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    src: &[T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::any::TypeId;
+        if std::mem::size_of::<T>() == 8 && w == 8 && cols.is_multiple_of(4) && avx2_available() {
+            // SAFETY: forwarded contract; pure 8-byte data movement as in
+            // gather_lanes_tile. AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::scatter8_x64(
+                    dst.as_mut_ptr() as *mut f64,
+                    cols,
+                    row_stride,
+                    src.as_ptr() as *const f64,
+                )
+            };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f64>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::scatter_f64(
+                    same_type_slice(dst),
+                    cols,
+                    row_stride,
+                    w,
+                    same_type_slice_ref(src),
+                )
+            };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f32>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::scatter_f32(
+                    same_type_slice(dst),
+                    cols,
+                    row_stride,
+                    w,
+                    same_type_slice_ref(src),
+                )
+            };
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { scatter_lanes_body(dst, cols, row_stride, w, src) }
+}
+
+/// Transpose `w` adjacent length-`n` rows of `src` into the lane-major
+/// layout: `dst[j*w + u] = src[u*n + j]` — [`gather_lanes_tile`] with the
+/// window covering whole rows (`cols == row_stride == n`).
+///
+/// # Safety
+/// `w >= 1`, `n >= 1`, `src.len() >= w * n`, `dst.len() >= w * n`.
+#[inline]
+pub unsafe fn gather_lanes<T: Scalar>(src: &[T], n: usize, w: usize, dst: &mut [T]) {
+    // SAFETY: forwarded contract with cols == row_stride == n.
+    unsafe { gather_lanes_tile(src, n, n, w, dst) }
+}
+
+/// Transpose the lane-major scratch back over `w` adjacent rows:
+/// `dst[u*n + j] = src[j*w + u]` — the exact inverse of [`gather_lanes`].
+///
+/// # Safety
+/// Same contract as [`gather_lanes`] with the roles swapped.
+#[inline]
+pub unsafe fn scatter_lanes<T: Scalar>(dst: &mut [T], n: usize, w: usize, src: &[T]) {
+    // SAFETY: forwarded contract with cols == row_stride == n.
+    unsafe { scatter_lanes_tile(dst, n, n, w, src) }
+}
+
+/// [`gather_lanes`] with the SRHT's per-coordinate Rademacher sign flips
+/// fused into the load: `dst[j*w + u] = signs[j] * src[u*n + j]`
+/// (`signs[j] < 0` negates — exact for every scalar type). The diagonal
+/// `D` of `P·H·D` is applied for free on the way into the transposed
+/// domain instead of in a separate sweep.
+///
+/// # Safety
+/// [`gather_lanes`]'s contract plus `signs.len() >= n`.
+#[inline]
+pub unsafe fn gather_lanes_signed<T: Scalar>(
+    src: &[T],
+    n: usize,
+    w: usize,
+    signs: &[i8],
+    dst: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::any::TypeId;
+        if TypeId::of::<T>() == TypeId::of::<f64>() && avx2_available() {
+            if w == 8 && n.is_multiple_of(4) {
+                // SAFETY: forwarded contract (cols == row_stride == n);
+                // AVX2 presence checked above. The fused flip is the same
+                // `0.0 - v` the portable body computes, so bit-identical.
+                return unsafe {
+                    avx2_lanes::gather8_signed_f64(
+                        src.as_ptr() as *const f64,
+                        n,
+                        n,
+                        signs.as_ptr(),
+                        dst.as_mut_ptr() as *mut f64,
+                    )
+                };
+            }
+        } else if TypeId::of::<T>() == TypeId::of::<f32>() && avx2_available() {
+            // SAFETY: forwarded contract; AVX2 presence checked above.
+            return unsafe {
+                avx2_lanes::gather_signed_f32(
+                    same_type_slice_ref(src),
+                    n,
+                    w,
+                    signs,
+                    same_type_slice(dst),
+                )
+            };
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { gather_lanes_signed_body(src, n, w, signs, dst) }
+}
+
+/// The SRHT's subsampled transpose-out: `dst[u*m + i] =
+/// src[indices[i]*w + u]` for `i < m = indices.len()`, `u < w` — only the
+/// sampled coordinates leave the transposed domain, fusing the `P` of
+/// `P·H·D` into the store (the full inverse transpose never happens).
+/// Each sampled column is one contiguous `w`-element block of `src`, so
+/// the reads vectorize; portable only — `m` is small by construction
+/// (sketching), so this is never the hot sweep.
+///
+/// # Safety
+/// `w >= 1`, `dst.len() >= w * m`, and every index must be in bounds:
+/// `indices[i] * w + w - 1 < src.len()`.
+#[inline]
+pub unsafe fn scatter_lanes_sampled<T: Scalar>(
+    dst: &mut [T],
+    m: usize,
+    w: usize,
+    indices: &[usize],
+    src: &[T],
+) {
+    debug_assert!(w >= 1 && indices.len() == m);
+    debug_assert!(dst.len() >= w * m);
+    for (i, &j) in indices.iter().enumerate() {
+        debug_assert!(j * w + w - 1 < src.len());
+        for u in 0..w {
+            // SAFETY: j*w + u < src.len() and u*m + i < w*m <= dst.len()
+            // per the contract.
+            unsafe { *dst.get_unchecked_mut(u * m + i) = *src.get_unchecked(j * w + u) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Relayout gather/scatter kernels (the DDL copies of the compiled executor).
 // ---------------------------------------------------------------------------
 
@@ -872,6 +1483,75 @@ mod tests {
                     // SAFETY: whole pass fits the buffer by construction.
                     unsafe { apply_pass_lanes(k, &mut lanes, 0, r, s) };
                     assert_eq!(lanes, scalar, "k={k}, s={s}");
+                }
+            }
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<i64>();
+        check::<i32>();
+    }
+
+    /// The lane transposes are exact inverses, for every scalar type and
+    /// a spread of widths (including non-lane-width `w`s and `n`s that are
+    /// not multiples of the transpose tile).
+    #[test]
+    fn lane_transposes_round_trip() {
+        fn check<T: Scalar>() {
+            for (w, n) in [(1usize, 7usize), (2, 32), (8, 33), (8, 64), (16, 100)] {
+                let src: Vec<T> = (0..w * n)
+                    .map(|j| T::from_i64((j % 113) as i64 - 56))
+                    .collect();
+                let mut t = vec![T::ZERO; w * n];
+                // SAFETY: both buffers hold exactly w*n elements.
+                unsafe { gather_lanes(&src, n, w, &mut t) };
+                for u in 0..w {
+                    for j in 0..n {
+                        assert_eq!(t[j * w + u], src[u * n + j], "w={w}, n={n}");
+                    }
+                }
+                let mut back = vec![T::ZERO; w * n];
+                // SAFETY: same bounds.
+                unsafe { scatter_lanes(&mut back, n, w, &t) };
+                assert_eq!(back, src, "w={w}, n={n}");
+            }
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<i64>();
+        check::<i32>();
+    }
+
+    /// The signed gather flips exactly the negative-sign columns, for all
+    /// lanes of a block, and the sampled scatter picks exactly the indexed
+    /// columns in order.
+    #[test]
+    fn srht_fused_transposes_are_exact() {
+        fn check<T: Scalar>() {
+            let (w, n) = (4usize, 40usize);
+            let src: Vec<T> = (0..w * n).map(|j| T::from_i64(j as i64 - 70)).collect();
+            let signs: Vec<i8> = (0..n).map(|j| if j % 3 == 0 { -1 } else { 1 }).collect();
+            let mut t = vec![T::ZERO; w * n];
+            // SAFETY: buffers hold w*n elements, signs holds n.
+            unsafe { gather_lanes_signed(&src, n, w, &signs, &mut t) };
+            for u in 0..w {
+                for j in 0..n {
+                    let want = if signs[j] < 0 {
+                        T::ZERO - src[u * n + j]
+                    } else {
+                        src[u * n + j]
+                    };
+                    assert_eq!(t[j * w + u], want, "u={u}, j={j}");
+                }
+            }
+            let indices = [0usize, 7, 7, 39, 13];
+            let m = indices.len();
+            let mut out = vec![T::ZERO; w * m];
+            // SAFETY: out holds w*m elements, every index < n.
+            unsafe { scatter_lanes_sampled(&mut out, m, w, &indices, &t) };
+            for u in 0..w {
+                for (i, &j) in indices.iter().enumerate() {
+                    assert_eq!(out[u * m + i], t[j * w + u], "u={u}, i={i}");
                 }
             }
         }

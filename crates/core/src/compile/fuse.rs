@@ -34,6 +34,7 @@ impl CompiledPlan {
                 .into_iter()
                 .map(|sp| sp.with_backend(backend))
                 .collect(),
+            batch: None,
         }
     }
 }

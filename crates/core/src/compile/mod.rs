@@ -110,12 +110,15 @@ mod stages;
 mod tests;
 
 pub use policy::{
-    resolve_knob, ExecKey, ExecPolicy, FusionPolicy, PolicyKnob, RecodeletPolicy, RelayoutPolicy,
-    SMALL_MERGE_ROWS,
+    resolve_knob, BatchPolicy, ExecKey, ExecPolicy, FusionPolicy, PolicyKnob, RecodeletPolicy,
+    RelayoutPolicy, SMALL_MERGE_ROWS,
 };
 pub use stages::{lowering_stages, LoweringStage};
 
-use crate::codelets::{apply_codelet, apply_pass_lanes, gather_rows, scatter_rows, SimdPolicy};
+use crate::codelets::{
+    apply_codelet, apply_pass_lanes, gather_lanes_tile, gather_rows, scatter_lanes_tile,
+    scatter_rows, SimdPolicy,
+};
 use crate::engine::ExecHooks;
 use crate::error::WhtError;
 use crate::plan::Plan;
@@ -215,7 +218,7 @@ impl Pass {
     /// # Safety
     /// `base + (span() - 1) · stride < x.len()`.
     #[inline]
-    unsafe fn apply_full_backend<T: Scalar>(&self, x: &mut [T], backend: PassBackend) {
+    pub(crate) unsafe fn apply_full_backend<T: Scalar>(&self, x: &mut [T], backend: PassBackend) {
         // SAFETY (both arms): forwarded contract; for the lane kernel,
         // stride == 1 makes the bound exactly base + r·2^k·s - 1 < len.
         unsafe {
@@ -297,6 +300,10 @@ pub struct Provenance {
     /// part count minus re-codeleted part count; `0` when the stage left
     /// the unit alone).
     pub recodeleted: usize,
+    /// This unit executes in the batched cross-transform domain (only ever
+    /// set on the units [`CompiledPlan::traverse_batch`] synthesizes from a
+    /// [`BatchSchedule`]; the single-transform schedule never carries it).
+    pub batched: bool,
 }
 
 /// One scheduling unit of a [`CompiledPlan`]: `parts` consecutive factors
@@ -601,7 +608,7 @@ impl SuperPass {
     /// # Safety
     /// `base + (span() - 1) · stride < x.len()` plus the validate
     /// invariants; for relayout units `scratch.len() >= tile_elems()`.
-    unsafe fn apply_all<T: Scalar>(&self, x: &mut [T], scratch: &mut [T]) {
+    pub(crate) unsafe fn apply_all<T: Scalar>(&self, x: &mut [T], scratch: &mut [T]) {
         for j in 0..self.tiles {
             // SAFETY: forwarded contract.
             unsafe {
@@ -612,6 +619,89 @@ impl SuperPass {
                 }
             }
         }
+    }
+}
+
+/// Inner extents at or past this are already full lane width for every
+/// scalar type (the widest lane block is 16 — `f32`/`i32`), so the batched
+/// executor runs those passes within-transform; only the narrower head
+/// passes pay the transposes to run cross-transform. Type-independent so
+/// schedules stay scalar-type-agnostic.
+const CROSS_MAX_S: usize = 16;
+
+/// Largest transform the batch stage builds a [`BatchSchedule`] for
+/// (`2^18` elements): the transposed working set of one lane group is
+/// `LANES · 2^n` elements — 16 MiB of `f64`s at this cap, LLC-resident on
+/// the reference host. Past it the batched-small premise (per-call
+/// overhead and idle lanes dominate) no longer holds: the single-transform
+/// pipeline's own stages are the right tool, and a per-row replay is what
+/// `apply_batch` falls back to.
+const BATCH_MAX_ELEMS: usize = 1 << 18;
+
+/// Target size of one transposed cross-stage tile in elements (a power of
+/// two): `512` is 4 KiB of `f64`s — small enough that the tile, the lane
+/// group's streaming rows, and the codelet working set all stay
+/// L1-resident together (measured best among 256–4096 on an AVX2 host) —
+/// so the cross passes hit cache however large `2^n` grows, at the cost
+/// of re-walking the short cross pass list once per tile. The actual tile
+/// widens past this only when a single cross footprint `2^k·s` is larger
+/// (it must divide the tile).
+const CROSS_TILE_ELEMS: usize = 512;
+
+/// The batched-execution product of the lowering pipeline's batch stage:
+/// how [`CompiledPlan::apply_batch`] runs a `rows × 2^n` batch of adjacent
+/// transforms (see the module docs' "the lowering pipeline").
+///
+/// The flat factor schedule is split at [`struct@Pass`] granularity by inner
+/// extent: the **cross** prefix (every pass with `s <` the widest lane
+/// width) runs in the transposed scratch domain, where a lane group of
+/// `w = `[`crate::Scalar::LANES`] adjacent rows turns each pass
+/// `(k, r, s)` into `(k, r, s·w)` at unit stride — full-width butterflies
+/// whatever `s` was; the **tail** (passes already at full lane width
+/// within one transform) runs per row after the scatter back, while the
+/// group's rows are still cache-resident. Execution order per transform is
+/// exactly the flat schedule's, and lanes never interact, so batched
+/// output is bit-identical to the per-row replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSchedule {
+    /// Flat-schedule prefix run cross-transform, in per-transform
+    /// coordinates (`base` 0, `stride` 1; strides are scaled by the lane
+    /// width at execution time, keeping the schedule scalar-type-agnostic).
+    cross: Vec<Pass>,
+    /// Flat-schedule suffix run within-transform per row.
+    tail: Vec<Pass>,
+    /// Engagement threshold recorded from the [`BatchPolicy`] this
+    /// schedule was lowered under (see [`BatchPolicy::block_rows`]).
+    block_rows: usize,
+    /// Kernel backend replaying both domains (the batch stage runs after
+    /// backend selection and inherits its choice).
+    backend: PassBackend,
+}
+
+impl BatchSchedule {
+    /// The flat-schedule prefix run cross-transform (per-transform
+    /// coordinates).
+    #[inline]
+    pub fn cross(&self) -> &[Pass] {
+        &self.cross
+    }
+
+    /// The flat-schedule suffix run within-transform per row.
+    #[inline]
+    pub fn tail(&self) -> &[Pass] {
+        &self.tail
+    }
+
+    /// Minimum batch rows at which the cross path engages.
+    #[inline]
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Kernel backend replaying the batched passes.
+    #[inline]
+    pub fn backend(&self) -> PassBackend {
+        self.backend
     }
 }
 
@@ -642,6 +732,12 @@ pub struct CompiledPlan {
     passes: Vec<Pass>,
     /// The execution grouping actually replayed by [`CompiledPlan::apply`].
     schedule: Vec<SuperPass>,
+    /// The batched-execution product ([`CompiledPlan::apply_batch`]'s
+    /// program), `None` until the batch stage builds one (and always
+    /// `None` when the [`BatchPolicy`] is disabled or the transform is
+    /// past [`BATCH_MAX_ELEMS`]). Pre-batch stages reset it: they rewrite
+    /// the flat schedule the split was derived from.
+    batch: Option<BatchSchedule>,
 }
 
 impl CompiledPlan {
@@ -659,6 +755,7 @@ impl CompiledPlan {
             n,
             passes,
             schedule,
+            batch: None,
         }
     }
 
@@ -741,6 +838,7 @@ impl CompiledPlan {
                 .iter()
                 .map(|sp| sp.clone().with_backend(backend))
                 .collect(),
+            batch: None,
         }
     }
 
@@ -749,6 +847,80 @@ impl CompiledPlan {
         self.schedule
             .iter()
             .any(|sp| sp.backend == PassBackend::Lanes)
+    }
+
+    /// Build the batched-execution product under `policy` (lowering stage
+    /// 5 — the last stage, so it sees the post-re-codelet flat factor list
+    /// and the selected backend). The single-transform schedule is
+    /// untouched: the product is *additional* ([`CompiledPlan::apply`]
+    /// replays exactly as before), so like every stage this is
+    /// output-bit-preserving by construction. With a disabled policy —
+    /// or a transform past the `BATCH_MAX_ELEMS` size cap, or a
+    /// hand-built schedule
+    /// whose flat factors are not in canonical chained form — no product
+    /// is built and [`CompiledPlan::apply_batch`] replays per row.
+    #[must_use]
+    pub fn with_batch(&self, policy: &BatchPolicy) -> CompiledPlan {
+        let mut out = self.clone();
+        out.batch = self.build_batch(policy);
+        out
+    }
+
+    /// The [`BatchSchedule`] split for this schedule under `policy`, when
+    /// one applies (see [`CompiledPlan::with_batch`] for when it doesn't).
+    fn build_batch(&self, policy: &BatchPolicy) -> Option<BatchSchedule> {
+        if !policy.enabled() || self.size() > BATCH_MAX_ELEMS || self.passes.is_empty() {
+            return None;
+        }
+        // The split relies on the flat schedule's canonical form: every
+        // pass covers the whole vector at base 0, stride 1 (that is what
+        // makes the lane-width scaling of the cross prefix safe on the
+        // transposed scratch), with non-decreasing inner extents (so the
+        // narrow passes form a prefix). Every pipeline-compiled plan has
+        // it by construction; a hand-built schedule that doesn't simply
+        // does not batch.
+        let size = self.size();
+        let mut prev_s = 0usize;
+        for p in &self.passes {
+            if p.base != 0 || p.stride != 1 || p.checked_span() != Some(size) || p.s < prev_s {
+                return None;
+            }
+            prev_s = p.s;
+        }
+        let split = self
+            .passes
+            .iter()
+            .position(|p| p.s >= CROSS_MAX_S)
+            .unwrap_or(self.passes.len());
+        if split == 0 {
+            // Every pass is already full lane width within one transform:
+            // the transposes would buy nothing.
+            return None;
+        }
+        let backend = if self.is_simd() {
+            PassBackend::Lanes
+        } else {
+            PassBackend::Scalar
+        };
+        Some(BatchSchedule {
+            cross: self.passes[..split].to_vec(),
+            tail: self.passes[split..].to_vec(),
+            block_rows: policy.block_rows,
+            backend,
+        })
+    }
+
+    /// The batched-execution product the batch stage built, if any.
+    #[inline]
+    pub fn batch_schedule(&self) -> Option<&BatchSchedule> {
+        self.batch.as_ref()
+    }
+
+    /// `true` if this schedule carries a batched-execution product (the
+    /// batch-stage counterpart of [`CompiledPlan::is_fused`] /
+    /// [`CompiledPlan::is_simd`]).
+    pub fn is_batched(&self) -> bool {
+        self.batch.is_some()
     }
 
     /// Assemble a compiled plan from hand-built super-passes, validating
@@ -785,6 +957,7 @@ impl CompiledPlan {
             n,
             passes,
             schedule,
+            batch: None,
         };
         plan.validate()?;
         Ok(plan)
@@ -876,6 +1049,130 @@ impl CompiledPlan {
         Ok(())
     }
 
+    /// Compute the WHT of every row of a row-major `rows × 2^n` batch in
+    /// place — the batched-small fast path. One schedule lookup and one
+    /// scratch setup amortize over the whole batch, and when the batch
+    /// stage built a [`BatchSchedule`] (see [`CompiledPlan::with_batch`])
+    /// and `rows` reaches the engagement threshold, lane groups of
+    /// [`Scalar::LANES`] adjacent rows run the narrow head passes
+    /// **cross-transform**: the group is transposed into scratch
+    /// ([`crate::codelets::gather_lanes`]), where every head pass
+    /// `(k, r, s)` becomes `(k, r, s·w)` at unit stride — full-width
+    /// butterflies regardless of `s` — and the full-width tail then runs
+    /// per row while the group is still cache-resident. Each transform's
+    /// butterfly DAG is identical to the per-row replay (lanes never
+    /// interact), so output is bit-identical for floats and exact for
+    /// integers, whatever path a row took.
+    ///
+    /// Batches below the threshold (and the sub-lane-group remainder of
+    /// any batch) replay row by row through the ordinary schedule, so a
+    /// batch of one costs exactly one [`CompiledPlan::apply`].
+    ///
+    /// Allocates its scratch per call; hot services use
+    /// [`CompiledPlan::apply_batch_with_scratch`] to amortize that away.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == rows * self.size()`.
+    pub fn apply_batch<T: Scalar>(&self, x: &mut [T], rows: usize) -> Result<(), WhtError> {
+        let mut scratch = Vec::new();
+        self.apply_batch_with_scratch(x, rows, &mut scratch)
+    }
+
+    /// [`CompiledPlan::apply_batch`] with a caller-owned scratch buffer:
+    /// grown to the larger of one transposed cross tile
+    /// (`LANES` · tile columns — L1-sized) and
+    /// [`CompiledPlan::scratch_elems`] on first use, never shrunk — the
+    /// warm path allocates nothing (asserted by the counting-allocator
+    /// test alongside the DDL one).
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == rows * self.size()`.
+    pub fn apply_batch_with_scratch<T: Scalar>(
+        &self,
+        x: &mut [T],
+        rows: usize,
+        scratch: &mut Vec<T>,
+    ) -> Result<(), WhtError> {
+        let size = self.size();
+        let expected = rows.saturating_mul(size);
+        if x.len() != expected {
+            return Err(WhtError::LengthMismatch {
+                expected,
+                got: x.len(),
+            });
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        let w = T::LANES;
+        let Some(b) = self.batch.as_ref().filter(|b| rows >= b.block_rows.max(w)) else {
+            for row in x.chunks_exact_mut(size) {
+                self.apply_with_scratch(row, scratch)?;
+            }
+            return Ok(());
+        };
+        let group = w * size;
+        // Column-tile the cross stage so the transposed scratch stays
+        // L1-resident whatever 2^n is: every cross footprint 2^k·s is a
+        // power of two, so a power-of-two tile at least as wide as the
+        // largest footprint splits every pass into whole butterfly blocks
+        // — pass (k, r, s) becomes (k, tile/2^k·s, s·w) per tile, same
+        // butterflies, same order within each column.
+        let max_foot = b
+            .cross
+            .iter()
+            .map(|p| (1usize << p.k) * p.s)
+            .max()
+            .unwrap_or(1);
+        let tile_cols = (CROSS_TILE_ELEMS / w).max(max_foot).min(size);
+        let tile_elems = tile_cols * w;
+        let needed = tile_elems.max(self.scratch_elems());
+        if scratch.len() < needed {
+            scratch.resize(needed, T::ZERO);
+        }
+        let groups = rows / w;
+        for g in 0..groups {
+            let block = &mut x[g * group..(g + 1) * group];
+            let mut j0 = 0;
+            while j0 < size {
+                let tblock = &mut scratch[..tile_elems];
+                // SAFETY: j0 + tile_cols <= size (both powers of two), so
+                // the window reads (w-1)·size + tile_cols elements past
+                // j0 within the w·size block; tblock holds w·tile_cols.
+                unsafe { gather_lanes_tile(&block[j0..], tile_cols, size, w, tblock) };
+                for p in &b.cross {
+                    let scaled = Pass {
+                        k: p.k,
+                        r: tile_cols / ((1usize << p.k) * p.s),
+                        s: p.s * w,
+                        base: 0,
+                        stride: 1,
+                    };
+                    // SAFETY: the scaled pass spans r·2^k·s·w =
+                    // tile_cols·w == tblock.len() elements at base 0,
+                    // stride 1.
+                    unsafe { scaled.apply_full_backend(tblock, b.backend) };
+                }
+                // SAFETY: same bounds as the gather.
+                unsafe { scatter_lanes_tile(&mut block[j0..], tile_cols, size, w, tblock) };
+                j0 += tile_cols;
+            }
+            if !b.tail.is_empty() {
+                for row in block.chunks_exact_mut(size) {
+                    for p in &b.tail {
+                        // SAFETY: build_batch checked each flat pass spans
+                        // exactly size elements at base 0, stride 1.
+                        unsafe { p.apply_full_backend(row, b.backend) };
+                    }
+                }
+            }
+        }
+        for row in x[groups * group..].chunks_exact_mut(size) {
+            self.apply_with_scratch(row, scratch)?;
+        }
+        Ok(())
+    }
+
     /// Replay the schedule datalessly, reporting each step to `hooks` —
     /// the compiled counterpart of [`crate::engine::traverse`], consumed
     /// by the instrumented counter and the cache-trace executor in
@@ -899,11 +1196,20 @@ impl CompiledPlan {
     pub fn traverse<H: ExecHooks>(&self, hooks: &mut H) {
         let scratch_base = self.size().next_multiple_of(64);
         hooks.enter_split(self.n, self.schedule.len());
+        self.traverse_units(0, scratch_base, hooks);
+    }
+
+    /// The body of [`CompiledPlan::traverse`], shifted by `offset`
+    /// elements: one schedule replay reported at the addresses of the row
+    /// starting there ([`CompiledPlan::traverse_batch`] reuses it per
+    /// batch row). Scratch addresses are *not* shifted — every row streams
+    /// through the same scratch, exactly as execution does.
+    fn traverse_units<H: ExecHooks>(&self, offset: usize, scratch_base: usize, hooks: &mut H) {
         for sp in &self.schedule {
             hooks.super_pass(sp);
             for j in 0..sp.tiles {
                 if let Some(rl) = sp.relayout {
-                    hooks.relayout_gather(j * rl.cols, rl, scratch_base);
+                    hooks.relayout_gather(offset + j * rl.cols, rl, scratch_base);
                     for p in 0..sp.parts.len() {
                         let pass = sp.parts[p];
                         hooks.child_loops(pass.k, pass.r, pass.s);
@@ -915,10 +1221,110 @@ impl CompiledPlan {
                             );
                         }
                     }
-                    hooks.relayout_scatter(j * rl.cols, rl, scratch_base);
+                    hooks.relayout_scatter(offset + j * rl.cols, rl, scratch_base);
                 } else {
                     for p in 0..sp.parts.len() {
                         let pass = sp.tile_pass(p, j);
+                        hooks.child_loops(pass.k, pass.r, pass.s);
+                        for q in 0..pass.invocations() {
+                            hooks.leaf_call(
+                                pass.k,
+                                offset + pass.invocation_base(q),
+                                pass.codelet_stride(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched counterpart of [`CompiledPlan::traverse`]: replay
+    /// [`CompiledPlan::apply_batch`]'s program for a `rows × 2^n` batch
+    /// datalessly, reporting each step to `hooks` — so batched traffic is
+    /// charged through the **existing** [`ExecHooks`] surface, no new
+    /// hook methods. `lanes` is the lane width of the scalar type being
+    /// modeled ([`Scalar::LANES`]; `traverse` is dataless, so the caller
+    /// names it).
+    ///
+    /// Hook mapping: each engaged lane group is reported as one
+    /// synthesized cross-transform [`SuperPass`] — `relayout` geometry
+    /// `{rows: lanes, row_stride: 2^n, cols: 2^n}`, so the two transposes
+    /// are charged exactly like relayout's gather/scatter copies
+    /// (`lanes · 2^n` elements each), with the scaled head passes' leaf
+    /// calls at scratch addresses (past the whole batch, rounded to a
+    /// cache line) — followed, when the tail is non-empty, by one direct
+    /// super-pass whose `lanes` tiles are the group's rows, leaf calls at
+    /// the real row addresses. Both carry
+    /// [`Provenance::batched`]. Disengaged batches (no
+    /// [`BatchSchedule`], or `rows` below the threshold) and the
+    /// sub-lane-group remainder replay the ordinary schedule per row at
+    /// each row's offset, exactly as `apply_batch` executes them.
+    pub fn traverse_batch<H: ExecHooks>(&self, rows: usize, lanes: usize, hooks: &mut H) {
+        let size = self.size();
+        let w = lanes.max(1);
+        let scratch_base = (rows * size).next_multiple_of(64);
+        let Some(b) = self.batch.as_ref().filter(|b| rows >= b.block_rows.max(w)) else {
+            hooks.enter_split(self.n, rows * self.schedule.len());
+            for row in 0..rows {
+                self.traverse_units(row * size, scratch_base, hooks);
+            }
+            return;
+        };
+        let groups = rows / w;
+        let rem = rows % w;
+        let group_units = if b.tail.is_empty() { 1 } else { 2 };
+        hooks.enter_split(self.n, groups * group_units + rem * self.schedule.len());
+        let rl = Relayout {
+            rows: w,
+            row_stride: size,
+            cols: size,
+        };
+        let batched = Provenance {
+            batched: true,
+            ..Provenance::default()
+        };
+        for g in 0..groups {
+            let base = g * w * size;
+            let cross = SuperPass {
+                parts: b.cross.iter().map(|p| Pass { s: p.s * w, ..*p }).collect(),
+                tile: w * size,
+                tiles: 1,
+                base,
+                stride: 1,
+                backend: b.backend,
+                relayout: Some(rl),
+                provenance: batched,
+            };
+            hooks.super_pass(&cross);
+            hooks.relayout_gather(base, rl, scratch_base);
+            for pass in &cross.parts {
+                hooks.child_loops(pass.k, pass.r, pass.s);
+                for q in 0..pass.invocations() {
+                    hooks.leaf_call(
+                        pass.k,
+                        scratch_base + pass.invocation_base(q),
+                        pass.codelet_stride(),
+                    );
+                }
+            }
+            hooks.relayout_scatter(base, rl, scratch_base);
+            if !b.tail.is_empty() {
+                let tail = SuperPass {
+                    parts: b.tail.clone(),
+                    tile: size,
+                    tiles: w,
+                    base,
+                    stride: 1,
+                    backend: b.backend,
+                    relayout: None,
+                    provenance: batched,
+                };
+                hooks.super_pass(&tail);
+                for j in 0..w {
+                    for p in 0..tail.parts.len() {
+                        // tile_pass folds the group base in (tail.base).
+                        let pass = tail.tile_pass(p, j);
                         hooks.child_loops(pass.k, pass.r, pass.s);
                         for q in 0..pass.invocations() {
                             hooks.leaf_call(pass.k, pass.invocation_base(q), pass.codelet_stride());
@@ -926,6 +1332,9 @@ impl CompiledPlan {
                     }
                 }
             }
+        }
+        for row in 0..rem {
+            self.traverse_units((groups * w + row) * size, scratch_base, hooks);
         }
     }
 
@@ -1164,6 +1573,7 @@ pub fn compiled_for_with(
             relayout: *relayout,
             recodelet: RecodeletPolicy::disabled(),
             simd: *simd,
+            batch: BatchPolicy::disabled(),
         },
     )
 }

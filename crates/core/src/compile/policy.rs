@@ -2,7 +2,7 @@
 //! pipeline and the [`ExecPolicy`] that carries all of them.
 //!
 //! Each lowering stage (see [`crate::compile::LoweringStage`]) is gated by
-//! one policy struct; [`ExecPolicy`] bundles the four so the whole
+//! one policy struct; [`ExecPolicy`] bundles the five so the whole
 //! executor configuration travels as **one value** — one environment
 //! snapshot, one schedule-cache key, one wisdom record, one resolution.
 //!
@@ -364,6 +364,96 @@ impl Default for RecodeletPolicy {
     }
 }
 
+/// Policy for the batched-small fast path
+/// ([`CompiledPlan::apply_batch`](crate::compile::CompiledPlan::apply_batch)):
+/// when a batch of adjacent transforms runs through the cross-transform
+/// lane kernels instead of a per-row replay of the schedule.
+///
+/// A batch is a row-major `rows × 2^n` matrix of independent transforms.
+/// The batched executor transposes lane groups of [`crate::Scalar::LANES`]
+/// adjacent rows into scratch, where every head pass (`s <` the widest
+/// lane block) runs full-width *across* transforms; the two transposes
+/// cost about two sweeps of the group, so the path only pays off once
+/// enough rows amortize them. `block_rows` is that measured engagement
+/// threshold. Mirrors [`FusionPolicy`]: environment (`WHT_NO_BATCH=1`
+/// disables, `WHT_BATCH_BLOCK=<rows>` overrides the threshold), explicit
+/// policies pin through the API, and the schedule cache keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Minimum batch rows at which [`CompiledPlan::apply_batch`](crate::compile::CompiledPlan::apply_batch)
+    /// engages the cross-transform path (batches below it — and the
+    /// sub-lane-group remainder of any batch — replay per row). `0`
+    /// disables the stage: no [`BatchSchedule`](crate::compile::BatchSchedule)
+    /// is built at all.
+    pub block_rows: usize,
+}
+
+impl BatchPolicy {
+    /// Default engagement threshold: one full lane group of the widest
+    /// scalar type (16 rows — `f32`/`i32` lane width; two groups of
+    /// `f64`/`i64`). Measured (AVX2 host, f64, `BENCH_batch.json`), the
+    /// cross path wins decisively where lone transforms leave lanes idle
+    /// (3.2–4.3× aggregate over a per-transform `apply_plan` loop at
+    /// n = 6, 1.5–1.9× at n = 8) and is within noise of the per-row
+    /// replay once the full-width tail dominates (n ≥ 10), so the default
+    /// engages as soon as a full group of any type exists; wisdom entries
+    /// tune it per size.
+    pub const DEFAULT_BLOCK_ROWS: usize = 16;
+
+    /// Policy with an explicit engagement threshold.
+    pub fn new(block_rows: usize) -> Self {
+        BatchPolicy { block_rows }
+    }
+
+    /// Batched execution off: `apply_batch` replays every row through the
+    /// ordinary schedule.
+    pub fn disabled() -> Self {
+        BatchPolicy { block_rows: 0 }
+    }
+
+    /// Policy from the process environment: `WHT_NO_BATCH=1` disables the
+    /// stage, `WHT_BATCH_BLOCK=<rows>` overrides the engagement threshold
+    /// (`0` also disables), and the default applies otherwise. Read fresh
+    /// on every call; the production entry point snapshots
+    /// [`ExecPolicy::from_env`] once per process.
+    ///
+    /// # Panics
+    /// If `WHT_BATCH_BLOCK` is set but malformed (the uniform
+    /// [`crate::env`] contract).
+    pub fn from_env() -> Self {
+        if env::flag("WHT_NO_BATCH") {
+            return BatchPolicy::disabled();
+        }
+        env::parse("WHT_BATCH_BLOCK")
+            .map(BatchPolicy::new)
+            .unwrap_or_default()
+    }
+
+    /// `true` if this policy can batch anything at all (a threshold of one
+    /// row engages whenever a full lane group exists).
+    pub fn enabled(&self) -> bool {
+        self.block_rows >= 1
+    }
+
+    /// Canonical cache key for this policy (all disabled policies are the
+    /// same policy).
+    pub(crate) fn cache_key(&self) -> usize {
+        if self.enabled() {
+            self.block_rows
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            block_rows: Self::DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
 /// The full executor configuration, as **one value**: every stage of the
 /// lowering pipeline (fuse → relayout → re-codelet → backend-select) reads
 /// its policy from here, the per-thread schedule cache keys on
@@ -397,11 +487,13 @@ pub struct ExecPolicy {
     pub recodelet: RecodeletPolicy,
     /// Kernel backend selection (stage 4).
     pub simd: SimdPolicy,
+    /// Batched-small cross-transform execution (stage 5).
+    pub batch: BatchPolicy,
 }
 
 /// One cache key covering every knob of an [`ExecPolicy`] (see
 /// [`ExecPolicy::cache_key`]).
-pub type ExecKey = (usize, (usize, usize, usize), (u32, usize), bool);
+pub type ExecKey = (usize, (usize, usize, usize), (u32, usize), bool, usize);
 
 impl ExecPolicy {
     /// The whole executor configuration from the process environment —
@@ -415,6 +507,7 @@ impl ExecPolicy {
             relayout: RelayoutPolicy::from_env(),
             recodelet: RecodeletPolicy::from_env(),
             simd: SimdPolicy::from_env(),
+            batch: BatchPolicy::from_env(),
         }
     }
 
@@ -426,6 +519,7 @@ impl ExecPolicy {
             relayout: RelayoutPolicy::disabled(),
             recodelet: RecodeletPolicy::disabled(),
             simd: SimdPolicy::disabled(),
+            batch: BatchPolicy::disabled(),
         }
     }
 
@@ -458,6 +552,13 @@ impl ExecPolicy {
         self
     }
 
+    /// This policy with the batch stage replaced (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Canonical schedule-cache key: one tuple covering every knob, with
     /// all disabled variants of a stage collapsing to the same key. This
     /// is **the** cache key — adding a lowering stage means adding a
@@ -468,6 +569,7 @@ impl ExecPolicy {
             self.relayout.cache_key(),
             self.recodelet.cache_key(),
             self.simd.enabled(),
+            self.batch.cache_key(),
         )
     }
 }
@@ -501,6 +603,12 @@ impl PolicyKnob for RecodeletPolicy {
 impl PolicyKnob for SimdPolicy {
     fn enabled(&self) -> bool {
         SimdPolicy::enabled(self)
+    }
+}
+
+impl PolicyKnob for BatchPolicy {
+    fn enabled(&self) -> bool {
+        BatchPolicy::enabled(self)
     }
 }
 

@@ -116,6 +116,7 @@ impl CompiledPlan {
             n: self.n,
             passes,
             schedule,
+            batch: None,
         }
     }
 }

@@ -132,6 +132,7 @@ impl CompiledPlan {
             n: self.n,
             passes: self.passes.clone(),
             schedule,
+            batch: None,
         }
     }
 }

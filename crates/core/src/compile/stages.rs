@@ -77,18 +77,34 @@ impl LoweringStage for BackendStage {
     }
 }
 
+/// Stage 5: the batched-execution product ([`CompiledPlan::with_batch`]).
+struct BatchStage(super::BatchPolicy);
+
+impl LoweringStage for BatchStage {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.with_batch(&self.0)
+    }
+}
+
 /// The standard stage sequence for `policy`, in execution order:
-/// fuse → relayout → recodelet → backend-select. Order matters and is
-/// fixed here once: fusion must run before relayout (the tail is
+/// fuse → relayout → recodelet → backend-select → batch. Order matters
+/// and is fixed here once: fusion must run before relayout (the tail is
 /// whatever fusion could not merge), re-codeleting before backend
-/// selection is immaterial but keeps structural rewrites together, and
-/// re-fusing later would discard the relayout grouping.
+/// selection is immaterial but keeps structural rewrites together,
+/// re-fusing later would discard the relayout grouping, and the batch
+/// stage must come last — its cross/tail split is derived from the final
+/// flat factor list (post-re-codelet) and inherits the selected backend,
+/// and every earlier stage resets the batch product it would invalidate.
 pub fn lowering_stages(policy: &ExecPolicy) -> Vec<Box<dyn LoweringStage>> {
     vec![
         Box::new(FuseStage(policy.fusion)),
         Box::new(RelayoutStage(policy.relayout)),
         Box::new(RecodeletStage(policy.recodelet)),
         Box::new(BackendStage(policy.simd)),
+        Box::new(BatchStage(policy.batch)),
     ]
 }
 

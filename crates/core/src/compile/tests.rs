@@ -557,23 +557,26 @@ fn lower_runs_the_documented_stage_order() {
         relayout: RelayoutPolicy::eager(1 << 9),
         recodelet: RecodeletPolicy::default(),
         simd: SimdPolicy::auto(),
+        batch: BatchPolicy::default(),
     };
     let lowered = CompiledPlan::compile(&plan).lower(&policy);
     let by_hand = CompiledPlan::compile(&plan)
         .fuse(&policy.fusion)
         .relayout(&policy.relayout)
         .recodelet(&policy.recodelet)
-        .with_simd(&policy.simd);
+        .with_simd(&policy.simd)
+        .with_batch(&policy.batch);
     assert_eq!(lowered, by_hand);
     assert!(lowered.is_fused() && lowered.has_relayout());
     assert!(lowered.has_recodeleted() && lowered.is_simd());
+    assert!(lowered.is_batched());
     // Stage names, for provenance reporting.
     assert_eq!(
         lowering_stages(&policy)
             .iter()
             .map(|s| s.name())
             .collect::<Vec<_>>(),
-        vec!["fuse", "relayout", "recodelet", "backend-select"]
+        vec!["fuse", "relayout", "recodelet", "backend-select", "batch"]
     );
     // All stages disabled: the pipeline is the identity on the compiled
     // schedule (the pure scalar unfused baseline).
@@ -597,6 +600,7 @@ fn exec_policy_cache_keys_cover_every_stage() {
         base.with_relayout(RelayoutPolicy::eager(1 << 4)),
         base.with_recodelet(RecodeletPolicy::new(3)),
         base.with_simd(SimdPolicy::disabled()),
+        base.with_batch(BatchPolicy::new(64)),
     ] {
         assert_ne!(changed.cache_key(), base.cache_key(), "{changed:?}");
     }
@@ -604,6 +608,10 @@ fn exec_policy_cache_keys_cover_every_stage() {
     assert_eq!(
         base.with_recodelet(RecodeletPolicy::disabled()).cache_key(),
         base.with_recodelet(RecodeletPolicy::new(1)).cache_key()
+    );
+    assert_eq!(
+        base.with_batch(BatchPolicy::disabled()).cache_key(),
+        base.with_batch(BatchPolicy { block_rows: 0 }).cache_key()
     );
     assert_eq!(
         ExecPolicy::all_disabled().cache_key(),
@@ -788,6 +796,7 @@ fn cached_compile_returns_identical_schedule() {
         relayout: RelayoutPolicy::eager(1 << 8),
         recodelet: RecodeletPolicy::default(),
         simd: SimdPolicy::auto(),
+        batch: BatchPolicy::default(),
     };
     let pinned = compiled_for_exec(&plan, &exec);
     assert_eq!(*pinned, CompiledPlan::compile_exec(&plan, &exec));
@@ -919,6 +928,11 @@ fn resolve_knob_precedence_truth_table_for_every_knob() {
         SimdPolicy::disabled(),
         SimdPolicy::auto(),
     );
+    check(
+        BatchPolicy::default(),
+        BatchPolicy::disabled(),
+        BatchPolicy::new(64),
+    );
     // A recorded *disabled* choice (e.g. wisdom tuned with fusion off)
     // replays as disabled under an enabled, unpinned default.
     assert_eq!(
@@ -957,4 +971,202 @@ fn env_policy_constructors() {
         RecodeletPolicy::disabled().cache_key(),
         RecodeletPolicy::new(0).cache_key()
     );
+    assert!(!BatchPolicy::disabled().enabled());
+    assert!(BatchPolicy::new(1).enabled());
+    assert_eq!(
+        BatchPolicy::default().block_rows,
+        BatchPolicy::DEFAULT_BLOCK_ROWS
+    );
+    assert_eq!(
+        BatchPolicy::disabled().cache_key(),
+        BatchPolicy { block_rows: 0 }.cache_key()
+    );
+}
+
+#[test]
+fn batch_stage_splits_at_the_lane_width_frontier() {
+    // iterative(10): radix-2 passes at s = 1, 2, ..., 512. The cross
+    // prefix is every pass narrower than the widest lane block (16); the
+    // tail is everything already full width within one transform.
+    let compiled = CompiledPlan::compile(&Plan::iterative(10).unwrap());
+    let batched = compiled.with_batch(&BatchPolicy::new(8));
+    assert!(batched.is_batched());
+    let b = batched.batch_schedule().unwrap();
+    assert_eq!(b.block_rows(), 8);
+    assert_eq!(b.backend(), PassBackend::Scalar);
+    assert_eq!(b.cross().len(), 4, "s = 1, 2, 4, 8 run cross-transform");
+    assert!(b.cross().iter().all(|p| p.s < 16));
+    assert!(b.tail().iter().all(|p| p.s >= 16));
+    // The split partitions the flat factor list in order.
+    let mut joined = b.cross().to_vec();
+    joined.extend_from_slice(b.tail());
+    assert_eq!(joined.as_slice(), batched.passes());
+    // The single-transform schedule is untouched: the product is additive.
+    assert_eq!(batched.super_passes(), compiled.super_passes());
+    assert_eq!(batched.passes(), compiled.passes());
+    // The stage runs after backend selection and inherits its choice.
+    let lanes = compiled
+        .with_simd(&SimdPolicy::auto())
+        .with_batch(&BatchPolicy::new(8));
+    assert_eq!(
+        lanes.batch_schedule().unwrap().backend(),
+        PassBackend::Lanes
+    );
+    // A pre-batch stage that rewrites the schedule resets the product it
+    // would invalidate; a no-op stage (nothing to merge in these
+    // single-part units) preserves it.
+    assert!(!batched.fuse(&FusionPolicy::new(1 << 6)).is_batched());
+    assert!(batched.recodelet(&RecodeletPolicy::default()).is_batched());
+    assert!(!batched
+        .fuse(&FusionPolicy::new(1 << 4))
+        .recodelet(&RecodeletPolicy::default())
+        .is_batched());
+}
+
+#[test]
+fn batch_stage_declines_when_it_cannot_help() {
+    // A disabled policy builds no product.
+    let compiled = CompiledPlan::compile(&Plan::iterative(10).unwrap());
+    assert!(!compiled.with_batch(&BatchPolicy::disabled()).is_batched());
+    // Past the size cap (2^19 > BATCH_MAX_ELEMS = 2^18) the batched-small
+    // premise is gone: no product, apply_batch replays per row.
+    let big = CompiledPlan::compile(&Plan::iterative(19).unwrap());
+    assert!(!big.with_batch(&BatchPolicy::default()).is_batched());
+    // A hand-built schedule whose every pass is already full lane width
+    // has nothing to run cross-transform.
+    let wide = Pass {
+        k: 1,
+        r: 1,
+        s: 16,
+        base: 0,
+        stride: 1,
+    };
+    let all_wide =
+        CompiledPlan::from_super_passes(5, vec![SuperPass::new(vec![wide], 32, 1, 0, 1)]).unwrap();
+    assert!(!all_wide.with_batch(&BatchPolicy::default()).is_batched());
+    // A hand-built schedule with decreasing inner extents is not in
+    // canonical chained form: the narrow passes are no prefix, so the
+    // split declines rather than build a wrong program.
+    let decreasing = CompiledPlan::from_super_passes(
+        2,
+        vec![
+            SuperPass::new(
+                vec![Pass {
+                    k: 1,
+                    r: 1,
+                    s: 2,
+                    base: 0,
+                    stride: 1,
+                }],
+                4,
+                1,
+                0,
+                1,
+            ),
+            SuperPass::new(
+                vec![Pass {
+                    k: 1,
+                    r: 2,
+                    s: 1,
+                    base: 0,
+                    stride: 1,
+                }],
+                4,
+                1,
+                0,
+                1,
+            ),
+        ],
+    )
+    .unwrap();
+    assert!(!decreasing.with_batch(&BatchPolicy::default()).is_batched());
+}
+
+#[test]
+fn apply_batch_is_bit_identical_to_per_row_apply() {
+    // The core batched-execution contract, over every scalar type: for a
+    // lowered schedule with a batch product, apply_batch equals a per-row
+    // apply bit for bit — engaged lane groups, the sub-group remainder,
+    // and disengaged small batches alike.
+    fn check<T: Scalar>(compiled: &CompiledPlan, rows: usize, seed: u64) {
+        let size = compiled.size();
+        let input: Vec<T> = crate::testkit::random_signal(rows * size, seed);
+        let mut per_row = input.clone();
+        for row in per_row.chunks_exact_mut(size) {
+            compiled.apply(row).unwrap();
+        }
+        let mut batched = input;
+        compiled.apply_batch(&mut batched, rows).unwrap();
+        assert_eq!(batched, per_row, "rows {rows}");
+    }
+    for n in [3u32, 7, 10] {
+        for plan in test_plans(n) {
+            let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+                batch: BatchPolicy::new(1),
+                ..ExecPolicy::default()
+            });
+            assert!(lowered.is_batched(), "plan {plan}");
+            // Rows straddling every engagement regime: batch-of-one,
+            // below the widest lane group, exactly one f64 group, one
+            // f32 group plus remainder, several groups plus remainder.
+            for rows in [1usize, 3, 8, 17, 33, 64] {
+                check::<f64>(&lowered, rows, 0x5eed ^ u64::from(n));
+                check::<f32>(&lowered, rows, 0x5eed ^ u64::from(n));
+                check::<i64>(&lowered, rows, 0x5eed ^ u64::from(n));
+                check::<i32>(&lowered, rows, 0x5eed ^ u64::from(n));
+            }
+        }
+    }
+}
+
+#[test]
+fn apply_batch_checks_geometry_and_handles_the_empty_batch() {
+    let compiled =
+        CompiledPlan::compile(&Plan::iterative(4).unwrap()).with_batch(&BatchPolicy::default());
+    let mut x = vec![1.0f64; 3 * 16];
+    assert_eq!(
+        compiled.apply_batch(&mut x, 2),
+        Err(WhtError::LengthMismatch {
+            expected: 32,
+            got: 48
+        })
+    );
+    // rows = 0 with an empty buffer is a fine (empty) batch.
+    let mut empty: Vec<f64> = Vec::new();
+    assert!(compiled.apply_batch(&mut empty, 0).is_ok());
+    // A non-empty buffer with rows = 0 is a length mismatch, not a hang.
+    assert!(compiled.apply_batch(&mut x, 0).is_err());
+    // rows * size overflow must come back as a typed error.
+    assert!(compiled.apply_batch(&mut x, usize::MAX / 2).is_err());
+}
+
+#[test]
+fn apply_batch_scratch_warms_once_and_is_reused() {
+    // The warm path allocates nothing: one scratch grow on first use,
+    // then stable capacity across batches (the counting-allocator proof
+    // lives in tests/ddl_noalloc.rs; this pins the sizing contract).
+    let compiled = CompiledPlan::compile(&Plan::iterative(8).unwrap()).lower(&ExecPolicy {
+        batch: BatchPolicy::new(1),
+        ..ExecPolicy::default()
+    });
+    let size = compiled.size();
+    let rows = 3 * <f64 as Scalar>::LANES + 5;
+    let mut x: Vec<f64> = crate::testkit::random_signal(rows * size, 9);
+    let mut scratch: Vec<f64> = Vec::new();
+    compiled
+        .apply_batch_with_scratch(&mut x, rows, &mut scratch)
+        .unwrap();
+    let warm = scratch.len();
+    assert!(
+        warm >= compiled.scratch_elems() && warm >= <f64 as Scalar>::LANES,
+        "scratch must cover the per-row schedule and at least one transposed column"
+    );
+    assert!(
+        warm <= (<f64 as Scalar>::LANES * size).max(compiled.scratch_elems()),
+        "the cross tile never exceeds one transposed lane group"
+    );
+    compiled
+        .apply_batch_with_scratch(&mut x, rows, &mut scratch)
+        .unwrap();
+    assert_eq!(scratch.len(), warm, "second batch must not regrow scratch");
 }

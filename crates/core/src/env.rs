@@ -29,6 +29,8 @@
 //! | `WHT_NO_RECODELET` | kill switch: every scheduling unit keeps one pass per factor | re-codeleting on |
 //! | `WHT_RECODELET_MAX_K` | largest merged codelet exponent (`0`/`1` disable; max [`crate::plan::MAX_LEAF_K`]) | `4` |
 //! | `WHT_RECODELET_FOOTPRINT` | largest strided span (elements) one merged codelet call may touch | `4096` |
+//! | `WHT_NO_BATCH` | kill switch: [`apply_batch`](crate::compile::CompiledPlan::apply_batch) replays every row per-transform | batching on past the row threshold |
+//! | `WHT_BATCH_BLOCK` | batch rows past which `apply_batch` runs cross-transform (`0` disables) | `16` |
 //!
 //! Each kill switch also has an API equivalent (`*Policy::disabled()`)
 //! that *pins* the choice per call site; the environment configures the

@@ -42,6 +42,7 @@
 //! | [`engine`] | the triply-nested-loop interpreter ([`apply_plan_recursive`]) and the hook-based traversal ([`traverse`]) instrumentation builds on |
 //! | [`compile`] | flattened pass schedules and the staged lowering pipeline: [`CompiledPlan`] compilation, the [`ExecPolicy`]-driven stage sequence fuse ([`FusionPolicy`], [`SuperPass`]) → DDL tail relayout ([`RelayoutPolicy`], [`Relayout`]) → re-codelet ([`RecodeletPolicy`]) → kernel backend selection ([`PassBackend`]), per-unit stage [`Provenance`], the zero-recursion executor behind [`apply_plan`], the per-thread `(plan, ExecPolicy)` schedule cache |
 //! | [`mod@env`] | the one place `WHT_*` environment knobs are read, with the knob table and the uniform parse contract |
+//! | [`srht`] | SRHT sketching ([`Srht`]): Rademacher signs and subsampling fused into the batched executor's transposes |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
 //! | [`testkit`] | shared test scaffolding: seeded random-plan generator, `O(n·2^n)` fast reference transform, deterministic signals |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
@@ -61,6 +62,7 @@ pub mod parse;
 pub mod plan;
 pub mod reference;
 pub mod scalar;
+pub mod srht;
 pub mod testkit;
 pub mod twod;
 
@@ -69,9 +71,9 @@ pub use codelets::{
     gather_rows_checked, lane_width, scatter_rows_checked, SimdPolicy,
 };
 pub use compile::{
-    compiled_for, compiled_for_exec, compiled_for_with, lowering_stages, resolve_knob,
-    CompiledPlan, ExecPolicy, FusionPolicy, LoweringStage, Pass, PassBackend, PolicyKnob,
-    Provenance, RecodeletPolicy, Relayout, RelayoutPolicy, SuperPass,
+    compiled_for, compiled_for_exec, compiled_for_with, lowering_stages, resolve_knob, BatchPolicy,
+    BatchSchedule, CompiledPlan, ExecPolicy, FusionPolicy, LoweringStage, Pass, PassBackend,
+    PolicyKnob, Provenance, RecodeletPolicy, Relayout, RelayoutPolicy, SuperPass,
 };
 pub use ddl::{apply_plan_ddl, apply_plan_ddl_with_scratch, DdlConfig};
 pub use dyadic::{dyadic_autocorrelation, dyadic_convolution, dyadic_convolution_naive};
@@ -82,4 +84,5 @@ pub use parse::parse_plan;
 pub use plan::{Plan, MAX_LEAF_K, MAX_N};
 pub use reference::{max_abs_diff, naive_wht, norm_sq};
 pub use scalar::Scalar;
+pub use srht::Srht;
 pub use twod::{apply_plan_2d, naive_wht_2d};

@@ -11,7 +11,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use wht_core::ddl::DdlConfig;
 use wht_core::{
-    apply_plan_ddl_with_scratch, CompiledPlan, FusionPolicy, Plan, RelayoutPolicy, SimdPolicy,
+    apply_plan_ddl_with_scratch, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan,
+    RelayoutPolicy, Scalar, SimdPolicy,
 };
 
 /// System allocator wrapper that counts every allocation (including
@@ -115,5 +116,52 @@ fn compiled_relayout_with_scratch_does_not_allocate_after_warmup() {
         after - before,
         0,
         "warm relayout replays must not touch the heap"
+    );
+}
+
+#[test]
+fn apply_batch_with_scratch_does_not_allocate_after_warmup() {
+    // The batched-small fast path: the first call sizes the scratch for
+    // the transposed cross tile (and the per-row schedule, which also
+    // serves the remainder rows), then every warm batch — engaged lane
+    // groups, remainder, and all — must be allocation-free.
+    let n = 10u32;
+    let compiled = CompiledPlan::compile(&Plan::iterative(n).unwrap()).lower(&ExecPolicy {
+        batch: BatchPolicy::new(1),
+        ..ExecPolicy::default()
+    });
+    assert!(
+        compiled.batch_schedule().is_some(),
+        "the lowered plan must carry a batch schedule"
+    );
+    let size = compiled.size();
+    // Rows chosen to engage the cross path and leave a remainder.
+    let rows = 2 * <f64 as Scalar>::LANES + 3;
+    let mut x: Vec<f64> = (0..rows * size)
+        .map(|j| ((j.wrapping_mul(0x9E3779B9)) % 512) as f64 / 64.0 - 4.0)
+        .collect();
+    let mut scratch: Vec<f64> = Vec::new();
+    compiled
+        .apply_batch_with_scratch(&mut x, rows, &mut scratch)
+        .unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    compiled
+        .apply_batch_with_scratch(&mut x, rows, &mut scratch)
+        .unwrap();
+    compiled
+        .apply_batch_with_scratch(&mut x, rows, &mut scratch)
+        .unwrap();
+    // A smaller batch (below the engagement threshold, so per-row replay)
+    // must reuse the same scratch too.
+    let small_rows = 2;
+    compiled
+        .apply_batch_with_scratch(&mut x[..small_rows * size], small_rows, &mut scratch)
+        .unwrap();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm batched replays must not touch the heap"
     );
 }

@@ -4,7 +4,8 @@
 //!
 //! Each CI leg runs the whole suite under one combination of the `WHT_NO_*`
 //! kill switches (fused default, unfused, scalar kernels, in-place tail,
-//! and **all off** — the pure scalar unfused baseline). This test fails the
+//! per-row batch fallback, and **all off** — the pure scalar unfused
+//! baseline). This test fails the
 //! leg if the production path does not match the environment — i.e. if a
 //! misconfigured matrix would silently test one executor twice and skip
 //! another. One table drives every axis: adding a lowering stage means
@@ -13,18 +14,19 @@
 use wht_core::{compiled_for, env, ExecPolicy, PassBackend, Plan, RelayoutPolicy};
 
 /// The kill switches, read with the same contract the policies use.
-fn switches() -> (bool, bool, bool, bool) {
+fn switches() -> (bool, bool, bool, bool, bool) {
     (
         env::flag("WHT_NO_FUSE"),
         env::flag("WHT_NO_SIMD"),
         env::flag("WHT_NO_RELAYOUT"),
         env::flag("WHT_NO_RECODELET"),
+        env::flag("WHT_NO_BATCH"),
     )
 }
 
 #[test]
 fn executor_paths_match_the_environment() {
-    let (no_fuse, no_simd, no_relayout, no_recodelet) = switches();
+    let (no_fuse, no_simd, no_relayout, no_recodelet, no_batch) = switches();
     // The env-derived policy must reflect every switch — one snapshot,
     // one assertion per axis.
     let policy = ExecPolicy::from_env();
@@ -33,6 +35,7 @@ fn executor_paths_match_the_environment() {
         ("simd", policy.simd.enabled(), no_simd),
         ("relayout", policy.relayout.enabled(), no_relayout),
         ("recodelet", policy.recodelet.enabled(), no_recodelet),
+        ("batch", policy.batch.enabled(), no_batch),
     ] {
         assert_eq!(
             enabled, !killed,
@@ -91,6 +94,21 @@ fn executor_paths_match_the_environment() {
         compiled.has_recodeleted(),
         !no_recodelet && (!no_fuse || !no_relayout),
         "apply_plan would execute the wrong codelet grouping for this CI leg"
+    );
+
+    // The batch axis gates a separate product (a BatchSchedule beside the
+    // schedule, used only by apply_batch), and it has a size cap the
+    // other axes don't: the 2^26 gate plan is past BATCH_MAX_ELEMS, so it
+    // must never carry one — a small compile checks the switch itself.
+    assert!(
+        compiled.batch_schedule().is_none(),
+        "a transform past the batch size cap must not carry a batch schedule"
+    );
+    let small = compiled_for(&Plan::iterative(12).unwrap());
+    assert_eq!(
+        small.batch_schedule().is_some(),
+        !no_batch,
+        "apply_batch would take the wrong path for this CI leg"
     );
 
     if !no_relayout {

@@ -25,14 +25,14 @@ pub mod trace;
 
 pub use ddl_trace::ddl_trace_misses;
 pub use instrumented::{
-    compiled_instruction_count, compiled_op_counts, measured_instruction_count, measured_op_counts,
-    InstructionCounter,
+    batch_instruction_count, batch_op_counts, compiled_instruction_count, compiled_op_counts,
+    measured_instruction_count, measured_op_counts, InstructionCounter,
 };
 pub use policy_trace::{opteron_l1_policy_misses, policy_trace_misses};
 pub use record::{measure_plan, MeasureOptions, Measurement};
 pub use simcycles::{simulated_cycles, SimMachine};
 pub use timer::{time_compiled_plan, time_plan, TimingConfig, TimingResult};
 pub use trace::{
-    direct_mapped_unit_misses, opteron_misses, super_pass_traffic, trace_misses,
-    trace_misses_compiled, SuperPassTraffic, TraceExecutor,
+    batch_super_pass_traffic, direct_mapped_unit_misses, opteron_misses, super_pass_traffic,
+    trace_misses, trace_misses_compiled, SuperPassTraffic, TraceExecutor,
 };

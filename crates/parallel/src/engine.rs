@@ -62,6 +62,18 @@
 //! sequential schedule (order within a unit is irrelevant: units are
 //! disjoint), parallel output is **bit-identical** to sequential output —
 //! property-tested in `tests/proptests.rs`, fused and unfused.
+//!
+//! ## Batched execution
+//!
+//! A **batch** of adjacent transforms ([`par_apply_batch`]) shards by
+//! *row block* instead: rows are independent transforms, so the batch
+//! splits into per-worker contiguous row chunks aligned to the lane-group
+//! width `T::LANES` (the unit `CompiledPlan::apply_batch` transposes at a
+//! time) and each worker replays its chunk through
+//! `apply_batch_with_scratch` with private scratch — no barriers at all,
+//! since no pass crosses a row boundary. Alignment keeps every lane
+//! group's membership identical to the sequential batch replay, so output
+//! is bit-identical whatever the thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -314,6 +326,71 @@ pub fn par_apply_compiled<T: Scalar>(
     Ok(())
 }
 
+/// Parallel in-place **batched** WHT over an already-compiled schedule:
+/// `x` viewed as `rows` adjacent contiguous transforms of
+/// `compiled.size()` elements, sharded over `threads` workers by
+/// lane-aligned row chunks (module docs' "Batched execution"). Each chunk
+/// replays [`CompiledPlan::apply_batch_with_scratch`] with per-worker
+/// scratch, so the cross-transform lane path engages inside every chunk
+/// exactly as it would sequentially, and output is bit-identical to
+/// [`CompiledPlan::apply_batch`] on the whole batch.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == rows *
+/// compiled.size()`; [`WhtError::InvalidConfig`] for zero threads.
+pub fn par_apply_batch<T: Scalar>(
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    rows: usize,
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
+    }
+    let size = compiled.size();
+    let expected = rows.saturating_mul(size);
+    if x.len() != expected {
+        return Err(WhtError::LengthMismatch {
+            expected,
+            got: x.len(),
+        });
+    }
+    let w = T::LANES;
+    // One lane group (or less) per worker cannot shard usefully; neither
+    // can a single thread. The sequential batch path handles both.
+    if threads.0 == 1 || rows < 2 * w {
+        return compiled.apply_batch(x, rows);
+    }
+    // Contiguous per-worker chunks, each a whole number of lane groups
+    // (the last chunk also absorbs the `rows % w` remainder rows, which
+    // the sequential path replays per row anyway): lane-group membership
+    // — hence every transpose, every butterfly — matches the sequential
+    // replay exactly.
+    let groups = rows / w;
+    let workers = threads.0.min(groups);
+    let per = groups / workers;
+    let extra = groups % workers;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = x;
+        for i in 0..workers {
+            let chunk_rows = if i == workers - 1 {
+                rest.len() / size
+            } else {
+                (per + usize::from(i < extra)) * w
+            };
+            let (chunk, tail) = rest.split_at_mut(chunk_rows * size);
+            rest = tail;
+            scope.spawn(move || {
+                let mut scratch: Vec<T> = Vec::new();
+                compiled
+                    .apply_batch_with_scratch(chunk, chunk_rows, &mut scratch)
+                    .expect("chunk geometry is exact by construction");
+            });
+        }
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,7 +545,9 @@ mod tests {
 
     #[test]
     fn recodeleted_parallel_matches_sequential_bit_for_bit_in_both_sharding_regimes() {
-        use wht_core::{ExecPolicy, FusionPolicy, RecodeletPolicy, RelayoutPolicy, SimdPolicy};
+        use wht_core::{
+            BatchPolicy, ExecPolicy, FusionPolicy, RecodeletPolicy, RelayoutPolicy, SimdPolicy,
+        };
         // Same geometry as the relayout test (32 gathered blocks vs 4),
         // but lowered through the full pipeline so the gathered blocks
         // replay merged codelets: the parallel engine shards whatever
@@ -487,6 +566,7 @@ mod tests {
                         relayout: RelayoutPolicy::eager(block_budget),
                         recodelet: RecodeletPolicy::default(),
                         simd,
+                        batch: BatchPolicy::default(),
                     });
                     assert!(
                         lowered.has_relayout() && lowered.has_recodeleted(),
@@ -558,6 +638,47 @@ mod tests {
         let compiled = CompiledPlan::compile(&plan);
         assert!(par_apply_compiled(&compiled, &mut short, Threads(2)).is_err());
         assert!(par_apply_compiled(&compiled, &mut ok, Threads(0)).is_err());
+    }
+
+    #[test]
+    fn batched_parallel_matches_sequential_bit_for_bit() {
+        use wht_core::{BatchPolicy, ExecPolicy};
+        // Rows chosen to exercise every chunking regime: fewer rows than
+        // one lane group per worker (sequential fallback), an exact
+        // multiple of the widest lane width, and a ragged remainder.
+        let n = 8u32;
+        for plan in [Plan::iterative(n).unwrap(), Plan::balanced(n, 3).unwrap()] {
+            let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+                batch: BatchPolicy::new(8),
+                ..ExecPolicy::default()
+            });
+            assert!(lowered.is_batched(), "plan {plan}");
+            for rows in [1usize, 7, 64, 131] {
+                let input: Vec<f64> = (0..rows << n)
+                    .map(|j| ((j.wrapping_mul(2654435761)) % 4096) as f64 / 512.0 - 4.0)
+                    .collect();
+                let mut seq = input.clone();
+                lowered.apply_batch(&mut seq, rows).unwrap();
+                for threads in [1usize, 2, 3, 8] {
+                    let mut par = input.clone();
+                    par_apply_batch(&lowered, &mut par, rows, Threads(threads)).unwrap();
+                    assert_eq!(par, seq, "plan {plan}, rows {rows}, {threads} threads");
+                }
+                let ints: Vec<i32> = input.iter().map(|&v| v as i32).collect();
+                let mut seq_i = ints.clone();
+                lowered.apply_batch(&mut seq_i, rows).unwrap();
+                let mut par_i = ints;
+                par_apply_batch(&lowered, &mut par_i, rows, Threads(5)).unwrap();
+                assert_eq!(par_i, seq_i, "plan {plan}, rows {rows} (i32)");
+            }
+        }
+        // Geometry errors are rejected up front.
+        let lowered =
+            CompiledPlan::compile(&Plan::iterative(n).unwrap()).lower(&ExecPolicy::default());
+        let mut bad = vec![0.0f64; (1 << n) + 1];
+        assert!(par_apply_batch(&lowered, &mut bad, 1, Threads(2)).is_err());
+        let mut ok = vec![0.0f64; 1 << n];
+        assert!(par_apply_batch(&lowered, &mut ok, 1, Threads(0)).is_err());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! variants and the scale of the paper's experiments:
 //!
 //! * [`engine`] — a multi-threaded WHT ([`par_apply_plan`] /
-//!   [`par_apply_compiled`]): every pass of the plan's compiled schedule
-//!   distributed over scoped worker threads (the invocation sets of a pass
-//!   are pairwise disjoint, so the distribution is race-free);
+//!   [`par_apply_compiled`], plus [`par_apply_batch`] for batches of
+//!   adjacent small transforms sharded by lane-aligned row block): every
+//!   pass of the plan's compiled schedule distributed over scoped worker
+//!   threads (the invocation sets of a pass are pairwise disjoint, so the
+//!   distribution is race-free);
 //! * [`sweep`] — a parallel measurement driver ([`measure_sweep`]) so that
 //!   10,000-algorithm experiment batches finish in minutes.
 //!
@@ -27,5 +29,5 @@
 pub mod engine;
 pub mod sweep;
 
-pub use engine::{par_apply_compiled, par_apply_plan, Threads};
+pub use engine::{par_apply_batch, par_apply_compiled, par_apply_plan, Threads};
 pub use sweep::measure_sweep;

@@ -7,8 +7,8 @@
 
 use wht_cachesim::Hierarchy;
 use wht_core::{
-    lane_width, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy,
-    SimdPolicy, WhtError,
+    lane_width, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
+    RelayoutPolicy, SimdPolicy, WhtError,
 };
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
 use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
@@ -112,16 +112,36 @@ pub struct FusedTrafficCost {
     /// resident (e.g. an unbounded budget collapses the schedule to one
     /// vector-sized tile, which still streams once per factor).
     pub cache_elems: usize,
-    /// Vector width of the kernel backend the executor will run: the leaf
-    /// work term (butterflies, element loads/stores and their address
-    /// arithmetic) is divided by this, because the lane-block kernels
-    /// retire `W` columns of it per operation. `1` models the scalar
+    /// Vector width of the kernel backend the executor will run: each
+    /// pass's leaf work term (butterflies, element loads/stores and their
+    /// address arithmetic) is divided by its **effective** width
+    /// `min(s, W)`, because the lane-block kernels retire columns in
+    /// unit-stride blocks and a single transform only offers a pass `s`
+    /// adjacent columns — the narrow head passes (`s < W`) cannot go full
+    /// width (the batched cross-transform path exists precisely to fix
+    /// that; see [`FusedTrafficCost::batch_rows`]). `1` models the scalar
     /// backend; loop bookkeeping is never divided (the lane kernels run
     /// the same pass/row loops). Matching the ranking model to the
     /// executor matters: under SIMD the ALU term shrinks, so memory
     /// traffic weighs relatively more and traffic-lean plans rank higher
     /// — exactly what wall-clock measurement shows.
     pub simd_lanes: usize,
+    /// `Some(rows)`: score the **batched** execution of a `rows × 2^n`
+    /// batch through [`CompiledPlan::apply_batch`] instead of one
+    /// transform — the total for all `rows`. When the lowered schedule
+    /// carries a batch product and `rows` reaches its threshold, engaged
+    /// lane groups run every pass at full width (that is what the
+    /// transposed domain buys) and are charged one streamed sweep of the
+    /// group for the transpose pair (the gather's read of `x` and the
+    /// scatter's write back; the scratch side is cache-resident by the
+    /// batch stage's size cap); the sub-group remainder — and the whole
+    /// batch when disengaged — replays at `rows ×` the single-transform
+    /// cost. `None` (the default) scores one transform, exactly as
+    /// before. This is what lets `wht_search::Planner` tune
+    /// [`wht_core::BatchPolicy::block_rows`] from wisdom: the crossover
+    /// where `Some(rows)` stops preferring the batched schedule *is* the
+    /// threshold.
+    pub batch_rows: Option<usize>,
     /// Weight on instructions.
     pub alpha: f64,
     /// Weight on streamed elements.
@@ -147,9 +167,18 @@ impl FusedTrafficCost {
                 1
             },
             exec,
+            batch_rows: None,
             alpha: 1.0,
             beta: 4.0,
         }
+    }
+
+    /// This cost with batched scoring for `rows`-row batches (builder
+    /// style; see [`FusedTrafficCost::batch_rows`]).
+    #[must_use]
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = Some(rows);
+        self
     }
 
     /// Cost under an explicit fusion policy + kernel backend, with the
@@ -168,6 +197,7 @@ impl FusedTrafficCost {
             relayout,
             recodelet: RecodeletPolicy::default(),
             simd,
+            batch: BatchPolicy::default(),
         })
     }
 
@@ -205,20 +235,27 @@ impl PlanCost for FusedTrafficCost {
             + self.cost_model.store * ops.stores
             + self.cost_model.addr * ops.addr) as f64;
         let bookkeeping = self.cost_model.total(&ops) as f64 - plan_leaf_work;
-        let mut exec_leaf_work = 0u64;
+        let lanes = self.simd_lanes.max(1);
+        // Leaf work twice over: at each pass's single-transform effective
+        // width min(s, W) — a lone transform only offers a pass s adjacent
+        // unit-stride columns, so the narrow head passes cannot fill the
+        // lanes — and at full width, which is what the batched
+        // cross-transform domain restores for every pass.
+        let mut leaf_single = 0f64;
+        let mut leaf_full = 0f64;
         for pass in compiled.passes() {
             // One codelet invocation of size 2^k: k·2^k butterfly ops,
             // 2^k loads + 2^k stores, one address computation per load
             // and store (the same accounting as `op_counts` on a leaf).
             let size = 1u64 << pass.k;
             let inv = pass.invocations() as u64;
-            exec_leaf_work += inv
+            let work = (inv
                 * (self.cost_model.arith * u64::from(pass.k) * size
                     + (self.cost_model.load + self.cost_model.store + 2 * self.cost_model.addr)
-                        * size);
+                        * size)) as f64;
+            leaf_single += work / pass.s.max(1).min(lanes) as f64;
+            leaf_full += work / lanes as f64;
         }
-        let lanes = self.simd_lanes.max(1) as f64;
-        let i = bookkeeping + exec_leaf_work as f64 / lanes;
         // Traffic term: sweeps per scheduling unit, off the lowered
         // schedule. A relayout unit is charged two streamed sweeps — the
         // gather (strided reads + scratch writes) and the scatter
@@ -240,7 +277,32 @@ impl PlanCost for FusedTrafficCost {
                 sp.span() * sweeps
             })
             .sum();
-        Ok(self.alpha * i + self.beta * (2 * streamed) as f64)
+        let single = self.alpha * (bookkeeping + leaf_single) + self.beta * (2 * streamed) as f64;
+        let Some(rows) = self.batch_rows else {
+            return Ok(single);
+        };
+        // Batched scoring: model what apply_batch runs for this batch.
+        // Engaged lane groups pay one streamed sweep of the whole group —
+        // the transpose pair moves the group through memory exactly once
+        // (gather reads x, scatter writes it back; the transposed scratch
+        // is cache-resident by the batch stage's size cap, and the tail
+        // passes run on the still-resident group) — and every pass goes
+        // full width in the transposed domain.
+        let w = lanes;
+        let engaged = compiled
+            .batch_schedule()
+            .filter(|b| rows >= b.block_rows().max(w));
+        let total = match engaged {
+            Some(_) => {
+                let groups = (rows / w) as f64;
+                let rem = (rows % w) as f64;
+                let group = self.alpha * w as f64 * (bookkeeping + leaf_full)
+                    + self.beta * (2 * w * compiled.size()) as f64;
+                groups * group + rem * single
+            }
+            None => rows as f64 * single,
+        };
+        Ok(total)
     }
 
     fn name(&self) -> &'static str {
@@ -376,14 +438,31 @@ mod tests {
         assert!(c_simd > c_scalar / simd.simd_lanes as f64);
         // Under SIMD the ALU term shrinks, so traffic weighs relatively
         // more: the cost ratio between the fusion-off and fusion-on
-        // executors (which differ *only* in traffic) must widen when the
-        // ranking model knows the executor is vectorized.
-        let mut simd_off =
-            FusedTrafficCost::with_backends(FusionPolicy::disabled(), SimdPolicy::auto());
-        let mut scalar_off =
-            FusedTrafficCost::with_backends(FusionPolicy::disabled(), SimdPolicy::disabled());
-        let simd_ratio = simd_off.cost(&plan).unwrap() / c_simd;
-        let scalar_ratio = scalar_off.cost(&plan).unwrap() / c_scalar;
+        // executors must widen when the ranking model knows the executor
+        // is vectorized. Re-codeleting is pinned off on all four sides so
+        // the compared schedules differ *only* in traffic: recodelet
+        // rewrites the factor list (it merges the narrow head into one
+        // wide codelet at s = 1, which a lone transform runs at scalar
+        // width), and that leaf-term change is a different — separately
+        // tested — signal from the one this assertion isolates.
+        let no_rc = |fusion: FusionPolicy, simd: SimdPolicy| {
+            FusedTrafficCost::with_exec(
+                ExecPolicy::default()
+                    .with_fusion(fusion)
+                    .with_simd(simd)
+                    .with_recodelet(RecodeletPolicy::disabled()),
+            )
+        };
+        let c_simd_rc = no_rc(policy, SimdPolicy::auto()).cost(&plan).unwrap();
+        let c_scalar_rc = no_rc(policy, SimdPolicy::disabled()).cost(&plan).unwrap();
+        let simd_ratio = no_rc(FusionPolicy::disabled(), SimdPolicy::auto())
+            .cost(&plan)
+            .unwrap()
+            / c_simd_rc;
+        let scalar_ratio = no_rc(FusionPolicy::disabled(), SimdPolicy::disabled())
+            .cost(&plan)
+            .unwrap()
+            / c_scalar_rc;
         assert!(
             simd_ratio > scalar_ratio,
             "traffic must weigh relatively more under SIMD \
@@ -443,6 +522,63 @@ mod tests {
         assert!(!CompiledPlan::compile_fused(&plan19, &fusion)
             .relayout(&RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS))
             .has_relayout());
+    }
+
+    #[test]
+    fn fused_traffic_scores_batched_execution_below_per_row() {
+        // Small n, SIMD on: the narrow head passes (s < W) throttle the
+        // single-transform leaf term, and the batched transposed domain
+        // runs every pass at full width — so a big batch must score
+        // strictly below rows independent transforms whenever the
+        // lowered schedule carries an engaged batch product.
+        let plan = Plan::iterative(8).unwrap();
+        let exec = ExecPolicy::default().with_simd(SimdPolicy::auto());
+        let single = FusedTrafficCost::with_exec(exec).cost(&plan).unwrap();
+        let rows = 64;
+        let batched = FusedTrafficCost::with_exec(exec)
+            .with_batch_rows(rows)
+            .cost(&plan)
+            .unwrap();
+        assert!(
+            batched < rows as f64 * single,
+            "64-row batch must beat 64 per-row transforms \
+             ({batched} vs {} = 64 x {single})",
+            rows as f64 * single
+        );
+        // The knob the Planner tunes from this: a disabled batch stage
+        // scores exactly rows x the single-transform cost — no product,
+        // no discount.
+        let off = exec.with_batch(BatchPolicy::disabled());
+        assert_eq!(
+            FusedTrafficCost::with_exec(off)
+                .with_batch_rows(rows)
+                .cost(&plan)
+                .unwrap(),
+            rows as f64 * FusedTrafficCost::with_exec(off).cost(&plan).unwrap()
+        );
+        // Below the engagement threshold (block_rows.max(W)) the executor
+        // replays per row, and the model must agree exactly — a 1-row
+        // "batch" in particular is neutral.
+        for small in [1usize, 8] {
+            assert!(small < BatchPolicy::DEFAULT_BLOCK_ROWS.max(lane_width::<f64>()));
+            assert_eq!(
+                FusedTrafficCost::with_exec(exec)
+                    .with_batch_rows(small)
+                    .cost(&plan)
+                    .unwrap(),
+                small as f64 * single
+            );
+        }
+        // Past the batch stage's size cap no product is built, so the
+        // batched score degenerates to per-row there too.
+        let big = Plan::iterative(19).unwrap();
+        assert_eq!(
+            FusedTrafficCost::with_exec(exec)
+                .with_batch_rows(rows)
+                .cost(&big)
+                .unwrap(),
+            rows as f64 * FusedTrafficCost::with_exec(exec).cost(&big).unwrap()
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!    all anyway).
 //! 2. The chosen plan is lowered through the staged pipeline of
 //!    `wht_core::compile` under one **resolved** [`ExecPolicy`]
-//!    (fuse → relayout → re-codelet → kernel backend), and the
+//!    (fuse → relayout → re-codelet → kernel backend → batch), and the
 //!    compiled schedule is cached — steady-state traffic is a wisdom hit
 //!    plus a flat schedule replay: zero cost evaluations, zero tree
 //!    walks.
@@ -41,7 +41,11 @@
 //!
 //! ## Wisdom format history
 //!
-//! - **Version 3** (current): each entry carries one forward-compatible
+//! - **Version 4** (current): [`Tuning`] gains the `batch` field — the
+//!   row-block threshold the recorder's batched executor engaged at, or
+//!   `0` when batching was off. Version-3 blobs load transparently (the
+//!   field is simply absent: no choice recorded).
+//! - **Version 3** (PR 5): each entry carries one forward-compatible
 //!   `tuning` record ([`Tuning`]) — new executor stages add fields there,
 //!   never new entry-level columns. Unknown fields inside `tuning` (from
 //!   newer builds) are ignored on load.
@@ -80,8 +84,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
 use wht_core::{
-    resolve_knob, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy, RelayoutPolicy,
-    Scalar, SimdPolicy, WhtError,
+    resolve_knob, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
+    RelayoutPolicy, Scalar, SimdPolicy, WhtError,
 };
 
 /// Per-entry executor tuning: which configuration the recorder's executor
@@ -106,6 +110,10 @@ pub struct Tuning {
     /// so an importer replaying `Some(true)` uses its *own* policy's
     /// shape rather than the recorder's.
     pub recodelet: Option<bool>,
+    /// Batched-execution row-block threshold at this size; `Some(0)` =
+    /// the recorder's executor did not build a batch schedule for this
+    /// size (stage off, or the size is past the batch cap).
+    pub batch: Option<u64>,
 }
 
 impl Tuning {
@@ -122,7 +130,7 @@ struct WisdomRecord {
     tuning: Tuning,
 }
 
-/// Serialized wisdom entry, current (version-3) shape: the plan travels
+/// Serialized wisdom entry, current (version-4) shape: the plan travels
 /// as its WHT-package grammar string (stable, human-readable, validated
 /// on parse) and the executor tuning as one nested [`Tuning`] record.
 #[derive(Debug, Clone, Serialize)]
@@ -133,10 +141,11 @@ struct WisdomEntryOut {
     tuning: Tuning,
 }
 
-/// Permissive read-side entry covering every supported version: version 3
-/// carries `tuning`; versions 1–2 carried the flat fields, which migrate
-/// into a [`Tuning`] on load. Unknown fields are ignored by the JSON
-/// layer (forward compatibility).
+/// Permissive read-side entry covering every supported version: versions
+/// 3–4 carry `tuning` (a v3 record simply lacks the later fields);
+/// versions 1–2 carried the flat fields, which migrate into a [`Tuning`]
+/// on load. Unknown fields are ignored by the JSON layer (forward
+/// compatibility).
 #[derive(Debug, Clone, Deserialize)]
 struct WisdomEntryIn {
     n: u32,
@@ -162,7 +171,7 @@ struct WisdomFileIn {
     entries: Vec<WisdomEntryIn>,
 }
 
-const WISDOM_VERSION: u32 = 3;
+const WISDOM_VERSION: u32 = 4;
 
 /// Oldest wisdom format [`Wisdom::from_json`] still reads (see the module
 /// docs' format history).
@@ -235,6 +244,18 @@ impl Wisdom {
             .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
     }
 
+    /// Batched-execution tuning recorded with the `(n, backend)` entry:
+    /// the row-block threshold the recorder's executor built its batch
+    /// schedule with at this size, `Some(0)` meaning it built none
+    /// (stage off, or the size is past the batch cap), `None` meaning no
+    /// choice was recorded (or no entry exists) and the reader's default
+    /// policy applies.
+    pub fn batch_block(&self, n: u32, backend: &str) -> Option<usize> {
+        self.tuning(n, backend)?
+            .batch
+            .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
+    }
+
     /// Record (or overwrite) the best plan for `(n, backend)` with no
     /// executor tuning attached.
     ///
@@ -295,7 +316,7 @@ impl Wisdom {
     }
 
     /// Render the store as JSON (entries sorted for determinism), in the
-    /// current (version-3) format.
+    /// current (version-4) format.
     pub fn to_json(&self) -> String {
         let mut entries: Vec<WisdomEntryOut> = self
             .entries
@@ -317,8 +338,8 @@ impl Wisdom {
         .expect("wisdom serialization is infallible")
     }
 
-    /// Parse a store from JSON, validating every plan. Version-1 and
-    /// version-2 stores migrate transparently (see the module docs'
+    /// Parse a store from JSON, validating every plan. Version-1 through
+    /// version-3 stores migrate transparently (see the module docs'
     /// format history) and re-serialize as the current version.
     ///
     /// # Errors
@@ -337,14 +358,15 @@ impl Wisdom {
         let mut wisdom = Wisdom::new();
         for entry in file.entries {
             let plan: Plan = entry.plan.parse()?;
-            // Version 3 carries the nested record; versions 1-2 carried
-            // flat columns, which migrate into the same shape. A v3
-            // entry's nested record wins over any stray flat fields.
+            // Versions 3-4 carry the nested record; versions 1-2 carried
+            // flat columns, which migrate into the same shape. A nested
+            // record wins over any stray flat fields.
             let tuning = entry.tuning.unwrap_or(Tuning {
                 fuse_budget: entry.fuse_budget,
                 simd: entry.simd,
                 relayout: entry.relayout,
                 recodelet: None,
+                batch: None,
             });
             wisdom.insert_with_tuning(entry.n, &entry.backend, plan, tuning)?;
         }
@@ -383,6 +405,7 @@ struct PinnedKnobs {
     simd: bool,
     relayout: bool,
     recodelet: bool,
+    batch: bool,
 }
 
 impl PinnedKnobs {
@@ -391,6 +414,7 @@ impl PinnedKnobs {
         simd: true,
         relayout: true,
         recodelet: true,
+        batch: true,
     };
 }
 
@@ -515,6 +539,23 @@ impl<C: PlanCost> Planner<C> {
         self.exec.recodelet
     }
 
+    /// Override the batched-execution policy (builder style); same pin
+    /// semantics as [`Planner::with_fusion`].
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.exec.batch = batch;
+        self.pinned.batch = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The batched-execution policy new wisdom is recorded with and cold
+    /// sizes are compiled under — resolution per the module docs'
+    /// precedence rule.
+    pub fn batch(&self) -> BatchPolicy {
+        self.exec.batch
+    }
+
     /// The planner's own executor configuration (before per-size wisdom
     /// resolution).
     pub fn exec(&self) -> &ExecPolicy {
@@ -594,6 +635,11 @@ impl<C: PlanCost> Planner<C> {
                     }
                 }),
             ),
+            batch: resolve_knob(
+                self.pinned.batch,
+                self.exec.batch,
+                t.batch.map(replay_batch),
+            ),
         }
     }
 
@@ -637,6 +683,19 @@ impl<C: PlanCost> Planner<C> {
                     } else {
                         0
                     };
+                    // Like relayout, the batch record is read off the
+                    // lowered schedule: a size past the batch cap never
+                    // built the product, and an importer must not replay
+                    // a threshold this planner's executor never ran.
+                    let batch = if self.exec.batch.enabled()
+                        && CompiledPlan::compile(&dp.best[m as usize])
+                            .with_batch(&self.exec.batch)
+                            .is_batched()
+                    {
+                        self.exec.batch.block_rows as u64
+                    } else {
+                        0
+                    };
                     self.wisdom.insert_with_tuning(
                         m,
                         backend,
@@ -646,6 +705,7 @@ impl<C: PlanCost> Planner<C> {
                             simd: Some(self.exec.simd.enabled()),
                             relayout: Some(relayout),
                             recodelet: Some(self.exec.recodelet.enabled()),
+                            batch: Some(batch),
                         },
                     )?;
                 }
@@ -683,6 +743,47 @@ impl<C: PlanCost> Planner<C> {
         }
         self.compiled.get(&n).expect("inserted above").apply(x)
     }
+
+    /// In-place **batched** transform: `x` viewed as `rows` adjacent
+    /// contiguous transforms of size `x.len() / rows`, each mapped
+    /// through the best known plan for that size via
+    /// [`CompiledPlan::apply_batch`] — past the resolved row-block
+    /// threshold the batch runs the cross-transform lane path, below it
+    /// (or under `WHT_NO_BATCH`) every row replays the per-transform
+    /// schedule, bit-identically either way.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] unless `rows >= 1` divides `x.len()`
+    /// and the row length is a power of two with exponent in `1..=MAX_N`;
+    /// propagates search errors on cold sizes.
+    pub fn transform_batch<T: Scalar>(&mut self, x: &mut [T], rows: usize) -> Result<(), WhtError> {
+        if rows == 0 || !x.len().is_multiple_of(rows) {
+            return Err(WhtError::InvalidConfig(format!(
+                "batch of {rows} rows does not divide {} elements",
+                x.len()
+            )));
+        }
+        let len = x.len() / rows;
+        if len < 2 || !len.is_power_of_two() {
+            return Err(WhtError::InvalidConfig(format!(
+                "batched row length {len} is not a power of two >= 2"
+            )));
+        }
+        let n = len.trailing_zeros();
+        if n > wht_core::MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
+        if !self.compiled.contains_key(&n) {
+            let plan = self.plan(n)?.clone();
+            let exec = self.resolved_exec(n);
+            self.compiled
+                .insert(n, CompiledPlan::compile_exec(&plan, &exec));
+        }
+        self.compiled
+            .get(&n)
+            .expect("inserted above")
+            .apply_batch(x, rows)
+    }
 }
 
 /// How a recorded relayout tuning replays: `0` means the recorder's
@@ -701,6 +802,17 @@ fn replay_relayout(budget: u64) -> RelayoutPolicy {
             min_elems: 0,
             min_passes: 2,
         }
+    }
+}
+
+/// How a recorded batch tuning replays: `0` means the recorder's executor
+/// built no batch schedule for this size (stays off); a nonzero record
+/// replays the recorder's row-block threshold exactly.
+fn replay_batch(block: u64) -> BatchPolicy {
+    if block == 0 {
+        BatchPolicy::disabled()
+    } else {
+        BatchPolicy::new(usize::try_from(block).unwrap_or(usize::MAX))
     }
 }
 
@@ -1169,10 +1281,10 @@ mod tests {
     }
 
     #[test]
-    fn version_1_wisdom_migrates_and_round_trips_as_version_3() {
+    fn version_1_wisdom_migrates_and_round_trips_as_version_4() {
         // A version-1 store (pre-relayout) must load — its entries carry
-        // no relayout or recodelet choice — and re-serialize as the
-        // current version without bricking anything.
+        // no relayout, recodelet, or batch choice — and re-serialize as
+        // the current version without bricking anything.
         let legacy = "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\
                        \"plan\":\"split[small[2],small[2]]\",\"fuse_budget\":512,\
                        \"simd\":true}]}";
@@ -1181,13 +1293,49 @@ mod tests {
         assert_eq!(w.simd_enabled(4, "x"), Some(true));
         assert_eq!(w.relayout_budget(4, "x"), None);
         assert_eq!(w.tuning(4, "x").unwrap().recodelet, None);
+        assert_eq!(w.batch_block(4, "x"), None);
         let json = w.to_json();
-        assert!(json.contains("\"version\": 3"), "{json}");
+        assert!(json.contains("\"version\": 4"), "{json}");
         assert!(json.contains("\"tuning\""), "{json}");
         let back = Wisdom::from_json(&json).unwrap();
         assert_eq!(back, w);
         // Future versions stay rejected.
-        assert!(Wisdom::from_json("{\"version\":4,\"entries\":[]}").is_err());
+        assert!(Wisdom::from_json("{\"version\":5,\"entries\":[]}").is_err());
+    }
+
+    #[test]
+    fn version_3_wisdom_migrates_and_records_no_batch_choice() {
+        // A version-3 store (nested tuning, pre-batch) must load with its
+        // record intact and no batch choice — the reader's own policy
+        // applies — and re-serialize as version 4, replaying identically.
+        let legacy = "{\"version\":3,\"entries\":[{\"n\":12,\"backend\":\
+                      \"instruction-model\",\"plan\":\"split[small[4],small[4],\
+                      small[4]]\",\"tuning\":{\"fuse_budget\":4096,\"simd\":true,\
+                      \"relayout\":0,\"recodelet\":true}}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.fuse_budget(12, "instruction-model"), Some(4096));
+        assert_eq!(
+            w.batch_block(12, "instruction-model"),
+            None,
+            "a stage the blob predates records no choice"
+        );
+        let migrated = Wisdom::from_json(&w.to_json()).unwrap();
+        assert_eq!(migrated, w);
+        // The importer's unpinned default batch policy applies, and the
+        // migrated replay is bit-identical to a fresh computation.
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(migrated);
+        warm.exec = ExecPolicy::default();
+        warm.pinned = PinnedKnobs::default();
+        assert_eq!(
+            warm.resolved_exec(12).batch,
+            BatchPolicy::default(),
+            "no recorded choice -> the reader's default policy"
+        );
+        let mut x: Vec<f64> = (0..1 << 12).map(|j| (j % 13) as f64 - 6.0).collect();
+        let want = naive_wht(&x);
+        warm.transform(&mut x).unwrap();
+        assert!(max_abs_diff(&x, &want) < 1e-9, "migrated replay is exact");
+        assert_eq!(warm.evaluations(), 0);
     }
 
     #[test]
@@ -1213,15 +1361,17 @@ mod tests {
         assert_eq!(migrated, w);
         // ...and replay the recorded configuration: the resolved policy
         // matches the legacy per-knob resolution exactly, and with the
-        // post-v2 stage pinned off, the compiled schedule is *equal* to
+        // post-v2 stages pinned off, the compiled schedule is *equal* to
         // what the pre-pipeline executor compiled for this blob.
         let mut warm = Planner::new(InstructionCost::default()).with_wisdom(migrated);
         warm.exec = ExecPolicy::default();
         warm.pinned = PinnedKnobs {
             recodelet: true,
+            batch: true,
             ..PinnedKnobs::default()
         };
         warm.exec.recodelet = RecodeletPolicy::disabled();
+        warm.exec.batch = BatchPolicy::disabled();
         let resolved = warm.resolved_exec(14);
         assert_eq!(resolved.fusion, FusionPolicy::new(64));
         assert!(resolved.simd.enabled());
@@ -1239,7 +1389,7 @@ mod tests {
                 &replay_relayout(512),
                 &SimdPolicy::auto()
             ),
-            "v2 blob + pinned-off tail stage = the pre-refactor schedule, exactly"
+            "v2 blob + pinned-off later stages = the pre-refactor schedule, exactly"
         );
         // With the importer's default (unpinned) tail policy the schedule
         // additionally re-codelets — and output bits cannot change.
@@ -1352,6 +1502,7 @@ mod tests {
                     simd: Some(true),
                     relayout: Some(1 << 9),
                     recodelet: Some(true),
+                    batch: Some(16),
                 },
             )
             .unwrap();
@@ -1363,6 +1514,7 @@ mod tests {
         assert!(!resolved.simd.enabled());
         assert!(!resolved.relayout.enabled());
         assert!(!resolved.recodelet.enabled());
+        assert!(!resolved.batch.enabled());
         let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
         let want = naive_wht(&x);
         planner.transform(&mut x).unwrap();
@@ -1370,6 +1522,124 @@ mod tests {
         let compiled = planner.compiled.get(&14).unwrap();
         assert!(!compiled.is_fused() && !compiled.is_simd());
         assert!(!compiled.has_relayout() && !compiled.has_recodeleted());
+        assert!(!compiled.is_batched());
+    }
+
+    #[test]
+    fn wisdom_records_the_batch_threshold_and_round_trips_it() {
+        // The record is read off the lowered schedule: small sizes build
+        // the batch product and record the policy's threshold; a size
+        // past the batch cap records 0 even though the policy is on.
+        let mut planner = Planner::new(InstructionCost::default()).with_batch(BatchPolicy::new(32));
+        planner.plan(10).unwrap();
+        for m in 1..=10u32 {
+            assert_eq!(
+                planner.wisdom().batch_block(m, "instruction-model"),
+                Some(32),
+                "sizes within the cap record the threshold at n = {m}"
+            );
+        }
+        let back = Wisdom::from_json(&planner.wisdom().to_json()).unwrap();
+        assert_eq!(&back, planner.wisdom());
+        assert_eq!(back.batch_block(10, "instruction-model"), Some(32));
+
+        // A batch-off planner records 0, distinct from "not recorded".
+        let mut off = Planner::new(InstructionCost::default()).with_batch(BatchPolicy::disabled());
+        off.plan(4).unwrap();
+        assert_eq!(off.wisdom().batch_block(4, "instruction-model"), Some(0));
+
+        // A size past the batch cap records 0 under an enabled policy.
+        let mut big = Planner::new(InstructionCost::default()).with_batch(BatchPolicy::new(32));
+        big.plan(20).unwrap();
+        assert_eq!(big.wisdom().batch_block(20, "instruction-model"), Some(0));
+        assert_eq!(big.wisdom().batch_block(10, "instruction-model"), Some(32));
+
+        // An importing planner with an unpinned default policy replays
+        // the recorded threshold.
+        let mut warm = Planner::new(InstructionCost::default()).with_wisdom(back);
+        warm.exec.batch = BatchPolicy::default();
+        warm.pinned.batch = false;
+        assert_eq!(warm.resolved_exec(10).batch, BatchPolicy::new(32));
+    }
+
+    #[test]
+    fn batch_kill_switch_and_pinning_beat_recorded_thresholds() {
+        // Imported wisdom tuned with batching must not re-enable it past
+        // an (unpinned) disabled policy — what WHT_NO_BATCH=1 produces at
+        // construction.
+        let mut wisdom = Wisdom::new();
+        wisdom
+            .insert_with_tuning(
+                10,
+                "instruction-model",
+                Plan::iterative(10).unwrap(),
+                Tuning {
+                    batch: Some(16),
+                    ..Tuning::default()
+                },
+            )
+            .unwrap();
+        let mut planner = Planner::new(InstructionCost::default()).with_wisdom(wisdom.clone());
+        planner.exec.batch = BatchPolicy::disabled();
+        planner.pinned.batch = false;
+        assert!(
+            !planner.resolved_exec(10).batch.enabled(),
+            "a disabled default policy must beat the recorded threshold"
+        );
+        let mut x: Vec<f64> = (0..1024).map(|j| (j % 5) as f64).collect();
+        planner.transform(&mut x).unwrap();
+        assert!(!planner.compiled.get(&10).unwrap().is_batched());
+
+        // Recorded off beats the importer's default-on...
+        let mut off_record = Wisdom::new();
+        off_record
+            .insert_with_tuning(
+                10,
+                "instruction-model",
+                Plan::iterative(10).unwrap(),
+                Tuning {
+                    batch: Some(0),
+                    ..Tuning::default()
+                },
+            )
+            .unwrap();
+        let mut reader = Planner::new(InstructionCost::default()).with_wisdom(off_record);
+        reader.exec.batch = BatchPolicy::default();
+        reader.pinned.batch = false;
+        assert!(!reader.resolved_exec(10).batch.enabled());
+
+        // ...and an explicit with_batch pin beats the record both ways.
+        let pinned = Planner::new(InstructionCost::default())
+            .with_wisdom(wisdom)
+            .with_batch(BatchPolicy::disabled());
+        assert!(!pinned.resolved_exec(10).batch.enabled());
+        let repinned = pinned.with_batch(BatchPolicy::new(8));
+        assert_eq!(repinned.resolved_exec(10).batch, BatchPolicy::new(8));
+    }
+
+    #[test]
+    fn transform_batch_matches_per_row_transforms() {
+        // One warm planner, both entry points, every row bit-identical —
+        // whatever executor configuration this CI leg resolves.
+        let rows = 33; // deliberately not a multiple of any lane width
+        let n = 7u32;
+        let input: Vec<f64> = (0..rows << n)
+            .map(|j| ((j * 31 + 7) % 23) as f64 - 11.0)
+            .collect();
+        let mut planner = Planner::new(InstructionCost::default());
+        let mut batched = input.clone();
+        planner.transform_batch(&mut batched, rows).unwrap();
+        let mut per_row = input;
+        for row in per_row.chunks_exact_mut(1 << n) {
+            planner.transform(row).unwrap();
+        }
+        assert_eq!(batched, per_row, "batched rows must replay bit-identically");
+
+        // Bad geometries are rejected.
+        let mut x = vec![0.0f64; 96];
+        assert!(planner.transform_batch(&mut x, 0).is_err());
+        assert!(planner.transform_batch(&mut x, 5).is_err());
+        assert!(planner.transform_batch(&mut x, 32).is_err(), "row length 3");
     }
 
     #[test]

@@ -68,6 +68,49 @@ fn main() -> Result<(), WhtError> {
         elapsed.as_nanos() as f64 / requests as f64
     );
 
+    // Requests for the same (size, scalar type) need not be served one at
+    // a time: batched as rows of one matrix, `transform_batch` routes
+    // them through the cross-transform lane path — every pass at full
+    // SIMD width — and falls back to the per-row replay below the row
+    // threshold or under WHT_NO_BATCH, bit-identically. Small rows is
+    // where batching pays: per-row, a 2^6 transform is too narrow to
+    // fill the lanes.
+    let n_small = 6u32;
+    let row = 1usize << n_small;
+    let small: Vec<f64> = (0..row)
+        .map(|j| ((j * 13 + 7) % 256) as f64 / 32.0)
+        .collect();
+    let pristine_batch: Vec<f64> = (0..requests).flat_map(|_| small.iter().copied()).collect();
+    // Warm the size first (wisdom hit + one compile) so both timings
+    // measure steady-state serving, then keep the best of a few runs.
+    let mut warm = small.clone();
+    server.transform(&mut warm)?;
+    let mut batch = pristine_batch.clone();
+    let mut per_row = warm;
+    let (mut batched, mut looped) = (f64::MAX, f64::MAX);
+    for _ in 0..5 {
+        batch.copy_from_slice(&pristine_batch);
+        let start = Instant::now();
+        server.transform_batch(&mut batch, requests)?;
+        batched = batched.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for r in 0..requests {
+            per_row.copy_from_slice(&small);
+            server.transform(&mut per_row)?;
+            if r == requests - 1 {
+                assert_eq!(batch[row * r..row * (r + 1)], per_row[..], "bit-identical");
+            }
+        }
+        looped = looped.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "served {requests} transforms of 2^{n_small} batched in {:.0} us vs {:.0} us looped \
+         ({:.1}x)",
+        batched * 1e6,
+        looped * 1e6,
+        looped / batched.max(f64::EPSILON)
+    );
+
     // The configuration a size actually compiles under is one resolved
     // ExecPolicy — inspectable without compiling anything.
     let resolved: ExecPolicy = server.resolved_exec(n);
@@ -75,7 +118,7 @@ fn main() -> Result<(), WhtError> {
     println!(
         "resolved executor config for n={n}: fusion {} (budget {} elems), \
          tail relayout {} past {} elems, re-codeleting {} (max small[{}]), \
-         SIMD lanes {}",
+         SIMD lanes {}, batching {} past {} rows",
         on_off(resolved.fusion.enabled()),
         resolved.fusion.budget_elems,
         on_off(resolved.relayout.enabled()),
@@ -83,10 +126,13 @@ fn main() -> Result<(), WhtError> {
         on_off(resolved.recodelet.enabled()),
         resolved.recodelet.max_k,
         on_off(resolved.simd.enabled()),
+        on_off(resolved.batch.enabled()),
+        resolved.batch.block_rows,
     );
     println!(
         "(kill switches: WHT_NO_FUSE / WHT_NO_SIMD / WHT_NO_RELAYOUT / \
-         WHT_NO_RECODELET; pins: with_exec or the per-stage with_* builders)"
+         WHT_NO_RECODELET / WHT_NO_BATCH; pins: with_exec or the \
+         per-stage with_* builders)"
     );
     assert_eq!(
         server.evaluations(),

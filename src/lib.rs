@@ -5,7 +5,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`: a staged lowering pipeline — cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) → DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy)) → re-codeleting ([`RecodeletPolicy`](wht_core::RecodeletPolicy)) → SIMD lane-block kernel selection ([`SimdPolicy`](wht_core::SimdPolicy)) — driven by one [`ExecPolicy`](wht_core::ExecPolicy), on by default (every stage has a `WHT_NO_*` kill switch; see `wht_core::env` for the knob table) |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`: a staged lowering pipeline — cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) → DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy)) → re-codeleting ([`RecodeletPolicy`](wht_core::RecodeletPolicy)) → SIMD lane-block kernel selection ([`SimdPolicy`](wht_core::SimdPolicy)) → batched-small cross-transform scheduling ([`BatchPolicy`](wht_core::BatchPolicy), behind [`CompiledPlan::apply_batch`](wht_core::CompiledPlan::apply_batch)) — driven by one [`ExecPolicy`](wht_core::ExecPolicy), on by default (every stage has a `WHT_NO_*` kill switch; see `wht_core::env` for the knob table); plus SRHT sketching ([`Srht`](wht_core::Srht)) fused into the batched executor |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
@@ -59,18 +59,21 @@ pub mod prelude {
     pub use wht_cachesim::{Cache, CacheConfig, Hierarchy};
     pub use wht_core::{
         apply_plan, apply_plan_recursive, compiled_for_exec, compiled_for_with, lane_width,
-        naive_wht, parse_plan, to_sequency_order, CompiledPlan, ExecPolicy, FusionPolicy, Pass,
-        PassBackend, Plan, Provenance, RecodeletPolicy, Relayout, RelayoutPolicy, Scalar,
-        SimdPolicy, SuperPass, WhtError,
+        naive_wht, parse_plan, to_sequency_order, BatchPolicy, CompiledPlan, ExecPolicy,
+        FusionPolicy, Pass, PassBackend, Plan, Provenance, RecodeletPolicy, Relayout,
+        RelayoutPolicy, Scalar, SimdPolicy, Srht, SuperPass, WhtError,
     };
     pub use wht_measure::{
-        measure_plan, super_pass_traffic, time_compiled_plan, time_plan, MeasureOptions,
-        Measurement, SimMachine, SuperPassTraffic, TimingConfig,
+        batch_op_counts, batch_super_pass_traffic, measure_plan, super_pass_traffic,
+        time_compiled_plan, time_plan, MeasureOptions, Measurement, SimMachine, SuperPassTraffic,
+        TimingConfig,
     };
     pub use wht_models::{
         analytic_misses, instruction_count, op_counts, CombinedModel, CostModel, ModelCache,
     };
-    pub use wht_parallel::{measure_sweep, par_apply_compiled, par_apply_plan, Threads};
+    pub use wht_parallel::{
+        measure_sweep, par_apply_batch, par_apply_compiled, par_apply_plan, Threads,
+    };
     pub use wht_search::{
         dp_search, pruned_search, random_search, DpOptions, FusedTrafficCost, InstructionCost,
         PlanCost, Planner, SimCyclesCost, Tuning, WallClockCost, Wisdom,
