@@ -43,7 +43,8 @@ fn main() {
         let mut wall_cost = WallClockCost::default();
         let dp = dp_search(nmax, &DpOptions::default(), &mut wall_cost).expect("dp search");
         for n in 1..=nmax {
-            let rows = canonical_vs_best(n, &dp.best[n as usize], &mut wall_cost).expect("timing");
+            let rows =
+                canonical_vs_best(n, dp.plan(n).expect("solved"), &mut wall_cost).expect("timing");
             let best = rows[3].1;
             wall_rows.push(vec![
                 f64::from(n),

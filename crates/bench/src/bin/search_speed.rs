@@ -1,0 +1,204 @@
+//! Plan-search speed: the memoized branch-and-bound engine against the
+//! plain DP baseline — the acceptance measurement for the memo table.
+//!
+//! For each size `n = 16..=32` (step 2), runs `dp_search` and
+//! `memo_search` cold (fresh memo) under both the instruction model and
+//! the paper's combined model, recording cost-function **evaluations**
+//! (the unit both engines count — one `PlanCost::cost` call per candidate
+//! actually scored) and wall-clock per search. A second memo column
+//! reports the warm cross-size sweep: one memo reused for the whole
+//! `16..=nmax` range, where group reuse makes every size after the first
+//! nearly free.
+//!
+//! Both engines return identical best plans and costs for these
+//! context-free models (the differential tests in `wht-search` enforce
+//! it); this benchmark tracks the *price* of that answer. The emitted
+//! **`BENCH_search.json`** (override with `--json PATH`) carries one row
+//! per size × model × engine with evaluations and min-of-reps
+//! wall-clock, plus a `schema_version` so the artifact stays comparable
+//! across PRs.
+//!
+//! Run with `--release`; flags: `--nmax N` (default 32), `--reps R`
+//! (default 5), `--json PATH`.
+
+use serde::Serialize;
+use std::time::Instant;
+use wht_search::{
+    dp_search, memo_search, CombinedModelCost, DpOptions, InstructionCost, MemoTable,
+};
+
+/// Schema version of the emitted JSON (version 1 = this shape).
+const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One measured (size, model, engine) cell.
+#[derive(Debug, Clone, Serialize)]
+struct SearchRow {
+    n: u32,
+    model: String,
+    engine: String,
+    /// Cost-function evaluations performed by this search.
+    evaluations: u64,
+    /// Fastest observed wall-clock for the search, nanoseconds.
+    min_ns: f64,
+}
+
+/// The checked-in benchmark artifact (`BENCH_search.json`).
+#[derive(Debug, Serialize)]
+struct BenchFile {
+    schema_version: u64,
+    bench: String,
+    methodology: String,
+    reps: u64,
+    rows: Vec<SearchRow>,
+}
+
+fn main() {
+    let mut nmax = 32u32;
+    let mut reps = 5usize;
+    let mut json_path = String::from("BENCH_search.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nmax" => nmax = args.next().expect("--nmax N").parse().expect("integer"),
+            "--reps" => reps = args.next().expect("--reps R").parse().expect("integer"),
+            "--json" => json_path = args.next().expect("--json PATH"),
+            other => panic!("unknown flag {other}; valid: --nmax N, --reps R, --json PATH"),
+        }
+    }
+    let opts = DpOptions::default();
+    println!(
+        "plan-search speed: dp_search vs memo_search (cold per size; evaluations = \
+         PlanCost::cost calls; min wall-clock over {reps} runs; DpOptions default)"
+    );
+    println!(
+        "{:>3}  {:<17}  {:>9} {:>12}  {:>9} {:>12}  {:>7}  {:>8}",
+        "n", "model", "dp evals", "dp ns", "memo evals", "memo ns", "evals x", "time x"
+    );
+
+    let mut rows: Vec<SearchRow> = Vec::new();
+    let mut worst_ratio_30 = f64::INFINITY;
+    for n in (16..=nmax).step_by(2) {
+        for model in ["instruction-model", "combined-model"] {
+            let run_dp = |_: usize| -> (u64, f64, f64) {
+                let t = Instant::now();
+                let (evals, cost) = match model {
+                    "instruction-model" => {
+                        let mut c = InstructionCost::default();
+                        let dp = dp_search(n, &opts, &mut c).expect("valid options");
+                        (dp.evaluations() as u64, dp.best_cost())
+                    }
+                    _ => {
+                        let mut c = CombinedModelCost::paper_default();
+                        let dp = dp_search(n, &opts, &mut c).expect("valid options");
+                        (dp.evaluations() as u64, dp.best_cost())
+                    }
+                };
+                (evals, t.elapsed().as_secs_f64() * 1e9, cost)
+            };
+            let run_memo = |_: usize| -> (u64, f64, f64) {
+                let t = Instant::now();
+                let (evals, cost) = match model {
+                    "instruction-model" => {
+                        let mut c = InstructionCost::default();
+                        let mut memo = MemoTable::new();
+                        let r = memo_search(n, &opts, &mut c, &mut memo).expect("valid options");
+                        (r.evaluations as u64, r.cost)
+                    }
+                    _ => {
+                        let mut c = CombinedModelCost::paper_default();
+                        let mut memo = MemoTable::new();
+                        let r = memo_search(n, &opts, &mut c, &mut memo).expect("valid options");
+                        (r.evaluations as u64, r.cost)
+                    }
+                };
+                (evals, t.elapsed().as_secs_f64() * 1e9, cost)
+            };
+            let (mut dp_evals, mut dp_ns, mut dp_cost) = (0u64, f64::MAX, 0.0);
+            let (mut memo_evals, mut memo_ns, mut memo_cost) = (0u64, f64::MAX, 0.0);
+            for rep in 0..reps {
+                let (e, t, c) = run_dp(rep);
+                dp_evals = e;
+                dp_ns = dp_ns.min(t);
+                dp_cost = c;
+                let (e, t, c) = run_memo(rep);
+                memo_evals = e;
+                memo_ns = memo_ns.min(t);
+                memo_cost = c;
+            }
+            assert_eq!(
+                dp_cost, memo_cost,
+                "engines disagree at n={n}, {model} — pruning bug"
+            );
+            let eval_ratio = dp_evals as f64 / memo_evals as f64;
+            let time_ratio = dp_ns / memo_ns;
+            if n == 30 && model == "combined-model" {
+                worst_ratio_30 = worst_ratio_30.min(eval_ratio);
+            }
+            rows.push(SearchRow {
+                n,
+                model: model.to_string(),
+                engine: "dp".to_string(),
+                evaluations: dp_evals,
+                min_ns: dp_ns,
+            });
+            rows.push(SearchRow {
+                n,
+                model: model.to_string(),
+                engine: "memo".to_string(),
+                evaluations: memo_evals,
+                min_ns: memo_ns,
+            });
+            println!(
+                "{n:>3}  {model:<17}  {dp_evals:>9} {dp_ns:>12.0}  {memo_evals:>9} \
+                 {memo_ns:>12.0}  {eval_ratio:>6.1}x  {time_ratio:>7.1}x"
+            );
+        }
+    }
+
+    // The warm sweep: one memo across every size — the Planner's usage
+    // pattern, where each new size only solves its top groups.
+    println!("\nwarm cross-size sweep (one memo, combined model, sizes 16..={nmax} step 2):");
+    let mut c = CombinedModelCost::paper_default();
+    let mut memo = MemoTable::new();
+    let t = Instant::now();
+    let mut total_evals = 0u64;
+    for n in (16..=nmax).step_by(2) {
+        let r = memo_search(n, &opts, &mut c, &mut memo).expect("valid options");
+        total_evals += r.evaluations as u64;
+        rows.push(SearchRow {
+            n,
+            model: "combined-model".to_string(),
+            engine: "memo-warm".to_string(),
+            evaluations: r.evaluations as u64,
+            min_ns: t.elapsed().as_secs_f64() * 1e9,
+        });
+    }
+    let sweep_ns = t.elapsed().as_secs_f64() * 1e9;
+    println!(
+        "  {total_evals} evaluations, {:.2} ms for the whole sweep",
+        sweep_ns / 1e6
+    );
+    if nmax >= 30 {
+        println!(
+            "memo-over-dp evaluations at n = 30, combined model: {worst_ratio_30:.1}x \
+             (acceptance: >= 10x at equal DpOptions)"
+        );
+    }
+
+    let file = BenchFile {
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "search".to_string(),
+        methodology: format!(
+            "evaluations = PlanCost::cost calls per search; min wall-clock ns over {reps} \
+             runs; engines: dp = dp_search (every candidate scored), memo = memo_search \
+             with a fresh MemoTable per run (branch-and-bound over lower-bounded \
+             candidates), memo-warm = one MemoTable reused across the 16..={nmax} sweep \
+             (min_ns cumulative since sweep start); DpOptions default"
+        ),
+        reps: reps as u64,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
+    std::fs::write(&json_path, json).expect("write benchmark JSON");
+    println!("wrote {json_path}");
+}

@@ -211,7 +211,10 @@ pub fn best_plans_simcycles(nmax: u32) -> Result<Vec<Plan>, WhtError> {
     eprintln!("[study] DP search (sim-cycles) up to n={nmax}");
     let mut cost = SimCyclesCost::opteron();
     let dp = dp_search(nmax, &DpOptions::default(), &mut cost)?;
-    let plans = dp.best;
+    // The cached file stays indexed by n, so slot 0 (no size-0 transform
+    // exists) holds a placeholder leaf the figures never read.
+    let mut plans = vec![Plan::Leaf { k: 1 }];
+    plans.extend((1..=nmax).map(|m| dp.plan(m).expect("solved").clone()));
     if let Ok(text) = serde_json::to_string(&plans) {
         let _ = std::fs::write(&path, text);
     }

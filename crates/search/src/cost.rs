@@ -5,6 +5,7 @@
 //! that search. Both are [`PlanCost`] implementations here, so every search
 //! strategy works with either backend.
 
+use serde::{Deserialize, Serialize};
 use wht_cachesim::Hierarchy;
 use wht_core::{
     lane_width, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
@@ -23,6 +24,206 @@ pub trait PlanCost {
 
     /// Human-readable backend name, used in experiment logs.
     fn name(&self) -> &'static str;
+
+    /// The term vector behind `cost(plan)`, for provenance recording.
+    ///
+    /// Scalar-only backends return `Ok(None)` (the default); vectored
+    /// backends ([`VectorCost`]) return the same [`CostVec`] as
+    /// [`VectorCost::cost_vector`] so the memo table can stamp each group
+    /// winner with *which terms* made it win without the search being
+    /// generic over the vector trait.
+    ///
+    /// # Errors
+    /// Same failure modes as [`PlanCost::cost`].
+    fn cost_terms(&mut self, plan: &Plan) -> Result<Option<CostVec>, WhtError> {
+        let _ = plan;
+        Ok(None)
+    }
+
+    /// A lower bound on the cost of **any** split of span `2^m` whose
+    /// ordered children have the given spans and per-child best standalone
+    /// costs (`parts[i] = (c_i, best_cost(c_i))`).
+    ///
+    /// `None` (the default) means "no sound bound is known" and disables
+    /// branch-and-bound pruning for this backend — the memo search then
+    /// evaluates every candidate, exactly like [`crate::dp_search`].
+    /// Backends whose recursion is *invocation-superadditive* — a child of
+    /// span `c_i` inside a span-`m` split executes `2^(m-c_i)` times, each
+    /// at least as expensive as one standalone run — return
+    /// [`invocation_scaled_bound`]. That holds for the instruction model
+    /// (exactly: the split adds loop overhead on top) and for the combined
+    /// model (analytic misses are stride-monotone, and every in-split
+    /// invocation runs at stride ≥ 1), but **not** for
+    /// [`FusedTrafficCost`]: fusion collapses the sweeps of adjacent
+    /// factors, so a split can stream *less* than its parts in isolation.
+    fn compose_lower_bound(&self, m: u32, parts: &[(u32, f64)]) -> Option<f64> {
+        let _ = (m, parts);
+        None
+    }
+}
+
+/// The invocation-scaled composition bound `Σ 2^(m-c_i) · best(c_i)`:
+/// inside a span-`m` split, the child of span `c_i` is invoked
+/// `2^(m-c_i)` times. Sound as a [`PlanCost::compose_lower_bound`]
+/// whenever one in-split invocation costs at least one standalone run of
+/// the best span-`c_i` plan (see the trait docs for which backends
+/// qualify).
+pub fn invocation_scaled_bound(m: u32, parts: &[(u32, f64)]) -> f64 {
+    parts
+        .iter()
+        .map(|&(c, best)| (1u64 << (m - c.min(m))) as f64 * best)
+        .sum()
+}
+
+/// A vectored plan cost in the style of optd's `Cost(Vec<f64>)`: slot 0 is
+/// the weighted collapse the searches compare, the remaining slots are the
+/// named terms it was collapsed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostVec(pub Vec<f64>);
+
+impl CostVec {
+    /// Slot of the weighted collapse (what [`PlanCost::cost`] returns).
+    pub const WEIGHTED: usize = 0;
+    /// Slot of the work term (single-transform instructions / flops).
+    pub const WORK: usize = 1;
+    /// Slot of the memory-traffic term (streamed elements or model misses).
+    pub const TRAFFIC: usize = 2;
+    /// Slot of the lane-width-adjusted work term (full-SIMD-width work,
+    /// what a batched cross-transform execution retires).
+    pub const LANE_WORK: usize = 3;
+    /// Number of slots.
+    pub const LEN: usize = 4;
+
+    /// Build from the three named terms, collapsing under `weights`.
+    pub fn from_terms(work: f64, traffic: f64, lane_work: f64, weights: CostWeights) -> Self {
+        CostVec(vec![
+            weights.collapse(work, traffic, lane_work),
+            work,
+            traffic,
+            lane_work,
+        ])
+    }
+
+    /// The weighted collapse (slot 0).
+    pub fn weighted(&self) -> f64 {
+        self.0[Self::WEIGHTED]
+    }
+
+    /// The work term.
+    pub fn work(&self) -> f64 {
+        self.0[Self::WORK]
+    }
+
+    /// The traffic term.
+    pub fn traffic(&self) -> f64 {
+        self.0[Self::TRAFFIC]
+    }
+
+    /// The lane-width-adjusted work term.
+    pub fn lane_work(&self) -> f64 {
+        self.0[Self::LANE_WORK]
+    }
+
+    /// One-line rendering for logs and `Planner::explain`.
+    pub fn explain(&self) -> String {
+        format!(
+            "weighted={:.3} (work={:.3}, traffic={:.3}, lane_work={:.3})",
+            self.weighted(),
+            self.work(),
+            self.traffic(),
+            self.lane_work()
+        )
+    }
+}
+
+/// Weights collapsing a [`CostVec`]'s named terms into one comparable
+/// scalar — optd's `compute_cost + io_cost * 10.0` generalized to the
+/// three terms this package models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight on single-transform work (instructions / flops).
+    pub work: f64,
+    /// Weight on memory traffic (streamed elements or model misses).
+    pub traffic: f64,
+    /// Weight on lane-width-adjusted (full-SIMD-width) work.
+    pub lane_work: f64,
+}
+
+impl Default for CostWeights {
+    /// Pure work: cost = the work term, nothing else.
+    fn default() -> Self {
+        CostWeights {
+            work: 1.0,
+            traffic: 0.0,
+            lane_work: 0.0,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Collapse the three terms into the comparable scalar.
+    pub fn collapse(&self, work: f64, traffic: f64, lane_work: f64) -> f64 {
+        self.work * work + self.traffic * traffic + self.lane_work * lane_work
+    }
+}
+
+/// A named multi-objective policy: which weighting a [`VectorCost`]
+/// backend collapses its term vector under. One objective swap re-aims the
+/// same memo search at latency, memory traffic, or batched throughput;
+/// `Planner` records the choice in wisdom so replays stay consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostObjective {
+    /// Single-transform latency: the backend's default weighting.
+    Latency,
+    /// Memory traffic only: minimize streamed elements / model misses.
+    Memory,
+    /// Saturated-batch throughput: full-lane-width work; memory latency
+    /// (not bandwidth) hides behind the batch.
+    BatchThroughput,
+}
+
+impl CostObjective {
+    /// Every objective, for iteration in tests and benches.
+    pub const ALL: [CostObjective; 3] = [
+        CostObjective::Latency,
+        CostObjective::Memory,
+        CostObjective::BatchThroughput,
+    ];
+
+    /// Stable lowercase name for logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostObjective::Latency => "latency",
+            CostObjective::Memory => "memory",
+            CostObjective::BatchThroughput => "batch-throughput",
+        }
+    }
+}
+
+/// A [`PlanCost`] that exposes its term vector and its collapse weights —
+/// optd's `CostModel` shape. `cost(plan)` must equal
+/// `cost_vector(plan)?.weighted()` so scalar searches and vector
+/// provenance never disagree.
+pub trait VectorCost: PlanCost {
+    /// The full term vector for one plan (slot 0 = weighted collapse).
+    ///
+    /// # Errors
+    /// Same failure modes as [`PlanCost::cost`].
+    fn cost_vector(&mut self, plan: &Plan) -> Result<CostVec, WhtError>;
+
+    /// The collapse weights currently in effect.
+    fn weights(&self) -> CostWeights;
+
+    /// Replace the collapse weights (re-aims every subsequent `cost`).
+    fn set_weights(&mut self, weights: CostWeights);
+
+    /// This backend's weighting for a named objective.
+    fn objective_weights(&self, objective: CostObjective) -> CostWeights;
+
+    /// Re-aim the backend at a named objective.
+    fn set_objective(&mut self, objective: CostObjective) {
+        self.set_weights(self.objective_weights(objective));
+    }
 }
 
 /// The instruction-count model (context-free: the unique cost backend for
@@ -31,15 +232,75 @@ pub trait PlanCost {
 pub struct InstructionCost {
     /// Abstract machine weights.
     pub cost_model: CostModel,
+    /// Collapse weights over (work, traffic, lane_work). The model has no
+    /// traffic term and its work is lane-agnostic, so work and lane_work
+    /// both carry the instruction count; the default (`work = 1`) makes
+    /// `cost` the plain instruction count.
+    pub weights: CostWeights,
+}
+
+impl InstructionCost {
+    fn instruction_term(&self, plan: &Plan) -> f64 {
+        instruction_count(plan, &self.cost_model) as f64
+    }
 }
 
 impl PlanCost for InstructionCost {
     fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
-        Ok(instruction_count(plan, &self.cost_model) as f64)
+        let i = self.instruction_term(plan);
+        Ok(self.weights.collapse(i, 0.0, i))
     }
 
     fn name(&self) -> &'static str {
         "instruction-model"
+    }
+
+    fn cost_terms(&mut self, plan: &Plan) -> Result<Option<CostVec>, WhtError> {
+        Ok(Some(self.cost_vector(plan)?))
+    }
+
+    fn compose_lower_bound(&self, m: u32, parts: &[(u32, f64)]) -> Option<f64> {
+        // T(split) = Σ 2^(m-c_i)·T(c_i) + overhead(c_1..c_t): the
+        // recursion is invocation-linear and the overhead term is exactly
+        // computable from the part exponents, so scaled-children + overhead
+        // is a *tight* lower bound (exact when the children are the memo's
+        // own best plans) whenever the collapse is monotone in the
+        // instruction term (non-negative weights).
+        if self.weights.work < 0.0 || self.weights.traffic < 0.0 || self.weights.lane_work < 0.0 {
+            return None;
+        }
+        let exps: Vec<u32> = parts.iter().map(|&(c, _)| c).collect();
+        let ov = self.cost_model.split_overhead(m, &exps) as f64;
+        Some((self.weights.work + self.weights.lane_work) * ov + invocation_scaled_bound(m, parts))
+    }
+}
+
+impl VectorCost for InstructionCost {
+    fn cost_vector(&mut self, plan: &Plan) -> Result<CostVec, WhtError> {
+        let i = self.instruction_term(plan);
+        Ok(CostVec::from_terms(i, 0.0, i, self.weights))
+    }
+
+    fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    fn set_weights(&mut self, weights: CostWeights) {
+        self.weights = weights;
+    }
+
+    fn objective_weights(&self, objective: CostObjective) -> CostWeights {
+        // The model has one real signal; every objective reads it through
+        // a different slot, but the ordering only changes if a caller
+        // mixes in custom terms via set_weights.
+        match objective {
+            CostObjective::Latency | CostObjective::Memory => CostWeights::default(),
+            CostObjective::BatchThroughput => CostWeights {
+                work: 0.0,
+                traffic: 0.0,
+                lane_work: 1.0,
+            },
+        }
     }
 }
 
@@ -78,6 +339,84 @@ impl PlanCost for CombinedModelCost {
 
     fn name(&self) -> &'static str {
         "combined-model"
+    }
+
+    fn cost_terms(&mut self, plan: &Plan) -> Result<Option<CostVec>, WhtError> {
+        Ok(Some(self.cost_vector(plan)?))
+    }
+
+    fn compose_lower_bound(&self, m: u32, parts: &[(u32, f64)]) -> Option<f64> {
+        // Instructions are invocation-linear with an overhead term that is
+        // exactly computable from the part exponents, so the instruction
+        // side of the bound is exact. The miss side splits by regime:
+        //
+        // * `m <= c` (footprint fits): every plan of size `m` — and every
+        //   child standalone — pays compulsory misses exactly, so the
+        //   scaled child sum counts the `2^m` footprint once per child
+        //   where the composed plan pays it once. Subtracting the
+        //   `(t-1)·2^m` over-count makes the miss side exact too.
+        // * `m > c` (thrashes): inside the split each child runs at a
+        //   stride at least its standalone stride, and the analytic model
+        //   is monotone in stride, so the plain scaled sum is a sound
+        //   (now conservative) floor.
+        if self.alpha < 0.0 || self.beta < 0.0 {
+            return None;
+        }
+        let exps: Vec<u32> = parts.iter().map(|&(c, _)| c).collect();
+        let ov = self.cost_model.split_overhead(m, &exps) as f64;
+        let mut lb = self.alpha * ov + invocation_scaled_bound(m, parts);
+        if m <= self.cache.log2_capacity {
+            lb -= self.beta * (parts.len() as f64 - 1.0) * (1u64 << m) as f64;
+        }
+        Some(lb)
+    }
+}
+
+impl VectorCost for CombinedModelCost {
+    fn cost_vector(&mut self, plan: &Plan) -> Result<CostVec, WhtError> {
+        let i = instruction_count(plan, &self.cost_model) as f64;
+        let m = analytic_misses(plan, self.cache) as f64;
+        Ok(CostVec::from_terms(i, m, i, self.weights()))
+    }
+
+    fn weights(&self) -> CostWeights {
+        CostWeights {
+            work: self.alpha,
+            traffic: self.beta,
+            lane_work: 0.0,
+        }
+    }
+
+    /// `work` maps onto `alpha`, `traffic` onto `beta`; the model has no
+    /// lane-width term, so `lane_work` is ignored (the vector still
+    /// carries the instruction count in that slot for inspection).
+    fn set_weights(&mut self, weights: CostWeights) {
+        self.alpha = weights.work;
+        self.beta = weights.traffic;
+    }
+
+    fn objective_weights(&self, objective: CostObjective) -> CostWeights {
+        match objective {
+            // The paper's fitted latency blend.
+            CostObjective::Latency => CostWeights {
+                work: 1.0,
+                traffic: 0.05,
+                lane_work: 0.0,
+            },
+            // Pure miss minimization.
+            CostObjective::Memory => CostWeights {
+                work: 0.0,
+                traffic: 1.0,
+                lane_work: 0.0,
+            },
+            // A saturated batch hides memory latency behind independent
+            // transforms; throughput is instruction-bound.
+            CostObjective::BatchThroughput => CostWeights {
+                work: 1.0,
+                traffic: 0.0,
+                lane_work: 0.0,
+            },
+        }
     }
 }
 
@@ -142,15 +481,17 @@ pub struct FusedTrafficCost {
     /// where `Some(rows)` stops preferring the batched schedule *is* the
     /// threshold.
     pub batch_rows: Option<usize>,
-    /// Weight on instructions.
-    pub alpha: f64,
-    /// Weight on streamed elements.
-    pub beta: f64,
+    /// Collapse weights over the term vector: `work` multiplies the
+    /// single-transform instruction term, `traffic` the streamed-element
+    /// term, `lane_work` the full-SIMD-width instruction term (what a
+    /// batched cross-transform execution retires). The historical
+    /// `alpha`/`beta` scalars are `weights.work`/`weights.traffic`.
+    pub weights: CostWeights,
 }
 
 impl FusedTrafficCost {
     /// Cost under an explicit [`ExecPolicy`] with the default weights
-    /// (`alpha = 1`, `beta = 4`: a streamed element costs about what a
+    /// (`work = 1`, `traffic = 4`: a streamed element costs about what a
     /// handful of bookkeeping instructions does, matching the combined
     /// model's miss-penalty scale on 8-element lines) and an L2-sized
     /// residency threshold. The lane width models the measured default
@@ -168,8 +509,11 @@ impl FusedTrafficCost {
             },
             exec,
             batch_rows: None,
-            alpha: 1.0,
-            beta: 4.0,
+            weights: CostWeights {
+                work: 1.0,
+                traffic: 4.0,
+                lane_work: 0.0,
+            },
         }
     }
 
@@ -218,8 +562,11 @@ impl Default for FusedTrafficCost {
     }
 }
 
-impl PlanCost for FusedTrafficCost {
-    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+impl FusedTrafficCost {
+    /// The (work, traffic, lane_work) term triple behind [`Self::cost`]:
+    /// single-transform instruction term, streamed elements, and the
+    /// full-SIMD-width instruction term.
+    fn terms(&self, plan: &Plan) -> (f64, f64, f64) {
         // Lower the plan exactly as the executor will; everything below
         // scores that schedule generically, stage-agnostically.
         let compiled = CompiledPlan::compile(plan).lower(&self.exec);
@@ -277,9 +624,13 @@ impl PlanCost for FusedTrafficCost {
                 sp.span() * sweeps
             })
             .sum();
-        let single = self.alpha * (bookkeeping + leaf_single) + self.beta * (2 * streamed) as f64;
+        let single = (
+            bookkeeping + leaf_single,
+            (2 * streamed) as f64,
+            bookkeeping + leaf_full,
+        );
         let Some(rows) = self.batch_rows else {
-            return Ok(single);
+            return single;
         };
         // Batched scoring: model what apply_batch runs for this batch.
         // Engaged lane groups pay one streamed sweep of the whole group —
@@ -287,26 +638,91 @@ impl PlanCost for FusedTrafficCost {
         // (gather reads x, scatter writes it back; the transposed scratch
         // is cache-resident by the batch stage's size cap, and the tail
         // passes run on the still-resident group) — and every pass goes
-        // full width in the transposed domain.
+        // full width in the transposed domain, so an engaged group's work
+        // *is* the full-width term (charged to both work and lane_work).
         let w = lanes;
         let engaged = compiled
             .batch_schedule()
             .filter(|b| rows >= b.block_rows().max(w));
-        let total = match engaged {
+        match engaged {
             Some(_) => {
                 let groups = (rows / w) as f64;
                 let rem = (rows % w) as f64;
-                let group = self.alpha * w as f64 * (bookkeeping + leaf_full)
-                    + self.beta * (2 * w * compiled.size()) as f64;
-                groups * group + rem * single
+                let group_work = w as f64 * (bookkeeping + leaf_full);
+                let group_traffic = (2 * w * compiled.size()) as f64;
+                (
+                    groups * group_work + rem * single.0,
+                    groups * group_traffic + rem * single.1,
+                    groups * group_work + rem * single.2,
+                )
             }
-            None => rows as f64 * single,
-        };
-        Ok(total)
+            None => (
+                rows as f64 * single.0,
+                rows as f64 * single.1,
+                rows as f64 * single.2,
+            ),
+        }
+    }
+}
+
+impl PlanCost for FusedTrafficCost {
+    fn cost(&mut self, plan: &Plan) -> Result<f64, WhtError> {
+        let (work, traffic, lane_work) = self.terms(plan);
+        Ok(self.weights.collapse(work, traffic, lane_work))
     }
 
     fn name(&self) -> &'static str {
         "fused-traffic"
+    }
+
+    fn cost_terms(&mut self, plan: &Plan) -> Result<Option<CostVec>, WhtError> {
+        Ok(Some(self.cost_vector(plan)?))
+    }
+
+    // No compose_lower_bound override: fusion collapses the sweeps of
+    // adjacent factors, so a split can legitimately stream *less* than
+    // its parts in isolation — the invocation-scaled bound is unsound
+    // here, and the memo search falls back to exhaustive evaluation
+    // (still memoized across sizes and searches).
+}
+
+impl VectorCost for FusedTrafficCost {
+    fn cost_vector(&mut self, plan: &Plan) -> Result<CostVec, WhtError> {
+        let (work, traffic, lane_work) = self.terms(plan);
+        Ok(CostVec::from_terms(work, traffic, lane_work, self.weights))
+    }
+
+    fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    fn set_weights(&mut self, weights: CostWeights) {
+        self.weights = weights;
+    }
+
+    fn objective_weights(&self, objective: CostObjective) -> CostWeights {
+        match objective {
+            // The measured single-transform blend (the default).
+            CostObjective::Latency => CostWeights {
+                work: 1.0,
+                traffic: 4.0,
+                lane_work: 0.0,
+            },
+            // Pure streamed-element minimization.
+            CostObjective::Memory => CostWeights {
+                work: 0.0,
+                traffic: 1.0,
+                lane_work: 0.0,
+            },
+            // Batched serving: every pass runs full width in the
+            // transposed domain, so single-width work is irrelevant and
+            // bandwidth still costs.
+            CostObjective::BatchThroughput => CostWeights {
+                work: 0.0,
+                traffic: 4.0,
+                lane_work: 1.0,
+            },
+        }
     }
 }
 
@@ -493,7 +909,7 @@ mod tests {
         );
         let c_in_place = in_place.cost(&plan).unwrap();
         let c_relaid = relaid.cost(&plan).unwrap();
-        let sweep = relaid.beta * (2 * (1usize << 20)) as f64;
+        let sweep = relaid.weights.traffic * (2 * (1usize << 20)) as f64;
         assert!(
             (c_in_place - c_relaid - sweep).abs() < 1e-6,
             "tail of 3 sweeps -> 2 transpose sweeps must save exactly one \
@@ -623,5 +1039,91 @@ mod tests {
         let rr = c.cost(&Plan::right_recursive(n).unwrap()).unwrap();
         let lr = c.cost(&Plan::left_recursive(n).unwrap()).unwrap();
         assert!(lr > rr);
+    }
+
+    /// `cost` must equal the vector's weighted collapse for every vector
+    /// backend under every objective — scalar searches and provenance
+    /// stamping may never disagree.
+    #[test]
+    fn vector_collapse_matches_scalar_cost() {
+        fn check<C: VectorCost>(mut c: C) {
+            let plan = Plan::iterative(14).unwrap();
+            for obj in CostObjective::ALL {
+                c.set_objective(obj);
+                let v = c.cost_vector(&plan).unwrap();
+                let s = c.cost(&plan).unwrap();
+                assert_eq!(v.weighted(), s, "{} under {}", c.name(), obj.name());
+                assert_eq!(v.0.len(), CostVec::LEN);
+                let terms = c.cost_terms(&plan).unwrap().expect("vector backend");
+                assert_eq!(terms, v);
+            }
+        }
+        check(InstructionCost::default());
+        check(CombinedModelCost::paper_default());
+        check(FusedTrafficCost::default());
+    }
+
+    /// Defaults are unchanged by the vector layer: the instruction backend
+    /// still returns the plain count, the combined backend the paper
+    /// blend, the traffic backend the work + 4·traffic collapse.
+    #[test]
+    fn default_weights_reproduce_legacy_costs() {
+        let plan = Plan::iterative(12).unwrap();
+        let mut i = InstructionCost::default();
+        assert_eq!(
+            i.cost(&plan).unwrap(),
+            instruction_count(&plan, &CostModel::default()) as f64
+        );
+        let mut f = FusedTrafficCost::default();
+        let v = f.cost_vector(&plan).unwrap();
+        assert_eq!(f.cost(&plan).unwrap(), v.work() + 4.0 * v.traffic());
+    }
+
+    /// Objectives are real policy changes: under the fused-traffic backend
+    /// the memory objective scores a plan by streamed elements alone.
+    #[test]
+    fn objectives_reweight_the_same_terms() {
+        let plan = Plan::iterative(18).unwrap();
+        let mut c = FusedTrafficCost::default();
+        let v = c.cost_vector(&plan).unwrap();
+        c.set_objective(CostObjective::Memory);
+        assert_eq!(c.cost(&plan).unwrap(), v.traffic());
+        c.set_objective(CostObjective::BatchThroughput);
+        assert_eq!(c.cost(&plan).unwrap(), v.lane_work() + 4.0 * v.traffic());
+        c.set_objective(CostObjective::Latency);
+        assert_eq!(c.cost(&plan).unwrap(), v.weighted());
+    }
+
+    /// The invocation-scaled composition bound must never exceed the true
+    /// cost of the composed split it bounds (B&B soundness for the
+    /// backends that advertise it).
+    #[test]
+    fn compose_lower_bound_is_sound() {
+        fn check<C: PlanCost>(mut c: C) {
+            for m in 3..=10u32 {
+                for c1 in 1..m {
+                    let c2 = m - c1;
+                    let best1 = Plan::right_recursive(c1).unwrap();
+                    let best2 = Plan::right_recursive(c2).unwrap();
+                    let parts = [(c1, c.cost(&best1).unwrap()), (c2, c.cost(&best2).unwrap())];
+                    let Some(lb) = c.compose_lower_bound(m, &parts) else {
+                        panic!("{} should advertise a bound", c.name());
+                    };
+                    let split = Plan::split(vec![best1, best2]).unwrap();
+                    let actual = c.cost(&split).unwrap();
+                    assert!(
+                        lb <= actual + 1e-9,
+                        "{}: lb {lb} > actual {actual} at m={m}, c1={c1}",
+                        c.name()
+                    );
+                }
+            }
+        }
+        check(InstructionCost::default());
+        check(CombinedModelCost::paper_default());
+        // And the fusion-aware backend must *not* advertise one.
+        assert!(FusedTrafficCost::default()
+            .compose_lower_bound(4, &[(2, 1.0), (2, 1.0)])
+            .is_none());
     }
 }

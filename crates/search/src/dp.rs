@@ -11,6 +11,13 @@
 //! `max_parts` parts. The context-independence assumption is exactly the
 //! package's (and is *exact* for the instruction-count model, which ignores
 //! strides — tested against `wht-models::theory`).
+//!
+//! `dp_search` evaluates **every** candidate in generation order — it is
+//! the deliberately simple baseline the memoized branch-and-bound search
+//! ([`crate::memo_search`]) is differentially tested against. Both pick
+//! winners by the same deterministic tie-break: cost first, then earliest
+//! candidate in canonical generation order (the leaf, if eligible, is
+//! candidate 0; compositions follow in [`split_compositions`] order).
 
 use crate::cost::PlanCost;
 use wht_core::{Plan, WhtError, MAX_LEAF_K};
@@ -18,7 +25,9 @@ use wht_core::{Plan, WhtError, MAX_LEAF_K};
 /// Dynamic-programming search options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DpOptions {
-    /// Largest leaf codelet considered.
+    /// Largest leaf codelet considered. Must lie in `1..=MAX_LEAF_K`;
+    /// out-of-range values are rejected (not clamped) — the strict-parse
+    /// knob contract.
     pub max_leaf_k: u32,
     /// Largest split arity considered (2 = binary splits only, the common
     /// package configuration; larger values search more compositions).
@@ -45,62 +54,116 @@ impl DpOptions {
     }
 }
 
-/// Result of a DP search: the best plan per size, with costs.
-#[derive(Debug, Clone)]
-pub struct DpResult {
-    /// `best[m]` for `m` in `1..=n` (`best[0]` is unused filler).
-    pub best: Vec<Plan>,
-    /// Cost of `best[m]` under the search's cost function.
-    pub cost: Vec<f64>,
-    /// Number of cost evaluations performed (the search's price).
-    pub evaluations: usize,
-}
-
-impl DpResult {
-    /// The best plan for the full size `n` the search was run at.
-    pub fn best_plan(&self) -> &Plan {
-        self.best.last().expect("non-empty")
-    }
-
-    /// Cost of the best full-size plan.
-    pub fn best_cost(&self) -> f64 {
-        *self.cost.last().expect("non-empty")
-    }
-}
-
-/// Run the DP autotuner up to size `2^n` with the given cost backend.
-///
-/// # Errors
-/// [`WhtError::InvalidConfig`] for `n == 0` or degenerate options;
-/// propagates cost-function errors.
-pub fn dp_search<C: PlanCost>(
-    n: u32,
-    opts: &DpOptions,
-    cost_fn: &mut C,
-) -> Result<DpResult, WhtError> {
+/// Strict validation shared by `dp_search` and `memo_search`.
+pub(crate) fn validate_search_args(n: u32, opts: &DpOptions) -> Result<(), WhtError> {
     if n == 0 {
         return Err(WhtError::InvalidConfig("n must be >= 1".into()));
     }
     if opts.max_parts < 2 {
         return Err(WhtError::InvalidConfig("max_parts must be >= 2".into()));
     }
-    let max_leaf = opts.max_leaf_k.clamp(1, MAX_LEAF_K);
+    if opts.max_leaf_k == 0 || opts.max_leaf_k > MAX_LEAF_K {
+        return Err(WhtError::InvalidConfig(format!(
+            "max_leaf_k must be in 1..={MAX_LEAF_K}, got {}",
+            opts.max_leaf_k
+        )));
+    }
+    Ok(())
+}
+
+/// Result of a DP search: the best plan per size, with costs.
+///
+/// Sizes are `1..=n`; size 0 has no plan (there is no `2^0`-point
+/// transform to factor), so the per-size accessors return `Option` and
+/// there is **no** index-0 filler to trip over — the historical public
+/// `cost[0] = NaN` sentinel is gone.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// `table[m] = (best plan, cost)` for `m` in `1..=n`; `table[0]` is
+    /// `None` by construction.
+    table: Vec<Option<(Plan, f64)>>,
+    evaluations: usize,
+}
+
+impl DpResult {
+    /// Build from a solved table. Every slot in `1..=n` must be filled and
+    /// slot 0 empty — guaranteed by both searches, checked here so the
+    /// infallible accessors below stay honest.
+    pub(crate) fn from_table(table: Vec<Option<(Plan, f64)>>, evaluations: usize) -> Self {
+        debug_assert!(table.len() >= 2);
+        debug_assert!(table[0].is_none());
+        debug_assert!(table[1..].iter().all(Option::is_some));
+        DpResult { table, evaluations }
+    }
+
+    /// The size exponent the search was run at.
+    pub fn n(&self) -> u32 {
+        (self.table.len() - 1) as u32
+    }
+
+    /// The best plan for size `2^m`, or `None` for `m == 0` / `m > n`.
+    pub fn plan(&self, m: u32) -> Option<&Plan> {
+        self.table
+            .get(m as usize)
+            .and_then(|slot| slot.as_ref().map(|(p, _)| p))
+    }
+
+    /// The cost of the best plan for size `2^m` under the search's cost
+    /// function, or `None` for `m == 0` / `m > n`.
+    pub fn cost(&self, m: u32) -> Option<f64> {
+        self.table
+            .get(m as usize)
+            .and_then(|slot| slot.as_ref().map(|&(_, c)| c))
+    }
+
+    /// The best plan for the full size `n` the search was run at.
+    pub fn best_plan(&self) -> &Plan {
+        self.plan(self.n()).expect("filled by construction")
+    }
+
+    /// Cost of the best full-size plan.
+    pub fn best_cost(&self) -> f64 {
+        self.cost(self.n()).expect("filled by construction")
+    }
+
+    /// Number of cost evaluations performed (the search's price).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Every solved size, smallest first: `(m, best plan, cost)`.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &Plan, f64)> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter_map(|(m, slot)| slot.as_ref().map(|(p, c)| (m as u32, p, *c)))
+    }
+}
+
+/// Run the DP autotuner up to size `2^n` with the given cost backend.
+///
+/// # Errors
+/// [`WhtError::InvalidConfig`] for `n == 0`, `max_parts < 2`, or
+/// `max_leaf_k` outside `1..=MAX_LEAF_K`; propagates cost-function errors.
+pub fn dp_search<C: PlanCost>(
+    n: u32,
+    opts: &DpOptions,
+    cost_fn: &mut C,
+) -> Result<DpResult, WhtError> {
+    validate_search_args(n, opts)?;
     let mut best: Vec<Option<(Plan, f64)>> = vec![None; n as usize + 1];
     let mut evaluations = 0usize;
 
     for m in 1..=n {
         let mut candidate: Option<(Plan, f64)> = None;
-        if m <= max_leaf {
+        if m <= opts.max_leaf_k {
             let leaf = Plan::Leaf { k: m };
             let c = cost_fn.cost(&leaf)?;
             evaluations += 1;
             candidate = Some((leaf, c));
         }
         if m >= 2 {
-            let mut parts = Vec::new();
-            let mut compositions = Vec::new();
-            gen_compositions(m, opts.max_parts, &mut parts, &mut compositions);
-            for comp in compositions {
+            for comp in split_compositions(m, opts.max_parts) {
                 let children: Vec<Plan> = comp
                     .iter()
                     .map(|&p| best[p as usize].as_ref().expect("filled").0.clone())
@@ -108,6 +171,8 @@ pub fn dp_search<C: PlanCost>(
                 let plan = Plan::split(children)?;
                 let c = cost_fn.cost(&plan)?;
                 evaluations += 1;
+                // Strict `<` on generation order = the (cost, earliest
+                // candidate) tie-break memo_search implements explicitly.
                 if candidate.as_ref().is_none_or(|(_, bc)| c < *bc) {
                     candidate = Some((plan, c));
                 }
@@ -119,23 +184,21 @@ pub fn dp_search<C: PlanCost>(
             })?);
     }
 
-    let mut plans = Vec::with_capacity(n as usize + 1);
-    let mut costs = Vec::with_capacity(n as usize + 1);
-    plans.push(Plan::Leaf { k: 1 }); // index 0 filler
-    costs.push(f64::NAN);
-    for slot in best.iter_mut().skip(1) {
-        let (p, c) = slot.take().expect("filled");
-        plans.push(p);
-        costs.push(c);
-    }
-    Ok(DpResult {
-        best: plans,
-        cost: costs,
-        evaluations,
-    })
+    Ok(DpResult::from_table(best, evaluations))
 }
 
-/// All compositions of `m` into `2..=max_parts` parts (order significant).
+/// All compositions of `m` into `2..=max_parts` ordered parts, in the
+/// canonical generation order both searches share (lexicographic DFS:
+/// first part smallest first, then recursively). Under unbounded parts
+/// this is exactly the `2^(m-1) - 1` multi-part compositions of `m`
+/// (property-tested in `tests/proptests.rs`).
+pub fn split_compositions(m: u32, max_parts: usize) -> Vec<Vec<u32>> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    gen_compositions(m, max_parts, &mut prefix, &mut out);
+    out
+}
+
 fn gen_compositions(m: u32, max_parts: usize, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
     if prefix.len() >= 2 && prefix.iter().sum::<u32>() == m {
         out.push(prefix.clone());
@@ -166,17 +229,14 @@ mod tests {
 
     #[test]
     fn composition_generator_counts() {
-        let mut prefix = Vec::new();
-        let mut out = Vec::new();
-        gen_compositions(4, usize::MAX, &mut prefix, &mut out);
+        let out = split_compositions(4, usize::MAX);
         // Compositions of 4 with >= 2 parts: 2^3 - 1 = 7.
         assert_eq!(out.len(), 7);
         for c in &out {
             assert_eq!(c.iter().sum::<u32>(), 4);
             assert!(c.len() >= 2);
         }
-        out.clear();
-        gen_compositions(5, 2, &mut prefix, &mut out);
+        let out = split_compositions(5, 2);
         // Binary compositions of 5: 4.
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|c| c.len() == 2));
@@ -237,15 +297,31 @@ mod tests {
     fn per_size_table_is_usable() {
         let mut cost = InstructionCost::default();
         let dp = dp_search(8, &DpOptions::default(), &mut cost).unwrap();
+        assert_eq!(dp.n(), 8);
         for m in 1..=8u32 {
-            let plan = &dp.best[m as usize];
+            let plan = dp.plan(m).unwrap();
             assert_eq!(plan.n(), m);
             assert_eq!(
-                dp.cost[m as usize] as u64,
+                dp.cost(m).unwrap() as u64,
                 instruction_count(plan, &CostModel::default())
             );
         }
-        assert!(dp.evaluations > 8);
+        assert_eq!(dp.entries().count(), 8);
+        assert!(dp.evaluations() > 8);
+    }
+
+    /// Regression (the `cost[0] = NaN` bug): size 0 has no entry at all —
+    /// no NaN sentinel that poisons `<` comparisons, no panic, and every
+    /// returned cost is finite.
+    #[test]
+    fn size_zero_has_no_entry_and_no_nan() {
+        let mut cost = InstructionCost::default();
+        let dp = dp_search(6, &DpOptions::default(), &mut cost).unwrap();
+        assert!(dp.plan(0).is_none());
+        assert!(dp.cost(0).is_none());
+        assert!(dp.plan(7).is_none(), "beyond n is None, not a panic");
+        assert!(dp.entries().all(|(_, _, c)| c.is_finite()));
+        assert!(dp.entries().next().unwrap().0 == 1);
     }
 
     #[test]
@@ -273,5 +349,35 @@ mod tests {
             ..DpOptions::default()
         };
         assert!(dp_search(4, &bad, &mut cost).is_err());
+    }
+
+    /// Regression (the silent-clamp bug): an out-of-range `max_leaf_k` is
+    /// rejected with a typed `InvalidConfig`, not quietly clamped into
+    /// `1..=MAX_LEAF_K` — a search that says "leaves up to 2^12" must not
+    /// silently search a different space.
+    #[test]
+    fn out_of_range_max_leaf_k_rejected_not_clamped() {
+        use wht_core::MAX_LEAF_K;
+        let mut cost = InstructionCost::default();
+        for bad_k in [0, MAX_LEAF_K + 1, 32] {
+            let opts = DpOptions {
+                max_leaf_k: bad_k,
+                ..DpOptions::default()
+            };
+            match dp_search(4, &opts, &mut cost) {
+                Err(WhtError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("max_leaf_k"), "unhelpful message: {msg}");
+                }
+                other => panic!("max_leaf_k={bad_k} must be InvalidConfig, got {other:?}"),
+            }
+        }
+        // The boundary values themselves are legal.
+        for good_k in [1, MAX_LEAF_K] {
+            let opts = DpOptions {
+                max_leaf_k: good_k,
+                ..DpOptions::default()
+            };
+            assert!(dp_search(4, &opts, &mut cost).is_ok());
+        }
     }
 }

@@ -6,15 +6,24 @@
 //! * [`cost`] — pluggable cost backends: instruction model, combined
 //!   `alpha*I + beta*M` model, fusion-aware traffic model (scores the
 //!   cache-blocked schedule the compiled executor actually replays),
-//!   deterministic simulated cycles, wall clock;
+//!   deterministic simulated cycles, wall clock — plus the vectored
+//!   layer ([`VectorCost`]/[`CostVec`]/[`CostObjective`]): each model
+//!   backend exposes its (work, traffic, lane-work) terms and collapses
+//!   them under swappable weights, so one objective swap re-aims every
+//!   search at latency, memory, or batched throughput;
 //! * [`dp`] — the package's dynamic-programming autotuner (the source of
-//!   the paper's "best" algorithms);
+//!   the paper's "best" algorithms), kept as the evaluate-everything
+//!   baseline;
+//! * [`memo`] — the cascades-style rebuild of that search: a persistent
+//!   [`MemoTable`] of per-span groups with branch-and-bound pruning
+//!   ([`PlanCost::compose_lower_bound`]) and per-group provenance, same
+//!   answers as [`dp_search`] at a fraction of the evaluations;
 //! * [`strategies`] — exhaustive search (small sizes), uniform random
 //!   search, and the paper's model-pruned search;
 //! * [`planner`] — the production facade: a [`Planner`] owning a cost
-//!   backend, amortizing DP search across calls through an FFTW-style
-//!   [`Wisdom`] cache (JSON save/load) and serving transforms from
-//!   compiled pass schedules.
+//!   backend, amortizing memoized search across calls through an
+//!   FFTW-style [`Wisdom`] cache (JSON save/load) and serving transforms
+//!   from compiled pass schedules.
 //!
 //! ```
 //! use wht_search::{dp_search, DpOptions, InstructionCost};
@@ -33,14 +42,17 @@ pub mod calibrate;
 pub mod cost;
 pub mod dp;
 pub mod local;
+pub mod memo;
 pub mod planner;
 pub mod strategies;
 
 pub use calibrate::{calibrate, CalibrateOptions, CalibratedCost};
 pub use cost::{
-    CombinedModelCost, FusedTrafficCost, InstructionCost, PlanCost, SimCyclesCost, WallClockCost,
+    invocation_scaled_bound, CombinedModelCost, CostObjective, CostVec, CostWeights,
+    FusedTrafficCost, InstructionCost, PlanCost, SimCyclesCost, VectorCost, WallClockCost,
 };
-pub use dp::{dp_search, DpOptions, DpResult};
+pub use dp::{dp_search, split_compositions, DpOptions, DpResult};
 pub use local::{local_search, mutate, LocalSearchOptions};
+pub use memo::{memo_search, memo_to_dp_result, Group, GroupProvenance, MemoResult, MemoTable};
 pub use planner::{Planner, Tuning, Wisdom};
 pub use strategies::{exhaustive_search, pruned_search, random_search, PrunedSearchResult, Ranked};

@@ -6,10 +6,13 @@
 //! cost constantly. This module packages that contract:
 //!
 //! 1. [`Planner::transform`] looks up the best known plan for the input's
-//!    size in its [`Wisdom`] store; on a miss it runs the DP autotuner
-//!    ([`crate::dp_search`]) against the planner's cost backend **once**,
-//!    recording the best plan of *every* size up to `n` (DP computes them
-//!    all anyway).
+//!    size in its [`Wisdom`] store; on a miss it runs the memoized
+//!    branch-and-bound search ([`crate::memo_search`]) against the
+//!    planner's cost backend **once**, recording the best plan of *every*
+//!    size up to `n` (the memo solves them all anyway). The [`MemoTable`]
+//!    persists inside the planner, so a later, larger search only solves
+//!    the spans it has never seen, and [`Planner::explain`] can say which
+//!    composition won each searched size and why.
 //! 2. The chosen plan is lowered through the staged pipeline of
 //!    `wht_core::compile` under one **resolved** [`ExecPolicy`]
 //!    (fuse → relayout → re-codelet → kernel backend → batch), and the
@@ -41,7 +44,15 @@
 //!
 //! ## Wisdom format history
 //!
-//! - **Version 4** (current): [`Tuning`] gains the `batch` field — the
+//! - **Version 5** (current): [`Tuning`] gains the `objective` field —
+//!   which [`CostObjective`] weighting the recorder's vectored cost
+//!   backend collapsed its terms under when the entry's plan won, or
+//!   absent when the backend ran with its default weights. A planner
+//!   re-aimed via [`Planner::with_objective`] treats entries recorded
+//!   under a *different* objective as misses (the plan was optimal for a
+//!   different collapse) while legacy planners keep reading every entry.
+//!   Version-4 blobs load transparently (no objective recorded).
+//! - **Version 4**: [`Tuning`] gains the `batch` field — the
 //!   row-block threshold the recorder's batched executor engaged at, or
 //!   `0` when batching was off. Version-3 blobs load transparently (the
 //!   field is simply absent: no choice recorded).
@@ -78,8 +89,9 @@
 //! # Ok::<(), wht_core::WhtError>(())
 //! ```
 
-use crate::cost::PlanCost;
-use crate::dp::{dp_search, DpOptions};
+use crate::cost::{CostObjective, PlanCost, VectorCost};
+use crate::dp::DpOptions;
+use crate::memo::{memo_search, MemoTable};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -114,6 +126,13 @@ pub struct Tuning {
     /// the recorder's executor did not build a batch schedule for this
     /// size (stage off, or the size is past the batch cap).
     pub batch: Option<u64>,
+    /// The [`CostObjective`] the recorder's vectored cost backend was
+    /// collapsed under when this plan won; `None` = default weights (or a
+    /// pre-version-5 record). Unlike the executor knobs above this is not
+    /// replayed into an [`ExecPolicy`] — it gates wisdom *reuse*: a
+    /// planner aimed at a different objective must re-search, not replay
+    /// a plan that was optimal for a different collapse.
+    pub objective: Option<CostObjective>,
 }
 
 impl Tuning {
@@ -171,7 +190,7 @@ struct WisdomFileIn {
     entries: Vec<WisdomEntryIn>,
 }
 
-const WISDOM_VERSION: u32 = 4;
+const WISDOM_VERSION: u32 = 5;
 
 /// Oldest wisdom format [`Wisdom::from_json`] still reads (see the module
 /// docs' format history).
@@ -254,6 +273,14 @@ impl Wisdom {
         self.tuning(n, backend)?
             .batch
             .map(|b| usize::try_from(b).unwrap_or(usize::MAX))
+    }
+
+    /// The [`CostObjective`] recorded with the `(n, backend)` entry:
+    /// which weighting the recorder's vectored cost backend collapsed its
+    /// terms under when the plan won. `None` means default weights, a
+    /// pre-version-5 record, or no entry at all.
+    pub fn objective(&self, n: u32, backend: &str) -> Option<CostObjective> {
+        self.tuning(n, backend)?.objective
     }
 
     /// Record (or overwrite) the best plan for `(n, backend)` with no
@@ -367,6 +394,7 @@ impl Wisdom {
                 relayout: entry.relayout,
                 recodelet: None,
                 batch: None,
+                objective: None,
             });
             wisdom.insert_with_tuning(entry.n, &entry.backend, plan, tuning)?;
         }
@@ -419,8 +447,9 @@ impl PinnedKnobs {
 }
 
 /// Production entry point: owns a cost backend, a [`Wisdom`] store, and a
-/// compiled-schedule cache; serves `planner.transform(&mut x)` with DP
-/// search amortized to zero on the warm path (see the module docs).
+/// compiled-schedule cache; serves `planner.transform(&mut x)` with
+/// memoized search amortized to zero on the warm path (see the module
+/// docs).
 #[derive(Debug)]
 pub struct Planner<C: PlanCost> {
     cost: C,
@@ -432,6 +461,12 @@ pub struct Planner<C: PlanCost> {
     pinned: PinnedKnobs,
     wisdom: Wisdom,
     compiled: HashMap<u32, CompiledPlan>,
+    /// Solved search groups, kept across `plan` calls: a later, larger
+    /// search only solves the spans no earlier search has seen.
+    memo: MemoTable,
+    /// The named weighting the cost backend was last aimed at via
+    /// [`Planner::with_objective`]; `None` = the backend's own weights.
+    objective: Option<CostObjective>,
     evaluations: usize,
 }
 
@@ -452,6 +487,8 @@ impl<C: PlanCost> Planner<C> {
             pinned: PinnedKnobs::default(),
             wisdom: Wisdom::new(),
             compiled: HashMap::new(),
+            memo: MemoTable::new(),
+            objective: None,
             evaluations: 0,
         }
     }
@@ -578,6 +615,28 @@ impl<C: PlanCost> Planner<C> {
         self.cost.name()
     }
 
+    /// The named objective the cost backend is currently aimed at
+    /// ([`Planner::with_objective`]); `None` = the backend's own weights.
+    pub fn objective(&self) -> Option<CostObjective> {
+        self.objective
+    }
+
+    /// The persistent memo of solved search groups (spans searched by
+    /// *this* planner instance; wisdom imported from elsewhere carries no
+    /// groups).
+    pub fn memo(&self) -> &MemoTable {
+        &self.memo
+    }
+
+    /// Why size `2^n`'s plan won: the winning composition, the candidate
+    /// counts (evaluated / pruned), and — for vectored backends — the
+    /// cost terms, as one human-readable line. `None` when this planner
+    /// instance never searched the size (e.g. it was served from imported
+    /// wisdom, which records the choice but not the deliberation).
+    pub fn explain(&self, n: u32) -> Option<String> {
+        Some(self.memo.group(n)?.explain(n))
+    }
+
     /// Total cost evaluations this planner has performed; a warm planner
     /// serves transforms without increasing this.
     pub fn evaluations(&self) -> usize {
@@ -643,16 +702,27 @@ impl<C: PlanCost> Planner<C> {
         }
     }
 
-    /// Best plan for size `2^n`: wisdom hit, or one DP search whose entire
-    /// per-size table is recorded as wisdom.
+    /// Whether the `(m, backend)` wisdom entry may serve this planner: it
+    /// must exist, and — when the planner is aimed at a named objective —
+    /// must have been recorded under that same objective (a plan optimal
+    /// for a different collapse is a miss, not a hit).
+    fn wisdom_entry_is_current(&self, m: u32, backend: &str) -> bool {
+        match self.wisdom.tuning(m, backend) {
+            None => false,
+            Some(t) => self.objective.is_none() || t.objective == self.objective,
+        }
+    }
+
+    /// Best plan for size `2^n`: wisdom hit, or one memoized search whose
+    /// entire per-size table is recorded as wisdom.
     ///
     /// # Errors
-    /// Propagates DP option validation and cost-backend failures.
+    /// Propagates search option validation and cost-backend failures.
     pub fn plan(&mut self, n: u32) -> Result<&Plan, WhtError> {
         let backend = self.cost.name();
-        if self.wisdom.get(n, backend).is_none() {
-            let dp = dp_search(n, &self.opts, &mut self.cost)?;
-            self.evaluations += dp.evaluations;
+        if !self.wisdom_entry_is_current(n, backend) {
+            let res = memo_search(n, &self.opts, &mut self.cost, &mut self.memo)?;
+            self.evaluations += res.evaluations;
             // Record the executor tuning this planner compiles with, so a
             // process importing the wisdom replays the same configuration
             // (budget 0 = fusion off; simd = which kernels ran; relayout
@@ -670,11 +740,19 @@ impl<C: PlanCost> Planner<C> {
                 0
             };
             for m in 1..=n {
-                // Smaller sizes only fill holes: an imported entry may
-                // encode better (e.g. measured) wisdom than this search.
-                if m == n || self.wisdom.get(m, backend).is_none() {
+                // Smaller sizes only fill holes (or replace entries
+                // recorded under a different objective): an imported
+                // entry may encode better (e.g. measured) wisdom than
+                // this search.
+                if m == n || !self.wisdom_entry_is_current(m, backend) {
+                    let plan = self
+                        .memo
+                        .group(m)
+                        .expect("memo_search solved every span up to n")
+                        .plan
+                        .clone();
                     let relayout = if self.exec.relayout.enabled()
-                        && CompiledPlan::compile(&dp.best[m as usize])
+                        && CompiledPlan::compile(&plan)
                             .fuse(&self.exec.fusion)
                             .relayout(&self.exec.relayout)
                             .has_relayout()
@@ -688,7 +766,7 @@ impl<C: PlanCost> Planner<C> {
                     // built the product, and an importer must not replay
                     // a threshold this planner's executor never ran.
                     let batch = if self.exec.batch.enabled()
-                        && CompiledPlan::compile(&dp.best[m as usize])
+                        && CompiledPlan::compile(&plan)
                             .with_batch(&self.exec.batch)
                             .is_batched()
                     {
@@ -699,13 +777,14 @@ impl<C: PlanCost> Planner<C> {
                     self.wisdom.insert_with_tuning(
                         m,
                         backend,
-                        dp.best[m as usize].clone(),
+                        plan,
                         Tuning {
                             fuse_budget: Some(budget),
                             simd: Some(self.exec.simd.enabled()),
                             relayout: Some(relayout),
                             recodelet: Some(self.exec.recodelet.enabled()),
                             batch: Some(batch),
+                            objective: self.objective,
                         },
                     )?;
                 }
@@ -783,6 +862,26 @@ impl<C: PlanCost> Planner<C> {
             .get(&n)
             .expect("inserted above")
             .apply_batch(x, rows)
+    }
+}
+
+impl<C: VectorCost> Planner<C> {
+    /// Re-aim the planner at a named multi-objective weighting (builder
+    /// style): the cost backend's collapse weights become
+    /// [`VectorCost::objective_weights`] for `objective`, the memo and
+    /// compiled-schedule caches are dropped (their entries were scored
+    /// under the old collapse), and every wisdom entry this planner
+    /// records from now on carries the objective — so an importer can
+    /// tell a latency-tuned plan from a memory-tuned one, and a planner
+    /// aimed at one objective never silently replays the other's plans
+    /// ([`Tuning::objective`]).
+    #[must_use]
+    pub fn with_objective(mut self, objective: CostObjective) -> Self {
+        self.cost.set_objective(objective);
+        self.objective = Some(objective);
+        self.memo.clear();
+        self.compiled.clear();
+        self
     }
 }
 
@@ -1281,10 +1380,10 @@ mod tests {
     }
 
     #[test]
-    fn version_1_wisdom_migrates_and_round_trips_as_version_4() {
+    fn version_1_wisdom_migrates_and_round_trips_as_current() {
         // A version-1 store (pre-relayout) must load — its entries carry
-        // no relayout, recodelet, or batch choice — and re-serialize as
-        // the current version without bricking anything.
+        // no relayout, recodelet, batch, or objective choice — and
+        // re-serialize as the current version without bricking anything.
         let legacy = "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\
                        \"plan\":\"split[small[2],small[2]]\",\"fuse_budget\":512,\
                        \"simd\":true}]}";
@@ -1294,20 +1393,22 @@ mod tests {
         assert_eq!(w.relayout_budget(4, "x"), None);
         assert_eq!(w.tuning(4, "x").unwrap().recodelet, None);
         assert_eq!(w.batch_block(4, "x"), None);
+        assert_eq!(w.objective(4, "x"), None);
         let json = w.to_json();
-        assert!(json.contains("\"version\": 4"), "{json}");
+        assert!(json.contains("\"version\": 5"), "{json}");
         assert!(json.contains("\"tuning\""), "{json}");
         let back = Wisdom::from_json(&json).unwrap();
         assert_eq!(back, w);
         // Future versions stay rejected.
-        assert!(Wisdom::from_json("{\"version\":5,\"entries\":[]}").is_err());
+        assert!(Wisdom::from_json("{\"version\":6,\"entries\":[]}").is_err());
     }
 
     #[test]
     fn version_3_wisdom_migrates_and_records_no_batch_choice() {
         // A version-3 store (nested tuning, pre-batch) must load with its
         // record intact and no batch choice — the reader's own policy
-        // applies — and re-serialize as version 4, replaying identically.
+        // applies — and re-serialize as the current version, replaying
+        // identically.
         let legacy = "{\"version\":3,\"entries\":[{\"n\":12,\"backend\":\
                       \"instruction-model\",\"plan\":\"split[small[4],small[4],\
                       small[4]]\",\"tuning\":{\"fuse_budget\":4096,\"simd\":true,\
@@ -1503,6 +1604,7 @@ mod tests {
                     relayout: Some(1 << 9),
                     recodelet: Some(true),
                     batch: Some(16),
+                    objective: None,
                 },
             )
             .unwrap();
@@ -1691,5 +1793,130 @@ mod tests {
         let wrong_size =
             "{\"version\":1,\"entries\":[{\"n\":4,\"backend\":\"x\",\"plan\":\"small[3]\"}]}";
         assert!(Wisdom::from_json(wrong_size).is_err());
+    }
+
+    #[test]
+    fn version_4_wisdom_migrates_and_records_no_objective() {
+        // A version-4 store (pre-objective) must load with its tuning
+        // intact and no objective recorded — so a default-weighted reader
+        // replays it, and an objective-aimed reader re-searches.
+        let legacy = "{\"version\":4,\"entries\":[{\"n\":10,\"backend\":\
+                      \"combined-model\",\"plan\":\"split[small[5],small[5]]\",\
+                      \"tuning\":{\"fuse_budget\":4096,\"simd\":true,\
+                      \"relayout\":0,\"recodelet\":true,\"batch\":0}}]}";
+        let w = Wisdom::from_json(legacy).unwrap();
+        assert_eq!(w.fuse_budget(10, "combined-model"), Some(4096));
+        assert_eq!(
+            w.objective(10, "combined-model"),
+            None,
+            "a field the blob predates records no choice"
+        );
+        let migrated = Wisdom::from_json(&w.to_json()).unwrap();
+        assert_eq!(migrated, w);
+        // A legacy (objective-less) planner serves the entry warm...
+        let mut warm = Planner::new(CombinedModelCost::paper_default()).with_wisdom(w.clone());
+        warm.plan(10).unwrap();
+        assert_eq!(warm.evaluations(), 0);
+        // ...while a planner aimed at an explicit objective treats it as
+        // stale and re-searches.
+        let mut aimed = Planner::new(CombinedModelCost::paper_default())
+            .with_wisdom(w)
+            .with_objective(CostObjective::Memory);
+        aimed.plan(10).unwrap();
+        assert!(aimed.evaluations() > 0);
+    }
+
+    #[test]
+    fn objective_round_trips_through_wisdom() {
+        // The acceptance contract: the planner selects among named
+        // weightings via the vector-cost trait, and wisdom round-trips
+        // the choice.
+        let mut planner =
+            Planner::new(CombinedModelCost::paper_default()).with_objective(CostObjective::Memory);
+        planner.plan(12).unwrap();
+        let backend = planner.backend_name();
+        assert_eq!(
+            planner.wisdom().objective(12, backend),
+            Some(CostObjective::Memory)
+        );
+        let json = planner.wisdom().to_json();
+        assert!(json.contains("\"objective\": \"Memory\""), "{json}");
+        let reloaded = Wisdom::from_json(&json).unwrap();
+        assert_eq!(reloaded.objective(12, backend), Some(CostObjective::Memory));
+        // Same-objective importer: warm. Different objective: re-search.
+        let mut same = Planner::new(CombinedModelCost::paper_default())
+            .with_objective(CostObjective::Memory)
+            .with_wisdom(reloaded.clone());
+        same.plan(12).unwrap();
+        assert_eq!(same.evaluations(), 0);
+        let mut other = Planner::new(CombinedModelCost::paper_default())
+            .with_objective(CostObjective::Latency)
+            .with_wisdom(reloaded);
+        other.plan(12).unwrap();
+        assert!(other.evaluations() > 0);
+        assert_eq!(
+            other.wisdom().objective(12, backend),
+            Some(CostObjective::Latency),
+            "the stale entry is replaced under the new objective"
+        );
+    }
+
+    #[test]
+    fn objectives_select_different_plans_for_the_same_backend() {
+        // Two weightings must be able to disagree about the best plan —
+        // otherwise the multi-objective layer is a no-op. Under the
+        // combined model, latency blends instructions with misses while
+        // memory ignores instructions entirely, which flips the winner at
+        // out-of-model-cache sizes.
+        let n = 16;
+        let mut latency =
+            Planner::new(CombinedModelCost::paper_default()).with_objective(CostObjective::Latency);
+        let lat_plan = latency.plan(n).unwrap().clone();
+        let mut memory =
+            Planner::new(CombinedModelCost::paper_default()).with_objective(CostObjective::Memory);
+        let mem_plan = memory.plan(n).unwrap().clone();
+        assert_ne!(
+            lat_plan, mem_plan,
+            "latency and memory objectives should pick different plans at n={n}"
+        );
+        // And each planner's explain names its memo-search provenance.
+        let line = latency.explain(n).expect("searched this instance");
+        assert!(line.contains("candidates"), "{line}");
+    }
+
+    #[test]
+    fn planner_explain_reports_provenance_only_for_searched_sizes() {
+        let mut planner = Planner::new(InstructionCost::default());
+        assert_eq!(planner.explain(8), None, "nothing searched yet");
+        planner.plan(8).unwrap();
+        let line = planner.explain(8).expect("just searched");
+        assert!(line.contains("2^8"), "{line}");
+        // Every smaller span was solved by the same memo search.
+        assert!(planner.explain(3).is_some());
+        // A wisdom-served planner has no deliberation to report.
+        let mut warm =
+            Planner::new(InstructionCost::default()).with_wisdom(planner.wisdom().clone());
+        warm.plan(8).unwrap();
+        assert_eq!(warm.evaluations(), 0);
+        assert_eq!(warm.explain(8), None);
+    }
+
+    #[test]
+    fn planner_memo_persists_across_sizes() {
+        // The memo table must make the second, larger search cheaper than
+        // a cold one: spans 1..=12 are reused, only 13..=16 are solved.
+        let mut planner = Planner::new(InstructionCost::default());
+        planner.plan(12).unwrap();
+        let after_first = planner.evaluations();
+        planner.plan(16).unwrap();
+        let incremental = planner.evaluations() - after_first;
+        let mut cold = Planner::new(InstructionCost::default());
+        cold.plan(16).unwrap();
+        assert!(
+            incremental < cold.evaluations(),
+            "incremental {incremental} should be under cold {}",
+            cold.evaluations()
+        );
+        assert_eq!(planner.memo().solved_n(), 16);
     }
 }

@@ -3,10 +3,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use wht_core::testkit::random_plan;
 use wht_search::{
-    dp_search, local_search, mutate, pruned_search, random_search, DpOptions, FusedTrafficCost,
-    InstructionCost, LocalSearchOptions, PlanCost,
+    dp_search, local_search, memo_search, mutate, pruned_search, random_search, split_compositions,
+    DpOptions, FusedTrafficCost, InstructionCost, LocalSearchOptions, MemoTable, PlanCost,
 };
 
 proptest! {
@@ -79,5 +80,69 @@ proptest! {
         prop_assert_eq!(found.plan.n(), n);
         prop_assert!(found.plan.validate().is_ok());
         prop_assert!(found.cost > 0.0);
+    }
+
+    /// The shared composition generator is exactly the multi-part
+    /// compositions: unbounded, it emits every one of the `2^(m-1) - 1`
+    /// compositions of `m` into >= 2 ordered parts (unique, each summing
+    /// to `m`), cross-checked against an independent cut-mask
+    /// enumeration; `max_parts` bounds arity *exactly* — it is the
+    /// unbounded set filtered by length, nothing dropped, nothing added.
+    /// Both searches build their candidate spaces from this generator, so
+    /// its exactness is what makes them exact.
+    #[test]
+    fn split_compositions_are_exactly_the_multipart_compositions(m in 2u32..=12, max_parts in 2usize..=6) {
+        let unbounded = split_compositions(m, usize::MAX);
+        prop_assert_eq!(unbounded.len(), (1usize << (m - 1)) - 1);
+        let as_set: HashSet<Vec<u32>> = unbounded.iter().cloned().collect();
+        prop_assert_eq!(as_set.len(), unbounded.len(), "duplicates emitted");
+        for comp in &unbounded {
+            prop_assert!(comp.len() >= 2);
+            prop_assert_eq!(comp.iter().sum::<u32>(), m);
+            prop_assert!(comp.iter().all(|&p| p >= 1));
+        }
+        // Independent oracle: each nonzero proper subset of the m-1 cut
+        // positions yields one multi-part composition.
+        let mut oracle = HashSet::new();
+        for mask in 1u32..(1 << (m - 1)) {
+            let mut comp = Vec::new();
+            let mut last = 0u32;
+            for pos in 1..m {
+                if mask & (1 << (pos - 1)) != 0 {
+                    comp.push(pos - last);
+                    last = pos;
+                }
+            }
+            comp.push(m - last);
+            oracle.insert(comp);
+        }
+        prop_assert_eq!(as_set, oracle);
+        // Bounded arity: exactly the length-filtered unbounded set, in
+        // the same relative (canonical) order.
+        let bounded = split_compositions(m, max_parts);
+        let filtered: Vec<Vec<u32>> = unbounded
+            .iter()
+            .filter(|c| c.len() <= max_parts)
+            .cloned()
+            .collect();
+        prop_assert_eq!(bounded, filtered);
+    }
+
+    /// Memoized branch-and-bound search is answer-identical to plain DP —
+    /// best cost *and* best plan, under the shared deterministic
+    /// tie-break — for the context-free instruction model, across arity
+    /// bounds and with the memo reused across every size in the run.
+    #[test]
+    fn memo_search_matches_dp_search(n in 1u32..=12, max_parts in 2usize..=4) {
+        let opts = DpOptions { max_parts, ..DpOptions::default() };
+        let mut dp_cost = InstructionCost::default();
+        let mut memo_cost = InstructionCost::default();
+        let mut memo = MemoTable::new();
+        for m in 1..=n {
+            let dp = dp_search(m, &opts, &mut dp_cost).unwrap();
+            let mm = memo_search(m, &opts, &mut memo_cost, &mut memo).unwrap();
+            prop_assert_eq!(mm.cost, dp.best_cost());
+            prop_assert_eq!(&mm.best, dp.best_plan());
+        }
     }
 }

@@ -17,7 +17,7 @@ fn main() -> Result<(), WhtError> {
     println!("DP autotuning up to 2^{nmax} against the wall clock (this machine)...");
     let mut wall = WallClockCost::default();
     let dp = dp_search(nmax, &DpOptions::default(), &mut wall)?;
-    println!("({} timed plan evaluations)", dp.evaluations);
+    println!("({} timed plan evaluations)", dp.evaluations());
     println!();
 
     println!(
@@ -28,7 +28,7 @@ fn main() -> Result<(), WhtError> {
         let it = time_plan(&Plan::iterative(n)?, &TimingConfig::default())?.median_ns;
         let rr = time_plan(&Plan::right_recursive(n)?, &TimingConfig::default())?.median_ns;
         let lr = time_plan(&Plan::left_recursive(n)?, &TimingConfig::default())?.median_ns;
-        let best_plan = &dp.best[n as usize];
+        let best_plan = dp.plan(n).expect("solved up to nmax");
         let best = time_plan(best_plan, &TimingConfig::default())?.median_ns;
         println!(
             "{n:>3}  {it:>12.0} {rr:>12.0} {lr:>12.0} {best:>12.0}   {}",

@@ -97,7 +97,7 @@ fn canonical_ordering_flips_across_the_hierarchy() {
 
     // DP-found best beats every canonical at both sizes.
     let dp = dp_search(10, &DpOptions::default(), &mut sim).unwrap();
-    let best10 = dp.cost[10];
+    let best10 = dp.cost(10).unwrap();
     assert!(best10 <= it.min(rr).min(lr));
 }
 
