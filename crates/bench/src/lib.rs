@@ -24,6 +24,7 @@
 //! | `compiled_speedup` | compiled pass-schedule replay vs the recursive interpreter, per canonical plan and size |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod output;

@@ -45,6 +45,28 @@
 //! [`SimdPolicy`] mirrors [`crate::compile::FusionPolicy`]: the compiled
 //! executor selects the lane backend by default, `WHT_NO_SIMD=1` (or
 //! [`SimdPolicy::disabled`] through the API) opts out.
+//!
+//! ## Safety contracts
+//!
+//! Every `unsafe` kernel in this module trusts its *schedule-derived*
+//! indices and nothing else. The table names each contract, who
+//! establishes it on the production path, and which check of the static
+//! verifier ([`crate::verify`]) proves it for a lowered schedule (the
+//! debug hook in `CompiledPlan::lower` re-proves after every stage, so a
+//! violated contract is a caught pipeline bug, not UB):
+//!
+//! | kernel | precondition | established by | verifier check |
+//! |--------|--------------|----------------|----------------|
+//! | [`apply_codelet`] | `k ≤ MAX_LEAF_K`; `base + (2^k−1)·stride < x.len()` | executor replaying a lowered pass; engine's top-level length check | Structure (`k` in family) + Bounds (farthest-index interval) |
+//! | [`apply_codelet_cols`] | column range inside one pass row at unit global stride; `base + cols−1 + (2^k−1)·s < x.len()` | parallel engine lane-block shards (`blocks_per_row` split of a verified pass) | Bounds + Disjointness (whole-vector flat-pass frame) |
+//! | [`apply_pass_lanes`] | whole pass at unit global stride; `base + r·2^k·s ≤ x.len()` | backend-select stage only picks `PassBackend::Lanes` at `stride == 1` | Bounds + Coverage (canonical frame `base = 0`, `stride = 1`, span = extent) |
+//! | [`gather_rows`] / [`scatter_rows`] | block `j`: `(rows−1)·row_stride + j·cols + cols ≤ x.len()`; `block.len() == rows·cols` | relayout units built by the DDL stage | Relayout geometry (Disjointness `row_stride % cols`, Coverage `rows·row_stride == size`, Scratch `rows·cols == tile`) |
+//! | `gather_lanes*` / `scatter_lanes*` | transpose buffer `≥ n·w` elements; source/destination tile in bounds | batched executor tile loop (`cross_tile_cols` geometry) | Batch checks (Bounds `size % tile_cols`, Disjointness `tile_cols % foot`, Scratch `batch_scratch_elems`) |
+//!
+//! The `*_checked` wrappers ([`apply_codelet_checked`],
+//! [`gather_rows_checked`], [`scatter_rows_checked`]) bounds-check at the
+//! call site and are the entry points for hand-built indices (tests,
+//! external callers).
 
 use crate::plan::MAX_LEAF_K;
 use crate::scalar::Scalar;
@@ -365,7 +387,7 @@ unsafe fn codelet_unit<T: Scalar>(k: u32, x: &mut [T], base: usize) {
 /// `base + cols - 1 + (2^k - 1) * s < x.len()`.
 #[inline(always)]
 unsafe fn codelet_cols_body<T: Scalar>(k: u32, x: &mut [T], base: usize, s: usize, cols: usize) {
-    // SAFETY (all calls): each block covers columns [t, t + width) of the
+    // SAFETY: (all calls) each block covers columns [t, t + width) of the
     // caller's range, so its last element is at most the caller's bound.
     unsafe {
         let mut t = 0;

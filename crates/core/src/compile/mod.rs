@@ -219,7 +219,7 @@ impl Pass {
     /// `base + (span() - 1) · stride < x.len()`.
     #[inline]
     pub(crate) unsafe fn apply_full_backend<T: Scalar>(&self, x: &mut [T], backend: PassBackend) {
-        // SAFETY (both arms): forwarded contract; for the lane kernel,
+        // SAFETY: (both arms) forwarded contract; for the lane kernel,
         // stride == 1 makes the bound exactly base + r·2^k·s - 1 < len.
         unsafe {
             match backend {
@@ -410,6 +410,21 @@ impl SuperPass {
         self.relayout.is_some()
     }
 
+    /// Base element offset of the super-pass (`0` for every valid
+    /// top-level unit — the canonical frame [`CompiledPlan::validate`]
+    /// and the [`crate::verify`] checks both require).
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Global stride multiplier of the super-pass (`1` for every valid
+    /// top-level unit, like [`SuperPass::base`]).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// The same super-pass with its kernel backend replaced (builder
     /// style).
     #[must_use]
@@ -587,7 +602,7 @@ impl SuperPass {
             .relayout
             .expect("apply_gathered_block on a direct super-pass");
         let block = &mut scratch[..self.tile];
-        // SAFETY (gather/scatter): block j's last source element is
+        // SAFETY: (gather/scatter) block j's last source element is
         // (rows-1)*row_stride + j*cols + cols-1 < rows*row_stride =
         // span() <= x.len() (validate invariant + caller contract), and
         // block.len() == rows*cols exactly.
@@ -627,7 +642,7 @@ impl SuperPass {
 /// executor runs those passes within-transform; only the narrower head
 /// passes pay the transposes to run cross-transform. Type-independent so
 /// schedules stay scalar-type-agnostic.
-const CROSS_MAX_S: usize = 16;
+pub(crate) const CROSS_MAX_S: usize = 16;
 
 /// Largest transform the batch stage builds a [`BatchSchedule`] for
 /// (`2^18` elements): the transposed working set of one lane group is
@@ -636,7 +651,7 @@ const CROSS_MAX_S: usize = 16;
 /// overhead and idle lanes dominate) no longer holds: the single-transform
 /// pipeline's own stages are the right tool, and a per-row replay is what
 /// `apply_batch` falls back to.
-const BATCH_MAX_ELEMS: usize = 1 << 18;
+pub(crate) const BATCH_MAX_ELEMS: usize = 1 << 18;
 
 /// Target size of one transposed cross-stage tile in elements (a power of
 /// two): `512` is 4 KiB of `f64`s — small enough that the tile, the lane
@@ -703,6 +718,34 @@ impl BatchSchedule {
     pub fn backend(&self) -> PassBackend {
         self.backend
     }
+
+    /// Columns per transposed cross-stage tile at lane width `lanes`, for
+    /// a `size`-element transform: the power-of-two `CROSS_TILE_ELEMS`
+    /// target widened to the largest cross footprint `2^k·s` (a tile must
+    /// hold whole butterfly blocks), clamped to the row. `None` when a
+    /// footprint computation overflows (hand-built splits can hold absurd
+    /// extents; geometry derivation must not panic). This is the one
+    /// derivation [`CompiledPlan::apply_batch_with_scratch`],
+    /// [`CompiledPlan::batch_scratch_elems`], and the
+    /// [`crate::verify`] checks all share.
+    pub fn cross_tile_cols(&self, size: usize, lanes: usize) -> Option<usize> {
+        cross_tile_cols_for(&self.cross, size, lanes)
+    }
+}
+
+/// [`BatchSchedule::cross_tile_cols`] over a raw cross prefix — shared
+/// with [`crate::verify`], which re-derives the geometry for hand-built
+/// (including deliberately corrupted) splits that never became a
+/// `BatchSchedule`.
+pub(crate) fn cross_tile_cols_for(cross: &[Pass], size: usize, lanes: usize) -> Option<usize> {
+    let mut max_foot = 1usize;
+    for p in cross {
+        if p.k >= usize::BITS {
+            return None;
+        }
+        max_foot = max_foot.max((1usize << p.k).checked_mul(p.s)?);
+    }
+    Some((CROSS_TILE_ELEMS / lanes.max(1)).max(max_foot).min(size))
 }
 
 /// A [`Plan`] lowered to its flat factor schedule, grouped into
@@ -916,6 +959,25 @@ impl CompiledPlan {
         self.batch.as_ref()
     }
 
+    /// Scratch elements one [`CompiledPlan::apply_batch_with_scratch`]
+    /// call needs at lane width `lanes` ([`Scalar::LANES`] of the batch's
+    /// scalar type): the larger of one transposed cross tile and the
+    /// single-transform requirement [`CompiledPlan::scratch_elems`]
+    /// (the per-row remainder path still replays the ordinary schedule).
+    /// Exactly [`CompiledPlan::scratch_elems`] when no batch product was
+    /// built. Like `scratch_elems`, this is a *declared* requirement that
+    /// [`CompiledPlan::verify`] re-derives independently and checks for
+    /// exact equality.
+    pub fn batch_scratch_elems(&self, lanes: usize) -> usize {
+        let single = self.scratch_elems();
+        let Some(b) = self.batch.as_ref() else {
+            return single;
+        };
+        b.cross_tile_cols(self.size(), lanes)
+            .and_then(|tc| tc.checked_mul(lanes))
+            .map_or(single, |tile| tile.max(single))
+    }
+
     /// `true` if this schedule carries a batched-execution product (the
     /// batch-stage counterpart of [`CompiledPlan::is_fused`] /
     /// [`CompiledPlan::is_simd`]).
@@ -928,8 +990,16 @@ impl CompiledPlan {
     ///
     /// # Errors
     /// The typed [`CompiledPlan::validate`] errors ([`WhtError::InvalidSchedule`],
-    /// [`WhtError::LeafSizeOutOfRange`]) on a malformed schedule.
+    /// [`WhtError::LeafSizeOutOfRange`]) on a malformed schedule, and
+    /// [`WhtError::SizeTooLarge`] when `n` exceeds [`crate::plan::MAX_N`]
+    /// (`2^n` would not even be a representable vector length — before
+    /// this guard, `n >= 64` wrapped [`CompiledPlan::size`] to a tiny
+    /// value in release builds and every downstream check validated
+    /// against the wrong extent).
     pub fn from_super_passes(n: u32, schedule: Vec<SuperPass>) -> Result<Self, WhtError> {
+        if n > crate::plan::MAX_N {
+            return Err(WhtError::SizeTooLarge { n });
+        }
         // Saturating arithmetic throughout: hand-built schedules can hold
         // absurd extents, and the contract is a typed error from
         // validate(), never an overflow panic while deriving this view.
@@ -1117,16 +1187,15 @@ impl CompiledPlan {
         // power of two, so a power-of-two tile at least as wide as the
         // largest footprint splits every pass into whole butterfly blocks
         // — pass (k, r, s) becomes (k, tile/2^k·s, s·w) per tile, same
-        // butterflies, same order within each column.
-        let max_foot = b
-            .cross
-            .iter()
-            .map(|p| (1usize << p.k) * p.s)
-            .max()
-            .unwrap_or(1);
-        let tile_cols = (CROSS_TILE_ELEMS / w).max(max_foot).min(size);
+        // butterflies, same order within each column. The geometry is
+        // derived once in BatchSchedule::cross_tile_cols, shared with
+        // batch_scratch_elems and the verify checks; a batch-stage
+        // schedule can never overflow it (validated extents).
+        let tile_cols = b
+            .cross_tile_cols(size, w)
+            .expect("validated batch split has computable tile geometry");
         let tile_elems = tile_cols * w;
-        let needed = tile_elems.max(self.scratch_elems());
+        let needed = self.batch_scratch_elems(w);
         if scratch.len() < needed {
             scratch.resize(needed, T::ZERO);
         }

@@ -17,10 +17,11 @@ use super::{CompiledPlan, ExecPolicy};
 /// schedule-to-schedule transformation gated by (a field of) the
 /// [`ExecPolicy`] it was built from.
 ///
-/// Contract: `rewrite` must preserve output bits and the
-/// [`CompiledPlan::validate`] invariants (re-asserted after every stage
-/// in debug builds by [`CompiledPlan::lower`]), and must be a no-op when
-/// its policy is disabled.
+/// Contract: `rewrite` must preserve output bits and the schedule safety
+/// invariants — bounds, write-disjointness, coverage, scratch sizing —
+/// that [`crate::verify`] proves (re-proved after every stage in debug
+/// builds by [`CompiledPlan::lower`]), and must be a no-op when its
+/// policy is disabled.
 pub trait LoweringStage {
     /// Stage name, for diagnostics and provenance reporting.
     fn name(&self) -> &'static str;
@@ -110,22 +111,34 @@ pub fn lowering_stages(policy: &ExecPolicy) -> Vec<Box<dyn LoweringStage>> {
 
 impl CompiledPlan {
     /// Lower this schedule through the full staged pipeline under
-    /// `policy` (see [`lowering_stages`]): every stage applied in order,
-    /// with the schedule invariants re-asserted after each stage in
-    /// debug builds. This is the production lowering —
-    /// [`super::compiled_for`] caches exactly `compile(plan).lower(policy)`
-    /// per `(plan, policy)`.
+    /// `policy` (see [`lowering_stages`]): every stage applied in order.
+    /// In debug builds every stage's output is re-proved by the full
+    /// static verifier ([`CompiledPlan::verify`] — bounds, disjointness,
+    /// coverage, scratch sizing; strictly stronger than the structural
+    /// [`CompiledPlan::validate`] this hook used to assert), so a
+    /// pipeline regression fails at the stage that caused it with a
+    /// diagnostic naming the violated invariant. This is the production
+    /// lowering — [`super::compiled_for`] caches exactly
+    /// `compile(plan).lower(policy)` per `(plan, policy)`.
     #[must_use]
     pub fn lower(&self, policy: &ExecPolicy) -> CompiledPlan {
         let mut lowered = self.clone();
         for stage in lowering_stages(policy) {
             lowered = stage.rewrite(&lowered);
-            debug_assert!(
-                lowered.validate().is_ok(),
-                "lowering stage {:?} produced an invalid schedule: {:?}",
-                stage.name(),
-                lowered.validate()
-            );
+            #[cfg(debug_assertions)]
+            {
+                let diags = lowered.verify();
+                assert!(
+                    diags.is_empty(),
+                    "lowering stage {:?} produced an unsafe schedule:\n{}",
+                    stage.name(),
+                    diags
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
         }
         lowered
     }

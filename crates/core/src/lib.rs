@@ -45,6 +45,7 @@
 //! | [`srht`] | SRHT sketching ([`Srht`]): Rademacher signs and subsampling fused into the batched executor's transposes |
 //! | [`mod@reference`] | `O(N^2)` ground truth ([`naive_wht`]) and test helpers |
 //! | [`testkit`] | shared test scaffolding: seeded random-plan generator, `O(n·2^n)` fast reference transform, deterministic signals |
+//! | [`verify`] | static schedule safety verifier: proves bounds, write-disjointness, coverage/permutation, and exact scratch sizing of a lowered schedule ([`CompiledPlan::verify`], [`VerifyDiagnostic`]) |
 //! | [`ordering`] | natural (Hadamard) vs sequency (Walsh) ordering |
 //! | [`scalar`] | element types: `f64` (default), `f32`, `i64`, `i32` |
 
@@ -65,6 +66,7 @@ pub mod scalar;
 pub mod srht;
 pub mod testkit;
 pub mod twod;
+pub mod verify;
 
 pub use codelets::{
     apply_codelet_checked, apply_codelet_cols, apply_codelet_generic, apply_pass_lanes,
@@ -86,3 +88,7 @@ pub use reference::{max_abs_diff, naive_wht, norm_sq};
 pub use scalar::Scalar;
 pub use srht::Srht;
 pub use twod::{apply_plan_2d, naive_wht_2d};
+pub use verify::{
+    derived_scratch_elems, verify_batch, verify_batch_split, verify_flat_passes, verify_schedule,
+    VerifyDiagnostic, VerifyInvariant, VerifySite,
+};

@@ -14,6 +14,7 @@
 //! per algorithm — a row of the paper's experimental data.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ddl_trace;
 pub mod instrumented;

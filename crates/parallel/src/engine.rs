@@ -82,7 +82,13 @@ use wht_core::{CompiledPlan, Pass, Plan, Scalar, WhtError};
 /// Raw-pointer wrapper that lets scoped worker threads write disjoint
 /// element sets of one buffer.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper is only ever used inside `std::thread::scope`, so
+// the pointee outlives every worker, and the sharding protocol (verified
+// write-disjointness of schedule units / lane-aligned row chunks) means
+// no two threads touch the same element.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper only hand out the raw pointer;
+// all dereferences go through the per-thread disjoint slices below.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Number of worker threads to use.
@@ -280,13 +286,19 @@ pub fn par_apply_compiled<T: Scalar>(
                         let end = (start + chunk).min(count);
                         for i in start..end {
                             match unit {
-                                // SAFETY (all arms): i < count and the
+                                // SAFETY: i < count = tiles() and the
                                 // buffer holds the full transform (checked
                                 // above).
                                 Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
+                                // SAFETY: i < count = tiles(), scratch was
+                                // sized to scratch_elems() above, and the
+                                // buffer holds the full transform.
                                 Unit::GatheredBlocks(sp) => unsafe {
                                     sp.apply_gathered_block(data, i, &mut scratch)
                                 },
+                                // SAFETY: i < count = invocations() and the
+                                // buffer holds the full transform (checked
+                                // above).
                                 Unit::Invocations(pass) => unsafe {
                                     pass.apply_invocation(data, i)
                                 },

@@ -630,11 +630,29 @@ impl<C: PlanCost> Planner<C> {
 
     /// Why size `2^n`'s plan won: the winning composition, the candidate
     /// counts (evaluated / pruned), and — for vectored backends — the
-    /// cost terms, as one human-readable line. `None` when this planner
-    /// instance never searched the size (e.g. it was served from imported
-    /// wisdom, which records the choice but not the deliberation).
+    /// cost terms, as one human-readable line. When the size has already
+    /// been compiled, the line also carries the static verifier's verdict
+    /// on the schedule actually serving traffic
+    /// ([`CompiledPlan::verify`]): `verified` when every invariant proved
+    /// clean, otherwise the diagnostic count and the first violation.
+    /// `None` when this planner instance never searched the size (e.g. it
+    /// was served from imported wisdom, which records the choice but not
+    /// the deliberation).
     pub fn explain(&self, n: u32) -> Option<String> {
-        Some(self.memo.group(n)?.explain(n))
+        let mut line = self.memo.group(n)?.explain(n);
+        if let Some(compiled) = self.compiled.get(&n) {
+            let diags = compiled.verify();
+            if diags.is_empty() {
+                line.push_str(" | verified: bounds+disjointness+coverage+scratch");
+            } else {
+                line.push_str(&format!(
+                    " | VERIFY FAILED: {} diagnostic(s), first: {}",
+                    diags.len(),
+                    diags[0]
+                ));
+            }
+        }
+        Some(line)
     }
 
     /// Total cost evaluations this planner has performed; a warm planner
@@ -1899,6 +1917,24 @@ mod tests {
         warm.plan(8).unwrap();
         assert_eq!(warm.evaluations(), 0);
         assert_eq!(warm.explain(8), None);
+    }
+
+    #[test]
+    fn planner_explain_carries_the_verifier_verdict_once_compiled() {
+        let mut planner = Planner::new(InstructionCost::default());
+        planner.plan(8).unwrap();
+        let line = planner.explain(8).expect("just searched");
+        assert!(
+            !line.contains("verified"),
+            "no schedule compiled yet, nothing to verify: {line}"
+        );
+        let mut x = vec![1.0f64; 256];
+        planner.transform(&mut x).unwrap();
+        let line = planner.explain(8).expect("searched and compiled");
+        assert!(
+            line.contains("verified: bounds+disjointness+coverage+scratch"),
+            "the serving schedule must prove clean: {line}"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   pruning threshold.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bootstrap;
 pub mod cdf;

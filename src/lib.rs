@@ -5,7 +5,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`: a staged lowering pipeline — cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) → DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy)) → re-codeleting ([`RecodeletPolicy`](wht_core::RecodeletPolicy)) → SIMD lane-block kernel selection ([`SimdPolicy`](wht_core::SimdPolicy)) → batched-small cross-transform scheduling ([`BatchPolicy`](wht_core::BatchPolicy), behind [`CompiledPlan::apply_batch`](wht_core::CompiledPlan::apply_batch)) — driven by one [`ExecPolicy`](wht_core::ExecPolicy), on by default (every stage has a `WHT_NO_*` kill switch; see `wht_core::env` for the knob table); plus SRHT sketching ([`Srht`](wht_core::Srht)) fused into the batched executor |
+//! | [`core`] (`wht-core`) | split-tree plans, unrolled codelets, the in-place strided interpreter, and the compiled-plan layer ([`CompiledPlan`](wht_core::CompiledPlan)) behind `apply_plan`: a staged lowering pipeline — cache-blocked pass fusion ([`FusionPolicy`](wht_core::FusionPolicy)) → DDL tail relayout ([`RelayoutPolicy`](wht_core::RelayoutPolicy)) → re-codeleting ([`RecodeletPolicy`](wht_core::RecodeletPolicy)) → SIMD lane-block kernel selection ([`SimdPolicy`](wht_core::SimdPolicy)) → batched-small cross-transform scheduling ([`BatchPolicy`](wht_core::BatchPolicy), behind [`CompiledPlan::apply_batch`](wht_core::CompiledPlan::apply_batch)) — driven by one [`ExecPolicy`](wht_core::ExecPolicy), on by default (every stage has a `WHT_NO_*` kill switch; see `wht_core::env` for the knob table); plus SRHT sketching ([`Srht`](wht_core::Srht)) fused into the batched executor, and the static schedule safety verifier ([`CompiledPlan::verify`](wht_core::CompiledPlan::verify)) proving bounds, write-disjointness, coverage, and scratch sizing of every lowered schedule |
 //! | [`space`] (`wht-space`) | algorithm-space counting, enumeration, the recursive-split-uniform sampler |
 //! | [`models`] (`wht-models`) | instruction-count model, direct-mapped cache-miss model, combined model, theory |
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
@@ -61,7 +61,8 @@ pub mod prelude {
         apply_plan, apply_plan_recursive, compiled_for_exec, compiled_for_with, lane_width,
         naive_wht, parse_plan, to_sequency_order, BatchPolicy, CompiledPlan, ExecPolicy,
         FusionPolicy, Pass, PassBackend, Plan, Provenance, RecodeletPolicy, Relayout,
-        RelayoutPolicy, Scalar, SimdPolicy, Srht, SuperPass, WhtError,
+        RelayoutPolicy, Scalar, SimdPolicy, Srht, SuperPass, VerifyDiagnostic, VerifyInvariant,
+        WhtError,
     };
     pub use wht_measure::{
         batch_op_counts, batch_super_pass_traffic, measure_plan, super_pass_traffic,
