@@ -365,7 +365,8 @@ fn main() {
         rows,
     };
     let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
-    std::fs::write(&json_path, json).expect("write benchmark JSON");
+    wht_search::atomic_write(std::path::Path::new(&json_path), json.as_bytes())
+        .expect("write benchmark JSON");
     println!("wrote {json_path}");
 
     batch_bench(reps, &batch_json_path);
@@ -495,6 +496,7 @@ fn batch_bench(reps: usize, json_path: &str) {
         rows: rows_out,
     };
     let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
-    std::fs::write(json_path, json).expect("write benchmark JSON");
+    wht_search::atomic_write(std::path::Path::new(json_path), json.as_bytes())
+        .expect("write benchmark JSON");
     println!("wrote {json_path}");
 }

@@ -199,6 +199,7 @@ fn main() {
         rows,
     };
     let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
-    std::fs::write(&json_path, json).expect("write benchmark JSON");
+    wht_search::atomic_write(std::path::Path::new(&json_path), json.as_bytes())
+        .expect("write benchmark JSON");
     println!("wrote {json_path}");
 }

@@ -6,7 +6,6 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use wht_stats::Histogram;
 
@@ -21,7 +20,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write rows as CSV with the given header. Values are written with enough
-/// precision to re-plot exactly.
+/// precision to re-plot exactly. The file is committed atomically
+/// (temp + fsync + rename), so a crashed bench run never leaves a
+/// half-written artifact behind.
 ///
 /// # Panics
 /// Panics on I/O failure (bench binaries should fail loudly).
@@ -34,8 +35,7 @@ pub fn write_csv(path: &Path, header: &str, rows: &[Vec<f64>]) {
         out.push_str(&line.join(","));
         out.push('\n');
     }
-    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
-    f.write_all(out.as_bytes())
+    wht_search::atomic_write(path, out.as_bytes())
         .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
 }
 

@@ -62,6 +62,18 @@ pub enum WhtError {
         /// Which invariant broke.
         msg: String,
     },
+    /// A filesystem operation failed (wisdom shards, benchmark
+    /// artifacts, ...). The fields are owned strings rather than
+    /// `std::io::Error` so the workspace error stays `Clone + Eq`.
+    Io {
+        /// The operation that failed (`create`, `write`, `fsync`,
+        /// `rename`, ...).
+        op: String,
+        /// The path the operation targeted.
+        path: String,
+        /// The underlying failure, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WhtError {
@@ -94,6 +106,9 @@ impl fmt::Display for WhtError {
             WhtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             WhtError::InvalidSchedule { index, msg } => {
                 write!(f, "invalid compiled schedule at super-pass {index}: {msg}")
+            }
+            WhtError::Io { op, path, detail } => {
+                write!(f, "io failure during {op} of {path}: {detail}")
             }
         }
     }
@@ -130,6 +145,12 @@ mod tests {
             msg: "tiles overlap".into(),
         };
         assert!(e.to_string().contains("super-pass 2") && e.to_string().contains("tiles overlap"));
+        let e = WhtError::Io {
+            op: "rename".into(),
+            path: "/tmp/w.shard".into(),
+            detail: "No space left on device".into(),
+        };
+        assert!(e.to_string().contains("rename") && e.to_string().contains("w.shard"));
         assert!(WhtError::EmptySplit.to_string().contains("at least one"));
         assert!(WhtError::SingleChildSplit
             .to_string()

@@ -1,0 +1,270 @@
+//! Hermetic fault-injection layer for the wisdom store's IO path.
+//!
+//! The crash-safety claims of [`crate::store`] are only worth anything if
+//! every failure path is actually exercised. This module provides **named
+//! failpoints**: the store's IO helpers call [`check`] at each step
+//! (`atomic::create`, `atomic::write`, `atomic::fsync`, `atomic::rename`,
+//! `atomic::dir_fsync`), and a test — or the `WHT_FAILPOINTS` environment
+//! knob — can arm a [`Fault`] at any site:
+//!
+//! - [`Fault::Err`] — the operation fails gracefully (ENOSPC-style): the
+//!   caller sees a [`wht_core::WhtError::Io`] and its cleanup runs.
+//! - [`Fault::ShortWrite`]`(b)` — only the first `b` bytes reach the file
+//!   before the write errors; cleanup still runs.
+//! - [`Fault::Kill`] — a simulated crash *at* the operation: the op does
+//!   not happen, **no cleanup runs**, whatever is on disk stays on disk.
+//! - [`Fault::KillAtByte`]`(b)` — a simulated crash mid-write: the first
+//!   `b` bytes are persisted, then the process "dies" (no cleanup).
+//!
+//! ## Arming
+//!
+//! **API** (hermetic, thread-local): [`arm`] returns a guard; the fault
+//! fires on this thread only, for every hit while the guard lives. Arming
+//! also opens a [`scope`], which *suppresses* environment-armed faults on
+//! this thread — so a test matrix stays deterministic even when the CI
+//! leg arms the environment.
+//!
+//! **Environment**: `WHT_FAILPOINTS="site=fault[;site=fault...]"` where
+//! `fault` is `err`, `kill`, `short@N`, or `kill@N`. Malformed specs
+//! panic at first use, matching the [`wht_core::env`] knob contract
+//! (silently ignoring a typo'd injection spec would un-arm the CI fault
+//! leg with no signal). The CI gate test asserts the parsed spec matches
+//! the raw environment and that an armed site actually injects.
+//!
+//! ## Cost when disarmed
+//!
+//! [`check`] is two relaxed atomic loads when nothing has ever been
+//! armed — no allocation, no lock, no map lookup. There are no external
+//! dependencies; the whole layer is this file.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed failpoint injects when hit (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails gracefully; caller cleanup runs.
+    Err,
+    /// Simulated crash at the operation: not performed, no cleanup.
+    Kill,
+    /// Only the first `n` bytes are written, then a graceful error.
+    ShortWrite(usize),
+    /// The first `n` bytes are written, then a simulated crash.
+    KillAtByte(usize),
+}
+
+impl Fault {
+    /// `true` for the crash-simulating variants, whose aftermath must be
+    /// left on disk exactly as a dead process would leave it.
+    pub fn is_kill(self) -> bool {
+        matches!(self, Fault::Kill | Fault::KillAtByte(_))
+    }
+}
+
+/// Fast-path gate: `false` until the environment spec is non-empty or an
+/// API guard arms a site. Never reset — staying `true` after the last
+/// guard drops costs one thread-local lookup per hit, only in processes
+/// that injected at least once (i.e. tests).
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The parsed `WHT_FAILPOINTS` spec, read once per process.
+static ENV_TABLE: OnceLock<Vec<(String, Fault)>> = OnceLock::new();
+
+thread_local! {
+    /// API-armed faults on this thread, innermost last.
+    static LOCAL: RefCell<Vec<(String, Fault)>> = const { RefCell::new(Vec::new()) };
+    /// Open scopes on this thread; any open scope suppresses the
+    /// environment table here (hermetic test isolation).
+    static SCOPE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_table() -> &'static [(String, Fault)] {
+    ENV_TABLE.get_or_init(|| {
+        let spec = std::env::var("WHT_FAILPOINTS").unwrap_or_default();
+        let table = parse_spec(&spec).unwrap_or_else(|e| panic!("WHT_FAILPOINTS: {e}"));
+        if !table.is_empty() {
+            ANY_ARMED.store(true, Ordering::SeqCst);
+        }
+        table
+    })
+}
+
+/// Parse a `site=fault[;site=fault...]` spec. Empty input (or input of
+/// only separators) is the empty table.
+///
+/// # Errors
+/// A message naming the malformed clause.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Fault)>, String> {
+    let mut table = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let (site, fault) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("clause {clause:?} is not site=fault"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("clause {clause:?} has an empty site"));
+        }
+        table.push((site.to_string(), parse_fault(fault.trim())?));
+    }
+    Ok(table)
+}
+
+fn parse_fault(raw: &str) -> Result<Fault, String> {
+    let byte_arg = |prefix: &str| -> Result<usize, String> {
+        raw[prefix.len()..]
+            .parse()
+            .map_err(|_| format!("fault {raw:?}: byte count must be an unsigned integer"))
+    };
+    match raw {
+        "err" => Ok(Fault::Err),
+        "kill" => Ok(Fault::Kill),
+        _ if raw.starts_with("short@") => Ok(Fault::ShortWrite(byte_arg("short@")?)),
+        _ if raw.starts_with("kill@") => Ok(Fault::KillAtByte(byte_arg("kill@")?)),
+        _ => Err(format!(
+            "unknown fault {raw:?} (expected err | kill | short@N | kill@N)"
+        )),
+    }
+}
+
+/// Guard returned by [`arm`]: the fault fires on this thread while the
+/// guard lives, and environment-armed faults are suppressed here.
+#[must_use = "the fault disarms when the guard drops"]
+#[derive(Debug)]
+pub struct Armed {
+    _scope: Scope,
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        LOCAL.with(|l| {
+            l.borrow_mut().pop();
+        });
+    }
+}
+
+/// Guard returned by [`scope`]: while it lives, this thread ignores
+/// environment-armed faults (API-armed ones still fire).
+#[must_use = "the scope closes when the guard drops"]
+#[derive(Debug)]
+pub struct Scope(());
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        SCOPE_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Isolate this thread from environment-armed faults until the returned
+/// guard drops. Test matrices wrap themselves in a scope so an armed CI
+/// environment cannot perturb their schedules.
+pub fn scope() -> Scope {
+    SCOPE_DEPTH.with(|d| d.set(d.get() + 1));
+    Scope(())
+}
+
+/// Arm `fault` at `site` on this thread until the returned guard drops.
+/// Nested arms at the same site: the innermost wins.
+pub fn arm(site: &str, fault: Fault) -> Armed {
+    let scope = scope();
+    LOCAL.with(|l| l.borrow_mut().push((site.to_string(), fault)));
+    ANY_ARMED.store(true, Ordering::SeqCst);
+    Armed { _scope: scope }
+}
+
+/// The fault armed at `site` for this call, if any: API arms first
+/// (innermost wins), then — outside any [`scope`] — the environment
+/// table (last matching clause wins). The injection sites of the store's
+/// IO path call this once per operation.
+pub fn check(site: &str) -> Option<Fault> {
+    // Ensure an environment spec has been parsed (and ANY_ARMED raised)
+    // before consulting the fast-path gate.
+    let env = env_table();
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let (local_hit, scoped) = LOCAL.with(|l| {
+        let hit = l
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(s, _)| s == site)
+            .map(|&(_, f)| f);
+        (hit, SCOPE_DEPTH.with(Cell::get) > 0)
+    });
+    if local_hit.is_some() {
+        return local_hit;
+    }
+    if scoped {
+        return None;
+    }
+    env.iter().rev().find(|(s, _)| s == site).map(|&(_, f)| f)
+}
+
+/// `true` when `WHT_FAILPOINTS` armed at least one site in this process —
+/// what the CI fault leg's gate test asserts.
+pub fn env_armed() -> bool {
+    !env_table().is_empty()
+}
+
+/// The parsed environment spec (empty when unset) — exposed so the gate
+/// test can probe every armed site end-to-end.
+pub fn env_spec() -> &'static [(String, Fault)] {
+    env_table()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        assert_eq!(parse_spec("").unwrap(), vec![]);
+        assert_eq!(parse_spec(" ; ;").unwrap(), vec![]);
+        let t = parse_spec("atomic::write=err;atomic::fsync=kill").unwrap();
+        assert_eq!(t[0], ("atomic::write".to_string(), Fault::Err));
+        assert_eq!(t[1], ("atomic::fsync".to_string(), Fault::Kill));
+        assert_eq!(
+            parse_spec("a=short@17").unwrap()[0].1,
+            Fault::ShortWrite(17)
+        );
+        assert_eq!(parse_spec("a=kill@0").unwrap()[0].1, Fault::KillAtByte(0));
+        assert!(parse_spec("nofault").is_err());
+        assert!(parse_spec("=err").is_err());
+        assert!(parse_spec("a=explode").is_err());
+        assert!(parse_spec("a=short@x").is_err());
+    }
+
+    #[test]
+    fn arm_is_scoped_and_thread_local() {
+        assert_eq!(check("t::site"), None);
+        {
+            let _g = arm("t::site", Fault::Err);
+            assert_eq!(check("t::site"), Some(Fault::Err));
+            assert_eq!(check("t::other"), None);
+            // Innermost arm wins.
+            {
+                let _g2 = arm("t::site", Fault::Kill);
+                assert_eq!(check("t::site"), Some(Fault::Kill));
+            }
+            assert_eq!(check("t::site"), Some(Fault::Err));
+            // Other threads are not affected.
+            std::thread::spawn(|| assert_eq!(check("t::site"), None))
+                .join()
+                .unwrap();
+        }
+        assert_eq!(check("t::site"), None, "guard drop disarms");
+    }
+
+    #[test]
+    fn kill_classification() {
+        assert!(Fault::Kill.is_kill());
+        assert!(Fault::KillAtByte(3).is_kill());
+        assert!(!Fault::Err.is_kill());
+        assert!(!Fault::ShortWrite(3).is_kill());
+    }
+}

@@ -44,7 +44,14 @@
 //!
 //! ## Wisdom format history
 //!
-//! - **Version 5** (current): [`Tuning`] gains the `objective` field —
+//! - **Version 6** (current): each entry gains two optional columns —
+//!   `provenance` (the memo search's winning composition and candidate
+//!   counts, a [`PlanProvenance`] record, so [`Planner::explain`]
+//!   survives a process restart) and `measured_ns` (measured wall-clock
+//!   evidence for the entry's plan; the sharded store's merge keeps the
+//!   measured-fastest entry per key — see [`crate::store`]). Version-5
+//!   blobs load transparently (both columns simply absent).
+//! - **Version 5**: [`Tuning`] gains the `objective` field —
 //!   which [`CostObjective`] weighting the recorder's vectored cost
 //!   backend collapsed its terms under when the entry's plan won, or
 //!   absent when the backend ran with its default weights. A planner
@@ -92,6 +99,7 @@
 use crate::cost::{CostObjective, PlanCost, VectorCost};
 use crate::dp::DpOptions;
 use crate::memo::{memo_search, MemoTable};
+use crate::store::{atomic_write, ShardedStore, StoreDiagnostic};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -142,26 +150,73 @@ impl Tuning {
     }
 }
 
-/// One best-known plan plus the executor tuning recorded with it.
-#[derive(Debug, Clone, PartialEq)]
-struct WisdomRecord {
-    plan: Plan,
-    tuning: Tuning,
+/// How a wisdom entry's plan won its memo search: the winning
+/// composition and the candidate counts, lifted out of the searcher's
+/// [`crate::memo::GroupProvenance`] into a serializable record so
+/// [`Planner::explain`] survives a process restart (wisdom version 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanProvenance {
+    /// The winning composition's part spans (`None`: the leaf codelet
+    /// won).
+    pub composition: Option<Vec<u32>>,
+    /// Total candidates in the group when it was solved.
+    pub candidates: u64,
+    /// Candidates actually cost-evaluated.
+    pub evaluated: u64,
+    /// Candidates pruned unevaluated by the lower bound.
+    pub pruned: u64,
+    /// The winner's collapsed model cost.
+    pub cost: f64,
 }
 
-/// Serialized wisdom entry, current (version-4) shape: the plan travels
+impl PlanProvenance {
+    /// One-line human-readable account of the recorded choice — the same
+    /// shape as the live memo's [`crate::memo::Group::explain`], marked
+    /// as a replay so a reader can tell a restart-survived record from a
+    /// this-process deliberation.
+    pub fn explain(&self, m: u32) -> String {
+        let via = match &self.composition {
+            Some(parts) => {
+                let parts: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                format!("split[{}]", parts.join(","))
+            }
+            None => "leaf".to_string(),
+        };
+        format!(
+            "2^{m}: cost={:.3} via {via}; evaluated {}/{} candidates ({} pruned) \
+             [replayed from wisdom]",
+            self.cost, self.evaluated, self.candidates, self.pruned
+        )
+    }
+}
+
+/// One best-known plan plus everything recorded with it: the executor
+/// tuning, the search provenance (version 6), and measured wall-clock
+/// evidence when any exists.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WisdomRecord {
+    pub(crate) plan: Plan,
+    pub(crate) tuning: Tuning,
+    pub(crate) provenance: Option<PlanProvenance>,
+    pub(crate) measured_ns: Option<u64>,
+}
+
+/// Serialized wisdom entry, current (version-6) shape: the plan travels
 /// as its WHT-package grammar string (stable, human-readable, validated
-/// on parse) and the executor tuning as one nested [`Tuning`] record.
+/// on parse), the executor tuning as one nested [`Tuning`] record, plus
+/// the optional provenance and measurement columns.
 #[derive(Debug, Clone, Serialize)]
 struct WisdomEntryOut {
     n: u32,
     backend: String,
     plan: String,
     tuning: Tuning,
+    provenance: Option<PlanProvenance>,
+    measured_ns: Option<u64>,
 }
 
 /// Permissive read-side entry covering every supported version: versions
-/// 3–4 carry `tuning` (a v3 record simply lacks the later fields);
+/// 3–6 carry `tuning` (earlier records simply lack the later fields);
 /// versions 1–2 carried the flat fields, which migrate into a [`Tuning`]
 /// on load. Unknown fields are ignored by the JSON layer (forward
 /// compatibility).
@@ -171,6 +226,8 @@ struct WisdomEntryIn {
     backend: String,
     plan: String,
     tuning: Option<Tuning>,
+    provenance: Option<PlanProvenance>,
+    measured_ns: Option<u64>,
     fuse_budget: Option<u64>,
     simd: Option<bool>,
     relayout: Option<u64>,
@@ -190,7 +247,7 @@ struct WisdomFileIn {
     entries: Vec<WisdomEntryIn>,
 }
 
-const WISDOM_VERSION: u32 = 5;
+const WISDOM_VERSION: u32 = 6;
 
 /// Oldest wisdom format [`Wisdom::from_json`] still reads (see the module
 /// docs' format history).
@@ -335,15 +392,126 @@ impl Wisdom {
                 got: plan.size(),
             });
         }
-        self.entries
-            .entry(n)
-            .or_default()
-            .insert(backend.to_string(), WisdomRecord { plan, tuning });
+        self.entries.entry(n).or_default().insert(
+            backend.to_string(),
+            WisdomRecord {
+                plan,
+                tuning,
+                provenance: None,
+                measured_ns: None,
+            },
+        );
         Ok(())
     }
 
+    /// The search provenance recorded with the `(n, backend)` entry —
+    /// how its plan won — or `None` when no entry exists or the entry
+    /// predates wisdom version 6.
+    pub fn provenance(&self, n: u32, backend: &str) -> Option<&PlanProvenance> {
+        self.entries.get(&n)?.get(backend)?.provenance.as_ref()
+    }
+
+    /// Attach search provenance to an existing `(n, backend)` entry.
+    pub(crate) fn set_provenance(&mut self, n: u32, backend: &str, provenance: PlanProvenance) {
+        if let Some(record) = self.entries.get_mut(&n).and_then(|b| b.get_mut(backend)) {
+            record.provenance = Some(provenance);
+        }
+    }
+
+    /// Measured wall-clock evidence (nanoseconds) recorded with the
+    /// `(n, backend)` entry, if any. The sharded store's merge keeps the
+    /// measured-fastest entry per key.
+    pub fn measured_ns(&self, n: u32, backend: &str) -> Option<u64> {
+        self.entries.get(&n)?.get(backend)?.measured_ns
+    }
+
+    /// Record measured wall-clock evidence for the `(n, backend)` entry's
+    /// plan — the adaptive-feedback input to the store's
+    /// measured-fastest merge.
+    ///
+    /// # Errors
+    /// [`WhtError::InvalidConfig`] when no entry exists to attach the
+    /// measurement to.
+    pub fn record_measurement(&mut self, n: u32, backend: &str, ns: u64) -> Result<(), WhtError> {
+        match self.entries.get_mut(&n).and_then(|b| b.get_mut(backend)) {
+            Some(record) => {
+                record.measured_ns = Some(ns);
+                Ok(())
+            }
+            None => Err(WhtError::InvalidConfig(format!(
+                "no wisdom entry for (n={n}, backend={backend}) to attach a measurement to"
+            ))),
+        }
+    }
+
+    /// Every `(n, backend)` key currently recorded (unsorted).
+    pub fn entry_keys(&self) -> Vec<(u32, String)> {
+        self.entries
+            .iter()
+            .flat_map(|(n, backends)| backends.keys().map(|b| (*n, b.clone())))
+            .collect()
+    }
+
+    /// Consume the store into its records.
+    pub(crate) fn into_records(self) -> impl Iterator<Item = (u32, String, WisdomRecord)> {
+        self.entries.into_iter().flat_map(|(n, backends)| {
+            backends
+                .into_iter()
+                .map(move |(backend, record)| (n, backend, record))
+        })
+    }
+
+    /// Insert a full record, replacing any existing `(n, backend)` entry.
+    pub(crate) fn insert_record(&mut self, n: u32, backend: &str, record: WisdomRecord) {
+        self.entries
+            .entry(n)
+            .or_default()
+            .insert(backend.to_string(), record);
+    }
+
+    /// The single `(n, backend)` entry rendered as a current-version
+    /// wisdom JSON document — the payload of one store shard.
+    pub(crate) fn entry_json(&self, n: u32, backend: &str) -> Option<String> {
+        let record = self.entries.get(&n)?.get(backend)?;
+        let file = WisdomFileOut {
+            version: WISDOM_VERSION,
+            entries: vec![WisdomEntryOut {
+                n,
+                backend: backend.to_string(),
+                plan: record.plan.to_string(),
+                tuning: record.tuning,
+                provenance: record.provenance.clone(),
+                measured_ns: record.measured_ns,
+            }],
+        };
+        Some(serde_json::to_string_pretty(&file).expect("wisdom serialization is infallible"))
+    }
+
+    /// Merge `incoming` into this store, key by key: missing entries are
+    /// adopted outright, and an existing entry is replaced only when the
+    /// incoming one carries **strictly better measured evidence** (a
+    /// faster `measured_ns`, or any measurement where the incumbent has
+    /// none). Without evidence the incumbent wins — absorbing a store
+    /// must never silently discard this process's own fresher tuning.
+    pub fn absorb(&mut self, incoming: Wisdom) {
+        for (n, backend, record) in incoming.into_records() {
+            let replace = match self.entries.get(&n).and_then(|b| b.get(&backend)) {
+                None => true,
+                Some(existing) => crate::store::prefer_candidate(
+                    record.measured_ns,
+                    0,
+                    existing.measured_ns,
+                    u64::MAX,
+                ),
+            };
+            if replace {
+                self.insert_record(n, &backend, record);
+            }
+        }
+    }
+
     /// Render the store as JSON (entries sorted for determinism), in the
-    /// current (version-4) format.
+    /// current (version-6) format.
     pub fn to_json(&self) -> String {
         let mut entries: Vec<WisdomEntryOut> = self
             .entries
@@ -354,6 +522,8 @@ impl Wisdom {
                     backend: backend.clone(),
                     plan: record.plan.to_string(),
                     tuning: record.tuning,
+                    provenance: record.provenance.clone(),
+                    measured_ns: record.measured_ns,
                 })
             })
             .collect();
@@ -385,7 +555,7 @@ impl Wisdom {
         let mut wisdom = Wisdom::new();
         for entry in file.entries {
             let plan: Plan = entry.plan.parse()?;
-            // Versions 3-4 carry the nested record; versions 1-2 carried
+            // Versions 3-6 carry the nested record; versions 1-2 carried
             // flat columns, which migrate into the same shape. A nested
             // record wins over any stray flat fields.
             let tuning = entry.tuning.unwrap_or(Tuning {
@@ -397,30 +567,147 @@ impl Wisdom {
                 objective: None,
             });
             wisdom.insert_with_tuning(entry.n, &entry.backend, plan, tuning)?;
+            if let Some(provenance) = entry.provenance {
+                wisdom.set_provenance(entry.n, &entry.backend, provenance);
+            }
+            if let Some(ns) = entry.measured_ns {
+                wisdom.record_measurement(entry.n, &entry.backend, ns)?;
+            }
         }
         Ok(wisdom)
     }
 
-    /// Write the store to `path` as JSON.
+    /// Write the store to `path` as JSON, atomically and durably
+    /// (temp file + fsync + rename — see [`crate::store::atomic_write`]):
+    /// a crash mid-save leaves the previous blob intact, never a torn
+    /// half-JSON.
     ///
     /// # Errors
-    /// [`WhtError::InvalidConfig`] wrapping the I/O failure.
+    /// [`WhtError::Io`] naming the failed step.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), WhtError> {
-        std::fs::write(path.as_ref(), self.to_json()).map_err(|e| {
-            WhtError::InvalidConfig(format!("writing wisdom {}: {e}", path.as_ref().display()))
-        })
+        atomic_write(path.as_ref(), self.to_json().as_bytes())
     }
 
     /// Read a store previously written by [`Wisdom::save`].
     ///
     /// # Errors
     /// [`WhtError::InvalidConfig`] wrapping I/O failures and the parse
-    /// errors of [`Wisdom::from_json`].
+    /// errors of [`Wisdom::from_json`]. Callers that must not fail on a
+    /// damaged blob use [`Wisdom::load_or_default`] instead.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, WhtError> {
         let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
             WhtError::InvalidConfig(format!("reading wisdom {}: {e}", path.as_ref().display()))
         })?;
         Wisdom::from_json(&text)
+    }
+
+    /// [`Wisdom::load`] with the store's quarantine-and-degrade contract
+    /// instead of a hard failure: a missing file is a clean cold start
+    /// (empty wisdom, no diagnostic); an unreadable or damaged blob
+    /// yields empty wisdom plus a typed [`StoreDiagnostic`] saying
+    /// exactly what was wrong, and the damaged file is moved aside into
+    /// a sibling `quarantine/` directory so the next save starts clean.
+    /// Never panics, never errors, never partially applies a blob.
+    pub fn load_or_default(path: impl AsRef<Path>) -> (Self, Vec<StoreDiagnostic>) {
+        let path = path.as_ref();
+        let name = path.display().to_string();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return (Wisdom::new(), Vec::new());
+            }
+            Err(e) => {
+                return (
+                    Wisdom::new(),
+                    vec![StoreDiagnostic::IoFailed {
+                        shard: name,
+                        detail: e.to_string(),
+                    }],
+                );
+            }
+        };
+        match classify_wisdom_json(&name, &text) {
+            Ok(wisdom) => (wisdom, Vec::new()),
+            Err(diag) => {
+                if let Some(parent) = path.parent() {
+                    crate::store::quarantine_file(parent, path);
+                }
+                (Wisdom::new(), vec![diag])
+            }
+        }
+    }
+}
+
+/// Parse a wisdom JSON document, classifying any failure as a typed
+/// [`StoreDiagnostic`] — truncation (the parser ran off the end of the
+/// text), an unsupported future version, or plain corruption. Shared by
+/// the sharded store's payload path and [`Wisdom::load_or_default`], so
+/// one classification covers both the shard and legacy-blob formats.
+pub(crate) fn classify_wisdom_json(name: &str, text: &str) -> Result<Wisdom, StoreDiagnostic> {
+    match Wisdom::from_json(text) {
+        Ok(wisdom) => Ok(wisdom),
+        Err(e) => {
+            let msg = e.to_string();
+            if msg.contains("unexpected end of input")
+                || msg.contains("unterminated string")
+                || json_failed_at_end(&msg, text.len())
+            {
+                Err(StoreDiagnostic::Truncated {
+                    shard: name.to_string(),
+                    detail: msg,
+                })
+            } else if let Some(version) = unsupported_version(text) {
+                Err(StoreDiagnostic::VersionUnknown {
+                    shard: name.to_string(),
+                    version,
+                })
+            } else {
+                Err(StoreDiagnostic::Corrupt {
+                    shard: name.to_string(),
+                    detail: msg,
+                })
+            }
+        }
+    }
+}
+
+/// `true` when a *JSON-layer* parse failure points at (or within one
+/// token of) the end of the text — how a truncated document fails when
+/// the cut lands after a complete token, where the parser reports a
+/// structural error ("expected ',' or '}'", a half literal) instead of
+/// running off the input. Restricted to the JSON layer so a bad plan
+/// string's own byte offsets (tiny, relative to the whole blob) never
+/// match.
+fn json_failed_at_end(msg: &str, len: usize) -> bool {
+    if !msg.contains("wisdom JSON") || !msg.contains("at byte ") {
+        return false;
+    }
+    let tail = msg
+        .rsplit("at byte ")
+        .next()
+        .expect("rsplit yields at least one piece");
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    // "false" is the longest half-consumable token: a cut leaving 1-4 of
+    // its bytes reports the token's start, up to 4 bytes shy of the end.
+    digits
+        .parse::<usize>()
+        .is_ok_and(|pos| pos >= len.saturating_sub(4))
+}
+
+/// The declared version of a wisdom document this build cannot read, if
+/// that is what is wrong with it (`None`: the version is fine or the
+/// document is too damaged to tell — in which case the real failure is
+/// classified elsewhere).
+fn unsupported_version(text: &str) -> Option<u32> {
+    #[derive(Debug, Clone, Deserialize)]
+    struct VersionOnly {
+        version: u32,
+    }
+    let v: VersionOnly = serde_json::from_str(text).ok()?;
+    if (WISDOM_MIN_VERSION..=WISDOM_VERSION).contains(&v.version) {
+        None
+    } else {
+        Some(v.version)
     }
 }
 
@@ -467,6 +754,11 @@ pub struct Planner<C: PlanCost> {
     /// The named weighting the cost backend was last aimed at via
     /// [`Planner::with_objective`]; `None` = the backend's own weights.
     objective: Option<CostObjective>,
+    /// Diagnostics accumulated from store/blob loads this planner
+    /// degraded through ([`Planner::with_store`],
+    /// [`Planner::with_wisdom_file`]) — surfaced via
+    /// [`Planner::store_diagnostics`] and [`Planner::explain`].
+    store_diagnostics: Vec<StoreDiagnostic>,
     evaluations: usize,
 }
 
@@ -489,6 +781,7 @@ impl<C: PlanCost> Planner<C> {
             compiled: HashMap::new(),
             memo: MemoTable::new(),
             objective: None,
+            store_diagnostics: Vec::new(),
             evaluations: 0,
         }
     }
@@ -609,6 +902,56 @@ impl<C: PlanCost> Planner<C> {
         self
     }
 
+    /// Warm the planner from a [`ShardedStore`] (builder style), under
+    /// the **degradation contract**: whatever the store's condition —
+    /// missing shards, some corrupt, all corrupt — this never fails and
+    /// never panics. Intact shards merge into the planner's wisdom
+    /// ([`Wisdom::absorb`]: holes fill, measured evidence wins, this
+    /// planner's own fresher tuning is never discarded); damaged shards
+    /// are quarantined by the load and reported through
+    /// [`Planner::store_diagnostics`] and [`Planner::explain`], and the
+    /// affected sizes simply cold-search on first use — a warm **miss**,
+    /// never poisoned tuning.
+    #[must_use]
+    pub fn with_store(mut self, store: &ShardedStore) -> Self {
+        let loaded = store.load();
+        self.store_diagnostics.extend(loaded.diagnostics);
+        self.wisdom.absorb(loaded.wisdom);
+        self.compiled.clear();
+        self
+    }
+
+    /// Warm the planner from a legacy single-blob wisdom file (builder
+    /// style), with the same degradation contract as
+    /// [`Planner::with_store`]: a missing file is a clean cold start, a
+    /// damaged one is quarantined and reported, never an error or a
+    /// panic ([`Wisdom::load_or_default`]).
+    #[must_use]
+    pub fn with_wisdom_file(mut self, path: impl AsRef<Path>) -> Self {
+        let (wisdom, diagnostics) = Wisdom::load_or_default(path);
+        self.store_diagnostics.extend(diagnostics);
+        self.wisdom.absorb(wisdom);
+        self.compiled.clear();
+        self
+    }
+
+    /// Persist this planner's accumulated wisdom into `store`, one
+    /// atomically committed shard per `(n, backend)` entry. Returns the
+    /// number of shards written.
+    ///
+    /// # Errors
+    /// [`WhtError::Io`] on the first shard that fails to commit;
+    /// already-committed shards are unaffected.
+    pub fn save_store(&self, store: &ShardedStore) -> Result<usize, WhtError> {
+        store.save(&self.wisdom)
+    }
+
+    /// Diagnostics from every store/blob load this planner degraded
+    /// through (empty when all loads were clean).
+    pub fn store_diagnostics(&self) -> &[StoreDiagnostic] {
+        &self.store_diagnostics
+    }
+
     /// Name of the owned cost backend — the wisdom key this planner reads
     /// and writes.
     pub fn backend_name(&self) -> &'static str {
@@ -630,16 +973,23 @@ impl<C: PlanCost> Planner<C> {
 
     /// Why size `2^n`'s plan won: the winning composition, the candidate
     /// counts (evaluated / pruned), and — for vectored backends — the
-    /// cost terms, as one human-readable line. When the size has already
-    /// been compiled, the line also carries the static verifier's verdict
-    /// on the schedule actually serving traffic
-    /// ([`CompiledPlan::verify`]): `verified` when every invariant proved
-    /// clean, otherwise the diagnostic count and the first violation.
-    /// `None` when this planner instance never searched the size (e.g. it
-    /// was served from imported wisdom, which records the choice but not
-    /// the deliberation).
+    /// cost terms, as one human-readable line. A size this planner
+    /// instance searched reports the live memo's account; a size served
+    /// from imported wisdom falls back to the provenance persisted in the
+    /// entry (wisdom version 6, marked `[replayed from wisdom]`), so the
+    /// account survives a process restart. When the size has already been
+    /// compiled, the line also carries the static verifier's verdict on
+    /// the schedule actually serving traffic ([`CompiledPlan::verify`]):
+    /// `verified` when every invariant proved clean, otherwise the
+    /// diagnostic count and the first violation. When any store/blob load
+    /// degraded ([`Planner::store_diagnostics`]), the line ends with a
+    /// quarantine summary. `None` when this planner neither searched the
+    /// size nor holds an entry with recorded provenance.
     pub fn explain(&self, n: u32) -> Option<String> {
-        let mut line = self.memo.group(n)?.explain(n);
+        let mut line = match self.memo.group(n) {
+            Some(group) => group.explain(n),
+            None => self.wisdom.provenance(n, self.cost.name())?.explain(n),
+        };
         if let Some(compiled) = self.compiled.get(&n) {
             let diags = compiled.verify();
             if diags.is_empty() {
@@ -651,6 +1001,13 @@ impl<C: PlanCost> Planner<C> {
                     diags[0]
                 ));
             }
+        }
+        if !self.store_diagnostics.is_empty() {
+            line.push_str(&format!(
+                " | store: {} shard(s) quarantined; first: {}",
+                self.store_diagnostics.len(),
+                self.store_diagnostics[0]
+            ));
         }
         Some(line)
     }
@@ -805,6 +1162,24 @@ impl<C: PlanCost> Planner<C> {
                             objective: self.objective,
                         },
                     )?;
+                    // Persist the memo's account of the choice alongside
+                    // the plan, so explain(m) survives a process restart
+                    // (wisdom version 6).
+                    let group = self
+                        .memo
+                        .group(m)
+                        .expect("memo_search solved every span up to n");
+                    self.wisdom.set_provenance(
+                        m,
+                        backend,
+                        PlanProvenance {
+                            composition: group.provenance.composition.clone(),
+                            candidates: group.provenance.candidates as u64,
+                            evaluated: group.provenance.evaluated as u64,
+                            pruned: group.provenance.pruned as u64,
+                            cost: group.cost,
+                        },
+                    );
                 }
             }
         }
@@ -1413,12 +1788,12 @@ mod tests {
         assert_eq!(w.batch_block(4, "x"), None);
         assert_eq!(w.objective(4, "x"), None);
         let json = w.to_json();
-        assert!(json.contains("\"version\": 5"), "{json}");
+        assert!(json.contains("\"version\": 6"), "{json}");
         assert!(json.contains("\"tuning\""), "{json}");
         let back = Wisdom::from_json(&json).unwrap();
         assert_eq!(back, w);
         // Future versions stay rejected.
-        assert!(Wisdom::from_json("{\"version\":6,\"entries\":[]}").is_err());
+        assert!(Wisdom::from_json("{\"version\":7,\"entries\":[]}").is_err());
     }
 
     #[test]
@@ -1903,20 +2278,37 @@ mod tests {
     }
 
     #[test]
-    fn planner_explain_reports_provenance_only_for_searched_sizes() {
+    fn planner_explain_reports_provenance_for_searched_and_replayed_sizes() {
         let mut planner = Planner::new(InstructionCost::default());
         assert_eq!(planner.explain(8), None, "nothing searched yet");
         planner.plan(8).unwrap();
         let line = planner.explain(8).expect("just searched");
         assert!(line.contains("2^8"), "{line}");
+        assert!(
+            !line.contains("replayed"),
+            "live memo account, not a replay: {line}"
+        );
         // Every smaller span was solved by the same memo search.
         assert!(planner.explain(3).is_some());
-        // A wisdom-served planner has no deliberation to report.
+        // A wisdom-served planner replays the persisted provenance
+        // (wisdom version 6): the account survives a process restart,
+        // marked as a replay.
         let mut warm =
             Planner::new(InstructionCost::default()).with_wisdom(planner.wisdom().clone());
         warm.plan(8).unwrap();
         assert_eq!(warm.evaluations(), 0);
-        assert_eq!(warm.explain(8), None);
+        let replayed = warm.explain(8).expect("persisted provenance");
+        assert!(replayed.contains("[replayed from wisdom]"), "{replayed}");
+        assert!(replayed.contains("2^8"), "{replayed}");
+        // An entry with no recorded provenance (hand-inserted wisdom)
+        // still reports nothing.
+        let mut plain = Wisdom::new();
+        plain
+            .insert(4, "instruction-model", Plan::iterative(4).unwrap())
+            .unwrap();
+        let mut bare = Planner::new(InstructionCost::default()).with_wisdom(plain);
+        bare.plan(4).unwrap();
+        assert_eq!(bare.explain(4), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | [`cachesim`] (`wht-cachesim`) | set-associative LRU cache simulator (Opteron presets) |
 //! | [`measure`] (`wht-measure`) | timing, instrumented execution, trace-driven miss measurement |
 //! | [`stats`] (`wht-stats`) | Pearson, histograms, IQR fences, pruning curves, grid search |
-//! | [`search`] (`wht-search`) | plan search: the memoized branch-and-bound engine ([`memo_search`](wht_search::memo_search) over a [`MemoTable`](wht_search::MemoTable) of factor-span groups with provenance), the classic DP autotuner ([`dp_search`](wht_search::dp_search)), exhaustive/random/model-pruned strategies, vectored cost backends ([`VectorCost`](wht_search::VectorCost): one term vector, objective-driven weightings via [`CostObjective`](wht_search::CostObjective)), and the [`Planner`](wht_search::Planner) facade with wisdom caching |
+//! | [`search`] (`wht-search`) | plan search: the memoized branch-and-bound engine ([`memo_search`](wht_search::memo_search) over a [`MemoTable`](wht_search::MemoTable) of factor-span groups with provenance), the classic DP autotuner ([`dp_search`](wht_search::dp_search)), exhaustive/random/model-pruned strategies, vectored cost backends ([`VectorCost`](wht_search::VectorCost): one term vector, objective-driven weightings via [`CostObjective`](wht_search::CostObjective)), the [`Planner`](wht_search::Planner) facade with wisdom caching, and crash-safe wisdom persistence: the sharded [`ShardedStore`](wht_search::ShardedStore) (atomic commit, typed [`StoreDiagnostic`](wht_search::StoreDiagnostic) quarantine, keep-best merge) with a hermetic fault-injection layer (`wht_search::failpoints`, `WHT_FAILPOINTS`) |
 //! | [`parallel`] (`wht-parallel`) | multi-threaded WHT and parallel measurement sweeps |
 //!
 //! ## Quick start
@@ -76,9 +76,10 @@ pub mod prelude {
         measure_sweep, par_apply_batch, par_apply_compiled, par_apply_plan, Threads,
     };
     pub use wht_search::{
-        dp_search, memo_search, pruned_search, random_search, CombinedModelCost, CostObjective,
-        CostVec, CostWeights, DpOptions, FusedTrafficCost, InstructionCost, MemoTable, PlanCost,
-        Planner, SimCyclesCost, Tuning, VectorCost, WallClockCost, Wisdom,
+        atomic_write, dp_search, memo_search, pruned_search, random_search, CombinedModelCost,
+        CostObjective, CostVec, CostWeights, DpOptions, FusedTrafficCost, InstructionCost,
+        MemoTable, PlanCost, PlanProvenance, Planner, ShardedStore, SimCyclesCost, StoreDiagnostic,
+        StoreLoad, Tuning, VectorCost, WallClockCost, Wisdom,
     };
     pub use wht_space::{plan_count, sample_plans_seeded, Sampler};
     pub use wht_stats::{describe, pearson, Histogram, PruneCurve};

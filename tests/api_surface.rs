@@ -213,3 +213,52 @@ fn parallel_and_sweep_through_facade() {
     assert_eq!(ms.len(), 2);
     assert!(ms[0].instructions < ms[1].instructions); // iterative < right
 }
+
+#[test]
+fn wisdom_store_through_the_prelude() {
+    // Search, persist into a sharded store, restart cold, replay warm —
+    // with the commit path and diagnostics all prelude-reachable.
+    let dir = std::env::temp_dir().join(format!("wht_api_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut planner = Planner::new(InstructionCost::default());
+    let mut x: Vec<f64> = (0..64).map(|v| (v % 7) as f64).collect();
+    let want = naive_wht(&x);
+    planner.transform(&mut x).unwrap();
+    assert_eq!(x, want);
+
+    let store = ShardedStore::open(&dir).unwrap();
+    let written = planner.save_store(&store).unwrap();
+    assert!(written > 0);
+
+    let loaded: StoreLoad = store.load();
+    assert!(loaded.diagnostics.is_empty());
+    let mut warm = Planner::new(InstructionCost::default()).with_store(&store);
+    let mut y: Vec<f64> = (0..64).map(|v| (v % 7) as f64).collect();
+    warm.transform(&mut y).unwrap();
+    assert_eq!(y, want);
+    assert_eq!(warm.evaluations(), 0);
+
+    // Winner provenance survives the restart and renders through explain.
+    let backend = warm.backend_name().to_string();
+    let p: &PlanProvenance = warm
+        .wisdom()
+        .provenance(6, &backend)
+        .expect("persisted provenance");
+    assert!(p.candidates >= p.evaluated);
+    assert!(warm
+        .explain(6)
+        .expect("replayed")
+        .contains("replayed from wisdom"));
+
+    // The raw atomic commit helper and typed diagnostics are exported too.
+    let blob = dir.join("extra.bin");
+    atomic_write(&blob, b"payload").unwrap();
+    assert_eq!(std::fs::read(&blob).unwrap(), b"payload");
+    let diag = StoreDiagnostic::Corrupt {
+        shard: "x.shard".into(),
+        detail: "demo".into(),
+    };
+    assert_eq!(diag.kind(), "corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+}
