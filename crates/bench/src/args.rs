@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! --samples N    random algorithms per study (default 10000, the paper's count)
-//! --threads N    worker threads for sweeps (default: all cores)
+//! --threads N    worker threads for sweeps (default: WHT_THREADS, else all cores)
 //! --seed S       RNG seed (default 2007, the paper's year)
 //! --nmax N       largest transform exponent for the size sweeps (default 20)
 //! --quick        preset: samples=800, nmax=16 (for smoke runs / CI)
@@ -30,9 +30,10 @@ impl Default for CommonArgs {
     fn default() -> Self {
         CommonArgs {
             samples: 10_000,
-            threads: std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1),
+            // Same resolution as the parallel engine's Threads::default():
+            // the strict WHT_THREADS knob, else all cores — so a pinned CI
+            // leg pins the bench binaries and the engine together.
+            threads: wht_core::env::threads(),
             seed: 2007,
             nmax: 20,
             no_timing: false,
@@ -94,6 +95,10 @@ mod tests {
         assert_eq!(a.seed, 2007);
         assert_eq!(a.nmax, 20);
         assert!(!a.no_timing);
+        // Thread default goes through the strict WHT_THREADS resolution
+        // (unit-tested in wht_core::env); whatever the host, it is >= 1.
+        assert!(a.threads >= 1);
+        assert_eq!(a.threads, wht_core::env::threads());
     }
 
     #[test]

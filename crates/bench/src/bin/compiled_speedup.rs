@@ -47,6 +47,19 @@
 //! lone transform cannot fill the lanes (small n), and must stay neutral
 //! at batch size 1.
 //!
+//! A third, parallel table follows (emitting **`BENCH_parallel.json`**,
+//! schema version 1, override with `--parallel-json PATH`): an
+//! empty-work dispatch-overhead microbench (one no-op job through the
+//! persistent `WorkerPool` vs a spawn-and-join `thread::scope` crew of
+//! the same size — the per-call cost the pool exists to delete), then
+//! canonical plans × n = 20–26 × threads ∈ {1, 2, 4, all} (clamped to
+//! the host) through three executors: `scoped` (spawn-per-call crew),
+//! `pooled` (persistent pool, cached arenas), and `pooled+stream`
+//! (non-temporal scatter + prefetched gather on the relayout tail,
+//! forced eager so every measured size reports the memory-path effect).
+//! The n = 26 rows are skipped when `/proc/meminfo` reports too little
+//! available memory for the two 512 MiB buffers.
+//!
 //! Run with `--release`; flags: `--nmax N` (default 24, so the table
 //! reaches past a ~100 MiB LLC), `--reps R` (default 5), `--budget
 //! ELEMS` (fusion tile budget, default
@@ -55,14 +68,14 @@
 //! `RelayoutPolicy::DEFAULT_BUDGET_ELEMS`), `--llc-mib MIB` (the
 //! working-set bound the acceptance summaries treat as LLC-resident; set
 //! it to your host's LLC — the default 64 suits a ~100 MiB server part),
-//! `--json PATH`, `--batch-json PATH`, `--batch-only` (skip the
-//! single-transform table).
+//! `--json PATH`, `--batch-json PATH`, `--parallel-json PATH`,
+//! `--batch-only` / `--parallel-only` (run just that table).
 
 use serde::Serialize;
 use std::time::Instant;
 use wht_core::{
     apply_plan, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
-    RelayoutPolicy, SimdPolicy,
+    RelayoutPolicy, SimdPolicy, StreamPolicy,
 };
 use wht_measure::{time_compiled_plan, time_plan, TimingConfig};
 
@@ -118,6 +131,54 @@ struct BatchFile {
     rows: Vec<BatchRow>,
 }
 
+/// Schema version of `BENCH_parallel.json` (independent of the other
+/// artifacts: this file starts at 1).
+const PARALLEL_SCHEMA_VERSION: u64 = 1;
+
+/// One measured (plan, size, threads, executor) cell of the parallel
+/// table.
+#[derive(Debug, Clone, Serialize)]
+struct ParRow {
+    plan: String,
+    n: u32,
+    threads: u64,
+    executor: String,
+    min_ns: f64,
+    melem_per_s: f64,
+}
+
+/// The empty-work dispatch-overhead microbench result.
+#[derive(Debug, Serialize)]
+struct DispatchOverhead {
+    /// Crew size both dispatchers drove.
+    workers: u64,
+    /// ns per no-op dispatch through the persistent pool.
+    pooled_ns: f64,
+    /// ns per no-op spawn-and-join `thread::scope` crew.
+    scoped_ns: f64,
+    /// `scoped_ns / pooled_ns` — how much per-call cost the pool deletes.
+    ratio: f64,
+}
+
+/// The checked-in parallel artifact (`BENCH_parallel.json`).
+#[derive(Debug, Serialize)]
+struct ParallelFile {
+    schema_version: u64,
+    bench: String,
+    methodology: String,
+    /// `wht_core::env::threads()` on the measuring host — the ceiling
+    /// every `threads` column was clamped to.
+    host_threads: u64,
+    /// NUMA nodes the pool detected on the measuring host.
+    numa_nodes: u64,
+    /// Whether workers were OS-pinned to their node (the pure-std pool
+    /// cannot pin; recorded so the numbers stay honest).
+    pinned: bool,
+    reps: u64,
+    dispatch: DispatchOverhead,
+    rows: Vec<ParRow>,
+}
+
 fn main() {
     let mut nmax = 24u32;
     let mut reps = 5usize;
@@ -126,7 +187,9 @@ fn main() {
     let mut llc_mib = 64u64;
     let mut json_path = String::from("BENCH_tailcodelet.json");
     let mut batch_json_path = String::from("BENCH_batch.json");
+    let mut parallel_json_path = String::from("BENCH_parallel.json");
     let mut batch_only = false;
+    let mut parallel_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -155,13 +218,19 @@ fn main() {
             }
             "--json" => json_path = args.next().expect("--json PATH"),
             "--batch-json" => batch_json_path = args.next().expect("--batch-json PATH"),
+            "--parallel-json" => parallel_json_path = args.next().expect("--parallel-json PATH"),
             "--batch-only" => batch_only = true,
+            "--parallel-only" => parallel_only = true,
             other => panic!(
                 "unknown flag {other}; valid: --nmax N, --reps R, --budget ELEMS, \
                  --relayout-budget ELEMS, --llc-mib MIB, --json PATH, --batch-json PATH, \
-                 --batch-only"
+                 --parallel-json PATH, --batch-only, --parallel-only"
             ),
         }
+    }
+    if parallel_only {
+        parallel_bench(reps, &parallel_json_path);
+        return;
     }
     if batch_only {
         batch_bench(reps, &batch_json_path);
@@ -240,6 +309,7 @@ fn main() {
                 // Single-transform timing: the batch product is dead
                 // weight here (apply() never reads it).
                 batch: BatchPolicy::disabled(),
+                stream: StreamPolicy::disabled(),
             });
             let tail = time_compiled_plan(&tail_plan, &cfg).expect("valid config");
             let compiled_speedup = interp.min_ns / compiled.min_ns;
@@ -370,6 +440,7 @@ fn main() {
     println!("wrote {json_path}");
 
     batch_bench(reps, &batch_json_path);
+    parallel_bench(reps, &parallel_json_path);
 }
 
 /// The batched-small acceptance table: rows × 2^n grids through the
@@ -494,6 +565,186 @@ fn batch_bench(reps: usize, json_path: &str) {
         ),
         reps: reps as u64,
         rows: rows_out,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
+    wht_search::atomic_write(std::path::Path::new(json_path), json.as_bytes())
+        .expect("write benchmark JSON");
+    println!("wrote {json_path}");
+}
+
+/// `MemAvailable` from `/proc/meminfo`, in bytes (`None` off Linux or on
+/// parse failure — callers then skip the memory-guarded sizes).
+fn mem_available_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with("MemAvailable:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// The persistent-pool acceptance table: the empty-work dispatch
+/// overhead microbench, then canonical plans × large sizes × thread
+/// counts through scoped, pooled, and pooled+streaming executors —
+/// `BENCH_parallel.json` out.
+fn parallel_bench(reps: usize, json_path: &str) {
+    use wht_parallel::{par_apply_compiled_on, par_apply_compiled_scoped, Threads, WorkerPool};
+    let host_threads = wht_core::env::threads();
+    let pool = WorkerPool::global();
+
+    // --- Dispatch overhead: what does one parallel call cost before any
+    // work happens? The pool parks its crew on a condvar; the scoped
+    // baseline pays thread creation + join every call.
+    let crew = pool.workers();
+    pool.run(&|_, _| {}).expect("no-op job cannot panic");
+    let pooled_iters = 2_000u32;
+    let t = Instant::now();
+    for _ in 0..pooled_iters {
+        pool.run(&|_, _| {}).expect("no-op job cannot panic");
+    }
+    let pooled_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(pooled_iters);
+    let scoped_iters = 500u32;
+    let t = Instant::now();
+    for _ in 0..scoped_iters {
+        std::thread::scope(|scope| {
+            for _ in 0..crew {
+                scope.spawn(|| {});
+            }
+        });
+    }
+    let scoped_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(scoped_iters);
+    let dispatch = DispatchOverhead {
+        workers: crew as u64,
+        pooled_ns,
+        scoped_ns,
+        ratio: scoped_ns / pooled_ns,
+    };
+    println!(
+        "\nempty-work dispatch overhead ({crew}-worker crew): pooled {pooled_ns:.0} ns/call, \
+         scoped spawn+join {scoped_ns:.0} ns/call — pool is {:.1}x cheaper \
+         (acceptance: >= 10x)",
+        dispatch.ratio
+    );
+
+    // --- Replay table: the production lowering pipeline, streamed and
+    // not, through both dispatchers at each crew size.
+    println!(
+        "\nparallel compiled replay (min ns/transform over {reps} blocks, f64; scoped = \
+         spawn-per-call crew, pooled = persistent pool, +stream = non-temporal relayout tail)"
+    );
+    println!(
+        "{:>3}  {:<10}  {:>7}  {:>13}  {:>13}  {:>13}  {:>9}  {:>11}",
+        "n", "plan", "threads", "scoped", "pooled", "pooled+strm", "pool/scop", "strm/pooled"
+    );
+    let mut thread_counts: Vec<usize> = [1usize, 2, 4, host_threads]
+        .into_iter()
+        .filter(|&t| t <= host_threads)
+        .collect();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let base = ExecPolicy::default()
+        .with_relayout(RelayoutPolicy::eager(RelayoutPolicy::DEFAULT_BUDGET_ELEMS))
+        .with_batch(BatchPolicy::disabled());
+    let cached_policy = base.with_stream(StreamPolicy::disabled());
+    let streamed_policy = base.with_stream(StreamPolicy::eager());
+    let mut rows: Vec<ParRow> = Vec::new();
+    for n in (20..=26u32).step_by(2) {
+        let bytes = (1u64 << n) * 8;
+        // Source + working buffer, plus headroom for the rest of the
+        // process: skip a size the host cannot honestly hold.
+        if let Some(avail) = mem_available_bytes() {
+            if bytes.saturating_mul(3) > avail {
+                println!(
+                    "  (skipping n = {n}: {} MiB needed, too little available)",
+                    (bytes * 3) >> 20
+                );
+                continue;
+            }
+        }
+        let size = 1usize << n;
+        let src: Vec<f64> = (0..size)
+            .map(|j| ((j.wrapping_mul(0x9E3779B9)) % 512) as f64 / 64.0 - 4.0)
+            .collect();
+        let mut x = vec![0.0f64; size];
+        for (name, plan) in [
+            ("iterative", Plan::iterative(n).expect("valid")),
+            ("right", Plan::right_recursive(n).expect("valid")),
+            ("left", Plan::left_recursive(n).expect("valid")),
+        ] {
+            let cached = CompiledPlan::compile(&plan).lower(&cached_policy);
+            let streamed = CompiledPlan::compile(&plan).lower(&streamed_policy);
+            for &threads in &thread_counts {
+                let mut time_exec = |f: &mut dyn FnMut(&mut [f64])| {
+                    // One warm pass (pool arenas, page faults), then min.
+                    x.copy_from_slice(&src);
+                    f(&mut x);
+                    let mut best = f64::MAX;
+                    for _ in 0..reps {
+                        x.copy_from_slice(&src);
+                        let t = Instant::now();
+                        f(&mut x);
+                        best = best.min(t.elapsed().as_secs_f64());
+                    }
+                    best * 1e9
+                };
+                let t_scoped = time_exec(&mut |x| {
+                    par_apply_compiled_scoped(&cached, x, Threads(threads)).expect("sized above");
+                });
+                let t_pooled = time_exec(&mut |x| {
+                    par_apply_compiled_on(pool, &cached, x, Threads(threads)).expect("sized above");
+                });
+                let t_stream = time_exec(&mut |x| {
+                    par_apply_compiled_on(pool, &streamed, x, Threads(threads))
+                        .expect("sized above");
+                });
+                let melem = |ns: f64| size as f64 / ns * 1e3;
+                for (executor, t) in [
+                    ("scoped", t_scoped),
+                    ("pooled", t_pooled),
+                    ("pooled+stream", t_stream),
+                ] {
+                    rows.push(ParRow {
+                        plan: name.to_string(),
+                        n,
+                        threads: threads as u64,
+                        executor: executor.to_string(),
+                        min_ns: t,
+                        melem_per_s: melem(t),
+                    });
+                }
+                println!(
+                    "{:>3}  {:<10}  {:>7}  {:>13.0}  {:>13.0}  {:>13.0}  {:>8.2}x  {:>10.2}x",
+                    n,
+                    name,
+                    threads,
+                    t_scoped,
+                    t_pooled,
+                    t_stream,
+                    t_scoped / t_pooled,
+                    t_pooled / t_stream
+                );
+            }
+        }
+    }
+    let report = pool.report();
+    println!("pool after run: {report}");
+
+    let file = ParallelFile {
+        schema_version: PARALLEL_SCHEMA_VERSION,
+        bench: "parallel".to_string(),
+        methodology: format!(
+            "min-of-{reps}-blocks ns per transform, f64, one warm pass; executors: scoped = \
+             par_apply_compiled_scoped (spawn-and-join crew per call), pooled = \
+             par_apply_compiled_on the process-global persistent WorkerPool (parked workers, \
+             cached scratch arenas), pooled+stream = same pool with StreamPolicy::eager() \
+             (non-temporal scatter + prefetched gather on the eager relayout tail; the \
+             production default engages past 2^24 elems). Dispatch overhead = ns per \
+             empty-work call, pool vs thread::scope, same crew size."
+        ),
+        host_threads: host_threads as u64,
+        numa_nodes: report.numa_nodes as u64,
+        pinned: report.pinned,
+        reps: reps as u64,
+        dispatch,
+        rows,
     };
     let json = serde_json::to_string_pretty(&file).expect("benchmark serialization is infallible");
     wht_search::atomic_write(std::path::Path::new(json_path), json.as_bytes())

@@ -1252,6 +1252,265 @@ pub unsafe fn scatter_rows<T: Scalar>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming memory codelets: the StreamPolicy variants of the copies above.
+//
+// A relayout/batch scatter writes every destination line exactly once and
+// nothing reads it back before the next full sweep, so past the LLC a plain
+// cached store pays a read-for-ownership fill per line that streaming
+// (non-temporal) stores skip. The kernels below are bit-identical to their
+// cached twins — they move the same bytes through `_mm256_stream_si256`
+// (type-agnostic: every `Scalar` is 4 or 8 bytes of plain data) — and each
+// streamed sweep ends with one `sfence`, so the stores are globally visible
+// before the call returns and the parallel engine's per-unit barrier
+// ordering argument is unchanged. The gather twins issue `_mm_prefetch`
+// a couple of rows ahead of the copy cursor. All of it dispatches on
+// [`avx2_available`] exactly like the transpose kernels (false under Miri
+// and off-x86, where the portable cached bodies run instead).
+// ---------------------------------------------------------------------------
+
+/// Elements per stack tile of the streamed lanes scatter: 4 KiB of 8-byte
+/// scalars — one page, L1-resident, and long enough that the non-temporal
+/// runs dwarf the scalar head/tail each tile seam costs.
+#[cfg(target_arch = "x86_64")]
+const STREAM_TILE: usize = 512;
+
+/// How many rows ahead of the copy cursor the prefetching gathers reach:
+/// far enough to cover DRAM latency at copy speed, near enough that the
+/// touched lines still sit in L1/L2 when the cursor arrives.
+#[cfg(target_arch = "x86_64")]
+const PREFETCH_AHEAD: usize = 2;
+
+#[cfg(target_arch = "x86_64")]
+mod nt {
+    use std::arch::x86_64::*;
+
+    /// Copy `len` elements from `src` to `dst` through 32-byte
+    /// non-temporal stores: scalar stores until `dst` reaches 32-byte
+    /// alignment (an element-aligned pointer gets there in whole
+    /// elements — 4 and 8 both divide 32), then `_mm256_stream_si256`
+    /// vectors, then a scalar tail. Pure data movement, so bit-identical
+    /// to `copy_nonoverlapping` for any 4/8-byte scalar.
+    ///
+    /// The caller issues [`sfence`] once per streamed sweep; this
+    /// function does not.
+    ///
+    /// # Safety
+    /// `src`/`dst` valid for `len` reads/writes, non-overlapping,
+    /// element-aligned; `size_of::<T>()` divides 32; AVX2 available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn stream_copy<T: Copy>(src: *const T, dst: *mut T, len: usize) {
+        debug_assert!(32 % std::mem::size_of::<T>() == 0);
+        let per = 32 / std::mem::size_of::<T>();
+        // SAFETY: every offset below stays < len per the contract.
+        unsafe {
+            let mut i = 0;
+            while i < len && !(dst.add(i) as usize).is_multiple_of(32) {
+                *dst.add(i) = *src.add(i);
+                i += 1;
+            }
+            while i + per <= len {
+                let v = _mm256_loadu_si256(src.add(i) as *const __m256i);
+                _mm256_stream_si256(dst.add(i) as *mut __m256i, v);
+                i += per;
+            }
+            while i < len {
+                *dst.add(i) = *src.add(i);
+                i += 1;
+            }
+        }
+    }
+
+    /// Order every outstanding non-temporal store before the call
+    /// returns (NT stores are weakly ordered; the parallel engine's
+    /// barriers assume a unit's writes are visible when its workers
+    /// arrive, so every streamed sweep fences on exit).
+    #[inline]
+    pub fn sfence() {
+        // SAFETY: SFENCE is baseline x86-64 and has no memory operand.
+        unsafe { _mm_sfence() }
+    }
+
+    /// Hint the line holding `p` into all cache levels.
+    #[inline]
+    pub fn prefetch<T>(p: *const T) {
+        // SAFETY: PREFETCHT0 never faults, whatever the address.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(p as *const i8) }
+    }
+}
+
+/// [`scatter_rows`] through non-temporal stores: same contract, same
+/// bytes, but each row's contiguous run is written with
+/// `_mm256_stream_si256` (scalar head/tail at the 32-byte seams) and the
+/// sweep ends with one `sfence`. Falls back to the cached kernel off
+/// x86-64 or without AVX2 (including under Miri).
+///
+/// # Safety
+/// Same contract as [`scatter_rows`].
+#[inline]
+pub unsafe fn scatter_rows_stream<T: Scalar>(
+    dst: &mut [T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    src: &[T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        debug_assert!(cols >= 1 && cols <= row_stride);
+        debug_assert!(rows * cols <= src.len());
+        debug_assert!(base + (rows - 1) * row_stride + cols - 1 < dst.len());
+        for u in 0..rows {
+            // SAFETY: same bounds as scatter_rows (mirror of gather_rows);
+            // src and dst are distinct borrows, so the runs cannot
+            // overlap, and slice pointers are element-aligned. AVX2
+            // presence checked above.
+            unsafe {
+                nt::stream_copy(
+                    src.as_ptr().add(u * cols),
+                    dst.as_mut_ptr().add(base + u * row_stride),
+                    cols,
+                );
+            }
+        }
+        nt::sfence();
+        return;
+    }
+    // SAFETY: forwarded contract.
+    unsafe { scatter_rows(dst, base, rows, row_stride, cols, src) }
+}
+
+/// [`gather_rows`] with software prefetch: identical copies, but the
+/// start of the row `PREFETCH_AHEAD` rows ahead of the cursor is hinted
+/// into cache before each row copy, hiding DRAM latency on the strided
+/// read side of an out-of-LLC relayout. Falls back to the plain kernel
+/// off x86-64 or without AVX2 (including under Miri).
+///
+/// # Safety
+/// Same contract as [`gather_rows`].
+#[inline]
+pub unsafe fn gather_rows_prefetch<T: Scalar>(
+    src: &[T],
+    base: usize,
+    rows: usize,
+    row_stride: usize,
+    cols: usize,
+    dst: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        debug_assert!(cols >= 1 && cols <= row_stride);
+        debug_assert!(rows * cols <= dst.len());
+        debug_assert!(base + (rows - 1) * row_stride + cols - 1 < src.len());
+        for u in 0..rows {
+            if u + PREFETCH_AHEAD < rows {
+                // SAFETY: the prefetched row start is a read the gather
+                // itself performs two iterations later — in bounds per
+                // the contract (and PREFETCHT0 never faults regardless).
+                nt::prefetch(unsafe { src.as_ptr().add(base + (u + PREFETCH_AHEAD) * row_stride) });
+            }
+            // SAFETY: same bounds as gather_rows; distinct borrows.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(base + u * row_stride),
+                    dst.as_mut_ptr().add(u * cols),
+                    cols,
+                );
+            }
+        }
+        return;
+    }
+    // SAFETY: forwarded contract.
+    unsafe { gather_rows(src, base, rows, row_stride, cols, dst) }
+}
+
+/// [`scatter_lanes_tile`] through non-temporal stores: each destination
+/// row's `cols` contiguous elements are first transposed out of the
+/// lane-major scratch into an L1-resident stack tile (`STREAM_TILE`
+/// elements), then streamed to the row with `_mm256_stream_si256`; one
+/// `sfence` ends the sweep. Same elements, same values — the extra hop
+/// through the tile trades an L1-resident copy for skipping the
+/// destination's read-for-ownership fills, which only pays past the LLC
+/// (exactly where [`crate::StreamPolicy`] engages it). Falls back to the
+/// cached kernel off x86-64 or without AVX2 (including under Miri).
+///
+/// # Safety
+/// Same contract as [`scatter_lanes_tile`].
+#[inline]
+pub unsafe fn scatter_lanes_tile_stream<T: Scalar>(
+    dst: &mut [T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    src: &[T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        debug_assert!(w >= 1 && cols >= 1 && cols <= row_stride);
+        debug_assert!(dst.len() >= (w - 1) * row_stride + cols && src.len() >= w * cols);
+        let mut buf = [T::ZERO; STREAM_TILE];
+        for u in 0..w {
+            let mut j0 = 0;
+            while j0 < cols {
+                let jend = (j0 + STREAM_TILE).min(cols);
+                for (slot, j) in (j0..jend).enumerate() {
+                    // SAFETY: j*w + u < w*cols <= src.len() per the
+                    // contract; slot < STREAM_TILE by construction.
+                    unsafe { *buf.get_unchecked_mut(slot) = *src.get_unchecked(j * w + u) };
+                }
+                // SAFETY: the row run ends at u*row_stride + jend - 1,
+                // inside dst per the contract; buf holds jend - j0
+                // elements; distinct buffers; AVX2 checked above.
+                unsafe {
+                    nt::stream_copy(
+                        buf.as_ptr(),
+                        dst.as_mut_ptr().add(u * row_stride + j0),
+                        jend - j0,
+                    );
+                }
+                j0 = jend;
+            }
+        }
+        nt::sfence();
+        return;
+    }
+    // SAFETY: forwarded contract.
+    unsafe { scatter_lanes_tile(dst, cols, row_stride, w, src) }
+}
+
+/// [`gather_lanes_tile`] with software prefetch: the first line of each
+/// of the `w` source rows is hinted into cache before the transpose walks
+/// them (the transpose reads rows interleaved in column tiles, so warm
+/// row heads hide the strided-access latency), then the plain dispatch
+/// runs unchanged. Falls back to the plain kernel off x86-64 or without
+/// AVX2 (including under Miri).
+///
+/// # Safety
+/// Same contract as [`gather_lanes_tile`].
+#[inline]
+pub unsafe fn gather_lanes_tile_prefetch<T: Scalar>(
+    src: &[T],
+    cols: usize,
+    row_stride: usize,
+    w: usize,
+    dst: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        debug_assert!(w >= 1 && cols >= 1 && cols <= row_stride);
+        debug_assert!(src.len() >= (w - 1) * row_stride + cols);
+        for u in 0..w {
+            // SAFETY: row u's first element is a read the transpose
+            // performs, in bounds per the contract (and PREFETCHT0 never
+            // faults regardless).
+            nt::prefetch(unsafe { src.as_ptr().add(u * row_stride) });
+        }
+    }
+    // SAFETY: forwarded contract.
+    unsafe { gather_lanes_tile(src, cols, row_stride, w, dst) }
+}
+
 /// Validate one gather/scatter geometry against the buffers it would run
 /// on (`strided_len` = the strided side, `contiguous_len` = the scratch
 /// side). Shared by the checked wrappers below.

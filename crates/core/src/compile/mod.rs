@@ -111,13 +111,14 @@ mod tests;
 
 pub use policy::{
     resolve_knob, BatchPolicy, ExecKey, ExecPolicy, FusionPolicy, PolicyKnob, RecodeletPolicy,
-    RelayoutPolicy, SMALL_MERGE_ROWS,
+    RelayoutPolicy, StreamPolicy, SMALL_MERGE_ROWS,
 };
 pub use stages::{lowering_stages, LoweringStage};
 
 use crate::codelets::{
-    apply_codelet, apply_pass_lanes, gather_lanes_tile, gather_rows, scatter_lanes_tile,
-    scatter_rows, SimdPolicy,
+    apply_codelet, apply_pass_lanes, gather_lanes_tile, gather_lanes_tile_prefetch, gather_rows,
+    gather_rows_prefetch, scatter_lanes_tile, scatter_lanes_tile_stream, scatter_rows,
+    scatter_rows_stream, SimdPolicy,
 };
 use crate::engine::ExecHooks;
 use crate::error::WhtError;
@@ -304,6 +305,12 @@ pub struct Provenance {
     /// set on the units [`CompiledPlan::traverse_batch`] synthesizes from a
     /// [`BatchSchedule`]; the single-transform schedule never carries it).
     pub batched: bool,
+    /// The stream stage marked this unit's copy sweeps for streaming
+    /// memory codelets: the relayout gather prefetches ahead and the
+    /// scatter writes through non-temporal stores (see
+    /// [`StreamPolicy`]). A pure dispatch marking — the sweeps move the
+    /// same bytes, so output is bit-identical either way.
+    pub streamed: bool,
 }
 
 /// One scheduling unit of a [`CompiledPlan`]: `parts` consecutive factors
@@ -605,15 +612,24 @@ impl SuperPass {
         // SAFETY: (gather/scatter) block j's last source element is
         // (rows-1)*row_stride + j*cols + cols-1 < rows*row_stride =
         // span() <= x.len() (validate invariant + caller contract), and
-        // block.len() == rows*cols exactly.
+        // block.len() == rows*cols exactly. The streamed variants share
+        // the plain kernels' contracts and move the same bytes.
         unsafe {
-            gather_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            if self.provenance.streamed {
+                gather_rows_prefetch(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            } else {
+                gather_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            }
             for p in 0..self.parts.len() {
                 // SAFETY: a valid part tiles the gathered block exactly
                 // (base 0, stride 1, span == tile == block.len()).
                 self.parts[p].apply_full_backend(block, self.backend);
             }
-            scatter_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            if self.provenance.streamed {
+                scatter_rows_stream(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            } else {
+                scatter_rows(x, j * rl.cols, rl.rows, rl.row_stride, rl.cols, block);
+            }
         }
     }
 
@@ -691,6 +707,12 @@ pub struct BatchSchedule {
     /// Kernel backend replaying both domains (the batch stage runs after
     /// backend selection and inherits its choice).
     backend: PassBackend,
+    /// Total batch elements (`rows · 2^n`) at which the cross-stage copy
+    /// sweeps use the streaming memory codelets — recorded from the
+    /// [`StreamPolicy`] by the stream stage and compared against the
+    /// live batch length at apply time (rows are unknown at compile
+    /// time). `usize::MAX` when streaming is disabled.
+    stream_min_elems: usize,
 }
 
 impl BatchSchedule {
@@ -717,6 +739,13 @@ impl BatchSchedule {
     #[inline]
     pub fn backend(&self) -> PassBackend {
         self.backend
+    }
+
+    /// Total batch elements at which the cross-stage copy sweeps stream
+    /// (`usize::MAX`: never — streaming disabled for this schedule).
+    #[inline]
+    pub fn stream_min_elems(&self) -> usize {
+        self.stream_min_elems
     }
 
     /// Columns per transposed cross-stage tile at lane width `lanes`, for
@@ -950,7 +979,43 @@ impl CompiledPlan {
             tail: self.passes[split..].to_vec(),
             block_rows: policy.block_rows,
             backend,
+            stream_min_elems: usize::MAX,
         })
+    }
+
+    /// Mark the schedule's copy sweeps for the streaming memory codelets
+    /// under `policy` (lowering stage 6 — the last stage: a pure dispatch
+    /// marking that rewrites nothing). When the policy engages at this
+    /// transform size, every relayout super-pass's gather prefetches ahead
+    /// and its scatter writes through non-temporal stores; the batched
+    /// product (whose live size depends on the row count) records the
+    /// policy's floor and gates at apply time. Outputs are bit-identical
+    /// either way — the streamed kernels move the same bytes — so like
+    /// every stage this is output-preserving by construction.
+    #[must_use]
+    pub fn with_stream(&self, policy: &StreamPolicy) -> CompiledPlan {
+        let mut out = self.clone();
+        if policy.engages(self.size()) {
+            for sp in &mut out.schedule {
+                if sp.relayout.is_some() {
+                    sp.provenance.streamed = true;
+                }
+            }
+        }
+        if policy.enabled() {
+            if let Some(b) = out.batch.as_mut() {
+                b.stream_min_elems = policy.min_elems;
+            }
+        }
+        out
+    }
+
+    /// `true` if the stream stage marked any scheduling unit's copy
+    /// sweeps for the streaming memory codelets (the stream-stage
+    /// counterpart of [`CompiledPlan::is_fused`] /
+    /// [`CompiledPlan::is_simd`]).
+    pub fn has_streamed(&self) -> bool {
+        self.schedule.iter().any(|sp| sp.provenance.streamed)
     }
 
     /// The batched-execution product the batch stage built, if any.
@@ -1096,15 +1161,36 @@ impl CompiledPlan {
         x: &mut [T],
         scratch: &mut Vec<T>,
     ) -> Result<(), WhtError> {
+        let needed = self.scratch_elems();
+        if scratch.len() < needed {
+            scratch.resize(needed, T::ZERO);
+        }
+        self.apply_in(x, scratch)
+    }
+
+    /// [`CompiledPlan::apply_with_scratch`] over a caller-**sized**
+    /// scratch slice — the zero-alloc hook for executors that manage
+    /// their own scratch arenas (the persistent worker pool lends each
+    /// worker's arena here): no growth, no allocation, ever. Scratch
+    /// contents are ignored (every relayout gathers before it reads).
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == self.size()`;
+    /// [`WhtError::InvalidConfig`] when `scratch` is shorter than
+    /// [`CompiledPlan::scratch_elems`].
+    pub fn apply_in<T: Scalar>(&self, x: &mut [T], scratch: &mut [T]) -> Result<(), WhtError> {
         if x.len() != self.size() {
             return Err(WhtError::LengthMismatch {
                 expected: self.size(),
                 got: x.len(),
             });
         }
-        let needed = self.scratch_elems();
-        if scratch.len() < needed {
-            scratch.resize(needed, T::ZERO);
+        if scratch.len() < self.scratch_elems() {
+            return Err(WhtError::InvalidConfig(format!(
+                "scratch of {} elements is shorter than the schedule's {} gather elements",
+                scratch.len(),
+                self.scratch_elems()
+            )));
         }
         for sp in &self.schedule {
             debug_assert!(sp.base + (sp.span() - 1) * sp.stride < x.len());
@@ -1163,6 +1249,29 @@ impl CompiledPlan {
         rows: usize,
         scratch: &mut Vec<T>,
     ) -> Result<(), WhtError> {
+        let needed = self.batch_scratch_elems(T::LANES);
+        if scratch.len() < needed {
+            scratch.resize(needed, T::ZERO);
+        }
+        self.apply_batch_in(x, rows, scratch)
+    }
+
+    /// [`CompiledPlan::apply_batch_with_scratch`] over a caller-**sized**
+    /// scratch slice (at least
+    /// [`CompiledPlan::batch_scratch_elems`]`(T::LANES)` elements) — the
+    /// batched sibling of [`CompiledPlan::apply_in`], same zero-alloc
+    /// contract.
+    ///
+    /// # Errors
+    /// [`WhtError::LengthMismatch`] unless `x.len() == rows *
+    /// self.size()`; [`WhtError::InvalidConfig`] when `scratch` is too
+    /// short.
+    pub fn apply_batch_in<T: Scalar>(
+        &self,
+        x: &mut [T],
+        rows: usize,
+        scratch: &mut [T],
+    ) -> Result<(), WhtError> {
         let size = self.size();
         let expected = rows.saturating_mul(size);
         if x.len() != expected {
@@ -1174,10 +1283,17 @@ impl CompiledPlan {
         if rows == 0 {
             return Ok(());
         }
+        if scratch.len() < self.batch_scratch_elems(T::LANES) {
+            return Err(WhtError::InvalidConfig(format!(
+                "scratch of {} elements is shorter than the batch schedule's {} elements",
+                scratch.len(),
+                self.batch_scratch_elems(T::LANES)
+            )));
+        }
         let w = T::LANES;
         let Some(b) = self.batch.as_ref().filter(|b| rows >= b.block_rows.max(w)) else {
             for row in x.chunks_exact_mut(size) {
-                self.apply_with_scratch(row, scratch)?;
+                self.apply_in(row, scratch)?;
             }
             return Ok(());
         };
@@ -1195,11 +1311,11 @@ impl CompiledPlan {
             .cross_tile_cols(size, w)
             .expect("validated batch split has computable tile geometry");
         let tile_elems = tile_cols * w;
-        let needed = self.batch_scratch_elems(w);
-        if scratch.len() < needed {
-            scratch.resize(needed, T::ZERO);
-        }
         let groups = rows / w;
+        // Streaming engages on the *live* batch footprint (rows are a
+        // call-time property): same out-of-LLC rationale as the relayout
+        // units, gated against the floor the stream stage recorded.
+        let stream = x.len() >= b.stream_min_elems;
         for g in 0..groups {
             let block = &mut x[g * group..(g + 1) * group];
             let mut j0 = 0;
@@ -1208,7 +1324,15 @@ impl CompiledPlan {
                 // SAFETY: j0 + tile_cols <= size (both powers of two), so
                 // the window reads (w-1)·size + tile_cols elements past
                 // j0 within the w·size block; tblock holds w·tile_cols.
-                unsafe { gather_lanes_tile(&block[j0..], tile_cols, size, w, tblock) };
+                // The streamed variants share the plain kernels'
+                // contracts and move the same bytes.
+                unsafe {
+                    if stream {
+                        gather_lanes_tile_prefetch(&block[j0..], tile_cols, size, w, tblock);
+                    } else {
+                        gather_lanes_tile(&block[j0..], tile_cols, size, w, tblock);
+                    }
+                };
                 for p in &b.cross {
                     let scaled = Pass {
                         k: p.k,
@@ -1223,7 +1347,13 @@ impl CompiledPlan {
                     unsafe { scaled.apply_full_backend(tblock, b.backend) };
                 }
                 // SAFETY: same bounds as the gather.
-                unsafe { scatter_lanes_tile(&mut block[j0..], tile_cols, size, w, tblock) };
+                unsafe {
+                    if stream {
+                        scatter_lanes_tile_stream(&mut block[j0..], tile_cols, size, w, tblock);
+                    } else {
+                        scatter_lanes_tile(&mut block[j0..], tile_cols, size, w, tblock);
+                    }
+                };
                 j0 += tile_cols;
             }
             if !b.tail.is_empty() {
@@ -1237,7 +1367,7 @@ impl CompiledPlan {
             }
         }
         for row in x[groups * group..].chunks_exact_mut(size) {
-            self.apply_with_scratch(row, scratch)?;
+            self.apply_in(row, scratch)?;
         }
         Ok(())
     }
@@ -1643,6 +1773,7 @@ pub fn compiled_for_with(
             recodelet: RecodeletPolicy::disabled(),
             simd: *simd,
             batch: BatchPolicy::disabled(),
+            stream: StreamPolicy::disabled(),
         },
     )
 }

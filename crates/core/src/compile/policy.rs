@@ -2,7 +2,7 @@
 //! pipeline and the [`ExecPolicy`] that carries all of them.
 //!
 //! Each lowering stage (see [`crate::compile::LoweringStage`]) is gated by
-//! one policy struct; [`ExecPolicy`] bundles the five so the whole
+//! one policy struct; [`ExecPolicy`] bundles the six so the whole
 //! executor configuration travels as **one value** — one environment
 //! snapshot, one schedule-cache key, one wisdom record, one resolution.
 //!
@@ -454,6 +454,110 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Policy for the streaming memory codelets: when the relayout/batch copy
+/// sweeps (`scatter_rows` / `scatter_lanes_tile`) write through
+/// non-temporal (`_mm256_stream_si256`) stores instead of plain cached
+/// stores, and their gather twins issue software prefetch.
+///
+/// A scatter writes each destination line exactly once and never reads it
+/// back before the next full sweep, so past the last-level cache a cached
+/// store wastes a read-for-ownership fill per line — a third of the sweep's
+/// DRAM traffic. Non-temporal stores skip the fill; below the LLC they
+/// *evict* lines the next pass wants, so the policy engages only past an
+/// out-of-LLC size floor (same shape as [`RelayoutPolicy::min_elems`]).
+/// The stores move the same bytes, so output is bit-identical either way;
+/// an `sfence` at the end of every streamed sweep keeps the ordering
+/// argument of the parallel engine's per-unit barriers unchanged.
+///
+/// Mirrors the other stages: environment (`WHT_NO_STREAM=1` disables,
+/// `WHT_STREAM_THRESHOLD=<elems>` overrides the floor), explicit policies
+/// pin through the API, wisdom records/replays it per size (Tuning v7),
+/// and the schedule cache keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPolicy {
+    /// Vector size (elements) below which the copy sweeps keep cached
+    /// stores. `usize::MAX` disables streaming entirely; `0` streams at
+    /// every size (what differential tests use).
+    pub min_elems: usize,
+}
+
+impl StreamPolicy {
+    /// Default engagement threshold: `2^24` elements — the same
+    /// decisively-past-the-LLC floor as
+    /// [`RelayoutPolicy::DEFAULT_MIN_ELEMS`], because the two policies
+    /// gate the same physical situation: sweeps whose lines cannot
+    /// survive in cache until reuse. Below it the scatter's lines are
+    /// often the next pass's working set and evicting them loses;
+    /// past it they were never going to survive anyway and the saved
+    /// read-for-ownership traffic is pure win.
+    pub const DEFAULT_MIN_ELEMS: usize = RelayoutPolicy::DEFAULT_MIN_ELEMS;
+
+    /// Policy with an explicit engagement floor.
+    pub fn new(min_elems: usize) -> Self {
+        StreamPolicy { min_elems }
+    }
+
+    /// Streaming off: every copy sweep uses plain cached stores.
+    pub fn disabled() -> Self {
+        StreamPolicy {
+            min_elems: usize::MAX,
+        }
+    }
+
+    /// Policy that streams at *every* size (no floor) — what differential
+    /// tests use so small transforms exercise the non-temporal path.
+    pub fn eager() -> Self {
+        StreamPolicy { min_elems: 0 }
+    }
+
+    /// Policy from the process environment: `WHT_NO_STREAM=1` disables
+    /// streaming, `WHT_STREAM_THRESHOLD=<elems>` overrides the engagement
+    /// floor, and the default applies otherwise. Read fresh on every
+    /// call; the production entry point snapshots
+    /// [`ExecPolicy::from_env`] once per process.
+    ///
+    /// # Panics
+    /// If `WHT_STREAM_THRESHOLD` is set but malformed (the uniform
+    /// [`crate::env`] contract).
+    pub fn from_env() -> Self {
+        if env::flag("WHT_NO_STREAM") {
+            return StreamPolicy::disabled();
+        }
+        env::parse("WHT_STREAM_THRESHOLD")
+            .map(StreamPolicy::new)
+            .unwrap_or_default()
+    }
+
+    /// `true` if this policy can stream anything at all.
+    pub fn enabled(&self) -> bool {
+        self.min_elems != usize::MAX
+    }
+
+    /// `true` when a vector of `elems` elements is past the engagement
+    /// floor — the per-schedule gate the lowering stage applies.
+    pub fn engages(&self, elems: usize) -> bool {
+        self.enabled() && elems >= self.min_elems
+    }
+
+    /// Canonical cache key for this policy (all disabled policies are the
+    /// same policy).
+    pub(crate) fn cache_key(&self) -> usize {
+        if self.enabled() {
+            self.min_elems
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+impl Default for StreamPolicy {
+    fn default() -> Self {
+        StreamPolicy {
+            min_elems: Self::DEFAULT_MIN_ELEMS,
+        }
+    }
+}
+
 /// The full executor configuration, as **one value**: every stage of the
 /// lowering pipeline (fuse → relayout → re-codelet → backend-select) reads
 /// its policy from here, the per-thread schedule cache keys on
@@ -489,11 +593,20 @@ pub struct ExecPolicy {
     pub simd: SimdPolicy,
     /// Batched-small cross-transform execution (stage 5).
     pub batch: BatchPolicy,
+    /// Streaming-store / prefetch memory codelets (stage 6).
+    pub stream: StreamPolicy,
 }
 
 /// One cache key covering every knob of an [`ExecPolicy`] (see
 /// [`ExecPolicy::cache_key`]).
-pub type ExecKey = (usize, (usize, usize, usize), (u32, usize), bool, usize);
+pub type ExecKey = (
+    usize,
+    (usize, usize, usize),
+    (u32, usize),
+    bool,
+    usize,
+    usize,
+);
 
 impl ExecPolicy {
     /// The whole executor configuration from the process environment —
@@ -508,6 +621,7 @@ impl ExecPolicy {
             recodelet: RecodeletPolicy::from_env(),
             simd: SimdPolicy::from_env(),
             batch: BatchPolicy::from_env(),
+            stream: StreamPolicy::from_env(),
         }
     }
 
@@ -520,6 +634,7 @@ impl ExecPolicy {
             recodelet: RecodeletPolicy::disabled(),
             simd: SimdPolicy::disabled(),
             batch: BatchPolicy::disabled(),
+            stream: StreamPolicy::disabled(),
         }
     }
 
@@ -559,6 +674,13 @@ impl ExecPolicy {
         self
     }
 
+    /// This policy with the streaming stage replaced (builder style).
+    #[must_use]
+    pub fn with_stream(mut self, stream: StreamPolicy) -> Self {
+        self.stream = stream;
+        self
+    }
+
     /// Canonical schedule-cache key: one tuple covering every knob, with
     /// all disabled variants of a stage collapsing to the same key. This
     /// is **the** cache key — adding a lowering stage means adding a
@@ -570,6 +692,7 @@ impl ExecPolicy {
             self.recodelet.cache_key(),
             self.simd.enabled(),
             self.batch.cache_key(),
+            self.stream.cache_key(),
         )
     }
 }
@@ -609,6 +732,12 @@ impl PolicyKnob for SimdPolicy {
 impl PolicyKnob for BatchPolicy {
     fn enabled(&self) -> bool {
         BatchPolicy::enabled(self)
+    }
+}
+
+impl PolicyKnob for StreamPolicy {
+    fn enabled(&self) -> bool {
+        StreamPolicy::enabled(self)
     }
 }
 

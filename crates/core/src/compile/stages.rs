@@ -90,15 +90,29 @@ impl LoweringStage for BatchStage {
     }
 }
 
+/// Stage 6: streaming memory codelet marking ([`CompiledPlan::with_stream`]).
+struct StreamStage(super::StreamPolicy);
+
+impl LoweringStage for StreamStage {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+    fn rewrite(&self, plan: &CompiledPlan) -> CompiledPlan {
+        plan.with_stream(&self.0)
+    }
+}
+
 /// The standard stage sequence for `policy`, in execution order:
-/// fuse → relayout → recodelet → backend-select → batch. Order matters
-/// and is fixed here once: fusion must run before relayout (the tail is
-/// whatever fusion could not merge), re-codeleting before backend
+/// fuse → relayout → recodelet → backend-select → batch → stream. Order
+/// matters and is fixed here once: fusion must run before relayout (the
+/// tail is whatever fusion could not merge), re-codeleting before backend
 /// selection is immaterial but keeps structural rewrites together,
-/// re-fusing later would discard the relayout grouping, and the batch
-/// stage must come last — its cross/tail split is derived from the final
-/// flat factor list (post-re-codelet) and inherits the selected backend,
-/// and every earlier stage resets the batch product it would invalidate.
+/// re-fusing later would discard the relayout grouping, the batch
+/// stage's cross/tail split is derived from the final
+/// flat factor list (post-re-codelet) and inherits the selected backend
+/// (every earlier stage resets the batch product it would invalidate),
+/// and the stream stage runs last of all — a pure dispatch marking over
+/// whatever units (relayout and batch alike) the pipeline produced.
 pub fn lowering_stages(policy: &ExecPolicy) -> Vec<Box<dyn LoweringStage>> {
     vec![
         Box::new(FuseStage(policy.fusion)),
@@ -106,6 +120,7 @@ pub fn lowering_stages(policy: &ExecPolicy) -> Vec<Box<dyn LoweringStage>> {
         Box::new(RecodeletStage(policy.recodelet)),
         Box::new(BackendStage(policy.simd)),
         Box::new(BatchStage(policy.batch)),
+        Box::new(StreamStage(policy.stream)),
     ]
 }
 

@@ -558,6 +558,7 @@ fn lower_runs_the_documented_stage_order() {
         recodelet: RecodeletPolicy::default(),
         simd: SimdPolicy::auto(),
         batch: BatchPolicy::default(),
+        stream: StreamPolicy::disabled(),
     };
     let lowered = CompiledPlan::compile(&plan).lower(&policy);
     let by_hand = CompiledPlan::compile(&plan)
@@ -576,7 +577,14 @@ fn lower_runs_the_documented_stage_order() {
             .iter()
             .map(|s| s.name())
             .collect::<Vec<_>>(),
-        vec!["fuse", "relayout", "recodelet", "backend-select", "batch"]
+        vec![
+            "fuse",
+            "relayout",
+            "recodelet",
+            "backend-select",
+            "batch",
+            "stream"
+        ]
     );
     // All stages disabled: the pipeline is the identity on the compiled
     // schedule (the pure scalar unfused baseline).
@@ -797,6 +805,7 @@ fn cached_compile_returns_identical_schedule() {
         recodelet: RecodeletPolicy::default(),
         simd: SimdPolicy::auto(),
         batch: BatchPolicy::default(),
+        stream: StreamPolicy::disabled(),
     };
     let pinned = compiled_for_exec(&plan, &exec);
     assert_eq!(*pinned, CompiledPlan::compile_exec(&plan, &exec));

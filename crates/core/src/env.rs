@@ -31,6 +31,9 @@
 //! | `WHT_RECODELET_FOOTPRINT` | largest strided span (elements) one merged codelet call may touch | `4096` |
 //! | `WHT_NO_BATCH` | kill switch: [`apply_batch`](crate::compile::CompiledPlan::apply_batch) replays every row per-transform | batching on past the row threshold |
 //! | `WHT_BATCH_BLOCK` | batch rows past which `apply_batch` runs cross-transform (`0` disables) | `16` |
+//! | `WHT_NO_STREAM` | kill switch: relayout/batch copy sweeps use plain cached stores | streaming stores on past the threshold |
+//! | `WHT_STREAM_THRESHOLD` | vector size (elements) past which the copy sweeps use non-temporal stores | `2^24` |
+//! | `WHT_THREADS` | worker crew size for the parallel engine and bench sweeps (`0` panics) | all cores |
 //!
 //! Each kill switch also has an API equivalent (`*Policy::disabled()`)
 //! that *pins* the choice per call site; the environment configures the
@@ -68,6 +71,42 @@ pub fn parse_value(name: &str, raw: &str) -> usize {
         .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {raw:?}"))
 }
 
+/// The process-wide worker crew size: `WHT_THREADS` when set (strict
+/// parse, and `0` is rejected — a zero-thread crew can make no progress),
+/// else [`std::thread::available_parallelism`]. Both the parallel engine's
+/// `Threads::default()` and the bench binaries resolve their crew size
+/// here, so the two can never disagree.
+///
+/// # Panics
+/// If `WHT_THREADS` is set but malformed or `0`.
+pub fn threads() -> usize {
+    threads_value(
+        std::env::var("WHT_THREADS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+    )
+}
+
+/// The pure resolution behind [`threads`] (`None` = unset → `fallback`).
+/// A set-but-empty value also falls back: CI matrixes express "this leg
+/// does not pin the crew" as `WHT_THREADS: ''`, mirroring how the kill
+/// switches treat empty as off.
+///
+/// # Panics
+/// On malformed or zero values, naming the knob.
+pub fn threads_value(raw: Option<&str>, fallback: usize) -> usize {
+    match raw {
+        None => fallback,
+        Some(v) if v.trim().is_empty() => fallback,
+        Some(v) => {
+            let n = parse_value("WHT_THREADS", v);
+            assert!(n != 0, "WHT_THREADS must be at least 1, got 0");
+            n
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +138,25 @@ mod tests {
     #[should_panic(expected = "WHT_RECODELET_MAX_K")]
     fn every_knob_shares_the_strict_contract() {
         parse_value("WHT_RECODELET_MAX_K", "-3");
+    }
+
+    #[test]
+    fn threads_resolution_contract() {
+        assert_eq!(threads_value(None, 7), 7, "unset falls back to all cores");
+        assert_eq!(threads_value(Some(""), 7), 7, "empty counts as unset");
+        assert_eq!(threads_value(Some("3"), 7), 3);
+        assert_eq!(threads_value(Some(" 12 "), 1), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "WHT_THREADS")]
+    fn malformed_threads_panics() {
+        threads_value(Some("two"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_panics() {
+        threads_value(Some("0"), 4);
     }
 }

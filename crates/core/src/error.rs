@@ -62,6 +62,15 @@ pub enum WhtError {
         /// Which invariant broke.
         msg: String,
     },
+    /// A worker of the persistent parallel pool panicked while running
+    /// a dispatched job. The dispatch is reported failed instead of
+    /// deadlocking the crew or aborting the process; the data the job
+    /// was transforming is left in an unspecified (but initialized)
+    /// state, and the pool itself stays serviceable.
+    WorkerPanicked {
+        /// Crew size of the pool the job was dispatched to.
+        workers: usize,
+    },
     /// A filesystem operation failed (wisdom shards, benchmark
     /// artifacts, ...). The fields are owned strings rather than
     /// `std::io::Error` so the workspace error stays `Clone + Eq`.
@@ -107,6 +116,11 @@ impl fmt::Display for WhtError {
             WhtError::InvalidSchedule { index, msg } => {
                 write!(f, "invalid compiled schedule at super-pass {index}: {msg}")
             }
+            WhtError::WorkerPanicked { workers } => write!(
+                f,
+                "a parallel worker panicked mid-job ({workers}-worker pool); \
+                 output buffer contents are unspecified"
+            ),
             WhtError::Io { op, path, detail } => {
                 write!(f, "io failure during {op} of {path}: {detail}")
             }
@@ -145,6 +159,8 @@ mod tests {
             msg: "tiles overlap".into(),
         };
         assert!(e.to_string().contains("super-pass 2") && e.to_string().contains("tiles overlap"));
+        let e = WhtError::WorkerPanicked { workers: 4 };
+        assert!(e.to_string().contains("4-worker") && e.to_string().contains("panicked"));
         let e = WhtError::Io {
             op: "rename".into(),
             path: "/tmp/w.shard".into(),

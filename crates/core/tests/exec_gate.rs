@@ -14,19 +14,20 @@
 use wht_core::{compiled_for, env, ExecPolicy, PassBackend, Plan, RelayoutPolicy};
 
 /// The kill switches, read with the same contract the policies use.
-fn switches() -> (bool, bool, bool, bool, bool) {
+fn switches() -> (bool, bool, bool, bool, bool, bool) {
     (
         env::flag("WHT_NO_FUSE"),
         env::flag("WHT_NO_SIMD"),
         env::flag("WHT_NO_RELAYOUT"),
         env::flag("WHT_NO_RECODELET"),
         env::flag("WHT_NO_BATCH"),
+        env::flag("WHT_NO_STREAM"),
     )
 }
 
 #[test]
 fn executor_paths_match_the_environment() {
-    let (no_fuse, no_simd, no_relayout, no_recodelet, no_batch) = switches();
+    let (no_fuse, no_simd, no_relayout, no_recodelet, no_batch, no_stream) = switches();
     // The env-derived policy must reflect every switch — one snapshot,
     // one assertion per axis.
     let policy = ExecPolicy::from_env();
@@ -36,6 +37,7 @@ fn executor_paths_match_the_environment() {
         ("relayout", policy.relayout.enabled(), no_relayout),
         ("recodelet", policy.recodelet.enabled(), no_recodelet),
         ("batch", policy.batch.enabled(), no_batch),
+        ("stream", policy.stream.enabled(), no_stream),
     ] {
         assert_eq!(
             enabled, !killed,
@@ -124,6 +126,36 @@ fn executor_paths_match_the_environment() {
             assert!(
                 tail.provenance().recodeleted > 0,
                 "the re-codeleted tail must say which stage rewrote it"
+            );
+        }
+        // 2^26 elements is past the default out-of-LLC streaming floor,
+        // so the relayout tail's gather/scatter must run the streamed
+        // memory codelets exactly when the leg says streaming is on.
+        assert_eq!(
+            tail.provenance().streamed,
+            !no_stream,
+            "the relayout tail would run the wrong memory codelets for this CI leg"
+        );
+    }
+    // Streaming only rewrites relayout gather/scatter sweeps, so the
+    // schedule-level stamp follows both switches together.
+    assert_eq!(
+        compiled.has_streamed(),
+        !no_stream && !no_relayout,
+        "apply_plan would run the wrong memory path for this CI leg"
+    );
+
+    // Crew-size coherence for the pinned leg: the engine's
+    // `Threads::default()` and the bench binaries both resolve through
+    // `env::threads()`, and when the matrix pins `WHT_THREADS` the
+    // resolution must honor the pin exactly (empty counts as unset).
+    assert!(env::threads() >= 1);
+    if let Ok(raw) = std::env::var("WHT_THREADS") {
+        if !raw.trim().is_empty() {
+            assert_eq!(
+                env::threads().to_string(),
+                raw.trim(),
+                "a pinned WHT_THREADS must be what the crew resolution reports"
             );
         }
     }

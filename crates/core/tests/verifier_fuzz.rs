@@ -23,7 +23,7 @@ use wht_core::verify::{
 };
 use wht_core::{
     compiled_for_exec, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Pass, RecodeletPolicy,
-    Relayout, RelayoutPolicy, Scalar, SimdPolicy, SuperPass, WhtError, MAX_N,
+    Relayout, RelayoutPolicy, Scalar, SimdPolicy, StreamPolicy, SuperPass, WhtError, MAX_N,
 };
 
 /// SplitMix64 — the same deterministic generator `testkit` seeds plans
@@ -77,6 +77,11 @@ fn random_policy(rng: &mut Rng) -> ExecPolicy {
         recodelet,
         simd,
         batch,
+        stream: match rng.below(3) {
+            0 => StreamPolicy::disabled(),
+            1 => StreamPolicy::eager(),
+            _ => StreamPolicy::default(),
+        },
     }
 }
 

@@ -19,6 +19,7 @@
 pub mod ddl_trace;
 pub mod instrumented;
 pub mod policy_trace;
+pub mod pool;
 pub mod record;
 pub mod simcycles;
 pub mod timer;
@@ -30,6 +31,7 @@ pub use instrumented::{
     measured_instruction_count, measured_op_counts, InstructionCounter,
 };
 pub use policy_trace::{opteron_l1_policy_misses, policy_trace_misses};
+pub use pool::PoolReport;
 pub use record::{measure_plan, MeasureOptions, Measurement};
 pub use simcycles::{simulated_cycles, SimMachine};
 pub use timer::{time_compiled_plan, time_plan, TimingConfig, TimingResult};

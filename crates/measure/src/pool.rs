@@ -1,0 +1,80 @@
+//! Plain-data snapshot of a parallel worker pool's shape and activity.
+//!
+//! The persistent pool lives in `wht-parallel` (which depends on this
+//! crate), so the report type is defined here as pure data: the pool
+//! converts its internal stats into a [`PoolReport`], and measurement
+//! drivers / the benchmark attach it to their records without a
+//! dependency cycle.
+
+use core::fmt;
+
+/// Shape-and-activity snapshot of a persistent worker pool, recorded
+/// alongside parallel measurements so a replayed number carries the
+/// crew geometry that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Crew size (worker thread count).
+    pub workers: usize,
+    /// NUMA nodes the host exposes (1 on UMA hosts and wherever sysfs
+    /// is unavailable).
+    pub numa_nodes: usize,
+    /// `placement[w]` is the NUMA node worker `w` was assigned to
+    /// (round-robin across nodes).
+    pub placement: Vec<usize>,
+    /// Whether workers are OS-pinned to their node. The pure-std pool
+    /// cannot set affinity, so this is `false` today; the field keeps
+    /// the record format honest about what "placement" means.
+    pub pinned: bool,
+    /// Jobs dispatched over the pool's lifetime.
+    pub jobs: u64,
+    /// Work-stealing claims over the pool's lifetime (a claim taken
+    /// from another worker's stable shard range).
+    pub steals: u64,
+}
+
+impl fmt::Display for PoolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers over {} NUMA node{} ({}), {} jobs, {} steals",
+            self.workers,
+            self.numa_nodes,
+            if self.numa_nodes == 1 { "" } else { "s" },
+            if self.pinned { "pinned" } else { "unpinned" },
+            self.jobs,
+            self.steals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_key_fields() {
+        let r = PoolReport {
+            workers: 4,
+            numa_nodes: 2,
+            placement: vec![0, 1, 0, 1],
+            pinned: false,
+            jobs: 17,
+            steals: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("4 workers"), "{s}");
+        assert!(s.contains("2 NUMA nodes"), "{s}");
+        assert!(s.contains("unpinned"), "{s}");
+        assert!(s.contains("17 jobs"), "{s}");
+        assert!(s.contains("3 steals"), "{s}");
+        let uma = PoolReport {
+            workers: 1,
+            numa_nodes: 1,
+            placement: vec![0],
+            pinned: false,
+            jobs: 0,
+            steals: 0,
+        };
+        assert!(uma.to_string().contains("1 NUMA node ("), "{uma}");
+    }
+}

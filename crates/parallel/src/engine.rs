@@ -11,6 +11,27 @@
 //! each worker; compiled schedules expose all passes as flat, fully
 //! shardable grids.
 //!
+//! ## Two dispatch paths, one worker body
+//!
+//! [`par_apply_compiled`] and [`par_apply_batch`] are thin wrappers that
+//! pick how the crew is *provisioned*, not what it runs:
+//!
+//! - **Pooled** (the default for `threads <=` the global pool's crew):
+//!   the schedule is dispatched to the process-global persistent
+//!   [`WorkerPool`] — zero spawn/join per call,
+//!   per-worker scratch arenas cached across calls (the warm path
+//!   allocates nothing), and a panicking worker surfaces
+//!   [`WhtError::WorkerPanicked`] instead of deadlocking. Explicit
+//!   pools go through [`par_apply_compiled_on`] / [`par_apply_batch_on`].
+//! - **Scoped** ([`par_apply_compiled_scoped`] /
+//!   [`par_apply_batch_scoped`]): spawn-and-join per call, for crews
+//!   larger than the pool and as the overhead baseline the benchmark
+//!   quantifies the pool against.
+//!
+//! Both paths shard the same `Unit` list through the same claiming
+//! protocol (`run_units`), so output is bit-identical between them and
+//! to sequential execution.
+//!
 //! ## Units of work
 //!
 //! A **fused** super-pass with at least one tile per worker shards by
@@ -37,13 +58,23 @@
 //! is gathered into the claiming worker's private scratch, streamed
 //! through all tail factors, and scattered back
 //! (`SuperPass::apply_gathered_block`) — blocks touch pairwise disjoint
-//! column sets, so per-worker scratch is the only extra state. Scratch is
-//! allocated once per worker per call (only when the schedule relayouts),
-//! sized to the largest gathered block. With fewer blocks than workers
-//! the engine falls back to the relayout unit's *in-place* flat passes
-//! (`SuperPass::flat_pass` maps scratch parts back to the original
-//! large-stride factors), sharded like any other pass — no gather, no
-//! starved workers, bit-identical output.
+//! column sets, so per-worker scratch is the only extra state. With
+//! fewer blocks than workers the engine falls back to the relayout
+//! unit's *in-place* flat passes (`SuperPass::flat_pass` maps scratch
+//! parts back to the original large-stride factors), sharded like any
+//! other pass — no gather, no starved workers, bit-identical output.
+//!
+//! ## Stable shard ranges and stealing
+//!
+//! Within every unit, worker `w` of `k` owns the stable claim range
+//! `[w·count/k, (w+1)·count/k)` — the same range for the same worker
+//! across passes **and across calls**, so on a NUMA host the pages a
+//! worker first touched stay the pages it keeps touching (first-touch
+//! locality; the pool records the worker→node placement in its
+//! [`PoolStats`](crate::pool::PoolStats)). A worker that drains its own
+//! range steals chunks from the next workers' ranges (wrap-around), so
+//! skew never idles the crew; steals are counted into the pool's stats.
+//! Claim order never affects output — units are write-disjoint.
 //!
 //! ## Safety argument
 //!
@@ -55,13 +86,18 @@
 //! (`CompiledPlan::validate`), and the parts within a claimed tile run
 //! sequentially on the claiming worker. Distributing disjoint units over
 //! threads is race-free even though the *slices* overlap; a raw pointer
-//! wrapper carries the buffer across the scoped threads, and the barrier
-//! between units orders every cross-unit dependence.
+//! wrapper carries the buffer across the workers (scoped threads or the
+//! pool's blocked-dispatcher protocol both bound worker lifetimes by the
+//! buffer's), and the barrier between units orders every cross-unit
+//! dependence. A streamed relayout unit's non-temporal stores are
+//! published by the `sfence` its scatter issues before the worker
+//! reaches the barrier, so the ordering argument is unchanged.
 //!
 //! Because each worker runs the same codelet on the same values as the
 //! sequential schedule (order within a unit is irrelevant: units are
 //! disjoint), parallel output is **bit-identical** to sequential output —
-//! property-tested in `tests/proptests.rs`, fused and unfused.
+//! property-tested in `tests/proptests.rs` (fused, relayout, batch;
+//! pooled, scoped, and sequential against each other).
 //!
 //! ## Batched execution
 //!
@@ -70,22 +106,24 @@
 //! splits into per-worker contiguous row chunks aligned to the lane-group
 //! width `T::LANES` (the unit `CompiledPlan::apply_batch` transposes at a
 //! time) and each worker replays its chunk through
-//! `apply_batch_with_scratch` with private scratch — no barriers at all,
+//! `apply_batch_in` with private scratch — no barriers at all,
 //! since no pass crosses a row boundary. Alignment keeps every lane
 //! group's membership identical to the sequential batch replay, so output
 //! is bit-identical whatever the thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::pool::{scratch_words, PoisonBarrier, PoisonOnPanic, WorkerPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 use wht_core::{CompiledPlan, Pass, Plan, Scalar, WhtError};
 
-/// Raw-pointer wrapper that lets scoped worker threads write disjoint
-/// element sets of one buffer.
+/// Raw-pointer wrapper that lets worker threads write disjoint element
+/// sets of one buffer.
 struct SendPtr<T>(*mut T);
-// SAFETY: the wrapper is only ever used inside `std::thread::scope`, so
-// the pointee outlives every worker, and the sharding protocol (verified
-// write-disjointness of schedule units / lane-aligned row chunks) means
-// no two threads touch the same element.
+// SAFETY: the wrapper is only ever used under a protocol that bounds the
+// workers' use by the buffer's lifetime (`std::thread::scope`, or the
+// pool dispatcher blocking until its generation drains), and the
+// sharding protocol (verified write-disjointness of schedule units /
+// lane-aligned row chunks) means no two threads touch the same element.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 // SAFETY: shared references to the wrapper only hand out the raw pointer;
 // all dereferences go through the per-thread disjoint slices below.
@@ -97,11 +135,232 @@ pub struct Threads(pub usize);
 
 impl Default for Threads {
     fn default() -> Self {
-        Threads(
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1),
-        )
+        Threads(wht_core::env::threads())
+    }
+}
+
+/// One barrier-separated work unit of a lowered schedule: fused
+/// super-passes shard by tile, single-tile super-passes shard each
+/// part's invocation grid (module docs).
+enum Unit<'a> {
+    /// Claim indices are tile numbers of the super-pass.
+    Tiles(&'a wht_core::SuperPass),
+    /// Claim indices are gathered-block numbers of a relayout
+    /// super-pass; each claim gathers into the worker's scratch,
+    /// transforms, and scatters back.
+    GatheredBlocks(&'a wht_core::SuperPass),
+    /// Claim indices are invocation numbers of the absolute pass
+    /// (scalar-backend fallback).
+    Invocations(Pass),
+    /// Claim indices are lane blocks of the absolute unit-stride pass:
+    /// index `i` is block `i % blocks_per_row` of row `i /
+    /// blocks_per_row`, covering `width` columns (the last block of a
+    /// row may be narrower). The lane-backend fallback: each claim
+    /// runs the exact kernel unit the sequential SIMD replay runs.
+    LaneBlocks {
+        pass: Pass,
+        blocks_per_row: usize,
+        width: usize,
+    },
+}
+
+impl Unit<'_> {
+    fn count(&self) -> usize {
+        match self {
+            Unit::Tiles(sp) | Unit::GatheredBlocks(sp) => sp.tiles(),
+            Unit::Invocations(pass) => pass.invocations(),
+            Unit::LaneBlocks {
+                pass,
+                blocks_per_row,
+                ..
+            } => pass.r * blocks_per_row,
+        }
+    }
+
+    /// Execute claim `i` of this unit on `data`.
+    ///
+    /// # Safety
+    /// `i < self.count()`, `data` holds the full transform the schedule
+    /// was compiled for, and for [`Unit::GatheredBlocks`] `scratch` holds
+    /// at least the schedule's `scratch_elems()`.
+    unsafe fn exec<T: Scalar>(&self, data: &mut [T], i: usize, scratch: &mut [T]) {
+        match self {
+            // SAFETY: i < count = tiles() and the buffer holds the full
+            // transform (caller contract).
+            Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
+            // SAFETY: i < count = tiles(), scratch covers
+            // scratch_elems(), and the buffer holds the full transform
+            // (caller contract).
+            Unit::GatheredBlocks(sp) => unsafe { sp.apply_gathered_block(data, i, scratch) },
+            // SAFETY: i < count = invocations() and the buffer holds
+            // the full transform (caller contract).
+            Unit::Invocations(pass) => unsafe { pass.apply_invocation(data, i) },
+            Unit::LaneBlocks {
+                pass,
+                blocks_per_row,
+                width,
+            } => {
+                let row = i / blocks_per_row;
+                let t0 = (i % blocks_per_row) * width;
+                let cols = (*width).min(pass.s - t0);
+                let block = (1usize << pass.k) * pass.s;
+                // SAFETY: row < pass.r and t0 + cols <= pass.s, so the
+                // block stays inside the pass span; pass.stride == 1 was
+                // checked when the unit was built.
+                unsafe {
+                    wht_core::apply_codelet_cols(
+                        pass.k,
+                        data,
+                        pass.base + row * block + t0,
+                        pass.s,
+                        cols,
+                    )
+                };
+            }
+        }
+    }
+}
+
+/// The shared few-units-of-work fallback: replay the super-pass as its
+/// flat (in-place, pass-major) factors, sharded per pass — by lane
+/// block for a lane-backend unit-stride pass (every worker still runs
+/// the kernel the schedule recorded), by scalar invocation otherwise.
+/// Bit-identical output, no starved workers.
+fn push_flat_parts<'a>(units: &mut Vec<Unit<'a>>, sp: &'a wht_core::SuperPass, width: usize) {
+    for p in 0..sp.parts().len() {
+        let pass = sp.flat_pass(p);
+        if sp.backend() == wht_core::PassBackend::Lanes && pass.stride == 1 {
+            units.push(Unit::LaneBlocks {
+                pass,
+                blocks_per_row: pass.s.div_ceil(width),
+                width,
+            });
+        } else {
+            units.push(Unit::Invocations(pass));
+        }
+    }
+}
+
+/// Lower the compiled schedule into barrier-separated work units for a
+/// crew of `workers` (module docs' "Units of work").
+fn build_units(compiled: &CompiledPlan, workers: usize, width: usize) -> Vec<Unit<'_>> {
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    for sp in compiled.super_passes() {
+        if sp.is_relayout() {
+            if sp.tiles() >= workers {
+                // Enough gathered blocks to keep the crew busy: shard by
+                // block; each worker gathers into its own scratch, so the
+                // fusion-grade locality of the relayouted tail survives
+                // parallel execution.
+                units.push(Unit::GatheredBlocks(sp));
+            } else {
+                // Too few blocks: replay the tail as its original
+                // in-place large-stride passes (flat_pass maps the
+                // scratch parts back), sharded like any other factor.
+                push_flat_parts(&mut units, sp, width);
+            }
+        } else if sp.tiles() >= workers {
+            // Enough tiles to keep every worker busy: shard by tile and
+            // keep the fusion layer's per-tile locality (apply_tile runs
+            // the backend recorded in the schedule).
+            units.push(Unit::Tiles(sp));
+        } else {
+            // Too few tiles (a single-tile super-pass, or a fused run
+            // whose tiles are huge relative to the crew): fall back to
+            // the unfused pass-major order.
+            push_flat_parts(&mut units, sp, width);
+        }
+    }
+    units
+}
+
+/// Worker `owner`'s stable claim range within a unit of `count` claims:
+/// `[owner·count/k, (owner+1)·count/k)`. Deterministic in `(owner, k,
+/// count)`, so the same worker touches the same shard across passes and
+/// calls (first-touch locality — module docs).
+fn shard_range(owner: usize, workers: usize, count: usize) -> (usize, usize) {
+    (owner * count / workers, (owner + 1) * count / workers)
+}
+
+/// Inter-unit synchronization: `true` to continue, `false` to bail (a
+/// crew member died — only the pool's `PoisonBarrier` can report that).
+trait SyncPoint: Sync {
+    fn sync(&self) -> bool;
+}
+
+impl SyncPoint for Barrier {
+    fn sync(&self) -> bool {
+        Barrier::wait(self);
+        true
+    }
+}
+
+impl SyncPoint for PoisonBarrier {
+    fn sync(&self) -> bool {
+        self.wait()
+    }
+}
+
+/// One worker's replay of the whole unit list — the body both dispatch
+/// paths run: claim chunks from the worker's own stable range, steal
+/// from the rest of the crew once drained, synchronize between units.
+///
+/// # Safety
+/// `data` must hold the full transform the units were built for;
+/// `scratch` must cover the schedule's `scratch_elems()` whenever any
+/// unit is [`Unit::GatheredBlocks`]; every participating worker must
+/// call this with the same `units`/`counters`/`barrier` and a distinct
+/// `worker < workers`, and `barrier` must have exactly `workers`
+/// parties; `counters` must be fresh (all zero) per dispatch with one
+/// counter per worker per unit.
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_units<T: Scalar>(
+    data: &mut [T],
+    units: &[Unit<'_>],
+    counters: &[Vec<AtomicUsize>],
+    worker: usize,
+    workers: usize,
+    scratch: &mut [T],
+    barrier: &dyn SyncPoint,
+    steals: &AtomicU64,
+) {
+    for (unit, ctrs) in units.iter().zip(counters) {
+        let count = unit.count();
+        let mut stolen = 0u64;
+        for v in 0..workers {
+            let owner = (worker + v) % workers;
+            let (base, end) = shard_range(owner, workers, count);
+            if base == end {
+                continue;
+            }
+            let rlen = end - base;
+            let chunk = rlen.div_ceil(4).max(1);
+            loop {
+                let s = ctrs[owner].fetch_add(chunk, Ordering::Relaxed);
+                if s >= rlen {
+                    break;
+                }
+                if v > 0 {
+                    stolen += 1;
+                }
+                for i in base + s..base + (s + chunk).min(rlen) {
+                    // SAFETY: i < end <= count by the range arithmetic;
+                    // data/scratch per this function's contract.
+                    unsafe { unit.exec(data, i, scratch) };
+                }
+            }
+        }
+        if stolen != 0 {
+            steals.fetch_add(stolen, Ordering::Relaxed);
+        }
+        // No worker may start unit i+1 before every worker has drained
+        // unit i (the wait also publishes all writes; streamed scatters
+        // published theirs with an sfence before arriving here). A
+        // `false` means a crew member died — bail, the dispatcher
+        // reports the failure.
+        if !barrier.sync() {
+            return;
+        }
     }
 }
 
@@ -139,9 +398,15 @@ pub fn par_apply_plan<T: Scalar>(
 
 /// Parallel in-place WHT over an already-compiled schedule.
 ///
+/// Crews up to the process-global [`WorkerPool`]'s size dispatch through
+/// the pool (persistent workers, cached scratch — zero spawn/join);
+/// larger crews fall back to [`par_apply_compiled_scoped`]. One thread
+/// runs the sequential engine directly.
+///
 /// # Errors
 /// [`WhtError::LengthMismatch`] unless `x.len() == compiled.size()`;
-/// [`WhtError::InvalidConfig`] for zero threads.
+/// [`WhtError::InvalidConfig`] for zero threads;
+/// [`WhtError::WorkerPanicked`] if a pool worker died mid-schedule.
 pub fn par_apply_compiled<T: Scalar>(
     compiled: &CompiledPlan,
     x: &mut [T],
@@ -159,107 +424,130 @@ pub fn par_apply_compiled<T: Scalar>(
     if threads.0 == 1 {
         return compiled.apply(x);
     }
-    let workers = threads.0;
-    let ptr = SendPtr(x.as_mut_ptr());
-    let len = x.len();
-    // Lower the super-pass schedule into barrier-separated work units:
-    // fused super-passes shard by tile, single-tile super-passes shard
-    // each part's invocation grid (module docs).
-    enum Unit<'a> {
-        /// Claim indices are tile numbers of the super-pass.
-        Tiles(&'a wht_core::SuperPass),
-        /// Claim indices are gathered-block numbers of a relayout
-        /// super-pass; each claim gathers into the worker's scratch,
-        /// transforms, and scatters back.
-        GatheredBlocks(&'a wht_core::SuperPass),
-        /// Claim indices are invocation numbers of the absolute pass
-        /// (scalar-backend fallback).
-        Invocations(Pass),
-        /// Claim indices are lane blocks of the absolute unit-stride pass:
-        /// index `i` is block `i % blocks_per_row` of row `i /
-        /// blocks_per_row`, covering `width` columns (the last block of a
-        /// row may be narrower). The lane-backend fallback: each claim
-        /// runs the exact kernel unit the sequential SIMD replay runs.
-        LaneBlocks {
-            pass: Pass,
-            blocks_per_row: usize,
-            width: usize,
-        },
+    let pool = WorkerPool::global();
+    if threads.0 <= pool.workers() {
+        par_apply_compiled_on(pool, compiled, x, threads)
+    } else {
+        par_apply_compiled_scoped(compiled, x, threads)
     }
-    impl Unit<'_> {
-        fn count(&self) -> usize {
-            match self {
-                Unit::Tiles(sp) | Unit::GatheredBlocks(sp) => sp.tiles(),
-                Unit::Invocations(pass) => pass.invocations(),
-                Unit::LaneBlocks {
-                    pass,
-                    blocks_per_row,
-                    ..
-                } => pass.r * blocks_per_row,
-            }
-        }
+}
+
+/// [`par_apply_compiled`] dispatched through an **explicit**
+/// [`WorkerPool`]: the crew is `threads` capped at the pool's size.
+///
+/// # Errors
+/// As [`par_apply_compiled`].
+pub fn par_apply_compiled_on<T: Scalar>(
+    pool: &WorkerPool,
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
     }
-    let width = T::LANES;
+    if x.len() != compiled.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: compiled.size(),
+            got: x.len(),
+        });
+    }
+    let crew = threads.0.min(pool.workers());
+    if crew == 1 {
+        return compiled.apply(x);
+    }
+    let units = build_units(compiled, crew, T::LANES);
+    let counters: Vec<Vec<AtomicUsize>> = units
+        .iter()
+        .map(|_| (0..crew).map(|_| AtomicUsize::new(0)).collect())
+        .collect();
+    let barrier = PoisonBarrier::new(crew);
+    let steals = AtomicU64::new(0);
+    let needs_scratch = units.iter().any(|u| matches!(u, Unit::GatheredBlocks(_)));
     let scratch_elems = compiled.scratch_elems();
-    // The shared few-units-of-work fallback: replay the super-pass as its
-    // flat (in-place, pass-major) factors, sharded per pass — by lane
-    // block for a lane-backend unit-stride pass (every worker still runs
-    // the kernel the schedule recorded), by scalar invocation otherwise.
-    // Bit-identical output, no starved workers.
-    fn push_flat_parts<'a>(units: &mut Vec<Unit<'a>>, sp: &'a wht_core::SuperPass, width: usize) {
-        for p in 0..sp.parts().len() {
-            let pass = sp.flat_pass(p);
-            if sp.backend() == wht_core::PassBackend::Lanes && pass.stride == 1 {
-                units.push(Unit::LaneBlocks {
-                    pass,
-                    blocks_per_row: pass.s.div_ceil(width),
-                    width,
-                });
-            } else {
-                units.push(Unit::Invocations(pass));
-            }
+    let ptr = SendPtr(x.as_mut_ptr());
+    // Borrow the whole wrapper so the closure captures `&SendPtr<T>`
+    // (not the raw field, which disjoint capture would otherwise grab).
+    let ptr = &ptr;
+    let len = x.len();
+    let result = pool.run(&|w, arena| {
+        // Pool workers beyond the crew sit this dispatch out (the
+        // barrier counts only the crew).
+        if w >= crew {
+            return;
         }
-    }
-    let mut units: Vec<Unit<'_>> = Vec::new();
-    for sp in compiled.super_passes() {
-        if sp.is_relayout() {
-            if sp.tiles() >= workers {
-                // Enough gathered blocks to keep the crew busy: shard by
-                // block; each worker gathers into its own scratch, so the
-                // fusion-grade locality of the relayouted tail survives
-                // parallel execution.
-                units.push(Unit::GatheredBlocks(sp));
-            } else {
-                // Too few blocks: replay the tail as its original
-                // in-place large-stride passes (flat_pass maps the
-                // scratch parts back), sharded like any other factor.
-                push_flat_parts(&mut units, sp, width);
-            }
-        } else if sp.tiles() >= workers {
-            // Enough tiles to keep every worker busy: shard by tile and
-            // keep the fusion layer's per-tile locality (apply_tile runs
-            // the backend recorded in the schedule).
-            units.push(Unit::Tiles(sp));
+        // Armed before any work: a panic anywhere below poisons the
+        // barrier so the rest of the crew bails instead of deadlocking.
+        let _guard = PoisonOnPanic(&barrier);
+        let scratch: &mut [T] = if needs_scratch {
+            scratch_words(arena, scratch_elems)
         } else {
-            // Too few tiles (a single-tile super-pass, or a fused run
-            // whose tiles are huge relative to the crew): fall back to
-            // the unfused pass-major order.
-            push_flat_parts(&mut units, sp, width);
-        }
+            &mut []
+        };
+        // SAFETY: each claim index is taken by exactly one worker;
+        // distinct claims touch disjoint elements (module docs), all
+        // within `len` (schedule invariant + the length check above);
+        // the dispatcher blocks in `run` until the crew drains, so the
+        // pointee outlives every access.
+        let data = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+        // SAFETY: data holds the full transform (length checked above),
+        // scratch covers scratch_elems() whenever a gathered unit
+        // exists, counters are fresh with one per worker per unit, and
+        // the barrier has exactly `crew` parties.
+        unsafe { run_units(data, &units, &counters, w, crew, scratch, &barrier, &steals) };
+    });
+    pool.add_steals(steals.load(Ordering::Relaxed));
+    result
+}
+
+/// Parallel in-place WHT over an already-compiled schedule with a
+/// **spawn-per-call scoped crew** — the pre-pool engine, kept public as
+/// the dispatch-overhead baseline and for crews larger than the
+/// persistent pool.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == compiled.size()`;
+/// [`WhtError::InvalidConfig`] for zero threads.
+pub fn par_apply_compiled_scoped<T: Scalar>(
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
     }
+    if x.len() != compiled.size() {
+        return Err(WhtError::LengthMismatch {
+            expected: compiled.size(),
+            got: x.len(),
+        });
+    }
+    if threads.0 == 1 {
+        return compiled.apply(x);
+    }
+    let workers = threads.0;
+    let units = build_units(compiled, workers, T::LANES);
+    let counters: Vec<Vec<AtomicUsize>> = units
+        .iter()
+        .map(|_| (0..workers).map(|_| AtomicUsize::new(0)).collect())
+        .collect();
     // Workers are spawned once for the whole schedule (a deep plan has
     // `leaf_count` passes — respawning per unit would multiply thread
     // start-up cost by that factor); a Barrier between units plays the
     // role the scope join played per pass, ordering every cross-unit
     // dependence.
-    let counters: Vec<AtomicUsize> = units.iter().map(|_| AtomicUsize::new(0)).collect();
     let barrier = Barrier::new(workers);
+    let steals = AtomicU64::new(0);
     let needs_scratch = units.iter().any(|u| matches!(u, Unit::GatheredBlocks(_)));
+    let scratch_elems = compiled.scratch_elems();
+    let ptr = SendPtr(x.as_mut_ptr());
+    let len = x.len();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let units = &units;
             let counters = &counters;
             let barrier = &barrier;
+            let steals = &steals;
             let ptr = &ptr;
             scope.spawn(move || {
                 // Private gather scratch, allocated once per worker per
@@ -269,87 +557,72 @@ pub fn par_apply_compiled<T: Scalar>(
                 } else {
                     Vec::new()
                 };
-                // SAFETY: each claim index is taken by exactly one worker;
-                // distinct tiles of a super-pass and distinct invocations
-                // of a pass touch disjoint elements (module docs), all
-                // within `len` (schedule invariant + the length check
-                // above).
+                // SAFETY: each claim index is taken by exactly one
+                // worker; distinct claims touch disjoint elements
+                // (module docs), all within `len` (schedule invariant +
+                // the length check above); the scope bounds worker
+                // lifetimes by the buffer's.
                 let data = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
-                for (unit, next) in units.iter().zip(counters) {
-                    let count = unit.count();
-                    let chunk = count.div_ceil(workers * 4).max(1);
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= count {
-                            break;
-                        }
-                        let end = (start + chunk).min(count);
-                        for i in start..end {
-                            match unit {
-                                // SAFETY: i < count = tiles() and the
-                                // buffer holds the full transform (checked
-                                // above).
-                                Unit::Tiles(sp) => unsafe { sp.apply_tile(data, i) },
-                                // SAFETY: i < count = tiles(), scratch was
-                                // sized to scratch_elems() above, and the
-                                // buffer holds the full transform.
-                                Unit::GatheredBlocks(sp) => unsafe {
-                                    sp.apply_gathered_block(data, i, &mut scratch)
-                                },
-                                // SAFETY: i < count = invocations() and the
-                                // buffer holds the full transform (checked
-                                // above).
-                                Unit::Invocations(pass) => unsafe {
-                                    pass.apply_invocation(data, i)
-                                },
-                                Unit::LaneBlocks {
-                                    pass,
-                                    blocks_per_row,
-                                    width,
-                                } => {
-                                    let row = i / blocks_per_row;
-                                    let t0 = (i % blocks_per_row) * width;
-                                    let cols = (*width).min(pass.s - t0);
-                                    let block = (1usize << pass.k) * pass.s;
-                                    // SAFETY: row < pass.r and t0 + cols <=
-                                    // pass.s, so the block stays inside the
-                                    // pass span; pass.stride == 1 was
-                                    // checked when the unit was built.
-                                    unsafe {
-                                        wht_core::apply_codelet_cols(
-                                            pass.k,
-                                            data,
-                                            pass.base + row * block + t0,
-                                            pass.s,
-                                            cols,
-                                        )
-                                    };
-                                }
-                            }
-                        }
-                    }
-                    // No worker may start unit i+1 before every worker has
-                    // drained unit i (the wait also publishes all writes).
-                    barrier.wait();
-                }
+                // SAFETY: data holds the full transform, scratch covers
+                // scratch_elems() whenever a gathered unit exists,
+                // counters are fresh with one per worker per unit, and
+                // the barrier has exactly `workers` parties.
+                unsafe {
+                    run_units(
+                        data,
+                        units,
+                        counters,
+                        w,
+                        workers,
+                        &mut scratch,
+                        barrier,
+                        steals,
+                    )
+                };
             });
         }
     });
     Ok(())
 }
 
+/// Lane-aligned contiguous row spans for a batch of `rows` rows over
+/// `workers` workers: spans `0..workers-1` hold whole lane groups, the
+/// last span absorbs the `rows % w` remainder — identical membership to
+/// the sequential batch replay, whatever the crew size.
+fn batch_spans(rows: usize, w: usize, workers: usize) -> Vec<(usize, usize)> {
+    let groups = rows / w;
+    let per = groups / workers;
+    let extra = groups % workers;
+    let mut spans = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for i in 0..workers {
+        let chunk_rows = if i == workers - 1 {
+            rows - start
+        } else {
+            (per + usize::from(i < extra)) * w
+        };
+        spans.push((start, chunk_rows));
+        start += chunk_rows;
+    }
+    spans
+}
+
 /// Parallel in-place **batched** WHT over an already-compiled schedule:
 /// `x` viewed as `rows` adjacent contiguous transforms of
 /// `compiled.size()` elements, sharded over `threads` workers by
 /// lane-aligned row chunks (module docs' "Batched execution"). Each chunk
-/// replays [`CompiledPlan::apply_batch_with_scratch`] with per-worker
+/// replays [`CompiledPlan::apply_batch_in`] with per-worker
 /// scratch, so the cross-transform lane path engages inside every chunk
 /// exactly as it would sequentially, and output is bit-identical to
 /// [`CompiledPlan::apply_batch`] on the whole batch.
 ///
+/// Crews up to the process-global [`WorkerPool`]'s size dispatch through
+/// the pool; larger crews fall back to [`par_apply_batch_scoped`].
+///
 /// # Errors
 /// [`WhtError::LengthMismatch`] unless `x.len() == rows *
-/// compiled.size()`; [`WhtError::InvalidConfig`] for zero threads.
+/// compiled.size()`; [`WhtError::InvalidConfig`] for zero threads;
+/// [`WhtError::WorkerPanicked`] if a pool worker died mid-batch.
 pub fn par_apply_batch<T: Scalar>(
     compiled: &CompiledPlan,
     x: &mut [T],
@@ -367,31 +640,112 @@ pub fn par_apply_batch<T: Scalar>(
             got: x.len(),
         });
     }
-    let w = T::LANES;
     // One lane group (or less) per worker cannot shard usefully; neither
     // can a single thread. The sequential batch path handles both.
+    if threads.0 == 1 || rows < 2 * T::LANES {
+        return compiled.apply_batch(x, rows);
+    }
+    let pool = WorkerPool::global();
+    if threads.0 <= pool.workers() {
+        par_apply_batch_on(pool, compiled, x, rows, threads)
+    } else {
+        par_apply_batch_scoped(compiled, x, rows, threads)
+    }
+}
+
+/// [`par_apply_batch`] dispatched through an **explicit**
+/// [`WorkerPool`]: the crew is `threads` capped at the pool's size.
+///
+/// # Errors
+/// As [`par_apply_batch`].
+pub fn par_apply_batch_on<T: Scalar>(
+    pool: &WorkerPool,
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    rows: usize,
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
+    }
+    let size = compiled.size();
+    let expected = rows.saturating_mul(size);
+    if x.len() != expected {
+        return Err(WhtError::LengthMismatch {
+            expected,
+            got: x.len(),
+        });
+    }
+    let w = T::LANES;
+    let crew = threads.0.min(pool.workers());
+    if crew == 1 || rows < 2 * w {
+        return compiled.apply_batch(x, rows);
+    }
+    let workers = crew.min(rows / w);
+    let spans = batch_spans(rows, w, workers);
+    let scratch_elems = compiled.batch_scratch_elems(w);
+    let ptr = SendPtr(x.as_mut_ptr());
+    // Borrow the whole wrapper so the closure captures `&SendPtr<T>`
+    // (not the raw field, which disjoint capture would otherwise grab).
+    let ptr = &ptr;
+    pool.run(&|wid, arena| {
+        let Some(&(start, chunk_rows)) = spans.get(wid) else {
+            return;
+        };
+        if chunk_rows == 0 {
+            return;
+        }
+        let scratch = scratch_words::<T>(arena, scratch_elems);
+        // SAFETY: spans are disjoint contiguous row ranges covering
+        // exactly `rows` rows (batch_spans), so every slice stays
+        // inside the length-checked buffer and no two workers overlap;
+        // the dispatcher blocks in `run` until the crew drains.
+        let data =
+            unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start * size), chunk_rows * size) };
+        compiled
+            .apply_batch_in(data, chunk_rows, scratch)
+            .expect("chunk geometry is exact by construction");
+    })
+}
+
+/// Scoped (spawn-per-call) batched engine — the pre-pool path, kept
+/// public as the dispatch-overhead baseline and for crews larger than
+/// the persistent pool.
+///
+/// # Errors
+/// [`WhtError::LengthMismatch`] unless `x.len() == rows *
+/// compiled.size()`; [`WhtError::InvalidConfig`] for zero threads.
+pub fn par_apply_batch_scoped<T: Scalar>(
+    compiled: &CompiledPlan,
+    x: &mut [T],
+    rows: usize,
+    threads: Threads,
+) -> Result<(), WhtError> {
+    if threads.0 == 0 {
+        return Err(WhtError::InvalidConfig("threads must be >= 1".into()));
+    }
+    let size = compiled.size();
+    let expected = rows.saturating_mul(size);
+    if x.len() != expected {
+        return Err(WhtError::LengthMismatch {
+            expected,
+            got: x.len(),
+        });
+    }
+    let w = T::LANES;
     if threads.0 == 1 || rows < 2 * w {
         return compiled.apply_batch(x, rows);
     }
-    // Contiguous per-worker chunks, each a whole number of lane groups
-    // (the last chunk also absorbs the `rows % w` remainder rows, which
-    // the sequential path replays per row anyway): lane-group membership
-    // — hence every transpose, every butterfly — matches the sequential
-    // replay exactly.
-    let groups = rows / w;
-    let workers = threads.0.min(groups);
-    let per = groups / workers;
-    let extra = groups % workers;
+    let workers = threads.0.min(rows / w);
+    let spans = batch_spans(rows, w, workers);
     std::thread::scope(|scope| {
         let mut rest: &mut [T] = x;
-        for i in 0..workers {
-            let chunk_rows = if i == workers - 1 {
-                rest.len() / size
-            } else {
-                (per + usize::from(i < extra)) * w
-            };
+        let mut consumed = 0usize;
+        for &(start, chunk_rows) in &spans {
+            debug_assert_eq!(start, consumed);
             let (chunk, tail) = rest.split_at_mut(chunk_rows * size);
             rest = tail;
+            consumed += chunk_rows;
             scope.spawn(move || {
                 let mut scratch: Vec<T> = Vec::new();
                 compiled
@@ -559,6 +913,7 @@ mod tests {
     fn recodeleted_parallel_matches_sequential_bit_for_bit_in_both_sharding_regimes() {
         use wht_core::{
             BatchPolicy, ExecPolicy, FusionPolicy, RecodeletPolicy, RelayoutPolicy, SimdPolicy,
+            StreamPolicy,
         };
         // Same geometry as the relayout test (32 gathered blocks vs 4),
         // but lowered through the full pipeline so the gathered blocks
@@ -579,6 +934,7 @@ mod tests {
                         recodelet: RecodeletPolicy::default(),
                         simd,
                         batch: BatchPolicy::default(),
+                        stream: StreamPolicy::disabled(),
                     });
                     assert!(
                         lowered.has_relayout() && lowered.has_recodeleted(),
@@ -604,6 +960,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_scoped_and_sequential_agree_bit_for_bit() {
+        use wht_core::{ExecPolicy, FusionPolicy, RelayoutPolicy};
+        // The same lowered schedule through all three dispatch paths on
+        // an explicit 3-worker pool: the pool must agree with the scoped
+        // crew and the sequential replay exactly, floats and integers.
+        let pool = crate::pool::WorkerPool::new(3);
+        let n = 14u32;
+        for plan in [Plan::iterative(n).unwrap(), Plan::balanced(n, 3).unwrap()] {
+            let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+                fusion: FusionPolicy::new(1 << 6),
+                relayout: RelayoutPolicy::eager(1 << 9),
+                ..ExecPolicy::default()
+            });
+            let input = signal(n);
+            let mut seq = input.clone();
+            lowered.apply(&mut seq).unwrap();
+            for threads in [2usize, 3, 7] {
+                let mut pooled = input.clone();
+                par_apply_compiled_on(&pool, &lowered, &mut pooled, Threads(threads)).unwrap();
+                let mut scoped = input.clone();
+                par_apply_compiled_scoped(&lowered, &mut scoped, Threads(threads)).unwrap();
+                assert_eq!(pooled, seq, "pooled vs sequential, {threads} threads");
+                assert_eq!(scoped, seq, "scoped vs sequential, {threads} threads");
+            }
+        }
+        assert!(pool.stats().jobs > 0);
+    }
+
+    #[test]
+    fn warm_pooled_replay_is_zero_alloc_after_first_call() {
+        // Second and later pooled dispatches of the same schedule reuse
+        // each worker's arena: the stats stay consistent and repeated
+        // replays agree with the first (a proxy for arena reuse that
+        // stays robust without a counting allocator in this crate).
+        use wht_core::{ExecPolicy, FusionPolicy, RelayoutPolicy};
+        let pool = crate::pool::WorkerPool::new(2);
+        let n = 13u32;
+        let plan = Plan::iterative(n).unwrap();
+        let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
+            fusion: FusionPolicy::new(1 << 6),
+            relayout: RelayoutPolicy::eager(1 << 9),
+            ..ExecPolicy::default()
+        });
+        let input = signal(n);
+        let mut first = input.clone();
+        par_apply_compiled_on(&pool, &lowered, &mut first, Threads(2)).unwrap();
+        for _ in 0..10 {
+            let mut again = input.clone();
+            par_apply_compiled_on(&pool, &lowered, &mut again, Threads(2)).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(pool.stats().jobs, 11);
     }
 
     #[test]
@@ -650,6 +1061,11 @@ mod tests {
         let compiled = CompiledPlan::compile(&plan);
         assert!(par_apply_compiled(&compiled, &mut short, Threads(2)).is_err());
         assert!(par_apply_compiled(&compiled, &mut ok, Threads(0)).is_err());
+        let pool = crate::pool::WorkerPool::new(2);
+        assert!(par_apply_compiled_on(&pool, &compiled, &mut short, Threads(2)).is_err());
+        assert!(par_apply_compiled_on(&pool, &compiled, &mut ok, Threads(0)).is_err());
+        assert!(par_apply_batch_on(&pool, &compiled, &mut ok, 1, Threads(0)).is_err());
+        assert!(par_apply_batch_scoped(&compiled, &mut ok, 3, Threads(2)).is_err());
     }
 
     #[test]
@@ -658,6 +1074,9 @@ mod tests {
         // Rows chosen to exercise every chunking regime: fewer rows than
         // one lane group per worker (sequential fallback), an exact
         // multiple of the widest lane width, and a ragged remainder.
+        // Pooled and scoped crews must both agree with the sequential
+        // batch replay.
+        let pool = crate::pool::WorkerPool::new(3);
         let n = 8u32;
         for plan in [Plan::iterative(n).unwrap(), Plan::balanced(n, 3).unwrap()] {
             let lowered = CompiledPlan::compile(&plan).lower(&ExecPolicy {
@@ -675,6 +1094,13 @@ mod tests {
                     let mut par = input.clone();
                     par_apply_batch(&lowered, &mut par, rows, Threads(threads)).unwrap();
                     assert_eq!(par, seq, "plan {plan}, rows {rows}, {threads} threads");
+                    let mut pooled = input.clone();
+                    par_apply_batch_on(&pool, &lowered, &mut pooled, rows, Threads(threads))
+                        .unwrap();
+                    assert_eq!(
+                        pooled, seq,
+                        "pooled: plan {plan}, rows {rows}, {threads} threads"
+                    );
                 }
                 let ints: Vec<i32> = input.iter().map(|&v| v as i32).collect();
                 let mut seq_i = ints.clone();
@@ -703,5 +1129,13 @@ mod tests {
         let mut seq = ints;
         apply_plan(&plan, &mut seq).unwrap();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn threads_default_respects_the_env_contract() {
+        // Threads::default() routes through wht_core::env::threads —
+        // the strict-parse WHT_THREADS knob (unit-tested there). Here:
+        // it is at least 1 whatever the host.
+        assert!(Threads::default().0 >= 1);
     }
 }

@@ -1,14 +1,30 @@
 //! # wht-parallel — parallel execution and parallel experiments
 //!
-//! Two uses of parallelism, mirroring the WHT package's own parallel
-//! variants and the scale of the paper's experiments:
+//! Three pieces, mirroring the WHT package's own parallel variants and
+//! the scale of the paper's experiments:
 //!
-//! * [`engine`] — a multi-threaded WHT ([`par_apply_plan`] /
+//! * [`pool`] — a persistent [`WorkerPool`]: long-lived workers parked
+//!   on a condvar, a lazy process-global default sized by the strict
+//!   `WHT_THREADS` knob (`wht_core::env::threads`), per-worker scratch
+//!   arenas cached across calls (the warm replay path allocates
+//!   nothing), NUMA topology detection from sysfs with round-robin
+//!   worker→node placement, and [`PoolStats`] introspection (jobs,
+//!   steals, placement). A panicking worker surfaces
+//!   [`wht_core::WhtError::WorkerPanicked`] instead of deadlocking, and
+//!   the pool stays serviceable afterwards.
+//! * [`engine`] — the multi-threaded WHT ([`par_apply_plan`] /
 //!   [`par_apply_compiled`], plus [`par_apply_batch`] for batches of
 //!   adjacent small transforms sharded by lane-aligned row block): every
-//!   pass of the plan's compiled schedule distributed over scoped worker
-//!   threads (the invocation sets of a pass are pairwise disjoint, so the
-//!   distribution is race-free);
+//!   unit of the plan's compiled schedule distributed over workers
+//!   through stable per-worker claim ranges with wrap-around stealing
+//!   (the units are pairwise write-disjoint, so the distribution is
+//!   race-free and bit-identical to sequential replay). Crews that fit
+//!   the global pool dispatch with zero spawn/join; larger crews fall
+//!   back to the scoped spawn-per-call engine, kept public as
+//!   [`par_apply_compiled_scoped`] / [`par_apply_batch_scoped`] (and as
+//!   the overhead baseline the benchmark quantifies the pool against).
+//!   Explicit pools go through [`par_apply_compiled_on`] /
+//!   [`par_apply_batch_on`].
 //! * [`sweep`] — a parallel measurement driver ([`measure_sweep`]) so that
 //!   10,000-algorithm experiment batches finish in minutes.
 //!
@@ -27,7 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod pool;
 pub mod sweep;
 
-pub use engine::{par_apply_batch, par_apply_compiled, par_apply_plan, Threads};
+pub use engine::{
+    par_apply_batch, par_apply_batch_on, par_apply_batch_scoped, par_apply_compiled,
+    par_apply_compiled_on, par_apply_compiled_scoped, par_apply_plan, Threads,
+};
+pub use pool::{PoolStats, Topology, WorkerPool};
 pub use sweep::measure_sweep;

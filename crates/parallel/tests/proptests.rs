@@ -4,9 +4,70 @@
 //! shared `wht_core::testkit` generators.
 
 use proptest::prelude::*;
+use std::sync::OnceLock;
 use wht_core::testkit::{random_plan, random_signal};
-use wht_core::{apply_plan, apply_plan_recursive, CompiledPlan, FusionPolicy, Scalar};
-use wht_parallel::{par_apply_compiled, par_apply_plan, Threads};
+use wht_core::{
+    apply_plan, apply_plan_recursive, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy,
+    RecodeletPolicy, RelayoutPolicy, Scalar, SimdPolicy, StreamPolicy,
+};
+use wht_parallel::{
+    par_apply_batch_on, par_apply_batch_scoped, par_apply_compiled, par_apply_compiled_on,
+    par_apply_compiled_scoped, par_apply_plan, Threads, WorkerPool,
+};
+
+/// One shared 4-worker pool for the whole proptest binary: real pools are
+/// process-lived, and sharing it across hundreds of cases also stresses
+/// slot reuse and arena growth far harder than a fresh pool per case.
+fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(4))
+}
+
+/// A random point in executor-policy space from proptest-drawn axes,
+/// every lowering stage togglable (streaming eager so it engages on
+/// test-sized transforms).
+#[allow(clippy::fn_params_excessive_bools)]
+fn policy_point(
+    fuse_bits: u32,
+    relayout_bits: u32,
+    recodelet: bool,
+    simd: bool,
+    batch: usize,
+    stream: bool,
+) -> ExecPolicy {
+    ExecPolicy {
+        fusion: if fuse_bits == 0 {
+            FusionPolicy::disabled()
+        } else {
+            FusionPolicy::new(1usize << fuse_bits)
+        },
+        relayout: if relayout_bits == 0 {
+            RelayoutPolicy::disabled()
+        } else {
+            RelayoutPolicy::eager(1usize << relayout_bits)
+        },
+        recodelet: if recodelet {
+            RecodeletPolicy::default()
+        } else {
+            RecodeletPolicy::disabled()
+        },
+        simd: if simd {
+            SimdPolicy::auto()
+        } else {
+            SimdPolicy::disabled()
+        },
+        batch: if batch == 0 {
+            BatchPolicy::disabled()
+        } else {
+            BatchPolicy::new(batch)
+        },
+        stream: if stream {
+            StreamPolicy::eager()
+        } else {
+            StreamPolicy::disabled()
+        },
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -86,6 +147,75 @@ proptest! {
         let mut par = input;
         par_apply_compiled(&fused, &mut par, Threads(threads)).unwrap();
         prop_assert_eq!(par, seq, "plan {}, budget {}", plan, budget);
+    }
+
+    /// The three dispatch paths — persistent pool, scoped spawn-per-call
+    /// crew, and the sequential replay — agree bit for bit on random
+    /// plans lowered through random executor policies (fusion, relayout,
+    /// re-codeleting, SIMD, streaming), for all four scalar types.
+    #[test]
+    fn pooled_scoped_and_sequential_agree_on_random_lowered_schedules(
+        n in 1u32..=13,
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+        fuse_bits in 0u32..=12,
+        relayout_bits in 0u32..=12,
+        flags in 0u8..8,
+    ) {
+        let (recodelet, simd, stream) = (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        fn check<T: Scalar>(lowered: &CompiledPlan, seed: u64, threads: usize) {
+            let input: Vec<T> = random_signal(lowered.size(), seed);
+            let mut seq = input.clone();
+            lowered.apply(&mut seq).unwrap();
+            let mut pooled = input.clone();
+            par_apply_compiled_on(pool(), lowered, &mut pooled, Threads(threads)).unwrap();
+            assert_eq!(pooled, seq, "pooled vs sequential ({threads} threads)");
+            let mut scoped = input;
+            par_apply_compiled_scoped(lowered, &mut scoped, Threads(threads)).unwrap();
+            assert_eq!(scoped, seq, "scoped vs sequential ({threads} threads)");
+        }
+        let plan = random_plan(n, seed);
+        // Relayout block budgets below 2^6 are degenerate; fold the low
+        // draws onto "relayout disabled" so that leg stays covered too.
+        let relayout_bits = if relayout_bits < 6 { 0 } else { relayout_bits };
+        let policy = policy_point(fuse_bits, relayout_bits, recodelet, simd, 0, stream);
+        let lowered = CompiledPlan::compile(&plan).lower(&policy);
+        check::<f64>(&lowered, seed, threads);
+        check::<f32>(&lowered, seed, threads);
+        check::<i64>(&lowered, seed, threads);
+        check::<i32>(&lowered, seed, threads);
+    }
+
+    /// Pooled and scoped batched execution agree bit for bit with the
+    /// sequential batch replay on random row counts (every chunking
+    /// regime: sub-lane-group, exact multiples, ragged remainders),
+    /// with and without streaming.
+    #[test]
+    fn pooled_and_scoped_batches_agree_with_sequential(
+        n in 1u32..=8,
+        seed in any::<u64>(),
+        rows in 1usize..=80,
+        threads in 2usize..=8,
+        stream in any::<bool>(),
+    ) {
+        fn check<T: Scalar>(lowered: &CompiledPlan, rows: usize, seed: u64, threads: usize) {
+            let input: Vec<T> = random_signal(lowered.size() * rows, seed);
+            let mut seq = input.clone();
+            lowered.apply_batch(&mut seq, rows).unwrap();
+            let mut pooled = input.clone();
+            par_apply_batch_on(pool(), lowered, &mut pooled, rows, Threads(threads)).unwrap();
+            assert_eq!(pooled, seq, "pooled batch ({rows} rows, {threads} threads)");
+            let mut scoped = input;
+            par_apply_batch_scoped(lowered, &mut scoped, rows, Threads(threads)).unwrap();
+            assert_eq!(scoped, seq, "scoped batch ({rows} rows, {threads} threads)");
+        }
+        let plan = random_plan(n, seed);
+        let policy = policy_point(4, 0, false, true, 8, stream);
+        let lowered = CompiledPlan::compile(&plan).lower(&policy);
+        check::<f64>(&lowered, rows, seed, threads);
+        check::<f32>(&lowered, rows, seed, threads);
+        check::<i64>(&lowered, rows, seed, threads);
+        check::<i32>(&lowered, rows, seed, threads);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use wht_cachesim::Hierarchy;
 use wht_core::{
     lane_width, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
-    RelayoutPolicy, SimdPolicy, WhtError,
+    RelayoutPolicy, SimdPolicy, StreamPolicy, WhtError,
 };
 use wht_measure::{simulated_cycles, time_plan, SimMachine, TimingConfig};
 use wht_models::{analytic_misses, instruction_count, op_counts, CostModel, ModelCache};
@@ -542,6 +542,7 @@ impl FusedTrafficCost {
             recodelet: RecodeletPolicy::default(),
             simd,
             batch: BatchPolicy::default(),
+            stream: StreamPolicy::default(),
         })
     }
 

@@ -44,7 +44,15 @@
 //!
 //! ## Wisdom format history
 //!
-//! - **Version 6** (current): each entry gains two optional columns —
+//! - **Version 7** (current): [`Tuning`] gains the `stream` field —
+//!   whether the recorder's executor ran with the streaming-store /
+//!   prefetch memory codelets enabled (lowering stage 6). An on/off
+//!   record only: the stage's engagement threshold
+//!   (`WHT_STREAM_THRESHOLD`) is host tuning, so an importer replaying
+//!   `Some(true)` uses its *own* policy's threshold — and the stage is
+//!   bit-identical either way, so a migrated replay cannot change
+//!   output. Version-6 blobs load transparently (no choice recorded).
+//! - **Version 6**: each entry gains two optional columns —
 //!   `provenance` (the memo search's winning composition and candidate
 //!   counts, a [`PlanProvenance`] record, so [`Planner::explain`]
 //!   survives a process restart) and `measured_ns` (measured wall-clock
@@ -105,7 +113,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use wht_core::{
     resolve_knob, BatchPolicy, CompiledPlan, ExecPolicy, FusionPolicy, Plan, RecodeletPolicy,
-    RelayoutPolicy, Scalar, SimdPolicy, WhtError,
+    RelayoutPolicy, Scalar, SimdPolicy, StreamPolicy, WhtError,
 };
 
 /// Per-entry executor tuning: which configuration the recorder's executor
@@ -134,6 +142,12 @@ pub struct Tuning {
     /// the recorder's executor did not build a batch schedule for this
     /// size (stage off, or the size is past the batch cap).
     pub batch: Option<u64>,
+    /// Whether the streaming-store / prefetch memory codelets (stage 6)
+    /// were enabled in the recorder's executor. On/off only: the
+    /// engagement threshold is host tuning, so an importer replaying
+    /// `Some(true)` uses its *own* [`StreamPolicy`] threshold rather
+    /// than the recorder's.
+    pub stream: Option<bool>,
     /// The [`CostObjective`] the recorder's vectored cost backend was
     /// collapsed under when this plan won; `None` = default weights (or a
     /// pre-version-5 record). Unlike the executor knobs above this is not
@@ -247,7 +261,7 @@ struct WisdomFileIn {
     entries: Vec<WisdomEntryIn>,
 }
 
-const WISDOM_VERSION: u32 = 6;
+const WISDOM_VERSION: u32 = 7;
 
 /// Oldest wisdom format [`Wisdom::from_json`] still reads (see the module
 /// docs' format history).
@@ -564,6 +578,7 @@ impl Wisdom {
                 relayout: entry.relayout,
                 recodelet: None,
                 batch: None,
+                stream: None,
                 objective: None,
             });
             wisdom.insert_with_tuning(entry.n, &entry.backend, plan, tuning)?;
@@ -721,6 +736,7 @@ struct PinnedKnobs {
     relayout: bool,
     recodelet: bool,
     batch: bool,
+    stream: bool,
 }
 
 impl PinnedKnobs {
@@ -730,6 +746,7 @@ impl PinnedKnobs {
         relayout: true,
         recodelet: true,
         batch: true,
+        stream: true,
     };
 }
 
@@ -884,6 +901,23 @@ impl<C: PlanCost> Planner<C> {
     /// precedence rule.
     pub fn batch(&self) -> BatchPolicy {
         self.exec.batch
+    }
+
+    /// Override the streaming-memory-codelet policy (builder style); same
+    /// pin semantics as [`Planner::with_fusion`].
+    #[must_use]
+    pub fn with_stream(mut self, stream: StreamPolicy) -> Self {
+        self.exec.stream = stream;
+        self.pinned.stream = true;
+        self.compiled.clear();
+        self
+    }
+
+    /// The streaming-memory-codelet policy new wisdom is recorded with
+    /// and cold sizes are compiled under — resolution per the module
+    /// docs' precedence rule.
+    pub fn stream(&self) -> StreamPolicy {
+        self.exec.stream
     }
 
     /// The planner's own executor configuration (before per-size wisdom
@@ -1074,6 +1108,21 @@ impl<C: PlanCost> Planner<C> {
                 self.exec.batch,
                 t.batch.map(replay_batch),
             ),
+            stream: resolve_knob(
+                self.pinned.stream,
+                self.exec.stream,
+                // On/off record, like `recodelet`: the engagement
+                // threshold is host tuning, so a recorded *on* replays
+                // through the reader's own policy (preserving its
+                // WHT_STREAM_THRESHOLD environment tuning).
+                t.stream.map(|on| {
+                    if on {
+                        self.exec.stream
+                    } else {
+                        StreamPolicy::disabled()
+                    }
+                }),
+            ),
         }
     }
 
@@ -1159,6 +1208,11 @@ impl<C: PlanCost> Planner<C> {
                             relayout: Some(relayout),
                             recodelet: Some(self.exec.recodelet.enabled()),
                             batch: Some(batch),
+                            // On/off like `recodelet`: engagement is a
+                            // call-time property (vector length against
+                            // the host-tuned threshold), so the record
+                            // is whether the stage ran at all.
+                            stream: Some(self.exec.stream.enabled()),
                             objective: self.objective,
                         },
                     )?;
@@ -1213,7 +1267,25 @@ impl<C: PlanCost> Planner<C> {
             self.compiled
                 .insert(n, CompiledPlan::compile_exec(&plan, &exec));
         }
-        self.compiled.get(&n).expect("inserted above").apply(x)
+        // Measure the replay and feed the wall-clock back into the wisdom
+        // entry it executed (fastest sample wins, matching the sharded
+        // store's measured-fastest merge) — so a planner that merely
+        // *runs* accumulates the measured evidence the store's
+        // cross-process merge arbitrates on.
+        let start = std::time::Instant::now();
+        self.compiled.get(&n).expect("inserted above").apply(x)?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let backend = self.cost.name();
+        if self
+            .wisdom
+            .measured_ns(n, backend)
+            .is_none_or(|best| ns < best)
+        {
+            // Entry existence was just established by `plan`; a racing
+            // absence is harmless (measurement is advisory evidence).
+            let _ = self.wisdom.record_measurement(n, backend, ns);
+        }
+        Ok(())
     }
 
     /// In-place **batched** transform: `x` viewed as `rows` adjacent
@@ -1788,12 +1860,12 @@ mod tests {
         assert_eq!(w.batch_block(4, "x"), None);
         assert_eq!(w.objective(4, "x"), None);
         let json = w.to_json();
-        assert!(json.contains("\"version\": 6"), "{json}");
+        assert!(json.contains("\"version\": 7"), "{json}");
         assert!(json.contains("\"tuning\""), "{json}");
         let back = Wisdom::from_json(&json).unwrap();
         assert_eq!(back, w);
         // Future versions stay rejected.
-        assert!(Wisdom::from_json("{\"version\":7,\"entries\":[]}").is_err());
+        assert!(Wisdom::from_json("{\"version\":8,\"entries\":[]}").is_err());
     }
 
     #[test]
@@ -1997,6 +2069,7 @@ mod tests {
                     relayout: Some(1 << 9),
                     recodelet: Some(true),
                     batch: Some(16),
+                    stream: Some(true),
                     objective: None,
                 },
             )
@@ -2010,6 +2083,7 @@ mod tests {
         assert!(!resolved.relayout.enabled());
         assert!(!resolved.recodelet.enabled());
         assert!(!resolved.batch.enabled());
+        assert!(!resolved.stream.enabled());
         let mut x: Vec<f64> = (0..1 << 14).map(|j| (j % 5) as f64).collect();
         let want = naive_wht(&x);
         planner.transform(&mut x).unwrap();

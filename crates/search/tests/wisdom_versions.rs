@@ -1,5 +1,5 @@
 //! Corruption coverage for the full wisdom version corpus (satellite 3):
-//! every historical blob format (v1–v5, plus current v6) in truncated,
+//! every historical blob format (v1–v6, plus current v7) in truncated,
 //! bit-flipped, and future-version form must be rejected with the right
 //! `StoreDiagnostic` through `Wisdom::load_or_default`, and a damaged
 //! blob must never be partially applied.
@@ -62,6 +62,13 @@ fn corpus() -> Vec<(&'static str, String)> {
              \"evaluated\":5,\"pruned\":3,\"cost\":42.5},\"measured_ns\":910}]}"
                 .to_string(),
         ),
+        (
+            "v7-stream",
+            "{\"version\":7,\"entries\":[{\"n\":4,\"backend\":\"x\",\
+             \"plan\":\"split[small[2],small[2]]\",\"tuning\":{\"fuse_budget\":4096,\
+             \"simd\":true,\"stream\":true},\"measured_ns\":880}]}"
+                .to_string(),
+        ),
     ]
 }
 
@@ -72,12 +79,23 @@ fn every_corpus_blob_loads_clean_as_a_control() {
         assert!(w.get(4, "x").is_some(), "[{tag}]");
     }
     // The v6 blob restores its extras.
-    let (_, v6) = corpus().pop().unwrap();
+    let (_, v6) = corpus()
+        .into_iter()
+        .find(|(tag, _)| *tag == "v6-provenance")
+        .unwrap();
     let w = Wisdom::from_json(&v6).unwrap();
     assert_eq!(w.measured_ns(4, "x"), Some(910));
     let p = w.provenance(4, "x").expect("provenance restored");
     assert_eq!(p.composition.as_deref(), Some(&[2u32, 2][..]));
     assert_eq!((p.candidates, p.evaluated, p.pruned), (8, 5, 3));
+    // And the v7 blob restores its stream choice.
+    let (_, v7) = corpus()
+        .into_iter()
+        .find(|(tag, _)| *tag == "v7-stream")
+        .unwrap();
+    let w = Wisdom::from_json(&v7).unwrap();
+    assert_eq!(w.tuning(4, "x").unwrap().stream, Some(true));
+    assert_eq!(w.measured_ns(4, "x"), Some(880));
 }
 
 #[test]
